@@ -1,0 +1,85 @@
+// T1 — "Experimental ftp bandwidth measurements" (the paper's only
+// quantitative table). Reproduces all eight cells: {day, evening} x
+// {to, from Southampton} x {85 MB small, 544 MB large simulation files},
+// using the calibrated link rates (0.25 / 0.37 / 0.58 / 1.94 Mbit/s).
+//
+// Paper values for reference:
+//   Day     To Southampton   0.25  45m20s   4h50m08s
+//   Day     From Southampton 0.37  30m38s   3h16m02s
+//   Evening To Southampton   0.58  19m32s   2h05m03s
+//   Evening From Southampton 1.94   5m51s     37m23s
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "sim/bandwidth.h"
+
+namespace {
+
+using easia::HumanDuration;
+using namespace easia::sim;
+
+constexpr uint64_t kSmallFile = 85 * kMegabyte;
+constexpr uint64_t kLargeFile = 544 * kMegabyte;
+
+void PrintReproduction() {
+  struct Row {
+    const char* time;
+    const char* direction;
+    double mbps;
+  };
+  const Row rows[] = {
+      {"Day", "To Southampton", PaperLinkRates::kDayToSouthampton},
+      {"Day", "From Southampton", PaperLinkRates::kDayFromSouthampton},
+      {"Evening", "To Southampton", PaperLinkRates::kEveningToSouthampton},
+      {"Evening", "From Southampton",
+       PaperLinkRates::kEveningFromSouthampton},
+  };
+  std::printf(
+      "\n=== T1: Experimental ftp bandwidth measurements (reproduction) "
+      "===\n");
+  std::printf("%-8s %-18s %-10s %-18s %-18s\n", "Time", "Direction",
+              "Mbit/s", "Small (85 MB)", "Large (544 MB)");
+  for (const Row& row : rows) {
+    BandwidthSchedule schedule = BandwidthSchedule::Constant(row.mbps);
+    double small = *TransferDuration(schedule, kSmallFile, 0.0);
+    double large = *TransferDuration(schedule, kLargeFile, 0.0);
+    std::printf("%-8s %-18s %-10.2f %-18s %-18s\n", row.time, row.direction,
+                row.mbps, HumanDuration(small).c_str(),
+                HumanDuration(large).c_str());
+  }
+  std::printf(
+      "paper:   45m20s / 4h50m08s, 30m38s / 3h16m02s, 19m32s / 2h05m03s, "
+      "5m51s / 37m23s\n\n");
+}
+
+// How fast the simulator computes transfer times (flat link).
+void BM_TransferDurationFlat(benchmark::State& state) {
+  BandwidthSchedule schedule = BandwidthSchedule::Constant(1.94);
+  uint64_t bytes = static_cast<uint64_t>(state.range(0)) * kMegabyte;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransferDuration(schedule, bytes, 0.0));
+  }
+}
+BENCHMARK(BM_TransferDurationFlat)->Arg(85)->Arg(544);
+
+// Transfer-time integration across many time-of-day windows (a multi-day
+// transfer crossing ~20 rate boundaries).
+void BM_TransferDurationWindowed(benchmark::State& state) {
+  BandwidthSchedule schedule = ToSouthamptonSchedule();
+  uint64_t bytes = static_cast<uint64_t>(state.range(0)) * kMegabyte;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransferDuration(schedule, bytes, 9 * 3600.0));
+  }
+}
+BENCHMARK(BM_TransferDurationWindowed)->Arg(544)->Arg(5440);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

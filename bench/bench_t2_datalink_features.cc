@@ -1,0 +1,210 @@
+// T2 — the paper's SQL/MED feature list: referential integrity, transaction
+// consistency, security (encrypted access tokens), coordinated backup and
+// recovery. Measures the cost of each mechanism and the DESIGN.md
+// ablations: FILE LINK CONTROL on/off, READ PERMISSION DB vs FS, token
+// lifetime sweep.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "med/token.h"
+
+namespace {
+
+using namespace easia;
+
+struct Scenario {
+  std::unique_ptr<core::Archive> archive;
+  fs::FileServer* server;
+};
+
+Scenario MakeScenario(bool file_link_control, bool read_db) {
+  Scenario s;
+  s.archive = std::make_unique<core::Archive>();
+  s.server = s.archive->AddFileServer("fs1", 8.0);
+  std::string ddl = StrPrintf(
+      "CREATE TABLE RESULT_FILE ("
+      " FILE_NAME VARCHAR(120) PRIMARY KEY,"
+      " DOWNLOAD DATALINK LINKTYPE URL %s READ PERMISSION %s RECOVERY YES)",
+      file_link_control ? "FILE LINK CONTROL" : "NO FILE LINK CONTROL",
+      read_db ? "DB" : "FS");
+  (void)s.archive->Execute(ddl);
+  return s;
+}
+
+void PrintReproduction() {
+  std::printf("\n=== T2: SQL/MED DATALINK feature costs and ablations ===\n");
+  ManualClock clock(0);
+  // Token issue/validate micro-costs.
+  med::TokenManager tokens("bench-secret", 300);
+  std::string token = tokens.Issue("/archive/f.tbf", 0);
+  std::printf("access token length: %zu characters (base64url)\n",
+              token.size());
+
+  // Ablation: FILE LINK CONTROL on/off — per-insert cost and protection.
+  for (bool control : {true, false}) {
+    Scenario s = MakeScenario(control, true);
+    for (int i = 0; i < 64; ++i) {
+      (void)s.server->vfs().WriteFile(StrPrintf("/d/f%d.tbf", i), "x");
+    }
+    double t0 = 0;
+    (void)t0;
+    for (int i = 0; i < 64; ++i) {
+      (void)s.archive->Execute(StrPrintf(
+          "INSERT INTO RESULT_FILE VALUES ('f%d', 'http://fs1/d/f%d.tbf')",
+          i, i));
+    }
+    Status del = s.server->vfs().DeleteFile("/d/f0.tbf");
+    std::printf("FILE LINK CONTROL %-3s: delete-behind-the-db %s\n",
+                control ? "ON" : "OFF",
+                del.ok() ? "SUCCEEDS (no integrity)" : "REFUSED (integrity)");
+  }
+
+  // Ablation: READ PERMISSION DB vs FS.
+  for (bool read_db : {true, false}) {
+    Scenario s = MakeScenario(true, read_db);
+    (void)s.server->vfs().WriteFile("/d/f.tbf", "x");
+    (void)s.archive->Execute(
+        "INSERT INTO RESULT_FILE VALUES ('f', 'http://fs1/d/f.tbf')");
+    std::string url = s.archive->Execute("SELECT DOWNLOAD FROM RESULT_FILE")
+                          ->rows[0][0]
+                          .AsString();
+    bool raw_readable = s.server->GetUrl("http://fs1/d/f.tbf").ok();
+    std::printf("READ PERMISSION %-2s : SELECT yields %s; raw URL fetch %s\n",
+                read_db ? "DB" : "FS",
+                url.find(';') != std::string::npos ? "token URL"
+                                                   : "plain URL",
+                raw_readable ? "allowed" : "denied");
+  }
+
+  // Token lifetime sweep: fraction of a day a token stays valid.
+  std::printf("token lifetime sweep (issued at t=0): ");
+  for (double ttl : {60.0, 300.0, 3600.0}) {
+    med::TokenManager manager("s", ttl);
+    std::string t = manager.IssueWithTtl("/f", 0, ttl);
+    bool at_half = manager.Validate(t, "/f", ttl / 2).ok();
+    bool after = manager.Validate(t, "/f", ttl + 1).ok();
+    std::printf("ttl=%gs(valid@%g:%d expired@%g:%d) ", ttl, ttl / 2,
+                at_half ? 1 : 0, ttl + 1, after ? 0 : 1);
+  }
+  std::printf("\n\n");
+}
+
+void BM_TokenIssue(benchmark::State& state) {
+  med::TokenManager tokens("bench-secret", 300);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokens.Issue("/archive/S1/file.tbf", 1000.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenIssue);
+
+void BM_TokenValidate(benchmark::State& state) {
+  med::TokenManager tokens("bench-secret", 300);
+  std::string token = tokens.Issue("/archive/S1/file.tbf", 1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tokens.Validate(token, "/archive/S1/file.tbf", 1000.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenValidate);
+
+void BM_TokenValidateForged(benchmark::State& state) {
+  med::TokenManager tokens("bench-secret", 300);
+  std::string token = tokens.Issue("/archive/S1/file.tbf", 1000.0);
+  token[5] = token[5] == 'A' ? 'B' : 'A';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tokens.Validate(token, "/archive/S1/file.tbf", 1000.0));
+  }
+}
+BENCHMARK(BM_TokenValidateForged);
+
+// Insert cost with and without FILE LINK CONTROL (the existence check and
+// two-phase link intent).
+void BM_InsertDatalink(benchmark::State& state) {
+  bool control = state.range(0) != 0;
+  Scenario s = MakeScenario(control, true);
+  int i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string path = StrPrintf("/d/file%d.tbf", i);
+    (void)s.server->vfs().WriteFile(path, "x");
+    state.ResumeTiming();
+    auto r = s.archive->Execute(StrPrintf(
+        "INSERT INTO RESULT_FILE VALUES ('k%d', 'http://fs1%s')", i,
+        path.c_str()));
+    if (!r.ok()) state.SkipWithError("insert failed");
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(control ? "FILE LINK CONTROL" : "NO FILE LINK CONTROL");
+}
+BENCHMARK(BM_InsertDatalink)->Arg(1)->Arg(0);
+
+// Link/unlink transaction round trip (insert + delete).
+void BM_LinkUnlinkRoundTrip(benchmark::State& state) {
+  Scenario s = MakeScenario(true, true);
+  (void)s.server->vfs().WriteFile("/d/f.tbf", "x");
+  for (auto _ : state) {
+    auto ins = s.archive->Execute(
+        "INSERT INTO RESULT_FILE VALUES ('f', 'http://fs1/d/f.tbf')");
+    auto del = s.archive->Execute("DELETE FROM RESULT_FILE");
+    if (!ins.ok() || !del.ok()) state.SkipWithError("round trip failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkUnlinkRoundTrip);
+
+// Coordinated backup cost as linked data grows.
+void BM_CoordinatedBackup(benchmark::State& state) {
+  auto archive = std::make_unique<core::Archive>();
+  archive->AddFileServer("fs1", 8.0);
+  (void)core::CreateTurbulenceSchema(archive.get());
+  core::SeedOptions seed;
+  seed.hosts = {"fs1"};
+  seed.simulations = static_cast<size_t>(state.range(0));
+  seed.timesteps_per_simulation = 2;
+  seed.grid_n = 8;
+  (void)core::SeedTurbulenceData(archive.get(), seed);
+  for (auto _ : state) {
+    auto id = archive->backups().CreateBackup();
+    if (!id.ok()) state.SkipWithError("backup failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoordinatedBackup)->Arg(2)->Arg(8);
+
+// Reconcile cost over a healthy archive.
+void BM_Reconcile(benchmark::State& state) {
+  auto archive = std::make_unique<core::Archive>();
+  archive->AddFileServer("fs1", 8.0);
+  (void)core::CreateTurbulenceSchema(archive.get());
+  core::SeedOptions seed;
+  seed.hosts = {"fs1"};
+  seed.simulations = 8;
+  seed.timesteps_per_simulation = 2;
+  seed.grid_n = 8;
+  (void)core::SeedTurbulenceData(archive.get(), seed);
+  for (auto _ : state) {
+    auto report = archive->backups().Reconcile();
+    if (!report.ok()) state.SkipWithError("reconcile failed");
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Reconcile);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "common/clock.h"
+
+#include <ctime>
+#include <chrono>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace easia {
+
+double SystemClock::Now() const {
+  using namespace std::chrono;
+  return duration<double>(system_clock::now().time_since_epoch()).count();
+}
+
+SystemClock* SystemClock::Get() {
+  static SystemClock* const kInstance = new SystemClock();
+  return kInstance;
+}
+
+double SecondsIntoDay(double epoch_seconds) {
+  double day = 86400.0;
+  double r = std::fmod(epoch_seconds, day);
+  if (r < 0) r += day;
+  return r;
+}
+
+std::string FormatCompactTimestamp(double epoch_seconds) {
+  std::time_t t = static_cast<std::time_t>(epoch_seconds);
+  std::tm tm_buf{};
+  gmtime_r(&t, &tm_buf);
+  return StrPrintf("%04d%02d%02d%02d%02d%02d", tm_buf.tm_year + 1900,
+                   tm_buf.tm_mon + 1, tm_buf.tm_mday, tm_buf.tm_hour,
+                   tm_buf.tm_min, tm_buf.tm_sec);
+}
+
+}  // namespace easia

@@ -1,0 +1,49 @@
+#ifndef EASIA_COMMON_CLOCK_H_
+#define EASIA_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace easia {
+
+/// Abstract time source. Production code uses the system clock; the network
+/// simulator and tests use a ManualClock so results are deterministic.
+/// Times are seconds since the epoch (with fractional part).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double Now() const = 0;
+};
+
+/// A manually advanced clock (deterministic, used by sim and tests).
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(double start = 0.0) : now_(start) {}
+
+  double Now() const override { return now_; }
+  void Advance(double seconds) { now_ += seconds; }
+  void Set(double t) { now_ = t; }
+
+ private:
+  double now_;
+};
+
+/// Wall-clock backed by the system realtime clock.
+class SystemClock : public Clock {
+ public:
+  double Now() const override;
+
+  /// Process-wide instance (trivially destructible via leak).
+  static SystemClock* Get();
+};
+
+/// Seconds-within-day for a timestamp (0 .. 86400).
+double SecondsIntoDay(double epoch_seconds);
+
+/// Formats epoch seconds as "YYYYMMDDhhmmss" — the format EASIA's
+/// generated keys use (e.g. S19990110150932).
+std::string FormatCompactTimestamp(double epoch_seconds);
+
+}  // namespace easia
+
+#endif  // EASIA_COMMON_CLOCK_H_

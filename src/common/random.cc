@@ -1,0 +1,51 @@
+#include "common/random.h"
+
+namespace easia {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t x = seed;
+  s0_ = SplitMix64(x);
+  s1_ = SplitMix64(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::string Random::AlphaNum(size_t n) {
+  static const char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out += kChars[Uniform(36)];
+  return out;
+}
+
+bool Random::OneIn(uint32_t n) { return n != 0 && Uniform(n) == 0; }
+
+}  // namespace easia

@@ -1,0 +1,39 @@
+#ifndef EASIA_COMMON_RANDOM_H_
+#define EASIA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace easia {
+
+/// Deterministic xorshift128+ generator. Used everywhere randomness is
+/// needed so workloads, datasets and tokens are reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Random lower-case alphanumeric string of length n.
+  std::string AlphaNum(size_t n);
+
+  /// True with probability p.
+  bool OneIn(uint32_t n);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace easia
+
+#endif  // EASIA_COMMON_RANDOM_H_

@@ -1,0 +1,71 @@
+#ifndef EASIA_COMMON_RESULT_H_
+#define EASIA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace easia {
+
+/// Result<T> is either a value of type T or an error Status. It is the
+/// return type of every fallible function that produces a value.
+///
+/// Typical use:
+///   Result<int> Parse(std::string_view s);
+///   EASIA_ASSIGN_OR_RETURN(int n, Parse(s));
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`. Intentionally implicit so
+  /// `return value;` works from functions returning Result<T>.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Access the contained value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace easia
+
+#endif  // EASIA_COMMON_RESULT_H_

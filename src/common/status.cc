@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+namespace easia {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kPermissionDenied:
+      return "permission denied";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kConstraintViolation:
+      return "constraint violation";
+    case StatusCode::kTokenExpired:
+      return "token expired";
+    case StatusCode::kParseError:
+      return "parse error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace easia

@@ -1,0 +1,158 @@
+#ifndef EASIA_COMMON_STATUS_H_
+#define EASIA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace easia {
+
+/// Canonical error codes used throughout EASIA. Modelled on the
+/// Arrow/Abseil canonical space plus database-specific codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kAborted,            // transaction aborted / deadlock victim
+  kResourceExhausted,  // sandbox quota exceeded, pool exhausted
+  kUnavailable,        // host down / link down
+  kCorruption,         // torn WAL record, bad checksum, malformed file
+  kConstraintViolation,// PK/FK/NOT NULL/UNIQUE violation
+  kTokenExpired,       // DATALINK access token past its lifetime
+  kParseError,         // SQL / XML / EaScript syntax error
+};
+
+/// Returns the canonical lower-case name for a code ("ok", "not found", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status carries success or an (code, message) error pair. EASIA does not
+/// use exceptions; every fallible operation returns Status or Result<T>.
+///
+/// The class is cheap to copy in the OK case (single enum) and holds the
+/// message inline otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status TokenExpired(std::string msg) {
+    return Status(StatusCode::kTokenExpired, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+  bool IsTokenExpired() const { return code_ == StatusCode::kTokenExpired; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the error message with `context` (no-op on OK statuses).
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace easia
+
+/// Propagates an error Status from the evaluated expression, if any.
+#define EASIA_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::easia::Status _easia_status = (expr);        \
+    if (!_easia_status.ok()) return _easia_status; \
+  } while (false)
+
+#define EASIA_CONCAT_IMPL(x, y) x##y
+#define EASIA_CONCAT(x, y) EASIA_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// moves the value into `lhs` (which may be a declaration).
+#define EASIA_ASSIGN_OR_RETURN(lhs, expr)                              \
+  EASIA_ASSIGN_OR_RETURN_IMPL(EASIA_CONCAT(_easia_result_, __LINE__), \
+                              lhs, expr)
+
+#define EASIA_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value();
+
+#endif  // EASIA_COMMON_STATUS_H_

@@ -1,0 +1,246 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+
+namespace easia {
+
+namespace {
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (const std::string& part : Split(s, sep)) {
+    std::string_view trimmed = Trim(part);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsSpace(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsSpace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      break;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  return out;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (t.empty()) return Status::ParseError("empty integer literal");
+  std::string buf(t);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("invalid integer literal: " + buf);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (t.empty()) return Status::ParseError("empty numeric literal");
+  std::string buf(t);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return Status::OutOfRange("number out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("invalid numeric literal: " + buf);
+  }
+  return v;
+}
+
+bool LikeMatch(std::string_view value, std::string_view pattern) {
+  // Iterative two-pointer algorithm with backtracking on the last '%'.
+  size_t v = 0, p = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_v = 0;
+  while (v < value.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == value[v])) {
+      ++v;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_v = v;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      v = ++star_v;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StrPrintf("%llu B", static_cast<unsigned long long>(bytes));
+  return StrPrintf("%.1f %s", v, kUnits[unit]);
+}
+
+std::string HumanDuration(double seconds) {
+  if (seconds < 0) seconds = 0;
+  uint64_t total = static_cast<uint64_t>(seconds + 0.5);
+  uint64_t h = total / 3600;
+  uint64_t m = (total % 3600) / 60;
+  uint64_t s = total % 60;
+  if (h > 0) {
+    return StrPrintf("%lluh%02llum%02llus", static_cast<unsigned long long>(h),
+                     static_cast<unsigned long long>(m),
+                     static_cast<unsigned long long>(s));
+  }
+  if (m > 0) {
+    return StrPrintf("%llum%02llus", static_cast<unsigned long long>(m),
+                     static_cast<unsigned long long>(s));
+  }
+  return StrPrintf("%llus", static_cast<unsigned long long>(s));
+}
+
+std::string EscapeMarkup(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace easia

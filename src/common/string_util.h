@@ -1,0 +1,63 @@
+#ifndef EASIA_COMMON_STRING_UTIL_H_
+#define EASIA_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easia {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on `sep`, trimming ASCII whitespace from each field and dropping
+/// fields that are empty after trimming.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII-only case conversions (locale independent).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Parses a decimal integer / floating-point number; rejects trailing junk.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// SQL LIKE matching: '%' matches any run, '_' matches one character.
+/// Comparison is case sensitive, matching the paper's QBE wildcard search.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Renders `bytes` with a human-readable unit suffix (e.g. "544.0 MB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Renders a duration in seconds as "4h50m08s" / "45m20s" / "5m51s" / "12s",
+/// the format the paper's bandwidth table uses.
+std::string HumanDuration(double seconds);
+
+/// Escapes &, <, >, " and ' for safe embedding in HTML/XML text.
+std::string EscapeMarkup(std::string_view s);
+
+/// Formats like printf into a std::string.
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace easia
+
+#endif  // EASIA_COMMON_STRING_UTIL_H_

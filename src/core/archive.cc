@@ -1,0 +1,141 @@
+#include "core/archive.h"
+
+#include "fileserver/url.h"
+
+namespace easia::core {
+
+Archive::Archive(Options options)
+    : options_(std::move(options)), network_(options_.start_epoch) {
+  database_ = std::make_unique<db::Database>(options_.name,
+                                             options_.db_options);
+  med_ = std::make_unique<med::DataLinkManager>(
+      &fleet_, &network_.clock(), options_.token_secret,
+      options_.token_ttl_seconds);
+  database_->set_coordinator(med_.get());
+  backups_ = std::make_unique<med::BackupManager>(database_.get(), med_.get(),
+                                                  &fleet_);
+  engine_ = std::make_unique<ops::OperationEngine>(database_.get(), &fleet_,
+                                                   &network_);
+  sessions_ = std::make_unique<web::SessionManager>(
+      &users_, &network_.clock(), options_.session_timeout_seconds);
+  web::ArchiveWebServer::Deps deps;
+  deps.database = database_.get();
+  deps.xuis = &xuis_;
+  deps.fleet = &fleet_;
+  deps.engine = engine_.get();
+  deps.users = &users_;
+  deps.sessions = sessions_.get();
+  web_ = std::make_unique<web::ArchiveWebServer>(deps);
+  // Database host participates in the network (metadata/query traffic).
+  sim::HostSpec db_host;
+  db_host.name = options_.db_host;
+  db_host.processing_mb_per_sec = 100.0;
+  network_.AddHost(db_host);
+  // Guests cannot obtain download tokens (paper demo restriction).
+  med_->set_read_privilege_check([this](const std::string& user) {
+    Result<web::User> u = users_.GetUser(user);
+    if (!u.ok()) return user == "system";  // internal callers
+    return u->CanDownload();
+  });
+}
+
+Archive::~Archive() = default;
+
+fs::FileServer* Archive::AddFileServer(const std::string& host,
+                                       double constant_mbps,
+                                       double processing_mb_per_sec) {
+  fs::FileServer* server = fleet_.AddServer(host);
+  sim::HostSpec spec;
+  spec.name = host;
+  spec.processing_mb_per_sec = processing_mb_per_sec;
+  network_.AddHost(spec);
+  if (constant_mbps > 0) {
+    network_.AddSymmetricLink(options_.db_host, host,
+                              sim::BandwidthSchedule::Constant(constant_mbps));
+  } else {
+    // Paper-calibrated asymmetric schedules: traffic towards the archive
+    // core is slow, traffic out of it is faster, both time-of-day shaped.
+    network_.AddLink(host, options_.db_host, sim::ToSouthamptonSchedule());
+    network_.AddLink(options_.db_host, host, sim::FromSouthamptonSchedule());
+  }
+  server->vfs().set_clock([this]() { return network_.Now(); });
+  // Make sure the SQL/MED agent exists on the host.
+  (void)med_->EnsureLinker(host);
+  return server;
+}
+
+void Archive::AddClientHost(const std::string& host, double constant_mbps) {
+  sim::HostSpec spec;
+  spec.name = host;
+  spec.processing_mb_per_sec = 25.0;
+  network_.AddHost(spec);
+  for (const std::string& server_host : fleet_.Hosts()) {
+    if (constant_mbps > 0) {
+      network_.AddSymmetricLink(server_host, host,
+                                sim::BandwidthSchedule::Constant(
+                                    constant_mbps));
+    } else {
+      network_.AddLink(host, server_host, sim::ToSouthamptonSchedule());
+      network_.AddLink(server_host, host, sim::FromSouthamptonSchedule());
+    }
+  }
+  if (constant_mbps > 0) {
+    network_.AddSymmetricLink(options_.db_host, host,
+                              sim::BandwidthSchedule::Constant(constant_mbps));
+  } else {
+    network_.AddLink(host, options_.db_host, sim::ToSouthamptonSchedule());
+    network_.AddLink(options_.db_host, host, sim::FromSouthamptonSchedule());
+  }
+}
+
+Result<db::QueryResult> Archive::Execute(const std::string& sql,
+                                         const std::string& user) {
+  db::ExecContext ctx;
+  ctx.user = user;
+  return database_->Execute(sql, ctx);
+}
+
+Status Archive::InitializeXuis(const xuis::GeneratorOptions& options) {
+  EASIA_ASSIGN_OR_RETURN(xuis::XuisSpec spec,
+                         xuis::GenerateDefaultXuis(*database_, options));
+  xuis_.SetDefault(std::move(spec));
+  return Status::OK();
+}
+
+Status Archive::AddUser(const std::string& name, const std::string& password,
+                        web::UserRole role) {
+  return users_.AddUser(name, password, role);
+}
+
+Result<std::string> Archive::Login(const std::string& user,
+                                   const std::string& password) {
+  return sessions_->Login(user, password);
+}
+
+web::HttpResponse Archive::Get(const std::string& session_id,
+                               const std::string& path,
+                               const fs::HttpParams& params) {
+  web::HttpRequest request;
+  request.path = path;
+  request.params = params;
+  request.session_id = session_id;
+  return web_->Handle(request);
+}
+
+Result<double> Archive::Download(const std::string& url,
+                                 const std::string& client_host) {
+  EASIA_ASSIGN_OR_RETURN(auto resolved, fleet_.Resolve(url));
+  fs::FileServer* server = resolved.first;
+  const fs::FileUrl& parsed = resolved.second;
+  // The file server enforces READ PERMISSION DB via its gate.
+  std::string request_path = parsed.Directory();
+  if (!parsed.token.empty()) request_path += parsed.token + ";";
+  request_path += parsed.filename;
+  EASIA_ASSIGN_OR_RETURN(fs::GetResult got, server->Get(request_path));
+  EASIA_ASSIGN_OR_RETURN(
+      sim::TransferRecord record,
+      network_.Transfer(parsed.host, client_host, got.stat.size));
+  return record.duration_seconds;
+}
+
+}  // namespace easia::core

@@ -1,0 +1,125 @@
+#ifndef EASIA_CORE_ARCHIVE_H_
+#define EASIA_CORE_ARCHIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "fileserver/file_server.h"
+#include "med/backup.h"
+#include "med/datalink_manager.h"
+#include "ops/engine.h"
+#include "sim/network.h"
+#include "web/server.h"
+#include "xuis/customize.h"
+#include "xuis/generator.h"
+
+namespace easia::core {
+
+/// The assembled EASIA system: one database host plus any number of
+/// file-server hosts, wired together with the SQL/MED DataLink manager, the
+/// bandwidth-simulated network, the operation engine and the web front end.
+///
+/// This is the library's primary entry point; the examples and benchmarks
+/// drive everything through it.
+class Archive {
+ public:
+  struct Options {
+    std::string name = "EASIA";
+    /// Host name of the database server (the paper's Southampton machine).
+    std::string db_host = "db.soton.ac.uk";
+    /// DATALINK access-token lifetime ("finite life determined by a
+    /// database configuration parameter").
+    double token_ttl_seconds = 300.0;
+    std::string token_secret = "easia-demo-secret";
+    /// Simulation start time (epoch seconds); 0h00 UTC by default so
+    /// time-of-day bandwidth windows are predictable.
+    double start_epoch = 0.0;
+    /// Web session idle timeout.
+    double session_timeout_seconds = 1800.0;
+    /// Database persistence (empty = in-memory).
+    db::DatabaseOptions db_options;
+  };
+
+  Archive() : Archive(Options()) {}
+  explicit Archive(Options options);
+  ~Archive();
+
+  Archive(const Archive&) = delete;
+  Archive& operator=(const Archive&) = delete;
+
+  // --- Topology -----------------------------------------------------------
+
+  /// Registers a file-server host and places it in the simulated network.
+  /// Links to/from the database host use the paper's measured asymmetric
+  /// schedules unless `constant_mbps > 0` supplies a flat rate.
+  fs::FileServer* AddFileServer(const std::string& host,
+                                double constant_mbps = 0.0,
+                                double processing_mb_per_sec = 50.0);
+
+  /// Registers the (remote) user's machine for download-time modelling.
+  void AddClientHost(const std::string& host, double constant_mbps = 0.0);
+
+  // --- Database -----------------------------------------------------------
+
+  Result<db::QueryResult> Execute(const std::string& sql,
+                                  const std::string& user = "system");
+
+  // --- XUIS ---------------------------------------------------------------
+
+  /// Generates the default XUIS from the live catalogue and installs it as
+  /// the registry default ("system is started by initialising ... with an
+  /// XUIS").
+  Status InitializeXuis(const xuis::GeneratorOptions& options = {});
+
+  // --- Users & web --------------------------------------------------------
+
+  Status AddUser(const std::string& name, const std::string& password,
+                 web::UserRole role);
+  /// Authenticates and returns a web session id.
+  Result<std::string> Login(const std::string& user,
+                            const std::string& password);
+  web::HttpResponse Get(const std::string& session_id, const std::string& path,
+                        const fs::HttpParams& params = {});
+
+  // --- Downloads (bandwidth-modelled) --------------------------------------
+
+  /// Simulates downloading the file behind `url` (token form) to
+  /// `client_host`: validates the token at the file server, then computes
+  /// the transfer over the network. Returns seconds taken.
+  Result<double> Download(const std::string& url,
+                          const std::string& client_host);
+
+  // --- Component access ----------------------------------------------------
+
+  db::Database& database() { return *database_; }
+  fs::FileServerFleet& fleet() { return fleet_; }
+  med::DataLinkManager& med() { return *med_; }
+  med::BackupManager& backups() { return *backups_; }
+  sim::Network& network() { return network_; }
+  ops::OperationEngine& engine() { return *engine_; }
+  web::ArchiveWebServer& web() { return *web_; }
+  web::UserManager& users() { return users_; }
+  web::SessionManager& sessions() { return *sessions_; }
+  xuis::XuisRegistry& xuis() { return xuis_; }
+  ManualClock& clock() { return network_.clock(); }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  sim::Network network_;
+  fs::FileServerFleet fleet_;
+  std::unique_ptr<db::Database> database_;
+  std::unique_ptr<med::DataLinkManager> med_;
+  std::unique_ptr<med::BackupManager> backups_;
+  std::unique_ptr<ops::OperationEngine> engine_;
+  web::UserManager users_;
+  std::unique_ptr<web::SessionManager> sessions_;
+  xuis::XuisRegistry xuis_;
+  std::unique_ptr<web::ArchiveWebServer> web_;
+};
+
+}  // namespace easia::core
+
+#endif  // EASIA_CORE_ARCHIVE_H_

@@ -1,0 +1,337 @@
+#include "core/turbulence_setup.h"
+
+#include "common/string_util.h"
+#include "ops/archive.h"
+#include "turbulence/field.h"
+
+namespace easia::core {
+
+namespace {
+
+constexpr const char* kSchemaSql[] = {
+    "CREATE TABLE AUTHOR ("
+    "  AUTHOR_KEY VARCHAR(30) NOT NULL,"
+    "  NAME VARCHAR(80) NOT NULL,"
+    "  ORGANISATION VARCHAR(120),"
+    "  EMAIL VARCHAR(80),"
+    "  PRIMARY KEY (AUTHOR_KEY))",
+
+    "CREATE TABLE SIMULATION ("
+    "  SIMULATION_KEY VARCHAR(30) NOT NULL,"
+    "  AUTHOR_KEY VARCHAR(30) NOT NULL,"
+    "  TITLE VARCHAR(200) NOT NULL,"
+    "  DESCRIPTION CLOB,"
+    "  GRID_SIZE INTEGER,"
+    "  TIMESTEPS INTEGER,"
+    "  REYNOLDS_NUMBER DOUBLE,"
+    "  CREATED TIMESTAMP,"
+    "  PRIMARY KEY (SIMULATION_KEY),"
+    "  FOREIGN KEY (AUTHOR_KEY) REFERENCES AUTHOR (AUTHOR_KEY))",
+
+    "CREATE TABLE RESULT_FILE ("
+    "  FILE_NAME VARCHAR(120) NOT NULL,"
+    "  SIMULATION_KEY VARCHAR(30) NOT NULL,"
+    "  TIMESTEP INTEGER,"
+    "  MEASUREMENT VARCHAR(30),"
+    "  FILE_FORMAT VARCHAR(10),"
+    "  FILE_SIZE INTEGER,"
+    "  DOWNLOAD_RESULT DATALINK LINKTYPE URL FILE LINK CONTROL"
+    "    INTEGRITY ALL READ PERMISSION DB WRITE PERMISSION BLOCKED"
+    "    RECOVERY YES ON UNLINK RESTORE,"
+    "  PRIMARY KEY (FILE_NAME, SIMULATION_KEY),"
+    "  FOREIGN KEY (SIMULATION_KEY) REFERENCES SIMULATION (SIMULATION_KEY))",
+
+    "CREATE TABLE CODE_FILE ("
+    "  CODE_NAME VARCHAR(120) NOT NULL,"
+    "  SIMULATION_KEY VARCHAR(30),"
+    "  DESCRIPTION CLOB,"
+    "  CODE_TYPE VARCHAR(20),"
+    "  DOWNLOAD_CODE_FILE DATALINK LINKTYPE URL FILE LINK CONTROL"
+    "    READ PERMISSION DB RECOVERY YES,"
+    "  PRIMARY KEY (CODE_NAME),"
+    "  FOREIGN KEY (SIMULATION_KEY) REFERENCES SIMULATION (SIMULATION_KEY))",
+
+    "CREATE TABLE VISUALISATION_FILE ("
+    "  VIS_NAME VARCHAR(120) NOT NULL,"
+    "  SIMULATION_KEY VARCHAR(30) NOT NULL,"
+    "  DESCRIPTION VARCHAR(200),"
+    "  DOWNLOAD_VIS DATALINK LINKTYPE URL FILE LINK CONTROL"
+    "    READ PERMISSION DB,"
+    "  PRIMARY KEY (VIS_NAME, SIMULATION_KEY),"
+    "  FOREIGN KEY (SIMULATION_KEY) REFERENCES SIMULATION (SIMULATION_KEY))",
+};
+
+std::string Quoted(const std::string& v) {
+  return "'" + ReplaceAll(v, "'", "''") + "'";
+}
+
+}  // namespace
+
+Status CreateTurbulenceSchema(Archive* archive) {
+  for (const char* sql : kSchemaSql) {
+    EASIA_RETURN_IF_ERROR(archive->Execute(sql).status());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SeededSimulation>> SeedTurbulenceData(
+    Archive* archive, const SeedOptions& options) {
+  if (options.hosts.empty()) {
+    return Status::InvalidArgument("seed: need at least one file server");
+  }
+  std::vector<SeededSimulation> out;
+  static const char* kNames[] = {"A. N. Author", "B. Researcher",
+                                 "C. Scientist", "D. Modeller"};
+  static const char* kOrgs[] = {"University of Southampton",
+                                "Queen Mary & Westfield College",
+                                "University of Manchester",
+                                "Imperial College"};
+  for (size_t s = 0; s < options.simulations; ++s) {
+    SeededSimulation seeded;
+    seeded.author_key = StrPrintf("A199901%08zu", s + 1);
+    seeded.simulation_key = StrPrintf("S199901%08zu", s + 1);
+    EASIA_RETURN_IF_ERROR(
+        archive
+            ->Execute(StrPrintf(
+                "INSERT INTO AUTHOR (AUTHOR_KEY, NAME, ORGANISATION, EMAIL) "
+                "VALUES (%s, %s, %s, %s)",
+                Quoted(seeded.author_key).c_str(),
+                Quoted(kNames[s % 4]).c_str(), Quoted(kOrgs[s % 4]).c_str(),
+                Quoted(StrPrintf("author%zu@example.ac.uk", s)).c_str()))
+            .status());
+    EASIA_RETURN_IF_ERROR(
+        archive
+            ->Execute(StrPrintf(
+                "INSERT INTO SIMULATION (SIMULATION_KEY, AUTHOR_KEY, TITLE, "
+                "DESCRIPTION, GRID_SIZE, TIMESTEPS, REYNOLDS_NUMBER, CREATED)"
+                " VALUES (%s, %s, %s, %s, %zu, %zu, %g, %zu)",
+                Quoted(seeded.simulation_key).c_str(),
+                Quoted(seeded.author_key).c_str(),
+                Quoted(StrPrintf("Decaying Taylor-Green vortex run %zu",
+                                 s + 1))
+                    .c_str(),
+                Quoted("Direct numerical simulation of homogeneous decaying "
+                       "turbulence archived with EASIA.")
+                    .c_str(),
+                options.grid_n, options.timesteps_per_simulation, 1600.0,
+                static_cast<size_t>(915465600 + s * 86400)))
+            .status());
+    for (size_t t = 0; t < options.timesteps_per_simulation; ++t) {
+      const std::string& host = options.hosts[(s + t) % options.hosts.size()];
+      EASIA_ASSIGN_OR_RETURN(fs::FileServer * server,
+                             archive->fleet().GetServer(host));
+      std::string url;
+      uint64_t size_bytes = 0;
+      turb::DatasetSpec spec;
+      spec.simulation_key = seeded.simulation_key;
+      spec.timestep = static_cast<uint32_t>(t);
+      spec.grid_n = options.grid_n;
+      spec.time = 0.5 * static_cast<double>(t);
+      if (options.sparse) {
+        // Declare a paper-scale sparse file directly.
+        std::string path = StrPrintf("/archive/%s/%s",
+                                     seeded.simulation_key.c_str(),
+                                     spec.FileName().c_str());
+        EASIA_RETURN_IF_ERROR(
+            server->vfs().CreateSparseFile(path, options.sparse_bytes));
+        url = "http://" + host + path;
+        size_bytes = options.sparse_bytes;
+      } else {
+        spec.materialize = true;
+        EASIA_ASSIGN_OR_RETURN(
+            url, turb::ArchiveDataset(
+                     server, "/archive/" + seeded.simulation_key, spec));
+        size_bytes = spec.SizeBytes();
+      }
+      EASIA_RETURN_IF_ERROR(
+          archive
+              ->Execute(StrPrintf(
+                  "INSERT INTO RESULT_FILE (FILE_NAME, SIMULATION_KEY, "
+                  "TIMESTEP, MEASUREMENT, FILE_FORMAT, FILE_SIZE, "
+                  "DOWNLOAD_RESULT) VALUES (%s, %s, %zu, 'u,v,w,p', 'TBF', "
+                  "%llu, %s)",
+                  Quoted(spec.FileName()).c_str(),
+                  Quoted(seeded.simulation_key).c_str(), t,
+                  static_cast<unsigned long long>(size_bytes),
+                  Quoted(url).c_str()))
+              .status());
+      seeded.dataset_urls.push_back(url);
+    }
+    out.push_back(std::move(seeded));
+  }
+  return out;
+}
+
+std::string GetImageScriptSource() {
+  return R"EA(# GetImage: extract a 2-D slice from a TBF dataset and render a PGM image.
+# First command line parameter (arg(0)) is the dataset filename.
+let f = arg(0);
+let axis = param("slice");
+if (axis == null) { axis = "x0"; }
+let ax = substr(axis, 0, 1);
+let idx = 0;
+if (len(axis) > 1) { idx = num(substr(axis, 1, len(axis) - 1)); }
+let comp = param("type");
+if (comp == null) { comp = "u"; }
+let n = tbf_n(f);
+let s = tbf_slice(f, ax, idx, comp);
+write("slice.pgm", pgm(s, n, n));
+let stats = tbf_stats(f, comp);
+print("GetImage: " + comp + "-slice " + ax + "=" + str(idx) +
+      " of n=" + str(n) + " min=" + str(stats[0]) + " max=" + str(stats[1]));
+)EA";
+}
+
+Status AttachGetImageOperation(Archive* archive,
+                               const std::string& simulation_key,
+                               size_t grid_n) {
+  // Archive the code bundle (once) on the first file server and register it
+  // in CODE_FILE, exactly as the paper stores GetImage.jar.
+  std::vector<std::string> hosts = archive->fleet().Hosts();
+  if (hosts.empty()) {
+    return Status::FailedPrecondition("no file servers registered");
+  }
+  EASIA_ASSIGN_OR_RETURN(db::QueryResult existing,
+                         archive->Execute(
+                             "SELECT CODE_NAME FROM CODE_FILE WHERE "
+                             "CODE_NAME = 'GetImage.jar'"));
+  if (existing.rows.empty()) {
+    EASIA_ASSIGN_OR_RETURN(fs::FileServer * server,
+                           archive->fleet().GetServer(hosts[0]));
+    std::string bundle =
+        ops::PackArchive({{"GetImage.ea", GetImageScriptSource()}});
+    EASIA_RETURN_IF_ERROR(
+        server->vfs().WriteFile("/codes/GetImage.jar", bundle));
+    EASIA_RETURN_IF_ERROR(
+        archive
+            ->Execute(StrPrintf(
+                "INSERT INTO CODE_FILE (CODE_NAME, DESCRIPTION, CODE_TYPE, "
+                "DOWNLOAD_CODE_FILE) VALUES ('GetImage.jar', "
+                "'Slice visualisation code', 'EASCRIPT', "
+                "'http://%s/codes/GetImage.jar')",
+                hosts[0].c_str()))
+            .status());
+  }
+  // Operation spec mirroring the paper's XUIS fragment.
+  xuis::OperationSpec op;
+  op.name = "GetImage";
+  op.type = "EASCRIPT";
+  op.filename = "GetImage.ea";
+  op.format = "jar";
+  op.guest_access = true;
+  xuis::Condition guard;
+  guard.colid = "RESULT_FILE.SIMULATION_KEY";
+  guard.op = xuis::Condition::Op::kEq;
+  guard.value = simulation_key;
+  op.conditions.push_back(guard);
+  op.location.kind = xuis::OperationLocation::Kind::kDatabaseResult;
+  op.location.result_colid = "CODE_FILE.DOWNLOAD_CODE_FILE";
+  xuis::Condition code_cond;
+  code_cond.colid = "CODE_FILE.CODE_NAME";
+  code_cond.op = xuis::Condition::Op::kEq;
+  code_cond.value = "GetImage.jar";
+  op.location.conditions.push_back(code_cond);
+  op.description = "Extract and visualise a slice of the dataset";
+  // Slice selector (paper: "Select the slice you wish to visualise").
+  xuis::ParamSpec slice_param;
+  slice_param.description = "Select the slice you wish to visualise:";
+  slice_param.control = xuis::ParamSpec::Control::kSelect;
+  slice_param.name = "slice";
+  slice_param.select_size = 4;
+  for (size_t i = 0; i < grid_n; i += grid_n >= 8 ? grid_n / 8 : 1) {
+    double coord = static_cast<double>(i) / static_cast<double>(grid_n);
+    slice_param.options.push_back({StrPrintf("x%zu", i),
+                                   StrPrintf("x%zu=%.7g", i, coord)});
+  }
+  op.parameters.push_back(std::move(slice_param));
+  // Component selector (paper: "Select velocity component or pressure").
+  xuis::ParamSpec type_param;
+  type_param.description = "Select velocity component or pressure:";
+  type_param.control = xuis::ParamSpec::Control::kRadio;
+  type_param.name = "type";
+  type_param.options = {{"u", "u speed"},
+                        {"v", "v speed"},
+                        {"w", "w speed"},
+                        {"p", "pressure"}};
+  op.parameters.push_back(std::move(type_param));
+
+  xuis::XuisCustomizer customizer(archive->xuis().MutableDefault());
+  return customizer.AddOperation("RESULT_FILE.DOWNLOAD_RESULT", std::move(op));
+}
+
+Status AttachNativeOperations(Archive* archive) {
+  xuis::XuisCustomizer customizer(archive->xuis().MutableDefault());
+  for (const std::string& name : archive->engine().natives().Names()) {
+    // The EaScript GetImage (database.result location) is attached
+    // separately; skip the native twin to avoid duplicate links.
+    if (name == "GetImage") continue;
+    xuis::OperationSpec op;
+    op.name = name;
+    op.type = "NATIVE";
+    op.guest_access = (name == "FieldStats" || name == "KineticEnergy");
+    op.location.kind = xuis::OperationLocation::Kind::kUrl;
+    op.location.url = "native:builtin";
+    op.description = "Built-in post-processing code " + name;
+    EASIA_RETURN_IF_ERROR(
+        customizer.AddOperation("RESULT_FILE.DOWNLOAD_RESULT", op));
+  }
+  return Status::OK();
+}
+
+Status AttachCodeUpload(Archive* archive) {
+  xuis::UploadSpec upload;
+  upload.type = "EASCRIPT";
+  upload.format = "ea";
+  upload.guest_access = false;
+  xuis::XuisCustomizer customizer(archive->xuis().MutableDefault());
+  return customizer.SetUpload("RESULT_FILE.DOWNLOAD_RESULT",
+                              std::move(upload));
+}
+
+Status AttachSdbUrlOperation(Archive* archive, const std::string& host) {
+  EASIA_ASSIGN_OR_RETURN(fs::FileServer * server,
+                         archive->fleet().GetServer(host));
+  fs::FileServer* captured = server;
+  server->RegisterEndpoint(
+      "/servlet/SDBservlet",
+      [captured](const fs::HttpParams& params) -> Result<std::string> {
+        auto it = params.find("file");
+        if (it == params.end()) {
+          return Status::InvalidArgument("SDB: missing 'file' parameter");
+        }
+        EASIA_ASSIGN_OR_RETURN(fs::FileStat stat,
+                               captured->vfs().Stat(it->second));
+        std::string out = "NCSA Scientific Data Browser\n";
+        out += StrPrintf("file: %s\nsize: %llu bytes\n", it->second.c_str(),
+                         static_cast<unsigned long long>(stat.size));
+        if (!stat.sparse) {
+          EASIA_ASSIGN_OR_RETURN(std::string bytes,
+                                 captured->vfs().ReadFile(it->second));
+          Result<turb::TbfHeader> header = turb::ParseTbfHeader(bytes);
+          if (header.ok()) {
+            out += StrPrintf(
+                "dataset: %ux%ux%u grid, timestep %u, t=%.4f, nu=%.4f\n",
+                header->n, header->n, header->n, header->timestep,
+                header->time, header->nu);
+            out += "fields: u, v, w, p (float64)\n";
+          }
+        }
+        return out;
+      });
+  xuis::OperationSpec op;
+  op.name = "SDB";
+  op.type = "";
+  op.guest_access = true;
+  xuis::Condition cond;
+  cond.colid = "RESULT_FILE.FILE_FORMAT";
+  cond.op = xuis::Condition::Op::kEq;
+  cond.value = "TBF";
+  op.conditions.push_back(cond);
+  op.location.kind = xuis::OperationLocation::Kind::kUrl;
+  op.location.url = "http://" + host + "/servlet/SDBservlet";
+  op.description = "NCSA Scientific Data Browser";
+  xuis::XuisCustomizer customizer(archive->xuis().MutableDefault());
+  return customizer.AddOperation("RESULT_FILE.DOWNLOAD_RESULT", std::move(op));
+}
+
+}  // namespace easia::core

@@ -1,0 +1,67 @@
+#ifndef EASIA_CORE_TURBULENCE_SETUP_H_
+#define EASIA_CORE_TURBULENCE_SETUP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/archive.h"
+#include "turbulence/tbf.h"
+
+namespace easia::core {
+
+/// The paper's five-table UK Turbulence Consortium schema:
+/// AUTHOR, SIMULATION, RESULT_FILE, CODE_FILE, VISUALISATION_FILE.
+Status CreateTurbulenceSchema(Archive* archive);
+
+/// One archived simulation with its datasets.
+struct SeededSimulation {
+  std::string simulation_key;
+  std::string author_key;
+  std::vector<std::string> dataset_urls;  // stored DATALINK values
+};
+
+struct SeedOptions {
+  /// File-server hosts to archive datasets on (round-robin). Must already
+  /// be registered with the archive.
+  std::vector<std::string> hosts;
+  size_t simulations = 2;
+  size_t timesteps_per_simulation = 3;
+  /// Grid for materialised datasets (small; real bytes on the VFS).
+  size_t grid_n = 16;
+  /// When true, datasets are sparse files of paper-faithful size instead.
+  bool sparse = false;
+  uint64_t sparse_bytes = turb::kLargeSimulationBytes;
+};
+
+/// Populates authors, simulations, result files (archiving TBF datasets on
+/// the file servers where they were "generated"), and registers the
+/// GetImage post-processing code in CODE_FILE.
+Result<std::vector<SeededSimulation>> SeedTurbulenceData(
+    Archive* archive, const SeedOptions& options);
+
+/// The paper's GetImage `<operation>` spec attached to
+/// RESULT_FILE.DOWNLOAD_RESULT: EaScript bundle archived as a CODE_FILE
+/// DATALINK, guarded on SIMULATION_KEY, with the slice/component parameter
+/// form from the paper.
+Status AttachGetImageOperation(Archive* archive,
+                               const std::string& simulation_key,
+                               size_t grid_n);
+
+/// Attaches the native operation suite (FieldStats, SliceCsv, Subsample,
+/// KineticEnergy) to RESULT_FILE.DOWNLOAD_RESULT with no row guard.
+Status AttachNativeOperations(Archive* archive);
+
+/// Attaches a `<upload>` authorisation for EaScript code on
+/// RESULT_FILE.DOWNLOAD_RESULT (authorised users only).
+Status AttachCodeUpload(Archive* archive);
+
+/// Registers an NCSA-SDB-style URL operation served by an endpoint on
+/// `host`, applying to RESULT_FILE rows whose FILE_FORMAT = 'TBF'.
+Status AttachSdbUrlOperation(Archive* archive, const std::string& host);
+
+/// The EaScript source of the GetImage bundle (exposed for tests).
+std::string GetImageScriptSource();
+
+}  // namespace easia::core
+
+#endif  // EASIA_CORE_TURBULENCE_SETUP_H_

@@ -1,0 +1,83 @@
+#include "crypto/base64.h"
+
+#include <array>
+
+namespace easia::crypto {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+std::array<int8_t, 256> BuildDecodeTable() {
+  std::array<int8_t, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<int8_t>(i);
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string Base64UrlEncode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t v = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8) |
+                 static_cast<uint8_t>(data[i + 2]);
+    out += kAlphabet[(v >> 18) & 0x3F];
+    out += kAlphabet[(v >> 12) & 0x3F];
+    out += kAlphabet[(v >> 6) & 0x3F];
+    out += kAlphabet[v & 0x3F];
+    i += 3;
+  }
+  size_t rem = data.size() - i;
+  if (rem == 1) {
+    uint32_t v = static_cast<uint8_t>(data[i]) << 16;
+    out += kAlphabet[(v >> 18) & 0x3F];
+    out += kAlphabet[(v >> 12) & 0x3F];
+  } else if (rem == 2) {
+    uint32_t v = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8);
+    out += kAlphabet[(v >> 18) & 0x3F];
+    out += kAlphabet[(v >> 12) & 0x3F];
+    out += kAlphabet[(v >> 6) & 0x3F];
+  }
+  return out;
+}
+
+Result<std::string> Base64UrlDecode(std::string_view encoded) {
+  static const std::array<int8_t, 256> kDecode = BuildDecodeTable();
+  size_t rem = encoded.size() % 4;
+  if (rem == 1) {
+    return Status::ParseError("base64url: invalid length");
+  }
+  std::string out;
+  out.reserve(encoded.size() / 4 * 3 + 2);
+  uint32_t acc = 0;
+  int bits = 0;
+  for (char c : encoded) {
+    int8_t v = kDecode[static_cast<unsigned char>(c)];
+    if (v < 0) {
+      return Status::ParseError("base64url: invalid character");
+    }
+    acc = (acc << 6) | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out += static_cast<char>((acc >> bits) & 0xFF);
+    }
+  }
+  // Reject non-canonical encodings: leftover bits must be zero, otherwise
+  // distinct encoded strings would decode to identical bytes (which would
+  // let access tokens be altered without invalidating them).
+  if (bits > 0 && (acc & ((1u << bits) - 1)) != 0) {
+    return Status::ParseError("base64url: non-zero padding bits");
+  }
+  return out;
+}
+
+}  // namespace easia::crypto

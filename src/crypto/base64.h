@@ -1,0 +1,20 @@
+#ifndef EASIA_CRYPTO_BASE64_H_
+#define EASIA_CRYPTO_BASE64_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace easia::crypto {
+
+/// URL-safe base64 (RFC 4648 §5) without padding. Access tokens are embedded
+/// in URLs and file names, so '+' and '/' are avoided.
+std::string Base64UrlEncode(std::string_view data);
+
+/// Decodes URL-safe base64; rejects invalid characters and bad lengths.
+Result<std::string> Base64UrlDecode(std::string_view encoded);
+
+}  // namespace easia::crypto
+
+#endif  // EASIA_CRYPTO_BASE64_H_

@@ -1,0 +1,42 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace easia::crypto {
+
+std::string HmacSha256(std::string_view key, std::string_view message) {
+  constexpr size_t kBlockSize = 64;
+  uint8_t key_block[kBlockSize] = {0};
+  if (key.size() > kBlockSize) {
+    Sha256::Digest d = Sha256::Hash(key);
+    std::memcpy(key_block, d.data(), d.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+  uint8_t ipad[kBlockSize], opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad, kBlockSize);
+  inner.Update(message.data(), message.size());
+  Sha256::Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, kBlockSize);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  Sha256::Digest mac = outer.Finish();
+  return std::string(reinterpret_cast<const char*>(mac.data()), mac.size());
+}
+
+bool ConstantTimeEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  unsigned char diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<unsigned char>(a[i]) ^ static_cast<unsigned char>(b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace easia::crypto

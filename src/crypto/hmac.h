@@ -1,0 +1,20 @@
+#ifndef EASIA_CRYPTO_HMAC_H_
+#define EASIA_CRYPTO_HMAC_H_
+
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.h"
+
+namespace easia::crypto {
+
+/// HMAC-SHA256 (RFC 2104). Returns the 32-byte MAC as raw bytes in a string.
+std::string HmacSha256(std::string_view key, std::string_view message);
+
+/// Constant-time comparison, to avoid timing side channels when validating
+/// DATALINK access tokens.
+bool ConstantTimeEquals(std::string_view a, std::string_view b);
+
+}  // namespace easia::crypto
+
+#endif  // EASIA_CRYPTO_HMAC_H_

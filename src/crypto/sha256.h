@@ -1,0 +1,50 @@
+#ifndef EASIA_CRYPTO_SHA256_H_
+#define EASIA_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace easia::crypto {
+
+/// Incremental SHA-256 (FIPS 180-4). Used as the PRF behind DATALINK
+/// access tokens; implemented from scratch so the library has no external
+/// dependencies.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void Update(const void* data, size_t len);
+  void Update(std::string_view data) { Update(data.data(), data.size()); }
+
+  /// Finalises and returns the digest. The object must not be reused
+  /// afterwards without calling Reset().
+  Digest Finish();
+
+  void Reset();
+
+  /// One-shot convenience.
+  static Digest Hash(std::string_view data);
+
+  /// Lower-case hex of a one-shot hash.
+  static std::string HexHash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// Lower-case hex encoding of arbitrary bytes.
+std::string ToHex(const uint8_t* data, size_t len);
+
+}  // namespace easia::crypto
+
+#endif  // EASIA_CRYPTO_SHA256_H_

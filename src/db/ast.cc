@@ -1,0 +1,129 @@
+#include "db/ast.h"
+
+#include "common/string_util.h"
+
+namespace easia::db {
+
+namespace {
+
+std::string_view OpText(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kEq: return "=";
+    case Expr::Op::kNe: return "<>";
+    case Expr::Op::kLt: return "<";
+    case Expr::Op::kLe: return "<=";
+    case Expr::Op::kGt: return ">";
+    case Expr::Op::kGe: return ">=";
+    case Expr::Op::kAnd: return " AND ";
+    case Expr::Op::kOr: return " OR ";
+    case Expr::Op::kAdd: return "+";
+    case Expr::Op::kSub: return "-";
+    case Expr::Op::kMul: return "*";
+    case Expr::Op::kDiv: return "/";
+    case Expr::Op::kLike: return " LIKE ";
+    case Expr::Op::kNotLike: return " NOT LIKE ";
+    case Expr::Op::kNot: return "NOT ";
+    case Expr::Op::kNeg: return "-";
+    case Expr::Op::kNone: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool IsAggregateFunction(std::string_view name) {
+  std::string upper = ToUpper(name);
+  return upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+         upper == "MIN" || upper == "MAX";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToSqlLiteral();
+    case Kind::kColumn:
+      return table.empty() ? column : table + "." + column;
+    case Kind::kUnary:
+      return std::string(OpText(op)) + "(" + left->ToString() + ")";
+    case Kind::kBinary:
+      return "(" + left->ToString() + std::string(OpText(op)) +
+             right->ToString() + ")";
+    case Kind::kIsNull:
+      return "(" + left->ToString() + (negated ? " IS NOT NULL" : " IS NULL") +
+             ")";
+    case Kind::kInList: {
+      std::string out = "(" + left->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + "))";
+    }
+    case Kind::kCall: {
+      std::string out = func + "(";
+      if (star) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += args[i]->ToString();
+        }
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == Kind::kCall && IsAggregateFunction(func)) return true;
+  if (left != nullptr && left->ContainsAggregate()) return true;
+  if (right != nullptr && right->ContainsAggregate()) return true;
+  for (const auto& a : args) {
+    if (a->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->op = op;
+  out->literal = literal;
+  out->table = table;
+  out->column = column;
+  out->func = func;
+  out->star = star;
+  out->negated = negated;
+  if (left != nullptr) out->left = left->Clone();
+  if (right != nullptr) out->right = right->Clone();
+  for (const auto& a : args) out->args.push_back(a->Clone());
+  return out;
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(Value v) {
+  auto out = std::make_unique<Expr>();
+  out->kind = Kind::kLiteral;
+  out->literal = std::move(v);
+  return out;
+}
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::string table, std::string column) {
+  auto out = std::make_unique<Expr>();
+  out->kind = Kind::kColumn;
+  out->table = std::move(table);
+  out->column = std::move(column);
+  return out;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(Op op, std::unique_ptr<Expr> left,
+                                       std::unique_ptr<Expr> right) {
+  auto out = std::make_unique<Expr>();
+  out->kind = Kind::kBinary;
+  out->op = op;
+  out->left = std::move(left);
+  out->right = std::move(right);
+  return out;
+}
+
+}  // namespace easia::db

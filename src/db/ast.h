@@ -1,0 +1,148 @@
+#ifndef EASIA_DB_AST_H_
+#define EASIA_DB_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace easia::db {
+
+/// A SQL expression node. One struct with a kind tag keeps the parser and
+/// evaluator compact; unused fields stay empty.
+struct Expr {
+  enum class Kind {
+    kLiteral,   // literal
+    kColumn,    // [table.]column
+    kUnary,     // NOT e, -e
+    kBinary,    // e op e
+    kIsNull,    // e IS [NOT] NULL
+    kInList,    // e [NOT] IN (v, ...)
+    kCall,      // name(args) or COUNT(*)
+  };
+
+  enum class Op {
+    kNone,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAnd, kOr,
+    kAdd, kSub, kMul, kDiv,
+    kLike, kNotLike,
+    kNot, kNeg,
+  };
+
+  Kind kind = Kind::kLiteral;
+  Op op = Op::kNone;
+  Value literal;
+  std::string table;   // optional qualifier for kColumn
+  std::string column;  // kColumn
+  std::string func;    // kCall (upper-cased)
+  bool star = false;   // COUNT(*)
+  bool negated = false;  // IS NOT NULL / NOT IN
+  std::unique_ptr<Expr> left;
+  std::unique_ptr<Expr> right;
+  std::vector<std::unique_ptr<Expr>> args;  // kInList / kCall
+
+  /// Canonical text form, used for GROUP BY matching and diagnostics.
+  std::string ToString() const;
+
+  /// True when this subtree contains an aggregate function call.
+  bool ContainsAggregate() const;
+
+  std::unique_ptr<Expr> Clone() const;
+
+  static std::unique_ptr<Expr> MakeLiteral(Value v);
+  static std::unique_ptr<Expr> MakeColumn(std::string table,
+                                          std::string column);
+  static std::unique_ptr<Expr> MakeBinary(Op op, std::unique_ptr<Expr> left,
+                                          std::unique_ptr<Expr> right);
+};
+
+/// True for COUNT/SUM/AVG/MIN/MAX.
+bool IsAggregateFunction(std::string_view name);
+
+struct SelectItem {
+  bool star = false;        // SELECT * or table.*
+  std::string star_table;   // qualifier for table.*
+  std::unique_ptr<Expr> expr;
+  std::string alias;
+};
+
+/// An entry in the FROM clause. The first entry has no join condition;
+/// subsequent entries are INNER JOINed with `join_condition` (nullptr for
+/// comma-style cross joins, filtered by WHERE).
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+  std::unique_ptr<Expr> join_condition;
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+  int64_t offset = 0;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty = positional
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, std::unique_ptr<Expr>>> assignments;
+  std::unique_ptr<Expr> where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::unique_ptr<Expr> where;
+};
+
+struct CreateTableStmt {
+  TableDef def;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+/// A parsed SQL statement.
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateTable,
+    kDropTable,
+    kBegin,
+    kCommit,
+    kRollback,
+  };
+
+  Kind kind;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<DropTableStmt> drop_table;
+};
+
+}  // namespace easia::db
+
+#endif  // EASIA_DB_AST_H_

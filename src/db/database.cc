@@ -1,0 +1,791 @@
+#include "db/database.h"
+
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/string_util.h"
+#include "db/executor.h"
+#include "db/parser.h"
+
+namespace easia::db {
+
+namespace {
+
+constexpr std::string_view kSnapshotMagic = "EASIASNAP1";
+
+QueryResult DmlResult(size_t affected) {
+  QueryResult r;
+  r.is_query = false;
+  r.rows_affected = affected;
+  return r;
+}
+
+}  // namespace
+
+Result<size_t> QueryResult::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    if (EqualsIgnoreCase(column_names[i], name)) return i;
+  }
+  return Status::NotFound("no result column named " + std::string(name));
+}
+
+Result<Value> QueryResult::At(size_t row, std::string_view column) const {
+  if (row >= rows.size()) {
+    return Status::OutOfRange(StrPrintf("row %zu out of range", row));
+  }
+  EASIA_ASSIGN_OR_RETURN(size_t col, ColumnIndex(column));
+  return rows[row][col];
+}
+
+Database::Database(std::string name, DatabaseOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  if (!options_.wal_path.empty()) {
+    Result<WalWriter> writer = WalWriter::Open(options_.wal_path);
+    if (writer.ok()) {
+      wal_ = std::make_unique<WalWriter>(std::move(*writer));
+    }
+  }
+}
+
+Database::~Database() {
+  if (txn_ != nullptr) RollbackInternal();
+}
+
+Status Database::Recover() {
+  if (!options_.snapshot_path.empty()) {
+    std::FILE* probe = std::fopen(options_.snapshot_path.c_str(), "rb");
+    if (probe != nullptr) {
+      std::fclose(probe);
+      EASIA_RETURN_IF_ERROR(LoadSnapshot(options_.snapshot_path));
+    }
+  }
+  if (options_.wal_path.empty()) return Status::OK();
+  // Close the writer while replaying (it holds the file in append mode,
+  // which is fine, but keep the logic simple and reopen after).
+  EASIA_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                         ReadWal(options_.wal_path));
+  // Group records by txn; apply only committed transactions, in log order.
+  std::map<uint64_t, std::vector<const WalRecord*>> pending;
+  for (const WalRecord& rec : records) {
+    switch (rec.type) {
+      case WalRecordType::kBegin:
+        pending[rec.txn_id].clear();
+        break;
+      case WalRecordType::kAbort:
+        pending.erase(rec.txn_id);
+        break;
+      case WalRecordType::kCommit: {
+        auto it = pending.find(rec.txn_id);
+        if (it == pending.end()) break;
+        for (const WalRecord* op : it->second) {
+          EASIA_RETURN_IF_ERROR(ApplyWalOp(*op));
+        }
+        pending.erase(it);
+        break;
+      }
+      default:
+        pending[rec.txn_id].push_back(&rec);
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyWalOp(const WalRecord& op) {
+  switch (op.type) {
+    case WalRecordType::kCreateTable: {
+      EASIA_ASSIGN_OR_RETURN(Statement stmt, ParseSql(op.ddl_sql));
+      if (stmt.kind != Statement::Kind::kCreateTable) {
+        return Status::Corruption("wal: bad DDL record");
+      }
+      EASIA_RETURN_IF_ERROR(catalog_.AddTable(stmt.create_table->def));
+      tables_[ToUpper(stmt.create_table->def.name)] =
+          std::make_unique<Table>(stmt.create_table->def);
+      return Status::OK();
+    }
+    case WalRecordType::kDropTable: {
+      EASIA_RETURN_IF_ERROR(catalog_.DropTable(op.table));
+      tables_.erase(ToUpper(op.table));
+      return Status::OK();
+    }
+    case WalRecordType::kInsert: {
+      EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(op.table));
+      return table->InsertWithId(op.row_id, op.row);
+    }
+    case WalRecordType::kUpdate: {
+      EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(op.table));
+      return table->Update(op.row_id, op.row);
+    }
+    case WalRecordType::kDelete: {
+      EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(op.table));
+      return table->Delete(op.row_id);
+    }
+    default:
+      return Status::Corruption("wal: unexpected record type in replay");
+  }
+}
+
+Result<const Table*> Database::GetTable(const std::string& table) const {
+  auto it = tables_.find(ToUpper(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + table);
+  }
+  return it->second.get();
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& table) {
+  auto it = tables_.find(ToUpper(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + table);
+  }
+  return it->second.get();
+}
+
+Result<QueryResult> Database::Execute(std::string_view sql,
+                                      const ExecContext& ctx) {
+  EASIA_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  return ExecuteStatement(stmt, sql, ctx);
+}
+
+Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
+                                               std::string_view original_sql,
+                                               const ExecContext& ctx) {
+  ++stats_.statements;
+  switch (stmt.kind) {
+    case Statement::Kind::kBegin:
+      EASIA_RETURN_IF_ERROR(Begin());
+      return DmlResult(0);
+    case Statement::Kind::kCommit:
+      EASIA_RETURN_IF_ERROR(Commit());
+      return DmlResult(0);
+    case Statement::Kind::kRollback:
+      EASIA_RETURN_IF_ERROR(Rollback());
+      return DmlResult(0);
+    default:
+      break;
+  }
+  bool owns_txn = EnsureTxn();
+  Result<QueryResult> result = Status::Internal("unhandled statement");
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      result = ExecSelect(*stmt.select, ctx);
+      break;
+    case Statement::Kind::kInsert:
+      result = ExecInsert(*stmt.insert, ctx);
+      break;
+    case Statement::Kind::kUpdate:
+      result = ExecUpdate(*stmt.update, ctx);
+      break;
+    case Statement::Kind::kDelete:
+      result = ExecDelete(*stmt.del, ctx);
+      break;
+    case Statement::Kind::kCreateTable:
+      result = ExecCreateTable(*stmt.create_table, original_sql);
+      break;
+    case Statement::Kind::kDropTable:
+      result = ExecDropTable(*stmt.drop_table, original_sql);
+      break;
+    default:
+      break;
+  }
+  if (!result.ok()) {
+    // Statement failure aborts the enclosing transaction (strict, simple).
+    RollbackInternal();
+    ++stats_.txn_aborts;
+    return result;
+  }
+  if (owns_txn) {
+    Status commit_status = CommitInternal();
+    if (!commit_status.ok()) {
+      RollbackInternal();
+      ++stats_.txn_aborts;
+      return commit_status;
+    }
+    ++stats_.txn_commits;
+  }
+  return result;
+}
+
+bool Database::EnsureTxn() {
+  if (txn_ != nullptr) return false;
+  txn_ = std::make_unique<Txn>();
+  txn_->id = next_txn_id_++;
+  txn_->implicit = true;
+  txn_->wal_records.push_back(
+      {WalRecordType::kBegin, txn_->id, "", 0, {}, {}, ""});
+  return true;
+}
+
+Status Database::Begin() {
+  if (txn_ != nullptr) {
+    return Status::FailedPrecondition("transaction already active");
+  }
+  EnsureTxn();
+  txn_->implicit = false;
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  if (txn_ == nullptr) {
+    return Status::FailedPrecondition("no active transaction");
+  }
+  Status s = CommitInternal();
+  if (!s.ok()) {
+    RollbackInternal();
+    ++stats_.txn_aborts;
+    return s;
+  }
+  ++stats_.txn_commits;
+  return Status::OK();
+}
+
+Status Database::Rollback() {
+  if (txn_ == nullptr) {
+    return Status::FailedPrecondition("no active transaction");
+  }
+  RollbackInternal();
+  ++stats_.txn_aborts;
+  return Status::OK();
+}
+
+Status Database::CommitInternal() {
+  if (txn_ == nullptr) return Status::OK();
+  txn_->wal_records.push_back(
+      {WalRecordType::kCommit, txn_->id, "", 0, {}, {}, ""});
+  if (wal_ != nullptr) {
+    for (const WalRecord& rec : txn_->wal_records) {
+      EASIA_RETURN_IF_ERROR(wal_->Append(rec));
+    }
+    if (options_.sync_on_commit) {
+      EASIA_RETURN_IF_ERROR(wal_->Sync());
+    }
+  }
+  if (coordinator_ != nullptr && txn_->used_coordinator) {
+    coordinator_->CommitTxn(txn_->id);
+  }
+  txn_.reset();
+  return Status::OK();
+}
+
+void Database::RollbackInternal() {
+  if (txn_ == nullptr) return;
+  // Undo in reverse order.
+  for (auto it = txn_->undo.rbegin(); it != txn_->undo.rend(); ++it) {
+    UndoOp& op = *it;
+    switch (op.kind) {
+      case UndoOp::Kind::kInsert: {
+        Result<Table*> table = GetMutableTable(op.table);
+        if (table.ok()) (void)(*table)->Delete(op.row_id);
+        break;
+      }
+      case UndoOp::Kind::kUpdate: {
+        Result<Table*> table = GetMutableTable(op.table);
+        if (table.ok()) (void)(*table)->Update(op.row_id, op.old_row);
+        break;
+      }
+      case UndoOp::Kind::kDelete: {
+        Result<Table*> table = GetMutableTable(op.table);
+        if (table.ok()) (void)(*table)->InsertWithId(op.row_id, op.old_row);
+        break;
+      }
+      case UndoOp::Kind::kCreateTable: {
+        (void)catalog_.DropTable(op.table);
+        tables_.erase(ToUpper(op.table));
+        break;
+      }
+      case UndoOp::Kind::kDropTable: {
+        (void)catalog_.AddTable(op.dropped_table->def());
+        tables_[ToUpper(op.table)] = std::move(op.dropped_table);
+        break;
+      }
+    }
+  }
+  if (wal_ != nullptr && !txn_->wal_records.empty()) {
+    // Record the abort so replay ignores any (never-written) partials; we
+    // never wrote the ops, so this is advisory only.
+    WalRecord abort{WalRecordType::kAbort, txn_->id, "", 0, {}, {}, ""};
+    (void)wal_->Append(abort);
+  }
+  if (coordinator_ != nullptr && txn_->used_coordinator) {
+    coordinator_->AbortTxn(txn_->id);
+  }
+  txn_.reset();
+}
+
+void Database::AppendWal(WalRecord record) {
+  txn_->wal_records.push_back(std::move(record));
+}
+
+Result<QueryResult> Database::ExecCreateTable(const CreateTableStmt& stmt,
+                                              std::string_view sql) {
+  if (stmt.def.columns.empty()) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  EASIA_RETURN_IF_ERROR(catalog_.AddTable(stmt.def));
+  tables_[ToUpper(stmt.def.name)] = std::make_unique<Table>(stmt.def);
+  UndoOp undo;
+  undo.kind = UndoOp::Kind::kCreateTable;
+  undo.table = stmt.def.name;
+  txn_->undo.push_back(std::move(undo));
+  WalRecord rec;
+  rec.type = WalRecordType::kCreateTable;
+  rec.txn_id = txn_->id;
+  rec.ddl_sql = std::string(sql);
+  AppendWal(std::move(rec));
+  return DmlResult(0);
+}
+
+Result<QueryResult> Database::ExecDropTable(const DropTableStmt& stmt,
+                                            std::string_view sql) {
+  (void)sql;
+  auto it = tables_.find(ToUpper(stmt.table));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + stmt.table);
+  }
+  if (it->second->RowCount() > 0) {
+    // Check datalinked rows are not silently dropped: require empty table
+    // when any DATALINK FILE LINK CONTROL column exists with values.
+    for (const ColumnDef& col : it->second->def().columns) {
+      if (col.type == DataType::kDatalink && col.datalink.has_value() &&
+          col.datalink->file_link_control) {
+        EASIA_ASSIGN_OR_RETURN(size_t idx,
+                               it->second->def().ColumnIndex(col.name));
+        for (const auto& [id, row] : it->second->rows()) {
+          if (!row[idx].is_null()) {
+            return Status::FailedPrecondition(
+                "cannot drop table with linked files; delete rows first");
+          }
+        }
+      }
+    }
+  }
+  EASIA_RETURN_IF_ERROR(catalog_.DropTable(stmt.table));
+  UndoOp undo;
+  undo.kind = UndoOp::Kind::kDropTable;
+  undo.table = stmt.table;
+  undo.dropped_table = std::move(it->second);
+  tables_.erase(it);
+  txn_->undo.push_back(std::move(undo));
+  WalRecord rec;
+  rec.type = WalRecordType::kDropTable;
+  rec.txn_id = txn_->id;
+  rec.table = stmt.table;
+  AppendWal(std::move(rec));
+  return DmlResult(0);
+}
+
+Result<Row> Database::ValidateAndCoerce(const TableDef& def, Row row) const {
+  for (size_t i = 0; i < def.columns.size(); ++i) {
+    const ColumnDef& col = def.columns[i];
+    if (row[i].is_null()) {
+      if (col.not_null || def.IsPrimaryKeyColumn(col.name)) {
+        return Status::ConstraintViolation("column " + def.name + "." +
+                                           col.name + " may not be NULL");
+      }
+      continue;
+    }
+    EASIA_ASSIGN_OR_RETURN(row[i], row[i].CoerceTo(col.type));
+    if (col.type == DataType::kVarchar && col.size > 0 &&
+        row[i].AsString().size() > col.size) {
+      return Status::ConstraintViolation(
+          StrPrintf("value too long for %s.%s (max %zu)", def.name.c_str(),
+                    col.name.c_str(), col.size));
+    }
+  }
+  return row;
+}
+
+Status Database::CheckForeignKeysOnWrite(const TableDef& def,
+                                         const Row& row) const {
+  for (const ForeignKeyDef& fk : def.foreign_keys) {
+    std::vector<Value> key_values;
+    bool any_null = false;
+    for (const std::string& col : fk.columns) {
+      EASIA_ASSIGN_OR_RETURN(size_t idx, def.ColumnIndex(col));
+      if (row[idx].is_null()) {
+        any_null = true;
+        break;
+      }
+      key_values.push_back(row[idx]);
+    }
+    if (any_null) continue;  // SQL: NULL FK values are not checked
+    EASIA_ASSIGN_OR_RETURN(const Table* parent, GetTable(fk.ref_table));
+    Result<RowId> found = parent->FindUnique(fk.ref_columns, key_values);
+    if (!found.ok()) {
+      return Status::ConstraintViolation(
+          "foreign key violation: no row in " + fk.ref_table + " for " +
+          def.name + "(" + Join(fk.columns, ",") + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::CheckNoChildren(const TableDef& def, const Row& old_row,
+                                 const Row* new_row) const {
+  for (const ColumnDef& col : def.columns) {
+    std::vector<InboundReference> refs =
+        catalog_.ReferencesTo(def.name, col.name);
+    if (refs.empty()) continue;
+    EASIA_ASSIGN_OR_RETURN(size_t idx, def.ColumnIndex(col.name));
+    const Value& old_value = old_row[idx];
+    if (old_value.is_null()) continue;
+    if (new_row != nullptr && (*new_row)[idx].Equals(old_value)) {
+      continue;  // value unchanged; children unaffected
+    }
+    for (const InboundReference& ref : refs) {
+      EASIA_ASSIGN_OR_RETURN(const Table* child, GetTable(ref.from_table));
+      EASIA_ASSIGN_OR_RETURN(size_t child_idx,
+                             child->def().ColumnIndex(ref.from_column));
+      if (child->AnyRowWithValue(child_idx, old_value)) {
+        return Status::ConstraintViolation(
+            "row is referenced by " + ref.from_table + "." + ref.from_column +
+            " (RESTRICT)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::PrepareDatalinkChange(const ColumnDef& col,
+                                       const Value* old_value,
+                                       const Value* new_value) {
+  if (col.type != DataType::kDatalink || !col.datalink.has_value() ||
+      !col.datalink->file_link_control) {
+    return Status::OK();
+  }
+  if (coordinator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "DATALINK column with FILE LINK CONTROL requires a file manager");
+  }
+  const std::string* old_url =
+      (old_value != nullptr && !old_value->is_null()) ? &old_value->AsString()
+                                                      : nullptr;
+  const std::string* new_url =
+      (new_value != nullptr && !new_value->is_null()) ? &new_value->AsString()
+                                                      : nullptr;
+  if (old_url != nullptr && new_url != nullptr && *old_url == *new_url) {
+    return Status::OK();
+  }
+  txn_->used_coordinator = true;
+  if (old_url != nullptr) {
+    EASIA_RETURN_IF_ERROR(
+        coordinator_->PrepareUnlink(txn_->id, *col.datalink, *old_url));
+  }
+  if (new_url != nullptr) {
+    EASIA_RETURN_IF_ERROR(
+        coordinator_->PrepareLink(txn_->id, *col.datalink, *new_url));
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Database::ExecInsert(const InsertStmt& stmt,
+                                         const ExecContext& ctx) {
+  (void)ctx;
+  EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(stmt.table));
+  const TableDef& def = table->def();
+  // Map statement columns to table positions.
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < def.columns.size(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& col : stmt.columns) {
+      EASIA_ASSIGN_OR_RETURN(size_t idx, def.ColumnIndex(col));
+      positions.push_back(idx);
+    }
+  }
+  size_t inserted = 0;
+  for (const auto& value_exprs : stmt.rows) {
+    if (value_exprs.size() != positions.size()) {
+      return Status::InvalidArgument(
+          "INSERT value count does not match column count");
+    }
+    Row row(def.columns.size(), Value::Null());
+    EvalEnv env;  // no row context
+    for (size_t i = 0; i < positions.size(); ++i) {
+      EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*value_exprs[i], env));
+      row[positions[i]] = std::move(v);
+    }
+    EASIA_ASSIGN_OR_RETURN(row, ValidateAndCoerce(def, std::move(row)));
+    EASIA_RETURN_IF_ERROR(CheckForeignKeysOnWrite(def, row));
+    // SQL/MED link intents (may veto when the file is missing/linked).
+    for (size_t i = 0; i < def.columns.size(); ++i) {
+      EASIA_RETURN_IF_ERROR(
+          PrepareDatalinkChange(def.columns[i], nullptr, &row[i]));
+    }
+    EASIA_ASSIGN_OR_RETURN(RowId id, table->Insert(row));
+    UndoOp undo;
+    undo.kind = UndoOp::Kind::kInsert;
+    undo.table = def.name;
+    undo.row_id = id;
+    txn_->undo.push_back(std::move(undo));
+    WalRecord rec;
+    rec.type = WalRecordType::kInsert;
+    rec.txn_id = txn_->id;
+    rec.table = def.name;
+    rec.row_id = id;
+    rec.row = row;
+    AppendWal(std::move(rec));
+    ++inserted;
+    ++stats_.rows_inserted;
+  }
+  return DmlResult(inserted);
+}
+
+Result<QueryResult> Database::ExecUpdate(const UpdateStmt& stmt,
+                                         const ExecContext& ctx) {
+  (void)ctx;
+  EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(stmt.table));
+  const TableDef& def = table->def();
+  // Single-table schema for predicate/assignment evaluation.
+  std::vector<ColumnBinding> schema;
+  for (const ColumnDef& col : def.columns) {
+    schema.push_back({def.name, col.name, col.type, &col});
+  }
+  std::vector<std::pair<size_t, const Expr*>> sets;
+  for (const auto& [col, expr] : stmt.assignments) {
+    EASIA_ASSIGN_OR_RETURN(size_t idx, def.ColumnIndex(col));
+    sets.emplace_back(idx, expr.get());
+  }
+  // Materialise target row ids first (avoid mutating while scanning).
+  std::vector<RowId> targets;
+  for (const auto& [id, row] : table->rows()) {
+    if (stmt.where != nullptr) {
+      EvalEnv env{&schema, &row};
+      EASIA_ASSIGN_OR_RETURN(Value cond, EvalExpr(*stmt.where, env));
+      if (!IsTruthy(cond)) continue;
+    }
+    targets.push_back(id);
+  }
+  size_t updated = 0;
+  for (RowId id : targets) {
+    EASIA_ASSIGN_OR_RETURN(const Row* current, table->Get(id));
+    Row old_row = *current;
+    Row new_row = old_row;
+    EvalEnv env{&schema, &old_row};
+    for (const auto& [idx, expr] : sets) {
+      EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, env));
+      new_row[idx] = std::move(v);
+    }
+    EASIA_ASSIGN_OR_RETURN(new_row, ValidateAndCoerce(def, std::move(new_row)));
+    EASIA_RETURN_IF_ERROR(CheckForeignKeysOnWrite(def, new_row));
+    EASIA_RETURN_IF_ERROR(CheckNoChildren(def, old_row, &new_row));
+    for (size_t i = 0; i < def.columns.size(); ++i) {
+      EASIA_RETURN_IF_ERROR(
+          PrepareDatalinkChange(def.columns[i], &old_row[i], &new_row[i]));
+    }
+    EASIA_RETURN_IF_ERROR(table->Update(id, new_row));
+    UndoOp undo;
+    undo.kind = UndoOp::Kind::kUpdate;
+    undo.table = def.name;
+    undo.row_id = id;
+    undo.old_row = old_row;
+    txn_->undo.push_back(std::move(undo));
+    WalRecord rec;
+    rec.type = WalRecordType::kUpdate;
+    rec.txn_id = txn_->id;
+    rec.table = def.name;
+    rec.row_id = id;
+    rec.row = new_row;
+    rec.old_row = old_row;
+    AppendWal(std::move(rec));
+    ++updated;
+    ++stats_.rows_updated;
+  }
+  return DmlResult(updated);
+}
+
+Result<QueryResult> Database::ExecDelete(const DeleteStmt& stmt,
+                                         const ExecContext& ctx) {
+  (void)ctx;
+  EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(stmt.table));
+  const TableDef& def = table->def();
+  std::vector<ColumnBinding> schema;
+  for (const ColumnDef& col : def.columns) {
+    schema.push_back({def.name, col.name, col.type, &col});
+  }
+  std::vector<RowId> targets;
+  for (const auto& [id, row] : table->rows()) {
+    if (stmt.where != nullptr) {
+      EvalEnv env{&schema, &row};
+      EASIA_ASSIGN_OR_RETURN(Value cond, EvalExpr(*stmt.where, env));
+      if (!IsTruthy(cond)) continue;
+    }
+    targets.push_back(id);
+  }
+  size_t deleted = 0;
+  for (RowId id : targets) {
+    EASIA_ASSIGN_OR_RETURN(const Row* current, table->Get(id));
+    Row old_row = *current;
+    EASIA_RETURN_IF_ERROR(CheckNoChildren(def, old_row, nullptr));
+    for (size_t i = 0; i < def.columns.size(); ++i) {
+      EASIA_RETURN_IF_ERROR(
+          PrepareDatalinkChange(def.columns[i], &old_row[i], nullptr));
+    }
+    EASIA_RETURN_IF_ERROR(table->Delete(id));
+    UndoOp undo;
+    undo.kind = UndoOp::Kind::kDelete;
+    undo.table = def.name;
+    undo.row_id = id;
+    undo.old_row = old_row;
+    txn_->undo.push_back(std::move(undo));
+    WalRecord rec;
+    rec.type = WalRecordType::kDelete;
+    rec.txn_id = txn_->id;
+    rec.table = def.name;
+    rec.row_id = id;
+    rec.old_row = old_row;
+    AppendWal(std::move(rec));
+    ++deleted;
+    ++stats_.rows_deleted;
+  }
+  return DmlResult(deleted);
+}
+
+Result<QueryResult> Database::ExecSelect(const SelectStmt& stmt,
+                                         const ExecContext& ctx) {
+  ++stats_.queries;
+  TableLookup lookup = [this](const std::string& name) {
+    return GetTable(name);
+  };
+  DatalinkRewriter rewriter;
+  if (coordinator_ != nullptr && ctx.resolve_datalinks) {
+    rewriter = [this, &ctx](const ColumnDef& def,
+                            const std::string& url) -> Result<std::string> {
+      if (!def.datalink.has_value()) return url;
+      return coordinator_->ResolveForRead(*def.datalink, url, ctx.user);
+    };
+  }
+  return ExecuteSelect(stmt, lookup, rewriter);
+}
+
+std::string Database::SerializeSnapshot() const {
+  std::string out;
+  out += kSnapshotMagic;
+  PutU32(&out, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [key, table] : tables_) {
+    PutLengthPrefixed(&out, table->def().ToSql());
+    PutU64(&out, table->next_row_id());
+    PutU32(&out, static_cast<uint32_t>(table->RowCount()));
+    for (const auto& [id, row] : table->rows()) {
+      PutU64(&out, id);
+      EncodeRow(&out, row);
+    }
+  }
+  PutU32(&out, Crc32(std::string_view(out).substr(kSnapshotMagic.size())));
+  return out;
+}
+
+Status Database::SaveSnapshot(const std::string& path) const {
+  std::string out = SerializeSnapshot();
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open snapshot " + tmp);
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (written != out.size()) {
+    return Status::Internal("short snapshot write");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename snapshot into place");
+  }
+  return Status::OK();
+}
+
+Status Database::LoadSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no snapshot at " + path);
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  return LoadSnapshotFromString(contents);
+}
+
+Status Database::LoadSnapshotFromString(const std::string& contents) {
+  if (contents.size() < kSnapshotMagic.size() + 4 ||
+      std::string_view(contents).substr(0, kSnapshotMagic.size()) !=
+          kSnapshotMagic) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  std::string_view body = std::string_view(contents).substr(
+      kSnapshotMagic.size(), contents.size() - kSnapshotMagic.size() - 4);
+  Decoder crc_dec(
+      std::string_view(contents).substr(contents.size() - 4));
+  EASIA_ASSIGN_OR_RETURN(uint32_t crc, crc_dec.GetU32());
+  if (Crc32(body) != crc) return Status::Corruption("snapshot crc mismatch");
+  // Reset state.
+  catalog_ = Catalog();
+  tables_.clear();
+  Decoder dec(body);
+  EASIA_ASSIGN_OR_RETURN(uint32_t table_count, dec.GetU32());
+  // First pass may hit FK ordering problems; defer FK validation by adding
+  // tables in two passes: create bare, then re-add with FKs. Simpler: retry
+  // loop until fixpoint.
+  struct PendingTable {
+    TableDef def;
+    uint64_t next_row_id;
+    std::vector<std::pair<RowId, Row>> rows;
+  };
+  std::vector<PendingTable> pending;
+  for (uint32_t t = 0; t < table_count; ++t) {
+    EASIA_ASSIGN_OR_RETURN(std::string ddl, dec.GetLengthPrefixed());
+    EASIA_ASSIGN_OR_RETURN(Statement stmt, ParseSql(ddl));
+    if (stmt.kind != Statement::Kind::kCreateTable) {
+      return Status::Corruption("snapshot: bad DDL");
+    }
+    PendingTable pt;
+    pt.def = std::move(stmt.create_table->def);
+    EASIA_ASSIGN_OR_RETURN(pt.next_row_id, dec.GetU64());
+    EASIA_ASSIGN_OR_RETURN(uint32_t row_count, dec.GetU32());
+    for (uint32_t r = 0; r < row_count; ++r) {
+      EASIA_ASSIGN_OR_RETURN(RowId id, dec.GetU64());
+      EASIA_ASSIGN_OR_RETURN(Row row, DecodeRow(&dec));
+      pt.rows.emplace_back(id, std::move(row));
+    }
+    pending.push_back(std::move(pt));
+  }
+  // Add tables until fixpoint (handles FK dependency order).
+  std::vector<bool> added(pending.size(), false);
+  size_t remaining = pending.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (added[i]) continue;
+      if (catalog_.AddTable(pending[i].def).ok()) {
+        auto table = std::make_unique<Table>(pending[i].def);
+        for (auto& [id, row] : pending[i].rows) {
+          EASIA_RETURN_IF_ERROR(table->InsertWithId(id, std::move(row)));
+        }
+        tables_[ToUpper(pending[i].def.name)] = std::move(table);
+        added[i] = true;
+        --remaining;
+        progress = true;
+      }
+    }
+  }
+  if (remaining > 0) {
+    return Status::Corruption("snapshot: unresolvable FK dependencies");
+  }
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (options_.snapshot_path.empty()) {
+    return Status::FailedPrecondition("no snapshot path configured");
+  }
+  if (txn_ != nullptr && !txn_->implicit) {
+    return Status::FailedPrecondition("cannot checkpoint inside transaction");
+  }
+  EASIA_RETURN_IF_ERROR(SaveSnapshot(options_.snapshot_path));
+  if (!options_.wal_path.empty()) {
+    wal_.reset();
+    std::FILE* f = std::fopen(options_.wal_path.c_str(), "wb");
+    if (f != nullptr) std::fclose(f);
+    EASIA_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Open(options_.wal_path));
+    wal_ = std::make_unique<WalWriter>(std::move(writer));
+  }
+  return Status::OK();
+}
+
+}  // namespace easia::db

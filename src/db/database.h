@@ -1,0 +1,217 @@
+#ifndef EASIA_DB_DATABASE_H_
+#define EASIA_DB_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/ast.h"
+#include "db/schema.h"
+#include "db/table.h"
+#include "db/wal.h"
+
+namespace easia::db {
+
+/// The result of executing one SQL statement. For queries, `rows` holds the
+/// projected values; for DML, `rows_affected` counts modified rows.
+struct QueryResult {
+  bool is_query = false;
+  std::vector<std::string> column_names;
+  std::vector<DataType> column_types;
+  std::vector<Row> rows;
+  size_t rows_affected = 0;
+
+  Result<size_t> ColumnIndex(std::string_view name) const;
+  /// Cell accessor with bounds checking (tests & web layer convenience).
+  Result<Value> At(size_t row, std::string_view column) const;
+};
+
+/// The SQL/MED hook: the database engine delegates file-side effects of
+/// DATALINK columns to a coordinator (implemented by med::DataLinkManager).
+/// Link/unlink intents accumulate under a transaction id and are resolved
+/// at COMMIT (two-phase: Prepare* may veto, Commit/Abort may not fail).
+class DatalinkCoordinator {
+ public:
+  virtual ~DatalinkCoordinator() = default;
+
+  /// Called when a DATALINK value is inserted (or set by UPDATE) under FILE
+  /// LINK CONTROL. Must verify the file exists and is linkable, and pin it
+  /// provisionally.
+  virtual Status PrepareLink(uint64_t txn_id, const DatalinkOptions& options,
+                             const std::string& url) = 0;
+
+  /// Called when a DATALINK value is removed (DELETE, or UPDATE replacing).
+  virtual Status PrepareUnlink(uint64_t txn_id,
+                               const DatalinkOptions& options,
+                               const std::string& url) = 0;
+
+  /// Transaction outcome; must not fail.
+  virtual void CommitTxn(uint64_t txn_id) = 0;
+  virtual void AbortTxn(uint64_t txn_id) = 0;
+
+  /// Rewrites a stored DATALINK URL into its SELECT form. Under READ
+  /// PERMISSION DB this embeds an encrypted access token
+  /// (`http://host/fs/dir/token;file`); under READ PERMISSION FS the URL is
+  /// returned unchanged.
+  virtual Result<std::string> ResolveForRead(const DatalinkOptions& options,
+                                             const std::string& url,
+                                             const std::string& user) = 0;
+};
+
+/// Per-statement execution context.
+struct ExecContext {
+  std::string user = "system";
+  /// When false, SELECT returns raw stored DATALINK URLs (used by internal
+  /// machinery; user-facing queries resolve tokens).
+  bool resolve_datalinks = true;
+};
+
+struct DatabaseOptions {
+  /// Write-ahead log path; empty runs fully in memory (tests, benches).
+  std::string wal_path;
+  /// Snapshot path used by Recover() and Checkpoint().
+  std::string snapshot_path;
+  /// Flush the log on every commit.
+  bool sync_on_commit = true;
+};
+
+/// Cumulative engine counters.
+struct DatabaseStats {
+  uint64_t statements = 0;
+  uint64_t queries = 0;
+  uint64_t rows_inserted = 0;
+  uint64_t rows_updated = 0;
+  uint64_t rows_deleted = 0;
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;
+};
+
+/// A single-node relational engine with SQL/MED DATALINK support:
+/// catalogue + row storage + SQL execution + WAL-based durability +
+/// transactional coordination with external file managers.
+///
+/// Concurrency: the engine is single-threaded by design (the archive's
+/// servlet front end serialises statements); no internal locking.
+class Database {
+ public:
+  explicit Database(std::string name, DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Wires in the SQL/MED coordinator (may be null for plain operation).
+  void set_coordinator(DatalinkCoordinator* coordinator) {
+    coordinator_ = coordinator;
+  }
+
+  /// Loads the snapshot (if any) and replays the WAL. Call once, before the
+  /// first Execute, when options carry persistence paths.
+  Status Recover();
+
+  /// Parses and executes one SQL statement.
+  Result<QueryResult> Execute(std::string_view sql,
+                              const ExecContext& ctx = {});
+
+  /// Executes an already-parsed statement (used by the QBE layer, which
+  /// builds ASTs directly).
+  Result<QueryResult> ExecuteStatement(const Statement& stmt,
+                                       std::string_view original_sql,
+                                       const ExecContext& ctx = {});
+
+  // --- Explicit transactions (Execute("BEGIN") also works) ---
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool InTransaction() const { return txn_ != nullptr; }
+
+  const std::string& name() const { return name_; }
+  const Catalog& catalog() const { return catalog_; }
+  Result<const Table*> GetTable(const std::string& table) const;
+  const DatabaseStats& stats() const { return stats_; }
+
+  // --- Persistence ---
+  /// Writes a full snapshot of catalogue + data to `path`.
+  Status SaveSnapshot(const std::string& path) const;
+  /// Replaces in-memory state from a snapshot file.
+  Status LoadSnapshot(const std::string& path);
+  /// In-memory forms of the above (used by coordinated backup).
+  std::string SerializeSnapshot() const;
+  Status LoadSnapshotFromString(const std::string& image);
+  /// Snapshot + truncate the WAL (coordinated backup point; med's backup
+  /// manager snapshots linked files alongside under RECOVERY YES).
+  Status Checkpoint();
+
+ private:
+  struct UndoOp {
+    enum class Kind { kInsert, kUpdate, kDelete, kCreateTable, kDropTable };
+    Kind kind;
+    std::string table;
+    RowId row_id = 0;
+    Row old_row;
+    /// For kDropTable undo: the dropped table is stashed here.
+    std::unique_ptr<Table> dropped_table;
+  };
+
+  struct Txn {
+    uint64_t id;
+    bool implicit = false;
+    std::vector<UndoOp> undo;
+    std::vector<WalRecord> wal_records;
+    bool used_coordinator = false;
+  };
+
+  Result<QueryResult> ExecCreateTable(const CreateTableStmt& stmt,
+                                      std::string_view sql);
+  Result<QueryResult> ExecDropTable(const DropTableStmt& stmt,
+                                    std::string_view sql);
+  Result<QueryResult> ExecInsert(const InsertStmt& stmt,
+                                 const ExecContext& ctx);
+  Result<QueryResult> ExecUpdate(const UpdateStmt& stmt,
+                                 const ExecContext& ctx);
+  Result<QueryResult> ExecDelete(const DeleteStmt& stmt,
+                                 const ExecContext& ctx);
+  Result<QueryResult> ExecSelect(const SelectStmt& stmt,
+                                 const ExecContext& ctx);
+
+  Result<Table*> GetMutableTable(const std::string& table);
+
+  /// Applies one committed WAL operation during recovery.
+  Status ApplyWalOp(const WalRecord& op);
+
+  /// Validates a row against NOT NULL / VARCHAR size, coercing values.
+  Result<Row> ValidateAndCoerce(const TableDef& def, Row row) const;
+  /// FK child-side check: every FK value must have a parent.
+  Status CheckForeignKeysOnWrite(const TableDef& def, const Row& row) const;
+  /// FK parent-side check: no children may reference `row`'s old values
+  /// being removed/changed.
+  Status CheckNoChildren(const TableDef& def, const Row& old_row,
+                         const Row* new_row) const;
+  /// SQL/MED side effects for a changed datalink column value.
+  Status PrepareDatalinkChange(const ColumnDef& col, const Value* old_value,
+                               const Value* new_value);
+
+  /// Starts an implicit txn when none is active. Returns true when the
+  /// statement owns (and must finish) the transaction.
+  bool EnsureTxn();
+  Status CommitInternal();
+  void RollbackInternal();
+  void AppendWal(WalRecord record);
+
+  std::string name_;
+  DatabaseOptions options_;
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  DatalinkCoordinator* coordinator_ = nullptr;
+  std::unique_ptr<Txn> txn_;
+  uint64_t next_txn_id_ = 1;
+  std::unique_ptr<WalWriter> wal_;
+  DatabaseStats stats_;
+};
+
+}  // namespace easia::db
+
+#endif  // EASIA_DB_DATABASE_H_

@@ -1,0 +1,45 @@
+#ifndef EASIA_DB_DATALINK_OPTIONS_H_
+#define EASIA_DB_DATALINK_OPTIONS_H_
+
+#include <string>
+
+namespace easia::db {
+
+/// Per-column DATALINK options from the SQL/MED committee draft
+/// (ISO/IEC CD 9075-9). The paper's RESULT_FILE example:
+///
+///   download_result DATALINK
+///     LINKTYPE URL
+///     FILE LINK CONTROL
+///     READ PERMISSION DB
+///
+/// FILE LINK CONTROL makes the DBMS check existence and take control of the
+/// referenced file at INSERT/UPDATE; READ PERMISSION DB gates file reads on
+/// an encrypted access token issued through database privileges.
+struct DatalinkOptions {
+  enum class LinkType { kUrl };
+  enum class Integrity { kNone, kSelective, kAll };
+  enum class ReadPermission { kFs, kDb };
+  enum class WritePermission { kFs, kBlocked };
+  enum class Recovery { kNo, kYes };
+  enum class OnUnlink { kNone, kRestore, kDelete };
+
+  LinkType link_type = LinkType::kUrl;
+  /// NO FILE LINK CONTROL (false) stores the URL as a plain string; the file
+  /// manager is not involved at all.
+  bool file_link_control = false;
+  Integrity integrity = Integrity::kNone;
+  ReadPermission read_permission = ReadPermission::kFs;
+  WritePermission write_permission = WritePermission::kFs;
+  Recovery recovery = Recovery::kNo;
+  OnUnlink on_unlink = OnUnlink::kNone;
+
+  /// Renders the option clause back to SQL text.
+  std::string ToSql() const;
+
+  bool operator==(const DatalinkOptions&) const = default;
+};
+
+}  // namespace easia::db
+
+#endif  // EASIA_DB_DATALINK_OPTIONS_H_

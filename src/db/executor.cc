@@ -1,0 +1,668 @@
+#include "db/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "db/database.h"
+
+namespace easia::db {
+
+namespace {
+
+/// Resolves a column reference against a schema; reports ambiguity.
+Result<size_t> ResolveColumn(const std::vector<ColumnBinding>& schema,
+                             const std::string& table,
+                             const std::string& column) {
+  size_t found = schema.size();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const ColumnBinding& b = schema[i];
+    if (!table.empty() && !EqualsIgnoreCase(b.table_alias, table)) continue;
+    if (!EqualsIgnoreCase(b.column, column)) continue;
+    if (found != schema.size()) {
+      return Status::InvalidArgument("ambiguous column reference: " + column);
+    }
+    found = i;
+  }
+  if (found == schema.size()) {
+    return Status::NotFound(
+        "unknown column: " + (table.empty() ? column : table + "." + column));
+  }
+  return found;
+}
+
+Result<Value> EvalBinary(Expr::Op op, const Value& lhs, const Value& rhs) {
+  // Logical connectives use SQL-ish semantics with NULL as unknown.
+  if (op == Expr::Op::kAnd) {
+    if (!lhs.is_null() && !IsTruthy(lhs)) return Value::Integer(0);
+    if (!rhs.is_null() && !IsTruthy(rhs)) return Value::Integer(0);
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    return Value::Integer(1);
+  }
+  if (op == Expr::Op::kOr) {
+    if (!lhs.is_null() && IsTruthy(lhs)) return Value::Integer(1);
+    if (!rhs.is_null() && IsTruthy(rhs)) return Value::Integer(1);
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    return Value::Integer(0);
+  }
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  switch (op) {
+    case Expr::Op::kEq:
+      return Value::Integer(lhs.Compare(rhs) == 0 ? 1 : 0);
+    case Expr::Op::kNe:
+      return Value::Integer(lhs.Compare(rhs) != 0 ? 1 : 0);
+    case Expr::Op::kLt:
+      return Value::Integer(lhs.Compare(rhs) < 0 ? 1 : 0);
+    case Expr::Op::kLe:
+      return Value::Integer(lhs.Compare(rhs) <= 0 ? 1 : 0);
+    case Expr::Op::kGt:
+      return Value::Integer(lhs.Compare(rhs) > 0 ? 1 : 0);
+    case Expr::Op::kGe:
+      return Value::Integer(lhs.Compare(rhs) >= 0 ? 1 : 0);
+    case Expr::Op::kLike:
+    case Expr::Op::kNotLike: {
+      if (!lhs.IsStringKind() || !rhs.IsStringKind()) {
+        return Status::InvalidArgument("LIKE requires string operands");
+      }
+      bool m = LikeMatch(lhs.AsString(), rhs.AsString());
+      if (op == Expr::Op::kNotLike) m = !m;
+      return Value::Integer(m ? 1 : 0);
+    }
+    case Expr::Op::kAdd:
+    case Expr::Op::kSub:
+    case Expr::Op::kMul:
+    case Expr::Op::kDiv: {
+      if (!lhs.IsNumericKind() || !rhs.IsNumericKind()) {
+        return Status::InvalidArgument("arithmetic requires numeric operands");
+      }
+      bool integral = lhs.type() != DataType::kDouble &&
+                      rhs.type() != DataType::kDouble;
+      double a = lhs.AsDouble();
+      double b = rhs.AsDouble();
+      double r = 0;
+      switch (op) {
+        case Expr::Op::kAdd: r = a + b; break;
+        case Expr::Op::kSub: r = a - b; break;
+        case Expr::Op::kMul: r = a * b; break;
+        case Expr::Op::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          if (integral) {
+            return Value::Integer(lhs.AsInt() / rhs.AsInt());
+          }
+          r = a / b;
+          break;
+        default:
+          break;
+      }
+      if (integral && op != Expr::Op::kDiv) {
+        return Value::Integer(static_cast<int64_t>(r));
+      }
+      return Value::Double(r);
+    }
+    default:
+      return Status::Internal("bad binary operator");
+  }
+}
+
+Result<Value> EvalCall(const Expr& expr, const EvalEnv& env) {
+  if (IsAggregateFunction(expr.func)) {
+    return Status::InvalidArgument("aggregate function " + expr.func +
+                                   " not allowed here");
+  }
+  std::vector<Value> args;
+  for (const auto& a : expr.args) {
+    EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*a, env));
+    args.push_back(std::move(v));
+  }
+  auto need = [&](size_t lo, size_t hi) -> Status {
+    if (args.size() < lo || args.size() > hi) {
+      return Status::InvalidArgument(expr.func + ": wrong argument count");
+    }
+    return Status::OK();
+  };
+  if (expr.func == "UPPER" || expr.func == "LOWER") {
+    EASIA_RETURN_IF_ERROR(need(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    std::string s = args[0].AsString();
+    return Value::Varchar(expr.func == "UPPER" ? ToUpper(s) : ToLower(s));
+  }
+  if (expr.func == "LENGTH") {
+    EASIA_RETURN_IF_ERROR(need(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    if (args[0].IsStringKind()) {
+      return Value::Integer(static_cast<int64_t>(args[0].AsString().size()));
+    }
+    return Value::Integer(
+        static_cast<int64_t>(args[0].ToDisplayString().size()));
+  }
+  if (expr.func == "ABS") {
+    EASIA_RETURN_IF_ERROR(need(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    if (args[0].type() == DataType::kDouble) {
+      return Value::Double(std::fabs(args[0].AsDouble()));
+    }
+    return Value::Integer(std::llabs(args[0].AsInt()));
+  }
+  if (expr.func == "SUBSTR" || expr.func == "SUBSTRING") {
+    EASIA_RETURN_IF_ERROR(need(2, 3));
+    if (args[0].is_null()) return Value::Null();
+    const std::string& s = args[0].AsString();
+    int64_t start = args[1].AsInt();  // 1-based per SQL
+    if (start < 1) start = 1;
+    size_t from = static_cast<size_t>(start - 1);
+    if (from >= s.size()) return Value::Varchar("");
+    size_t len = s.size() - from;
+    if (args.size() == 3 && !args[2].is_null()) {
+      int64_t l = args[2].AsInt();
+      if (l < 0) l = 0;
+      len = std::min<size_t>(len, static_cast<size_t>(l));
+    }
+    return Value::Varchar(s.substr(from, len));
+  }
+  if (expr.func == "COALESCE") {
+    for (const Value& v : args) {
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  return Status::Unimplemented("unknown function " + expr.func);
+}
+
+/// Collects top-level AND-ed `column = literal` conjuncts of `expr` into
+/// `out` (column name -> literal). Other conjuncts are ignored (they are
+/// still applied by the generic WHERE filter).
+void CollectEqualityConjuncts(const Expr& expr, const std::string& alias,
+                              std::map<std::string, Value>* out) {
+  if (expr.kind == Expr::Kind::kBinary && expr.op == Expr::Op::kAnd) {
+    CollectEqualityConjuncts(*expr.left, alias, out);
+    CollectEqualityConjuncts(*expr.right, alias, out);
+    return;
+  }
+  if (expr.kind != Expr::Kind::kBinary || expr.op != Expr::Op::kEq) return;
+  const Expr* column = nullptr;
+  const Expr* literal = nullptr;
+  for (const Expr* side : {expr.left.get(), expr.right.get()}) {
+    if (side->kind == Expr::Kind::kColumn) column = side;
+    if (side->kind == Expr::Kind::kLiteral) literal = side;
+  }
+  if (column == nullptr || literal == nullptr) return;
+  if (!column->table.empty() && !EqualsIgnoreCase(column->table, alias)) {
+    return;
+  }
+  out->emplace(ToUpper(column->column), literal->literal);
+}
+
+/// Point-lookup fast path: for a single-table query whose WHERE pins every
+/// primary-key column with `=` literals, fetch the row through the unique
+/// index instead of scanning. This is the shape every hyperlink-browse and
+/// /object click produces. Returns true when it applied.
+bool TryUniqueLookup(const SelectStmt& stmt, const Table& table,
+                     std::vector<Row>* rows) {
+  if (stmt.from.size() != 1 || stmt.where == nullptr) return false;
+  const TableDef& def = table.def();
+  if (def.primary_key.empty()) return false;
+  std::map<std::string, Value> equalities;
+  CollectEqualityConjuncts(*stmt.where, stmt.from[0].alias, &equalities);
+  std::vector<Value> key_values;
+  for (const std::string& pk : def.primary_key) {
+    auto it = equalities.find(ToUpper(pk));
+    if (it == equalities.end() || it->second.is_null()) return false;
+    // Coerce the literal to the column type so index keys agree.
+    const ColumnDef* col = def.FindColumn(pk);
+    Result<Value> coerced = it->second.CoerceTo(col->type);
+    if (!coerced.ok()) return false;
+    key_values.push_back(std::move(*coerced));
+  }
+  Result<RowId> id = table.FindUnique(def.primary_key, key_values);
+  if (id.ok()) {
+    Result<const Row*> row = table.Get(*id);
+    if (row.ok()) rows->push_back(**row);
+  }
+  return true;  // applied (possibly zero rows)
+}
+
+}  // namespace
+
+bool IsTruthy(const Value& value) {
+  if (value.is_null()) return false;
+  if (value.IsNumericKind()) return value.AsDouble() != 0;
+  return !value.AsString().empty();
+}
+
+Result<Value> EvalExpr(const Expr& expr, const EvalEnv& env) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kColumn: {
+      if (env.schema == nullptr || env.row == nullptr) {
+        return Status::InvalidArgument("column reference '" + expr.column +
+                                       "' outside row context");
+      }
+      EASIA_ASSIGN_OR_RETURN(
+          size_t idx, ResolveColumn(*env.schema, expr.table, expr.column));
+      return (*env.row)[idx];
+    }
+    case Expr::Kind::kUnary: {
+      EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.left, env));
+      if (expr.op == Expr::Op::kNot) {
+        if (v.is_null()) return Value::Null();
+        return Value::Integer(IsTruthy(v) ? 0 : 1);
+      }
+      if (expr.op == Expr::Op::kNeg) {
+        if (v.is_null()) return Value::Null();
+        if (v.type() == DataType::kDouble) return Value::Double(-v.AsDouble());
+        if (v.IsNumericKind()) return Value::Integer(-v.AsInt());
+        return Status::InvalidArgument("unary minus on non-numeric value");
+      }
+      return Status::Internal("bad unary operator");
+    }
+    case Expr::Kind::kBinary: {
+      EASIA_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.left, env));
+      EASIA_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.right, env));
+      return EvalBinary(expr.op, lhs, rhs);
+    }
+    case Expr::Kind::kIsNull: {
+      EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.left, env));
+      bool null = v.is_null();
+      return Value::Integer((expr.negated ? !null : null) ? 1 : 0);
+    }
+    case Expr::Kind::kInList: {
+      EASIA_ASSIGN_OR_RETURN(Value needle, EvalExpr(*expr.left, env));
+      if (needle.is_null()) return Value::Null();
+      for (const auto& item : expr.args) {
+        EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*item, env));
+        if (!v.is_null() && needle.Compare(v) == 0) {
+          return Value::Integer(expr.negated ? 0 : 1);
+        }
+      }
+      return Value::Integer(expr.negated ? 1 : 0);
+    }
+    case Expr::Kind::kCall:
+      return EvalCall(expr, env);
+  }
+  return Status::Internal("bad expression kind");
+}
+
+namespace {
+
+/// Evaluates an expression that may contain aggregate calls over a group of
+/// rows. Non-aggregate subtrees evaluate on the group's first row.
+Result<Value> EvalAggregate(const Expr& expr,
+                            const std::vector<ColumnBinding>& schema,
+                            const std::vector<const Row*>& group) {
+  if (expr.kind == Expr::Kind::kCall && IsAggregateFunction(expr.func)) {
+    if (expr.func == "COUNT" && expr.star) {
+      return Value::Integer(static_cast<int64_t>(group.size()));
+    }
+    if (expr.args.size() != 1) {
+      return Status::InvalidArgument(expr.func + " takes one argument");
+    }
+    int64_t count = 0;
+    double sum = 0;
+    bool all_int = true;
+    Value min_v = Value::Null();
+    Value max_v = Value::Null();
+    for (const Row* row : group) {
+      EvalEnv env{&schema, row};
+      EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.args[0], env));
+      if (v.is_null()) continue;
+      ++count;
+      if (v.IsNumericKind()) {
+        sum += v.AsDouble();
+        if (v.type() == DataType::kDouble) all_int = false;
+      } else if (expr.func == "SUM" || expr.func == "AVG") {
+        return Status::InvalidArgument(expr.func + " over non-numeric column");
+      }
+      if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+      if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+    }
+    if (expr.func == "COUNT") return Value::Integer(count);
+    if (count == 0) return Value::Null();
+    if (expr.func == "SUM") {
+      return all_int ? Value::Integer(static_cast<int64_t>(sum))
+                     : Value::Double(sum);
+    }
+    if (expr.func == "AVG") return Value::Double(sum / count);
+    if (expr.func == "MIN") return min_v;
+    if (expr.func == "MAX") return max_v;
+  }
+  // Recurse; leaves evaluate against the first row.
+  switch (expr.kind) {
+    case Expr::Kind::kBinary: {
+      EASIA_ASSIGN_OR_RETURN(Value l, EvalAggregate(*expr.left, schema, group));
+      EASIA_ASSIGN_OR_RETURN(Value r,
+                             EvalAggregate(*expr.right, schema, group));
+      return EvalBinary(expr.op, l, r);
+    }
+    case Expr::Kind::kUnary:
+    case Expr::Kind::kIsNull:
+    case Expr::Kind::kInList:
+    case Expr::Kind::kCall:
+    case Expr::Kind::kColumn:
+    case Expr::Kind::kLiteral: {
+      if (group.empty()) return Value::Null();
+      EvalEnv env{&schema, group[0]};
+      return EvalExpr(expr, env);
+    }
+  }
+  return Status::Internal("bad aggregate expression");
+}
+
+std::string DefaultItemName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr && item.expr->kind == Expr::Kind::kColumn) {
+    return item.expr->column;
+  }
+  if (item.expr != nullptr) return item.expr->ToString();
+  return StrPrintf("col%zu", index + 1);
+}
+
+DataType GuessItemType(const Expr& expr,
+                       const std::vector<ColumnBinding>& schema) {
+  if (expr.kind == Expr::Kind::kColumn) {
+    for (const ColumnBinding& b : schema) {
+      if ((expr.table.empty() || EqualsIgnoreCase(b.table_alias, expr.table)) &&
+          EqualsIgnoreCase(b.column, expr.column)) {
+        return b.type;
+      }
+    }
+  }
+  if (expr.kind == Expr::Kind::kLiteral) return expr.literal.type();
+  if (expr.kind == Expr::Kind::kCall) {
+    if (expr.func == "COUNT" || expr.func == "LENGTH") {
+      return DataType::kInteger;
+    }
+    if (expr.func == "AVG") return DataType::kDouble;
+  }
+  return DataType::kVarchar;
+}
+
+const ColumnDef* SourceColumnDef(const Expr& expr,
+                                 const std::vector<ColumnBinding>& schema) {
+  if (expr.kind != Expr::Kind::kColumn) return nullptr;
+  for (const ColumnBinding& b : schema) {
+    if ((expr.table.empty() || EqualsIgnoreCase(b.table_alias, expr.table)) &&
+        EqualsIgnoreCase(b.column, expr.column)) {
+      return b.def;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                  const TableLookup& lookup,
+                                  const DatalinkRewriter& rewriter) {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("SELECT requires a FROM clause");
+  }
+  // --- Build the joined row set (nested loops, left to right) ---
+  std::vector<ColumnBinding> schema;
+  std::vector<Row> rows;
+  bool first = true;
+  for (const TableRef& ref : stmt.from) {
+    EASIA_ASSIGN_OR_RETURN(const Table* table, lookup(ref.table));
+    std::vector<ColumnBinding> add;
+    for (const ColumnDef& col : table->def().columns) {
+      add.push_back({ref.alias, col.name, col.type, &col});
+    }
+    std::vector<ColumnBinding> new_schema = schema;
+    new_schema.insert(new_schema.end(), add.begin(), add.end());
+    std::vector<Row> new_rows;
+    if (first) {
+      if (!TryUniqueLookup(stmt, *table, &new_rows)) {
+        for (const auto& [id, row] : table->rows()) new_rows.push_back(row);
+      }
+    } else {
+      for (const Row& left : rows) {
+        for (const auto& [id, right] : table->rows()) {
+          Row combined = left;
+          combined.insert(combined.end(), right.begin(), right.end());
+          if (ref.join_condition != nullptr) {
+            EvalEnv env{&new_schema, &combined};
+            EASIA_ASSIGN_OR_RETURN(Value cond,
+                                   EvalExpr(*ref.join_condition, env));
+            if (!IsTruthy(cond)) continue;
+          }
+          new_rows.push_back(std::move(combined));
+        }
+      }
+    }
+    schema = std::move(new_schema);
+    rows = std::move(new_rows);
+    first = false;
+  }
+  // --- WHERE ---
+  if (stmt.where != nullptr) {
+    std::vector<Row> filtered;
+    for (Row& row : rows) {
+      EvalEnv env{&schema, &row};
+      EASIA_ASSIGN_OR_RETURN(Value cond, EvalExpr(*stmt.where, env));
+      if (IsTruthy(cond)) filtered.push_back(std::move(row));
+    }
+    rows = std::move(filtered);
+  }
+
+  // --- Expand projection items ---
+  struct OutputItem {
+    std::string name;
+    DataType type;
+    const ColumnDef* source_def;
+    const Expr* expr;  // null only for expanded stars (uses column index)
+    size_t direct_index;  // when expr == nullptr
+  };
+  std::vector<std::unique_ptr<Expr>> synthesized;
+  std::vector<OutputItem> outputs;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    if (item.star) {
+      for (size_t c = 0; c < schema.size(); ++c) {
+        if (!item.star_table.empty() &&
+            !EqualsIgnoreCase(schema[c].table_alias, item.star_table)) {
+          continue;
+        }
+        outputs.push_back({schema[c].column, schema[c].type, schema[c].def,
+                           nullptr, c});
+      }
+      if (!item.star_table.empty() && outputs.empty()) {
+        return Status::NotFound("unknown table in select list: " +
+                                item.star_table);
+      }
+      continue;
+    }
+    outputs.push_back({DefaultItemName(item, i),
+                       GuessItemType(*item.expr, schema),
+                       SourceColumnDef(*item.expr, schema), item.expr.get(),
+                       0});
+  }
+  if (outputs.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+
+  QueryResult result;
+  result.is_query = true;
+  for (const OutputItem& o : outputs) {
+    result.column_names.push_back(o.name);
+    result.column_types.push_back(o.type);
+  }
+
+  bool aggregate_query = !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr != nullptr && item.expr->ContainsAggregate()) {
+      aggregate_query = true;
+    }
+  }
+
+  // Pair each output row with sort keys computed in the input environment
+  // (or group environment for aggregates).
+  struct ProjectedRow {
+    Row values;
+    Row sort_keys;
+  };
+  std::vector<ProjectedRow> projected;
+
+  auto compute_sort_keys = [&](const EvalEnv& env, const Row& out_values)
+      -> Result<Row> {
+    Row keys;
+    for (const OrderItem& item : stmt.order_by) {
+      // ORDER BY may reference an output alias or 1-based output position.
+      if (item.expr->kind == Expr::Kind::kColumn && item.expr->table.empty()) {
+        bool matched = false;
+        for (size_t i = 0; i < outputs.size(); ++i) {
+          if (EqualsIgnoreCase(outputs[i].name, item.expr->column)) {
+            keys.push_back(out_values[i]);
+            matched = true;
+            break;
+          }
+        }
+        if (matched) continue;
+      }
+      if (item.expr->kind == Expr::Kind::kLiteral &&
+          item.expr->literal.type() == DataType::kInteger) {
+        int64_t pos = item.expr->literal.AsInt();
+        if (pos >= 1 && static_cast<size_t>(pos) <= out_values.size()) {
+          keys.push_back(out_values[static_cast<size_t>(pos) - 1]);
+          continue;
+        }
+      }
+      EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, env));
+      keys.push_back(std::move(v));
+    }
+    return keys;
+  };
+
+  if (aggregate_query) {
+    // Group rows by GROUP BY key (single group when absent).
+    std::map<std::string, std::vector<const Row*>> groups;
+    std::vector<std::string> group_order;
+    for (const Row& row : rows) {
+      EvalEnv env{&schema, &row};
+      std::string key;
+      for (const auto& g : stmt.group_by) {
+        EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, env));
+        PutLengthPrefixed(&key, v.ToKeyString());
+      }
+      auto [it, inserted] = groups.emplace(key, std::vector<const Row*>());
+      if (inserted) group_order.push_back(key);
+      it->second.push_back(&row);
+    }
+    if (groups.empty() && stmt.group_by.empty()) {
+      groups.emplace("", std::vector<const Row*>());
+      group_order.push_back("");
+    }
+    for (const std::string& key : group_order) {
+      const std::vector<const Row*>& group = groups[key];
+      if (stmt.having != nullptr) {
+        EASIA_ASSIGN_OR_RETURN(Value h,
+                               EvalAggregate(*stmt.having, schema, group));
+        if (!IsTruthy(h)) continue;
+      }
+      ProjectedRow out;
+      for (const OutputItem& o : outputs) {
+        if (o.expr == nullptr) {
+          // Star expansion in aggregate context: take from first row.
+          out.values.push_back(group.empty() ? Value::Null()
+                                             : (*group[0])[o.direct_index]);
+          continue;
+        }
+        EASIA_ASSIGN_OR_RETURN(Value v, EvalAggregate(*o.expr, schema, group));
+        out.values.push_back(std::move(v));
+      }
+      // Sort keys for aggregate rows: aggregate-aware evaluation.
+      for (const OrderItem& item : stmt.order_by) {
+        bool matched = false;
+        if (item.expr->kind == Expr::Kind::kColumn &&
+            item.expr->table.empty()) {
+          for (size_t i = 0; i < outputs.size(); ++i) {
+            if (EqualsIgnoreCase(outputs[i].name, item.expr->column)) {
+              out.sort_keys.push_back(out.values[i]);
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (!matched) {
+          EASIA_ASSIGN_OR_RETURN(Value v,
+                                 EvalAggregate(*item.expr, schema, group));
+          out.sort_keys.push_back(std::move(v));
+        }
+      }
+      projected.push_back(std::move(out));
+    }
+  } else {
+    for (const Row& row : rows) {
+      EvalEnv env{&schema, &row};
+      ProjectedRow out;
+      for (const OutputItem& o : outputs) {
+        if (o.expr == nullptr) {
+          out.values.push_back(row[o.direct_index]);
+        } else {
+          EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*o.expr, env));
+          out.values.push_back(std::move(v));
+        }
+      }
+      EASIA_ASSIGN_OR_RETURN(out.sort_keys, compute_sort_keys(env, out.values));
+      projected.push_back(std::move(out));
+    }
+  }
+
+  // --- DISTINCT ---
+  if (stmt.distinct) {
+    std::set<std::string> seen;
+    std::vector<ProjectedRow> unique_rows;
+    for (ProjectedRow& pr : projected) {
+      std::string key;
+      for (const Value& v : pr.values) {
+        PutLengthPrefixed(&key, v.ToKeyString());
+      }
+      if (seen.insert(key).second) unique_rows.push_back(std::move(pr));
+    }
+    projected = std::move(unique_rows);
+  }
+
+  // --- ORDER BY (stable) ---
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(projected.begin(), projected.end(),
+                     [&](const ProjectedRow& a, const ProjectedRow& b) {
+                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                         int c = a.sort_keys[i].Compare(b.sort_keys[i]);
+                         if (c != 0) {
+                           return stmt.order_by[i].descending ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+
+  // --- OFFSET / LIMIT ---
+  size_t begin = std::min<size_t>(static_cast<size_t>(std::max<int64_t>(
+                                      stmt.offset, 0)),
+                                  projected.size());
+  size_t end = projected.size();
+  if (stmt.limit >= 0) {
+    end = std::min(end, begin + static_cast<size_t>(stmt.limit));
+  }
+
+  // --- DATALINK presentation rewrite ---
+  for (size_t r = begin; r < end; ++r) {
+    Row& values = projected[r].values;
+    if (rewriter != nullptr) {
+      for (size_t c = 0; c < outputs.size(); ++c) {
+        const ColumnDef* def = outputs[c].source_def;
+        if (def != nullptr && def->type == DataType::kDatalink &&
+            !values[c].is_null()) {
+          EASIA_ASSIGN_OR_RETURN(std::string rewritten,
+                                 rewriter(*def, values[c].AsString()));
+          values[c] = Value::Datalink(std::move(rewritten));
+        }
+      }
+    }
+    result.rows.push_back(std::move(values));
+  }
+  return result;
+}
+
+}  // namespace easia::db

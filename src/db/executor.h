@@ -1,0 +1,58 @@
+#ifndef EASIA_DB_EXECUTOR_H_
+#define EASIA_DB_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/ast.h"
+#include "db/table.h"
+
+namespace easia::db {
+
+struct QueryResult;  // database.h
+
+/// One column of an intermediate (joined) row.
+struct ColumnBinding {
+  std::string table_alias;  // FROM-clause alias
+  std::string column;       // column name
+  DataType type = DataType::kVarchar;
+  const ColumnDef* def = nullptr;  // source column definition (may be null)
+};
+
+/// Expression evaluation environment: a schema plus (optionally) a current
+/// row. INSERT value lists evaluate with `row == nullptr`.
+struct EvalEnv {
+  const std::vector<ColumnBinding>* schema = nullptr;
+  const Row* row = nullptr;
+};
+
+/// Evaluates a scalar expression. SQL three-valued logic is approximated:
+/// comparisons with NULL yield NULL (represented as a NULL value), and
+/// WHERE treats non-TRUE as reject. Supported scalar functions: UPPER,
+/// LOWER, LENGTH, ABS, SUBSTR(s, start[, len]), COALESCE.
+Result<Value> EvalExpr(const Expr& expr, const EvalEnv& env);
+
+/// Truthiness of a predicate result (NULL and false both reject).
+bool IsTruthy(const Value& value);
+
+/// Resolves tables by name for the executor.
+using TableLookup =
+    std::function<Result<const Table*>(const std::string& name)>;
+
+/// Rewrites a DATALINK value for presentation (token form); nullable.
+using DatalinkRewriter = std::function<Result<std::string>(
+    const ColumnDef& def, const std::string& url)>;
+
+/// Executes a SELECT: nested-loop joins, WHERE, GROUP BY / aggregates
+/// (COUNT/SUM/AVG/MIN/MAX), HAVING, ORDER BY, DISTINCT, LIMIT/OFFSET and
+/// projection. `rewriter`, when set, is applied to projected DATALINK
+/// columns (SQL/MED READ PERMISSION DB token insertion).
+Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                  const TableLookup& lookup,
+                                  const DatalinkRewriter& rewriter);
+
+}  // namespace easia::db
+
+#endif  // EASIA_DB_EXECUTOR_H_

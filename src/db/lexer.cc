@@ -1,0 +1,164 @@
+#include "db/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace easia::db {
+
+namespace {
+
+// Reserved words only. DATALINK option words (LINKTYPE, URL, PERMISSION,
+// ...) are deliberately NOT reserved: they are matched contextually by the
+// parser so they stay usable as identifiers.
+constexpr std::string_view kKeywords[] = {
+    "SELECT", "FROM",   "WHERE",  "INSERT", "INTO",    "VALUES", "UPDATE",
+    "SET",    "DELETE", "CREATE", "TABLE",  "DROP",    "PRIMARY", "KEY",
+    "FOREIGN", "REFERENCES", "UNIQUE", "NOT", "NULL",  "AND",    "OR",
+    "LIKE",   "IN",     "IS",     "ORDER",  "BY",      "ASC",    "DESC",
+    "LIMIT",  "OFFSET", "AS",     "JOIN",   "INNER",   "ON",     "BEGIN",
+    "COMMIT", "ROLLBACK", "GROUP", "HAVING", "DATALINK",
+    "TRANSACTION", "WORK", "DISTINCT",
+};
+
+}  // namespace
+
+bool IsSqlKeyword(std::string_view upper_word) {
+  for (std::string_view k : kKeywords) {
+    if (k == upper_word) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> LexSql(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word(sql.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (IsSqlKeyword(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = word;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          is_double = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+            ++i;
+          }
+        } else {
+          i = save;
+        }
+      }
+      token.kind = is_double ? TokenKind::kDouble : TokenKind::kInteger;
+      token.literal = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrPrintf("sql: unterminated string at offset %zu", token.offset));
+      }
+      token.kind = TokenKind::kString;
+      token.literal = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-char symbols first.
+    if (c == '<' && i + 1 < n && (sql[i + 1] == '>' || sql[i + 1] == '=')) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(sql.substr(i, 2));
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      token.kind = TokenKind::kSymbol;
+      token.text = ">=";
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      token.kind = TokenKind::kSymbol;
+      token.text = "<>";
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    static constexpr std::string_view kSingles = "(),.=<>+-*/;";
+    if (kSingles.find(c) != std::string_view::npos) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    return Status::ParseError(
+        StrPrintf("sql: unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace easia::db

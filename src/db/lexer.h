@@ -1,0 +1,39 @@
+#ifndef EASIA_DB_LEXER_H_
+#define EASIA_DB_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easia::db {
+
+/// SQL token kinds. Keywords are recognised case-insensitively and carry
+/// their upper-cased text.
+enum class TokenKind {
+  kKeyword,
+  kIdentifier,
+  kInteger,
+  kDouble,
+  kString,
+  kSymbol,  // ( ) , . = <> <= >= < > + - * / ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // keyword (upper-cased), identifier, symbol
+  std::string literal;  // string contents / numeric text
+  size_t offset = 0;    // byte offset for error messages
+};
+
+/// Tokenises SQL text. Comments (`-- ...` to end of line) are skipped.
+Result<std::vector<Token>> LexSql(std::string_view sql);
+
+/// True if `word` (upper-cased) is a reserved SQL keyword in this dialect.
+bool IsSqlKeyword(std::string_view upper_word);
+
+}  // namespace easia::db
+
+#endif  // EASIA_DB_LEXER_H_

@@ -1,0 +1,31 @@
+#ifndef EASIA_DB_PARSER_H_
+#define EASIA_DB_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "db/ast.h"
+
+namespace easia::db {
+
+/// Parses a single SQL statement (trailing ';' optional). The dialect
+/// covers what the EASIA web layer generates plus SQL/MED DATALINK column
+/// definitions:
+///
+///   CREATE TABLE t (c DATALINK LINKTYPE URL FILE LINK CONTROL
+///                   READ PERMISSION DB ..., PRIMARY KEY (...),
+///                   FOREIGN KEY (...) REFERENCES t2 (...))
+///   SELECT [DISTINCT] items FROM t [JOIN u ON ...] [WHERE ...]
+///     [GROUP BY ...] [HAVING ...] [ORDER BY ...] [LIMIT n [OFFSET m]]
+///   INSERT INTO t [(cols)] VALUES (...), (...)
+///   UPDATE t SET c = e [, ...] [WHERE ...]
+///   DELETE FROM t [WHERE ...]
+///   BEGIN | COMMIT | ROLLBACK
+Result<Statement> ParseSql(std::string_view sql);
+
+/// Parses just an expression (used by tests and the ops condition layer).
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view text);
+
+}  // namespace easia::db
+
+#endif  // EASIA_DB_PARSER_H_

@@ -1,0 +1,255 @@
+#include "db/table.h"
+
+#include "common/string_util.h"
+
+namespace easia::db {
+
+void EncodeValue(std::string* dst, const Value& value) {
+  if (value.is_null()) {
+    PutU8(dst, 0xFF);
+    return;
+  }
+  PutU8(dst, static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case DataType::kInteger:
+    case DataType::kTimestamp:
+      PutU64(dst, static_cast<uint64_t>(value.AsInt()));
+      break;
+    case DataType::kDouble:
+      PutDouble(dst, value.AsDouble());
+      break;
+    case DataType::kVarchar:
+    case DataType::kBlob:
+    case DataType::kClob:
+    case DataType::kDatalink:
+      PutLengthPrefixed(dst, value.AsString());
+      break;
+  }
+}
+
+Result<Value> DecodeValue(Decoder* dec) {
+  EASIA_ASSIGN_OR_RETURN(uint8_t tag, dec->GetU8());
+  if (tag == 0xFF) return Value::Null();
+  if (tag > static_cast<uint8_t>(DataType::kDatalink)) {
+    return Status::Corruption("bad value type tag");
+  }
+  DataType type = static_cast<DataType>(tag);
+  switch (type) {
+    case DataType::kInteger: {
+      EASIA_ASSIGN_OR_RETURN(uint64_t v, dec->GetU64());
+      return Value::Integer(static_cast<int64_t>(v));
+    }
+    case DataType::kTimestamp: {
+      EASIA_ASSIGN_OR_RETURN(uint64_t v, dec->GetU64());
+      return Value::Timestamp(static_cast<int64_t>(v));
+    }
+    case DataType::kDouble: {
+      EASIA_ASSIGN_OR_RETURN(double v, dec->GetDouble());
+      return Value::Double(v);
+    }
+    case DataType::kVarchar: {
+      EASIA_ASSIGN_OR_RETURN(std::string s, dec->GetLengthPrefixed());
+      return Value::Varchar(std::move(s));
+    }
+    case DataType::kBlob: {
+      EASIA_ASSIGN_OR_RETURN(std::string s, dec->GetLengthPrefixed());
+      return Value::Blob(std::move(s));
+    }
+    case DataType::kClob: {
+      EASIA_ASSIGN_OR_RETURN(std::string s, dec->GetLengthPrefixed());
+      return Value::Clob(std::move(s));
+    }
+    case DataType::kDatalink: {
+      EASIA_ASSIGN_OR_RETURN(std::string s, dec->GetLengthPrefixed());
+      return Value::Datalink(std::move(s));
+    }
+  }
+  return Status::Corruption("bad value type tag");
+}
+
+void EncodeRow(std::string* dst, const Row& row) {
+  PutU32(dst, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) EncodeValue(dst, v);
+}
+
+Result<Row> DecodeRow(Decoder* dec) {
+  EASIA_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    EASIA_ASSIGN_OR_RETURN(Value v, DecodeValue(dec));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Table::Table(TableDef def) : def_(std::move(def)) {
+  auto add_index = [&](const std::vector<std::string>& columns,
+                       bool primary) {
+    UniqueIndex index;
+    index.is_primary = primary;
+    for (const std::string& c : columns) {
+      Result<size_t> idx = def_.ColumnIndex(c);
+      if (idx.ok()) index.column_indexes.push_back(*idx);
+    }
+    if (!index.column_indexes.empty()) indexes_.push_back(std::move(index));
+  };
+  if (!def_.primary_key.empty()) add_index(def_.primary_key, true);
+  for (const auto& unique : def_.unique_constraints) add_index(unique, false);
+}
+
+std::string Table::MakeKey(const Row& row,
+                           const std::vector<size_t>& column_indexes) {
+  std::string key;
+  for (size_t idx : column_indexes) {
+    PutLengthPrefixed(&key, row[idx].ToKeyString());
+  }
+  return key;
+}
+
+bool Table::AllNonNull(const Row& row, const std::vector<size_t>& cols) {
+  for (size_t idx : cols) {
+    if (row[idx].is_null()) return false;
+  }
+  return true;
+}
+
+Status Table::CheckUnique(const Row& row, RowId exclude_id) const {
+  for (const UniqueIndex& index : indexes_) {
+    if (!AllNonNull(row, index.column_indexes)) continue;
+    std::string key = MakeKey(row, index.column_indexes);
+    auto it = index.entries.find(key);
+    if (it != index.entries.end() && it->second != exclude_id) {
+      return Status::ConstraintViolation(
+          (index.is_primary ? "duplicate primary key in table "
+                            : "unique constraint violated in table ") +
+          def_.name);
+    }
+  }
+  return Status::OK();
+}
+
+void Table::IndexInsert(RowId id, const Row& row) {
+  for (UniqueIndex& index : indexes_) {
+    if (!AllNonNull(row, index.column_indexes)) continue;
+    index.entries[MakeKey(row, index.column_indexes)] = id;
+  }
+}
+
+void Table::IndexRemove(RowId id, const Row& row) {
+  for (UniqueIndex& index : indexes_) {
+    if (!AllNonNull(row, index.column_indexes)) continue;
+    auto it = index.entries.find(MakeKey(row, index.column_indexes));
+    if (it != index.entries.end() && it->second == id) {
+      index.entries.erase(it);
+    }
+  }
+}
+
+Result<RowId> Table::Insert(Row row) {
+  if (row.size() != def_.columns.size()) {
+    return Status::Internal("row arity mismatch in table " + def_.name);
+  }
+  EASIA_RETURN_IF_ERROR(CheckUnique(row, 0));
+  RowId id = next_row_id_++;
+  IndexInsert(id, row);
+  rows_.emplace(id, std::move(row));
+  return id;
+}
+
+Status Table::InsertWithId(RowId id, Row row) {
+  if (row.size() != def_.columns.size()) {
+    return Status::Internal("row arity mismatch in table " + def_.name);
+  }
+  if (rows_.count(id) != 0) {
+    return Status::AlreadyExists(StrPrintf("rowid %llu already present",
+                                           static_cast<unsigned long long>(id)));
+  }
+  EASIA_RETURN_IF_ERROR(CheckUnique(row, 0));
+  IndexInsert(id, row);
+  rows_.emplace(id, std::move(row));
+  if (id >= next_row_id_) next_row_id_ = id + 1;
+  return Status::OK();
+}
+
+Status Table::Update(RowId id, Row new_row) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("update: no such row in " + def_.name);
+  }
+  if (new_row.size() != def_.columns.size()) {
+    return Status::Internal("row arity mismatch in table " + def_.name);
+  }
+  EASIA_RETURN_IF_ERROR(CheckUnique(new_row, id));
+  IndexRemove(id, it->second);
+  IndexInsert(id, new_row);
+  it->second = std::move(new_row);
+  return Status::OK();
+}
+
+Status Table::Delete(RowId id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("delete: no such row in " + def_.name);
+  }
+  IndexRemove(id, it->second);
+  rows_.erase(it);
+  return Status::OK();
+}
+
+Result<const Row*> Table::Get(RowId id) const {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound("no such row in " + def_.name);
+  }
+  return &it->second;
+}
+
+Result<RowId> Table::FindUnique(const std::vector<std::string>& columns,
+                                const std::vector<Value>& key_values) const {
+  if (columns.size() != key_values.size()) {
+    return Status::InvalidArgument("FindUnique: arity mismatch");
+  }
+  std::vector<size_t> col_indexes;
+  for (const std::string& c : columns) {
+    EASIA_ASSIGN_OR_RETURN(size_t idx, def_.ColumnIndex(c));
+    col_indexes.push_back(idx);
+  }
+  // Try an exact-match unique index (same column set, same order).
+  for (const UniqueIndex& index : indexes_) {
+    if (index.column_indexes == col_indexes) {
+      std::string key;
+      for (const Value& v : key_values) {
+        PutLengthPrefixed(&key, v.ToKeyString());
+      }
+      auto it = index.entries.find(key);
+      if (it == index.entries.end()) {
+        return Status::NotFound("no row with given key in " + def_.name);
+      }
+      return it->second;
+    }
+  }
+  // Fall back to a scan.
+  for (const auto& [id, row] : rows_) {
+    bool match = true;
+    for (size_t i = 0; i < col_indexes.size(); ++i) {
+      if (!row[col_indexes[i]].Equals(key_values[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return id;
+  }
+  return Status::NotFound("no row with given key in " + def_.name);
+}
+
+bool Table::AnyRowWithValue(size_t column_index, const Value& value) const {
+  for (const auto& [id, row] : rows_) {
+    if (!row[column_index].is_null() && row[column_index].Equals(value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace easia::db

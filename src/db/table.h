@@ -1,0 +1,93 @@
+#ifndef EASIA_DB_TABLE_H_
+#define EASIA_DB_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace easia::db {
+
+using Row = std::vector<Value>;
+using RowId = uint64_t;
+
+/// Encodes row/value payloads for the WAL and snapshots.
+void EncodeRow(std::string* dst, const Row& row);
+Result<Row> DecodeRow(Decoder* dec);
+void EncodeValue(std::string* dst, const Value& value);
+Result<Value> DecodeValue(Decoder* dec);
+
+/// Physical storage for one table: rows keyed by RowId plus maintained
+/// unique indexes (primary key + UNIQUE constraints). This layer performs
+/// no constraint *policy* (that belongs to Database); it only keeps indexes
+/// consistent and detects duplicate keys.
+class Table {
+ public:
+  explicit Table(TableDef def);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const TableDef& def() const { return def_; }
+
+  /// Inserts a row (already validated/coerced) and returns its RowId.
+  /// Fails with kConstraintViolation on a duplicate PK/UNIQUE key.
+  Result<RowId> Insert(Row row);
+
+  /// Inserts with a caller-chosen RowId (WAL replay).
+  Status InsertWithId(RowId id, Row row);
+
+  Status Update(RowId id, Row new_row);
+  Status Delete(RowId id);
+  Result<const Row*> Get(RowId id) const;
+
+  const std::map<RowId, Row>& rows() const { return rows_; }
+  size_t RowCount() const { return rows_.size(); }
+
+  /// Looks up the RowId whose values in `columns` equal `key_values`,
+  /// using a unique index when one covers the columns, else scanning.
+  /// Returns kNotFound when no row matches.
+  Result<RowId> FindUnique(const std::vector<std::string>& columns,
+                           const std::vector<Value>& key_values) const;
+
+  /// True if any row has `value` in column `column_index`.
+  bool AnyRowWithValue(size_t column_index, const Value& value) const;
+
+  /// Key string over the given column indexes of a row.
+  static std::string MakeKey(const Row& row,
+                             const std::vector<size_t>& column_indexes);
+
+  RowId next_row_id() const { return next_row_id_; }
+
+ private:
+  struct UniqueIndex {
+    std::vector<size_t> column_indexes;
+    std::map<std::string, RowId> entries;
+    bool is_primary = false;
+  };
+
+  /// Checks that inserting/updating to `row` (excluding `exclude_id`) does
+  /// not collide with a unique index; returns the violated index name.
+  Status CheckUnique(const Row& row, RowId exclude_id) const;
+  void IndexInsert(RowId id, const Row& row);
+  void IndexRemove(RowId id, const Row& row);
+  /// True when every indexed column of `row` is non-NULL (SQL allows NULLs
+  /// to escape UNIQUE enforcement).
+  static bool AllNonNull(const Row& row, const std::vector<size_t>& cols);
+
+  TableDef def_;
+  std::map<RowId, Row> rows_;
+  std::vector<UniqueIndex> indexes_;
+  RowId next_row_id_ = 1;
+};
+
+}  // namespace easia::db
+
+#endif  // EASIA_DB_TABLE_H_

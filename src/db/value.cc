@@ -1,0 +1,226 @@
+#include "db/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace easia::db {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInteger:
+      return "INTEGER";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kVarchar:
+      return "VARCHAR";
+    case DataType::kTimestamp:
+      return "TIMESTAMP";
+    case DataType::kBlob:
+      return "BLOB";
+    case DataType::kClob:
+      return "CLOB";
+    case DataType::kDatalink:
+      return "DATALINK";
+  }
+  return "UNKNOWN";
+}
+
+Result<DataType> DataTypeFromName(std::string_view name) {
+  std::string upper = ToUpper(name);
+  if (upper == "INTEGER" || upper == "INT" || upper == "BIGINT") {
+    return DataType::kInteger;
+  }
+  if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL") {
+    return DataType::kDouble;
+  }
+  if (upper == "VARCHAR" || upper == "CHAR" || upper == "TEXT") {
+    return DataType::kVarchar;
+  }
+  if (upper == "TIMESTAMP") return DataType::kTimestamp;
+  if (upper == "BLOB") return DataType::kBlob;
+  if (upper == "CLOB") return DataType::kClob;
+  if (upper == "DATALINK") return DataType::kDatalink;
+  return Status::ParseError("unknown data type: " + std::string(name));
+}
+
+Value Value::Integer(int64_t v) {
+  Value out;
+  out.null_ = false;
+  out.type_ = DataType::kInteger;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::Double(double v) {
+  Value out;
+  out.null_ = false;
+  out.type_ = DataType::kDouble;
+  out.double_ = v;
+  return out;
+}
+
+Value Value::Varchar(std::string v) {
+  Value out;
+  out.null_ = false;
+  out.type_ = DataType::kVarchar;
+  out.str_ = std::move(v);
+  return out;
+}
+
+Value Value::Timestamp(int64_t epoch_seconds) {
+  Value out;
+  out.null_ = false;
+  out.type_ = DataType::kTimestamp;
+  out.int_ = epoch_seconds;
+  return out;
+}
+
+Value Value::Blob(std::string bytes) {
+  Value out;
+  out.null_ = false;
+  out.type_ = DataType::kBlob;
+  out.str_ = std::move(bytes);
+  return out;
+}
+
+Value Value::Clob(std::string text) {
+  Value out;
+  out.null_ = false;
+  out.type_ = DataType::kClob;
+  out.str_ = std::move(text);
+  return out;
+}
+
+Value Value::Datalink(std::string url) {
+  Value out;
+  out.null_ = false;
+  out.type_ = DataType::kDatalink;
+  out.str_ = std::move(url);
+  return out;
+}
+
+int Value::Compare(const Value& other) const {
+  if (null_ && other.null_) return 0;
+  if (null_) return -1;
+  if (other.null_) return 1;
+  if (IsNumericKind() && other.IsNumericKind()) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (IsStringKind() && other.IsStringKind()) {
+    return str_.compare(other.str_) < 0 ? -1 : (str_ == other.str_ ? 0 : 1);
+  }
+  // Mixed kinds: compare by display form so ordering is total.
+  std::string a = ToDisplayString();
+  std::string b = other.ToDisplayString();
+  return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+}
+
+std::string Value::ToDisplayString() const {
+  if (null_) return "NULL";
+  switch (type_) {
+    case DataType::kInteger:
+    case DataType::kTimestamp:
+      return StrPrintf("%lld", static_cast<long long>(int_));
+    case DataType::kDouble: {
+      std::string s = StrPrintf("%.10g", double_);
+      return s;
+    }
+    case DataType::kVarchar:
+    case DataType::kClob:
+    case DataType::kDatalink:
+      return str_;
+    case DataType::kBlob:
+      return StrPrintf("<blob %zu bytes>", str_.size());
+  }
+  return "";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (null_) return "NULL";
+  if (IsNumericKind()) return ToDisplayString();
+  std::string out = "'";
+  for (char c : str_) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string Value::ToKeyString() const {
+  if (null_) return "\x00N";
+  std::string out;
+  if (IsNumericKind()) {
+    // Normalise numerics so 3 (INTEGER) == 3.0 (DOUBLE) in keys.
+    out = "\x01";
+    out += StrPrintf("%.17g", AsDouble());
+  } else {
+    out = "\x02";
+    out += str_;
+  }
+  return out;
+}
+
+Result<Value> Value::CoerceTo(DataType target) const {
+  if (null_) return Null();
+  if (type_ == target) return *this;
+  switch (target) {
+    case DataType::kInteger:
+      if (type_ == DataType::kDouble) {
+        double r = std::round(double_);
+        if (r != double_) {
+          return Status::InvalidArgument(
+              "cannot coerce non-integral DOUBLE to INTEGER");
+        }
+        return Integer(static_cast<int64_t>(r));
+      }
+      if (type_ == DataType::kTimestamp) return Integer(int_);
+      if (type_ == DataType::kVarchar) {
+        EASIA_ASSIGN_OR_RETURN(int64_t v, ParseInt64(str_));
+        return Integer(v);
+      }
+      break;
+    case DataType::kDouble:
+      if (type_ == DataType::kInteger || type_ == DataType::kTimestamp) {
+        return Double(static_cast<double>(int_));
+      }
+      if (type_ == DataType::kVarchar) {
+        EASIA_ASSIGN_OR_RETURN(double v, ParseDouble(str_));
+        return Double(v);
+      }
+      break;
+    case DataType::kTimestamp:
+      if (type_ == DataType::kInteger) return Timestamp(int_);
+      if (type_ == DataType::kVarchar) {
+        EASIA_ASSIGN_OR_RETURN(int64_t v, ParseInt64(str_));
+        return Timestamp(v);
+      }
+      break;
+    case DataType::kVarchar:
+      if (IsNumericKind()) return Varchar(ToDisplayString());
+      if (type_ == DataType::kClob) return Varchar(str_);
+      break;
+    case DataType::kClob:
+      if (type_ == DataType::kVarchar) return Clob(str_);
+      break;
+    case DataType::kBlob:
+      if (type_ == DataType::kVarchar || type_ == DataType::kClob) {
+        return Blob(str_);
+      }
+      break;
+    case DataType::kDatalink:
+      if (type_ == DataType::kVarchar) return Datalink(str_);
+      break;
+  }
+  return Status::InvalidArgument(
+      StrPrintf("cannot coerce %s to %s",
+                std::string(DataTypeName(type_)).c_str(),
+                std::string(DataTypeName(target)).c_str()));
+}
+
+}  // namespace easia::db

@@ -1,0 +1,117 @@
+#include "db/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/string_util.h"
+
+namespace easia::db {
+
+std::string WalRecord::Encode() const {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU64(&out, txn_id);
+  PutLengthPrefixed(&out, table);
+  PutU64(&out, row_id);
+  EncodeRow(&out, row);
+  EncodeRow(&out, old_row);
+  PutLengthPrefixed(&out, ddl_sql);
+  return out;
+}
+
+Result<WalRecord> WalRecord::Decode(std::string_view payload) {
+  Decoder dec(payload);
+  WalRecord rec;
+  EASIA_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
+  if (type < 1 || type > 8) return Status::Corruption("wal: bad record type");
+  rec.type = static_cast<WalRecordType>(type);
+  EASIA_ASSIGN_OR_RETURN(rec.txn_id, dec.GetU64());
+  EASIA_ASSIGN_OR_RETURN(rec.table, dec.GetLengthPrefixed());
+  EASIA_ASSIGN_OR_RETURN(rec.row_id, dec.GetU64());
+  EASIA_ASSIGN_OR_RETURN(rec.row, DecodeRow(&dec));
+  EASIA_ASSIGN_OR_RETURN(rec.old_row, DecodeRow(&dec));
+  EASIA_ASSIGN_OR_RETURN(rec.ddl_sql, dec.GetLengthPrefixed());
+  if (!dec.Done()) return Status::Corruption("wal: trailing bytes in record");
+  return rec;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::Internal("wal: cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  return WalWriter(f);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept : file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (file_ == nullptr) return Status::Internal("wal: writer closed");
+  std::string payload = record.Encode();
+  std::string frame;
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload));
+  frame += payload;
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::Internal("wal: short write");
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::Internal("wal: writer closed");
+  if (std::fflush(file_) != 0) return Status::Internal("wal: flush failed");
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& path) {
+  std::vector<WalRecord> records;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return records;  // no log yet
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  size_t pos = 0;
+  while (pos + 8 <= contents.size()) {
+    Decoder header(std::string_view(contents).substr(pos, 8));
+    uint32_t len = header.GetU32().value();
+    uint32_t crc = header.GetU32().value();
+    if (pos + 8 + len > contents.size()) break;  // torn tail
+    std::string_view payload =
+        std::string_view(contents).substr(pos + 8, len);
+    if (Crc32(payload) != crc) break;  // corrupt tail
+    Result<WalRecord> rec = WalRecord::Decode(payload);
+    if (!rec.ok()) break;
+    records.push_back(std::move(*rec));
+    pos += 8 + len;
+  }
+  return records;
+}
+
+}  // namespace easia::db

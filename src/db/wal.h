@@ -1,0 +1,66 @@
+#ifndef EASIA_DB_WAL_H_
+#define EASIA_DB_WAL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/table.h"
+
+namespace easia::db {
+
+/// Write-ahead-log record types. DDL records carry the statement SQL and
+/// are replayed through the parser; DML records carry physical rows.
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kInsert = 4,
+  kUpdate = 5,
+  kDelete = 6,
+  kCreateTable = 7,
+  kDropTable = 8,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  uint64_t txn_id = 0;
+  std::string table;
+  RowId row_id = 0;
+  Row row;      // insert: new row; update: new row
+  Row old_row;  // update/delete: previous row (for audit/backup tooling)
+  std::string ddl_sql;
+
+  std::string Encode() const;
+  static Result<WalRecord> Decode(std::string_view payload);
+};
+
+/// Appends framed records (`u32 length, u32 crc32, payload`) to a log file.
+/// A torn final record (crash mid-write) is tolerated by the reader.
+class WalWriter {
+ public:
+  static Result<WalWriter> Open(const std::string& path);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  Status Append(const WalRecord& record);
+  Status Sync();
+  void Close();
+
+ private:
+  explicit WalWriter(std::FILE* file) : file_(file) {}
+  std::FILE* file_ = nullptr;
+};
+
+/// Reads every intact record from a log file; stops silently at the first
+/// torn or corrupt frame (standard redo-log semantics).
+Result<std::vector<WalRecord>> ReadWal(const std::string& path);
+
+}  // namespace easia::db
+
+#endif  // EASIA_DB_WAL_H_

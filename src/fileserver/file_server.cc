@@ -1,0 +1,123 @@
+#include "fileserver/file_server.h"
+
+#include "common/string_util.h"
+
+namespace easia::fs {
+
+FileServer::FileServer(std::string host) : host_(std::move(host)) {}
+
+Result<GetResult> FileServer::Get(const std::string& request_path) const {
+  // Split optional "token;" prefix on the final path component.
+  std::string path = request_path;
+  std::string token;
+  size_t last_slash = path.rfind('/');
+  size_t semi = path.find(';', last_slash == std::string::npos ? 0
+                                                               : last_slash);
+  if (semi != std::string::npos) {
+    size_t name_start = last_slash == std::string::npos ? 0 : last_slash + 1;
+    token = path.substr(name_start, semi - name_start);
+    path = path.substr(0, name_start) + path.substr(semi + 1);
+  }
+  if (read_gate_ != nullptr) {
+    EASIA_RETURN_IF_ERROR(read_gate_(path, token));
+  }
+  EASIA_ASSIGN_OR_RETURN(FileStat stat, vfs_.Stat(path));
+  GetResult out;
+  out.stat = stat;
+  if (!stat.sparse) {
+    EASIA_ASSIGN_OR_RETURN(out.content, vfs_.ReadFile(path));
+  }
+  return out;
+}
+
+Result<GetResult> FileServer::GetUrl(const std::string& url) const {
+  EASIA_ASSIGN_OR_RETURN(FileUrl parsed, ParseFileUrl(url));
+  if (parsed.host != host_) {
+    return Status::InvalidArgument("URL host " + parsed.host +
+                                   " does not match server " + host_);
+  }
+  std::string request = parsed.Directory();
+  if (!parsed.token.empty()) {
+    request += parsed.token + ";";
+  }
+  request += parsed.filename;
+  return Get(request);
+}
+
+Status FileServer::Put(const std::string& path, std::string contents,
+                       const std::string& owner) {
+  return vfs_.WriteFile(path, std::move(contents), owner);
+}
+
+void FileServer::RegisterEndpoint(const std::string& path,
+                                  EndpointHandler handler) {
+  endpoints_[path] = std::move(handler);
+}
+
+bool FileServer::HasEndpoint(const std::string& path) const {
+  return endpoints_.find(path) != endpoints_.end();
+}
+
+Result<std::string> FileServer::InvokeEndpoint(const std::string& path,
+                                               const HttpParams& params) const {
+  auto it = endpoints_.find(path);
+  if (it == endpoints_.end()) {
+    return Status::NotFound("no endpoint " + path + " on host " + host_);
+  }
+  return it->second(params);
+}
+
+std::vector<std::string> FileServer::EndpointPaths() const {
+  std::vector<std::string> out;
+  for (const auto& [path, handler] : endpoints_) out.push_back(path);
+  return out;
+}
+
+std::string FileServer::MakeTempDir(const std::string& session_id) {
+  return StrPrintf("/tmp/%s-%llu/", session_id.c_str(),
+                   static_cast<unsigned long long>(++temp_counter_));
+}
+
+size_t FileServer::CleanTempDir(const std::string& dir) {
+  size_t removed = 0;
+  for (const std::string& path : vfs_.List(dir)) {
+    if (vfs_.DeleteFile(path).ok()) ++removed;
+  }
+  return removed;
+}
+
+FileServer* FileServerFleet::AddServer(const std::string& host) {
+  auto it = servers_.find(host);
+  if (it != servers_.end()) return it->second.get();
+  auto server = std::make_unique<FileServer>(host);
+  FileServer* raw = server.get();
+  servers_[host] = std::move(server);
+  return raw;
+}
+
+Result<FileServer*> FileServerFleet::GetServer(const std::string& host) const {
+  auto it = servers_.find(host);
+  if (it == servers_.end()) {
+    return Status::NotFound("no file server registered for host " + host);
+  }
+  return it->second.get();
+}
+
+bool FileServerFleet::HasServer(const std::string& host) const {
+  return servers_.find(host) != servers_.end();
+}
+
+std::vector<std::string> FileServerFleet::Hosts() const {
+  std::vector<std::string> out;
+  for (const auto& [host, server] : servers_) out.push_back(host);
+  return out;
+}
+
+Result<std::pair<FileServer*, FileUrl>> FileServerFleet::Resolve(
+    const std::string& url) const {
+  EASIA_ASSIGN_OR_RETURN(FileUrl parsed, ParseFileUrl(url));
+  EASIA_ASSIGN_OR_RETURN(FileServer * server, GetServer(parsed.host));
+  return std::make_pair(server, std::move(parsed));
+}
+
+}  // namespace easia::fs

@@ -1,0 +1,102 @@
+#ifndef EASIA_FILESERVER_FILE_SERVER_H_
+#define EASIA_FILESERVER_FILE_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fileserver/url.h"
+#include "fileserver/vfs.h"
+
+namespace easia::fs {
+
+/// Result of a file-server GET.
+struct GetResult {
+  FileStat stat;
+  /// Bytes for regular files; empty for sparse files (callers use
+  /// `stat.size` to drive the bandwidth simulator).
+  std::string content;
+};
+
+/// Access check applied to every GET: `(path, token)` -> OK / error. The
+/// SQL/MED DataLinker installs a gate that requires a valid access token
+/// for files linked under READ PERMISSION DB. A null gate admits everything.
+using ReadGate =
+    std::function<Status(const std::string& path, const std::string& token)>;
+
+/// Parameters of a CGI/servlet-style request.
+using HttpParams = std::map<std::string, std::string>;
+
+/// A dynamic endpoint (the paper's "URL operations", e.g. NCSA's Scientific
+/// Data Browser) running on the same host as the data.
+using EndpointHandler =
+    std::function<Result<std::string>(const HttpParams& params)>;
+
+/// One file-server host: a virtual file system plus the web-facing surface
+/// EASIA uses — token-checked downloads, uploads, servlet endpoints and
+/// per-session temporary directories for operation execution.
+class FileServer {
+ public:
+  explicit FileServer(std::string host);
+
+  const std::string& host() const { return host_; }
+  VirtualFileSystem& vfs() { return vfs_; }
+  const VirtualFileSystem& vfs() const { return vfs_; }
+
+  void SetReadGate(ReadGate gate) { read_gate_ = std::move(gate); }
+
+  /// GET "/filesystem/dir/[token;]file". Applies the read gate.
+  Result<GetResult> Get(const std::string& request_path) const;
+
+  /// Like Get but takes a full URL and verifies the host matches.
+  Result<GetResult> GetUrl(const std::string& url) const;
+
+  /// PUT a regular file (used to archive results/codes where generated).
+  Status Put(const std::string& path, std::string contents,
+             const std::string& owner = "");
+
+  /// Registers / invokes a dynamic endpoint ("/servlet/SDBservlet").
+  void RegisterEndpoint(const std::string& path, EndpointHandler handler);
+  bool HasEndpoint(const std::string& path) const;
+  Result<std::string> InvokeEndpoint(const std::string& path,
+                                     const HttpParams& params) const;
+  std::vector<std::string> EndpointPaths() const;
+
+  /// Creates a unique temporary directory for an operation invocation
+  /// (the paper's batch-file mechanism allocates one per servlet session).
+  std::string MakeTempDir(const std::string& session_id);
+
+  /// Removes every file under a temp dir; returns the number removed.
+  size_t CleanTempDir(const std::string& dir);
+
+ private:
+  std::string host_;
+  VirtualFileSystem vfs_;
+  ReadGate read_gate_;
+  std::map<std::string, EndpointHandler> endpoints_;
+  uint64_t temp_counter_ = 0;
+};
+
+/// The set of file-server hosts participating in one archive. The database
+/// host resolves DATALINK URLs through this registry.
+class FileServerFleet {
+ public:
+  /// Creates (or returns the existing) server for `host`.
+  FileServer* AddServer(const std::string& host);
+  Result<FileServer*> GetServer(const std::string& host) const;
+  bool HasServer(const std::string& host) const;
+  std::vector<std::string> Hosts() const;
+
+  /// Convenience: resolve a URL to (server, parsed url).
+  Result<std::pair<FileServer*, FileUrl>> Resolve(const std::string& url) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<FileServer>> servers_;
+};
+
+}  // namespace easia::fs
+
+#endif  // EASIA_FILESERVER_FILE_SERVER_H_

@@ -1,0 +1,67 @@
+#include "fileserver/url.h"
+
+#include "common/string_util.h"
+
+namespace easia::fs {
+
+std::string FileUrl::Directory() const {
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "/";
+  return path.substr(0, slash + 1);
+}
+
+std::string FileUrl::ToString() const {
+  std::string out = "http://" + host + Directory();
+  if (!token.empty()) {
+    out += token;
+    out += ';';
+  }
+  out += filename;
+  return out;
+}
+
+Result<FileUrl> ParseFileUrl(std::string_view url) {
+  constexpr std::string_view kScheme = "http://";
+  if (!StartsWith(url, kScheme)) {
+    return Status::InvalidArgument("file URL must use http://: " +
+                                   std::string(url));
+  }
+  std::string_view rest = url.substr(kScheme.size());
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos || slash == 0) {
+    return Status::InvalidArgument("file URL missing path: " +
+                                   std::string(url));
+  }
+  FileUrl out;
+  out.host = std::string(rest.substr(0, slash));
+  std::string_view path = rest.substr(slash);
+  size_t last_slash = path.rfind('/');
+  std::string_view name = path.substr(last_slash + 1);
+  if (name.empty()) {
+    return Status::InvalidArgument("file URL missing file name: " +
+                                   std::string(url));
+  }
+  // Split "token;filename".
+  size_t semi = name.find(';');
+  if (semi != std::string_view::npos) {
+    out.token = std::string(name.substr(0, semi));
+    out.filename = std::string(name.substr(semi + 1));
+    out.path = std::string(path.substr(0, last_slash + 1)) + out.filename;
+  } else {
+    out.filename = std::string(name);
+    out.path = std::string(path);
+  }
+  if (out.filename.empty()) {
+    return Status::InvalidArgument("file URL has empty file name: " +
+                                   std::string(url));
+  }
+  return out;
+}
+
+Result<std::string> WithToken(std::string_view url, std::string_view token) {
+  EASIA_ASSIGN_OR_RETURN(FileUrl parsed, ParseFileUrl(url));
+  parsed.token = std::string(token);
+  return parsed.ToString();
+}
+
+}  // namespace easia::fs

@@ -1,0 +1,37 @@
+#ifndef EASIA_FILESERVER_URL_H_
+#define EASIA_FILESERVER_URL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace easia::fs {
+
+/// A decomposed EASIA file URL. Stored DATALINK values use
+///   http://host/filesystem/directory/filename
+/// and SELECT rewrites them to
+///   http://host/filesystem/directory/access_token;filename
+struct FileUrl {
+  std::string host;
+  std::string path;      // "/filesystem/directory/filename" (no token)
+  std::string token;     // empty when not tokenised
+  std::string filename;  // last path component (without token)
+
+  /// Directory part of `path` (up to and including the final '/').
+  std::string Directory() const;
+
+  /// Reassembles the URL; includes "token;" before the file name when a
+  /// token is present.
+  std::string ToString() const;
+};
+
+/// Parses an EASIA file URL (http:// scheme only).
+Result<FileUrl> ParseFileUrl(std::string_view url);
+
+/// Inserts an access token into a plain file URL.
+Result<std::string> WithToken(std::string_view url, std::string_view token);
+
+}  // namespace easia::fs
+
+#endif  // EASIA_FILESERVER_URL_H_

@@ -1,0 +1,158 @@
+#include "fileserver/vfs.h"
+
+#include "common/string_util.h"
+
+namespace easia::fs {
+
+Status VirtualFileSystem::ValidatePath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("vfs: path must be absolute: " + path);
+  }
+  if (path.back() == '/') {
+    return Status::InvalidArgument("vfs: path names a directory: " + path);
+  }
+  if (path.find("..") != std::string::npos) {
+    return Status::PermissionDenied("vfs: path traversal rejected: " + path);
+  }
+  if (path.find(';') != std::string::npos) {
+    return Status::InvalidArgument("vfs: ';' not allowed in paths: " + path);
+  }
+  return Status::OK();
+}
+
+Status VirtualFileSystem::WriteFile(const std::string& path,
+                                    std::string contents,
+                                    const std::string& owner) {
+  EASIA_RETURN_IF_ERROR(ValidatePath(path));
+  auto it = files_.find(path);
+  if (it != files_.end() && it->second.pinned) {
+    return Status::FailedPrecondition("vfs: file is linked (pinned): " + path);
+  }
+  VFile f;
+  f.size = contents.size();
+  f.contents = std::move(contents);
+  f.mtime = Now();
+  f.owner = owner;
+  files_[path] = std::move(f);
+  return Status::OK();
+}
+
+Status VirtualFileSystem::CreateSparseFile(const std::string& path,
+                                           uint64_t size,
+                                           const std::string& owner) {
+  EASIA_RETURN_IF_ERROR(ValidatePath(path));
+  auto it = files_.find(path);
+  if (it != files_.end() && it->second.pinned) {
+    return Status::FailedPrecondition("vfs: file is linked (pinned): " + path);
+  }
+  VFile f;
+  f.sparse = true;
+  f.size = size;
+  f.mtime = Now();
+  f.owner = owner;
+  files_[path] = std::move(f);
+  return Status::OK();
+}
+
+Result<std::string> VirtualFileSystem::ReadFile(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("vfs: no such file: " + path);
+  }
+  if (it->second.sparse) {
+    return Status::FailedPrecondition(
+        "vfs: sparse file has no materialised bytes: " + path);
+  }
+  return it->second.contents;
+}
+
+Result<FileStat> VirtualFileSystem::Stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("vfs: no such file: " + path);
+  }
+  FileStat s;
+  s.path = path;
+  s.size = it->second.size;
+  s.sparse = it->second.sparse;
+  s.pinned = it->second.pinned;
+  s.mtime = it->second.mtime;
+  s.owner = it->second.owner;
+  return s;
+}
+
+bool VirtualFileSystem::Exists(const std::string& path) const {
+  return files_.find(path) != files_.end();
+}
+
+Status VirtualFileSystem::DeleteFile(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("vfs: no such file: " + path);
+  }
+  if (it->second.pinned) {
+    return Status::FailedPrecondition("vfs: file is linked (pinned): " + path);
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status VirtualFileSystem::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  EASIA_RETURN_IF_ERROR(ValidatePath(to));
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::NotFound("vfs: no such file: " + from);
+  }
+  if (it->second.pinned) {
+    return Status::FailedPrecondition("vfs: file is linked (pinned): " + from);
+  }
+  if (files_.count(to) != 0) {
+    return Status::AlreadyExists("vfs: target exists: " + to);
+  }
+  VFile f = std::move(it->second);
+  files_.erase(it);
+  f.mtime = Now();
+  files_[to] = std::move(f);
+  return Status::OK();
+}
+
+Status VirtualFileSystem::Pin(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("vfs: no such file: " + path);
+  }
+  it->second.pinned = true;
+  return Status::OK();
+}
+
+Status VirtualFileSystem::Unpin(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("vfs: no such file: " + path);
+  }
+  it->second.pinned = false;
+  return Status::OK();
+}
+
+bool VirtualFileSystem::IsPinned(const std::string& path) const {
+  auto it = files_.find(path);
+  return it != files_.end() && it->second.pinned;
+}
+
+std::vector<std::string> VirtualFileSystem::List(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, file] : files_) {
+    if (StartsWith(path, prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+uint64_t VirtualFileSystem::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [path, file] : files_) total += file.size;
+  return total;
+}
+
+}  // namespace easia::fs

@@ -1,0 +1,88 @@
+#ifndef EASIA_FILESERVER_VFS_H_
+#define EASIA_FILESERVER_VFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easia::fs {
+
+/// Metadata for one virtual file.
+struct FileStat {
+  std::string path;
+  uint64_t size = 0;
+  bool sparse = false;  // size-only file (simulated multi-GB dataset)
+  bool pinned = false;  // under DATALINK FILE LINK CONTROL
+  double mtime = 0;
+  std::string owner;
+};
+
+/// An in-memory file system for one simulated host. Two storage modes:
+///
+///  * regular files hold real bytes (metadata, codes, small outputs);
+///  * *sparse* files carry only a declared size plus a content seed — they
+///    stand in for the paper's multi-hundred-megabyte simulation results,
+///    whose bytes never need to exist to drive the bandwidth and
+///    post-processing models.
+///
+/// Pinning implements the SQL/MED referential-integrity guarantee: a pinned
+/// (linked) file cannot be deleted, renamed or overwritten through the
+/// normal file-system interface.
+class VirtualFileSystem {
+ public:
+  VirtualFileSystem() = default;
+
+  /// Creates or overwrites a regular file. Fails if pinned.
+  Status WriteFile(const std::string& path, std::string contents,
+                   const std::string& owner = "");
+
+  /// Declares a sparse file of `size` bytes.
+  Status CreateSparseFile(const std::string& path, uint64_t size,
+                          const std::string& owner = "");
+
+  Result<std::string> ReadFile(const std::string& path) const;
+  Result<FileStat> Stat(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+
+  /// Fails with kFailedPrecondition when the file is pinned.
+  Status DeleteFile(const std::string& path);
+  Status RenameFile(const std::string& from, const std::string& to);
+
+  /// SQL/MED control operations (invoked only by the DataLinker agent).
+  Status Pin(const std::string& path);
+  Status Unpin(const std::string& path);
+  bool IsPinned(const std::string& path) const;
+
+  /// All paths with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix = "/") const;
+
+  /// Sum of file sizes (sparse files count their declared size).
+  uint64_t TotalBytes() const;
+  size_t FileCount() const { return files_.size(); }
+
+  void set_clock(std::function<double()> now) { now_ = std::move(now); }
+
+ private:
+  struct VFile {
+    std::string contents;
+    uint64_t size = 0;
+    bool sparse = false;
+    bool pinned = false;
+    double mtime = 0;
+    std::string owner;
+  };
+
+  static Status ValidatePath(const std::string& path);
+  double Now() const { return now_ ? now_() : 0.0; }
+
+  std::map<std::string, VFile> files_;
+  std::function<double()> now_;
+};
+
+}  // namespace easia::fs
+
+#endif  // EASIA_FILESERVER_VFS_H_

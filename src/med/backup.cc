@@ -1,0 +1,143 @@
+#include "med/backup.h"
+
+#include "fileserver/url.h"
+
+namespace easia::med {
+
+uint64_t BackupSet::TotalFileBytes() const {
+  uint64_t total = 0;
+  for (const FileCopy& f : files) total += f.size;
+  return total;
+}
+
+Result<uint64_t> BackupManager::CreateBackup() {
+  if (database_->InTransaction()) {
+    return Status::FailedPrecondition(
+        "backup: cannot run inside an open transaction");
+  }
+  BackupSet set;
+  set.id = next_id_++;
+  set.created_epoch = manager_->clock()->Now();
+  set.db_snapshot = database_->SerializeSnapshot();
+  for (const std::string& host : fleet_->Hosts()) {
+    Result<DataLinker*> linker = manager_->GetLinker(host);
+    if (!linker.ok()) continue;  // host has no linked files
+    EASIA_ASSIGN_OR_RETURN(fs::FileServer * server, fleet_->GetServer(host));
+    for (const std::string& path : (*linker)->LinkedPaths()) {
+      EASIA_ASSIGN_OR_RETURN(db::DatalinkOptions options,
+                             (*linker)->LinkedOptions(path));
+      EASIA_ASSIGN_OR_RETURN(fs::FileStat stat, server->vfs().Stat(path));
+      BackupSet::FileCopy copy;
+      copy.host = host;
+      copy.path = path;
+      copy.size = stat.size;
+      copy.sparse = stat.sparse;
+      copy.options = options;
+      // Only RECOVERY YES columns promise byte-level restoration; other
+      // files record metadata so reconcile can detect loss.
+      if (options.recovery == db::DatalinkOptions::Recovery::kYes &&
+          !stat.sparse) {
+        EASIA_ASSIGN_OR_RETURN(copy.contents, server->vfs().ReadFile(path));
+      }
+      set.files.push_back(std::move(copy));
+    }
+  }
+  uint64_t id = set.id;
+  backups_[id] = std::move(set);
+  return id;
+}
+
+Status BackupManager::Restore(uint64_t backup_id) {
+  auto it = backups_.find(backup_id);
+  if (it == backups_.end()) {
+    return Status::NotFound("backup: no such backup set");
+  }
+  const BackupSet& set = it->second;
+  EASIA_RETURN_IF_ERROR(database_->LoadSnapshotFromString(set.db_snapshot));
+  for (const BackupSet::FileCopy& copy : set.files) {
+    EASIA_ASSIGN_OR_RETURN(fs::FileServer * server,
+                           fleet_->GetServer(copy.host));
+    if (!server->vfs().Exists(copy.path)) {
+      if (copy.options.recovery == db::DatalinkOptions::Recovery::kYes) {
+        if (copy.sparse) {
+          EASIA_RETURN_IF_ERROR(
+              server->vfs().CreateSparseFile(copy.path, copy.size));
+        } else {
+          EASIA_RETURN_IF_ERROR(
+              server->vfs().WriteFile(copy.path, copy.contents));
+        }
+      }
+      // RECOVERY NO files that vanished are left to Reconcile to report.
+    }
+  }
+  // Re-establish link state and pins through a dedicated "recovery txn".
+  constexpr uint64_t kRecoveryTxn = ~uint64_t{0};
+  for (const BackupSet::FileCopy& copy : set.files) {
+    EASIA_ASSIGN_OR_RETURN(fs::FileServer * server,
+                           fleet_->GetServer(copy.host));
+    if (!server->vfs().Exists(copy.path)) continue;
+    EASIA_ASSIGN_OR_RETURN(DataLinker * linker,
+                           manager_->EnsureLinker(copy.host));
+    if (!linker->IsLinked(copy.path)) {
+      EASIA_RETURN_IF_ERROR(
+          linker->PrepareLink(kRecoveryTxn, copy.options, copy.path));
+    } else if (copy.options.file_link_control &&
+               !server->vfs().IsPinned(copy.path)) {
+      // Link state survived but the pin was lost with the file; restore it.
+      EASIA_RETURN_IF_ERROR(server->vfs().Pin(copy.path));
+    }
+  }
+  manager_->CommitTxn(kRecoveryTxn);
+  return Status::OK();
+}
+
+Result<ReconcileReport> BackupManager::Reconcile() {
+  ReconcileReport report;
+  constexpr uint64_t kReconcileTxn = ~uint64_t{0} - 1;
+  for (const std::string& table_name : database_->catalog().TableNames()) {
+    EASIA_ASSIGN_OR_RETURN(const db::TableDef* def,
+                           database_->catalog().GetTable(table_name));
+    // Collect datalink columns under FILE LINK CONTROL.
+    std::vector<std::pair<size_t, const db::ColumnDef*>> dl_columns;
+    for (size_t i = 0; i < def->columns.size(); ++i) {
+      const db::ColumnDef& col = def->columns[i];
+      if (col.type == db::DataType::kDatalink && col.datalink.has_value() &&
+          col.datalink->file_link_control) {
+        dl_columns.emplace_back(i, &col);
+      }
+    }
+    if (dl_columns.empty()) continue;
+    EASIA_ASSIGN_OR_RETURN(const db::Table* table,
+                           database_->GetTable(table_name));
+    for (const auto& [row_id, row] : table->rows()) {
+      for (const auto& [idx, col] : dl_columns) {
+        if (row[idx].is_null()) continue;
+        ++report.values_checked;
+        const std::string& url = row[idx].AsString();
+        Result<fs::FileUrl> parsed = fs::ParseFileUrl(url);
+        if (!parsed.ok()) {
+          report.dangling_urls.push_back(url);
+          continue;
+        }
+        Result<fs::FileServer*> server = fleet_->GetServer(parsed->host);
+        if (!server.ok() || !(*server)->vfs().Exists(parsed->path)) {
+          report.dangling_urls.push_back(url);
+          continue;
+        }
+        EASIA_ASSIGN_OR_RETURN(DataLinker * linker,
+                               manager_->EnsureLinker(parsed->host));
+        if (linker->IsLinked(parsed->path)) {
+          ++report.intact;
+        } else {
+          EASIA_RETURN_IF_ERROR(linker->PrepareLink(
+              kReconcileTxn, *col->datalink, parsed->path));
+          ++report.relinked;
+        }
+      }
+    }
+  }
+  manager_->CommitTxn(kReconcileTxn);
+  return report;
+}
+
+}  // namespace easia::med

@@ -1,0 +1,97 @@
+#include "med/datalink_manager.h"
+
+#include "fileserver/url.h"
+
+namespace easia::med {
+
+DataLinkManager::DataLinkManager(fs::FileServerFleet* fleet,
+                                 const Clock* clock, std::string token_secret,
+                                 double token_ttl_seconds)
+    : fleet_(fleet),
+      clock_(clock),
+      tokens_(std::move(token_secret), token_ttl_seconds) {}
+
+Result<DataLinker*> DataLinkManager::EnsureLinker(const std::string& host) {
+  auto it = linkers_.find(host);
+  if (it != linkers_.end()) return it->second.get();
+  EASIA_ASSIGN_OR_RETURN(fs::FileServer * server, fleet_->GetServer(host));
+  auto linker = std::make_unique<DataLinker>(server);
+  DataLinker* raw = linker.get();
+  linkers_[host] = std::move(linker);
+  // Install the token-checking read gate on the host's file server.
+  server->SetReadGate([this, raw](const std::string& path,
+                                  const std::string& token) -> Status {
+    return raw->CheckRead(
+        path, token,
+        [this](const std::string& tok, const std::string& p) -> Status {
+          return tokens_.Validate(tok, p, clock_->Now());
+        });
+  });
+  return raw;
+}
+
+Result<DataLinker*> DataLinkManager::GetLinker(const std::string& host) const {
+  auto it = linkers_.find(host);
+  if (it == linkers_.end()) {
+    return Status::NotFound("no DataLinker agent on host " + host);
+  }
+  return it->second.get();
+}
+
+Status DataLinkManager::PrepareLink(uint64_t txn_id,
+                                    const db::DatalinkOptions& options,
+                                    const std::string& url) {
+  EASIA_ASSIGN_OR_RETURN(fs::FileUrl parsed, fs::ParseFileUrl(url));
+  if (!parsed.token.empty()) {
+    return Status::InvalidArgument(
+        "datalink: INSERT/UPDATE values must not carry access tokens");
+  }
+  Result<DataLinker*> linker = EnsureLinker(parsed.host);
+  if (!linker.ok()) {
+    return linker.status().WithContext("datalink: unknown file server host");
+  }
+  return (*linker)->PrepareLink(txn_id, options, parsed.path);
+}
+
+Status DataLinkManager::PrepareUnlink(uint64_t txn_id,
+                                      const db::DatalinkOptions& options,
+                                      const std::string& url) {
+  EASIA_ASSIGN_OR_RETURN(fs::FileUrl parsed, fs::ParseFileUrl(url));
+  EASIA_ASSIGN_OR_RETURN(DataLinker * linker, GetLinker(parsed.host));
+  return linker->PrepareUnlink(txn_id, options, parsed.path);
+}
+
+void DataLinkManager::CommitTxn(uint64_t txn_id) {
+  for (auto& [host, linker] : linkers_) linker->CommitTxn(txn_id);
+}
+
+void DataLinkManager::AbortTxn(uint64_t txn_id) {
+  for (auto& [host, linker] : linkers_) linker->AbortTxn(txn_id);
+}
+
+Result<std::string> DataLinkManager::ResolveForRead(
+    const db::DatalinkOptions& options, const std::string& url,
+    const std::string& user) {
+  if (options.read_permission != db::DatalinkOptions::ReadPermission::kDb) {
+    return url;  // READ PERMISSION FS: plain URL
+  }
+  if (read_check_ != nullptr && !read_check_(user)) {
+    // Unprivileged users see the reference but receive no token; the file
+    // server will refuse the download (paper: guests cannot download).
+    return url;
+  }
+  EASIA_ASSIGN_OR_RETURN(fs::FileUrl parsed, fs::ParseFileUrl(url));
+  std::string token = tokens_.Issue(parsed.path, clock_->Now());
+  parsed.token = token;
+  return parsed.ToString();
+}
+
+size_t DataLinkManager::TotalLinkedFiles() const {
+  size_t n = 0;
+  for (const auto& [host, linker] : linkers_) {
+    n += linker->LinkedPaths().size();
+  }
+  return n;
+}
+
+}  // namespace easia::med

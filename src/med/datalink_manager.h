@@ -1,0 +1,70 @@
+#ifndef EASIA_MED_DATALINK_MANAGER_H_
+#define EASIA_MED_DATALINK_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/database.h"
+#include "fileserver/file_server.h"
+#include "med/datalinker.h"
+#include "med/token.h"
+
+namespace easia::med {
+
+/// Decides whether `user` may obtain read tokens (the paper's guest users
+/// "cannot download datasets"). Defaults to allow-all.
+using ReadPrivilegeCheck = std::function<bool(const std::string& user)>;
+
+/// The database-side SQL/MED component: implements db::DatalinkCoordinator
+/// by routing link/unlink intents to the DataLinker agent on the URL's
+/// host, and rewriting SELECTed DATALINK values into their token form.
+class DataLinkManager : public db::DatalinkCoordinator {
+ public:
+  /// `clock` drives token expiry (the simulation clock in tests/benches).
+  DataLinkManager(fs::FileServerFleet* fleet, const Clock* clock,
+                  std::string token_secret, double token_ttl_seconds = 300.0);
+
+  /// Creates (or returns) the DataLinker agent for `host`, registering its
+  /// read gate with the host's file server. The host must exist in the
+  /// fleet.
+  Result<DataLinker*> EnsureLinker(const std::string& host);
+  Result<DataLinker*> GetLinker(const std::string& host) const;
+
+  // --- db::DatalinkCoordinator ---
+  Status PrepareLink(uint64_t txn_id, const db::DatalinkOptions& options,
+                     const std::string& url) override;
+  Status PrepareUnlink(uint64_t txn_id, const db::DatalinkOptions& options,
+                       const std::string& url) override;
+  void CommitTxn(uint64_t txn_id) override;
+  void AbortTxn(uint64_t txn_id) override;
+  Result<std::string> ResolveForRead(const db::DatalinkOptions& options,
+                                     const std::string& url,
+                                     const std::string& user) override;
+
+  /// Overrides the default allow-all read-privilege policy.
+  void set_read_privilege_check(ReadPrivilegeCheck check) {
+    read_check_ = std::move(check);
+  }
+
+  TokenManager& tokens() { return tokens_; }
+  const Clock* clock() const { return clock_; }
+
+  /// Total linked files across all hosts.
+  size_t TotalLinkedFiles() const;
+
+ private:
+  fs::FileServerFleet* fleet_;
+  const Clock* clock_;
+  TokenManager tokens_;
+  ReadPrivilegeCheck read_check_;
+  std::map<std::string, std::unique_ptr<DataLinker>> linkers_;
+};
+
+}  // namespace easia::med
+
+#endif  // EASIA_MED_DATALINK_MANAGER_H_

@@ -1,0 +1,69 @@
+#include "med/token.h"
+
+#include "common/coding.h"
+#include "crypto/base64.h"
+#include "crypto/hmac.h"
+
+namespace easia::med {
+
+namespace {
+constexpr size_t kMacBytes = 16;
+constexpr size_t kHeaderBytes = 12;  // u64 expiry + u32 nonce
+}  // namespace
+
+TokenManager::TokenManager(std::string secret, double default_ttl_seconds)
+    : secret_(std::move(secret)), default_ttl_seconds_(default_ttl_seconds) {}
+
+std::string TokenManager::MacFor(uint64_t expiry, uint32_t nonce,
+                                 const std::string& path) const {
+  std::string message;
+  PutU64(&message, expiry);
+  PutU32(&message, nonce);
+  message += path;
+  std::string mac = crypto::HmacSha256(secret_, message);
+  mac.resize(kMacBytes);
+  return mac;
+}
+
+std::string TokenManager::Issue(const std::string& path, double now_epoch) {
+  return IssueWithTtl(path, now_epoch, default_ttl_seconds_);
+}
+
+std::string TokenManager::IssueWithTtl(const std::string& path,
+                                       double now_epoch, double ttl_seconds) {
+  uint64_t expiry = static_cast<uint64_t>(now_epoch + ttl_seconds);
+  uint32_t nonce = ++nonce_counter_;
+  std::string raw;
+  PutU64(&raw, expiry);
+  PutU32(&raw, nonce);
+  raw += MacFor(expiry, nonce, path);
+  ++issued_;
+  return crypto::Base64UrlEncode(raw);
+}
+
+Status TokenManager::Validate(const std::string& token,
+                              const std::string& path,
+                              double now_epoch) const {
+  Result<std::string> decoded = crypto::Base64UrlDecode(token);
+  if (!decoded.ok() || decoded->size() != kHeaderBytes + kMacBytes) {
+    ++rejected_;
+    return Status::PermissionDenied("malformed access token");
+  }
+  Decoder dec(*decoded);
+  uint64_t expiry = dec.GetU64().value();
+  uint32_t nonce = dec.GetU32().value();
+  std::string expected_mac = MacFor(expiry, nonce, path);
+  std::string presented_mac = decoded->substr(kHeaderBytes);
+  if (!crypto::ConstantTimeEquals(expected_mac, presented_mac)) {
+    ++rejected_;
+    return Status::PermissionDenied("invalid access token for " + path);
+  }
+  if (now_epoch > static_cast<double>(expiry)) {
+    ++rejected_;
+    return Status::TokenExpired("access token expired for " + path);
+  }
+  ++validated_ok_;
+  return Status::OK();
+}
+
+}  // namespace easia::med

@@ -1,0 +1,54 @@
+#include "ops/archive.h"
+
+#include "common/coding.h"
+
+namespace easia::ops {
+
+namespace {
+constexpr std::string_view kMagic = "EARC";
+}
+
+std::string PackArchive(const std::map<std::string, std::string>& files) {
+  std::string body;
+  PutU32(&body, static_cast<uint32_t>(files.size()));
+  for (const auto& [name, bytes] : files) {
+    PutLengthPrefixed(&body, name);
+    PutLengthPrefixed(&body, bytes);
+  }
+  std::string out(kMagic);
+  out += body;
+  PutU32(&out, Crc32(body));
+  return out;
+}
+
+Result<std::map<std::string, std::string>> UnpackArchive(
+    std::string_view bytes) {
+  if (bytes.size() < kMagic.size() + 8 ||
+      bytes.substr(0, kMagic.size()) != kMagic) {
+    return Status::Corruption("archive: bad magic");
+  }
+  std::string_view body =
+      bytes.substr(kMagic.size(), bytes.size() - kMagic.size() - 4);
+  Decoder crc_dec(bytes.substr(bytes.size() - 4));
+  EASIA_ASSIGN_OR_RETURN(uint32_t crc, crc_dec.GetU32());
+  if (Crc32(body) != crc) {
+    return Status::Corruption("archive: crc mismatch");
+  }
+  Decoder dec(body);
+  EASIA_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());
+  std::map<std::string, std::string> files;
+  for (uint32_t i = 0; i < count; ++i) {
+    EASIA_ASSIGN_OR_RETURN(std::string name, dec.GetLengthPrefixed());
+    EASIA_ASSIGN_OR_RETURN(std::string contents, dec.GetLengthPrefixed());
+    files[std::move(name)] = std::move(contents);
+  }
+  if (!dec.Done()) return Status::Corruption("archive: trailing bytes");
+  return files;
+}
+
+bool IsPackedFormat(std::string_view format) {
+  return format == "jar" || format == "zip" || format == "tar" ||
+         format == "tar.Z" || format == "gz" || format == "earc";
+}
+
+}  // namespace easia::ops

@@ -1,0 +1,30 @@
+#ifndef EASIA_OPS_ARCHIVE_H_
+#define EASIA_OPS_ARCHIVE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace easia::ops {
+
+/// A minimal multi-file container standing in for the paper's packaging
+/// formats ("various compressed archive formats such as tar.Z, gz, zip,
+/// tar"). Operation bundles are packed with this before being archived as
+/// DATALINK code files; the startup batch file "unpacks the operation into
+/// the temporary directory".
+///
+/// Layout: magic "EARC" | u32 nfiles | nfiles * (name, bytes) length-
+/// prefixed | u32 crc32 of everything after the magic.
+std::string PackArchive(const std::map<std::string, std::string>& files);
+Result<std::map<std::string, std::string>> UnpackArchive(
+    std::string_view bytes);
+
+/// True when `format` names a packed container ("jar", "zip", "tar",
+/// "tar.Z", "gz", "earc"); "ea" (a bare script) is not packed.
+bool IsPackedFormat(std::string_view format);
+
+}  // namespace easia::ops
+
+#endif  // EASIA_OPS_ARCHIVE_H_

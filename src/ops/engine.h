@@ -1,0 +1,185 @@
+#ifndef EASIA_OPS_ENGINE_H_
+#define EASIA_OPS_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "fileserver/file_server.h"
+#include "ops/native.h"
+#include "script/interpreter.h"
+#include "sim/network.h"
+#include "xuis/model.h"
+
+namespace easia::ops {
+
+/// Who is invoking an operation (the paper's guest restrictions apply).
+struct InvocationContext {
+  std::string user = "guest";
+  bool is_guest = true;
+  std::string session_id = "session0";
+};
+
+/// Per-operation counters ("store operation statistics ... for the benefit
+/// of future users" — a paper future-work item, implemented here).
+struct OperationStats {
+  uint64_t invocations = 0;
+  uint64_t cache_hits = 0;
+  uint64_t failures = 0;
+  double total_exec_seconds = 0;
+  uint64_t total_input_bytes = 0;
+  uint64_t total_output_bytes = 0;
+};
+
+/// The outcome of one server-side operation invocation.
+struct OperationResult {
+  std::string host;       // file-server host that executed the code
+  std::string temp_dir;   // per-invocation temporary directory
+  OperationOutput output;
+  /// URLs of output files placed in the temp dir (downloadable).
+  std::vector<std::string> output_urls;
+  double exec_seconds = 0;     // modelled host processing time
+  uint64_t input_bytes = 0;    // dataset bytes streamed through the code
+  uint64_t output_bytes = 0;   // bytes produced (to ship to the user)
+  uint64_t code_bytes = 0;     // code moved to the data's host
+  bool cache_hit = false;
+  uint64_t script_steps = 0;   // EaScript sandbox accounting
+};
+
+/// One step of an operation chain (paper future work: "operation
+/// chaining"): the named operation with its own parameters. Step k+1 runs
+/// over step k's first output file.
+struct ChainStep {
+  const xuis::OperationSpec* op = nullptr;
+  fs::HttpParams params;
+};
+
+/// Progress events emitted during an invocation (paper future work:
+/// "runtime monitoring of operation progress").
+struct ProgressEvent {
+  enum class Stage {
+    kResolvingCode,
+    kStaging,
+    kExecuting,
+    kCollectingOutputs,
+    kDone,
+    kFailed,
+  };
+  Stage stage;
+  std::string operation;
+  std::string detail;
+};
+
+using ProgressListener = std::function<void(const ProgressEvent& event)>;
+
+std::string_view ProgressStageName(ProgressEvent::Stage stage);
+
+/// Executes XUIS operations next to the data: resolves the code location
+/// (database.result query or URL endpoint), stages code into a temporary
+/// directory on the dataset's host (the paper's batch-file mechanism), runs
+/// it — native C++ codes or sandboxed EaScript — and collects outputs.
+class OperationEngine {
+ public:
+  /// `network` (optional) provides processing-time and code-shipping
+  /// models; without it timings are reported as zero.
+  OperationEngine(db::Database* database, fs::FileServerFleet* fleet,
+                  sim::Network* network = nullptr);
+
+  /// Results caching (paper future work: "caching operations results").
+  void set_caching(bool enabled) { caching_ = enabled; }
+  script::SandboxLimits& sandbox_limits() { return sandbox_limits_; }
+  NativeRegistry& natives() { return natives_; }
+
+  /// Invokes `op` against the dataset referenced by `dataset_url` (token
+  /// form accepted; execution is server-side and reads the VFS directly).
+  Result<OperationResult> Invoke(const xuis::OperationSpec& op,
+                                 const std::string& dataset_url,
+                                 const fs::HttpParams& params,
+                                 const InvocationContext& ctx);
+
+  /// Runs a chain of operations: step k+1's dataset is step k's first
+  /// output file (which lives in a temp dir on the executing host, so the
+  /// intermediate product never leaves the file server). Returns the
+  /// per-step results; fails on the first failing step.
+  Result<std::vector<OperationResult>> InvokeChain(
+      const std::vector<ChainStep>& steps, const std::string& dataset_url,
+      const InvocationContext& ctx);
+
+  /// Applies one operation to several datasets (paper future work:
+  /// "operations applied to multiple datasets"). Each dataset's code runs
+  /// on its own host; `makespan_seconds` models the hosts working in
+  /// parallel (per-host work divided over its parallel slots).
+  struct MultiResult {
+    std::vector<OperationResult> results;
+    double makespan_seconds = 0;
+    double serial_seconds = 0;  // single-host equivalent, for comparison
+  };
+  Result<MultiResult> InvokeMulti(const xuis::OperationSpec& op,
+                                  const std::vector<std::string>& dataset_urls,
+                                  const fs::HttpParams& params,
+                                  const InvocationContext& ctx);
+
+  /// Installs a progress listener receiving stage events for every
+  /// invocation (null to remove).
+  void set_progress_listener(ProgressListener listener) {
+    progress_ = std::move(listener);
+  }
+
+  /// Runs user-uploaded code under `upload` authorisation: unpack into a
+  /// temp dir, interpret `entry_filename` under the sandbox.
+  Result<OperationResult> RunUploadedCode(const xuis::UploadSpec& upload,
+                                          const std::string& packaged_code,
+                                          const std::string& entry_filename,
+                                          const std::string& dataset_url,
+                                          const fs::HttpParams& params,
+                                          const InvocationContext& ctx);
+
+  const std::map<std::string, OperationStats>& stats() const {
+    return stats_;
+  }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  /// Resolves a database.result location to the code file's bytes.
+  Result<std::pair<std::string, std::string>> FetchCode(
+      const xuis::OperationLocation& location);  // (code_url, bytes)
+
+  Result<OperationResult> ExecuteScript(const std::string& stats_key,
+                                        const std::string& source,
+                                        const std::string& dataset_url,
+                                        const fs::HttpParams& params,
+                                        const InvocationContext& ctx,
+                                        uint64_t code_bytes);
+
+  Result<OperationResult> FinishResult(const std::string& stats_key,
+                                       OperationResult result,
+                                       const std::string& cache_key);
+
+  std::string CacheKey(const std::string& op_name,
+                       const std::string& dataset_url,
+                       const fs::HttpParams& params) const;
+
+  void Emit(ProgressEvent::Stage stage, const std::string& operation,
+            const std::string& detail) const;
+
+  Result<OperationResult> InvokeInternal(const xuis::OperationSpec& op,
+                                         const std::string& dataset_url,
+                                         const fs::HttpParams& params,
+                                         const InvocationContext& ctx);
+
+  db::Database* database_;
+  fs::FileServerFleet* fleet_;
+  sim::Network* network_;
+  NativeRegistry natives_;
+  script::SandboxLimits sandbox_limits_;
+  bool caching_ = false;
+  std::map<std::string, OperationResult> cache_;
+  std::map<std::string, OperationStats> stats_;
+  ProgressListener progress_;
+};
+
+}  // namespace easia::ops
+
+#endif  // EASIA_OPS_ENGINE_H_

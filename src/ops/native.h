@@ -1,0 +1,67 @@
+#ifndef EASIA_OPS_NATIVE_H_
+#define EASIA_OPS_NATIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fileserver/file_server.h"
+
+namespace easia::ops {
+
+/// What an operation produced: printed text plus files written to the
+/// invocation's temporary directory.
+struct OperationOutput {
+  std::string text;
+  std::vector<std::pair<std::string, std::string>> files;  // name -> bytes
+  /// Set for sparse (size-only) datasets, where bytes are modelled rather
+  /// than materialised.
+  bool simulated = false;
+  uint64_t simulated_output_bytes = 0;
+
+  uint64_t TotalFileBytes() const;
+};
+
+/// A compiled-in post-processing code ("existing FORTRAN/C codes applied to
+/// the files without rewriting" — here, C++ functions over TBF bytes).
+struct NativeOperation {
+  /// Runs over materialised dataset bytes.
+  std::function<Result<OperationOutput>(const std::string& dataset_bytes,
+                                        const fs::HttpParams& params)>
+      run;
+  /// Output-size model for sparse datasets: bytes in -> bytes out. Drives
+  /// the data-reduction benchmarks at paper scale (544 MB inputs).
+  std::function<uint64_t(uint64_t input_bytes)> reduction_model;
+};
+
+/// Registry of native operations available on every file-server host.
+class NativeRegistry {
+ public:
+  void Register(const std::string& name, NativeOperation op);
+  Result<const NativeOperation*> Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// The standard EASIA post-processing suite:
+  ///  * GetImage  — extract a slice, render PGM (params: slice=x|y|z
+  ///                index=<i> type=u|v|w|p)
+  ///  * FieldStats — min/max/mean/rms per component (text output)
+  ///  * SliceCsv  — slice as CSV (params as GetImage)
+  ///  * Subsample — decimate the grid by `factor`, emit a smaller TBF
+  ///  * KineticEnergy — volume-averaged kinetic energy (text)
+  static NativeRegistry BuiltIns();
+
+ private:
+  std::map<std::string, NativeOperation> ops_;
+};
+
+/// Infers the grid extent n from a TBF file size (4 * n^3 doubles + header).
+/// Used by reduction models when only a sparse size is known.
+size_t GridFromFileBytes(uint64_t bytes);
+
+}  // namespace easia::ops
+
+#endif  // EASIA_OPS_NATIVE_H_

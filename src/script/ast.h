@@ -1,0 +1,77 @@
+#ifndef EASIA_SCRIPT_AST_H_
+#define EASIA_SCRIPT_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "script/value.h"
+
+namespace easia::script {
+
+/// EaScript expression node.
+struct SExpr {
+  enum class Kind {
+    kLiteral,    // number/string/bool/null
+    kVariable,   // name
+    kUnary,      // -e, !e
+    kBinary,     // arithmetic / comparison / logic / %
+    kCall,       // name(args)
+    kIndex,      // base[index]
+    kArrayLit,   // [a, b, c]
+  };
+
+  enum class Op {
+    kNone,
+    kAdd, kSub, kMul, kDiv, kMod,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAnd, kOr,
+    kNeg, kNot,
+  };
+
+  Kind kind = Kind::kLiteral;
+  Op op = Op::kNone;
+  size_t line = 0;
+  ScriptValue literal;
+  std::string name;  // variable / function name
+  std::unique_ptr<SExpr> left;
+  std::unique_ptr<SExpr> right;
+  std::vector<std::unique_ptr<SExpr>> args;
+};
+
+/// EaScript statement node.
+struct SStmt {
+  enum class Kind {
+    kLet,        // let name = expr;
+    kAssign,     // name = expr;  |  name[idx] = expr;
+    kExpr,       // expr;
+    kIf,         // if (cond) block [else block]
+    kWhile,      // while (cond) block
+    kFor,        // for (init; cond; step) block
+    kReturn,     // return [expr];
+    kBreak,
+    kContinue,
+    kBlock,
+    kFuncDef,    // func name(params) block
+  };
+
+  Kind kind = Kind::kExpr;
+  size_t line = 0;
+  std::string name;                      // let/assign/funcdef target
+  std::unique_ptr<SExpr> index;          // for indexed assignment
+  std::unique_ptr<SExpr> expr;           // value / condition
+  std::unique_ptr<SStmt> init;           // for
+  std::unique_ptr<SExpr> cond;           // for/while/if
+  std::unique_ptr<SStmt> step;           // for
+  std::vector<std::unique_ptr<SStmt>> body;
+  std::vector<std::unique_ptr<SStmt>> else_body;
+  std::vector<std::string> params;       // funcdef
+};
+
+struct Program {
+  std::vector<std::unique_ptr<SStmt>> statements;
+};
+
+}  // namespace easia::script
+
+#endif  // EASIA_SCRIPT_AST_H_

@@ -1,0 +1,630 @@
+#include "script/interpreter.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "script/ast.h"
+#include "script/parser.h"
+
+namespace easia::script {
+
+namespace {
+
+/// Non-error control-flow signals raised by statements.
+enum class Flow { kNormal, kBreak, kContinue, kReturn };
+
+struct UserFunction {
+  const SStmt* def = nullptr;
+};
+
+class Execution {
+ public:
+  Execution(const SandboxLimits& limits,
+            const std::map<std::string, HostFunction>& host_functions,
+            const std::vector<std::string>& args)
+      : limits_(limits), host_functions_(host_functions), args_(args) {
+    scopes_.emplace_back();  // globals
+  }
+
+  Result<ExecutionResult> Run(const Program& program) {
+    // Hoist function definitions so forward calls work.
+    for (const auto& stmt : program.statements) {
+      if (stmt->kind == SStmt::Kind::kFuncDef) {
+        functions_[stmt->name] = UserFunction{stmt.get()};
+      }
+    }
+    for (const auto& stmt : program.statements) {
+      if (stmt->kind == SStmt::Kind::kFuncDef) continue;
+      EASIA_ASSIGN_OR_RETURN(Flow flow, ExecStmt(*stmt));
+      if (flow == Flow::kReturn) break;
+      if (flow != Flow::kNormal) {
+        return Status::InvalidArgument(
+            "eascript: break/continue outside a loop");
+      }
+    }
+    ExecutionResult result;
+    result.return_value = return_value_;
+    result.output = std::move(output_);
+    result.steps_used = steps_;
+    return result;
+  }
+
+ private:
+  using Scope = std::map<std::string, ScriptValue>;
+
+  Status Tick(size_t line) {
+    if (++steps_ > limits_.max_steps) {
+      return Status::ResourceExhausted(
+          StrPrintf("eascript:%zu: step quota exceeded (%llu)", line,
+                    static_cast<unsigned long long>(limits_.max_steps)));
+    }
+    return Status::OK();
+  }
+
+  Status ChargeMemory(const ScriptValue& v, size_t line) {
+    memory_used_ += v.MemoryFootprint();
+    if (memory_used_ > limits_.max_memory_bytes) {
+      return Status::ResourceExhausted(
+          StrPrintf("eascript:%zu: memory quota exceeded", line));
+    }
+    return Status::OK();
+  }
+
+  ScriptValue* FindVariable(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  Result<Flow> ExecBlock(const std::vector<std::unique_ptr<SStmt>>& body) {
+    scopes_.emplace_back();
+    Flow flow = Flow::kNormal;
+    Status status = Status::OK();
+    for (const auto& stmt : body) {
+      Result<Flow> r = ExecStmt(*stmt);
+      if (!r.ok()) {
+        status = r.status();
+        break;
+      }
+      if (*r != Flow::kNormal) {
+        flow = *r;
+        break;
+      }
+    }
+    scopes_.pop_back();
+    if (!status.ok()) return status;
+    return flow;
+  }
+
+  Result<Flow> ExecStmt(const SStmt& stmt) {
+    EASIA_RETURN_IF_ERROR(Tick(stmt.line));
+    switch (stmt.kind) {
+      case SStmt::Kind::kLet: {
+        EASIA_ASSIGN_OR_RETURN(ScriptValue v, Eval(*stmt.expr));
+        EASIA_RETURN_IF_ERROR(ChargeMemory(v, stmt.line));
+        scopes_.back()[stmt.name] = std::move(v);
+        return Flow::kNormal;
+      }
+      case SStmt::Kind::kAssign: {
+        ScriptValue* slot = FindVariable(stmt.name);
+        if (slot == nullptr) {
+          return Status::InvalidArgument(
+              StrPrintf("eascript:%zu: assignment to undeclared variable %s",
+                        stmt.line, stmt.name.c_str()));
+        }
+        EASIA_ASSIGN_OR_RETURN(ScriptValue v, Eval(*stmt.expr));
+        EASIA_RETURN_IF_ERROR(ChargeMemory(v, stmt.line));
+        if (stmt.index != nullptr) {
+          if (!slot->IsArray()) {
+            return Status::InvalidArgument(
+                StrPrintf("eascript:%zu: indexed assignment to non-array",
+                          stmt.line));
+          }
+          EASIA_ASSIGN_OR_RETURN(ScriptValue idx, Eval(*stmt.index));
+          if (!idx.IsNumber()) {
+            return Status::InvalidArgument(
+                StrPrintf("eascript:%zu: array index must be a number",
+                          stmt.line));
+          }
+          auto& arr = slot->AsArray();
+          int64_t i = static_cast<int64_t>(idx.AsNumber());
+          if (i < 0 || static_cast<size_t>(i) >= arr.size()) {
+            return Status::OutOfRange(
+                StrPrintf("eascript:%zu: index %lld out of bounds (len %zu)",
+                          stmt.line, static_cast<long long>(i), arr.size()));
+          }
+          arr[static_cast<size_t>(i)] = std::move(v);
+        } else {
+          *slot = std::move(v);
+        }
+        return Flow::kNormal;
+      }
+      case SStmt::Kind::kExpr: {
+        EASIA_ASSIGN_OR_RETURN(ScriptValue v, Eval(*stmt.expr));
+        (void)v;
+        return Flow::kNormal;
+      }
+      case SStmt::Kind::kIf: {
+        EASIA_ASSIGN_OR_RETURN(ScriptValue cond, Eval(*stmt.cond));
+        if (cond.Truthy()) return ExecBlock(stmt.body);
+        return ExecBlock(stmt.else_body);
+      }
+      case SStmt::Kind::kWhile: {
+        while (true) {
+          EASIA_RETURN_IF_ERROR(Tick(stmt.line));
+          EASIA_ASSIGN_OR_RETURN(ScriptValue cond, Eval(*stmt.cond));
+          if (!cond.Truthy()) break;
+          EASIA_ASSIGN_OR_RETURN(Flow flow, ExecBlock(stmt.body));
+          if (flow == Flow::kBreak) break;
+          if (flow == Flow::kReturn) return Flow::kReturn;
+        }
+        return Flow::kNormal;
+      }
+      case SStmt::Kind::kFor: {
+        scopes_.emplace_back();  // scope for loop variable
+        Status status = Status::OK();
+        Result<Flow> init = ExecStmt(*stmt.init);
+        if (!init.ok()) {
+          scopes_.pop_back();
+          return init.status();
+        }
+        while (true) {
+          Status tick = Tick(stmt.line);
+          if (!tick.ok()) {
+            status = tick;
+            break;
+          }
+          Result<ScriptValue> cond = Eval(*stmt.cond);
+          if (!cond.ok()) {
+            status = cond.status();
+            break;
+          }
+          if (!cond->Truthy()) break;
+          Result<Flow> flow = ExecBlock(stmt.body);
+          if (!flow.ok()) {
+            status = flow.status();
+            break;
+          }
+          if (*flow == Flow::kBreak) break;
+          if (*flow == Flow::kReturn) {
+            scopes_.pop_back();
+            return Flow::kReturn;
+          }
+          Result<Flow> step = ExecStmt(*stmt.step);
+          if (!step.ok()) {
+            status = step.status();
+            break;
+          }
+        }
+        scopes_.pop_back();
+        if (!status.ok()) return status;
+        return Flow::kNormal;
+      }
+      case SStmt::Kind::kReturn: {
+        if (stmt.expr != nullptr) {
+          EASIA_ASSIGN_OR_RETURN(return_value_, Eval(*stmt.expr));
+        } else {
+          return_value_ = ScriptValue::Null();
+        }
+        return Flow::kReturn;
+      }
+      case SStmt::Kind::kBreak:
+        return Flow::kBreak;
+      case SStmt::Kind::kContinue:
+        return Flow::kContinue;
+      case SStmt::Kind::kBlock:
+        return ExecBlock(stmt.body);
+      case SStmt::Kind::kFuncDef:
+        functions_[stmt.name] = UserFunction{&stmt};
+        return Flow::kNormal;
+    }
+    return Status::Internal("eascript: bad statement kind");
+  }
+
+  Result<ScriptValue> Eval(const SExpr& expr) {
+    EASIA_RETURN_IF_ERROR(Tick(expr.line));
+    switch (expr.kind) {
+      case SExpr::Kind::kLiteral:
+        return expr.literal;
+      case SExpr::Kind::kVariable: {
+        ScriptValue* slot = FindVariable(expr.name);
+        if (slot == nullptr) {
+          return Status::InvalidArgument(
+              StrPrintf("eascript:%zu: undefined variable %s", expr.line,
+                        expr.name.c_str()));
+        }
+        return *slot;
+      }
+      case SExpr::Kind::kUnary: {
+        EASIA_ASSIGN_OR_RETURN(ScriptValue v, Eval(*expr.left));
+        if (expr.op == SExpr::Op::kNeg) {
+          if (!v.IsNumber()) {
+            return Status::InvalidArgument(
+                StrPrintf("eascript:%zu: unary '-' on non-number", expr.line));
+          }
+          return ScriptValue::Number(-v.AsNumber());
+        }
+        return ScriptValue::Bool(!v.Truthy());
+      }
+      case SExpr::Kind::kBinary:
+        return EvalBinary(expr);
+      case SExpr::Kind::kIndex: {
+        EASIA_ASSIGN_OR_RETURN(ScriptValue base, Eval(*expr.left));
+        EASIA_ASSIGN_OR_RETURN(ScriptValue idx, Eval(*expr.right));
+        if (!idx.IsNumber()) {
+          return Status::InvalidArgument(
+              StrPrintf("eascript:%zu: index must be a number", expr.line));
+        }
+        int64_t i = static_cast<int64_t>(idx.AsNumber());
+        if (base.IsArray()) {
+          const auto& arr = base.AsArray();
+          if (i < 0 || static_cast<size_t>(i) >= arr.size()) {
+            return Status::OutOfRange(
+                StrPrintf("eascript:%zu: index %lld out of bounds (len %zu)",
+                          expr.line, static_cast<long long>(i), arr.size()));
+          }
+          return arr[static_cast<size_t>(i)];
+        }
+        if (base.IsString()) {
+          const std::string& s = base.AsString();
+          if (i < 0 || static_cast<size_t>(i) >= s.size()) {
+            return Status::OutOfRange(
+                StrPrintf("eascript:%zu: string index out of bounds",
+                          expr.line));
+          }
+          return ScriptValue::Str(std::string(1, s[static_cast<size_t>(i)]));
+        }
+        return Status::InvalidArgument(
+            StrPrintf("eascript:%zu: indexing a non-indexable value",
+                      expr.line));
+      }
+      case SExpr::Kind::kArrayLit: {
+        std::vector<ScriptValue> items;
+        items.reserve(expr.args.size());
+        for (const auto& a : expr.args) {
+          EASIA_ASSIGN_OR_RETURN(ScriptValue v, Eval(*a));
+          items.push_back(std::move(v));
+        }
+        ScriptValue arr = ScriptValue::ArrayOf(std::move(items));
+        EASIA_RETURN_IF_ERROR(ChargeMemory(arr, expr.line));
+        return arr;
+      }
+      case SExpr::Kind::kCall:
+        return EvalCall(expr);
+    }
+    return Status::Internal("eascript: bad expression kind");
+  }
+
+  Result<ScriptValue> EvalBinary(const SExpr& expr) {
+    // Short-circuit logic.
+    if (expr.op == SExpr::Op::kAnd || expr.op == SExpr::Op::kOr) {
+      EASIA_ASSIGN_OR_RETURN(ScriptValue lhs, Eval(*expr.left));
+      bool l = lhs.Truthy();
+      if (expr.op == SExpr::Op::kAnd && !l) return ScriptValue::Bool(false);
+      if (expr.op == SExpr::Op::kOr && l) return ScriptValue::Bool(true);
+      EASIA_ASSIGN_OR_RETURN(ScriptValue rhs, Eval(*expr.right));
+      return ScriptValue::Bool(rhs.Truthy());
+    }
+    EASIA_ASSIGN_OR_RETURN(ScriptValue lhs, Eval(*expr.left));
+    EASIA_ASSIGN_OR_RETURN(ScriptValue rhs, Eval(*expr.right));
+    auto type_error = [&]() {
+      return Status::InvalidArgument(
+          StrPrintf("eascript:%zu: type error in binary expression",
+                    expr.line));
+    };
+    switch (expr.op) {
+      case SExpr::Op::kAdd:
+        if (lhs.IsNumber() && rhs.IsNumber()) {
+          return ScriptValue::Number(lhs.AsNumber() + rhs.AsNumber());
+        }
+        if (lhs.IsString() || rhs.IsString()) {
+          ScriptValue v =
+              ScriptValue::Str(lhs.ToDisplay() + rhs.ToDisplay());
+          EASIA_RETURN_IF_ERROR(ChargeMemory(v, expr.line));
+          return v;
+        }
+        return type_error();
+      case SExpr::Op::kSub:
+      case SExpr::Op::kMul:
+      case SExpr::Op::kDiv:
+      case SExpr::Op::kMod: {
+        if (!lhs.IsNumber() || !rhs.IsNumber()) return type_error();
+        double a = lhs.AsNumber(), b = rhs.AsNumber();
+        switch (expr.op) {
+          case SExpr::Op::kSub: return ScriptValue::Number(a - b);
+          case SExpr::Op::kMul: return ScriptValue::Number(a * b);
+          case SExpr::Op::kDiv:
+            if (b == 0) {
+              return Status::InvalidArgument(
+                  StrPrintf("eascript:%zu: division by zero", expr.line));
+            }
+            return ScriptValue::Number(a / b);
+          case SExpr::Op::kMod:
+            if (b == 0) {
+              return Status::InvalidArgument(
+                  StrPrintf("eascript:%zu: modulo by zero", expr.line));
+            }
+            return ScriptValue::Number(std::fmod(a, b));
+          default:
+            break;
+        }
+        return type_error();
+      }
+      case SExpr::Op::kEq:
+        return ScriptValue::Bool(lhs.Equals(rhs));
+      case SExpr::Op::kNe:
+        return ScriptValue::Bool(!lhs.Equals(rhs));
+      case SExpr::Op::kLt:
+      case SExpr::Op::kLe:
+      case SExpr::Op::kGt:
+      case SExpr::Op::kGe: {
+        int cmp;
+        if (lhs.IsNumber() && rhs.IsNumber()) {
+          double a = lhs.AsNumber(), b = rhs.AsNumber();
+          cmp = a < b ? -1 : (a > b ? 1 : 0);
+        } else if (lhs.IsString() && rhs.IsString()) {
+          cmp = lhs.AsString().compare(rhs.AsString());
+          cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+        } else {
+          return type_error();
+        }
+        switch (expr.op) {
+          case SExpr::Op::kLt: return ScriptValue::Bool(cmp < 0);
+          case SExpr::Op::kLe: return ScriptValue::Bool(cmp <= 0);
+          case SExpr::Op::kGt: return ScriptValue::Bool(cmp > 0);
+          case SExpr::Op::kGe: return ScriptValue::Bool(cmp >= 0);
+          default: break;
+        }
+        return type_error();
+      }
+      default:
+        return Status::Internal("eascript: bad binary operator");
+    }
+  }
+
+  Result<ScriptValue> EvalCall(const SExpr& expr) {
+    std::vector<ScriptValue> args;
+    args.reserve(expr.args.size());
+    for (const auto& a : expr.args) {
+      EASIA_ASSIGN_OR_RETURN(ScriptValue v, Eval(*a));
+      args.push_back(std::move(v));
+    }
+    // User-defined functions shadow builtins/host functions.
+    auto user = functions_.find(expr.name);
+    if (user != functions_.end()) {
+      return CallUserFunction(*user->second.def, std::move(args), expr.line);
+    }
+    Result<ScriptValue> builtin = CallBuiltin(expr.name, args, expr.line);
+    if (builtin.ok() ||
+        builtin.status().code() != StatusCode::kNotFound) {
+      return builtin;
+    }
+    auto host = host_functions_.find(expr.name);
+    if (host != host_functions_.end()) {
+      Result<ScriptValue> r = host->second(args);
+      if (!r.ok()) {
+        return r.status().WithContext(
+            StrPrintf("eascript:%zu: %s()", expr.line, expr.name.c_str()));
+      }
+      EASIA_RETURN_IF_ERROR(ChargeMemory(*r, expr.line));
+      return r;
+    }
+    return Status::InvalidArgument(StrPrintf(
+        "eascript:%zu: unknown function %s", expr.line, expr.name.c_str()));
+  }
+
+  Result<ScriptValue> CallUserFunction(const SStmt& def,
+                                       std::vector<ScriptValue> args,
+                                       size_t line) {
+    if (++call_depth_ > limits_.max_call_depth) {
+      --call_depth_;
+      return Status::ResourceExhausted(
+          StrPrintf("eascript:%zu: call depth limit exceeded", line));
+    }
+    if (args.size() != def.params.size()) {
+      --call_depth_;
+      return Status::InvalidArgument(
+          StrPrintf("eascript:%zu: %s expects %zu arguments, got %zu", line,
+                    def.name.c_str(), def.params.size(), args.size()));
+    }
+    // Function bodies see only their own scope (no closures), mirroring the
+    // isolation of a separately invoked interpreter.
+    std::vector<Scope> saved = std::move(scopes_);
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (size_t i = 0; i < args.size(); ++i) {
+      scopes_.back()[def.params[i]] = std::move(args[i]);
+    }
+    ScriptValue saved_return = return_value_;
+    return_value_ = ScriptValue::Null();
+    Result<Flow> flow = ExecBlock(def.body);
+    ScriptValue result = return_value_;
+    return_value_ = saved_return;
+    scopes_ = std::move(saved);
+    --call_depth_;
+    if (!flow.ok()) return flow.status();
+    return result;
+  }
+
+  Result<ScriptValue> CallBuiltin(const std::string& name,
+                                  std::vector<ScriptValue>& args,
+                                  size_t line) {
+    auto argc_error = [&]() {
+      return Status::InvalidArgument(
+          StrPrintf("eascript:%zu: wrong argument count for %s", line,
+                    name.c_str()));
+    };
+    auto num = [&](size_t i) { return args[i].AsNumber(); };
+    if (name == "len") {
+      if (args.size() != 1) return argc_error();
+      if (args[0].IsString()) {
+        return ScriptValue::Number(
+            static_cast<double>(args[0].AsString().size()));
+      }
+      if (args[0].IsArray()) {
+        return ScriptValue::Number(
+            static_cast<double>(args[0].AsArray().size()));
+      }
+      return Status::InvalidArgument(
+          StrPrintf("eascript:%zu: len() of non-sequence", line));
+    }
+    if (name == "str") {
+      if (args.size() != 1) return argc_error();
+      return ScriptValue::Str(args[0].ToDisplay());
+    }
+    if (name == "num") {
+      if (args.size() != 1) return argc_error();
+      if (args[0].IsNumber()) return args[0];
+      if (args[0].IsString()) {
+        Result<double> v = ParseDouble(args[0].AsString());
+        if (!v.ok()) {
+          return Status::InvalidArgument(
+              StrPrintf("eascript:%zu: num() cannot parse '%s'", line,
+                        args[0].AsString().c_str()));
+        }
+        return ScriptValue::Number(*v);
+      }
+      return Status::InvalidArgument(
+          StrPrintf("eascript:%zu: num() of non-numeric value", line));
+    }
+    if (name == "floor" || name == "ceil" || name == "sqrt" || name == "abs" ||
+        name == "exp" || name == "log" || name == "sin" || name == "cos") {
+      if (args.size() != 1 || !args[0].IsNumber()) return argc_error();
+      double x = num(0);
+      if (name == "floor") return ScriptValue::Number(std::floor(x));
+      if (name == "ceil") return ScriptValue::Number(std::ceil(x));
+      if (name == "sqrt") {
+        if (x < 0) {
+          return Status::InvalidArgument(
+              StrPrintf("eascript:%zu: sqrt of negative number", line));
+        }
+        return ScriptValue::Number(std::sqrt(x));
+      }
+      if (name == "abs") return ScriptValue::Number(std::fabs(x));
+      if (name == "exp") return ScriptValue::Number(std::exp(x));
+      if (name == "log") {
+        if (x <= 0) {
+          return Status::InvalidArgument(
+              StrPrintf("eascript:%zu: log of non-positive number", line));
+        }
+        return ScriptValue::Number(std::log(x));
+      }
+      if (name == "sin") return ScriptValue::Number(std::sin(x));
+      return ScriptValue::Number(std::cos(x));
+    }
+    if (name == "min" || name == "max" || name == "pow") {
+      if (args.size() != 2 || !args[0].IsNumber() || !args[1].IsNumber()) {
+        return argc_error();
+      }
+      if (name == "min") return ScriptValue::Number(std::min(num(0), num(1)));
+      if (name == "max") return ScriptValue::Number(std::max(num(0), num(1)));
+      return ScriptValue::Number(std::pow(num(0), num(1)));
+    }
+    if (name == "push") {
+      if (args.size() != 2 || !args[0].IsArray()) return argc_error();
+      args[0].AsArray().push_back(args[1]);
+      EASIA_RETURN_IF_ERROR(ChargeMemory(args[1], line));
+      return args[0];
+    }
+    if (name == "pop") {
+      if (args.size() != 1 || !args[0].IsArray()) return argc_error();
+      auto& arr = args[0].AsArray();
+      if (arr.empty()) {
+        return Status::OutOfRange(
+            StrPrintf("eascript:%zu: pop() from empty array", line));
+      }
+      ScriptValue v = arr.back();
+      arr.pop_back();
+      return v;
+    }
+    if (name == "array") {
+      if (args.size() != 2 || !args[0].IsNumber()) return argc_error();
+      int64_t n = static_cast<int64_t>(num(0));
+      if (n < 0 || static_cast<uint64_t>(n) * 16 > limits_.max_memory_bytes) {
+        return Status::ResourceExhausted(
+            StrPrintf("eascript:%zu: array(%lld) exceeds memory quota", line,
+                      static_cast<long long>(n)));
+      }
+      ScriptValue arr = ScriptValue::ArrayOf(
+          std::vector<ScriptValue>(static_cast<size_t>(n), args[1]));
+      EASIA_RETURN_IF_ERROR(ChargeMemory(arr, line));
+      return arr;
+    }
+    if (name == "substr") {
+      if (args.size() != 3 || !args[0].IsString() || !args[1].IsNumber() ||
+          !args[2].IsNumber()) {
+        return argc_error();
+      }
+      const std::string& s = args[0].AsString();
+      int64_t from = static_cast<int64_t>(num(1));
+      int64_t count = static_cast<int64_t>(num(2));
+      if (from < 0) from = 0;
+      if (static_cast<size_t>(from) >= s.size() || count <= 0) {
+        return ScriptValue::Str("");
+      }
+      return ScriptValue::Str(
+          s.substr(static_cast<size_t>(from),
+                   static_cast<size_t>(count)));
+    }
+    if (name == "print") {
+      std::string text;
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) text += " ";
+        text += args[i].ToDisplay();
+      }
+      text += "\n";
+      if (output_.size() + text.size() > limits_.max_output_bytes) {
+        return Status::ResourceExhausted(
+            StrPrintf("eascript:%zu: output quota exceeded", line));
+      }
+      output_ += text;
+      return ScriptValue::Null();
+    }
+    if (name == "arg") {
+      if (args.size() != 1 || !args[0].IsNumber()) return argc_error();
+      int64_t i = static_cast<int64_t>(num(0));
+      if (i < 0 || static_cast<size_t>(i) >= args_.size()) {
+        return Status::OutOfRange(
+            StrPrintf("eascript:%zu: arg(%lld) out of range", line,
+                      static_cast<long long>(i)));
+      }
+      return ScriptValue::Str(args_[static_cast<size_t>(i)]);
+    }
+    if (name == "argc") {
+      if (!args.empty()) return argc_error();
+      return ScriptValue::Number(static_cast<double>(args_.size()));
+    }
+    return Status::NotFound("not a builtin");
+  }
+
+  const SandboxLimits& limits_;
+  const std::map<std::string, HostFunction>& host_functions_;
+  const std::vector<std::string>& args_;
+  std::vector<Scope> scopes_;
+  std::map<std::string, UserFunction> functions_;
+  ScriptValue return_value_;
+  std::string output_;
+  uint64_t steps_ = 0;
+  uint64_t memory_used_ = 0;
+  size_t call_depth_ = 0;
+};
+
+}  // namespace
+
+Interpreter::Interpreter(SandboxLimits limits) : limits_(limits) {}
+
+void Interpreter::RegisterFunction(const std::string& name, HostFunction fn) {
+  host_functions_[name] = std::move(fn);
+}
+
+Result<ExecutionResult> Interpreter::Run(std::string_view source,
+                                         const std::vector<std::string>& args) {
+  EASIA_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
+                         ParseScript(source));
+  Execution exec(limits_, host_functions_, args);
+  return exec.Run(*program);
+}
+
+}  // namespace easia::script

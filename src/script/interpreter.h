@@ -1,0 +1,59 @@
+#ifndef EASIA_SCRIPT_INTERPRETER_H_
+#define EASIA_SCRIPT_INTERPRETER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "script/value.h"
+
+namespace easia::script {
+
+/// A host function exposed to scripts (file I/O, dataset access, ...). The
+/// ops layer registers these with sandbox policy baked in — scripts have NO
+/// other way to touch the outside world.
+using HostFunction =
+    std::function<Result<ScriptValue>(std::vector<ScriptValue>& args)>;
+
+/// Resource quotas enforced during execution (the paper's 'sandboxing'
+/// restrictions for uploaded code, recast from the Java security manager).
+struct SandboxLimits {
+  uint64_t max_steps = 50'000'000;      // evaluation steps
+  uint64_t max_memory_bytes = 64 << 20; // live value bytes (approximate)
+  size_t max_call_depth = 128;
+  size_t max_output_bytes = 1 << 20;    // print() capture cap
+};
+
+struct ExecutionResult {
+  ScriptValue return_value;
+  std::string output;       // everything print()ed
+  uint64_t steps_used = 0;
+};
+
+/// Tree-walking EaScript interpreter with deterministic, quota-enforced
+/// execution. Each Run() is hermetic: fresh globals, fresh output buffer.
+class Interpreter {
+ public:
+  explicit Interpreter(SandboxLimits limits = {});
+
+  /// Exposes a host function. Re-registering replaces.
+  void RegisterFunction(const std::string& name, HostFunction fn);
+
+  /// Parses and runs a script. `args` bind to arg(i) — args[0] is the
+  /// dataset filename, per the paper's operation calling convention.
+  Result<ExecutionResult> Run(std::string_view source,
+                              const std::vector<std::string>& args);
+
+  const SandboxLimits& limits() const { return limits_; }
+
+ private:
+  SandboxLimits limits_;
+  std::map<std::string, HostFunction> host_functions_;
+};
+
+}  // namespace easia::script
+
+#endif  // EASIA_SCRIPT_INTERPRETER_H_

@@ -1,0 +1,554 @@
+#include "script/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace easia::script {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kSymbol,
+  kEnd,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0;
+  size_t line = 1;
+};
+
+Result<std::vector<Tok>> Lex(std::string_view src) {
+  std::vector<Tok> out;
+  size_t i = 0, line = 1;
+  const size_t n = src.size();
+  auto error = [&](std::string_view msg) {
+    return Status::ParseError(
+        StrPrintf("eascript:%zu: %s", line, std::string(msg).c_str()));
+  };
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < n && src[i + 1] == '/')) {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    Tok tok;
+    tok.line = line;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokKind::kIdent;
+      tok.text = std::string(src.substr(start, i - start));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        ++i;
+      }
+      std::string text(src.substr(start, i - start));
+      Result<double> v = ParseDouble(text);
+      if (!v.ok()) return error("bad number literal " + text);
+      tok.kind = TokKind::kNumber;
+      tok.number = *v;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        char d = src[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\\' && i + 1 < n) {
+          char e = src[i + 1];
+          switch (e) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case '\\': value += '\\'; break;
+            case '"': value += '"'; break;
+            default: value += e;
+          }
+          i += 2;
+          continue;
+        }
+        if (d == '\n') ++line;
+        value += d;
+        ++i;
+      }
+      if (!closed) return error("unterminated string literal");
+      tok.kind = TokKind::kString;
+      tok.text = std::move(value);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Two-char operators.
+    static constexpr std::string_view kTwo[] = {"==", "!=", "<=", ">=",
+                                                "&&", "||"};
+    bool matched = false;
+    for (std::string_view two : kTwo) {
+      if (src.substr(i, 2) == two) {
+        tok.kind = TokKind::kSymbol;
+        tok.text = std::string(two);
+        i += 2;
+        out.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kSingles = "+-*/%(){}[];,=<>!";
+    if (kSingles.find(c) != std::string_view::npos) {
+      tok.kind = TokKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    return error(StrPrintf("unexpected character '%c'", c));
+  }
+  Tok end;
+  end.kind = TokKind::kEnd;
+  end.line = line;
+  out.push_back(std::move(end));
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<std::unique_ptr<Program>> ParseProgram() {
+    auto program = std::make_unique<Program>();
+    while (!AtEnd()) {
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SStmt> stmt, ParseStatement());
+      program->statements.push_back(std::move(stmt));
+    }
+    return program;
+  }
+
+ private:
+  const Tok& Peek() const { return toks_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+  void Advance() {
+    if (!AtEnd()) ++pos_;
+  }
+
+  Status Error(std::string_view msg) const {
+    return Status::ParseError(StrPrintf("eascript:%zu: %s (near '%s')",
+                                        Peek().line,
+                                        std::string(msg).c_str(),
+                                        Peek().text.c_str()));
+  }
+
+  bool CheckSymbol(std::string_view sym) const {
+    return Peek().kind == TokKind::kSymbol && Peek().text == sym;
+  }
+  bool ConsumeSymbol(std::string_view sym) {
+    if (CheckSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!ConsumeSymbol(sym)) return Error("expected '" + std::string(sym) + "'");
+    return Status::OK();
+  }
+  bool CheckIdent(std::string_view word) const {
+    return Peek().kind == TokKind::kIdent && Peek().text == word;
+  }
+  bool ConsumeIdent(std::string_view word) {
+    if (CheckIdent(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Result<std::string> ExpectName() {
+    if (Peek().kind != TokKind::kIdent) return Error("expected identifier");
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Result<std::vector<std::unique_ptr<SStmt>>> ParseBlock() {
+    EASIA_RETURN_IF_ERROR(ExpectSymbol("{"));
+    std::vector<std::unique_ptr<SStmt>> body;
+    while (!CheckSymbol("}")) {
+      if (AtEnd()) return Error("unterminated block");
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SStmt> stmt, ParseStatement());
+      body.push_back(std::move(stmt));
+    }
+    Advance();  // }
+    return body;
+  }
+
+  Result<std::unique_ptr<SStmt>> ParseStatement() {
+    auto stmt = std::make_unique<SStmt>();
+    stmt->line = Peek().line;
+    if (ConsumeIdent("let")) {
+      stmt->kind = SStmt::Kind::kLet;
+      EASIA_ASSIGN_OR_RETURN(stmt->name, ExpectName());
+      EASIA_RETURN_IF_ERROR(ExpectSymbol("="));
+      EASIA_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      EASIA_RETURN_IF_ERROR(ExpectSymbol(";"));
+      return stmt;
+    }
+    if (ConsumeIdent("if")) {
+      stmt->kind = SStmt::Kind::kIf;
+      EASIA_RETURN_IF_ERROR(ExpectSymbol("("));
+      EASIA_ASSIGN_OR_RETURN(stmt->cond, ParseExpr());
+      EASIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      EASIA_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      if (ConsumeIdent("else")) {
+        if (CheckIdent("if")) {
+          // else if: wrap as single-statement else body.
+          EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SStmt> nested,
+                                 ParseStatement());
+          stmt->else_body.push_back(std::move(nested));
+        } else {
+          EASIA_ASSIGN_OR_RETURN(stmt->else_body, ParseBlock());
+        }
+      }
+      return stmt;
+    }
+    if (ConsumeIdent("while")) {
+      stmt->kind = SStmt::Kind::kWhile;
+      EASIA_RETURN_IF_ERROR(ExpectSymbol("("));
+      EASIA_ASSIGN_OR_RETURN(stmt->cond, ParseExpr());
+      EASIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      EASIA_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      return stmt;
+    }
+    if (ConsumeIdent("for")) {
+      stmt->kind = SStmt::Kind::kFor;
+      EASIA_RETURN_IF_ERROR(ExpectSymbol("("));
+      EASIA_ASSIGN_OR_RETURN(stmt->init, ParseStatement());  // consumes ';'
+      EASIA_ASSIGN_OR_RETURN(stmt->cond, ParseExpr());
+      EASIA_RETURN_IF_ERROR(ExpectSymbol(";"));
+      EASIA_ASSIGN_OR_RETURN(stmt->step, ParseSimpleStatement());
+      EASIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      EASIA_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      return stmt;
+    }
+    if (ConsumeIdent("func")) {
+      stmt->kind = SStmt::Kind::kFuncDef;
+      EASIA_ASSIGN_OR_RETURN(stmt->name, ExpectName());
+      EASIA_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (!ConsumeSymbol(")")) {
+        while (true) {
+          EASIA_ASSIGN_OR_RETURN(std::string param, ExpectName());
+          stmt->params.push_back(std::move(param));
+          if (!ConsumeSymbol(",")) break;
+        }
+        EASIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+      EASIA_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      return stmt;
+    }
+    if (ConsumeIdent("return")) {
+      stmt->kind = SStmt::Kind::kReturn;
+      if (!CheckSymbol(";")) {
+        EASIA_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      }
+      EASIA_RETURN_IF_ERROR(ExpectSymbol(";"));
+      return stmt;
+    }
+    if (ConsumeIdent("break")) {
+      stmt->kind = SStmt::Kind::kBreak;
+      EASIA_RETURN_IF_ERROR(ExpectSymbol(";"));
+      return stmt;
+    }
+    if (ConsumeIdent("continue")) {
+      stmt->kind = SStmt::Kind::kContinue;
+      EASIA_RETURN_IF_ERROR(ExpectSymbol(";"));
+      return stmt;
+    }
+    if (CheckSymbol("{")) {
+      stmt->kind = SStmt::Kind::kBlock;
+      EASIA_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      return stmt;
+    }
+    EASIA_ASSIGN_OR_RETURN(stmt, ParseSimpleStatement());
+    EASIA_RETURN_IF_ERROR(ExpectSymbol(";"));
+    return stmt;
+  }
+
+  /// Assignment or expression, without the trailing ';' (shared by `for`).
+  Result<std::unique_ptr<SStmt>> ParseSimpleStatement() {
+    auto stmt = std::make_unique<SStmt>();
+    stmt->line = Peek().line;
+    if (ConsumeIdent("let")) {
+      stmt->kind = SStmt::Kind::kLet;
+      EASIA_ASSIGN_OR_RETURN(stmt->name, ExpectName());
+      EASIA_RETURN_IF_ERROR(ExpectSymbol("="));
+      EASIA_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      return stmt;
+    }
+    // Lookahead for "name =" or "name[expr] =".
+    if (Peek().kind == TokKind::kIdent) {
+      size_t save = pos_;
+      std::string name = Peek().text;
+      Advance();
+      if (ConsumeSymbol("=")) {
+        stmt->kind = SStmt::Kind::kAssign;
+        stmt->name = std::move(name);
+        EASIA_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+        return stmt;
+      }
+      if (CheckSymbol("[")) {
+        Advance();
+        std::unique_ptr<SExpr> index;
+        Result<std::unique_ptr<SExpr>> idx = ParseExpr();
+        if (idx.ok() && CheckSymbol("]")) {
+          Advance();
+          if (ConsumeSymbol("=")) {
+            stmt->kind = SStmt::Kind::kAssign;
+            stmt->name = std::move(name);
+            stmt->index = std::move(*idx);
+            EASIA_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+            return stmt;
+          }
+        }
+      }
+      pos_ = save;  // not an assignment: re-parse as expression
+    }
+    stmt->kind = SStmt::Kind::kExpr;
+    EASIA_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+    return stmt;
+  }
+
+  // Expressions, precedence climbing.
+  Result<std::unique_ptr<SExpr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<SExpr>> ParseOr() {
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> left, ParseAnd());
+    while (ConsumeSymbol("||")) {
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> right, ParseAnd());
+      left = MakeBinary(SExpr::Op::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<SExpr>> ParseAnd() {
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> left, ParseEquality());
+    while (ConsumeSymbol("&&")) {
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> right, ParseEquality());
+      left = MakeBinary(SExpr::Op::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<SExpr>> ParseEquality() {
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> left, ParseRelational());
+    while (true) {
+      SExpr::Op op = SExpr::Op::kNone;
+      if (ConsumeSymbol("==")) op = SExpr::Op::kEq;
+      else if (ConsumeSymbol("!=")) op = SExpr::Op::kNe;
+      else return left;
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> right, ParseRelational());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<std::unique_ptr<SExpr>> ParseRelational() {
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> left, ParseAdditive());
+    while (true) {
+      SExpr::Op op = SExpr::Op::kNone;
+      if (ConsumeSymbol("<=")) op = SExpr::Op::kLe;
+      else if (ConsumeSymbol(">=")) op = SExpr::Op::kGe;
+      else if (ConsumeSymbol("<")) op = SExpr::Op::kLt;
+      else if (ConsumeSymbol(">")) op = SExpr::Op::kGt;
+      else return left;
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> right, ParseAdditive());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<std::unique_ptr<SExpr>> ParseAdditive() {
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> left, ParseMultiplicative());
+    while (true) {
+      SExpr::Op op = SExpr::Op::kNone;
+      if (ConsumeSymbol("+")) op = SExpr::Op::kAdd;
+      else if (ConsumeSymbol("-")) op = SExpr::Op::kSub;
+      else return left;
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> right,
+                             ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<std::unique_ptr<SExpr>> ParseMultiplicative() {
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> left, ParseUnary());
+    while (true) {
+      SExpr::Op op = SExpr::Op::kNone;
+      if (ConsumeSymbol("*")) op = SExpr::Op::kMul;
+      else if (ConsumeSymbol("/")) op = SExpr::Op::kDiv;
+      else if (ConsumeSymbol("%")) op = SExpr::Op::kMod;
+      else return left;
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<std::unique_ptr<SExpr>> ParseUnary() {
+    if (ConsumeSymbol("-")) {
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> inner, ParseUnary());
+      auto e = std::make_unique<SExpr>();
+      e->kind = SExpr::Kind::kUnary;
+      e->op = SExpr::Op::kNeg;
+      e->left = std::move(inner);
+      return e;
+    }
+    if (ConsumeSymbol("!")) {
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> inner, ParseUnary());
+      auto e = std::make_unique<SExpr>();
+      e->kind = SExpr::Kind::kUnary;
+      e->op = SExpr::Op::kNot;
+      e->left = std::move(inner);
+      return e;
+    }
+    return ParsePostfix();
+  }
+
+  Result<std::unique_ptr<SExpr>> ParsePostfix() {
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> base, ParsePrimary());
+    while (CheckSymbol("[")) {
+      Advance();
+      EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> index, ParseExpr());
+      EASIA_RETURN_IF_ERROR(ExpectSymbol("]"));
+      auto e = std::make_unique<SExpr>();
+      e->kind = SExpr::Kind::kIndex;
+      e->left = std::move(base);
+      e->right = std::move(index);
+      base = std::move(e);
+    }
+    return base;
+  }
+
+  Result<std::unique_ptr<SExpr>> ParsePrimary() {
+    const Tok& tok = Peek();
+    auto e = std::make_unique<SExpr>();
+    e->line = tok.line;
+    switch (tok.kind) {
+      case TokKind::kNumber:
+        e->kind = SExpr::Kind::kLiteral;
+        e->literal = ScriptValue::Number(tok.number);
+        Advance();
+        return e;
+      case TokKind::kString:
+        e->kind = SExpr::Kind::kLiteral;
+        e->literal = ScriptValue::Str(tok.text);
+        Advance();
+        return e;
+      case TokKind::kIdent: {
+        if (tok.text == "true" || tok.text == "false") {
+          e->kind = SExpr::Kind::kLiteral;
+          e->literal = ScriptValue::Bool(tok.text == "true");
+          Advance();
+          return e;
+        }
+        if (tok.text == "null") {
+          e->kind = SExpr::Kind::kLiteral;
+          e->literal = ScriptValue::Null();
+          Advance();
+          return e;
+        }
+        std::string name = tok.text;
+        Advance();
+        if (ConsumeSymbol("(")) {
+          e->kind = SExpr::Kind::kCall;
+          e->name = std::move(name);
+          if (!ConsumeSymbol(")")) {
+            while (true) {
+              EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> arg, ParseExpr());
+              e->args.push_back(std::move(arg));
+              if (!ConsumeSymbol(",")) break;
+            }
+            EASIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+          }
+          return e;
+        }
+        e->kind = SExpr::Kind::kVariable;
+        e->name = std::move(name);
+        return e;
+      }
+      case TokKind::kSymbol:
+        if (tok.text == "(") {
+          Advance();
+          EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> inner, ParseExpr());
+          EASIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        if (tok.text == "[") {
+          Advance();
+          e->kind = SExpr::Kind::kArrayLit;
+          if (!ConsumeSymbol("]")) {
+            while (true) {
+              EASIA_ASSIGN_OR_RETURN(std::unique_ptr<SExpr> item, ParseExpr());
+              e->args.push_back(std::move(item));
+              if (!ConsumeSymbol(",")) break;
+            }
+            EASIA_RETURN_IF_ERROR(ExpectSymbol("]"));
+          }
+          return e;
+        }
+        return Error("unexpected symbol in expression");
+      case TokKind::kEnd:
+        return Error("unexpected end of script");
+    }
+    return Error("unexpected token");
+  }
+
+  static std::unique_ptr<SExpr> MakeBinary(SExpr::Op op,
+                                           std::unique_ptr<SExpr> left,
+                                           std::unique_ptr<SExpr> right) {
+    auto e = std::make_unique<SExpr>();
+    e->kind = SExpr::Kind::kBinary;
+    e->op = op;
+    e->line = left->line;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    return e;
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Program>> ParseScript(std::string_view source) {
+  EASIA_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(source));
+  Parser parser(std::move(toks));
+  return parser.ParseProgram();
+}
+
+}  // namespace easia::script

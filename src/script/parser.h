@@ -1,0 +1,24 @@
+#ifndef EASIA_SCRIPT_PARSER_H_
+#define EASIA_SCRIPT_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "script/ast.h"
+
+namespace easia::script {
+
+/// Parses EaScript source into an AST. Syntax (C/JavaScript-flavoured):
+///
+///   let s = tbf_slice(arg(0), "x", 3, "u");
+///   if (len(s) > 0) { write("slice.pgm", pgm(s)); }
+///   for (let i = 0; i < 10; i = i + 1) { print(str(i)); }
+///   func mean(a) { let t = 0; ... return t / len(a); }
+///
+/// Comments: `# ...` and `// ...` to end of line.
+Result<std::unique_ptr<Program>> ParseScript(std::string_view source);
+
+}  // namespace easia::script
+
+#endif  // EASIA_SCRIPT_PARSER_H_

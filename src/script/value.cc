@@ -1,0 +1,118 @@
+#include "script/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace easia::script {
+
+ScriptValue ScriptValue::Bool(bool b) {
+  ScriptValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+ScriptValue ScriptValue::Number(double d) {
+  ScriptValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+ScriptValue ScriptValue::Str(std::string s) {
+  ScriptValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::make_shared<std::string>(std::move(s));
+  return v;
+}
+
+ScriptValue ScriptValue::Array() {
+  ScriptValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::make_shared<std::vector<ScriptValue>>();
+  return v;
+}
+
+ScriptValue ScriptValue::ArrayOf(std::vector<ScriptValue> items) {
+  ScriptValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::make_shared<std::vector<ScriptValue>>(std::move(items));
+  return v;
+}
+
+bool ScriptValue::Truthy() const {
+  switch (type_) {
+    case Type::kNull:
+      return false;
+    case Type::kBool:
+      return bool_;
+    case Type::kNumber:
+      return number_ != 0;
+    case Type::kString:
+      return !string_->empty();
+    case Type::kArray:
+      return !array_->empty();
+  }
+  return false;
+}
+
+bool ScriptValue::Equals(const ScriptValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return *string_ == *other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+  }
+  return false;
+}
+
+std::string ScriptValue::ToDisplay() const {
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kNumber: {
+      if (number_ == static_cast<int64_t>(number_) &&
+          std::abs(number_) < 1e15) {
+        return StrPrintf("%lld", static_cast<long long>(number_));
+      }
+      return StrPrintf("%.10g", number_);
+    }
+    case Type::kString:
+      return *string_;
+    case Type::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += (*array_)[i].ToDisplay();
+      }
+      return out + "]";
+    }
+  }
+  return "";
+}
+
+size_t ScriptValue::MemoryFootprint() const {
+  switch (type_) {
+    case Type::kString:
+      return string_->size() + 32;
+    case Type::kArray: {
+      size_t total = 32;
+      for (const ScriptValue& v : *array_) total += v.MemoryFootprint();
+      return total;
+    }
+    default:
+      return 16;
+  }
+}
+
+}  // namespace easia::script

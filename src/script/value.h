@@ -1,0 +1,59 @@
+#ifndef EASIA_SCRIPT_VALUE_H_
+#define EASIA_SCRIPT_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easia::script {
+
+/// A runtime value in EaScript: null, boolean, number (double), string, or
+/// array (reference semantics, like Java arrays the paper's uploaded codes
+/// would use).
+class ScriptValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray };
+
+  ScriptValue() : type_(Type::kNull) {}
+
+  static ScriptValue Null() { return ScriptValue(); }
+  static ScriptValue Bool(bool b);
+  static ScriptValue Number(double d);
+  static ScriptValue Str(std::string s);
+  static ScriptValue Array();
+  static ScriptValue ArrayOf(std::vector<ScriptValue> items);
+
+  Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsArray() const { return type_ == Type::kArray; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return *string_; }
+  std::vector<ScriptValue>& AsArray() { return *array_; }
+  const std::vector<ScriptValue>& AsArray() const { return *array_; }
+
+  bool Truthy() const;
+  /// Loose equality used by == (same type and value; arrays by identity).
+  bool Equals(const ScriptValue& other) const;
+
+  std::string ToDisplay() const;
+
+  /// Approximate heap bytes held (sandbox memory accounting).
+  size_t MemoryFootprint() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::shared_ptr<std::string> string_;
+  std::shared_ptr<std::vector<ScriptValue>> array_;
+};
+
+}  // namespace easia::script
+
+#endif  // EASIA_SCRIPT_VALUE_H_

@@ -1,0 +1,87 @@
+#include "sim/bandwidth.h"
+
+#include <cmath>
+
+#include "common/clock.h"
+
+namespace easia::sim {
+
+BandwidthSchedule BandwidthSchedule::Constant(double mbit_per_sec) {
+  return BandwidthSchedule(mbit_per_sec);
+}
+
+void BandwidthSchedule::AddWindow(double start_hour, double end_hour,
+                                  double mbit_per_sec) {
+  windows_.push_back({start_hour, end_hour, mbit_per_sec});
+}
+
+double BandwidthSchedule::RateAt(double epoch_seconds) const {
+  double hour = SecondsIntoDay(epoch_seconds) / 3600.0;
+  double rate = base_rate_;
+  for (const Window& w : windows_) {
+    if (hour >= w.start_hour && hour < w.end_hour) rate = w.rate;
+  }
+  return rate;
+}
+
+double BandwidthSchedule::NextBoundary(double epoch_seconds) const {
+  double into_day = SecondsIntoDay(epoch_seconds);
+  double day_start = epoch_seconds - into_day;
+  double best = day_start + 86400.0;  // next midnight
+  for (const Window& w : windows_) {
+    for (double edge_hour : {w.start_hour, w.end_hour}) {
+      double edge = day_start + edge_hour * 3600.0;
+      if (edge <= epoch_seconds) edge += 86400.0;
+      if (edge < best) best = edge;
+    }
+  }
+  return best;
+}
+
+Result<double> TransferDuration(const BandwidthSchedule& schedule,
+                                uint64_t bytes, double start_epoch,
+                                double latency_seconds) {
+  double t = start_epoch + latency_seconds;
+  double bits_remaining = static_cast<double>(bytes) * 8.0;
+  // Guard against schedules that never provide bandwidth: stop after
+  // simulating 365 days.
+  const double deadline = start_epoch + 365.0 * 86400.0;
+  while (bits_remaining > 0) {
+    if (t > deadline) {
+      return Status::FailedPrecondition(
+          "transfer cannot complete: schedule provides no bandwidth");
+    }
+    double rate_bps = schedule.RateAt(t) * kBitsPerMegabit;
+    double boundary = schedule.NextBoundary(t);
+    if (rate_bps <= 0) {
+      t = boundary;
+      continue;
+    }
+    double window_seconds = boundary - t;
+    double window_bits = rate_bps * window_seconds;
+    if (window_bits >= bits_remaining) {
+      t += bits_remaining / rate_bps;
+      bits_remaining = 0;
+    } else {
+      bits_remaining -= window_bits;
+      t = boundary;
+    }
+  }
+  return t - start_epoch;
+}
+
+BandwidthSchedule ToSouthamptonSchedule() {
+  BandwidthSchedule s(PaperLinkRates::kEveningToSouthampton);
+  s.AddWindow(PaperLinkRates::kDayStartHour, PaperLinkRates::kDayEndHour,
+              PaperLinkRates::kDayToSouthampton);
+  return s;
+}
+
+BandwidthSchedule FromSouthamptonSchedule() {
+  BandwidthSchedule s(PaperLinkRates::kEveningFromSouthampton);
+  s.AddWindow(PaperLinkRates::kDayStartHour, PaperLinkRates::kDayEndHour,
+              PaperLinkRates::kDayFromSouthampton);
+  return s;
+}
+
+}  // namespace easia::sim

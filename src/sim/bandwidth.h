@@ -1,0 +1,85 @@
+#ifndef EASIA_SIM_BANDWIDTH_H_
+#define EASIA_SIM_BANDWIDTH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easia::sim {
+
+/// Megabits per second. The paper reports link rates in Mbit/s and file
+/// sizes in decimal megabytes; the table arithmetic (85 MB at 0.25 Mbit/s =
+/// 45m20s) confirms MB = 1e6 bytes.
+constexpr double kBitsPerMegabit = 1e6;
+constexpr uint64_t kMegabyte = 1000 * 1000;
+
+/// A piecewise-constant time-of-day bandwidth profile. Windows are given in
+/// hours-of-day [start, end) and repeat every day; hours not covered by any
+/// window use the base rate.
+///
+/// This models the paper's measured behaviour: daytime rates on the
+/// Southampton SuperJANET link were far below evening rates, and the two
+/// directions were asymmetric.
+class BandwidthSchedule {
+ public:
+  /// A schedule with a single constant rate.
+  static BandwidthSchedule Constant(double mbit_per_sec);
+
+  explicit BandwidthSchedule(double base_mbit_per_sec = 0.0)
+      : base_rate_(base_mbit_per_sec) {}
+
+  /// Adds a window [start_hour, end_hour) (0 <= start < end <= 24) with its
+  /// own rate. Later windows take precedence over earlier ones.
+  void AddWindow(double start_hour, double end_hour, double mbit_per_sec);
+
+  /// Rate in Mbit/s in effect at the given epoch time.
+  double RateAt(double epoch_seconds) const;
+
+  /// Epoch time of the next window boundary strictly after `epoch_seconds`
+  /// (at which the rate may change). With no windows, returns the next
+  /// midnight (rate never changes, but this bounds integration steps).
+  double NextBoundary(double epoch_seconds) const;
+
+  double base_rate() const { return base_rate_; }
+  bool HasWindows() const { return !windows_.empty(); }
+
+ private:
+  struct Window {
+    double start_hour;
+    double end_hour;
+    double rate;
+  };
+
+  double base_rate_;
+  std::vector<Window> windows_;
+};
+
+/// Computes the wall-clock duration of transferring `bytes` over a link with
+/// `schedule`, starting at `start_epoch`, integrating across rate changes.
+/// `latency_seconds` is added once (connection setup). Returns an error if
+/// the schedule never offers positive bandwidth.
+Result<double> TransferDuration(const BandwidthSchedule& schedule,
+                                uint64_t bytes, double start_epoch,
+                                double latency_seconds = 0.0);
+
+/// The paper's measured link configurations (Southampton <-> QMW London over
+/// SuperJANET, 10 Mbit/s site connections), usable as calibration presets.
+struct PaperLinkRates {
+  static constexpr double kDayToSouthampton = 0.25;
+  static constexpr double kDayFromSouthampton = 0.37;
+  static constexpr double kEveningToSouthampton = 0.58;
+  static constexpr double kEveningFromSouthampton = 1.94;
+  /// Daytime window used for the asymmetric schedules below.
+  static constexpr double kDayStartHour = 8.0;
+  static constexpr double kDayEndHour = 18.0;
+};
+
+/// Schedule for traffic flowing TOWARDS Southampton (uploads to the archive).
+BandwidthSchedule ToSouthamptonSchedule();
+/// Schedule for traffic flowing FROM Southampton (downloads from the archive).
+BandwidthSchedule FromSouthamptonSchedule();
+
+}  // namespace easia::sim
+
+#endif  // EASIA_SIM_BANDWIDTH_H_

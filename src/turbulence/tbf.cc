@@ -1,0 +1,95 @@
+#include "turbulence/tbf.h"
+
+#include "common/coding.h"
+#include "common/string_util.h"
+
+namespace easia::turb {
+
+namespace {
+constexpr std::string_view kMagic = "TBF1";
+}
+
+std::string SerializeTbf(const Field& field, uint32_t timestep) {
+  std::string out;
+  out += kMagic;
+  PutU32(&out, static_cast<uint32_t>(field.n()));
+  PutU32(&out, timestep);
+  PutDouble(&out, field.time());
+  PutDouble(&out, field.nu());
+  size_t n = field.n();
+  out.reserve(out.size() + 4 * n * n * n * sizeof(double));
+  for (Component c :
+       {Component::kU, Component::kV, Component::kW, Component::kP}) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        for (size_t k = 0; k < n; ++k) {
+          PutDouble(&out, field.At(c, i, j, k));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<TbfHeader> ParseTbfHeader(std::string_view bytes) {
+  if (bytes.size() < kMagic.size() + 24 ||
+      bytes.substr(0, kMagic.size()) != kMagic) {
+    return Status::Corruption("not a TBF file");
+  }
+  Decoder dec(bytes.substr(kMagic.size()));
+  TbfHeader h;
+  EASIA_ASSIGN_OR_RETURN(h.n, dec.GetU32());
+  EASIA_ASSIGN_OR_RETURN(h.timestep, dec.GetU32());
+  EASIA_ASSIGN_OR_RETURN(h.time, dec.GetDouble());
+  EASIA_ASSIGN_OR_RETURN(h.nu, dec.GetDouble());
+  return h;
+}
+
+Result<Field> ParseTbf(std::string_view bytes) {
+  EASIA_ASSIGN_OR_RETURN(TbfHeader header, ParseTbfHeader(bytes));
+  size_t n = header.n;
+  size_t expected = kMagic.size() + 24 + 4 * n * n * n * sizeof(double);
+  if (bytes.size() != expected) {
+    return Status::Corruption(
+        StrPrintf("TBF size mismatch: got %zu, want %zu", bytes.size(),
+                  expected));
+  }
+  Field field = Field::Zero(n, header.time, header.nu);
+  Decoder dec(bytes.substr(kMagic.size() + 24));
+  for (Component c :
+       {Component::kU, Component::kV, Component::kW, Component::kP}) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        for (size_t k = 0; k < n; ++k) {
+          EASIA_ASSIGN_OR_RETURN(double v, dec.GetDouble());
+          field.Set(c, i, j, k, v);
+        }
+      }
+    }
+  }
+  return field;
+}
+
+std::string DatasetSpec::FileName() const {
+  return StrPrintf("%s_t%04u_n%zu.tbf", simulation_key.c_str(), timestep,
+                   grid_n);
+}
+
+Result<std::string> ArchiveDataset(fs::FileServer* server,
+                                   const std::string& directory,
+                                   const DatasetSpec& spec) {
+  std::string dir = directory;
+  if (dir.empty() || dir.back() != '/') dir += '/';
+  std::string path = dir + spec.FileName();
+  if (spec.materialize) {
+    Field field = Field::Generate(spec.grid_n, spec.time, spec.nu);
+    EASIA_RETURN_IF_ERROR(
+        server->vfs().WriteFile(path, SerializeTbf(field, spec.timestep)));
+  } else {
+    EASIA_RETURN_IF_ERROR(
+        server->vfs().CreateSparseFile(path, spec.SizeBytes()));
+  }
+  return "http://" + server->host() + path;
+}
+
+}  // namespace easia::turb

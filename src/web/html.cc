@@ -1,0 +1,119 @@
+#include "web/html.h"
+
+#include "common/string_util.h"
+
+namespace easia::web {
+
+HtmlWriter& HtmlWriter::Open(std::string_view tag, const Attrs& attrs) {
+  out_ += '<';
+  out_ += tag;
+  for (const auto& [name, value] : attrs) {
+    out_ += ' ';
+    out_ += name;
+    out_ += "=\"";
+    out_ += EscapeMarkup(value);
+    out_ += '"';
+  }
+  out_ += '>';
+  stack_.emplace_back(tag);
+  return *this;
+}
+
+HtmlWriter& HtmlWriter::Close() {
+  if (!stack_.empty()) {
+    out_ += "</";
+    out_ += stack_.back();
+    out_ += '>';
+    stack_.pop_back();
+  }
+  return *this;
+}
+
+HtmlWriter& HtmlWriter::CloseAll() {
+  while (!stack_.empty()) Close();
+  return *this;
+}
+
+HtmlWriter& HtmlWriter::Text(std::string_view text) {
+  out_ += EscapeMarkup(text);
+  return *this;
+}
+
+HtmlWriter& HtmlWriter::Raw(std::string_view html) {
+  out_ += html;
+  return *this;
+}
+
+HtmlWriter& HtmlWriter::Element(std::string_view tag, std::string_view text,
+                                const Attrs& attrs) {
+  Open(tag, attrs);
+  Text(text);
+  Close();
+  return *this;
+}
+
+HtmlWriter& HtmlWriter::Void(std::string_view tag, const Attrs& attrs) {
+  out_ += '<';
+  out_ += tag;
+  for (const auto& [name, value] : attrs) {
+    out_ += ' ';
+    out_ += name;
+    out_ += "=\"";
+    out_ += EscapeMarkup(value);
+    out_ += '"';
+  }
+  out_ += "/>";
+  return *this;
+}
+
+HtmlWriter& HtmlWriter::Link(std::string_view href, std::string_view text) {
+  return Element("a", text, {{"href", std::string(href)}});
+}
+
+std::string HtmlWriter::Finish() {
+  CloseAll();
+  return std::move(out_);
+}
+
+std::string UrlEncode(std::string_view value) {
+  std::string out;
+  for (char c : value) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' ||
+                c == '~';
+    if (safe) {
+      out += c;
+    } else {
+      out += StrPrintf("%%%02X", static_cast<unsigned char>(c));
+    }
+  }
+  return out;
+}
+
+std::string BuildUrl(std::string_view path,
+                     const std::map<std::string, std::string>& params) {
+  std::string out(path);
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    out += first ? '?' : '&';
+    first = false;
+    out += UrlEncode(k);
+    out += '=';
+    out += UrlEncode(v);
+  }
+  return out;
+}
+
+std::string PageHeader(std::string_view title) {
+  std::string out = "<html><head><title>";
+  out += EscapeMarkup(title);
+  out += "</title></head><body>";
+  out += "<h1>";
+  out += EscapeMarkup(title);
+  out += "</h1>";
+  return out;
+}
+
+std::string PageFooter() { return "</body></html>"; }
+
+}  // namespace easia::web

@@ -1,0 +1,51 @@
+#ifndef EASIA_WEB_HTML_H_
+#define EASIA_WEB_HTML_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easia::web {
+
+/// A tiny streaming HTML writer: emits tags with escaped text, tracking the
+/// open-element stack so documents are always well formed.
+class HtmlWriter {
+ public:
+  using Attrs = std::vector<std::pair<std::string, std::string>>;
+
+  HtmlWriter& Open(std::string_view tag, const Attrs& attrs = {});
+  HtmlWriter& Close();          // closes the innermost open tag
+  HtmlWriter& CloseAll();       // closes every open tag
+  HtmlWriter& Text(std::string_view text);       // escaped
+  HtmlWriter& Raw(std::string_view html);        // unescaped (trusted)
+  /// <tag attrs>text</tag>
+  HtmlWriter& Element(std::string_view tag, std::string_view text,
+                      const Attrs& attrs = {});
+  /// Self-closing/void element (<input .../>, <br/>).
+  HtmlWriter& Void(std::string_view tag, const Attrs& attrs = {});
+  /// <a href=...>text</a>
+  HtmlWriter& Link(std::string_view href, std::string_view text);
+
+  std::string Finish();  // closes everything and returns the document
+  const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+  std::vector<std::string> stack_;
+};
+
+/// Percent-encodes a query-string value.
+std::string UrlEncode(std::string_view value);
+
+/// Builds "path?k1=v1&k2=v2" with encoding.
+std::string BuildUrl(std::string_view path,
+                     const std::map<std::string, std::string>& params);
+
+/// Standard page skeleton used by every EASIA page.
+std::string PageHeader(std::string_view title);
+std::string PageFooter();
+
+}  // namespace easia::web
+
+#endif  // EASIA_WEB_HTML_H_

@@ -1,0 +1,58 @@
+#ifndef EASIA_WEB_QBE_H_
+#define EASIA_WEB_QBE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xuis/model.h"
+
+namespace easia::web {
+
+/// One restriction entered on the query form ("for each field present,
+/// restrictions including wildcards may be put on the values").
+struct QbeRestriction {
+  std::string column;  // column name within the form's table
+  std::string op;      // "=", "<>", "<", "<=", ">", ">=", "LIKE"
+  std::string value;   // user text; '*' and '?' wildcards auto-map to LIKE
+};
+
+/// A submitted QBE form.
+struct QbeRequest {
+  std::string table;
+  /// Fields the user ticked for output; empty selects all visible columns.
+  std::vector<std::string> selected_columns;
+  std::vector<QbeRestriction> restrictions;
+  std::string order_by;  // column name; empty for storage order
+  bool descending = false;
+  int64_t limit = -1;
+};
+
+/// Operators offered by the form's drop-downs.
+const std::vector<std::string>& QbeOperators();
+
+/// Renders the schema-driven query form for one table: a row per visible
+/// column with an output tick box, an operator drop-down, a value box and
+/// the sample-value drop-down harvested by the XUIS generator.
+std::string RenderQueryForm(const xuis::XuisTable& table);
+
+/// The entry page: one link per visible table ("select a link to a query
+/// form for a particular table"), plus an all-rows shortcut.
+std::string RenderTableIndex(const xuis::XuisSpec& spec);
+
+/// Translates a submitted form into SQL against the archive database.
+/// Hidden columns are refused; '*'/'?' wildcards become LIKE '%'/'_';
+/// values are quoted or passed numerically by column type.
+Result<std::string> TranslateToSql(const xuis::XuisSpec& spec,
+                                   const QbeRequest& request);
+
+/// SQL for a browse click: all rows of `table` where `column` = `value`
+/// (primary-key and foreign-key hyperlink traversal).
+Result<std::string> BrowseSql(const xuis::XuisSpec& spec,
+                              const std::string& table,
+                              const std::string& column,
+                              const std::string& value);
+
+}  // namespace easia::web
+
+#endif  // EASIA_WEB_QBE_H_

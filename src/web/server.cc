@@ -1,0 +1,489 @@
+#include "web/server.h"
+
+#include "common/string_util.h"
+#include "web/html.h"
+
+namespace easia::web {
+
+namespace {
+
+std::string ParamOr(const fs::HttpParams& params, const std::string& key,
+                    const std::string& fallback = "") {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+HttpResponse ArchiveWebServer::Error(int status, const std::string& message) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = PageHeader("Error") + "<p>" + EscapeMarkup(message) + "</p>" +
+              PageFooter();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::Handle(const HttpRequest& request) {
+  ++requests_;
+  if (request.path == "/login") return HandleLogin(request);
+  Session session;
+  HttpResponse gate = RequireSession(request, &session);
+  if (!gate.ok()) return gate;
+  if (request.path == "/logout") {
+    (void)deps_.sessions->Logout(request.session_id);
+    HttpResponse resp;
+    resp.body = PageHeader("Logged out") + PageFooter();
+    return resp;
+  }
+  if (request.path == "/" || request.path == "/tables") {
+    return HandleTables(session);
+  }
+  if (request.path == "/query") return HandleQueryForm(request, session);
+  if (request.path == "/search") return HandleSearch(request, session);
+  if (request.path == "/browse") return HandleBrowse(request, session);
+  if (request.path == "/object/put") return HandleObjectPut(request, session);
+  if (request.path == "/object") return HandleObject(request, session);
+  if (request.path == "/opform") return HandleOpForm(request, session);
+  if (request.path == "/runop") return HandleRunOp(request, session);
+  if (request.path == "/runchain") return HandleRunChain(request, session);
+  if (request.path == "/upload") return HandleUpload(request, session);
+  if (StartsWith(request.path, "/users")) return HandleUsers(request, session);
+  return Error(404, "no such page: " + request.path);
+}
+
+HttpResponse ArchiveWebServer::RequireSession(const HttpRequest& request,
+                                              Session* session) {
+  if (request.session_id.empty()) {
+    return Error(401, "log in first");
+  }
+  Result<Session> s = deps_.sessions->Get(request.session_id);
+  if (!s.ok()) return Error(401, s.status().message());
+  *session = std::move(*s);
+  HttpResponse ok;
+  return ok;
+}
+
+HttpResponse ArchiveWebServer::HandleLogin(const HttpRequest& request) {
+  Result<std::string> session_id =
+      deps_.sessions->Login(ParamOr(request.params, "user"),
+                            ParamOr(request.params, "password"));
+  if (!session_id.ok()) return Error(403, session_id.status().message());
+  HttpResponse resp;
+  resp.content_type = "text/plain";
+  resp.body = *session_id;
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleTables(const Session& session) {
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  HttpResponse resp;
+  resp.body = RenderTableIndex(spec);
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleQueryForm(const HttpRequest& request,
+                                               const Session& session) {
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  const xuis::XuisTable* table =
+      spec.FindTable(ParamOr(request.params, "table"));
+  if (table == nullptr || table->hidden) {
+    return Error(404, "no such table");
+  }
+  HttpResponse resp;
+  resp.body = RenderQueryForm(*table);
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::RenderQuery(const std::string& sql,
+                                           const xuis::XuisTable* table,
+                                           const Session& session) {
+  db::ExecContext exec;
+  exec.user = session.user.name;
+  Result<db::QueryResult> result = deps_.database->Execute(sql, exec);
+  if (!result.ok()) return Error(400, result.status().ToString());
+  RenderContext ctx;
+  ctx.spec = &deps_.xuis->For(session.user.name);
+  ctx.table = table;
+  ctx.database = deps_.database;
+  ctx.fleet = deps_.fleet;
+  ctx.is_guest = session.user.IsGuest();
+  Result<std::string> html = RenderResultTable(*result, ctx);
+  if (!html.ok()) return Error(500, html.status().ToString());
+  HttpResponse resp;
+  resp.body = std::move(*html);
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleSearch(const HttpRequest& request,
+                                            const Session& session) {
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  QbeRequest qbe;
+  qbe.table = ParamOr(request.params, "table");
+  const xuis::XuisTable* table = spec.FindTable(qbe.table);
+  if (table == nullptr || table->hidden) return Error(404, "no such table");
+  bool all = ParamOr(request.params, "all") == "1";
+  if (!all) {
+    for (const xuis::XuisColumn& col : table->columns) {
+      if (col.hidden) continue;
+      if (ParamOr(request.params, "show." + col.name) != "") {
+        qbe.selected_columns.push_back(col.name);
+      }
+      std::string value = ParamOr(request.params, "value." + col.name);
+      if (value.empty()) {
+        value = ParamOr(request.params, "sample." + col.name);
+      }
+      if (!value.empty()) {
+        qbe.restrictions.push_back(
+            {col.name, ParamOr(request.params, "op." + col.name, "="),
+             value});
+      }
+    }
+  }
+  qbe.order_by = ParamOr(request.params, "orderby");
+  qbe.descending = ParamOr(request.params, "desc") == "1";
+  std::string limit = ParamOr(request.params, "limit");
+  if (!limit.empty()) {
+    Result<int64_t> n = ParseInt64(limit);
+    if (n.ok()) qbe.limit = *n;
+  }
+  Result<std::string> sql = TranslateToSql(spec, qbe);
+  if (!sql.ok()) return Error(400, sql.status().ToString());
+  return RenderQuery(*sql, table, session);
+}
+
+HttpResponse ArchiveWebServer::HandleBrowse(const HttpRequest& request,
+                                            const Session& session) {
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  std::string table_name = ParamOr(request.params, "table");
+  Result<std::string> sql =
+      BrowseSql(spec, table_name, ParamOr(request.params, "column"),
+                ParamOr(request.params, "value"));
+  if (!sql.ok()) return Error(400, sql.status().ToString());
+  const xuis::XuisTable* table = spec.FindTable(table_name);
+  return RenderQuery(*sql, table, session);
+}
+
+HttpResponse ArchiveWebServer::HandleObject(const HttpRequest& request,
+                                            const Session& session) {
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  std::string table_name = ParamOr(request.params, "table");
+  std::string column = ParamOr(request.params, "column");
+  const xuis::XuisTable* table = spec.FindTable(table_name);
+  if (table == nullptr) return Error(404, "no such table");
+  // Rebuild the primary-key predicate from pkN.<col> parameters.
+  std::vector<std::string> predicates;
+  for (const auto& [key, value] : request.params) {
+    if (!StartsWith(key, "pk")) continue;
+    size_t dot = key.find('.');
+    if (dot == std::string::npos) continue;
+    std::string pk_column = key.substr(dot + 1);
+    predicates.push_back(pk_column + " = '" +
+                         ReplaceAll(value, "'", "''") + "'");
+  }
+  if (predicates.empty()) return Error(400, "missing primary key");
+  std::string sql = "SELECT " + column + " FROM " + table_name + " WHERE " +
+                    Join(predicates, " AND ");
+  db::ExecContext exec;
+  exec.user = session.user.name;
+  Result<db::QueryResult> result = deps_.database->Execute(sql, exec);
+  if (!result.ok()) return Error(400, result.status().ToString());
+  if (result->rows.empty() || result->rows[0][0].is_null()) {
+    return Error(404, "object not found");
+  }
+  const db::Value& value = result->rows[0][0];
+  HttpResponse resp;
+  // Rematerialise with the appropriate MIME type (paper: "rematerialise the
+  // underlying objects and return them to the user's browser").
+  resp.content_type = value.type() == db::DataType::kBlob
+                          ? "application/octet-stream"
+                          : "text/plain";
+  resp.body = value.AsString();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleObjectPut(const HttpRequest& request,
+                                               const Session& session) {
+  // Small files uploaded over the Internet into BLOB/CLOB columns (paper:
+  // "store small files that can be uploaded"). Guests may not write.
+  if (session.user.IsGuest()) {
+    return Error(403, "object upload requires an authorised account");
+  }
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  std::string table_name = ParamOr(request.params, "table");
+  std::string column = ParamOr(request.params, "column");
+  const xuis::XuisColumn* col =
+      spec.FindColumnById(table_name + "." + column);
+  if (col == nullptr) return Error(404, "no such column");
+  if (col->type != db::DataType::kBlob &&
+      col->type != db::DataType::kClob) {
+    return Error(400, "column is not a BLOB/CLOB");
+  }
+  std::vector<std::string> predicates;
+  for (const auto& [key, value] : request.params) {
+    if (!StartsWith(key, "pk")) continue;
+    size_t dot = key.find('.');
+    if (dot == std::string::npos) continue;
+    predicates.push_back(key.substr(dot + 1) + " = '" +
+                         ReplaceAll(value, "'", "''") + "'");
+  }
+  if (predicates.empty()) return Error(400, "missing primary key");
+  std::string value = ParamOr(request.params, "value");
+  std::string sql = "UPDATE " + table_name + " SET " + column + " = '" +
+                    ReplaceAll(value, "'", "''") + "' WHERE " +
+                    Join(predicates, " AND ");
+  db::ExecContext exec;
+  exec.user = session.user.name;
+  Result<db::QueryResult> result = deps_.database->Execute(sql, exec);
+  if (!result.ok()) return Error(400, result.status().ToString());
+  if (result->rows_affected == 0) return Error(404, "no matching row");
+  HttpResponse resp;
+  resp.body = PageHeader("Object stored") +
+              StrPrintf("<p>%zu bytes stored in %s.%s</p>", value.size(),
+                        table_name.c_str(), column.c_str()) +
+              PageFooter();
+  return resp;
+}
+
+const xuis::OperationSpec* ArchiveWebServer::FindOperation(
+    const xuis::XuisSpec& spec, const std::string& name) const {
+  for (const xuis::XuisTable& table : spec.tables) {
+    for (const xuis::XuisColumn& col : table.columns) {
+      for (const xuis::OperationSpec& op : col.operations) {
+        if (op.name == name) return &op;
+      }
+    }
+  }
+  return nullptr;
+}
+
+HttpResponse ArchiveWebServer::HandleOpForm(const HttpRequest& request,
+                                            const Session& session) {
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  const xuis::OperationSpec* op =
+      FindOperation(spec, ParamOr(request.params, "op"));
+  if (op == nullptr) return Error(404, "no such operation");
+  if (session.user.IsGuest() && !op->guest_access) {
+    return Error(403, "operation not available to guests");
+  }
+  HttpResponse resp;
+  resp.body = RenderOperationForm(*op, ParamOr(request.params, "dataset"));
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleRunOp(const HttpRequest& request,
+                                           const Session& session) {
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  const xuis::OperationSpec* op =
+      FindOperation(spec, ParamOr(request.params, "op"));
+  if (op == nullptr) return Error(404, "no such operation");
+  std::string dataset = ParamOr(request.params, "dataset");
+  if (dataset.empty()) return Error(400, "missing dataset");
+  fs::HttpParams op_params;
+  for (const auto& [key, value] : request.params) {
+    if (key != "op" && key != "dataset") op_params[key] = value;
+  }
+  ops::InvocationContext ctx;
+  ctx.user = session.user.name;
+  ctx.is_guest = session.user.IsGuest();
+  ctx.session_id = session.id;
+  Result<ops::OperationResult> result =
+      deps_.engine->Invoke(*op, dataset, op_params, ctx);
+  if (!result.ok()) {
+    int status = result.status().IsPermissionDenied() ? 403 : 400;
+    return Error(status, result.status().ToString());
+  }
+  HtmlWriter w;
+  w.Raw(PageHeader("Output from " + op->name));
+  w.Open("pre").Text(result->output.text).Close();
+  if (!result->output_urls.empty()) {
+    w.Element("p", "Output files:");
+    w.Open("ul");
+    for (const std::string& url : result->output_urls) {
+      w.Open("li");
+      w.Link(url, url);
+      w.Close();
+    }
+    w.Close();
+  }
+  w.Element("p", StrPrintf("host=%s input=%s output=%s%s",
+                           result->host.c_str(),
+                           HumanBytes(result->input_bytes).c_str(),
+                           HumanBytes(result->output_bytes).c_str(),
+                           result->cache_hit ? " (cached)" : ""));
+  w.Raw(PageFooter());
+  HttpResponse resp;
+  resp.body = w.Finish();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleRunChain(const HttpRequest& request,
+                                              const Session& session) {
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  std::string chain_name = ParamOr(request.params, "chain");
+  std::string dataset = ParamOr(request.params, "dataset");
+  if (dataset.empty()) return Error(400, "missing dataset");
+  // Locate the chain and its column.
+  const xuis::XuisColumn* column = nullptr;
+  const xuis::OperationChainSpec* chain = nullptr;
+  for (const xuis::XuisTable& table : spec.tables) {
+    for (const xuis::XuisColumn& col : table.columns) {
+      if (const xuis::OperationChainSpec* found =
+              col.FindChain(chain_name)) {
+        column = &col;
+        chain = found;
+      }
+    }
+  }
+  if (chain == nullptr) return Error(404, "no such operation chain");
+  if (session.user.IsGuest() && !chain->guest_access) {
+    return Error(403, "chain not available to guests");
+  }
+  std::vector<ops::ChainStep> steps;
+  for (const std::string& step_name : chain->step_operations) {
+    const xuis::OperationSpec* op = column->FindOperation(step_name);
+    if (op == nullptr) {
+      return Error(500, "chain step missing: " + step_name);
+    }
+    ops::ChainStep step;
+    step.op = op;
+    // Parameters namespaced per step: "<op>.<param>=value".
+    for (const auto& [key, value] : request.params) {
+      if (StartsWith(key, step_name + ".")) {
+        step.params[key.substr(step_name.size() + 1)] = value;
+      }
+    }
+    steps.push_back(std::move(step));
+  }
+  ops::InvocationContext ctx;
+  ctx.user = session.user.name;
+  ctx.is_guest = session.user.IsGuest();
+  ctx.session_id = session.id;
+  Result<std::vector<ops::OperationResult>> results =
+      deps_.engine->InvokeChain(steps, dataset, ctx);
+  if (!results.ok()) {
+    int status = results.status().IsPermissionDenied() ? 403 : 400;
+    return Error(status, results.status().ToString());
+  }
+  HtmlWriter w;
+  w.Raw(PageHeader("Chain: " + chain->name));
+  for (size_t i = 0; i < results->size(); ++i) {
+    const ops::OperationResult& step = (*results)[i];
+    w.Element("h2", StrPrintf("Step %zu: %s", i + 1,
+                              chain->step_operations[i].c_str()));
+    w.Open("pre").Text(step.output.text).Close();
+    w.Open("ul");
+    for (const std::string& url : step.output_urls) {
+      w.Open("li");
+      w.Link(url, url);
+      w.Close();
+    }
+    w.Close();
+  }
+  w.Raw(PageFooter());
+  HttpResponse resp;
+  resp.body = w.Finish();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleUpload(const HttpRequest& request,
+                                            const Session& session) {
+  if (!session.user.CanUploadCode()) {
+    return Error(403, "code upload is not available to guest users");
+  }
+  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+  std::string colid = ParamOr(request.params, "table") + "." +
+                      ParamOr(request.params, "column");
+  const xuis::XuisColumn* col = spec.FindColumnById(colid);
+  if (col == nullptr) return Error(404, "no such column " + colid);
+  if (!col->upload.has_value()) {
+    return Error(403, "column does not accept code upload");
+  }
+  std::string code = ParamOr(request.params, "code");
+  if (code.empty()) {
+    // No code supplied: show the upload form.
+    HtmlWriter w;
+    w.Raw(PageHeader("Upload code"));
+    w.Open("form", {{"action", "/upload"}, {"method", "post"}});
+    for (const std::string& key : {"table", "column", "dataset"}) {
+      w.Void("input", {{"type", "hidden"},
+                       {"name", key},
+                       {"value", ParamOr(request.params, key)}});
+    }
+    w.Element("p", "Code must accept the dataset filename as its first "
+                   "command line parameter and write output to relative "
+                   "filenames.");
+    w.Open("textarea", {{"name", "code"}, {"rows", "20"}, {"cols", "80"}});
+    w.Close();
+    w.Void("br");
+    w.Void("input", {{"type", "submit"}, {"value", "Upload and run"}});
+    w.Close();
+    w.Raw(PageFooter());
+    HttpResponse resp;
+    resp.body = w.Finish();
+    return resp;
+  }
+  ops::InvocationContext ctx;
+  ctx.user = session.user.name;
+  ctx.is_guest = session.user.IsGuest();
+  ctx.session_id = session.id;
+  Result<ops::OperationResult> result = deps_.engine->RunUploadedCode(
+      *col->upload, code, ParamOr(request.params, "filename", "main.ea"),
+      ParamOr(request.params, "dataset"), {}, ctx);
+  if (!result.ok()) {
+    int status = result.status().IsPermissionDenied() ? 403 : 400;
+    return Error(status, result.status().ToString());
+  }
+  HtmlWriter w;
+  w.Raw(PageHeader("Uploaded code output"));
+  w.Open("pre").Text(result->output.text).Close();
+  w.Open("ul");
+  for (const std::string& url : result->output_urls) {
+    w.Open("li");
+    w.Link(url, url);
+    w.Close();
+  }
+  w.Close();
+  w.Raw(PageFooter());
+  HttpResponse resp;
+  resp.body = w.Finish();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleUsers(const HttpRequest& request,
+                                           const Session& session) {
+  if (!session.user.CanManageUsers()) {
+    return Error(403, "user management requires admin");
+  }
+  if (request.path == "/users/add") {
+    std::string role_name = ParamOr(request.params, "role", "authorised");
+    UserRole role = UserRole::kAuthorised;
+    if (role_name == "guest") role = UserRole::kGuest;
+    if (role_name == "admin") role = UserRole::kAdmin;
+    Status s = deps_.users->AddUser(ParamOr(request.params, "user"),
+                                    ParamOr(request.params, "password"),
+                                    role);
+    if (!s.ok()) return Error(400, s.ToString());
+  } else if (request.path == "/users/remove") {
+    Status s = deps_.users->RemoveUser(ParamOr(request.params, "user"));
+    if (!s.ok()) return Error(400, s.ToString());
+  }
+  HtmlWriter w;
+  w.Raw(PageHeader("User management"));
+  w.Open("table", {{"border", "1"}});
+  w.Open("tr");
+  w.Element("th", "User").Element("th", "Role");
+  w.Close();
+  for (const User& user : deps_.users->ListUsers()) {
+    w.Open("tr");
+    w.Element("td", user.name);
+    w.Element("td", std::string(UserRoleName(user.role)));
+    w.Close();
+  }
+  w.Close();
+  w.Raw(PageFooter());
+  HttpResponse resp;
+  resp.body = w.Finish();
+  return resp;
+}
+
+}  // namespace easia::web

@@ -1,0 +1,108 @@
+#ifndef EASIA_WEB_SERVER_H_
+#define EASIA_WEB_SERVER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "fileserver/file_server.h"
+#include "ops/engine.h"
+#include "web/qbe.h"
+#include "web/renderer.h"
+#include "web/session.h"
+#include "web/users.h"
+#include "xuis/customize.h"
+
+namespace easia::web {
+
+/// An in-process HTTP-ish request (the servlet container is simulated; the
+/// handler surface is the real EASIA logic).
+struct HttpRequest {
+  std::string path;  // "/search"
+  fs::HttpParams params;
+  std::string session_id;  // cookie
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/html";
+  std::string body;
+
+  bool ok() const { return status == 200; }
+};
+
+/// The EASIA web front end: a router over the servlet handlers that
+/// generate the schema-driven interface. Routes:
+///
+///   /login?user=&password=      -> session id (plain text)
+///   /logout
+///   /tables                     -> table index (per-user XUIS)
+///   /query?table=T              -> QBE form
+///   /search                     -> run a QBE submission, render results
+///   /browse?table&column&value  -> PK/FK hyperlink traversal
+///   /object?table&column&pk...  -> BLOB/CLOB rematerialisation
+///   /object/put (+value)        -> BLOB/CLOB upload (authorised users)
+///   /opform?op&dataset          -> operation parameter form
+///   /runop                      -> execute a server-side operation
+///   /upload                     -> upload + run code (authorised users)
+///   /users, /users/add, ...     -> web-based user management (admin)
+class ArchiveWebServer {
+ public:
+  struct Deps {
+    db::Database* database = nullptr;
+    xuis::XuisRegistry* xuis = nullptr;
+    fs::FileServerFleet* fleet = nullptr;
+    ops::OperationEngine* engine = nullptr;
+    UserManager* users = nullptr;
+    SessionManager* sessions = nullptr;
+  };
+
+  explicit ArchiveWebServer(Deps deps) : deps_(deps) {}
+
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Requests served (for benches).
+  uint64_t requests_served() const { return requests_; }
+
+ private:
+  HttpResponse RequireSession(const HttpRequest& request, Session* session);
+  HttpResponse HandleLogin(const HttpRequest& request);
+  HttpResponse HandleTables(const Session& session);
+  HttpResponse HandleQueryForm(const HttpRequest& request,
+                               const Session& session);
+  HttpResponse HandleSearch(const HttpRequest& request,
+                            const Session& session);
+  HttpResponse HandleBrowse(const HttpRequest& request,
+                            const Session& session);
+  HttpResponse HandleObject(const HttpRequest& request,
+                            const Session& session);
+  HttpResponse HandleObjectPut(const HttpRequest& request,
+                               const Session& session);
+  HttpResponse HandleOpForm(const HttpRequest& request,
+                            const Session& session);
+  HttpResponse HandleRunOp(const HttpRequest& request,
+                           const Session& session);
+  HttpResponse HandleRunChain(const HttpRequest& request,
+                              const Session& session);
+  HttpResponse HandleUpload(const HttpRequest& request,
+                            const Session& session);
+  HttpResponse HandleUsers(const HttpRequest& request,
+                           const Session& session);
+
+  HttpResponse RenderQuery(const std::string& sql,
+                           const xuis::XuisTable* table,
+                           const Session& session);
+
+  /// Finds an operation spec by name in the user's XUIS.
+  const xuis::OperationSpec* FindOperation(const xuis::XuisSpec& spec,
+                                           const std::string& name) const;
+
+  static HttpResponse Error(int status, const std::string& message);
+
+  Deps deps_;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace easia::web
+
+#endif  // EASIA_WEB_SERVER_H_

@@ -1,0 +1,65 @@
+#include "web/session.h"
+
+#include "common/string_util.h"
+#include "crypto/sha256.h"
+
+namespace easia::web {
+
+SessionManager::SessionManager(const UserManager* users, const Clock* clock,
+                               double idle_timeout_seconds)
+    : users_(users), clock_(clock), idle_timeout_(idle_timeout_seconds) {}
+
+Result<std::string> SessionManager::Login(const std::string& name,
+                                          const std::string& password) {
+  EASIA_ASSIGN_OR_RETURN(User user, users_->Authenticate(name, password));
+  Session session;
+  session.user = user;
+  session.created_epoch = clock_->Now();
+  session.last_active_epoch = session.created_epoch;
+  // Session ids mix a counter with a hash so they are unguessable-ish and
+  // deterministic under the simulation clock.
+  session.id = crypto::Sha256::HexHash(
+                   StrPrintf("%s|%llu|%.6f", name.c_str(),
+                             static_cast<unsigned long long>(++counter_),
+                             session.created_epoch))
+                   .substr(0, 24);
+  sessions_[session.id] = session;
+  return session.id;
+}
+
+Result<Session> SessionManager::Get(const std::string& session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session");
+  }
+  double now = clock_->Now();
+  if (now - it->second.last_active_epoch > idle_timeout_) {
+    sessions_.erase(it);
+    return Status::TokenExpired("session timed out");
+  }
+  it->second.last_active_epoch = now;
+  return it->second;
+}
+
+Status SessionManager::Logout(const std::string& session_id) {
+  if (sessions_.erase(session_id) == 0) {
+    return Status::NotFound("no such session");
+  }
+  return Status::OK();
+}
+
+size_t SessionManager::SweepExpired() {
+  double now = clock_->Now();
+  size_t removed = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_active_epoch > idle_timeout_) {
+      it = sessions_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace easia::web

@@ -1,0 +1,52 @@
+#ifndef EASIA_WEB_SESSION_H_
+#define EASIA_WEB_SESSION_H_
+
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "web/users.h"
+
+namespace easia::web {
+
+/// A servlet session (the paper keys temp directories and upload
+/// authorisation off the servlet session identifier).
+struct Session {
+  std::string id;
+  User user;
+  double created_epoch = 0;
+  double last_active_epoch = 0;
+};
+
+class SessionManager {
+ public:
+  SessionManager(const UserManager* users, const Clock* clock,
+                 double idle_timeout_seconds = 1800.0);
+
+  /// Authenticates and opens a session; returns the session id.
+  Result<std::string> Login(const std::string& name,
+                            const std::string& password);
+
+  /// Looks up a live session; touches last-active. Errors: kNotFound,
+  /// kTokenExpired (idle timeout).
+  Result<Session> Get(const std::string& session_id);
+
+  Status Logout(const std::string& session_id);
+
+  /// Drops idle sessions; returns how many were removed.
+  size_t SweepExpired();
+
+  size_t ActiveCount() const { return sessions_.size(); }
+
+ private:
+  const UserManager* users_;
+  const Clock* clock_;
+  double idle_timeout_;
+  std::map<std::string, Session> sessions_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace easia::web
+
+#endif  // EASIA_WEB_SESSION_H_

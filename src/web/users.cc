@@ -1,0 +1,87 @@
+#include "web/users.h"
+
+#include "common/string_util.h"
+#include "crypto/sha256.h"
+
+namespace easia::web {
+
+std::string_view UserRoleName(UserRole role) {
+  switch (role) {
+    case UserRole::kGuest: return "guest";
+    case UserRole::kAuthorised: return "authorised";
+    case UserRole::kAdmin: return "admin";
+  }
+  return "guest";
+}
+
+UserManager::UserManager() {
+  // The paper's public demo account.
+  (void)AddUser("guest", "guest", UserRole::kGuest);
+}
+
+std::string UserManager::Digest(const std::string& salt,
+                                const std::string& password) {
+  return crypto::Sha256::HexHash(salt + "\x00" + password);
+}
+
+Status UserManager::AddUser(const std::string& name,
+                            const std::string& password, UserRole role) {
+  if (name.empty()) return Status::InvalidArgument("empty user name");
+  if (users_.count(name) != 0) {
+    return Status::AlreadyExists("user " + name + " already exists");
+  }
+  Entry entry;
+  entry.user.name = name;
+  entry.user.role = role;
+  entry.salt = StrPrintf("s%llu",
+                         static_cast<unsigned long long>(++salt_counter_));
+  entry.password_digest = Digest(entry.salt, password);
+  users_[name] = std::move(entry);
+  return Status::OK();
+}
+
+Status UserManager::RemoveUser(const std::string& name) {
+  if (users_.erase(name) == 0) {
+    return Status::NotFound("no user named " + name);
+  }
+  return Status::OK();
+}
+
+Status UserManager::SetRole(const std::string& name, UserRole role) {
+  auto it = users_.find(name);
+  if (it == users_.end()) return Status::NotFound("no user named " + name);
+  it->second.user.role = role;
+  return Status::OK();
+}
+
+Status UserManager::SetPassword(const std::string& name,
+                                const std::string& password) {
+  auto it = users_.find(name);
+  if (it == users_.end()) return Status::NotFound("no user named " + name);
+  it->second.password_digest = Digest(it->second.salt, password);
+  return Status::OK();
+}
+
+Result<User> UserManager::Authenticate(const std::string& name,
+                                       const std::string& password) const {
+  auto it = users_.find(name);
+  if (it == users_.end() ||
+      it->second.password_digest != Digest(it->second.salt, password)) {
+    return Status::PermissionDenied("bad user name or password");
+  }
+  return it->second.user;
+}
+
+Result<User> UserManager::GetUser(const std::string& name) const {
+  auto it = users_.find(name);
+  if (it == users_.end()) return Status::NotFound("no user named " + name);
+  return it->second.user;
+}
+
+std::vector<User> UserManager::ListUsers() const {
+  std::vector<User> out;
+  for (const auto& [name, entry] : users_) out.push_back(entry.user);
+  return out;
+}
+
+}  // namespace easia::web

@@ -1,0 +1,68 @@
+#ifndef EASIA_WEB_USERS_H_
+#define EASIA_WEB_USERS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easia::web {
+
+/// User classes from the paper's demo: guests browse but "cannot download
+/// datasets, cannot upload post-processing codes, and are limited in the
+/// types of operations they can run"; authorised users can do all three;
+/// admins additionally manage users (the web-based user management slide).
+enum class UserRole {
+  kGuest,
+  kAuthorised,
+  kAdmin,
+};
+
+std::string_view UserRoleName(UserRole role);
+
+struct User {
+  std::string name;
+  UserRole role = UserRole::kGuest;
+
+  bool IsGuest() const { return role == UserRole::kGuest; }
+  bool CanDownload() const { return role != UserRole::kGuest; }
+  bool CanUploadCode() const { return role != UserRole::kGuest; }
+  bool CanManageUsers() const { return role == UserRole::kAdmin; }
+};
+
+/// Credential store (passwords held as salted SHA-256 digests).
+class UserManager {
+ public:
+  UserManager();
+
+  Status AddUser(const std::string& name, const std::string& password,
+                 UserRole role);
+  Status RemoveUser(const std::string& name);
+  Status SetRole(const std::string& name, UserRole role);
+  Status SetPassword(const std::string& name, const std::string& password);
+
+  /// Verifies credentials; kPermissionDenied on mismatch.
+  Result<User> Authenticate(const std::string& name,
+                            const std::string& password) const;
+
+  Result<User> GetUser(const std::string& name) const;
+  std::vector<User> ListUsers() const;
+
+ private:
+  struct Entry {
+    User user;
+    std::string salt;
+    std::string password_digest;
+  };
+
+  static std::string Digest(const std::string& salt,
+                            const std::string& password);
+
+  std::map<std::string, Entry> users_;
+  uint64_t salt_counter_ = 0;
+};
+
+}  // namespace easia::web
+
+#endif  // EASIA_WEB_USERS_H_

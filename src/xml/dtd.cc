@@ -1,0 +1,639 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace easia::xml {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+/// Token-level cursor over DTD text.
+class DtdCursor {
+ public:
+  explicit DtdCursor(std::string_view text) : text_(text) {}
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  void Advance() { ++pos_; }
+
+  void SkipWhitespaceAndComments() {
+    while (!Eof()) {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      } else if (text_.substr(pos_, 4) == "<!--") {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool Consume(std::string_view s) {
+    if (text_.substr(pos_, s.size()) == s) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ReadName() {
+    SkipWhitespaceAndComments();
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) Advance();
+    if (pos_ == start) return Status::ParseError("dtd: expected name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Reads up to (not including) the next '>' at nesting depth zero of
+  /// parentheses; used for declaration bodies.
+  Result<std::string> ReadUntilDeclEnd() {
+    size_t start = pos_;
+    int depth = 0;
+    while (!Eof()) {
+      char c = Peek();
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == '>' && depth <= 0) {
+        std::string body(text_.substr(start, pos_ - start));
+        Advance();
+        return body;
+      }
+      Advance();
+    }
+    return Status::ParseError("dtd: unterminated declaration");
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Recursive-descent parser for content model expressions.
+class ParticleParser {
+ public:
+  explicit ParticleParser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<Particle>> Parse() {
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<Particle> p, ParseParticle());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("dtd: trailing content-model text");
+    }
+    return p;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<std::unique_ptr<Particle>> ParseParticle() {
+    SkipWs();
+    auto p = std::make_unique<Particle>();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      std::vector<std::unique_ptr<Particle>> items;
+      char sep = 0;
+      while (true) {
+        EASIA_ASSIGN_OR_RETURN(std::unique_ptr<Particle> item,
+                               ParseParticle());
+        items.push_back(std::move(item));
+        SkipWs();
+        if (pos_ >= text_.size()) {
+          return Status::ParseError("dtd: unterminated group");
+        }
+        char c = text_[pos_];
+        if (c == ')') {
+          ++pos_;
+          break;
+        }
+        if (c != ',' && c != '|') {
+          return Status::ParseError("dtd: expected ',' '|' or ')'");
+        }
+        if (sep != 0 && sep != c) {
+          return Status::ParseError("dtd: mixed ',' and '|' in one group");
+        }
+        sep = c;
+        ++pos_;
+      }
+      if (items.size() == 1 && sep == 0) {
+        p = std::move(items[0]);
+        // A trailing indicator may still follow the group. If the inner
+        // particle already carries one, wrap it so both apply ("(a?)*").
+        Particle::Occurrence trailing = PeekOccurrence();
+        if (trailing != Particle::Occurrence::kOne) {
+          if (p->occurrence != Particle::Occurrence::kOne) {
+            auto wrapper = std::make_unique<Particle>();
+            wrapper->kind = Particle::Kind::kSequence;
+            wrapper->children.push_back(std::move(p));
+            p = std::move(wrapper);
+          }
+          p->occurrence = ConsumeOccurrence();
+        }
+        return p;
+      }
+      p->kind = (sep == '|') ? Particle::Kind::kChoice
+                             : Particle::Kind::kSequence;
+      p->children = std::move(items);
+    } else {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (IsNameChar(text_[pos_]) || text_[pos_] == '#')) {
+        ++pos_;
+      }
+      if (pos_ == start) {
+        return Status::ParseError("dtd: expected name in content model");
+      }
+      p->kind = Particle::Kind::kName;
+      p->name = std::string(text_.substr(start, pos_ - start));
+    }
+    p->occurrence = ConsumeOccurrence();
+    return p;
+  }
+
+  Particle::Occurrence PeekOccurrence() const {
+    if (pos_ >= text_.size()) return Particle::Occurrence::kOne;
+    switch (text_[pos_]) {
+      case '?':
+        return Particle::Occurrence::kOptional;
+      case '*':
+        return Particle::Occurrence::kZeroOrMore;
+      case '+':
+        return Particle::Occurrence::kOneOrMore;
+      default:
+        return Particle::Occurrence::kOne;
+    }
+  }
+
+  Particle::Occurrence ConsumeOccurrence() {
+    Particle::Occurrence occ = PeekOccurrence();
+    if (occ != Particle::Occurrence::kOne) ++pos_;
+    return occ;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Computes the set of sequence positions reachable after matching
+/// `particle` starting from each position in `from`.
+std::set<size_t> MatchParticle(const Particle& particle,
+                               const std::vector<std::string>& names,
+                               const std::set<size_t>& from) {
+  auto match_once = [&](const std::set<size_t>& starts) -> std::set<size_t> {
+    std::set<size_t> out;
+    switch (particle.kind) {
+      case Particle::Kind::kName:
+        for (size_t p : starts) {
+          if (p < names.size() && names[p] == particle.name) {
+            out.insert(p + 1);
+          }
+        }
+        break;
+      case Particle::Kind::kSequence: {
+        std::set<size_t> cur = starts;
+        for (const auto& child : particle.children) {
+          cur = MatchParticle(*child, names, cur);
+          if (cur.empty()) break;
+        }
+        out = cur;
+        break;
+      }
+      case Particle::Kind::kChoice:
+        for (const auto& child : particle.children) {
+          std::set<size_t> r = MatchParticle(*child, names, starts);
+          out.insert(r.begin(), r.end());
+        }
+        break;
+    }
+    return out;
+  };
+
+  std::set<size_t> result;
+  switch (particle.occurrence) {
+    case Particle::Occurrence::kOne:
+      return match_once(from);
+    case Particle::Occurrence::kOptional: {
+      result = from;
+      std::set<size_t> once = match_once(from);
+      result.insert(once.begin(), once.end());
+      return result;
+    }
+    case Particle::Occurrence::kZeroOrMore:
+    case Particle::Occurrence::kOneOrMore: {
+      std::set<size_t> reachable =
+          (particle.occurrence == Particle::Occurrence::kZeroOrMore)
+              ? from
+              : std::set<size_t>{};
+      std::set<size_t> frontier = from;
+      while (!frontier.empty()) {
+        std::set<size_t> next = match_once(frontier);
+        std::set<size_t> fresh;
+        for (size_t p : next) {
+          if (reachable.insert(p).second) fresh.insert(p);
+        }
+        frontier = std::move(fresh);
+      }
+      return reachable;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string Particle::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kName:
+      out = name;
+      break;
+    case Kind::kSequence:
+    case Kind::kChoice: {
+      out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += (kind == Kind::kSequence) ? "," : "|";
+        out += children[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+  }
+  switch (occurrence) {
+    case Occurrence::kOne:
+      break;
+    case Occurrence::kOptional:
+      out += '?';
+      break;
+    case Occurrence::kZeroOrMore:
+      out += '*';
+      break;
+    case Occurrence::kOneOrMore:
+      out += '+';
+      break;
+  }
+  return out;
+}
+
+Result<Dtd> Dtd::Parse(std::string_view text) {
+  Dtd dtd;
+  DtdCursor cursor(text);
+  while (true) {
+    cursor.SkipWhitespaceAndComments();
+    if (cursor.Eof()) break;
+    if (cursor.Consume("<!ELEMENT")) {
+      EASIA_ASSIGN_OR_RETURN(std::string name, cursor.ReadName());
+      EASIA_ASSIGN_OR_RETURN(std::string body, cursor.ReadUntilDeclEnd());
+      std::string_view model_text = Trim(body);
+      ContentModel model;
+      if (model_text == "EMPTY") {
+        model.kind = ContentModel::Kind::kEmpty;
+      } else if (model_text == "ANY") {
+        model.kind = ContentModel::Kind::kAny;
+      } else if (model_text.find("#PCDATA") != std::string_view::npos) {
+        model.kind = ContentModel::Kind::kMixed;
+        // (#PCDATA | a | b)* — collect the optional element names.
+        std::string inner(model_text);
+        for (char strip : {'(', ')', '*'}) {
+          inner = ReplaceAll(inner, std::string(1, strip), " ");
+        }
+        for (const std::string& part : SplitAndTrim(inner, '|')) {
+          if (part != "#PCDATA") model.mixed_names.push_back(part);
+        }
+      } else {
+        model.kind = ContentModel::Kind::kChildren;
+        ParticleParser pp(model_text);
+        EASIA_ASSIGN_OR_RETURN(model.particle, pp.Parse());
+      }
+      if (dtd.elements_.count(name) != 0) {
+        return Status::ParseError("dtd: duplicate ELEMENT declaration for " +
+                                  name);
+      }
+      dtd.elements_[name] = std::move(model);
+    } else if (cursor.Consume("<!ATTLIST")) {
+      EASIA_ASSIGN_OR_RETURN(std::string element, cursor.ReadName());
+      EASIA_ASSIGN_OR_RETURN(std::string body, cursor.ReadUntilDeclEnd());
+      // Parse a sequence of: name type default.
+      size_t pos = 0;
+      auto skip_ws = [&]() {
+        while (pos < body.size() &&
+               std::isspace(static_cast<unsigned char>(body[pos]))) {
+          ++pos;
+        }
+      };
+      auto read_token = [&]() -> std::string {
+        skip_ws();
+        size_t start = pos;
+        if (pos < body.size() && body[pos] == '(') {
+          int depth = 0;
+          while (pos < body.size()) {
+            if (body[pos] == '(') ++depth;
+            if (body[pos] == ')') {
+              --depth;
+              if (depth == 0) {
+                ++pos;
+                break;
+              }
+            }
+            ++pos;
+          }
+        } else if (pos < body.size() && (body[pos] == '"' || body[pos] == '\'')) {
+          char q = body[pos++];
+          while (pos < body.size() && body[pos] != q) ++pos;
+          if (pos < body.size()) ++pos;
+        } else {
+          while (pos < body.size() &&
+                 !std::isspace(static_cast<unsigned char>(body[pos]))) {
+            ++pos;
+          }
+        }
+        return body.substr(start, pos - start);
+      };
+      while (true) {
+        std::string attr_name = read_token();
+        if (attr_name.empty()) break;
+        std::string type_tok = read_token();
+        if (type_tok.empty()) {
+          return Status::ParseError("dtd: ATTLIST missing type for " +
+                                    attr_name);
+        }
+        AttributeDef def;
+        def.name = attr_name;
+        if (type_tok == "CDATA") {
+          def.type = AttributeDef::Type::kCData;
+        } else if (type_tok == "ID") {
+          def.type = AttributeDef::Type::kId;
+        } else if (type_tok == "IDREF") {
+          def.type = AttributeDef::Type::kIdRef;
+        } else if (type_tok == "NMTOKEN") {
+          def.type = AttributeDef::Type::kNmToken;
+        } else if (!type_tok.empty() && type_tok[0] == '(') {
+          def.type = AttributeDef::Type::kEnumerated;
+          std::string inner = type_tok.substr(1, type_tok.size() - 2);
+          def.enum_values = SplitAndTrim(inner, '|');
+        } else {
+          return Status::ParseError("dtd: unsupported attribute type " +
+                                    type_tok);
+        }
+        std::string default_tok = read_token();
+        if (default_tok == "#REQUIRED") {
+          def.default_kind = AttributeDef::Default::kRequired;
+        } else if (default_tok == "#IMPLIED") {
+          def.default_kind = AttributeDef::Default::kImplied;
+        } else if (default_tok == "#FIXED") {
+          def.default_kind = AttributeDef::Default::kFixed;
+          std::string value_tok = read_token();
+          if (value_tok.size() >= 2) {
+            def.default_value = value_tok.substr(1, value_tok.size() - 2);
+          }
+        } else if (default_tok.size() >= 2 &&
+                   (default_tok[0] == '"' || default_tok[0] == '\'')) {
+          def.default_kind = AttributeDef::Default::kValue;
+          def.default_value = default_tok.substr(1, default_tok.size() - 2);
+        } else {
+          return Status::ParseError("dtd: bad default for attribute " +
+                                    attr_name);
+        }
+        dtd.attlists_[element].push_back(std::move(def));
+      }
+    } else {
+      return Status::ParseError("dtd: expected <!ELEMENT or <!ATTLIST");
+    }
+  }
+  return dtd;
+}
+
+Status Dtd::Validate(const Node& root) const {
+  return ValidateElement(root);
+}
+
+Status Dtd::ValidateElement(const Node& element) const {
+  auto it = elements_.find(element.name());
+  if (it == elements_.end()) {
+    return Status::InvalidArgument("dtd: undeclared element <" +
+                                   element.name() + ">");
+  }
+  EASIA_RETURN_IF_ERROR(ValidateAttributes(element));
+  EASIA_RETURN_IF_ERROR(ValidateContent(element, it->second));
+  for (const auto& child : element.children()) {
+    if (child->IsElement()) {
+      EASIA_RETURN_IF_ERROR(ValidateElement(*child));
+    }
+  }
+  return Status::OK();
+}
+
+Status Dtd::ValidateAttributes(const Node& element) const {
+  auto it = attlists_.find(element.name());
+  const std::vector<AttributeDef>* defs =
+      it == attlists_.end() ? nullptr : &it->second;
+  // Every present attribute must be declared and enum values must match.
+  for (const Node::Attribute& attr : element.attributes()) {
+    const AttributeDef* def = nullptr;
+    if (defs != nullptr) {
+      for (const AttributeDef& d : *defs) {
+        if (d.name == attr.name) {
+          def = &d;
+          break;
+        }
+      }
+    }
+    if (def == nullptr) {
+      return Status::InvalidArgument("dtd: undeclared attribute '" +
+                                     attr.name + "' on <" + element.name() +
+                                     ">");
+    }
+    if (def->type == AttributeDef::Type::kEnumerated) {
+      bool found = false;
+      for (const std::string& v : def->enum_values) {
+        if (v == attr.value) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            "dtd: attribute '" + attr.name + "' on <" + element.name() +
+            "> has value '" + attr.value + "' outside its enumeration");
+      }
+    }
+    if (def->default_kind == AttributeDef::Default::kFixed &&
+        attr.value != def->default_value) {
+      return Status::InvalidArgument("dtd: #FIXED attribute '" + attr.name +
+                                     "' must be '" + def->default_value + "'");
+    }
+  }
+  // Required attributes must be present.
+  if (defs != nullptr) {
+    for (const AttributeDef& d : *defs) {
+      if (d.default_kind == AttributeDef::Default::kRequired &&
+          !element.HasAttr(d.name)) {
+        return Status::InvalidArgument("dtd: missing required attribute '" +
+                                       d.name + "' on <" + element.name() +
+                                       ">");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Dtd::ValidateContent(const Node& element,
+                            const ContentModel& model) const {
+  std::vector<std::string> child_names;
+  bool has_text = false;
+  for (const auto& child : element.children()) {
+    if (child->IsElement()) {
+      child_names.push_back(child->name());
+    } else if (child->IsText()) {
+      bool ws_only = true;
+      for (char c : child->text()) {
+        if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+          ws_only = false;
+          break;
+        }
+      }
+      if (!ws_only) has_text = true;
+    }
+  }
+  switch (model.kind) {
+    case ContentModel::Kind::kAny:
+      return Status::OK();
+    case ContentModel::Kind::kEmpty:
+      if (!child_names.empty() || has_text) {
+        return Status::InvalidArgument("dtd: element <" + element.name() +
+                                       "> declared EMPTY has content");
+      }
+      return Status::OK();
+    case ContentModel::Kind::kMixed: {
+      for (const std::string& name : child_names) {
+        bool allowed = false;
+        for (const std::string& m : model.mixed_names) {
+          if (m == name) {
+            allowed = true;
+            break;
+          }
+        }
+        if (!allowed) {
+          return Status::InvalidArgument("dtd: element <" + name +
+                                         "> not allowed inside mixed <" +
+                                         element.name() + ">");
+        }
+      }
+      return Status::OK();
+    }
+    case ContentModel::Kind::kChildren: {
+      if (has_text) {
+        return Status::InvalidArgument("dtd: text not allowed inside <" +
+                                       element.name() + ">");
+      }
+      std::set<size_t> ends =
+          MatchParticle(*model.particle, child_names, {0});
+      if (ends.count(child_names.size()) == 0) {
+        return Status::InvalidArgument(
+            "dtd: children of <" + element.name() +
+            "> do not match content model " + model.particle->ToString());
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+std::string_view XuisDtdText() {
+  static constexpr std::string_view kXuisDtd = R"DTD(
+<!-- EASIA XML User Interface Specification (XUIS) document type. -->
+<!ELEMENT xuis (table+)>
+<!ATTLIST xuis database CDATA #REQUIRED
+               version CDATA #IMPLIED
+               user CDATA #IMPLIED>
+<!ELEMENT table (tablealias?, column+)>
+<!ATTLIST table name CDATA #REQUIRED
+                primaryKey CDATA #IMPLIED
+                hidden (true|false) "false">
+<!ELEMENT tablealias (#PCDATA)>
+<!ELEMENT column (columnalias?, type, pk?, fk?, samples?, operation*,
+                  operationchain*, upload?)>
+<!ATTLIST column name CDATA #REQUIRED
+                 colid CDATA #REQUIRED
+                 hidden (true|false) "false">
+<!ELEMENT columnalias (#PCDATA)>
+<!ELEMENT type ((INTEGER|DOUBLE|VARCHAR|TIMESTAMP|BLOB|CLOB|DATALINK), size?)>
+<!ELEMENT INTEGER EMPTY>
+<!ELEMENT DOUBLE EMPTY>
+<!ELEMENT VARCHAR EMPTY>
+<!ELEMENT TIMESTAMP EMPTY>
+<!ELEMENT BLOB EMPTY>
+<!ELEMENT CLOB EMPTY>
+<!ELEMENT DATALINK EMPTY>
+<!ELEMENT size (#PCDATA)>
+<!ELEMENT pk (refby*)>
+<!ELEMENT refby EMPTY>
+<!ATTLIST refby tablecolumn CDATA #REQUIRED>
+<!ELEMENT fk EMPTY>
+<!ATTLIST fk tablecolumn CDATA #REQUIRED
+             substcolumn CDATA #IMPLIED
+             userdefined (true|false) "false">
+<!ELEMENT samples (sample*)>
+<!ELEMENT sample (#PCDATA)>
+<!ELEMENT operation (if?, location, description?, parameters?)>
+<!ATTLIST operation name CDATA #REQUIRED
+                    type CDATA #IMPLIED
+                    filename CDATA #IMPLIED
+                    format CDATA #IMPLIED
+                    guest.access (true|false) "false"
+                    column (true|false) "false">
+<!ELEMENT if (condition+)>
+<!ELEMENT condition (eq|ne|lt|gt|like)>
+<!ATTLIST condition colid CDATA #REQUIRED>
+<!ELEMENT eq (#PCDATA)>
+<!ELEMENT ne (#PCDATA)>
+<!ELEMENT lt (#PCDATA)>
+<!ELEMENT gt (#PCDATA)>
+<!ELEMENT like (#PCDATA)>
+<!ELEMENT location (database.result|URL)>
+<!ELEMENT database.result (condition*)>
+<!ATTLIST database.result colid CDATA #REQUIRED>
+<!ELEMENT URL (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT parameters (param+)>
+<!ELEMENT param (variable)>
+<!ELEMENT variable (description?, (select|input+|text))>
+<!ELEMENT select (option+)>
+<!ATTLIST select name CDATA #REQUIRED
+                 size CDATA #IMPLIED>
+<!ELEMENT option (#PCDATA)>
+<!ATTLIST option value CDATA #REQUIRED>
+<!ELEMENT input (#PCDATA)>
+<!ATTLIST input type CDATA #REQUIRED
+                name CDATA #REQUIRED
+                value CDATA #REQUIRED>
+<!ELEMENT text EMPTY>
+<!ATTLIST text name CDATA #REQUIRED
+               default CDATA #IMPLIED>
+<!ELEMENT operationchain (stepref+)>
+<!ATTLIST operationchain name CDATA #REQUIRED
+                         description CDATA #IMPLIED
+                         guest.access (true|false) "false">
+<!ELEMENT stepref EMPTY>
+<!ATTLIST stepref operation CDATA #REQUIRED>
+<!ELEMENT upload (if?)>
+<!ATTLIST upload type CDATA #REQUIRED
+                 format CDATA #REQUIRED
+                 guest.access (true|false) "false"
+                 column (true|false) "false">
+)DTD";
+  return kXuisDtd;
+}
+
+}  // namespace easia::xml

@@ -1,0 +1,91 @@
+#ifndef EASIA_XML_DTD_H_
+#define EASIA_XML_DTD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace easia::xml {
+
+/// A content particle in an ELEMENT declaration: a name, a sequence (a,b)
+/// or a choice (a|b), each with an occurrence indicator (?, *, +).
+struct Particle {
+  enum class Kind { kName, kSequence, kChoice };
+  enum class Occurrence { kOne, kOptional, kZeroOrMore, kOneOrMore };
+
+  Kind kind = Kind::kName;
+  Occurrence occurrence = Occurrence::kOne;
+  std::string name;  // for kName
+  std::vector<std::unique_ptr<Particle>> children;
+
+  std::string ToString() const;
+};
+
+/// Content model of an element type.
+struct ContentModel {
+  enum class Kind { kEmpty, kAny, kMixed, kChildren };
+
+  Kind kind = Kind::kAny;
+  /// For kMixed: element names allowed to interleave with #PCDATA.
+  std::vector<std::string> mixed_names;
+  /// For kChildren.
+  std::unique_ptr<Particle> particle;
+};
+
+/// One attribute definition in an ATTLIST declaration.
+struct AttributeDef {
+  enum class Type { kCData, kId, kIdRef, kNmToken, kEnumerated };
+  enum class Default { kRequired, kImplied, kFixed, kValue };
+
+  std::string name;
+  Type type = Type::kCData;
+  std::vector<std::string> enum_values;  // for kEnumerated
+  Default default_kind = Default::kImplied;
+  std::string default_value;  // for kFixed / kValue
+};
+
+/// A parsed Document Type Definition (the subset of XML 1.0 DTDs that the
+/// EASIA XUIS DTD uses: ELEMENT and ATTLIST declarations, comments).
+class Dtd {
+ public:
+  /// Parses DTD text (the internal subset, or a standalone .dtd file body).
+  static Result<Dtd> Parse(std::string_view text);
+
+  /// Validates `root` against this DTD: every element must be declared, its
+  /// children must match the content model, required attributes must be
+  /// present, attributes must be declared, and enumerated attributes must
+  /// take one of their allowed values.
+  Status Validate(const Node& root) const;
+
+  bool HasElement(std::string_view name) const {
+    return elements_.find(std::string(name)) != elements_.end();
+  }
+
+  const std::map<std::string, ContentModel>& elements() const {
+    return elements_;
+  }
+  const std::map<std::string, std::vector<AttributeDef>>& attlists() const {
+    return attlists_;
+  }
+
+ private:
+  Status ValidateElement(const Node& element) const;
+  Status ValidateAttributes(const Node& element) const;
+  Status ValidateContent(const Node& element, const ContentModel& model) const;
+
+  std::map<std::string, ContentModel> elements_;
+  std::map<std::string, std::vector<AttributeDef>> attlists_;
+};
+
+/// The EASIA XUIS document type definition (see DESIGN.md / the paper's
+/// "Default XUIS conforms to a DTD that we have created").
+std::string_view XuisDtdText();
+
+}  // namespace easia::xml
+
+#endif  // EASIA_XML_DTD_H_

@@ -1,0 +1,153 @@
+#include "xml/node.h"
+
+namespace easia::xml {
+
+std::unique_ptr<Node> Node::Element(std::string name) {
+  auto n = std::unique_ptr<Node>(new Node(Type::kElement));
+  n->name_ = std::move(name);
+  return n;
+}
+
+std::unique_ptr<Node> Node::Text(std::string text) {
+  auto n = std::unique_ptr<Node>(new Node(Type::kText));
+  n->text_ = std::move(text);
+  return n;
+}
+
+std::unique_ptr<Node> Node::CData(std::string text) {
+  auto n = std::unique_ptr<Node>(new Node(Type::kCData));
+  n->text_ = std::move(text);
+  return n;
+}
+
+std::unique_ptr<Node> Node::Comment(std::string text) {
+  auto n = std::unique_ptr<Node>(new Node(Type::kComment));
+  n->text_ = std::move(text);
+  return n;
+}
+
+std::string_view Node::Attr(std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return a.value;
+  }
+  return {};
+}
+
+bool Node::HasAttr(std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+void Node::SetAttr(std::string_view name, std::string_view value) {
+  for (Attribute& a : attributes_) {
+    if (a.name == name) {
+      a.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+}
+
+void Node::RemoveAttr(std::string_view name) {
+  for (auto it = attributes_.begin(); it != attributes_.end(); ++it) {
+    if (it->name == name) {
+      attributes_.erase(it);
+      return;
+    }
+  }
+}
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::AddElement(std::string name) {
+  return AddChild(Element(std::move(name)));
+}
+
+Node* Node::AddElementWithText(std::string name, std::string text) {
+  Node* e = AddElement(std::move(name));
+  e->AddText(std::move(text));
+  return e;
+}
+
+Node* Node::AddText(std::string text) {
+  return AddChild(Text(std::move(text)));
+}
+
+const Node* Node::FindChild(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->IsElement() && c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Node* Node::FindChild(std::string_view name) {
+  return const_cast<Node*>(
+      static_cast<const Node*>(this)->FindChild(name));
+}
+
+std::vector<const Node*> Node::FindChildren(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->IsElement() && c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::vector<const Node*> Node::ChildElements() const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_) {
+    if (c->IsElement()) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Node::InnerText() const {
+  std::string out;
+  for (const auto& c : children_) {
+    if (c->IsText()) out += c->text();
+  }
+  return out;
+}
+
+std::string Node::ChildText(std::string_view name) const {
+  const Node* c = FindChild(name);
+  return c == nullptr ? std::string() : c->InnerText();
+}
+
+size_t Node::RemoveChildren(std::string_view name) {
+  size_t removed = 0;
+  for (auto it = children_.begin(); it != children_.end();) {
+    if ((*it)->IsElement() && (*it)->name() == name) {
+      it = children_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  auto n = std::unique_ptr<Node>(new Node(type_));
+  n->name_ = name_;
+  n->text_ = text_;
+  n->attributes_ = attributes_;
+  n->children_.reserve(children_.size());
+  for (const auto& c : children_) {
+    n->children_.push_back(c->Clone());
+  }
+  return n;
+}
+
+size_t Node::CountElements() const {
+  size_t n = IsElement() ? 1 : 0;
+  for (const auto& c : children_) n += c->CountElements();
+  return n;
+}
+
+}  // namespace easia::xml

@@ -1,0 +1,129 @@
+#ifndef EASIA_XML_NODE_H_
+#define EASIA_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easia::xml {
+
+/// A node in an XML document tree. EASIA uses a single node class with a
+/// type tag rather than a class hierarchy: the XUIS manipulation code walks
+/// and rewrites trees constantly and benefits from a uniform API.
+class Node {
+ public:
+  enum class Type {
+    kElement,
+    kText,
+    kCData,
+    kComment,
+  };
+
+  /// An attribute; order of appearance is preserved.
+  struct Attribute {
+    std::string name;
+    std::string value;
+  };
+
+  static std::unique_ptr<Node> Element(std::string name);
+  static std::unique_ptr<Node> Text(std::string text);
+  static std::unique_ptr<Node> CData(std::string text);
+  static std::unique_ptr<Node> Comment(std::string text);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Type type() const { return type_; }
+  bool IsElement() const { return type_ == Type::kElement; }
+  bool IsText() const { return type_ == Type::kText || type_ == Type::kCData; }
+
+  /// Element name (empty for non-elements).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Text content for text/CDATA/comment nodes.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  // --- Attributes (elements only) ---
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Returns the attribute value or "" if absent.
+  std::string_view Attr(std::string_view name) const;
+  bool HasAttr(std::string_view name) const;
+
+  /// Sets (or replaces) an attribute.
+  void SetAttr(std::string_view name, std::string_view value);
+  void RemoveAttr(std::string_view name);
+
+  // --- Children (elements only) ---
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+
+  /// Appends a child and returns a raw pointer to it (owned by this node).
+  Node* AddChild(std::unique_ptr<Node> child);
+
+  /// Convenience: appends `<name>` and returns it.
+  Node* AddElement(std::string name);
+
+  /// Convenience: appends `<name>text</name>` and returns the element.
+  Node* AddElementWithText(std::string name, std::string text);
+
+  /// Appends a text child.
+  Node* AddText(std::string text);
+
+  /// First child element with the given name, or nullptr.
+  const Node* FindChild(std::string_view name) const;
+  Node* FindChild(std::string_view name);
+
+  /// All child elements with the given name.
+  std::vector<const Node*> FindChildren(std::string_view name) const;
+
+  /// All child elements (any name).
+  std::vector<const Node*> ChildElements() const;
+
+  /// Concatenated text of direct text/CDATA children.
+  std::string InnerText() const;
+
+  /// Text of the first child element `name`, or "" when absent. Mirrors the
+  /// common XUIS pattern `<tablealias>Author</tablealias>`.
+  std::string ChildText(std::string_view name) const;
+
+  /// Removes all children with the given element name. Returns count.
+  size_t RemoveChildren(std::string_view name);
+
+  /// Deep copy.
+  std::unique_ptr<Node> Clone() const;
+
+  /// Number of element descendants including this node (for stats/tests).
+  size_t CountElements() const;
+
+ private:
+  explicit Node(Type type) : type_(type) {}
+
+  Type type_;
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// A parsed document: optional XML declaration data, optional DOCTYPE
+/// information, and a single root element.
+struct Document {
+  std::string version = "1.0";
+  std::string encoding;
+  /// DOCTYPE name as declared (e.g. "xuis"); empty when absent.
+  std::string doctype_name;
+  /// Raw internal DTD subset text (between '[' and ']'), if present.
+  std::string internal_dtd;
+  std::unique_ptr<Node> root;
+};
+
+}  // namespace easia::xml
+
+#endif  // EASIA_XML_NODE_H_

@@ -1,0 +1,399 @@
+#include "xml/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace easia::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Document> ParseDocument() {
+    Document doc;
+    SkipWhitespaceAndMisc(&doc);
+    if (!doc_error_.ok()) return doc_error_;
+    if (Eof()) return Error("document has no root element");
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<Node> root, ParseElementNode());
+    doc.root = std::move(root);
+    doc.version = version_;
+    doc.encoding = encoding_;
+    doc.doctype_name = doctype_name_;
+    doc.internal_dtd = internal_dtd_;
+    // Only whitespace, comments and PIs may follow the root element.
+    while (!Eof()) {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      } else if (LookingAt("<!--")) {
+        EASIA_RETURN_IF_ERROR(SkipComment());
+      } else if (LookingAt("<?")) {
+        EASIA_RETURN_IF_ERROR(SkipProcessingInstruction());
+      } else {
+        return Error("content after root element");
+      }
+    }
+    return doc;
+  }
+
+  Result<std::unique_ptr<Node>> ParseSingleElement() {
+    SkipPlainWhitespace();
+    EASIA_ASSIGN_OR_RETURN(std::unique_ptr<Node> root, ParseElementNode());
+    SkipPlainWhitespace();
+    if (!Eof()) return Error("trailing content after element");
+    return root;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void AdvanceN(size_t n) {
+    for (size_t i = 0; i < n && !Eof(); ++i) Advance();
+  }
+
+  bool LookingAt(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  Status Error(std::string_view msg) const {
+    return Status::ParseError(StrPrintf("xml:%zu:%zu: %s", line_, col_,
+                                        std::string(msg).c_str()));
+  }
+
+  void SkipPlainWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  /// Skips whitespace, XML declaration, comments, PIs and DOCTYPE before the
+  /// root element.
+  void SkipWhitespaceAndMisc(Document* doc) {
+    while (!Eof()) {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      } else if (LookingAt("<?xml")) {
+        Status s = ParseXmlDeclaration();
+        if (!s.ok()) {
+          doc_error_ = s;
+          return;
+        }
+      } else if (LookingAt("<?")) {
+        Status s = SkipProcessingInstruction();
+        if (!s.ok()) {
+          doc_error_ = s;
+          return;
+        }
+      } else if (LookingAt("<!--")) {
+        Status s = SkipComment();
+        if (!s.ok()) {
+          doc_error_ = s;
+          return;
+        }
+      } else if (LookingAt("<!DOCTYPE")) {
+        Status s = ParseDoctype();
+        if (!s.ok()) {
+          doc_error_ = s;
+          return;
+        }
+      } else {
+        return;
+      }
+    }
+    (void)doc;
+  }
+
+  Status ParseXmlDeclaration() {
+    AdvanceN(5);  // <?xml
+    while (!Eof() && !LookingAt("?>")) {
+      SkipPlainWhitespace();
+      if (LookingAt("?>")) break;
+      Result<std::string> name = ParseName();
+      if (!name.ok()) return name.status();
+      SkipPlainWhitespace();
+      if (Eof() || Peek() != '=') return Error("expected '=' in declaration");
+      Advance();
+      SkipPlainWhitespace();
+      Result<std::string> value = ParseQuotedValue();
+      if (!value.ok()) return value.status();
+      if (*name == "version") version_ = *value;
+      if (*name == "encoding") encoding_ = *value;
+    }
+    if (!LookingAt("?>")) return Error("unterminated xml declaration");
+    AdvanceN(2);
+    return Status::OK();
+  }
+
+  Status SkipProcessingInstruction() {
+    AdvanceN(2);  // <?
+    while (!Eof() && !LookingAt("?>")) Advance();
+    if (!LookingAt("?>")) return Error("unterminated processing instruction");
+    AdvanceN(2);
+    return Status::OK();
+  }
+
+  Status SkipComment() {
+    AdvanceN(4);  // <!--
+    size_t start = pos_;
+    while (!Eof() && !LookingAt("-->")) Advance();
+    if (!LookingAt("-->")) return Error("unterminated comment");
+    last_comment_ = std::string(input_.substr(start, pos_ - start));
+    AdvanceN(3);
+    return Status::OK();
+  }
+
+  Status ParseDoctype() {
+    AdvanceN(9);  // <!DOCTYPE
+    SkipPlainWhitespace();
+    Result<std::string> name = ParseName();
+    if (!name.ok()) return name.status();
+    doctype_name_ = *name;
+    // Skip external ID if present, capture internal subset if present.
+    while (!Eof() && Peek() != '>' && Peek() != '[') Advance();
+    if (!Eof() && Peek() == '[') {
+      Advance();
+      size_t start = pos_;
+      while (!Eof() && Peek() != ']') Advance();
+      if (Eof()) return Error("unterminated DOCTYPE internal subset");
+      internal_dtd_ = std::string(input_.substr(start, pos_ - start));
+      Advance();  // ]
+      SkipPlainWhitespace();
+    }
+    if (Eof() || Peek() != '>') return Error("unterminated DOCTYPE");
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ParseName() {
+    if (Eof() || !IsNameStartChar(Peek())) {
+      return Error("expected name");
+    }
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseQuotedValue() {
+    if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string out;
+    while (!Eof() && Peek() != quote) {
+      if (Peek() == '&') {
+        EASIA_ASSIGN_OR_RETURN(std::string entity, ParseEntity());
+        out += entity;
+      } else if (Peek() == '<') {
+        return Error("'<' not allowed in attribute value");
+      } else {
+        out += Peek();
+        Advance();
+      }
+    }
+    if (Eof()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return out;
+  }
+
+  Result<std::string> ParseEntity() {
+    // Positioned at '&'.
+    Advance();
+    size_t start = pos_;
+    while (!Eof() && Peek() != ';' && pos_ - start < 12) Advance();
+    if (Eof() || Peek() != ';') return Error("unterminated entity reference");
+    std::string_view name = input_.substr(start, pos_ - start);
+    Advance();  // ;
+    if (name == "amp") return std::string("&");
+    if (name == "lt") return std::string("<");
+    if (name == "gt") return std::string(">");
+    if (name == "quot") return std::string("\"");
+    if (name == "apos") return std::string("'");
+    if (!name.empty() && name[0] == '#') {
+      int base = 10;
+      std::string_view digits = name.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) return Error("empty character reference");
+      uint32_t code = 0;
+      for (char c : digits) {
+        int d;
+        if (c >= '0' && c <= '9') {
+          d = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          d = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          d = c - 'A' + 10;
+        } else {
+          return Error("bad character reference");
+        }
+        code = code * static_cast<uint32_t>(base) + static_cast<uint32_t>(d);
+        if (code > 0x10FFFF) return Error("character reference out of range");
+      }
+      return EncodeUtf8(code);
+    }
+    return Error("unknown entity reference");
+  }
+
+  static std::string EncodeUtf8(uint32_t code) {
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<Node>> ParseElementNode() {
+    if (Eof() || Peek() != '<') return Error("expected element");
+    Advance();  // <
+    EASIA_ASSIGN_OR_RETURN(std::string name, ParseName());
+    std::unique_ptr<Node> element = Node::Element(std::move(name));
+    // Attributes.
+    while (true) {
+      SkipPlainWhitespace();
+      if (Eof()) return Error("unterminated start tag");
+      if (Peek() == '>' || LookingAt("/>")) break;
+      EASIA_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipPlainWhitespace();
+      if (Eof() || Peek() != '=') return Error("expected '=' after attribute");
+      Advance();
+      SkipPlainWhitespace();
+      EASIA_ASSIGN_OR_RETURN(std::string attr_value, ParseQuotedValue());
+      if (element->HasAttr(attr_name)) {
+        return Error("duplicate attribute '" + attr_name + "'");
+      }
+      element->SetAttr(attr_name, attr_value);
+    }
+    if (LookingAt("/>")) {
+      AdvanceN(2);
+      return element;
+    }
+    Advance();  // >
+    // Content.
+    std::string text_buf;
+    auto flush_text = [&]() {
+      if (!text_buf.empty()) {
+        element->AddText(std::move(text_buf));
+        text_buf.clear();
+      }
+    };
+    while (true) {
+      if (Eof()) {
+        return Error("unterminated element '" + element->name() + "'");
+      }
+      if (LookingAt("</")) {
+        flush_text();
+        AdvanceN(2);
+        EASIA_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+        SkipPlainWhitespace();
+        if (Eof() || Peek() != '>') return Error("malformed end tag");
+        Advance();
+        if (end_name != element->name()) {
+          return Error("mismatched end tag: expected </" + element->name() +
+                       ">, got </" + end_name + ">");
+        }
+        return element;
+      }
+      if (LookingAt("<!--")) {
+        flush_text();
+        EASIA_RETURN_IF_ERROR(SkipComment());
+        element->AddChild(Node::Comment(last_comment_));
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        flush_text();
+        AdvanceN(9);
+        size_t start = pos_;
+        while (!Eof() && !LookingAt("]]>")) Advance();
+        if (Eof()) return Error("unterminated CDATA section");
+        element->AddChild(
+            Node::CData(std::string(input_.substr(start, pos_ - start))));
+        AdvanceN(3);
+        continue;
+      }
+      if (LookingAt("<?")) {
+        flush_text();
+        EASIA_RETURN_IF_ERROR(SkipProcessingInstruction());
+        continue;
+      }
+      if (Peek() == '<') {
+        flush_text();
+        EASIA_ASSIGN_OR_RETURN(std::unique_ptr<Node> child,
+                               ParseElementNode());
+        element->AddChild(std::move(child));
+        continue;
+      }
+      if (Peek() == '&') {
+        EASIA_ASSIGN_OR_RETURN(std::string entity, ParseEntity());
+        text_buf += entity;
+        continue;
+      }
+      text_buf += Peek();
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+  std::string version_ = "1.0";
+  std::string encoding_;
+  std::string doctype_name_;
+  std::string internal_dtd_;
+  std::string last_comment_;
+  Status doc_error_ = Status::OK();
+};
+
+}  // namespace
+
+Result<Document> Parse(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+Result<std::unique_ptr<Node>> ParseElement(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseSingleElement();
+}
+
+}  // namespace easia::xml

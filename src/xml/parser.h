@@ -1,0 +1,23 @@
+#ifndef EASIA_XML_PARSER_H_
+#define EASIA_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace easia::xml {
+
+/// Parses an XML document. Supports: XML declaration, DOCTYPE with internal
+/// subset capture, elements, attributes (single/double quoted), text,
+/// CDATA, comments, processing instructions (skipped), the five predefined
+/// entities and numeric character references. Errors carry line:column.
+Result<Document> Parse(std::string_view input);
+
+/// Parses a fragment that must consist of a single element (convenience for
+/// tests and XUIS snippets).
+Result<std::unique_ptr<Node>> ParseElement(std::string_view input);
+
+}  // namespace easia::xml
+
+#endif  // EASIA_XML_PARSER_H_

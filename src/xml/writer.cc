@@ -1,0 +1,123 @@
+#include "xml/writer.h"
+
+#include "common/string_util.h"
+
+namespace easia::xml {
+
+namespace {
+
+bool HasElementChildren(const Node& node) {
+  for (const auto& c : node.children()) {
+    if (c->IsElement()) return true;
+  }
+  return false;
+}
+
+bool IsWhitespaceOnly(const std::string& s) {
+  for (char c : s) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return false;
+  }
+  return true;
+}
+
+void WriteNodeRec(const Node& node, const WriteOptions& options, int depth,
+                  std::string* out) {
+  auto indent = [&](int d) {
+    if (options.indent.empty()) return;
+    for (int i = 0; i < d; ++i) *out += options.indent;
+  };
+  switch (node.type()) {
+    case Node::Type::kText:
+      *out += EscapeMarkup(node.text());
+      return;
+    case Node::Type::kCData:
+      *out += "<![CDATA[";
+      *out += node.text();
+      *out += "]]>";
+      return;
+    case Node::Type::kComment:
+      *out += "<!--";
+      *out += node.text();
+      *out += "-->";
+      return;
+    case Node::Type::kElement:
+      break;
+  }
+  *out += '<';
+  *out += node.name();
+  for (const Node::Attribute& a : node.attributes()) {
+    *out += ' ';
+    *out += a.name;
+    *out += "=\"";
+    *out += EscapeMarkup(a.value);
+    *out += '"';
+  }
+  if (node.children().empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  bool block = HasElementChildren(node) && !options.indent.empty();
+  for (const auto& c : node.children()) {
+    // In block mode, layout whitespace belongs to the pretty-printer:
+    // whitespace-only text nodes are dropped and mixed-content text is
+    // trimmed, so write -> parse -> write is a fixed point.
+    if (block && c->IsText() && IsWhitespaceOnly(c->text())) continue;
+    if (block) {
+      *out += '\n';
+      indent(depth + 1);
+    }
+    if (block && c->type() == Node::Type::kText) {
+      *out += EscapeMarkup(Trim(c->text()));
+    } else {
+      WriteNodeRec(*c, options, depth + 1, out);
+    }
+  }
+  if (block) {
+    *out += '\n';
+    indent(depth);
+  }
+  *out += "</";
+  *out += node.name();
+  *out += '>';
+}
+
+}  // namespace
+
+std::string WriteDocument(const Document& doc, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"";
+    out += doc.version.empty() ? "1.0" : doc.version;
+    out += '"';
+    if (!doc.encoding.empty()) {
+      out += " encoding=\"";
+      out += doc.encoding;
+      out += '"';
+    }
+    out += "?>\n";
+  }
+  if (options.doctype && !doc.doctype_name.empty()) {
+    out += "<!DOCTYPE ";
+    out += doc.doctype_name;
+    if (!doc.internal_dtd.empty()) {
+      out += " [";
+      out += doc.internal_dtd;
+      out += ']';
+    }
+    out += ">\n";
+  }
+  if (doc.root != nullptr) {
+    WriteNodeRec(*doc.root, options, 0, &out);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WriteNode(const Node& node, const WriteOptions& options) {
+  std::string out;
+  WriteNodeRec(node, options, 0, &out);
+  return out;
+}
+
+}  // namespace easia::xml

@@ -1,0 +1,29 @@
+#ifndef EASIA_XML_WRITER_H_
+#define EASIA_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace easia::xml {
+
+struct WriteOptions {
+  /// Pretty-print with this indentation per nesting level; empty string
+  /// writes a compact single-line document.
+  std::string indent = "  ";
+  /// Emit the `<?xml version=... ?>` declaration.
+  bool declaration = true;
+  /// Emit `<!DOCTYPE name>` when the document carries a doctype name.
+  bool doctype = true;
+};
+
+/// Serialises a document (or a subtree) back to XML text. Parse(Write(doc))
+/// is the identity on the element structure (whitespace-only text nodes that
+/// pretty-printing introduces are the only difference, and only when a node
+/// has element children).
+std::string WriteDocument(const Document& doc, const WriteOptions& options = {});
+std::string WriteNode(const Node& node, const WriteOptions& options = {});
+
+}  // namespace easia::xml
+
+#endif  // EASIA_XML_WRITER_H_

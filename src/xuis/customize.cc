@@ -1,0 +1,124 @@
+#include "xuis/customize.h"
+
+namespace easia::xuis {
+
+Result<XuisColumn*> XuisCustomizer::MutableColumn(const std::string& colid) {
+  EASIA_ASSIGN_OR_RETURN(auto parts, SplitColid(colid));
+  XuisTable* table = spec_->FindTable(parts.first);
+  if (table == nullptr) {
+    return Status::NotFound("xuis: no table " + parts.first);
+  }
+  XuisColumn* col = table->FindColumn(parts.second);
+  if (col == nullptr) {
+    return Status::NotFound("xuis: no column " + colid);
+  }
+  return col;
+}
+
+Status XuisCustomizer::SetTableAlias(const std::string& table,
+                                     const std::string& alias) {
+  XuisTable* t = spec_->FindTable(table);
+  if (t == nullptr) return Status::NotFound("xuis: no table " + table);
+  t->alias = alias;
+  return Status::OK();
+}
+
+Status XuisCustomizer::SetColumnAlias(const std::string& colid,
+                                      const std::string& alias) {
+  EASIA_ASSIGN_OR_RETURN(XuisColumn * col, MutableColumn(colid));
+  col->alias = alias;
+  return Status::OK();
+}
+
+Status XuisCustomizer::HideTable(const std::string& table) {
+  XuisTable* t = spec_->FindTable(table);
+  if (t == nullptr) return Status::NotFound("xuis: no table " + table);
+  t->hidden = true;
+  return Status::OK();
+}
+
+Status XuisCustomizer::HideColumn(const std::string& colid) {
+  EASIA_ASSIGN_OR_RETURN(XuisColumn * col, MutableColumn(colid));
+  col->hidden = true;
+  return Status::OK();
+}
+
+Status XuisCustomizer::SetFkSubstitution(const std::string& colid,
+                                         const std::string& subst_colid) {
+  EASIA_ASSIGN_OR_RETURN(XuisColumn * col, MutableColumn(colid));
+  if (!col->fk.has_value()) {
+    return Status::FailedPrecondition("xuis: column " + colid +
+                                      " has no foreign key");
+  }
+  col->fk->subst_column = subst_colid;
+  return Status::OK();
+}
+
+Status XuisCustomizer::AddUserDefinedRelationship(
+    const std::string& from_colid, const std::string& to_colid,
+    const std::string& subst_colid) {
+  EASIA_ASSIGN_OR_RETURN(XuisColumn * col, MutableColumn(from_colid));
+  if (col->fk.has_value()) {
+    return Status::AlreadyExists("xuis: column " + from_colid +
+                                 " already has a relationship");
+  }
+  FkSpec fk;
+  fk.table_column = to_colid;
+  fk.subst_column = subst_colid;
+  fk.user_defined = true;
+  col->fk = std::move(fk);
+  return Status::OK();
+}
+
+Status XuisCustomizer::SetSamples(const std::string& colid,
+                                  std::vector<std::string> samples) {
+  EASIA_ASSIGN_OR_RETURN(XuisColumn * col, MutableColumn(colid));
+  col->samples = std::move(samples);
+  return Status::OK();
+}
+
+Status XuisCustomizer::AddOperation(const std::string& colid,
+                                    OperationSpec operation) {
+  EASIA_ASSIGN_OR_RETURN(XuisColumn * col, MutableColumn(colid));
+  col->operations.push_back(std::move(operation));
+  return Status::OK();
+}
+
+Status XuisCustomizer::AddOperationChain(const std::string& colid,
+                                         OperationChainSpec chain) {
+  EASIA_ASSIGN_OR_RETURN(XuisColumn * col, MutableColumn(colid));
+  if (chain.step_operations.empty()) {
+    return Status::InvalidArgument("xuis: chain '" + chain.name +
+                                   "' has no steps");
+  }
+  for (const std::string& step : chain.step_operations) {
+    if (col->FindOperation(step) == nullptr) {
+      return Status::NotFound("xuis: chain step '" + step +
+                              "' is not an operation on " + colid);
+    }
+  }
+  col->chains.push_back(std::move(chain));
+  return Status::OK();
+}
+
+Status XuisCustomizer::SetUpload(const std::string& colid, UploadSpec upload) {
+  EASIA_ASSIGN_OR_RETURN(XuisColumn * col, MutableColumn(colid));
+  col->upload = std::move(upload);
+  return Status::OK();
+}
+
+void XuisRegistry::SetForUser(const std::string& user, XuisSpec spec) {
+  per_user_[user] = std::move(spec);
+}
+
+const XuisSpec& XuisRegistry::For(const std::string& user) const {
+  auto it = per_user_.find(user);
+  return it == per_user_.end() ? default_spec_ : it->second;
+}
+
+XuisSpec* XuisRegistry::MutableFor(const std::string& user) {
+  auto it = per_user_.find(user);
+  return it == per_user_.end() ? &default_spec_ : &it->second;
+}
+
+}  // namespace easia::xuis

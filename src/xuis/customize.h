@@ -1,0 +1,77 @@
+#ifndef EASIA_XUIS_CUSTOMIZE_H_
+#define EASIA_XUIS_CUSTOMIZE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "xuis/model.h"
+
+namespace easia::xuis {
+
+/// Fluent mutations over a XuisSpec implementing the paper's customisation
+/// story: aliases, hiding, FK substitute columns, user-defined
+/// relationships, attaching operations/uploads, and per-user
+/// personalisation overlays.
+class XuisCustomizer {
+ public:
+  explicit XuisCustomizer(XuisSpec* spec) : spec_(spec) {}
+
+  Status SetTableAlias(const std::string& table, const std::string& alias);
+  Status SetColumnAlias(const std::string& colid, const std::string& alias);
+  Status HideTable(const std::string& table);
+  Status HideColumn(const std::string& colid);
+
+  /// Replaces the raw FK value shown for `colid` with data from
+  /// `subst_colid` in the referenced table (AUTHOR_KEY -> AUTHOR.NAME).
+  Status SetFkSubstitution(const std::string& colid,
+                           const std::string& subst_colid);
+
+  /// Declares a hypertext relationship between columns even when no
+  /// referential-integrity constraint exists in the database.
+  Status AddUserDefinedRelationship(const std::string& from_colid,
+                                    const std::string& to_colid,
+                                    const std::string& subst_colid = "");
+
+  /// Replaces the auto-harvested samples with user-defined ones.
+  Status SetSamples(const std::string& colid,
+                    std::vector<std::string> samples);
+
+  Status AddOperation(const std::string& colid, OperationSpec operation);
+  /// Adds an `<operationchain>`; every step must already be declared as an
+  /// `<operation>` on the same column.
+  Status AddOperationChain(const std::string& colid,
+                           OperationChainSpec chain);
+  Status SetUpload(const std::string& colid, UploadSpec upload);
+
+ private:
+  Result<XuisColumn*> MutableColumn(const std::string& colid);
+
+  XuisSpec* spec_;
+};
+
+/// Per-user personalised interfaces: one default spec plus named overlays
+/// ("different users (or classes of user) can have different XML files").
+class XuisRegistry {
+ public:
+  void SetDefault(XuisSpec spec) { default_spec_ = std::move(spec); }
+  void SetForUser(const std::string& user, XuisSpec spec);
+
+  /// The spec for `user`: their personal one, else the default.
+  const XuisSpec& For(const std::string& user) const;
+  XuisSpec* MutableFor(const std::string& user);
+  const XuisSpec& Default() const { return default_spec_; }
+  XuisSpec* MutableDefault() { return &default_spec_; }
+
+  bool HasPersonal(const std::string& user) const {
+    return per_user_.find(user) != per_user_.end();
+  }
+
+ private:
+  XuisSpec default_spec_;
+  std::map<std::string, XuisSpec> per_user_;
+};
+
+}  // namespace easia::xuis
+
+#endif  // EASIA_XUIS_CUSTOMIZE_H_

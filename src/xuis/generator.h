@@ -1,0 +1,27 @@
+#ifndef EASIA_XUIS_GENERATOR_H_
+#define EASIA_XUIS_GENERATOR_H_
+
+#include "common/result.h"
+#include "db/database.h"
+#include "xuis/model.h"
+
+namespace easia::xuis {
+
+struct GeneratorOptions {
+  /// Sample values harvested per column for the QBE drop-downs.
+  size_t samples_per_column = 3;
+  /// Harvesting samples costs a scan per table; the paper's tool does it by
+  /// default, and the F6 bench ablates it.
+  bool harvest_samples = true;
+};
+
+/// Builds the *default* XUIS for a database — the paper's automatic tool
+/// ("written in Java, uses JDBC to extract data and schema information").
+/// It extracts table names, column names and types, sample values, primary
+/// keys, foreign keys, and inbound references (for primary-key browsing).
+Result<XuisSpec> GenerateDefaultXuis(const db::Database& database,
+                                     const GeneratorOptions& options = {});
+
+}  // namespace easia::xuis
+
+#endif  // EASIA_XUIS_GENERATOR_H_

@@ -1,0 +1,119 @@
+#include "xuis/model.h"
+
+#include "common/string_util.h"
+
+namespace easia::xuis {
+
+bool Condition::Matches(const std::string& cell) const {
+  switch (op) {
+    case Op::kEq:
+      return cell == value;
+    case Op::kNe:
+      return cell != value;
+    case Op::kLt: {
+      // Numeric when both sides parse; lexicographic otherwise.
+      Result<double> a = ParseDouble(cell);
+      Result<double> b = ParseDouble(value);
+      if (a.ok() && b.ok()) return *a < *b;
+      return cell < value;
+    }
+    case Op::kGt: {
+      Result<double> a = ParseDouble(cell);
+      Result<double> b = ParseDouble(value);
+      if (a.ok() && b.ok()) return *a > *b;
+      return cell > value;
+    }
+    case Op::kLike:
+      return LikeMatch(cell, value);
+  }
+  return false;
+}
+
+bool OperationSpec::AppliesTo(
+    const std::function<std::optional<std::string>(const std::string&)>&
+        cell_of) const {
+  for (const Condition& cond : conditions) {
+    std::optional<std::string> cell = cell_of(cond.colid);
+    if (!cell.has_value() || !cond.Matches(*cell)) return false;
+  }
+  return true;
+}
+
+const OperationSpec* XuisColumn::FindOperation(
+    const std::string& op_name) const {
+  for (const OperationSpec& op : operations) {
+    if (op.name == op_name) return &op;
+  }
+  return nullptr;
+}
+
+const OperationChainSpec* XuisColumn::FindChain(
+    const std::string& chain_name) const {
+  for (const OperationChainSpec& chain : chains) {
+    if (chain.name == chain_name) return &chain;
+  }
+  return nullptr;
+}
+
+XuisColumn* XuisTable::FindColumn(const std::string& column_name) {
+  for (XuisColumn& c : columns) {
+    if (EqualsIgnoreCase(c.name, column_name)) return &c;
+  }
+  return nullptr;
+}
+
+const XuisColumn* XuisTable::FindColumn(const std::string& column_name) const {
+  return const_cast<XuisTable*>(this)->FindColumn(column_name);
+}
+
+XuisTable* XuisSpec::FindTable(const std::string& table_name) {
+  for (XuisTable& t : tables) {
+    if (EqualsIgnoreCase(t.name, table_name)) return &t;
+  }
+  return nullptr;
+}
+
+const XuisTable* XuisSpec::FindTable(const std::string& table_name) const {
+  return const_cast<XuisSpec*>(this)->FindTable(table_name);
+}
+
+const XuisColumn* XuisSpec::FindColumnById(const std::string& colid) const {
+  Result<std::pair<std::string, std::string>> parts = SplitColid(colid);
+  if (!parts.ok()) return nullptr;
+  const XuisTable* table = FindTable(parts->first);
+  if (table == nullptr) return nullptr;
+  return table->FindColumn(parts->second);
+}
+
+std::vector<const XuisTable*> XuisSpec::VisibleTables() const {
+  std::vector<const XuisTable*> out;
+  for (const XuisTable& t : tables) {
+    if (!t.hidden) out.push_back(&t);
+  }
+  return out;
+}
+
+size_t XuisSpec::TotalColumns() const {
+  size_t n = 0;
+  for (const XuisTable& t : tables) n += t.columns.size();
+  return n;
+}
+
+size_t XuisSpec::TotalOperations() const {
+  size_t n = 0;
+  for (const XuisTable& t : tables) {
+    for (const XuisColumn& c : t.columns) n += c.operations.size();
+  }
+  return n;
+}
+
+Result<std::pair<std::string, std::string>> SplitColid(
+    const std::string& colid) {
+  size_t dot = colid.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == colid.size()) {
+    return Status::InvalidArgument("bad colid: " + colid);
+  }
+  return std::make_pair(colid.substr(0, dot), colid.substr(dot + 1));
+}
+
+}  // namespace easia::xuis

@@ -1,0 +1,168 @@
+#ifndef EASIA_XUIS_MODEL_H_
+#define EASIA_XUIS_MODEL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/value.h"
+
+namespace easia::xuis {
+
+/// A comparison in an operation's `<if>` guard or a `<database.result>`
+/// code-location query:  `<condition colid="T.C"><eq>'v'</eq></condition>`.
+struct Condition {
+  enum class Op { kEq, kNe, kLt, kGt, kLike };
+  std::string colid;  // "TABLE.COLUMN"
+  Op op = Op::kEq;
+  std::string value;  // literal, quotes stripped
+
+  /// Evaluates against a cell value rendered as display text.
+  bool Matches(const std::string& cell) const;
+};
+
+/// Where an operation's executable lives: either archived in the database
+/// (a DATALINK column, located by a query) or an external URL service.
+struct OperationLocation {
+  enum class Kind { kDatabaseResult, kUrl };
+  Kind kind = Kind::kDatabaseResult;
+  // kDatabaseResult: the DATALINK column holding the code file…
+  std::string result_colid;
+  // …and conditions selecting the row ("CODE_NAME = 'GetImage.jar'").
+  std::vector<Condition> conditions;
+  // kUrl: servlet/CGI endpoint on a file-server host.
+  std::string url;
+};
+
+/// One user-supplied parameter of an operation, rendered as an HTML form
+/// control at invocation time.
+struct ParamSpec {
+  enum class Control { kSelect, kRadio, kText };
+  struct Option {
+    std::string value;
+    std::string label;
+  };
+  std::string description;
+  Control control = Control::kText;
+  std::string name;            // form field name
+  int select_size = 0;         // <select size=...>
+  std::vector<Option> options; // select options / radio inputs
+  std::string default_value;   // text control
+};
+
+/// A server-side post-processing operation loosely coupled to DATALINK
+/// datasets through the XUIS (the paper's `<operation>` markup).
+struct OperationSpec {
+  std::string name;       // "GetImage"
+  std::string type;       // "EASCRIPT", "NATIVE", "JAVA", "" for URL ops
+  std::string filename;   // initial executable inside the archive
+  std::string format;     // packaging: "jar", "tar", "ea" (plain script)
+  bool guest_access = false;
+  bool column = false;    // applies to the whole column vs per-value
+  std::vector<Condition> conditions;  // <if> guard
+  OperationLocation location;
+  std::string description;
+  std::vector<ParamSpec> parameters;
+
+  /// True when the operation applies to a row (all `<if>` conditions hold).
+  /// `cell_of` maps a colid to the row's display value.
+  bool AppliesTo(
+      const std::function<std::optional<std::string>(const std::string&)>&
+          cell_of) const;
+};
+
+/// `<operationchain>`: a named pipeline of operations on the same column —
+/// step k+1 consumes step k's first output file (a paper future-work item,
+/// "operation chaining", realised through the DTD extension it proposed).
+struct OperationChainSpec {
+  std::string name;
+  std::string description;
+  bool guest_access = false;
+  /// Names of `<operation>`s declared on the same column, in order.
+  std::vector<std::string> step_operations;
+};
+
+/// `<upload>`: authorises uploading user code to run against a DATALINK
+/// column's files (the paper's secure server-side execution).
+struct UploadSpec {
+  std::string type;    // "EASCRIPT" (stands in for "JAVA")
+  std::string format;  // "ea", "jar"
+  bool guest_access = false;
+  bool column = false;
+  std::vector<Condition> conditions;
+};
+
+/// Foreign-key presentation: link to `table_column`, optionally displaying
+/// `subst_column` instead of the raw key (the paper's customisation where
+/// AUTHOR_KEY renders as the author's Name).
+struct FkSpec {
+  std::string table_column;  // "AUTHOR.AUTHOR_KEY"
+  std::string subst_column;  // "AUTHOR.NAME" (optional)
+  bool user_defined = false; // relationship added without an RI constraint
+};
+
+struct XuisColumn {
+  std::string name;
+  std::string colid;  // "TABLE.COLUMN"
+  std::string alias;
+  bool hidden = false;
+  db::DataType type = db::DataType::kVarchar;
+  size_t size = 0;
+  /// Primary-key browsing: the places this PK is referenced from.
+  bool is_primary_key = false;
+  std::vector<std::string> referenced_by;  // "RESULT_FILE.SIMULATION_KEY"
+  std::optional<FkSpec> fk;
+  std::vector<std::string> samples;
+  std::vector<OperationSpec> operations;
+  std::vector<OperationChainSpec> chains;
+  std::optional<UploadSpec> upload;
+
+  /// The declared operation with the given name, or nullptr.
+  const OperationSpec* FindOperation(const std::string& op_name) const;
+  const OperationChainSpec* FindChain(const std::string& chain_name) const;
+
+  /// Display name (alias when set).
+  const std::string& DisplayName() const { return alias.empty() ? name : alias; }
+};
+
+struct XuisTable {
+  std::string name;
+  std::string alias;
+  std::string primary_key;  // space-separated colids, as the paper writes it
+  bool hidden = false;
+  std::vector<XuisColumn> columns;
+
+  const std::string& DisplayName() const { return alias.empty() ? name : alias; }
+  XuisColumn* FindColumn(const std::string& name);
+  const XuisColumn* FindColumn(const std::string& name) const;
+};
+
+/// The full XML User Interface Specification for one database (optionally
+/// personalised to one user — "different users can have different XML
+/// files").
+struct XuisSpec {
+  std::string database;
+  std::string version = "1.0";
+  std::string user;  // empty = default interface
+  std::vector<XuisTable> tables;
+
+  XuisTable* FindTable(const std::string& name);
+  const XuisTable* FindTable(const std::string& name) const;
+  const XuisColumn* FindColumnById(const std::string& colid) const;
+
+  /// Tables visible to the interface (not hidden).
+  std::vector<const XuisTable*> VisibleTables() const;
+
+  size_t TotalColumns() const;
+  size_t TotalOperations() const;
+};
+
+/// Splits "TABLE.COLUMN" into its parts.
+Result<std::pair<std::string, std::string>> SplitColid(
+    const std::string& colid);
+
+}  // namespace easia::xuis
+
+#endif  // EASIA_XUIS_MODEL_H_

@@ -1,0 +1,393 @@
+#include "xuis/serialize.h"
+
+#include "common/string_util.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace easia::xuis {
+
+namespace {
+
+std::string_view ConditionOpName(Condition::Op op) {
+  switch (op) {
+    case Condition::Op::kEq: return "eq";
+    case Condition::Op::kNe: return "ne";
+    case Condition::Op::kLt: return "lt";
+    case Condition::Op::kGt: return "gt";
+    case Condition::Op::kLike: return "like";
+  }
+  return "eq";
+}
+
+Result<Condition::Op> ConditionOpFromName(std::string_view name) {
+  if (name == "eq") return Condition::Op::kEq;
+  if (name == "ne") return Condition::Op::kNe;
+  if (name == "lt") return Condition::Op::kLt;
+  if (name == "gt") return Condition::Op::kGt;
+  if (name == "like") return Condition::Op::kLike;
+  return Status::ParseError("xuis: unknown condition operator <" +
+                            std::string(name) + ">");
+}
+
+/// The paper quotes condition literals: <eq>'S19990110150932'</eq>.
+std::string QuoteLiteral(const std::string& v) { return "'" + v + "'"; }
+
+std::string UnquoteLiteral(std::string_view v) {
+  std::string_view t = Trim(v);
+  if (t.size() >= 2 && t.front() == '\'' && t.back() == '\'') {
+    return std::string(t.substr(1, t.size() - 2));
+  }
+  return std::string(t);
+}
+
+void ConditionToXml(const Condition& cond, xml::Node* parent) {
+  xml::Node* c = parent->AddElement("condition");
+  c->SetAttr("colid", cond.colid);
+  c->AddElementWithText(std::string(ConditionOpName(cond.op)),
+                        QuoteLiteral(cond.value));
+}
+
+Result<Condition> ConditionFromXml(const xml::Node& node) {
+  Condition cond;
+  cond.colid = std::string(node.Attr("colid"));
+  std::vector<const xml::Node*> kids = node.ChildElements();
+  if (kids.size() != 1) {
+    return Status::ParseError("xuis: <condition> needs exactly one operator");
+  }
+  EASIA_ASSIGN_OR_RETURN(cond.op, ConditionOpFromName(kids[0]->name()));
+  cond.value = UnquoteLiteral(kids[0]->InnerText());
+  return cond;
+}
+
+void OperationToXml(const OperationSpec& op, xml::Node* parent) {
+  xml::Node* o = parent->AddElement("operation");
+  o->SetAttr("name", op.name);
+  o->SetAttr("type", op.type);
+  o->SetAttr("filename", op.filename);
+  o->SetAttr("format", op.format);
+  o->SetAttr("guest.access", op.guest_access ? "true" : "false");
+  o->SetAttr("column", op.column ? "true" : "false");
+  if (!op.conditions.empty()) {
+    xml::Node* guard = o->AddElement("if");
+    for (const Condition& c : op.conditions) ConditionToXml(c, guard);
+  }
+  xml::Node* loc = o->AddElement("location");
+  if (op.location.kind == OperationLocation::Kind::kDatabaseResult) {
+    xml::Node* dr = loc->AddElement("database.result");
+    dr->SetAttr("colid", op.location.result_colid);
+    for (const Condition& c : op.location.conditions) ConditionToXml(c, dr);
+  } else {
+    loc->AddElementWithText("URL", op.location.url);
+  }
+  if (!op.description.empty()) {
+    o->AddElementWithText("description", op.description);
+  }
+  if (!op.parameters.empty()) {
+    xml::Node* params = o->AddElement("parameters");
+    for (const ParamSpec& p : op.parameters) {
+      xml::Node* variable = params->AddElement("param")->AddElement("variable");
+      if (!p.description.empty()) {
+        variable->AddElementWithText("description", p.description);
+      }
+      switch (p.control) {
+        case ParamSpec::Control::kSelect: {
+          xml::Node* select = variable->AddElement("select");
+          select->SetAttr("name", p.name);
+          if (p.select_size > 0) {
+            select->SetAttr("size", StrPrintf("%d", p.select_size));
+          }
+          for (const ParamSpec::Option& opt : p.options) {
+            xml::Node* option = select->AddElementWithText("option", opt.label);
+            option->SetAttr("value", opt.value);
+          }
+          break;
+        }
+        case ParamSpec::Control::kRadio:
+          for (const ParamSpec::Option& opt : p.options) {
+            xml::Node* input = variable->AddElementWithText("input", opt.label);
+            input->SetAttr("type", "radio");
+            input->SetAttr("name", p.name);
+            input->SetAttr("value", opt.value);
+          }
+          break;
+        case ParamSpec::Control::kText: {
+          xml::Node* text = variable->AddElement("text");
+          text->SetAttr("name", p.name);
+          if (!p.default_value.empty()) {
+            text->SetAttr("default", p.default_value);
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+Result<OperationSpec> OperationFromXml(const xml::Node& node) {
+  OperationSpec op;
+  op.name = std::string(node.Attr("name"));
+  op.type = std::string(node.Attr("type"));
+  op.filename = std::string(node.Attr("filename"));
+  op.format = std::string(node.Attr("format"));
+  op.guest_access = node.Attr("guest.access") == "true";
+  op.column = node.Attr("column") == "true";
+  if (const xml::Node* guard = node.FindChild("if")) {
+    for (const xml::Node* c : guard->FindChildren("condition")) {
+      EASIA_ASSIGN_OR_RETURN(Condition cond, ConditionFromXml(*c));
+      op.conditions.push_back(std::move(cond));
+    }
+  }
+  const xml::Node* loc = node.FindChild("location");
+  if (loc == nullptr) {
+    return Status::ParseError("xuis: <operation> missing <location>");
+  }
+  if (const xml::Node* dr = loc->FindChild("database.result")) {
+    op.location.kind = OperationLocation::Kind::kDatabaseResult;
+    op.location.result_colid = std::string(dr->Attr("colid"));
+    for (const xml::Node* c : dr->FindChildren("condition")) {
+      EASIA_ASSIGN_OR_RETURN(Condition cond, ConditionFromXml(*c));
+      op.location.conditions.push_back(std::move(cond));
+    }
+  } else if (const xml::Node* url = loc->FindChild("URL")) {
+    op.location.kind = OperationLocation::Kind::kUrl;
+    op.location.url = std::string(Trim(url->InnerText()));
+  } else {
+    return Status::ParseError("xuis: <location> needs database.result or URL");
+  }
+  op.description = node.ChildText("description");
+  if (const xml::Node* params = node.FindChild("parameters")) {
+    for (const xml::Node* param : params->FindChildren("param")) {
+      const xml::Node* variable = param->FindChild("variable");
+      if (variable == nullptr) continue;
+      ParamSpec p;
+      p.description = variable->ChildText("description");
+      if (const xml::Node* select = variable->FindChild("select")) {
+        p.control = ParamSpec::Control::kSelect;
+        p.name = std::string(select->Attr("name"));
+        if (select->HasAttr("size")) {
+          Result<int64_t> size = ParseInt64(select->Attr("size"));
+          if (size.ok()) p.select_size = static_cast<int>(*size);
+        }
+        for (const xml::Node* option : select->FindChildren("option")) {
+          p.options.push_back({std::string(option->Attr("value")),
+                               option->InnerText()});
+        }
+      } else if (const xml::Node* text = variable->FindChild("text")) {
+        p.control = ParamSpec::Control::kText;
+        p.name = std::string(text->Attr("name"));
+        p.default_value = std::string(text->Attr("default"));
+      } else {
+        p.control = ParamSpec::Control::kRadio;
+        for (const xml::Node* input : variable->FindChildren("input")) {
+          if (p.name.empty()) p.name = std::string(input->Attr("name"));
+          p.options.push_back({std::string(input->Attr("value")),
+                               input->InnerText()});
+        }
+      }
+      op.parameters.push_back(std::move(p));
+    }
+  }
+  return op;
+}
+
+}  // namespace
+
+Result<xml::Document> ToXmlDocument(const XuisSpec& spec) {
+  xml::Document doc;
+  doc.doctype_name = "xuis";
+  doc.root = xml::Node::Element("xuis");
+  xml::Node* root = doc.root.get();
+  root->SetAttr("database", spec.database);
+  root->SetAttr("version", spec.version);
+  if (!spec.user.empty()) root->SetAttr("user", spec.user);
+  for (const XuisTable& table : spec.tables) {
+    xml::Node* t = root->AddElement("table");
+    t->SetAttr("name", table.name);
+    if (!table.primary_key.empty()) {
+      t->SetAttr("primaryKey", table.primary_key);
+    }
+    if (table.hidden) t->SetAttr("hidden", "true");
+    if (!table.alias.empty()) t->AddElementWithText("tablealias", table.alias);
+    for (const XuisColumn& col : table.columns) {
+      xml::Node* c = t->AddElement("column");
+      c->SetAttr("name", col.name);
+      c->SetAttr("colid", col.colid);
+      if (col.hidden) c->SetAttr("hidden", "true");
+      if (!col.alias.empty()) c->AddElementWithText("columnalias", col.alias);
+      xml::Node* type = c->AddElement("type");
+      type->AddElement(std::string(db::DataTypeName(col.type)));
+      if (col.size > 0) {
+        type->AddElementWithText("size", StrPrintf("%zu", col.size));
+      }
+      if (col.is_primary_key) {
+        xml::Node* pk = c->AddElement("pk");
+        for (const std::string& ref : col.referenced_by) {
+          pk->AddElement("refby")->SetAttr("tablecolumn", ref);
+        }
+      }
+      if (col.fk.has_value()) {
+        xml::Node* fk = c->AddElement("fk");
+        fk->SetAttr("tablecolumn", col.fk->table_column);
+        if (!col.fk->subst_column.empty()) {
+          fk->SetAttr("substcolumn", col.fk->subst_column);
+        }
+        if (col.fk->user_defined) fk->SetAttr("userdefined", "true");
+      }
+      if (!col.samples.empty()) {
+        xml::Node* samples = c->AddElement("samples");
+        for (const std::string& s : col.samples) {
+          samples->AddElementWithText("sample", s);
+        }
+      }
+      for (const OperationSpec& op : col.operations) {
+        OperationToXml(op, c);
+      }
+      for (const OperationChainSpec& chain : col.chains) {
+        xml::Node* cn = c->AddElement("operationchain");
+        cn->SetAttr("name", chain.name);
+        if (!chain.description.empty()) {
+          cn->SetAttr("description", chain.description);
+        }
+        cn->SetAttr("guest.access", chain.guest_access ? "true" : "false");
+        for (const std::string& step : chain.step_operations) {
+          cn->AddElement("stepref")->SetAttr("operation", step);
+        }
+      }
+      if (col.upload.has_value()) {
+        xml::Node* upload = c->AddElement("upload");
+        upload->SetAttr("type", col.upload->type);
+        upload->SetAttr("format", col.upload->format);
+        upload->SetAttr("guest.access",
+                        col.upload->guest_access ? "true" : "false");
+        upload->SetAttr("column", col.upload->column ? "true" : "false");
+        if (!col.upload->conditions.empty()) {
+          xml::Node* guard = upload->AddElement("if");
+          for (const Condition& cond : col.upload->conditions) {
+            ConditionToXml(cond, guard);
+          }
+        }
+      }
+    }
+  }
+  // Validate what we produced against the DTD — generator bugs surface here
+  // instead of at some later parse.
+  EASIA_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::Dtd::Parse(xml::XuisDtdText()));
+  EASIA_RETURN_IF_ERROR(dtd.Validate(*doc.root));
+  return doc;
+}
+
+Result<std::string> ToXmlText(const XuisSpec& spec) {
+  EASIA_ASSIGN_OR_RETURN(xml::Document doc, ToXmlDocument(spec));
+  return xml::WriteDocument(doc);
+}
+
+Result<XuisSpec> ParseXuisText(std::string_view xml_text) {
+  EASIA_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(xml_text));
+  return ParseXuisDocument(doc);
+}
+
+Result<XuisSpec> ParseXuisDocument(const xml::Document& doc) {
+  if (doc.root == nullptr || doc.root->name() != "xuis") {
+    return Status::ParseError("xuis: root element must be <xuis>");
+  }
+  EASIA_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::Dtd::Parse(xml::XuisDtdText()));
+  EASIA_RETURN_IF_ERROR(dtd.Validate(*doc.root));
+  XuisSpec spec;
+  spec.database = std::string(doc.root->Attr("database"));
+  if (doc.root->HasAttr("version")) {
+    spec.version = std::string(doc.root->Attr("version"));
+  }
+  spec.user = std::string(doc.root->Attr("user"));
+  for (const xml::Node* t : doc.root->FindChildren("table")) {
+    XuisTable table;
+    table.name = std::string(t->Attr("name"));
+    table.primary_key = std::string(t->Attr("primaryKey"));
+    table.hidden = t->Attr("hidden") == "true";
+    table.alias = t->ChildText("tablealias");
+    for (const xml::Node* c : t->FindChildren("column")) {
+      XuisColumn col;
+      col.name = std::string(c->Attr("name"));
+      col.colid = std::string(c->Attr("colid"));
+      col.hidden = c->Attr("hidden") == "true";
+      col.alias = c->ChildText("columnalias");
+      const xml::Node* type = c->FindChild("type");
+      if (type == nullptr) {
+        return Status::ParseError("xuis: column missing <type>");
+      }
+      std::vector<const xml::Node*> type_kids = type->ChildElements();
+      if (type_kids.empty()) {
+        return Status::ParseError("xuis: empty <type>");
+      }
+      EASIA_ASSIGN_OR_RETURN(col.type,
+                             db::DataTypeFromName(type_kids[0]->name()));
+      std::string size_text = type->ChildText("size");
+      if (!size_text.empty()) {
+        EASIA_ASSIGN_OR_RETURN(int64_t size, ParseInt64(size_text));
+        col.size = static_cast<size_t>(size);
+      }
+      if (const xml::Node* pk = c->FindChild("pk")) {
+        col.is_primary_key = true;
+        for (const xml::Node* refby : pk->FindChildren("refby")) {
+          col.referenced_by.push_back(std::string(refby->Attr("tablecolumn")));
+        }
+      }
+      if (const xml::Node* fk = c->FindChild("fk")) {
+        FkSpec fks;
+        fks.table_column = std::string(fk->Attr("tablecolumn"));
+        fks.subst_column = std::string(fk->Attr("substcolumn"));
+        fks.user_defined = fk->Attr("userdefined") == "true";
+        col.fk = std::move(fks);
+      }
+      if (const xml::Node* samples = c->FindChild("samples")) {
+        for (const xml::Node* sample : samples->FindChildren("sample")) {
+          col.samples.push_back(sample->InnerText());
+        }
+      }
+      for (const xml::Node* op_node : c->FindChildren("operation")) {
+        EASIA_ASSIGN_OR_RETURN(OperationSpec op, OperationFromXml(*op_node));
+        col.operations.push_back(std::move(op));
+      }
+      for (const xml::Node* chain_node :
+           c->FindChildren("operationchain")) {
+        OperationChainSpec chain;
+        chain.name = std::string(chain_node->Attr("name"));
+        chain.description = std::string(chain_node->Attr("description"));
+        chain.guest_access = chain_node->Attr("guest.access") == "true";
+        for (const xml::Node* step : chain_node->FindChildren("stepref")) {
+          chain.step_operations.push_back(
+              std::string(step->Attr("operation")));
+        }
+        // Steps must reference operations declared on this column.
+        for (const std::string& step : chain.step_operations) {
+          if (col.FindOperation(step) == nullptr) {
+            return Status::ParseError("xuis: chain '" + chain.name +
+                                      "' references unknown operation '" +
+                                      step + "'");
+          }
+        }
+        col.chains.push_back(std::move(chain));
+      }
+      if (const xml::Node* upload = c->FindChild("upload")) {
+        UploadSpec up;
+        up.type = std::string(upload->Attr("type"));
+        up.format = std::string(upload->Attr("format"));
+        up.guest_access = upload->Attr("guest.access") == "true";
+        up.column = upload->Attr("column") == "true";
+        if (const xml::Node* guard = upload->FindChild("if")) {
+          for (const xml::Node* cond_node : guard->FindChildren("condition")) {
+            EASIA_ASSIGN_OR_RETURN(Condition cond,
+                                   ConditionFromXml(*cond_node));
+            up.conditions.push_back(std::move(cond));
+          }
+        }
+        col.upload = std::move(up);
+      }
+      table.columns.push_back(std::move(col));
+    }
+    spec.tables.push_back(std::move(table));
+  }
+  return spec;
+}
+
+}  // namespace easia::xuis

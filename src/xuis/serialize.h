@@ -1,0 +1,26 @@
+#ifndef EASIA_XUIS_SERIALIZE_H_
+#define EASIA_XUIS_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "xml/node.h"
+#include "xuis/model.h"
+
+namespace easia::xuis {
+
+/// Serialises a XUIS to its XML document form (doctype "xuis", validated
+/// against the EASIA XUIS DTD before returning).
+Result<xml::Document> ToXmlDocument(const XuisSpec& spec);
+
+/// Convenience: full XML text.
+Result<std::string> ToXmlText(const XuisSpec& spec);
+
+/// Parses XUIS XML (text or parsed document). Validates against the DTD
+/// first, so structural errors are reported in DTD terms.
+Result<XuisSpec> ParseXuisText(std::string_view xml_text);
+Result<XuisSpec> ParseXuisDocument(const xml::Document& doc);
+
+}  // namespace easia::xuis
+
+#endif  // EASIA_XUIS_SERIALIZE_H_

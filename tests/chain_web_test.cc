@@ -1,0 +1,174 @@
+// Tests of the XUIS <operationchain> markup (paper future work: "extend
+// XUIS DTD for more complex operation specification — operation chaining,
+// operations applied to multiple datasets") across serialisation, the
+// customiser, the web route and the multi-dataset engine path.
+#include <gtest/gtest.h>
+
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "ops/engine.h"
+#include "xuis/customize.h"
+#include "xuis/serialize.h"
+
+namespace easia {
+namespace {
+
+class ChainWebTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    archive_ = std::make_unique<core::Archive>();
+    archive_->AddFileServer("fs1", 8.0);
+    archive_->AddFileServer("fs2", 8.0);
+    ASSERT_TRUE(core::CreateTurbulenceSchema(archive_.get()).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1", "fs2"};
+    seed.simulations = 1;
+    seed.timesteps_per_simulation = 4;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(archive_.get(), seed);
+    ASSERT_TRUE(seeded.ok());
+    seeded_ = *seeded;
+    ASSERT_TRUE(archive_->InitializeXuis().ok());
+    ASSERT_TRUE(core::AttachNativeOperations(archive_.get()).ok());
+    // Native GetImage too (guest-accessible, column-local name).
+    xuis::OperationSpec gi;
+    gi.name = "GetImage";
+    gi.type = "NATIVE";
+    gi.guest_access = true;
+    gi.location.kind = xuis::OperationLocation::Kind::kUrl;
+    gi.location.url = "native:builtin";
+    xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
+    ASSERT_TRUE(c.AddOperation("RESULT_FILE.DOWNLOAD_RESULT", gi).ok());
+    ASSERT_TRUE(archive_->AddUser("alice", "pw",
+                                  web::UserRole::kAuthorised).ok());
+  }
+
+  Status AddChain(bool guest_access = false) {
+    xuis::OperationChainSpec chain;
+    chain.name = "SubsampleThenImage";
+    chain.description = "Decimate then visualise";
+    chain.guest_access = guest_access;
+    chain.step_operations = {"Subsample", "GetImage"};
+    xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
+    return c.AddOperationChain("RESULT_FILE.DOWNLOAD_RESULT",
+                               std::move(chain));
+  }
+
+  std::unique_ptr<core::Archive> archive_;
+  std::vector<core::SeededSimulation> seeded_;
+};
+
+TEST_F(ChainWebTest, CustomizerValidatesSteps) {
+  ASSERT_TRUE(AddChain().ok());
+  xuis::OperationChainSpec bad;
+  bad.name = "Broken";
+  bad.step_operations = {"NoSuchOp"};
+  xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
+  EXPECT_TRUE(
+      c.AddOperationChain("RESULT_FILE.DOWNLOAD_RESULT", bad).IsNotFound());
+  xuis::OperationChainSpec empty;
+  empty.name = "Empty";
+  EXPECT_FALSE(
+      c.AddOperationChain("RESULT_FILE.DOWNLOAD_RESULT", empty).ok());
+}
+
+TEST_F(ChainWebTest, ChainSurvivesXmlRoundTripAndDtd) {
+  ASSERT_TRUE(AddChain(true).ok());
+  auto text = xuis::ToXmlText(archive_->xuis().Default());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("<operationchain"), std::string::npos);
+  EXPECT_NE(text->find("<stepref"), std::string::npos);
+  auto back = xuis::ParseXuisText(*text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const xuis::XuisColumn* col =
+      back->FindColumnById("RESULT_FILE.DOWNLOAD_RESULT");
+  ASSERT_NE(col, nullptr);
+  const xuis::OperationChainSpec* chain = col->FindChain("SubsampleThenImage");
+  ASSERT_NE(chain, nullptr);
+  EXPECT_TRUE(chain->guest_access);
+  EXPECT_EQ(chain->step_operations,
+            (std::vector<std::string>{"Subsample", "GetImage"}));
+}
+
+TEST_F(ChainWebTest, ParserRejectsDanglingStepref) {
+  const char* kBad = R"XML(
+<xuis database="X">
+ <table name="T">
+  <column name="C" colid="T.C">
+   <type><DATALINK/></type>
+   <operationchain name="Chain"><stepref operation="Ghost"/></operationchain>
+  </column>
+ </table>
+</xuis>)XML";
+  EXPECT_FALSE(xuis::ParseXuisText(kBad).ok());
+}
+
+TEST_F(ChainWebTest, RunChainOverTheWeb) {
+  ASSERT_TRUE(AddChain().ok());
+  std::string alice = *archive_->Login("alice", "pw");
+  auto resp = archive_->Get(alice, "/runchain",
+                            {{"chain", "SubsampleThenImage"},
+                             {"dataset", seeded_[0].dataset_urls[0]},
+                             {"Subsample.factor", "2"},
+                             {"GetImage.slice", "x1"},
+                             {"GetImage.type", "u"}});
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_NE(resp.body.find("Step 1: Subsample"), std::string::npos);
+  EXPECT_NE(resp.body.find("Step 2: GetImage"), std::string::npos);
+  EXPECT_NE(resp.body.find("slice_x1_u.pgm"), std::string::npos);
+}
+
+TEST_F(ChainWebTest, ChainGuestPolicyOnWeb) {
+  ASSERT_TRUE(AddChain(/*guest_access=*/false).ok());
+  std::string guest = *archive_->Login("guest", "guest");
+  auto resp = archive_->Get(guest, "/runchain",
+                            {{"chain", "SubsampleThenImage"},
+                             {"dataset", seeded_[0].dataset_urls[0]}});
+  EXPECT_EQ(resp.status, 403);
+  EXPECT_EQ(archive_->Get(guest, "/runchain",
+                          {{"chain", "Nope"},
+                           {"dataset", seeded_[0].dataset_urls[0]}})
+                .status,
+            404);
+}
+
+TEST_F(ChainWebTest, ChainLinkAppearsInResultTable) {
+  ASSERT_TRUE(AddChain(true).ok());
+  std::string alice = *archive_->Login("alice", "pw");
+  auto resp = archive_->Get(alice, "/search",
+                            {{"table", "RESULT_FILE"}, {"all", "1"}});
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("SubsampleThenImage (chain)"), std::string::npos);
+  EXPECT_NE(resp.body.find("/runchain?"), std::string::npos);
+}
+
+TEST_F(ChainWebTest, InvokeMultiSpansHosts) {
+  const xuis::XuisColumn* col = archive_->xuis().Default().FindColumnById(
+      "RESULT_FILE.DOWNLOAD_RESULT");
+  const xuis::OperationSpec* stats = col->FindOperation("FieldStats");
+  ASSERT_NE(stats, nullptr);
+  ops::InvocationContext ctx;
+  ctx.user = "alice";
+  ctx.is_guest = false;
+  auto multi = archive_->engine().InvokeMulti(
+      *stats, seeded_[0].dataset_urls, {}, ctx);
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  EXPECT_EQ(multi->results.size(), 4u);
+  // Two hosts share the work: makespan < serial.
+  std::set<std::string> hosts;
+  for (const auto& r : multi->results) hosts.insert(r.host);
+  EXPECT_EQ(hosts.size(), 2u);
+  EXPECT_LT(multi->makespan_seconds, multi->serial_seconds);
+  EXPECT_GT(multi->makespan_seconds, 0.0);
+}
+
+TEST_F(ChainWebTest, InvokeMultiEmptyRejected) {
+  const xuis::XuisColumn* col = archive_->xuis().Default().FindColumnById(
+      "RESULT_FILE.DOWNLOAD_RESULT");
+  const xuis::OperationSpec* stats = col->FindOperation("FieldStats");
+  ops::InvocationContext ctx;
+  EXPECT_FALSE(archive_->engine().InvokeMulti(*stats, {}, {}, ctx).ok());
+}
+
+}  // namespace
+}  // namespace easia

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace easia {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "not found: missing table");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::Corruption("bad crc").WithContext("wal");
+  EXPECT_EQ(s.message(), "wal: bad crc");
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(StatusTest, WithContextNoOpOnOk) {
+  EXPECT_TRUE(Status::OK().WithContext("x").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> NeedsPositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> UsesMacro(int x) {
+  EASIA_ASSIGN_OR_RETURN(int doubled, NeedsPositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*UsesMacro(3), 7);
+  EXPECT_FALSE(UsesMacro(-1).ok());
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitAndTrim) {
+  EXPECT_EQ(SplitAndTrim(" a | b |  | c ", '|'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, CaseConversions) {
+  EXPECT_EQ(ToUpper("DataLink_7"), "DATALINK_7");
+  EXPECT_EQ(ToLower("DataLink_7"), "datalink_7");
+  EXPECT_TRUE(EqualsIgnoreCase("Simulation", "SIMULATION"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a*b*c", "*", "%"), "a%b%c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64(" -17 "), -17);
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(LikeMatchTest, Basics) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%llo"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("hello", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "h_loo"));
+  EXPECT_FALSE(LikeMatch("hello", "hello_"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+}
+
+TEST(LikeMatchTest, MultipleWildcards) {
+  EXPECT_TRUE(LikeMatch("S19990110150932", "S1999%"));
+  EXPECT_TRUE(LikeMatch("abcXdefXghi", "%X%X%"));
+  EXPECT_FALSE(LikeMatch("abcXdef", "%X%X%"));
+  EXPECT_TRUE(LikeMatch("aaa", "a%a"));
+}
+
+/// Reference implementation (recursive) to cross-check the iterative one.
+bool LikeRef(std::string_view v, std::string_view p) {
+  if (p.empty()) return v.empty();
+  if (p[0] == '%') {
+    for (size_t i = 0; i <= v.size(); ++i) {
+      if (LikeRef(v.substr(i), p.substr(1))) return true;
+    }
+    return false;
+  }
+  if (v.empty()) return false;
+  if (p[0] != '_' && p[0] != v[0]) return false;
+  return LikeRef(v.substr(1), p.substr(1));
+}
+
+class LikeMatchPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LikeMatchPropertyTest, AgreesWithReference) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  static const char kAlpha[] = "ab%_";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string value, pattern;
+    size_t vlen = rng.Uniform(8);
+    size_t plen = rng.Uniform(6);
+    for (size_t i = 0; i < vlen; ++i) value += kAlpha[rng.Uniform(2)];
+    for (size_t i = 0; i < plen; ++i) pattern += kAlpha[rng.Uniform(4)];
+    EXPECT_EQ(LikeMatch(value, pattern), LikeRef(value, pattern))
+        << "value='" << value << "' pattern='" << pattern << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LikeMatchPropertyTest,
+                         ::testing::Range(1, 6));
+
+TEST(HumanTest, Bytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(85ull * 1000 * 1000), "81.1 MB");
+}
+
+TEST(HumanTest, DurationMatchesPaperFormat) {
+  // The exact renderings from the paper's bandwidth table.
+  EXPECT_EQ(HumanDuration(2720), "45m20s");       // 85 MB at 0.25 Mbit/s
+  EXPECT_EQ(HumanDuration(17408), "4h50m08s");    // 544 MB at 0.25 Mbit/s
+  EXPECT_EQ(HumanDuration(351), "5m51s");         // 85 MB at 1.94 Mbit/s
+  EXPECT_EQ(HumanDuration(12), "12s");
+}
+
+TEST(EscapeMarkupTest, EscapesAll) {
+  EXPECT_EQ(EscapeMarkup("<a href=\"x\">&'</a>"),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&apos;&lt;/a&gt;");
+}
+
+TEST(StrPrintfTest, Formats) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrPrintf("%05.1f", 2.25), "002.2");
+}
+
+TEST(CodingTest, FixedWidthRoundTrip) {
+  std::string buf;
+  PutU8(&buf, 0xAB);
+  PutU32(&buf, 0xDEADBEEF);
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  PutDouble(&buf, -2.5);
+  PutLengthPrefixed(&buf, "hello");
+  Decoder dec(buf);
+  EXPECT_EQ(*dec.GetU8(), 0xAB);
+  EXPECT_EQ(*dec.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*dec.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(*dec.GetDouble(), -2.5);
+  EXPECT_EQ(*dec.GetLengthPrefixed(), "hello");
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodingTest, ShortReadsFail) {
+  std::string buf;
+  PutU32(&buf, 7);
+  Decoder dec(buf);
+  EXPECT_TRUE(dec.GetU64().status().IsCorruption());
+}
+
+TEST(CodingTest, LengthPrefixOverrunFails) {
+  std::string buf;
+  PutU32(&buf, 100);  // claims 100 bytes, provides none
+  Decoder dec(buf);
+  EXPECT_TRUE(dec.GetLengthPrefixed().status().IsCorruption());
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (classic check value).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, DetectsCorruption) {
+  std::string data = "the quick brown fox";
+  uint32_t crc = Crc32(data);
+  data[3] ^= 1;
+  EXPECT_NE(Crc32(data), crc);
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, AlphaNumLengthAndAlphabet) {
+  Random rng(9);
+  std::string s = rng.AlphaNum(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (char c : s) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'));
+  }
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(100.0);
+  EXPECT_DOUBLE_EQ(clock.Now(), 100.0);
+  clock.Advance(5.5);
+  EXPECT_DOUBLE_EQ(clock.Now(), 105.5);
+  clock.Set(0);
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+}
+
+TEST(ClockTest, SecondsIntoDay) {
+  EXPECT_DOUBLE_EQ(SecondsIntoDay(0), 0);
+  EXPECT_DOUBLE_EQ(SecondsIntoDay(86400 + 3600), 3600);
+  EXPECT_DOUBLE_EQ(SecondsIntoDay(-3600), 82800);
+}
+
+TEST(ClockTest, CompactTimestampFormat) {
+  // 1999-01-10 15:09:32 UTC (the paper's key style, S19990110150932).
+  EXPECT_EQ(FormatCompactTimestamp(915980972), "19990110150932");
+}
+
+}  // namespace
+}  // namespace easia

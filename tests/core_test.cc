@@ -1,0 +1,216 @@
+// Tests of the assembled Archive facade and the turbulence scenario setup.
+#include <gtest/gtest.h>
+
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "fileserver/url.h"
+#include "sim/bandwidth.h"
+
+namespace easia::core {
+namespace {
+
+TEST(ArchiveTest, TopologyWiring) {
+  Archive archive;
+  fs::FileServer* fs1 = archive.AddFileServer("fs1");
+  EXPECT_EQ(fs1->host(), "fs1");
+  EXPECT_TRUE(archive.network().HasHost("fs1"));
+  EXPECT_TRUE(archive.network().HasHost(archive.options().db_host));
+  // Paper-calibrated asymmetric link by default.
+  double day = 10 * 3600.0;
+  auto to_db = archive.network().EstimateTransfer(
+      "fs1", archive.options().db_host, 85 * sim::kMegabyte, day);
+  auto from_db = archive.network().EstimateTransfer(
+      archive.options().db_host, "fs1", 85 * sim::kMegabyte, day);
+  ASSERT_TRUE(to_db.ok());
+  ASSERT_TRUE(from_db.ok());
+  EXPECT_GT(*to_db, *from_db);  // uploads slower than downloads
+}
+
+TEST(ArchiveTest, ConstantRateLinkOption) {
+  Archive archive;
+  archive.AddFileServer("fs1", /*constant_mbps=*/8.0);
+  auto t = archive.network().EstimateTransfer(
+      "fs1", archive.options().db_host, sim::kMegabyte, 0.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(*t, 1.0 + 0.05, 1e-6);  // 1 MB at 1 MB/s + latency
+}
+
+TEST(ArchiveTest, ClientHostLinksToEveryServer) {
+  Archive archive;
+  archive.AddFileServer("fs1");
+  archive.AddFileServer("fs2");
+  archive.AddClientHost("client", 8.0);
+  for (const char* host : {"fs1", "fs2"}) {
+    EXPECT_TRUE(archive.network()
+                    .EstimateTransfer(host, "client", 1000, 0.0)
+                    .ok())
+        << host;
+  }
+}
+
+TEST(ArchiveTest, DownloadRequiresRoute) {
+  Archive archive;
+  fs::FileServer* fs1 = archive.AddFileServer("fs1");
+  ASSERT_TRUE(fs1->Put("/f.txt", "hello").ok());
+  // No client host registered -> unavailable.
+  EXPECT_FALSE(archive.Download("http://fs1/f.txt", "client").ok());
+  archive.AddClientHost("client", 8.0);
+  auto seconds = archive.Download("http://fs1/f.txt", "client");
+  ASSERT_TRUE(seconds.ok()) << seconds.status().ToString();
+  // Unknown file.
+  EXPECT_TRUE(archive.Download("http://fs1/missing.txt", "client")
+                  .status()
+                  .IsNotFound());
+  // Unknown host.
+  EXPECT_FALSE(archive.Download("http://fs9/f.txt", "client").ok());
+}
+
+TEST(ArchiveTest, SchemaMatchesPaper) {
+  Archive archive;
+  ASSERT_TRUE(CreateTurbulenceSchema(&archive).ok());
+  const db::Catalog& catalog = archive.database().catalog();
+  EXPECT_EQ(catalog.TableCount(), 5u);
+  // RESULT_FILE.DOWNLOAD_RESULT carries the paper's DATALINK options.
+  auto def = catalog.GetTable("RESULT_FILE");
+  ASSERT_TRUE(def.ok());
+  const db::ColumnDef* dl = (*def)->FindColumn("DOWNLOAD_RESULT");
+  ASSERT_NE(dl, nullptr);
+  ASSERT_TRUE(dl->datalink.has_value());
+  EXPECT_TRUE(dl->datalink->file_link_control);
+  EXPECT_EQ(dl->datalink->read_permission,
+            db::DatalinkOptions::ReadPermission::kDb);
+  EXPECT_EQ(dl->datalink->recovery, db::DatalinkOptions::Recovery::kYes);
+  EXPECT_EQ(dl->datalink->on_unlink,
+            db::DatalinkOptions::OnUnlink::kRestore);
+  // Composite primary key, as in the paper's XUIS fragment.
+  EXPECT_EQ((*def)->primary_key,
+            (std::vector<std::string>{"FILE_NAME", "SIMULATION_KEY"}));
+}
+
+TEST(ArchiveTest, SparseSeedingIsPaperScale) {
+  Archive archive;
+  archive.AddFileServer("fs1");
+  ASSERT_TRUE(CreateTurbulenceSchema(&archive).ok());
+  SeedOptions seed;
+  seed.hosts = {"fs1"};
+  seed.simulations = 1;
+  seed.timesteps_per_simulation = 2;
+  seed.sparse = true;
+  seed.sparse_bytes = turb::kLargeSimulationBytes;
+  auto seeded = SeedTurbulenceData(&archive, seed);
+  ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+  auto server = archive.fleet().GetServer("fs1");
+  EXPECT_EQ((*server)->vfs().TotalBytes(),
+            2 * turb::kLargeSimulationBytes);
+  // Sparse files are still linked and pinned.
+  for (const std::string& url : (*seeded)[0].dataset_urls) {
+    auto parsed = fs::ParseFileUrl(url);
+    EXPECT_TRUE((*server)->vfs().IsPinned(parsed->path));
+  }
+  // FILE_SIZE metadata reflects the declared size.
+  auto rows = archive.Execute("SELECT FILE_SIZE FROM RESULT_FILE");
+  EXPECT_EQ(rows->rows[0][0].AsInt(),
+            static_cast<int64_t>(turb::kLargeSimulationBytes));
+}
+
+TEST(ArchiveTest, SeedRequiresHosts) {
+  Archive archive;
+  ASSERT_TRUE(CreateTurbulenceSchema(&archive).ok());
+  SeedOptions seed;  // no hosts
+  EXPECT_FALSE(SeedTurbulenceData(&archive, seed).ok());
+}
+
+TEST(ArchiveTest, AttachGetImageIsIdempotentOnCodeFile) {
+  Archive archive;
+  archive.AddFileServer("fs1");
+  ASSERT_TRUE(CreateTurbulenceSchema(&archive).ok());
+  SeedOptions seed;
+  seed.hosts = {"fs1"};
+  seed.simulations = 2;
+  seed.timesteps_per_simulation = 1;
+  seed.grid_n = 8;
+  auto seeded = SeedTurbulenceData(&archive, seed);
+  ASSERT_TRUE(seeded.ok());
+  ASSERT_TRUE(archive.InitializeXuis().ok());
+  // Attach for two different simulations: one CODE_FILE row, two ops.
+  ASSERT_TRUE(AttachGetImageOperation(&archive,
+                                      (*seeded)[0].simulation_key, 8).ok());
+  ASSERT_TRUE(AttachGetImageOperation(&archive,
+                                      (*seeded)[1].simulation_key, 8).ok());
+  auto rows = archive.Execute("SELECT COUNT(*) FROM CODE_FILE");
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(archive.xuis().Default().TotalOperations(), 2u);
+}
+
+TEST(ArchiveTest, GetImageScriptParses) {
+  // The shipped script must at least parse (execution covered elsewhere).
+  EXPECT_NE(GetImageScriptSource().find("tbf_slice"), std::string::npos);
+}
+
+TEST(ArchiveTest, ObjectUploadOverTheWeb) {
+  Archive archive;
+  archive.AddFileServer("fs1", 8.0);
+  ASSERT_TRUE(CreateTurbulenceSchema(&archive).ok());
+  SeedOptions seed;
+  seed.hosts = {"fs1"};
+  seed.simulations = 1;
+  seed.timesteps_per_simulation = 1;
+  seed.grid_n = 8;
+  auto seeded = SeedTurbulenceData(&archive, seed);
+  ASSERT_TRUE(seeded.ok());
+  ASSERT_TRUE(archive.InitializeXuis().ok());
+  ASSERT_TRUE(archive.AddUser("alice", "pw",
+                              web::UserRole::kAuthorised).ok());
+  std::string alice = *archive.Login("alice", "pw");
+  std::string guest = *archive.Login("guest", "guest");
+  const std::string sim_key = (*seeded)[0].simulation_key;
+  // Authorised upload into the CLOB column.
+  auto put = archive.Get(alice, "/object/put",
+                         {{"table", "SIMULATION"},
+                          {"column", "DESCRIPTION"},
+                          {"pk0.SIMULATION_KEY", sim_key},
+                          {"value", "Uploaded abstract text"}});
+  ASSERT_EQ(put.status, 200) << put.body;
+  // Rematerialise it back.
+  auto get = archive.Get(alice, "/object",
+                         {{"table", "SIMULATION"},
+                          {"column", "DESCRIPTION"},
+                          {"pk0.SIMULATION_KEY", sim_key}});
+  ASSERT_EQ(get.status, 200);
+  EXPECT_EQ(get.body, "Uploaded abstract text");
+  // Guests cannot upload; non-LOB columns are refused; missing row 404s.
+  EXPECT_EQ(archive.Get(guest, "/object/put",
+                        {{"table", "SIMULATION"},
+                         {"column", "DESCRIPTION"},
+                         {"pk0.SIMULATION_KEY", sim_key},
+                         {"value", "x"}})
+                .status,
+            403);
+  EXPECT_EQ(archive.Get(alice, "/object/put",
+                        {{"table", "SIMULATION"},
+                         {"column", "TITLE"},
+                         {"pk0.SIMULATION_KEY", sim_key},
+                         {"value", "x"}})
+                .status,
+            400);
+  EXPECT_EQ(archive.Get(alice, "/object/put",
+                        {{"table", "SIMULATION"},
+                         {"column", "DESCRIPTION"},
+                         {"pk0.SIMULATION_KEY", "NOPE"},
+                         {"value", "x"}})
+                .status,
+            404);
+}
+
+TEST(ArchiveTest, StatsAccumulate) {
+  Archive archive;
+  archive.AddFileServer("fs1", 8.0);
+  ASSERT_TRUE(CreateTurbulenceSchema(&archive).ok());
+  EXPECT_GT(archive.database().stats().statements, 0u);
+  EXPECT_EQ(archive.web().requests_served(), 0u);
+  (void)archive.Get("", "/login", {{"user", "guest"}, {"password", "guest"}});
+  EXPECT_EQ(archive.web().requests_served(), 1u);
+}
+
+}  // namespace
+}  // namespace easia::core

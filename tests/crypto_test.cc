@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "crypto/base64.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace easia::crypto {
+namespace {
+
+TEST(Sha256Test, NistVectors) {
+  EXPECT_EQ(Sha256::HexHash(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::HexHash("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256::HexHash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  Sha256::Digest d = h.Finish();
+  EXPECT_EQ(ToHex(d.data(), d.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); split += 7) {
+    Sha256 h;
+    h.Update(data.substr(0, split));
+    h.Update(data.substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetReusesObject) {
+  Sha256 h;
+  h.Update("garbage");
+  h.Reset();
+  h.Update("abc");
+  Sha256::Digest d = h.Finish();
+  EXPECT_EQ(ToHex(d.data(), d.size()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// RFC 4231 test vectors for HMAC-SHA256.
+TEST(HmacTest, Rfc4231Case1) {
+  std::string key(20, '\x0b');
+  std::string mac = HmacSha256(key, "Hi There");
+  EXPECT_EQ(ToHex(reinterpret_cast<const uint8_t*>(mac.data()), mac.size()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  std::string mac = HmacSha256("Jefe", "what do ya want for nothing?");
+  EXPECT_EQ(ToHex(reinterpret_cast<const uint8_t*>(mac.data()), mac.size()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231LongKey) {
+  std::string key(131, '\xaa');
+  std::string mac = HmacSha256(
+      key, "Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(ToHex(reinterpret_cast<const uint8_t*>(mac.data()), mac.size()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  EXPECT_NE(HmacSha256("key1", "msg"), HmacSha256("key2", "msg"));
+  EXPECT_NE(HmacSha256("key", "msg1"), HmacSha256("key", "msg2"));
+}
+
+TEST(ConstantTimeEqualsTest, Behaviour) {
+  EXPECT_TRUE(ConstantTimeEquals("abc", "abc"));
+  EXPECT_FALSE(ConstantTimeEquals("abc", "abd"));
+  EXPECT_FALSE(ConstantTimeEquals("abc", "ab"));
+  EXPECT_TRUE(ConstantTimeEquals("", ""));
+}
+
+TEST(Base64UrlTest, KnownEncodings) {
+  EXPECT_EQ(Base64UrlEncode(""), "");
+  EXPECT_EQ(Base64UrlEncode("f"), "Zg");
+  EXPECT_EQ(Base64UrlEncode("fo"), "Zm8");
+  EXPECT_EQ(Base64UrlEncode("foo"), "Zm9v");
+  EXPECT_EQ(Base64UrlEncode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64UrlTest, UrlSafeAlphabet) {
+  // Bytes that map to '+' and '/' in standard base64 must become '-','_'.
+  std::string data = "\xfb\xff\xbf";
+  std::string encoded = Base64UrlEncode(data);
+  EXPECT_EQ(encoded.find('+'), std::string::npos);
+  EXPECT_EQ(encoded.find('/'), std::string::npos);
+  EXPECT_EQ(*Base64UrlDecode(encoded), data);
+}
+
+TEST(Base64UrlTest, RejectsInvalid) {
+  EXPECT_FALSE(Base64UrlDecode("ab!c").ok());
+  EXPECT_FALSE(Base64UrlDecode("a").ok());  // length 1 mod 4 impossible
+  EXPECT_FALSE(Base64UrlDecode("a+b=").ok());
+}
+
+class Base64RoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Base64RoundTripTest, RoundTripsAllLengths) {
+  Random rng(GetParam() * 31 + 1);
+  std::string data;
+  for (size_t i = 0; i < GetParam(); ++i) {
+    data += static_cast<char>(rng.Uniform(256));
+  }
+  Result<std::string> back = Base64UrlDecode(Base64UrlEncode(data));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Base64RoundTripTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 31, 32, 33, 255,
+                                           1024));
+
+}  // namespace
+}  // namespace easia::crypto

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace easia::db {
+namespace {
+
+class DbExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>("TEST");
+    Exec("CREATE TABLE AUTHOR ("
+         " AUTHOR_KEY VARCHAR(30) NOT NULL,"
+         " NAME VARCHAR(80) NOT NULL,"
+         " AGE INTEGER,"
+         " PRIMARY KEY (AUTHOR_KEY))");
+    Exec("CREATE TABLE SIMULATION ("
+         " SIMULATION_KEY VARCHAR(30) NOT NULL,"
+         " AUTHOR_KEY VARCHAR(30),"
+         " TITLE VARCHAR(200),"
+         " RE DOUBLE,"
+         " PRIMARY KEY (SIMULATION_KEY),"
+         " FOREIGN KEY (AUTHOR_KEY) REFERENCES AUTHOR (AUTHOR_KEY))");
+    Exec("INSERT INTO AUTHOR VALUES ('A1', 'Papiani', 30)");
+    Exec("INSERT INTO AUTHOR VALUES ('A2', 'Wason', 28)");
+    Exec("INSERT INTO AUTHOR VALUES ('A3', 'Nicole', NULL)");
+    Exec("INSERT INTO SIMULATION VALUES ('S1', 'A1', 'Channel flow', 1600)");
+    Exec("INSERT INTO SIMULATION VALUES ('S2', 'A1', 'Decaying box', 3200)");
+    Exec("INSERT INTO SIMULATION VALUES ('S3', 'A2', 'Shear layer', 800)");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    Result<QueryResult> r = db_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  Status ExecErr(const std::string& sql) {
+    return db_->Execute(sql).status();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DbExecTest, SelectAll) {
+  QueryResult r = Exec("SELECT * FROM AUTHOR");
+  EXPECT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.column_names,
+            (std::vector<std::string>{"AUTHOR_KEY", "NAME", "AGE"}));
+}
+
+TEST_F(DbExecTest, WhereEquality) {
+  QueryResult r = Exec("SELECT NAME FROM AUTHOR WHERE AUTHOR_KEY = 'A2'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Wason");
+}
+
+TEST_F(DbExecTest, WhereComparisonAndLogic) {
+  QueryResult r = Exec(
+      "SELECT SIMULATION_KEY FROM SIMULATION WHERE RE >= 1600 AND "
+      "AUTHOR_KEY = 'A1' ORDER BY SIMULATION_KEY");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "S1");
+  EXPECT_EQ(r.rows[1][0].AsString(), "S2");
+}
+
+TEST_F(DbExecTest, LikeWildcards) {
+  QueryResult r = Exec("SELECT NAME FROM AUTHOR WHERE NAME LIKE '%a%'");
+  EXPECT_EQ(r.rows.size(), 2u);  // Papiani, Wason
+  r = Exec("SELECT NAME FROM AUTHOR WHERE NAME LIKE 'W_son'");
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(DbExecTest, NullSemantics) {
+  // NULL never matches comparisons...
+  QueryResult r = Exec("SELECT NAME FROM AUTHOR WHERE AGE > 0");
+  EXPECT_EQ(r.rows.size(), 2u);
+  // ...but IS NULL finds it.
+  r = Exec("SELECT NAME FROM AUTHOR WHERE AGE IS NULL");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Nicole");
+  r = Exec("SELECT NAME FROM AUTHOR WHERE AGE IS NOT NULL");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(DbExecTest, OrderByDescAndLimitOffset) {
+  QueryResult r = Exec(
+      "SELECT SIMULATION_KEY FROM SIMULATION ORDER BY RE DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "S2");
+  EXPECT_EQ(r.rows[1][0].AsString(), "S1");
+  r = Exec(
+      "SELECT SIMULATION_KEY FROM SIMULATION ORDER BY RE DESC "
+      "LIMIT 2 OFFSET 2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "S3");
+}
+
+TEST_F(DbExecTest, OrderByAliasAndPosition) {
+  QueryResult r = Exec(
+      "SELECT NAME AS n FROM AUTHOR ORDER BY n DESC");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Wason");
+  r = Exec("SELECT NAME FROM AUTHOR ORDER BY 1");
+  EXPECT_EQ(r.rows[0][0].AsString(), "Nicole");
+}
+
+TEST_F(DbExecTest, Distinct) {
+  QueryResult r = Exec("SELECT DISTINCT AUTHOR_KEY FROM SIMULATION");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(DbExecTest, InList) {
+  QueryResult r = Exec(
+      "SELECT NAME FROM AUTHOR WHERE AUTHOR_KEY IN ('A1', 'A3')");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(DbExecTest, Join) {
+  QueryResult r = Exec(
+      "SELECT s.TITLE, a.NAME FROM SIMULATION s "
+      "JOIN AUTHOR a ON s.AUTHOR_KEY = a.AUTHOR_KEY "
+      "WHERE a.NAME = 'Papiani' ORDER BY s.TITLE");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Channel flow");
+  EXPECT_EQ(r.rows[0][1].AsString(), "Papiani");
+}
+
+TEST_F(DbExecTest, CrossJoinViaComma) {
+  QueryResult r = Exec("SELECT a.NAME FROM AUTHOR a, SIMULATION s");
+  EXPECT_EQ(r.rows.size(), 9u);  // 3 x 3
+}
+
+TEST_F(DbExecTest, AmbiguousColumnRejected) {
+  Status s = ExecErr(
+      "SELECT AUTHOR_KEY FROM SIMULATION s JOIN AUTHOR a "
+      "ON s.AUTHOR_KEY = a.AUTHOR_KEY");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(DbExecTest, Aggregates) {
+  QueryResult r = Exec(
+      "SELECT COUNT(*), MIN(RE), MAX(RE), SUM(RE), AVG(RE) FROM SIMULATION");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 800);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 3200);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 5600);
+  EXPECT_NEAR(r.rows[0][4].AsDouble(), 5600.0 / 3, 1e-9);
+}
+
+TEST_F(DbExecTest, CountIgnoresNulls) {
+  QueryResult r = Exec("SELECT COUNT(AGE), COUNT(*) FROM AUTHOR");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+}
+
+TEST_F(DbExecTest, GroupByWithHaving) {
+  QueryResult r = Exec(
+      "SELECT AUTHOR_KEY, COUNT(*) AS n FROM SIMULATION "
+      "GROUP BY AUTHOR_KEY HAVING COUNT(*) > 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "A1");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+TEST_F(DbExecTest, AggregateOverEmptyTable) {
+  Exec("CREATE TABLE EMPTYT (x INTEGER)");
+  QueryResult r = Exec("SELECT COUNT(*), SUM(x) FROM EMPTYT");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(DbExecTest, ScalarFunctions) {
+  QueryResult r = Exec(
+      "SELECT UPPER(NAME), LENGTH(NAME), SUBSTR(NAME, 1, 3) FROM AUTHOR "
+      "WHERE AUTHOR_KEY = 'A1'");
+  EXPECT_EQ(r.rows[0][0].AsString(), "PAPIANI");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 7);
+  EXPECT_EQ(r.rows[0][2].AsString(), "Pap");
+}
+
+TEST_F(DbExecTest, Arithmetic) {
+  QueryResult r = Exec("SELECT RE * 2 + 1 FROM SIMULATION WHERE "
+                       "SIMULATION_KEY = 'S3'");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 1601);
+  Status s = ExecErr("SELECT RE / 0 FROM SIMULATION");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(DbExecTest, UpdateRows) {
+  QueryResult r = Exec("UPDATE AUTHOR SET AGE = AGE + 1 WHERE AGE IS NOT NULL");
+  EXPECT_EQ(r.rows_affected, 2u);
+  QueryResult check = Exec("SELECT AGE FROM AUTHOR WHERE AUTHOR_KEY = 'A1'");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 31);
+}
+
+TEST_F(DbExecTest, DeleteRows) {
+  QueryResult r = Exec("DELETE FROM SIMULATION WHERE AUTHOR_KEY = 'A1'");
+  EXPECT_EQ(r.rows_affected, 2u);
+  EXPECT_EQ(Exec("SELECT * FROM SIMULATION").rows.size(), 1u);
+}
+
+// --- Constraints ---
+
+TEST_F(DbExecTest, PrimaryKeyDuplicateRejected) {
+  Status s = ExecErr("INSERT INTO AUTHOR VALUES ('A1', 'Dup', 1)");
+  EXPECT_TRUE(s.IsConstraintViolation());
+  // Statement failure must not leave partial state.
+  EXPECT_EQ(Exec("SELECT * FROM AUTHOR").rows.size(), 3u);
+}
+
+TEST_F(DbExecTest, NotNullRejected) {
+  Status s = ExecErr("INSERT INTO AUTHOR (AUTHOR_KEY) VALUES ('A9')");
+  EXPECT_TRUE(s.IsConstraintViolation());  // NAME is NOT NULL
+}
+
+TEST_F(DbExecTest, PrimaryKeyImplicitlyNotNull) {
+  Status s = ExecErr("INSERT INTO AUTHOR VALUES (NULL, 'X', 1)");
+  EXPECT_TRUE(s.IsConstraintViolation());
+}
+
+TEST_F(DbExecTest, VarcharSizeEnforced) {
+  std::string long_key(31, 'k');
+  Status s = ExecErr("INSERT INTO AUTHOR VALUES ('" + long_key +
+                     "', 'X', 1)");
+  EXPECT_TRUE(s.IsConstraintViolation());
+}
+
+TEST_F(DbExecTest, ForeignKeyParentMustExist) {
+  Status s = ExecErr(
+      "INSERT INTO SIMULATION VALUES ('S9', 'NOBODY', 'T', 1)");
+  EXPECT_TRUE(s.IsConstraintViolation());
+  // NULL FK is allowed.
+  EXPECT_TRUE(db_->Execute(
+      "INSERT INTO SIMULATION VALUES ('S9', NULL, 'T', 1)").ok());
+}
+
+TEST_F(DbExecTest, ParentDeleteRestricted) {
+  Status s = ExecErr("DELETE FROM AUTHOR WHERE AUTHOR_KEY = 'A1'");
+  EXPECT_TRUE(s.IsConstraintViolation());
+  // A3 has no simulations and may go.
+  EXPECT_TRUE(db_->Execute("DELETE FROM AUTHOR WHERE AUTHOR_KEY = 'A3'").ok());
+}
+
+TEST_F(DbExecTest, ParentKeyUpdateRestricted) {
+  Status s = ExecErr(
+      "UPDATE AUTHOR SET AUTHOR_KEY = 'AX' WHERE AUTHOR_KEY = 'A1'");
+  EXPECT_TRUE(s.IsConstraintViolation());
+}
+
+TEST_F(DbExecTest, MultiRowInsertAtomicOnFailure) {
+  Status s = ExecErr(
+      "INSERT INTO AUTHOR VALUES ('A7', 'Ok', 1), ('A1', 'Dup', 2)");
+  EXPECT_TRUE(s.IsConstraintViolation());
+  // The whole statement (implicit txn) rolled back: A7 absent.
+  EXPECT_EQ(Exec("SELECT * FROM AUTHOR WHERE AUTHOR_KEY = 'A7'").rows.size(),
+            0u);
+}
+
+TEST_F(DbExecTest, DropTableRespectsReferences) {
+  EXPECT_FALSE(ExecErr("DROP TABLE AUTHOR").ok());  // referenced
+  EXPECT_TRUE(db_->Execute("DROP TABLE SIMULATION").ok());
+  EXPECT_TRUE(db_->Execute("DROP TABLE AUTHOR").ok());
+  EXPECT_FALSE(db_->Execute("SELECT * FROM AUTHOR").ok());
+}
+
+// --- Transactions ---
+
+TEST_F(DbExecTest, ExplicitCommit) {
+  Exec("BEGIN");
+  Exec("INSERT INTO AUTHOR VALUES ('A8', 'Txn', 1)");
+  Exec("COMMIT");
+  EXPECT_EQ(Exec("SELECT * FROM AUTHOR").rows.size(), 4u);
+}
+
+TEST_F(DbExecTest, ExplicitRollback) {
+  Exec("BEGIN");
+  Exec("INSERT INTO AUTHOR VALUES ('A8', 'Txn', 1)");
+  Exec("UPDATE AUTHOR SET AGE = 99");
+  Exec("ROLLBACK");
+  EXPECT_EQ(Exec("SELECT * FROM AUTHOR").rows.size(), 3u);
+  EXPECT_EQ(Exec("SELECT AGE FROM AUTHOR WHERE AUTHOR_KEY = 'A1'")
+                .rows[0][0]
+                .AsInt(),
+            30);
+}
+
+TEST_F(DbExecTest, FailedStatementAbortsTransaction) {
+  Exec("BEGIN");
+  Exec("INSERT INTO AUTHOR VALUES ('A8', 'Txn', 1)");
+  Status s = ExecErr("INSERT INTO AUTHOR VALUES ('A8', 'Dup', 1)");
+  EXPECT_TRUE(s.IsConstraintViolation());
+  EXPECT_FALSE(db_->InTransaction());
+  // Everything, including the first insert, was rolled back.
+  EXPECT_EQ(Exec("SELECT * FROM AUTHOR").rows.size(), 3u);
+}
+
+TEST_F(DbExecTest, RollbackOfDdl) {
+  Exec("BEGIN");
+  Exec("CREATE TABLE SCRATCH (x INTEGER)");
+  Exec("INSERT INTO SCRATCH VALUES (1)");
+  Exec("ROLLBACK");
+  EXPECT_FALSE(db_->Execute("SELECT * FROM SCRATCH").ok());
+}
+
+TEST_F(DbExecTest, RollbackOfDropRestoresData) {
+  Exec("BEGIN");
+  Exec("DELETE FROM SIMULATION");
+  Exec("DROP TABLE SIMULATION");
+  Exec("ROLLBACK");
+  EXPECT_EQ(Exec("SELECT * FROM SIMULATION").rows.size(), 3u);
+}
+
+TEST_F(DbExecTest, NestedBeginRejected) {
+  Exec("BEGIN");
+  EXPECT_FALSE(ExecErr("BEGIN").ok());
+}
+
+TEST_F(DbExecTest, CommitWithoutBeginRejected) {
+  EXPECT_FALSE(ExecErr("COMMIT").ok());
+  EXPECT_FALSE(ExecErr("ROLLBACK").ok());
+}
+
+TEST_F(DbExecTest, StatsCount) {
+  EXPECT_GT(db_->stats().rows_inserted, 0u);
+  Exec("SELECT * FROM AUTHOR");
+  EXPECT_GT(db_->stats().queries, 0u);
+}
+
+TEST_F(DbExecTest, QueryResultAccessors) {
+  QueryResult r = Exec("SELECT NAME, AGE FROM AUTHOR WHERE AUTHOR_KEY='A1'");
+  EXPECT_EQ(r.At(0, "NAME")->AsString(), "Papiani");
+  EXPECT_FALSE(r.At(0, "NOPE").ok());
+  EXPECT_FALSE(r.At(5, "NAME").ok());
+}
+
+}  // namespace
+}  // namespace easia::db

@@ -1,0 +1,348 @@
+// Edge cases of the SQL executor: multi-column grouping, star expansion,
+// coercions, NULL corner cases, self-referential FKs, and the SQL/MED
+// rewrite hook observed through a fake coordinator.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace easia::db {
+namespace {
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>("EDGE");
+    Must("CREATE TABLE T ("
+         " K VARCHAR(10) NOT NULL,"
+         " GRP VARCHAR(10),"
+         " SUB VARCHAR(10),"
+         " N INTEGER,"
+         " D DOUBLE,"
+         " PRIMARY KEY (K))");
+    Must("INSERT INTO T VALUES ('a', 'x', 'p', 1, 1.5)");
+    Must("INSERT INTO T VALUES ('b', 'x', 'p', 2, 2.5)");
+    Must("INSERT INTO T VALUES ('c', 'x', 'q', 3, NULL)");
+    Must("INSERT INTO T VALUES ('d', 'y', 'p', 4, 4.5)");
+    Must("INSERT INTO T VALUES ('e', 'y', NULL, NULL, 5.5)");
+  }
+
+  void Must(const std::string& sql) {
+    Result<QueryResult> r = db_->Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+
+  QueryResult Q(const std::string& sql) {
+    Result<QueryResult> r = db_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExecutorEdgeTest, MultiColumnGroupBy) {
+  QueryResult r = Q(
+      "SELECT GRP, SUB, COUNT(*), SUM(N) FROM T GROUP BY GRP, SUB "
+      "ORDER BY GRP, SUB");
+  // Groups: (x,p) (x,q) (y,NULL) (y,p) — NULL sorts first within y.
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "x");
+  EXPECT_EQ(r.rows[0][1].AsString(), "p");
+  EXPECT_EQ(r.rows[0][2].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][3].AsInt(), 3);
+  EXPECT_TRUE(r.rows[2][1].is_null() || r.rows[3][1].is_null());
+}
+
+TEST_F(ExecutorEdgeTest, HavingWithoutGroupBy) {
+  QueryResult r = Q("SELECT COUNT(*) FROM T HAVING COUNT(*) > 10");
+  EXPECT_EQ(r.rows.size(), 0u);
+  r = Q("SELECT COUNT(*) FROM T HAVING COUNT(*) > 2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+}
+
+TEST_F(ExecutorEdgeTest, AggregateArithmetic) {
+  QueryResult r = Q("SELECT MAX(N) - MIN(N) FROM T");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorEdgeTest, StarInAggregateContext) {
+  QueryResult r = Q("SELECT GRP, COUNT(*) FROM T GROUP BY GRP ORDER BY GRP");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "x");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+}
+
+TEST_F(ExecutorEdgeTest, QualifiedStarExpansion) {
+  Must("CREATE TABLE U (K VARCHAR(10), M INTEGER)");
+  Must("INSERT INTO U VALUES ('a', 10)");
+  QueryResult r = Q("SELECT T.K, U.* FROM T JOIN U ON T.K = U.K");
+  EXPECT_EQ(r.column_names,
+            (std::vector<std::string>{"K", "K", "M"}));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 10);
+}
+
+TEST_F(ExecutorEdgeTest, LimitZeroAndOffsetBeyond) {
+  EXPECT_EQ(Q("SELECT * FROM T LIMIT 0").rows.size(), 0u);
+  EXPECT_EQ(Q("SELECT * FROM T LIMIT 10 OFFSET 99").rows.size(), 0u);
+  EXPECT_EQ(Q("SELECT * FROM T LIMIT 2 OFFSET 4").rows.size(), 1u);
+}
+
+TEST_F(ExecutorEdgeTest, DistinctWithNulls) {
+  QueryResult r = Q("SELECT DISTINCT SUB FROM T");
+  EXPECT_EQ(r.rows.size(), 3u);  // p, q, NULL
+}
+
+TEST_F(ExecutorEdgeTest, InListWithNullNeedle) {
+  // NULL IN (...) is unknown -> filtered out; NOT IN likewise.
+  EXPECT_EQ(Q("SELECT * FROM T WHERE SUB IN ('p', 'q')").rows.size(), 4u);
+  EXPECT_EQ(Q("SELECT * FROM T WHERE SUB NOT IN ('p')").rows.size(), 1u);
+}
+
+TEST_F(ExecutorEdgeTest, CoalesceAndNullArithmetic) {
+  QueryResult r = Q("SELECT COALESCE(N, 0) + 1 FROM T WHERE K = 'e'");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  // NULL propagates through arithmetic; WHERE drops unknowns.
+  EXPECT_EQ(Q("SELECT * FROM T WHERE N + 1 > 0").rows.size(), 4u);
+}
+
+TEST_F(ExecutorEdgeTest, NotOperator) {
+  EXPECT_EQ(Q("SELECT * FROM T WHERE NOT GRP = 'x'").rows.size(), 2u);
+  EXPECT_EQ(Q("SELECT * FROM T WHERE NOT (N > 1 AND N < 4)").rows.size(),
+            2u);  // a and d; NULL N row is unknown
+}
+
+TEST_F(ExecutorEdgeTest, InsertCoercions) {
+  // Integer literal into DOUBLE column, string into INTEGER column.
+  Must("INSERT INTO T VALUES ('f', 'z', 'r', '7', 3)");
+  QueryResult r = Q("SELECT N, D FROM T WHERE K = 'f'");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 7);
+  EXPECT_EQ(r.rows[0][1].type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 3.0);
+  // Lossy coercion rejected.
+  EXPECT_FALSE(db_->Execute(
+      "INSERT INTO T VALUES ('g', 'z', 'r', 2.5, 1)").ok());
+}
+
+TEST_F(ExecutorEdgeTest, SelfReferentialForeignKey) {
+  Must("CREATE TABLE TREE ("
+       " ID VARCHAR(10) NOT NULL,"
+       " PARENT VARCHAR(10),"
+       " PRIMARY KEY (ID),"
+       " FOREIGN KEY (PARENT) REFERENCES TREE (ID))");
+  Must("INSERT INTO TREE VALUES ('root', NULL)");
+  Must("INSERT INTO TREE VALUES ('leaf', 'root')");
+  EXPECT_FALSE(db_->Execute(
+      "INSERT INTO TREE VALUES ('orphan', 'ghost')").ok());
+  EXPECT_FALSE(db_->Execute(
+      "DELETE FROM TREE WHERE ID = 'root'").ok());
+  Must("DELETE FROM TREE WHERE ID = 'leaf'");
+  Must("DELETE FROM TREE WHERE ID = 'root'");
+}
+
+TEST_F(ExecutorEdgeTest, UniqueConstraintWithNulls) {
+  Must("CREATE TABLE UQ (A VARCHAR(5), B INTEGER, UNIQUE (B))");
+  Must("INSERT INTO UQ VALUES ('x', 1)");
+  EXPECT_FALSE(db_->Execute("INSERT INTO UQ VALUES ('y', 1)").ok());
+  // NULLs escape UNIQUE (SQL semantics).
+  Must("INSERT INTO UQ VALUES ('y', NULL)");
+  Must("INSERT INTO UQ VALUES ('z', NULL)");
+}
+
+TEST_F(ExecutorEdgeTest, OrderByMixedDirections) {
+  QueryResult r = Q("SELECT K FROM T ORDER BY GRP ASC, N DESC");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "c");  // x group, N=3 first
+  EXPECT_EQ(r.rows[2][0].AsString(), "a");
+}
+
+// --- SQL/MED rewrite hook observed through a fake coordinator ---
+
+class FakeCoordinator : public DatalinkCoordinator {
+ public:
+  Status PrepareLink(uint64_t, const DatalinkOptions&,
+                     const std::string&) override {
+    ++links;
+    return Status::OK();
+  }
+  Status PrepareUnlink(uint64_t, const DatalinkOptions&,
+                       const std::string&) override {
+    ++unlinks;
+    return Status::OK();
+  }
+  void CommitTxn(uint64_t) override { ++commits; }
+  void AbortTxn(uint64_t) override { ++aborts; }
+  Result<std::string> ResolveForRead(const DatalinkOptions&,
+                                     const std::string& url,
+                                     const std::string& user) override {
+    ++resolves;
+    last_user = user;
+    return url + "#token";
+  }
+
+  int links = 0, unlinks = 0, commits = 0, aborts = 0, resolves = 0;
+  std::string last_user;
+};
+
+TEST(FakeCoordinatorTest, RewriteAppliesOnlyToDatalinkColumns) {
+  Database db("FAKE");
+  FakeCoordinator coordinator;
+  db.set_coordinator(&coordinator);
+  ASSERT_TRUE(db.Execute(
+      "CREATE TABLE F (K VARCHAR(5) PRIMARY KEY,"
+      " D DATALINK LINKTYPE URL FILE LINK CONTROL READ PERMISSION DB,"
+      " V VARCHAR(50))").ok());
+  ASSERT_TRUE(db.Execute(
+      "INSERT INTO F VALUES ('a', 'http://h/f1', 'http://h/not-a-link')")
+                  .ok());
+  EXPECT_EQ(coordinator.links, 1);
+  EXPECT_EQ(coordinator.commits, 1);
+  ExecContext ctx;
+  ctx.user = "someone";
+  Result<QueryResult> r = db.Execute("SELECT D, V FROM F", ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsString(), "http://h/f1#token");
+  EXPECT_EQ(r->rows[0][1].AsString(), "http://h/not-a-link");  // untouched
+  EXPECT_EQ(coordinator.resolves, 1);
+  EXPECT_EQ(coordinator.last_user, "someone");
+  // resolve_datalinks=false bypasses the hook.
+  ctx.resolve_datalinks = false;
+  r = db.Execute("SELECT D FROM F", ctx);
+  EXPECT_EQ(r->rows[0][0].AsString(), "http://h/f1");
+  EXPECT_EQ(coordinator.resolves, 1);
+}
+
+TEST(FakeCoordinatorTest, RewriteSurvivesJoinAndAlias) {
+  Database db("FAKE");
+  FakeCoordinator coordinator;
+  db.set_coordinator(&coordinator);
+  ASSERT_TRUE(db.Execute(
+      "CREATE TABLE A (K VARCHAR(5) PRIMARY KEY)").ok());
+  ASSERT_TRUE(db.Execute(
+      "CREATE TABLE B (K VARCHAR(5) PRIMARY KEY,"
+      " D DATALINK LINKTYPE URL FILE LINK CONTROL READ PERMISSION DB)")
+                  .ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO A VALUES ('a')").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO B VALUES ('a', 'http://h/f')").ok());
+  Result<QueryResult> r = db.Execute(
+      "SELECT b.D AS link FROM A a JOIN B b ON a.K = b.K");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsString(), "http://h/f#token");
+}
+
+TEST(FakeCoordinatorTest, AbortNotifiesCoordinator) {
+  Database db("FAKE");
+  FakeCoordinator coordinator;
+  db.set_coordinator(&coordinator);
+  ASSERT_TRUE(db.Execute(
+      "CREATE TABLE F (K VARCHAR(5) PRIMARY KEY,"
+      " D DATALINK LINKTYPE URL FILE LINK CONTROL)").ok());
+  ASSERT_TRUE(db.Execute("BEGIN").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO F VALUES ('a', 'http://h/f')").ok());
+  ASSERT_TRUE(db.Execute("ROLLBACK").ok());
+  EXPECT_EQ(coordinator.aborts, 1);
+  EXPECT_EQ(coordinator.commits, 0);
+}
+
+TEST(FakeCoordinatorTest, UpdateKeepingSameUrlSkipsRelink) {
+  Database db("FAKE");
+  FakeCoordinator coordinator;
+  db.set_coordinator(&coordinator);
+  ASSERT_TRUE(db.Execute(
+      "CREATE TABLE F (K VARCHAR(5) PRIMARY KEY, N INTEGER,"
+      " D DATALINK LINKTYPE URL FILE LINK CONTROL)").ok());
+  ASSERT_TRUE(db.Execute(
+      "INSERT INTO F VALUES ('a', 1, 'http://h/f')").ok());
+  EXPECT_EQ(coordinator.links, 1);
+  // Updating an unrelated column must not touch the file manager.
+  ASSERT_TRUE(db.Execute("UPDATE F SET N = 2").ok());
+  EXPECT_EQ(coordinator.links, 1);
+  EXPECT_EQ(coordinator.unlinks, 0);
+}
+
+}  // namespace
+}  // namespace easia::db
+
+namespace easia::db {
+namespace {
+
+class PointLookupTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>("PL");
+    ASSERT_TRUE(db_->Execute(
+        "CREATE TABLE P (A VARCHAR(10) NOT NULL, B INTEGER NOT NULL,"
+        " V VARCHAR(20), PRIMARY KEY (A, B))").ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(db_->Execute(
+          "INSERT INTO P VALUES ('k" + std::to_string(i % 10) + "', " +
+          std::to_string(i) + ", 'v" + std::to_string(i) + "')").ok());
+    }
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PointLookupTest, FullPkEqualityFindsRow) {
+  auto r = db_->Execute("SELECT V FROM P WHERE A = 'k3' AND B = 13");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "v13");
+}
+
+TEST_F(PointLookupTest, FullPkEqualityMissReturnsEmpty) {
+  auto r = db_->Execute("SELECT V FROM P WHERE A = 'k3' AND B = 999");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 0u);
+}
+
+TEST_F(PointLookupTest, ExtraConjunctsStillApplied) {
+  auto r = db_->Execute(
+      "SELECT V FROM P WHERE A = 'k3' AND B = 13 AND V = 'nope'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 0u);
+  r = db_->Execute(
+      "SELECT V FROM P WHERE A = 'k3' AND B = 13 AND V LIKE 'v%'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST_F(PointLookupTest, PartialPkFallsBackToScan) {
+  auto r = db_->Execute("SELECT V FROM P WHERE A = 'k3'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 5u);  // 5 rows share each A value
+}
+
+TEST_F(PointLookupTest, OrDisablesFastPathSemantics) {
+  auto r = db_->Execute(
+      "SELECT V FROM P WHERE (A = 'k3' AND B = 13) OR (A = 'k4' AND B = 14)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(PointLookupTest, CoercedLiteralMatchesIndex) {
+  // String literal for the INTEGER pk component.
+  auto r = db_->Execute("SELECT V FROM P WHERE A = 'k3' AND B = '13'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  // Uncoercible literal: no row, no error.
+  r = db_->Execute("SELECT V FROM P WHERE A = 'k3' AND B = 'xx'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 0u);
+}
+
+TEST_F(PointLookupTest, AggregatesSeeLookupResult) {
+  auto r = db_->Execute(
+      "SELECT COUNT(*) FROM P WHERE A = 'k3' AND B = 13");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 1);
+}
+
+TEST_F(PointLookupTest, ReversedOperandOrderWorks) {
+  auto r = db_->Execute("SELECT V FROM P WHERE 'k3' = A AND 13 = B");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace easia::db

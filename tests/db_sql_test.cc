@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "db/lexer.h"
+#include "db/parser.h"
+
+namespace easia::db {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = LexSql("SELECT a, 'it''s' FROM t WHERE x >= 2.5 -- note");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[3].literal, "it's");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = LexSql("select From");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+}
+
+TEST(LexerTest, DatalinkOptionWordsAreNotReserved) {
+  // A column named URL must lex as an identifier.
+  auto tokens = LexSql("SELECT URL, PERMISSION FROM t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(LexSql("SELECT 'unterminated").ok());
+  EXPECT_FALSE(LexSql("SELECT @x").ok());
+}
+
+TEST(ParserTest, SelectBasics) {
+  auto stmt = ParseSql(
+      "SELECT a, t.b AS col, COUNT(*) FROM t WHERE a = 1 AND b LIKE 'x%' "
+      "ORDER BY a DESC, b LIMIT 10 OFFSET 5;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kSelect);
+  const SelectStmt& s = *stmt->select;
+  EXPECT_EQ(s.items.size(), 3u);
+  EXPECT_EQ(s.items[1].alias, "col");
+  EXPECT_TRUE(s.items[2].expr->ContainsAggregate());
+  EXPECT_EQ(s.from.size(), 1u);
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_EQ(s.limit, 10);
+  EXPECT_EQ(s.offset, 5);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseSql("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select->items[0].star);
+  auto qualified = ParseSql("SELECT t.* FROM t");
+  ASSERT_TRUE(qualified.ok());
+  EXPECT_EQ(qualified->select->items[0].star_table, "t");
+}
+
+TEST(ParserTest, Joins) {
+  auto stmt = ParseSql(
+      "SELECT s.TITLE, a.NAME FROM SIMULATION s "
+      "JOIN AUTHOR a ON s.AUTHOR_KEY = a.AUTHOR_KEY");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStmt& s = *stmt->select;
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "s");
+  EXPECT_EQ(s.from[1].alias, "a");
+  EXPECT_NE(s.from[1].join_condition, nullptr);
+}
+
+TEST(ParserTest, GroupByHaving) {
+  auto stmt = ParseSql(
+      "SELECT SIMULATION_KEY, COUNT(*) FROM RESULT_FILE "
+      "GROUP BY SIMULATION_KEY HAVING COUNT(*) > 2");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->group_by.size(), 1u);
+  EXPECT_NE(stmt->select->having, nullptr);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 = 7 AND NOT 0");
+  ASSERT_TRUE(e.ok());
+  // Top node must be AND.
+  EXPECT_EQ((*e)->op, Expr::Op::kAnd);
+  EXPECT_EQ((*e)->left->op, Expr::Op::kEq);
+  EXPECT_EQ((*e)->left->right->literal.AsInt(), 7);
+}
+
+TEST(ParserTest, InAndIsNull) {
+  auto e1 = ParseExpression("x IN (1, 2, 3)");
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ((*e1)->kind, Expr::Kind::kInList);
+  EXPECT_EQ((*e1)->args.size(), 3u);
+  auto e2 = ParseExpression("x IS NOT NULL");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ((*e2)->kind, Expr::Kind::kIsNull);
+  EXPECT_TRUE((*e2)->negated);
+  auto e3 = ParseExpression("x NOT IN (1)");
+  ASSERT_TRUE(e3.ok());
+  EXPECT_TRUE((*e3)->negated);
+  auto e4 = ParseExpression("name NOT LIKE 'S%'");
+  ASSERT_TRUE(e4.ok());
+  EXPECT_EQ((*e4)->op, Expr::Op::kNotLike);
+}
+
+TEST(ParserTest, NegativeNumbersFold) {
+  auto e = ParseExpression("-5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ((*e)->literal.AsInt(), -5);
+}
+
+TEST(ParserTest, InsertMultiRow) {
+  auto stmt = ParseSql(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, Statement::Kind::kInsert);
+  EXPECT_EQ(stmt->insert->columns,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(stmt->insert->rows.size(), 2u);
+}
+
+TEST(ParserTest, UpdateAndDelete) {
+  auto u = ParseSql("UPDATE t SET a = a + 1, b = 'z' WHERE c = 3");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->update->assignments.size(), 2u);
+  EXPECT_NE(u->update->where, nullptr);
+  auto d = ParseSql("DELETE FROM t");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->del->where, nullptr);
+}
+
+TEST(ParserTest, CreateTableConstraints) {
+  auto stmt = ParseSql(
+      "CREATE TABLE t ("
+      "  id VARCHAR(30) NOT NULL,"
+      "  n INTEGER,"
+      "  parent VARCHAR(30),"
+      "  PRIMARY KEY (id),"
+      "  FOREIGN KEY (parent) REFERENCES t (id),"
+      "  UNIQUE (n))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const TableDef& def = stmt->create_table->def;
+  EXPECT_EQ(def.columns.size(), 3u);
+  EXPECT_EQ(def.columns[0].size, 30u);
+  EXPECT_TRUE(def.columns[0].not_null);
+  EXPECT_EQ(def.primary_key, (std::vector<std::string>{"id"}));
+  ASSERT_EQ(def.foreign_keys.size(), 1u);
+  EXPECT_EQ(def.foreign_keys[0].ref_table, "t");
+  EXPECT_EQ(def.unique_constraints.size(), 1u);
+}
+
+TEST(ParserTest, InlinePrimaryKey) {
+  auto stmt = ParseSql("CREATE TABLE t (id INTEGER PRIMARY KEY, v DOUBLE)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->create_table->def.primary_key,
+            (std::vector<std::string>{"id"}));
+}
+
+TEST(ParserTest, DatalinkColumnPaperExample) {
+  // The paper's RESULT_FILE example.
+  auto stmt = ParseSql(
+      "CREATE TABLE RESULT_FILE ("
+      "  download_result DATALINK LINKTYPE URL FILE LINK CONTROL "
+      "    READ PERMISSION DB)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const ColumnDef& col = stmt->create_table->def.columns[0];
+  EXPECT_EQ(col.type, DataType::kDatalink);
+  ASSERT_TRUE(col.datalink.has_value());
+  EXPECT_TRUE(col.datalink->file_link_control);
+  EXPECT_EQ(col.datalink->read_permission,
+            DatalinkOptions::ReadPermission::kDb);
+}
+
+TEST(ParserTest, DatalinkAllOptions) {
+  auto stmt = ParseSql(
+      "CREATE TABLE t (d DATALINK LINKTYPE URL FILE LINK CONTROL "
+      "INTEGRITY ALL READ PERMISSION DB WRITE PERMISSION BLOCKED "
+      "RECOVERY YES ON UNLINK RESTORE)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const DatalinkOptions& o = *stmt->create_table->def.columns[0].datalink;
+  EXPECT_TRUE(o.file_link_control);
+  EXPECT_EQ(o.integrity, DatalinkOptions::Integrity::kAll);
+  EXPECT_EQ(o.read_permission, DatalinkOptions::ReadPermission::kDb);
+  EXPECT_EQ(o.write_permission, DatalinkOptions::WritePermission::kBlocked);
+  EXPECT_EQ(o.recovery, DatalinkOptions::Recovery::kYes);
+  EXPECT_EQ(o.on_unlink, DatalinkOptions::OnUnlink::kRestore);
+}
+
+TEST(ParserTest, DatalinkNoFileLinkControl) {
+  auto stmt = ParseSql(
+      "CREATE TABLE t (d DATALINK LINKTYPE URL NO FILE LINK CONTROL)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_FALSE(stmt->create_table->def.columns[0].datalink->file_link_control);
+}
+
+TEST(ParserTest, DatalinkOptionsSqlRoundTrip) {
+  const char* kSql =
+      "CREATE TABLE t (d DATALINK LINKTYPE URL FILE LINK CONTROL "
+      "INTEGRITY ALL READ PERMISSION DB WRITE PERMISSION BLOCKED "
+      "RECOVERY YES ON UNLINK DELETE)";
+  auto stmt = ParseSql(kSql);
+  ASSERT_TRUE(stmt.ok());
+  std::string regenerated = stmt->create_table->def.ToSql();
+  auto stmt2 = ParseSql(regenerated);
+  ASSERT_TRUE(stmt2.ok()) << regenerated;
+  EXPECT_EQ(*stmt->create_table->def.columns[0].datalink,
+            *stmt2->create_table->def.columns[0].datalink);
+}
+
+TEST(ParserTest, Transactions) {
+  EXPECT_EQ(ParseSql("BEGIN")->kind, Statement::Kind::kBegin);
+  EXPECT_EQ(ParseSql("BEGIN TRANSACTION")->kind, Statement::Kind::kBegin);
+  EXPECT_EQ(ParseSql("COMMIT WORK")->kind, Statement::Kind::kCommit);
+  EXPECT_EQ(ParseSql("ROLLBACK")->kind, Statement::Kind::kRollback);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(ParseSql("FROB TABLE t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t extra garbage ,").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t ()").ok());
+}
+
+TEST(ParserTest, ExprToStringStable) {
+  auto e = ParseExpression("a = 1 AND b LIKE 'x%'");
+  ASSERT_TRUE(e.ok());
+  auto reparsed = ParseExpression((*e)->ToString());
+  ASSERT_TRUE(reparsed.ok()) << (*e)->ToString();
+  EXPECT_EQ((*reparsed)->ToString(), (*e)->ToString());
+}
+
+}  // namespace
+}  // namespace easia::db

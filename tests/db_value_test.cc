@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "db/value.h"
+
+namespace easia::db {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataTypeName(DataType::kDatalink), "DATALINK");
+  EXPECT_EQ(*DataTypeFromName("varchar"), DataType::kVarchar);
+  EXPECT_EQ(*DataTypeFromName("INT"), DataType::kInteger);
+  EXPECT_EQ(*DataTypeFromName("REAL"), DataType::kDouble);
+  EXPECT_FALSE(DataTypeFromName("GEOMETRY").ok());
+}
+
+TEST(ValueTest, NullBehaviour) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToDisplayString(), "NULL");
+  EXPECT_EQ(v.ToSqlLiteral(), "NULL");
+  EXPECT_EQ(v.Compare(Value::Null()), 0);
+  EXPECT_LT(v.Compare(Value::Integer(0)), 0);  // NULLs sort first
+}
+
+TEST(ValueTest, NumericComparisonsCrossType) {
+  EXPECT_EQ(Value::Integer(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Integer(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Timestamp(100).Compare(Value::Integer(99)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Varchar("abc").Compare(Value::Varchar("abd")), 0);
+  EXPECT_EQ(Value::Varchar("x").Compare(Value::Clob("x")), 0);
+}
+
+TEST(ValueTest, SqlLiteralQuoting) {
+  EXPECT_EQ(Value::Varchar("it's").ToSqlLiteral(), "'it''s'");
+  EXPECT_EQ(Value::Integer(-5).ToSqlLiteral(), "-5");
+  EXPECT_EQ(Value::Double(2.5).ToSqlLiteral(), "2.5");
+}
+
+TEST(ValueTest, BlobDisplayHidesBytes) {
+  Value v = Value::Blob(std::string(100, 'x'));
+  EXPECT_EQ(v.ToDisplayString(), "<blob 100 bytes>");
+}
+
+TEST(ValueTest, KeyStringNormalisesNumerics) {
+  EXPECT_EQ(Value::Integer(3).ToKeyString(), Value::Double(3.0).ToKeyString());
+  EXPECT_NE(Value::Integer(3).ToKeyString(),
+            Value::Varchar("3").ToKeyString());
+  EXPECT_NE(Value::Null().ToKeyString(), Value::Integer(0).ToKeyString());
+}
+
+TEST(ValueTest, CoerceWidening) {
+  EXPECT_DOUBLE_EQ(Value::Integer(4).CoerceTo(DataType::kDouble)->AsDouble(),
+                   4.0);
+  EXPECT_EQ(Value::Varchar("42").CoerceTo(DataType::kInteger)->AsInt(), 42);
+  EXPECT_EQ(Value::Integer(99).CoerceTo(DataType::kTimestamp)->AsInt(), 99);
+  EXPECT_EQ(Value::Varchar("hi").CoerceTo(DataType::kClob)->AsString(), "hi");
+  EXPECT_EQ(Value::Varchar("http://h/p").CoerceTo(DataType::kDatalink)->type(),
+            DataType::kDatalink);
+}
+
+TEST(ValueTest, CoerceRejectsLossy) {
+  EXPECT_FALSE(Value::Double(2.5).CoerceTo(DataType::kInteger).ok());
+  EXPECT_FALSE(Value::Varchar("abc").CoerceTo(DataType::kInteger).ok());
+  EXPECT_FALSE(Value::Blob("xx").CoerceTo(DataType::kInteger).ok());
+}
+
+TEST(ValueTest, CoerceNullStaysNull) {
+  EXPECT_TRUE(Value::Null().CoerceTo(DataType::kInteger)->is_null());
+}
+
+TEST(ValueTest, RoundTripThroughEncoding) {
+  // Exercised thoroughly in db_wal_test; spot-check the display forms here.
+  EXPECT_EQ(Value::Double(0.1).ToDisplayString(), "0.1");
+  EXPECT_EQ(Value::Integer(0).ToDisplayString(), "0");
+}
+
+}  // namespace
+}  // namespace easia::db

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "fileserver/file_server.h"
+#include "fileserver/url.h"
+#include "fileserver/vfs.h"
+
+namespace easia::fs {
+namespace {
+
+// ---- URL parsing ----
+
+TEST(FileUrlTest, PlainUrl) {
+  auto url = ParseFileUrl("http://host.ac.uk/fsys/dir/file.tbf");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->host, "host.ac.uk");
+  EXPECT_EQ(url->path, "/fsys/dir/file.tbf");
+  EXPECT_EQ(url->filename, "file.tbf");
+  EXPECT_TRUE(url->token.empty());
+  EXPECT_EQ(url->Directory(), "/fsys/dir/");
+  EXPECT_EQ(url->ToString(), "http://host.ac.uk/fsys/dir/file.tbf");
+}
+
+TEST(FileUrlTest, TokenisedUrl) {
+  // The paper's SELECT form: http://host/fs/dir/access_token;filename
+  auto url = ParseFileUrl("http://h/d/TOKEN123;data.tbf");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->token, "TOKEN123");
+  EXPECT_EQ(url->filename, "data.tbf");
+  EXPECT_EQ(url->path, "/d/data.tbf");
+  EXPECT_EQ(url->ToString(), "http://h/d/TOKEN123;data.tbf");
+}
+
+TEST(FileUrlTest, WithTokenInserts) {
+  auto url = WithToken("http://h/d/f.tbf", "T");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(*url, "http://h/d/T;f.tbf");
+}
+
+TEST(FileUrlTest, Rejects) {
+  EXPECT_FALSE(ParseFileUrl("ftp://h/f").ok());
+  EXPECT_FALSE(ParseFileUrl("http://hostonly").ok());
+  EXPECT_FALSE(ParseFileUrl("http://h/dir/").ok());
+  EXPECT_FALSE(ParseFileUrl("").ok());
+}
+
+// ---- VFS ----
+
+TEST(VfsTest, WriteReadStat) {
+  VirtualFileSystem vfs;
+  ASSERT_TRUE(vfs.WriteFile("/a/b.txt", "hello", "alice").ok());
+  EXPECT_TRUE(vfs.Exists("/a/b.txt"));
+  EXPECT_EQ(*vfs.ReadFile("/a/b.txt"), "hello");
+  FileStat stat = *vfs.Stat("/a/b.txt");
+  EXPECT_EQ(stat.size, 5u);
+  EXPECT_EQ(stat.owner, "alice");
+  EXPECT_FALSE(stat.sparse);
+}
+
+TEST(VfsTest, SparseFilesCarrySizeOnly) {
+  VirtualFileSystem vfs;
+  ASSERT_TRUE(vfs.CreateSparseFile("/big.tbf", 544000000).ok());
+  EXPECT_EQ(vfs.Stat("/big.tbf")->size, 544000000u);
+  EXPECT_TRUE(vfs.Stat("/big.tbf")->sparse);
+  EXPECT_FALSE(vfs.ReadFile("/big.tbf").ok());
+  EXPECT_EQ(vfs.TotalBytes(), 544000000u);
+}
+
+TEST(VfsTest, PathValidation) {
+  VirtualFileSystem vfs;
+  EXPECT_FALSE(vfs.WriteFile("relative.txt", "x").ok());
+  EXPECT_FALSE(vfs.WriteFile("/dir/", "x").ok());
+  EXPECT_FALSE(vfs.WriteFile("/a/../secret", "x").ok());
+  EXPECT_FALSE(vfs.WriteFile("/a/tok;en", "x").ok());
+}
+
+TEST(VfsTest, DeleteAndRename) {
+  VirtualFileSystem vfs;
+  ASSERT_TRUE(vfs.WriteFile("/f1", "x").ok());
+  ASSERT_TRUE(vfs.RenameFile("/f1", "/f2").ok());
+  EXPECT_FALSE(vfs.Exists("/f1"));
+  EXPECT_TRUE(vfs.Exists("/f2"));
+  EXPECT_FALSE(vfs.RenameFile("/f2", "/f2").ok());  // exists (itself)
+  ASSERT_TRUE(vfs.DeleteFile("/f2").ok());
+  EXPECT_FALSE(vfs.DeleteFile("/f2").ok());
+}
+
+TEST(VfsTest, PinBlocksMutation) {
+  VirtualFileSystem vfs;
+  ASSERT_TRUE(vfs.WriteFile("/f", "x").ok());
+  ASSERT_TRUE(vfs.Pin("/f").ok());
+  EXPECT_TRUE(vfs.IsPinned("/f"));
+  EXPECT_FALSE(vfs.DeleteFile("/f").ok());
+  EXPECT_FALSE(vfs.RenameFile("/f", "/g").ok());
+  EXPECT_FALSE(vfs.WriteFile("/f", "y").ok());
+  EXPECT_EQ(*vfs.ReadFile("/f"), "x");  // reads still fine
+  ASSERT_TRUE(vfs.Unpin("/f").ok());
+  EXPECT_TRUE(vfs.DeleteFile("/f").ok());
+}
+
+TEST(VfsTest, ListByPrefix) {
+  VirtualFileSystem vfs;
+  ASSERT_TRUE(vfs.WriteFile("/a/1", "").ok());
+  ASSERT_TRUE(vfs.WriteFile("/a/2", "").ok());
+  ASSERT_TRUE(vfs.WriteFile("/b/3", "").ok());
+  EXPECT_EQ(vfs.List("/a/").size(), 2u);
+  EXPECT_EQ(vfs.List("/").size(), 3u);
+  EXPECT_EQ(vfs.FileCount(), 3u);
+}
+
+// ---- FileServer ----
+
+TEST(FileServerTest, GetSplitsToken) {
+  FileServer server("fs1");
+  ASSERT_TRUE(server.Put("/d/f.txt", "content").ok());
+  std::string seen_token;
+  server.SetReadGate([&](const std::string& path, const std::string& token) {
+    seen_token = token;
+    EXPECT_EQ(path, "/d/f.txt");
+    return Status::OK();
+  });
+  auto got = server.Get("/d/TOK;f.txt");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->content, "content");
+  EXPECT_EQ(seen_token, "TOK");
+  // Without a token the gate sees empty.
+  ASSERT_TRUE(server.Get("/d/f.txt").ok());
+  EXPECT_EQ(seen_token, "");
+}
+
+TEST(FileServerTest, GateCanDeny) {
+  FileServer server("fs1");
+  ASSERT_TRUE(server.Put("/f", "x").ok());
+  server.SetReadGate([](const std::string&, const std::string&) {
+    return Status::PermissionDenied("nope");
+  });
+  EXPECT_TRUE(server.Get("/f").status().IsPermissionDenied());
+}
+
+TEST(FileServerTest, GetUrlChecksHost) {
+  FileServer server("fs1");
+  ASSERT_TRUE(server.Put("/f", "x").ok());
+  EXPECT_TRUE(server.GetUrl("http://fs1/f").ok());
+  EXPECT_FALSE(server.GetUrl("http://other/f").ok());
+}
+
+TEST(FileServerTest, SparseGetReturnsStatOnly) {
+  FileServer server("fs1");
+  ASSERT_TRUE(server.vfs().CreateSparseFile("/big", 1000000).ok());
+  auto got = server.Get("/big");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->content.empty());
+  EXPECT_EQ(got->stat.size, 1000000u);
+}
+
+TEST(FileServerTest, Endpoints) {
+  FileServer server("fs1");
+  server.RegisterEndpoint("/servlet/SDB", [](const HttpParams& params) {
+    auto it = params.find("file");
+    return Result<std::string>("hello " +
+                               (it == params.end() ? "?" : it->second));
+  });
+  EXPECT_TRUE(server.HasEndpoint("/servlet/SDB"));
+  EXPECT_EQ(*server.InvokeEndpoint("/servlet/SDB", {{"file", "/x"}}),
+            "hello /x");
+  EXPECT_FALSE(server.InvokeEndpoint("/other", {}).ok());
+  EXPECT_EQ(server.EndpointPaths().size(), 1u);
+}
+
+TEST(FileServerTest, TempDirsUniqueAndCleanable) {
+  FileServer server("fs1");
+  std::string d1 = server.MakeTempDir("sessA");
+  std::string d2 = server.MakeTempDir("sessA");
+  EXPECT_NE(d1, d2);
+  ASSERT_TRUE(server.vfs().WriteFile(d1 + "out1", "x").ok());
+  ASSERT_TRUE(server.vfs().WriteFile(d1 + "out2", "y").ok());
+  ASSERT_TRUE(server.vfs().WriteFile(d2 + "other", "z").ok());
+  EXPECT_EQ(server.CleanTempDir(d1), 2u);
+  EXPECT_TRUE(server.vfs().Exists(d2 + "other"));
+}
+
+TEST(FleetTest, ResolveRoutesByHost) {
+  FileServerFleet fleet;
+  FileServer* fs1 = fleet.AddServer("fs1");
+  fleet.AddServer("fs2");
+  ASSERT_TRUE(fs1->Put("/f", "x").ok());
+  auto resolved = fleet.Resolve("http://fs1/f");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->first, fs1);
+  EXPECT_EQ(resolved->second.path, "/f");
+  EXPECT_FALSE(fleet.Resolve("http://fs9/f").ok());
+  EXPECT_EQ(fleet.Hosts().size(), 2u);
+  // AddServer is idempotent.
+  EXPECT_EQ(fleet.AddServer("fs1"), fs1);
+}
+
+}  // namespace
+}  // namespace easia::fs

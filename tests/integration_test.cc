@@ -1,0 +1,294 @@
+// End-to-end tests across the whole EASIA stack: archive-in-place, SQL/MED
+// transaction consistency between database and file servers, coordinated
+// backup/recovery, crash recovery, and the guest permission matrix.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "fileserver/url.h"
+#include "turbulence/tbf.h"
+
+namespace easia {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    archive_ = std::make_unique<core::Archive>();
+    for (const char* host : {"fs1", "fs2", "fs3"}) {
+      archive_->AddFileServer(host);
+    }
+    archive_->AddClientHost("client");
+    ASSERT_TRUE(core::CreateTurbulenceSchema(archive_.get()).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1", "fs2", "fs3"};
+    seed.simulations = 2;
+    seed.timesteps_per_simulation = 3;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(archive_.get(), seed);
+    ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+    seeded_ = *seeded;
+    ASSERT_TRUE(archive_->InitializeXuis().ok());
+    ASSERT_TRUE(archive_->AddUser("alice", "pw",
+                                  web::UserRole::kAuthorised).ok());
+  }
+
+  std::unique_ptr<core::Archive> archive_;
+  std::vector<core::SeededSimulation> seeded_;
+};
+
+TEST_F(IntegrationTest, DatasetsDistributedAcrossHosts) {
+  std::set<std::string> hosts;
+  for (const auto& sim : seeded_) {
+    for (const std::string& url : sim.dataset_urls) {
+      hosts.insert(fs::ParseFileUrl(url)->host);
+    }
+  }
+  EXPECT_EQ(hosts.size(), 3u);
+  EXPECT_EQ(archive_->med().TotalLinkedFiles(), 6u);
+}
+
+TEST_F(IntegrationTest, EveryDatasetPinnedOnItsHost) {
+  for (const auto& sim : seeded_) {
+    for (const std::string& url : sim.dataset_urls) {
+      auto resolved = archive_->fleet().Resolve(url);
+      ASSERT_TRUE(resolved.ok());
+      EXPECT_TRUE(resolved->first->vfs().IsPinned(resolved->second.path))
+          << url;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, TokenisedDownloadEndToEnd) {
+  auto rows = archive_->Execute(
+      "SELECT DOWNLOAD_RESULT FROM RESULT_FILE", "alice");
+  ASSERT_TRUE(rows.ok());
+  for (const db::Row& row : rows->rows) {
+    std::string url = row[0].AsString();
+    EXPECT_NE(url.find(';'), std::string::npos);
+    auto seconds = archive_->Download(url, "client");
+    ASSERT_TRUE(seconds.ok()) << seconds.status().ToString();
+    EXPECT_GT(*seconds, 0.0);
+  }
+}
+
+TEST_F(IntegrationTest, GuestDownloadRefusedEndToEnd) {
+  auto rows = archive_->Execute(
+      "SELECT DOWNLOAD_RESULT FROM RESULT_FILE", "guest");
+  ASSERT_TRUE(rows.ok());
+  std::string url = rows->rows[0][0].AsString();
+  EXPECT_EQ(url.find(';'), std::string::npos);  // no token for guests
+  EXPECT_TRUE(archive_->Download(url, "client").status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(IntegrationTest, TransactionSpanningDbAndFiles) {
+  // Archive a new file and register it inside an explicit transaction.
+  auto server = archive_->fleet().GetServer("fs1");
+  turb::Field field = turb::Field::Generate(8, 0.9, 0.01);
+  ASSERT_TRUE((*server)->vfs().WriteFile("/archive/extra.tbf",
+                                         turb::SerializeTbf(field, 9)).ok());
+  ASSERT_TRUE(archive_->Execute("BEGIN").ok());
+  ASSERT_TRUE(archive_->Execute(
+      "INSERT INTO RESULT_FILE (FILE_NAME, SIMULATION_KEY, FILE_FORMAT, "
+      "DOWNLOAD_RESULT) VALUES ('extra.tbf', '" +
+      seeded_[0].simulation_key +
+      "', 'TBF', 'http://fs1/archive/extra.tbf')").ok());
+  // Not yet pinned (pending link).
+  EXPECT_FALSE((*server)->vfs().IsPinned("/archive/extra.tbf"));
+  ASSERT_TRUE(archive_->Execute("COMMIT").ok());
+  EXPECT_TRUE((*server)->vfs().IsPinned("/archive/extra.tbf"));
+}
+
+TEST_F(IntegrationTest, AbortedTransactionLeavesNoTrace) {
+  auto server = archive_->fleet().GetServer("fs2");
+  ASSERT_TRUE((*server)->vfs().WriteFile("/archive/tmp.tbf", "x").ok());
+  size_t linked_before = archive_->med().TotalLinkedFiles();
+  ASSERT_TRUE(archive_->Execute("BEGIN").ok());
+  ASSERT_TRUE(archive_->Execute(
+      "INSERT INTO RESULT_FILE (FILE_NAME, SIMULATION_KEY, "
+      "DOWNLOAD_RESULT) VALUES ('tmp.tbf', '" + seeded_[0].simulation_key +
+      "', 'http://fs2/archive/tmp.tbf')").ok());
+  ASSERT_TRUE(archive_->Execute("ROLLBACK").ok());
+  EXPECT_EQ(archive_->med().TotalLinkedFiles(), linked_before);
+  EXPECT_FALSE((*server)->vfs().IsPinned("/archive/tmp.tbf"));
+  EXPECT_EQ(archive_->Execute("SELECT * FROM RESULT_FILE WHERE "
+                              "FILE_NAME = 'tmp.tbf'")->rows.size(), 0u);
+}
+
+TEST_F(IntegrationTest, FailedInsertInMultiRowStatementUnwindsLinks) {
+  auto server = archive_->fleet().GetServer("fs1");
+  ASSERT_TRUE((*server)->vfs().WriteFile("/archive/ok.tbf", "x").ok());
+  // Second row references a missing file: whole statement must fail and the
+  // first row's link intent must be released.
+  Status s = archive_->Execute(
+      "INSERT INTO RESULT_FILE (FILE_NAME, SIMULATION_KEY, DOWNLOAD_RESULT) "
+      "VALUES ('ok.tbf', '" + seeded_[0].simulation_key +
+      "', 'http://fs1/archive/ok.tbf'), "
+      "('bad.tbf', '" + seeded_[0].simulation_key +
+      "', 'http://fs1/archive/missing.tbf')").status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE((*server)->vfs().IsPinned("/archive/ok.tbf"));
+  // The file can be linked by a later, valid statement.
+  EXPECT_TRUE(archive_->Execute(
+      "INSERT INTO RESULT_FILE (FILE_NAME, SIMULATION_KEY, DOWNLOAD_RESULT) "
+      "VALUES ('ok.tbf', '" + seeded_[0].simulation_key +
+      "', 'http://fs1/archive/ok.tbf')").ok());
+}
+
+TEST_F(IntegrationTest, CoordinatedBackupRestore) {
+  ASSERT_TRUE(core::AttachGetImageOperation(
+      archive_.get(), seeded_[0].simulation_key, 8).ok());
+  auto backup_id = archive_->backups().CreateBackup();
+  ASSERT_TRUE(backup_id.ok()) << backup_id.status().ToString();
+
+  // Disaster: a host loses a RECOVERY YES dataset file behind our back.
+  auto resolved = archive_->fleet().Resolve(seeded_[0].dataset_urls[0]);
+  ASSERT_TRUE(resolved.ok());
+  fs::FileServer* server = resolved->first;
+  std::string path = resolved->second.path;
+  ASSERT_TRUE(server->vfs().Unpin(path).ok());  // simulate FS-level loss
+  ASSERT_TRUE(server->vfs().DeleteFile(path).ok());
+  // Also corrupt the database by deleting all metadata.
+  ASSERT_TRUE(archive_->Execute("DELETE FROM VISUALISATION_FILE").ok());
+
+  ASSERT_TRUE(archive_->backups().Restore(*backup_id).ok());
+  // The file is back, pinned, and its metadata row exists again.
+  EXPECT_TRUE(server->vfs().Exists(path));
+  EXPECT_TRUE(server->vfs().IsPinned(path));
+  auto rows = archive_->Execute(
+      "SELECT COUNT(*) FROM RESULT_FILE");
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 6);
+  // Reconcile confirms a clean archive.
+  auto report = archive_->backups().Reconcile();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Clean());
+  EXPECT_EQ(report->values_checked, 7u);  // 6 datasets + GetImage.jar
+}
+
+TEST_F(IntegrationTest, ReconcileReportsDanglingFiles) {
+  auto resolved = archive_->fleet().Resolve(seeded_[1].dataset_urls[0]);
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_TRUE(resolved->first->vfs().Unpin(resolved->second.path).ok());
+  ASSERT_TRUE(resolved->first->vfs().DeleteFile(resolved->second.path).ok());
+  auto report = archive_->backups().Reconcile();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->Clean());
+  ASSERT_EQ(report->dangling_urls.size(), 1u);
+  EXPECT_EQ(report->dangling_urls[0], seeded_[1].dataset_urls[0]);
+}
+
+TEST_F(IntegrationTest, GuestPermissionMatrix) {
+  ASSERT_TRUE(archive_->InitializeXuis().ok());
+  ASSERT_TRUE(core::AttachGetImageOperation(
+      archive_.get(), seeded_[0].simulation_key, 8).ok());
+  ASSERT_TRUE(core::AttachNativeOperations(archive_.get()).ok());
+  ASSERT_TRUE(core::AttachCodeUpload(archive_.get()).ok());
+  std::string guest = *archive_->Login("guest", "guest");
+  std::string alice = *archive_->Login("alice", "pw");
+  std::string dataset = seeded_[0].dataset_urls[0];
+
+  struct Case {
+    const char* path;
+    fs::HttpParams params;
+    int guest_status;
+    int alice_status;
+  };
+  std::vector<Case> cases = {
+      {"/tables", {}, 200, 200},
+      {"/search", {{"table", "RESULT_FILE"}, {"all", "1"}}, 200, 200},
+      // Guest-accessible operation.
+      {"/runop",
+       {{"op", "GetImage"}, {"dataset", dataset}, {"slice", "x1"}},
+       200, 200},
+      // Authorised-only operation.
+      {"/runop", {{"op", "Subsample"}, {"dataset", dataset}}, 403, 200},
+      // Code upload.
+      {"/upload",
+       {{"table", "RESULT_FILE"}, {"column", "DOWNLOAD_RESULT"},
+        {"dataset", dataset}, {"code", "print(1);"}},
+       403, 200},
+      // User management.
+      {"/users", {}, 403, 403},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(archive_->Get(guest, c.path, c.params).status, c.guest_status)
+        << "guest " << c.path;
+    EXPECT_EQ(archive_->Get(alice, c.path, c.params).status, c.alice_status)
+        << "alice " << c.path;
+  }
+}
+
+TEST_F(IntegrationTest, SdbUrlOperationEndToEnd) {
+  ASSERT_TRUE(core::AttachSdbUrlOperation(archive_.get(), "fs1").ok());
+  std::string alice = *archive_->Login("alice", "pw");
+  // Find a dataset hosted on fs1.
+  std::string dataset;
+  for (const auto& sim : seeded_) {
+    for (const std::string& url : sim.dataset_urls) {
+      if (url.find("//fs1/") != std::string::npos) dataset = url;
+    }
+  }
+  ASSERT_FALSE(dataset.empty());
+  auto resp = archive_->Get(alice, "/runop",
+                            {{"op", "SDB"}, {"dataset", dataset}});
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_NE(resp.body.find("NCSA Scientific Data Browser"),
+            std::string::npos);
+}
+
+// Crash-recovery across the full stack: a persistent database plus file
+// servers; after "crash" (new Database over the same WAL), reconcile
+// re-establishes link state.
+TEST(PersistenceIntegrationTest, CrashRecoveryThenReconcile) {
+  namespace stdfs = std::filesystem;
+  stdfs::path dir = stdfs::temp_directory_path() / "easia_integration_wal";
+  stdfs::remove_all(dir);
+  stdfs::create_directories(dir);
+  core::Archive::Options options;
+  options.db_options.wal_path = (dir / "wal.log").string();
+  options.db_options.snapshot_path = (dir / "snap.db").string();
+
+  std::string dataset_url;
+  {
+    core::Archive archive(options);
+    archive.AddFileServer("fs1");
+    ASSERT_TRUE(archive.database().Recover().ok());
+    ASSERT_TRUE(core::CreateTurbulenceSchema(&archive).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1"};
+    seed.simulations = 1;
+    seed.timesteps_per_simulation = 1;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(&archive, seed);
+    ASSERT_TRUE(seeded.ok());
+    dataset_url = (*seeded)[0].dataset_urls[0];
+  }  // archive (and its "machines") go away — crash
+
+  {
+    core::Archive archive(options);
+    fs::FileServer* server = archive.AddFileServer("fs1");
+    // The file server's disk survived; re-materialise its file.
+    turb::Field field = turb::Field::Generate(8, 0.0, 0.01);
+    auto parsed = fs::ParseFileUrl(dataset_url);
+    ASSERT_TRUE(server->vfs().WriteFile(parsed->path,
+                                        turb::SerializeTbf(field, 0)).ok());
+    // Database recovers from WAL.
+    ASSERT_TRUE(archive.database().Recover().ok());
+    auto rows = archive.Execute("SELECT COUNT(*) FROM RESULT_FILE");
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->rows[0][0].AsInt(), 1);
+    // Link state is gone (it lived on the "crashed" agent); reconcile
+    // restores it from DATALINK values.
+    auto report = archive.backups().Reconcile();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->relinked, 1u);
+    EXPECT_TRUE(server->vfs().IsPinned(parsed->path));
+  }
+  stdfs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace easia

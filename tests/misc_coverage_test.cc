@@ -1,0 +1,188 @@
+// Cross-cutting coverage: schema SQL round trips, code-location error
+// paths, web error paths, XML fragment helper, and renderer guards.
+#include <gtest/gtest.h>
+
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "db/parser.h"
+#include "ops/engine.h"
+#include "web/qbe.h"
+#include "xml/parser.h"
+
+namespace easia {
+namespace {
+
+TEST(SchemaSqlTest, TurbulenceSchemaRoundTripsThroughToSql) {
+  // Every CREATE TABLE the archive uses must regenerate to parseable SQL
+  // that produces an identical definition (snapshot/recovery relies on it).
+  core::Archive archive;
+  ASSERT_TRUE(core::CreateTurbulenceSchema(&archive).ok());
+  for (const std::string& name : archive.database().catalog().TableNames()) {
+    auto def = archive.database().catalog().GetTable(name);
+    ASSERT_TRUE(def.ok());
+    std::string sql = (*def)->ToSql();
+    auto reparsed = db::ParseSql(sql);
+    ASSERT_TRUE(reparsed.ok()) << sql << "\n" << reparsed.status().ToString();
+    const db::TableDef& again = reparsed->create_table->def;
+    EXPECT_EQ(again.columns.size(), (*def)->columns.size()) << name;
+    EXPECT_EQ(again.primary_key, (*def)->primary_key) << name;
+    EXPECT_EQ(again.foreign_keys.size(), (*def)->foreign_keys.size());
+    for (size_t i = 0; i < again.columns.size(); ++i) {
+      EXPECT_EQ(again.columns[i].type, (*def)->columns[i].type);
+      if ((*def)->columns[i].datalink.has_value()) {
+        ASSERT_TRUE(again.columns[i].datalink.has_value());
+        EXPECT_EQ(*again.columns[i].datalink, *(*def)->columns[i].datalink);
+      }
+    }
+  }
+}
+
+TEST(XmlFragmentTest, ParseElementHelper) {
+  auto node = xml::ParseElement("  <a x='1'><b/></a>  ");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->name(), "a");
+  EXPECT_FALSE(xml::ParseElement("<a/><b/>").ok());
+  EXPECT_FALSE(xml::ParseElement("just text").ok());
+}
+
+class CoverageFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    archive_ = std::make_unique<core::Archive>();
+    archive_->AddFileServer("fs1", 8.0);
+    ASSERT_TRUE(core::CreateTurbulenceSchema(archive_.get()).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1"};
+    seed.simulations = 1;
+    seed.timesteps_per_simulation = 1;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(archive_.get(), seed);
+    ASSERT_TRUE(seeded.ok());
+    seeded_ = *seeded;
+    ASSERT_TRUE(archive_->InitializeXuis().ok());
+    ASSERT_TRUE(archive_->AddUser("alice", "pw",
+                                  web::UserRole::kAuthorised).ok());
+  }
+
+  std::unique_ptr<core::Archive> archive_;
+  std::vector<core::SeededSimulation> seeded_;
+};
+
+TEST_F(CoverageFixture, BrowseSqlValidation) {
+  const xuis::XuisSpec& spec = archive_->xuis().Default();
+  auto good = web::BrowseSql(spec, "SIMULATION", "SIMULATION_KEY", "S1");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good,
+            "SELECT * FROM SIMULATION WHERE SIMULATION_KEY = 'S1'");
+  // Numeric columns take unquoted literals, with validation.
+  auto numeric = web::BrowseSql(spec, "SIMULATION", "GRID_SIZE", "64");
+  ASSERT_TRUE(numeric.ok());
+  EXPECT_NE(numeric->find("GRID_SIZE = 64"), std::string::npos);
+  EXPECT_FALSE(web::BrowseSql(spec, "SIMULATION", "GRID_SIZE",
+                              "64 OR 1=1").ok());
+  EXPECT_FALSE(web::BrowseSql(spec, "NOPE", "X", "1").ok());
+  EXPECT_FALSE(web::BrowseSql(spec, "SIMULATION", "NOPE", "1").ok());
+  // Quote escaping in string values.
+  auto quoted = web::BrowseSql(spec, "AUTHOR", "NAME", "O'Brien");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_NE(quoted->find("'O''Brien'"), std::string::npos);
+}
+
+TEST_F(CoverageFixture, RunOpErrorPaths) {
+  std::string alice = *archive_->Login("alice", "pw");
+  EXPECT_EQ(archive_->Get(alice, "/runop", {{"op", "Nope"}}).status, 404);
+  ASSERT_TRUE(core::AttachNativeOperations(archive_.get()).ok());
+  EXPECT_EQ(archive_->Get(alice, "/runop", {{"op", "FieldStats"}}).status,
+            400);  // missing dataset
+  EXPECT_EQ(archive_->Get(alice, "/runop",
+                          {{"op", "FieldStats"},
+                           {"dataset", "http://fs1/missing.tbf"}})
+                .status,
+            400);
+}
+
+TEST_F(CoverageFixture, CodeLocationQueryErrors) {
+  // database.result pointing at no rows / several rows.
+  ASSERT_TRUE(archive_->Execute(
+      "INSERT INTO CODE_FILE (CODE_NAME, CODE_TYPE) VALUES "
+      "('a.jar', 'X'), ('b.jar', 'X')").ok());
+  xuis::OperationSpec op;
+  op.name = "Broken";
+  op.type = "EASCRIPT";
+  op.format = "ea";
+  op.guest_access = true;
+  op.location.kind = xuis::OperationLocation::Kind::kDatabaseResult;
+  op.location.result_colid = "CODE_FILE.DOWNLOAD_CODE_FILE";
+  ops::InvocationContext ctx;
+  ctx.is_guest = false;
+  // Two candidate rows -> ambiguous.
+  Status ambiguous = archive_->engine()
+                         .Invoke(op, seeded_[0].dataset_urls[0], {}, ctx)
+                         .status();
+  EXPECT_FALSE(ambiguous.ok());
+  // Narrow to one row whose DATALINK is NULL.
+  xuis::Condition cond;
+  cond.colid = "CODE_FILE.CODE_NAME";
+  cond.op = xuis::Condition::Op::kEq;
+  cond.value = "a.jar";
+  op.location.conditions.push_back(cond);
+  Status null_code = archive_->engine()
+                         .Invoke(op, seeded_[0].dataset_urls[0], {}, ctx)
+                         .status();
+  EXPECT_TRUE(null_code.IsNotFound()) << null_code.ToString();
+  // No matching row at all.
+  op.location.conditions[0].value = "zzz.jar";
+  EXPECT_TRUE(archive_->engine()
+                  .Invoke(op, seeded_[0].dataset_urls[0], {}, ctx)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(CoverageFixture, UploadConditionGuardsRenderering) {
+  // Upload markup with an <if> that only matches MEASUREMENT='u,v,w,p'.
+  xuis::UploadSpec upload;
+  upload.type = "EASCRIPT";
+  upload.format = "ea";
+  xuis::Condition cond;
+  cond.colid = "RESULT_FILE.MEASUREMENT";
+  cond.op = xuis::Condition::Op::kEq;
+  cond.value = "somethingelse";
+  upload.conditions.push_back(cond);
+  xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
+  ASSERT_TRUE(c.SetUpload("RESULT_FILE.DOWNLOAD_RESULT", upload).ok());
+  std::string alice = *archive_->Login("alice", "pw");
+  auto resp = archive_->Get(alice, "/search",
+                            {{"table", "RESULT_FILE"}, {"all", "1"}});
+  ASSERT_EQ(resp.status, 200);
+  // Condition doesn't match the seeded rows -> no upload link rendered.
+  EXPECT_EQ(resp.body.find("Upload code"), std::string::npos);
+}
+
+TEST_F(CoverageFixture, DatalinkValueMustBeUrlShaped) {
+  Status s = archive_->Execute(
+      "INSERT INTO RESULT_FILE (FILE_NAME, SIMULATION_KEY, "
+      "DOWNLOAD_RESULT) VALUES ('x', '" + seeded_[0].simulation_key +
+      "', 'not-a-url')").status();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(CoverageFixture, CheckpointInsideExplicitTxnRefused) {
+  core::Archive::Options options;  // no persistence configured
+  core::Archive plain(options);
+  EXPECT_FALSE(plain.database().Checkpoint().ok());
+}
+
+TEST_F(CoverageFixture, SdbEndpointMissingParam) {
+  ASSERT_TRUE(core::AttachSdbUrlOperation(archive_.get(), "fs1").ok());
+  auto server = archive_->fleet().GetServer("fs1");
+  EXPECT_FALSE(
+      (*server)->InvokeEndpoint("/servlet/SDBservlet", {}).ok());
+  auto ok = (*server)->InvokeEndpoint(
+      "/servlet/SDBservlet",
+      {{"file", fs::ParseFileUrl(seeded_[0].dataset_urls[0])->path}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ok->find("NCSA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easia

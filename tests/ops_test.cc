@@ -1,0 +1,531 @@
+#include <gtest/gtest.h>
+
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "ops/archive.h"
+#include "ops/engine.h"
+#include "ops/native.h"
+#include "turbulence/tbf.h"
+
+namespace easia::ops {
+namespace {
+
+// ---- Archive container ----
+
+TEST(ArchiveContainerTest, PackUnpackRoundTrip) {
+  std::map<std::string, std::string> files = {
+      {"main.ea", "print(1);"},
+      {"README", "docs"},
+      {"data.bin", std::string("\x00\x01\x02", 3)},
+  };
+  auto back = UnpackArchive(PackArchive(files));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, files);
+}
+
+TEST(ArchiveContainerTest, EmptyArchive) {
+  auto back = UnpackArchive(PackArchive({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(ArchiveContainerTest, DetectsCorruption) {
+  std::string packed = PackArchive({{"f", "contents"}});
+  EXPECT_FALSE(UnpackArchive("garbage").ok());
+  std::string flipped = packed;
+  flipped[10] ^= 1;
+  EXPECT_FALSE(UnpackArchive(flipped).ok());
+  EXPECT_FALSE(UnpackArchive(packed.substr(0, packed.size() - 2)).ok());
+}
+
+TEST(ArchiveContainerTest, Formats) {
+  EXPECT_TRUE(IsPackedFormat("jar"));
+  EXPECT_TRUE(IsPackedFormat("tar.Z"));
+  EXPECT_FALSE(IsPackedFormat("ea"));
+}
+
+// ---- Native operations ----
+
+class NativeOpsTest : public ::testing::Test {
+ protected:
+  NativeOpsTest() : registry_(NativeRegistry::BuiltIns()) {
+    turb::Field field = turb::Field::Generate(8, 0.0, 0.01);
+    bytes_ = turb::SerializeTbf(field, 0);
+  }
+
+  NativeRegistry registry_;
+  std::string bytes_;
+};
+
+TEST_F(NativeOpsTest, RegistryContents) {
+  EXPECT_TRUE(registry_.Has("GetImage"));
+  EXPECT_TRUE(registry_.Has("FieldStats"));
+  EXPECT_TRUE(registry_.Has("SliceCsv"));
+  EXPECT_TRUE(registry_.Has("Subsample"));
+  EXPECT_TRUE(registry_.Has("KineticEnergy"));
+  EXPECT_FALSE(registry_.Get("Nope").ok());
+}
+
+TEST_F(NativeOpsTest, GetImageProducesPgm) {
+  const NativeOperation* op = *registry_.Get("GetImage");
+  auto out = op->run(bytes_, {{"slice", "x2"}, {"type", "v"}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->files.size(), 1u);
+  EXPECT_EQ(out->files[0].first, "slice_x2_v.pgm");
+  EXPECT_EQ(out->files[0].second.substr(0, 2), "P5");
+  EXPECT_NE(out->text.find("GetImage"), std::string::npos);
+}
+
+TEST_F(NativeOpsTest, GetImageSeparateIndexParam) {
+  const NativeOperation* op = *registry_.Get("GetImage");
+  auto out = op->run(bytes_, {{"slice", "y"}, {"index", "3"}, {"type", "p"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->files[0].first, "slice_y3_p.pgm");
+}
+
+TEST_F(NativeOpsTest, GetImageRejectsBadParams) {
+  const NativeOperation* op = *registry_.Get("GetImage");
+  EXPECT_FALSE(op->run(bytes_, {{"slice", "q1"}}).ok());
+  EXPECT_FALSE(op->run(bytes_, {{"slice", "x99"}}).ok());
+  EXPECT_FALSE(op->run(bytes_, {{"type", "zz"}}).ok());
+  EXPECT_FALSE(op->run("not a tbf", {}).ok());
+}
+
+TEST_F(NativeOpsTest, FieldStatsCoversAllComponents) {
+  const NativeOperation* op = *registry_.Get("FieldStats");
+  auto out = op->run(bytes_, {});
+  ASSERT_TRUE(out.ok());
+  for (const char* comp : {"u:", "v:", "w:", "p:"}) {
+    EXPECT_NE(out->text.find(comp), std::string::npos);
+  }
+}
+
+TEST_F(NativeOpsTest, SubsampleShrinksGrid) {
+  const NativeOperation* op = *registry_.Get("Subsample");
+  auto out = op->run(bytes_, {{"factor", "2"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->files.size(), 1u);
+  auto small = turb::ParseTbf(out->files[0].second);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->n(), 4u);
+  EXPECT_FALSE(op->run(bytes_, {{"factor", "0"}}).ok());
+  EXPECT_FALSE(op->run(bytes_, {{"factor", "99"}}).ok());
+}
+
+TEST_F(NativeOpsTest, ReductionModelsMatchRealOutputs) {
+  // For every native op, the sparse-path size model should be close to the
+  // size actually produced on a materialised dataset.
+  for (const std::string& name : registry_.Names()) {
+    const NativeOperation* op = *registry_.Get(name);
+    auto out = op->run(bytes_, {});
+    ASSERT_TRUE(out.ok()) << name;
+    uint64_t real = out->TotalFileBytes();
+    uint64_t modelled = op->reduction_model(bytes_.size());
+    EXPECT_LT(real, modelled * 4 + 512) << name;
+    EXPECT_GE(real * 4 + 512, modelled) << name;
+  }
+}
+
+TEST(GridFromFileBytesTest, InvertsFileBytes) {
+  for (size_t n : {8u, 16u, 64u, 128u, 256u}) {
+    EXPECT_EQ(GridFromFileBytes(turb::Field::FileBytes(n)), n);
+  }
+  EXPECT_EQ(GridFromFileBytes(10), 0u);
+}
+
+// ---- OperationEngine end to end ----
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    archive_ = std::make_unique<core::Archive>();
+    archive_->AddFileServer("fs1", /*constant_mbps=*/8.0);
+    archive_->AddFileServer("fs2", /*constant_mbps=*/8.0);
+    ASSERT_TRUE(core::CreateTurbulenceSchema(archive_.get()).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1", "fs2"};
+    seed.simulations = 1;
+    seed.timesteps_per_simulation = 2;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(archive_.get(), seed);
+    ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+    seeded_ = *seeded;
+    ASSERT_TRUE(archive_->InitializeXuis().ok());
+    ASSERT_TRUE(core::AttachGetImageOperation(
+        archive_.get(), seeded_[0].simulation_key, 8).ok());
+    ASSERT_TRUE(core::AttachNativeOperations(archive_.get()).ok());
+    auto spec = archive_->xuis().Default();
+    get_image_ = FindOp("GetImage");
+    field_stats_ = FindOp("FieldStats");
+  }
+
+  xuis::OperationSpec FindOp(const std::string& name) {
+    const xuis::XuisColumn* col = archive_->xuis().Default().FindColumnById(
+        "RESULT_FILE.DOWNLOAD_RESULT");
+    for (const xuis::OperationSpec& op : col->operations) {
+      if (op.name == name) return op;
+    }
+    ADD_FAILURE() << "operation not found: " << name;
+    return {};
+  }
+
+  InvocationContext AuthorisedCtx() {
+    InvocationContext ctx;
+    ctx.user = "alice";
+    ctx.is_guest = false;
+    return ctx;
+  }
+
+  std::unique_ptr<core::Archive> archive_;
+  std::vector<core::SeededSimulation> seeded_;
+  xuis::OperationSpec get_image_;
+  xuis::OperationSpec field_stats_;
+};
+
+TEST_F(EngineTest, EascriptOperationEndToEnd) {
+  auto result = archive_->engine().Invoke(
+      get_image_, seeded_[0].dataset_urls[0],
+      {{"slice", "x2"}, {"type", "u"}}, AuthorisedCtx());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output.files.size(), 1u);
+  EXPECT_EQ(result->output.files[0].first, "slice.pgm");
+  EXPECT_EQ(result->output.files[0].second.substr(0, 2), "P5");
+  EXPECT_GT(result->script_steps, 0u);
+  // Output staged on the dataset's host, downloadable by URL.
+  ASSERT_EQ(result->output_urls.size(), 1u);
+  auto resolved = archive_->fleet().Resolve(result->output_urls[0]);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(resolved->first->vfs().Exists(resolved->second.path));
+  // Data reduction: output is far smaller than the dataset.
+  EXPECT_LT(result->output_bytes * 10, result->input_bytes);
+}
+
+TEST_F(EngineTest, OperationRunsOnDatasetHost) {
+  for (const std::string& url : seeded_[0].dataset_urls) {
+    auto result = archive_->engine().Invoke(get_image_, url, {},
+                                            AuthorisedCtx());
+    ASSERT_TRUE(result.ok());
+    auto parsed = fs::ParseFileUrl(url);
+    EXPECT_EQ(result->host, parsed->host);
+  }
+}
+
+TEST_F(EngineTest, NativeOperation) {
+  auto result = archive_->engine().Invoke(
+      field_stats_, seeded_[0].dataset_urls[0], {}, AuthorisedCtx());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->output.text.find("u:"), std::string::npos);
+  EXPECT_GT(result->exec_seconds, 0.0);
+}
+
+TEST_F(EngineTest, GuestBlockedFromNonGuestOps) {
+  xuis::OperationSpec subsample = FindOp("Subsample");
+  EXPECT_FALSE(subsample.guest_access);
+  InvocationContext guest;
+  guest.is_guest = true;
+  Status s = archive_->engine()
+                 .Invoke(subsample, seeded_[0].dataset_urls[0], {}, guest)
+                 .status();
+  EXPECT_TRUE(s.IsPermissionDenied());
+  // Guest-accessible ops work.
+  EXPECT_TRUE(archive_->engine()
+                  .Invoke(get_image_, seeded_[0].dataset_urls[0], {}, guest)
+                  .ok());
+}
+
+TEST_F(EngineTest, CachingAvoidsRecomputation) {
+  archive_->engine().set_caching(true);
+  auto first = archive_->engine().Invoke(
+      get_image_, seeded_[0].dataset_urls[0], {{"slice", "x1"}},
+      AuthorisedCtx());
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  auto second = archive_->engine().Invoke(
+      get_image_, seeded_[0].dataset_urls[0], {{"slice", "x1"}},
+      AuthorisedCtx());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  // Different parameters miss.
+  auto third = archive_->engine().Invoke(
+      get_image_, seeded_[0].dataset_urls[0], {{"slice", "x2"}},
+      AuthorisedCtx());
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->cache_hit);
+  const OperationStats& stats = archive_->engine().stats().at("GetImage");
+  EXPECT_EQ(stats.invocations, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST_F(EngineTest, CacheKeyIgnoresAccessToken) {
+  archive_->engine().set_caching(true);
+  std::string raw = seeded_[0].dataset_urls[0];
+  auto first = archive_->engine().Invoke(get_image_, raw, {},
+                                         AuthorisedCtx());
+  ASSERT_TRUE(first.ok());
+  auto tokenised = fs::WithToken(raw, "SOMETOKEN123");
+  ASSERT_TRUE(tokenised.ok());
+  auto second = archive_->engine().Invoke(get_image_, *tokenised, {},
+                                          AuthorisedCtx());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+}
+
+TEST_F(EngineTest, StatsTrackFailures) {
+  auto bad = archive_->engine().Invoke(
+      get_image_, seeded_[0].dataset_urls[0], {{"slice", "x99"}},
+      AuthorisedCtx());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_GE(archive_->engine().stats().at("GetImage").failures, 1u);
+}
+
+TEST_F(EngineTest, SparseDatasetSimulatesNativeOps) {
+  // Archive a paper-scale sparse dataset and run a native op over it.
+  auto server = archive_->fleet().GetServer("fs1");
+  ASSERT_TRUE((*server)->vfs().CreateSparseFile(
+      "/archive/big.tbf", turb::Field::FileBytes(256)).ok());
+  ASSERT_TRUE(archive_->Execute(
+      "INSERT INTO RESULT_FILE (FILE_NAME, SIMULATION_KEY, FILE_FORMAT, "
+      "DOWNLOAD_RESULT) VALUES ('big.tbf', '" + seeded_[0].simulation_key +
+      "', 'TBF', 'http://fs1/archive/big.tbf')").ok());
+  auto result = archive_->engine().Invoke(
+      field_stats_, "http://fs1/archive/big.tbf", {}, AuthorisedCtx());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->output.simulated);
+  EXPECT_GT(result->input_bytes, 500000000u);
+  EXPECT_LT(result->output_bytes, 1000u);
+}
+
+TEST_F(EngineTest, SparseDatasetRejectsScripts) {
+  auto server = archive_->fleet().GetServer("fs2");
+  ASSERT_TRUE((*server)->vfs().CreateSparseFile("/archive/sparse.tbf",
+                                                1000000).ok());
+  Status s = archive_->engine()
+                 .Invoke(get_image_, "http://fs2/archive/sparse.tbf", {},
+                         AuthorisedCtx())
+                 .status();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(EngineTest, UploadedCodeRunsAndWrites) {
+  xuis::UploadSpec upload;
+  upload.type = "EASCRIPT";
+  upload.format = "ea";
+  const char* kCode =
+      "let s = tbf_stats(arg(0), \"u\");\n"
+      "write(\"out.txt\", \"mean=\" + str(s[2]));\n"
+      "print(\"done\");\n";
+  auto result = archive_->engine().RunUploadedCode(
+      upload, kCode, "main.ea", seeded_[0].dataset_urls[0], {},
+      AuthorisedCtx());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output.text, "done\n");
+  ASSERT_EQ(result->output.files.size(), 1u);
+  EXPECT_EQ(result->output.files[0].first, "out.txt");
+}
+
+TEST_F(EngineTest, UploadedCodeGuestDenied) {
+  xuis::UploadSpec upload;
+  upload.guest_access = false;
+  InvocationContext guest;
+  guest.is_guest = true;
+  Status s = archive_->engine()
+                 .RunUploadedCode(upload, "print(1);", "main.ea",
+                                  seeded_[0].dataset_urls[0], {}, guest)
+                 .status();
+  EXPECT_TRUE(s.IsPermissionDenied());
+}
+
+TEST_F(EngineTest, SandboxBlocksAbsolutePathWrites) {
+  xuis::UploadSpec upload;
+  upload.format = "ea";
+  for (const char* bad : {"write(\"/etc/passwd\", \"x\");",
+                          "write(\"../escape\", \"x\");",
+                          "read(\"/other/file\");"}) {
+    Status s = archive_->engine()
+                   .RunUploadedCode(upload, bad, "main.ea",
+                                    seeded_[0].dataset_urls[0], {},
+                                    AuthorisedCtx())
+                   .status();
+    EXPECT_TRUE(s.IsPermissionDenied()) << bad << " -> " << s.ToString();
+  }
+}
+
+TEST_F(EngineTest, SandboxBlocksForeignTbfAccess) {
+  xuis::UploadSpec upload;
+  upload.format = "ea";
+  Status s = archive_->engine()
+                 .RunUploadedCode(upload,
+                                  "tbf_n(\"/archive/other.tbf\");", "main.ea",
+                                  seeded_[0].dataset_urls[0], {},
+                                  AuthorisedCtx())
+                 .status();
+  EXPECT_TRUE(s.IsPermissionDenied());
+}
+
+TEST_F(EngineTest, UploadedBundleFormat) {
+  xuis::UploadSpec upload;
+  upload.type = "EASCRIPT";
+  upload.format = "jar";
+  std::string bundle = PackArchive(
+      {{"entry.ea", "print(\"bundled\");"}, {"lib.ea", "# unused"}});
+  auto result = archive_->engine().RunUploadedCode(
+      upload, bundle, "entry.ea", seeded_[0].dataset_urls[0], {},
+      AuthorisedCtx());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output.text, "bundled\n");
+  // Missing entry is an error.
+  EXPECT_FALSE(archive_->engine()
+                   .RunUploadedCode(upload, bundle, "nope.ea",
+                                    seeded_[0].dataset_urls[0], {},
+                                    AuthorisedCtx())
+                   .ok());
+}
+
+TEST_F(EngineTest, UrlOperationInvokesEndpoint) {
+  ASSERT_TRUE(core::AttachSdbUrlOperation(archive_.get(), "fs1").ok());
+  xuis::OperationSpec sdb = FindOp("SDB");
+  // Use a dataset on fs1 so the endpoint's VFS sees it.
+  std::string url_on_fs1;
+  for (const std::string& url : seeded_[0].dataset_urls) {
+    if (url.find("//fs1/") != std::string::npos) url_on_fs1 = url;
+  }
+  ASSERT_FALSE(url_on_fs1.empty());
+  auto result = archive_->engine().Invoke(sdb, url_on_fs1, {},
+                                          AuthorisedCtx());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->output.text.find("NCSA Scientific Data Browser"),
+            std::string::npos);
+  EXPECT_NE(result->output.text.find("8x8x8 grid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easia::ops
+
+namespace easia::ops {
+namespace {
+
+// Re-declare a light fixture for the future-work extensions (operation
+// chaining + runtime progress monitoring).
+class ChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    archive_ = std::make_unique<core::Archive>();
+    archive_->AddFileServer("fs1", 8.0);
+    ASSERT_TRUE(core::CreateTurbulenceSchema(archive_.get()).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1"};
+    seed.simulations = 1;
+    seed.timesteps_per_simulation = 1;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(archive_.get(), seed);
+    ASSERT_TRUE(seeded.ok());
+    dataset_ = (*seeded)[0].dataset_urls[0];
+    subsample_.name = "Subsample";
+    subsample_.type = "NATIVE";
+    subsample_.guest_access = true;
+    subsample_.location.kind = xuis::OperationLocation::Kind::kUrl;
+    subsample_.location.url = "native:builtin";
+    get_image_ = subsample_;
+    get_image_.name = "GetImage";
+    stats_op_ = subsample_;
+    stats_op_.name = "FieldStats";
+    ctx_.user = "alice";
+    ctx_.is_guest = false;
+  }
+
+  std::unique_ptr<core::Archive> archive_;
+  std::string dataset_;
+  xuis::OperationSpec subsample_;
+  xuis::OperationSpec get_image_;
+  xuis::OperationSpec stats_op_;
+  InvocationContext ctx_;
+};
+
+TEST_F(ChainTest, SubsampleThenGetImage) {
+  // Chain: decimate the 8^3 grid to 4^3, then slice-render the result.
+  std::vector<ChainStep> steps = {
+      {&subsample_, {{"factor", "2"}}},
+      {&get_image_, {{"slice", "x1"}, {"type", "u"}}},
+  };
+  auto results = archive_->engine().InvokeChain(steps, dataset_, ctx_);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 2u);
+  // Step 2 consumed step 1's output (a 4^3 TBF): the PGM is 4x4.
+  const std::string& pgm = (*results)[1].output.files[0].second;
+  EXPECT_NE(pgm.find("4 4"), std::string::npos) << pgm.substr(0, 20);
+  // The intermediate product stayed on fs1 (never crossed the network).
+  EXPECT_EQ((*results)[0].host, "fs1");
+  EXPECT_EQ((*results)[1].host, "fs1");
+}
+
+TEST_F(ChainTest, ChainStopsAtTextOnlyStep) {
+  // FieldStats emits stats.txt, which is not a dataset GetImage can read.
+  std::vector<ChainStep> steps = {
+      {&stats_op_, {}},
+      {&get_image_, {}},
+  };
+  auto results = archive_->engine().InvokeChain(steps, dataset_, ctx_);
+  EXPECT_FALSE(results.ok());  // second step fails parsing stats.txt
+}
+
+TEST_F(ChainTest, EmptyChainRejected) {
+  EXPECT_FALSE(archive_->engine().InvokeChain({}, dataset_, ctx_).ok());
+}
+
+TEST_F(ChainTest, ChainGuardsGuestAccessPerStep) {
+  subsample_.guest_access = false;
+  InvocationContext guest;
+  guest.is_guest = true;
+  std::vector<ChainStep> steps = {{&subsample_, {}}, {&get_image_, {}}};
+  EXPECT_TRUE(archive_->engine()
+                  .InvokeChain(steps, dataset_, guest)
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(ChainTest, ProgressEventsEmittedInOrder) {
+  std::vector<std::string> stages;
+  archive_->engine().set_progress_listener(
+      [&](const ProgressEvent& event) {
+        stages.push_back(std::string(ProgressStageName(event.stage)) + ":" +
+                         event.operation);
+      });
+  ASSERT_TRUE(archive_->engine()
+                  .Invoke(get_image_, dataset_, {{"slice", "x1"}}, ctx_)
+                  .ok());
+  ASSERT_GE(stages.size(), 2u);
+  EXPECT_EQ(stages.front(), "executing:GetImage");
+  EXPECT_EQ(stages.back(), "done:GetImage");
+}
+
+TEST_F(ChainTest, ProgressReportsFailures) {
+  std::vector<ProgressEvent> events;
+  archive_->engine().set_progress_listener(
+      [&](const ProgressEvent& event) { events.push_back(event); });
+  (void)archive_->engine().Invoke(get_image_, dataset_, {{"slice", "x99"}},
+                                  ctx_);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().stage, ProgressEvent::Stage::kFailed);
+  EXPECT_NE(events.back().detail.find("out of range"), std::string::npos);
+}
+
+TEST_F(ChainTest, ScriptOperationEmitsAllStages) {
+  ASSERT_TRUE(archive_->InitializeXuis().ok());
+  ASSERT_TRUE(core::AttachGetImageOperation(archive_.get(),
+                                            "S19990100000001", 8).ok());
+  const xuis::XuisColumn* col = archive_->xuis().Default().FindColumnById(
+      "RESULT_FILE.DOWNLOAD_RESULT");
+  const xuis::OperationSpec* script_op = &col->operations[0];
+  std::vector<std::string> stages;
+  archive_->engine().set_progress_listener(
+      [&](const ProgressEvent& event) {
+        stages.push_back(std::string(ProgressStageName(event.stage)));
+      });
+  ASSERT_TRUE(archive_->engine().Invoke(*script_op, dataset_, {}, ctx_).ok());
+  EXPECT_EQ(stages, (std::vector<std::string>{
+                        "executing", "resolving-code", "staging",
+                        "collecting-outputs", "done"}));
+}
+
+}  // namespace
+}  // namespace easia::ops

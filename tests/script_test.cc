@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "script/interpreter.h"
+
+namespace easia::script {
+namespace {
+
+class ScriptTest : public ::testing::Test {
+ protected:
+  Result<ExecutionResult> Run(const std::string& src,
+                              std::vector<std::string> args = {}) {
+    Interpreter interp(limits_);
+    for (auto& [name, fn] : hosts_) interp.RegisterFunction(name, fn);
+    return interp.Run(src, args);
+  }
+
+  std::string Output(const std::string& src) {
+    Result<ExecutionResult> r = Run(src);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->output : "<error>";
+  }
+
+  SandboxLimits limits_;
+  std::map<std::string, HostFunction> hosts_;
+};
+
+TEST_F(ScriptTest, PrintAndArithmetic) {
+  EXPECT_EQ(Output("print(1 + 2 * 3);"), "7\n");
+  EXPECT_EQ(Output("print((1 + 2) * 3);"), "9\n");
+  EXPECT_EQ(Output("print(7 % 3, 7 / 2);"), "1 3.5\n");
+  EXPECT_EQ(Output("print(-2 * -3);"), "6\n");
+}
+
+TEST_F(ScriptTest, StringsAndConcat) {
+  EXPECT_EQ(Output("print(\"a\" + \"b\" + 1);"), "ab1\n");
+  EXPECT_EQ(Output("print(len(\"hello\"), substr(\"hello\", 1, 3));"),
+            "5 ell\n");
+  EXPECT_EQ(Output("print(\"x\\ty\\n\" + \"z\");"), "x\ty\nz\n");
+}
+
+TEST_F(ScriptTest, VariablesAndScopes) {
+  EXPECT_EQ(Output("let x = 1; { let x = 2; print(x); } print(x);"), "2\n1\n");
+  EXPECT_EQ(Output("let x = 1; { x = 5; } print(x);"), "5\n");
+}
+
+TEST_F(ScriptTest, AssignToUndeclaredFails) {
+  Result<ExecutionResult> r = Run("y = 3;");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("undeclared"), std::string::npos);
+}
+
+TEST_F(ScriptTest, IfElseChain) {
+  const char* src = R"(
+let x = 7;
+if (x > 10) { print("big"); }
+else if (x > 5) { print("medium"); }
+else { print("small"); }
+)";
+  EXPECT_EQ(Output(src), "medium\n");
+}
+
+TEST_F(ScriptTest, WhileWithBreakContinue) {
+  const char* src = R"(
+let i = 0;
+let total = 0;
+while (true) {
+  i = i + 1;
+  if (i > 10) { break; }
+  if (i % 2 == 0) { continue; }
+  total = total + i;
+}
+print(total);
+)";
+  EXPECT_EQ(Output(src), "25\n");  // 1+3+5+7+9
+}
+
+TEST_F(ScriptTest, ForLoop) {
+  EXPECT_EQ(Output("let s = 0; for (let i = 1; i <= 4; i = i + 1) "
+                   "{ s = s + i; } print(s);"),
+            "10\n");
+}
+
+TEST_F(ScriptTest, Arrays) {
+  const char* src = R"(
+let a = [1, 2, 3];
+push(a, 4);
+a[0] = 10;
+print(a[0] + a[3], len(a));
+print(a);
+let p = pop(a);
+print(p, len(a));
+)";
+  EXPECT_EQ(Output(src), "14 4\n[10, 2, 3, 4]\n4 3\n");
+}
+
+TEST_F(ScriptTest, ArrayBuiltinAndBounds) {
+  EXPECT_EQ(Output("let a = array(3, 0); print(a);"), "[0, 0, 0]\n");
+  EXPECT_FALSE(Run("let a = [1]; print(a[5]);").ok());
+  EXPECT_FALSE(Run("let a = [1]; a[2] = 1;").ok());
+  EXPECT_FALSE(Run("pop([]);").ok());
+}
+
+TEST_F(ScriptTest, FunctionsAndRecursion) {
+  const char* src = R"(
+func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+print(fib(12));
+)";
+  EXPECT_EQ(Output(src), "144\n");
+}
+
+TEST_F(ScriptTest, FunctionsSeeOnlyTheirScope) {
+  // No closures: a function cannot read caller locals.
+  Result<ExecutionResult> r = Run(
+      "let secret = 42; func peek() { return secret; } print(peek());");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ScriptTest, MathBuiltins) {
+  EXPECT_EQ(Output("print(floor(2.7), ceil(2.2), abs(-3));"), "2 3 3\n");
+  EXPECT_EQ(Output("print(sqrt(16), pow(2, 10), min(3, 1), max(3, 1));"),
+            "4 1024 1 3\n");
+  EXPECT_FALSE(Run("sqrt(-1);").ok());
+  EXPECT_FALSE(Run("log(0);").ok());
+}
+
+TEST_F(ScriptTest, NumAndStrConversions) {
+  EXPECT_EQ(Output("print(num(\"2.5\") * 2, str(7) + \"!\");"), "5 7!\n");
+  EXPECT_FALSE(Run("num(\"abc\");").ok());
+}
+
+TEST_F(ScriptTest, ComparisonAndLogic) {
+  EXPECT_EQ(Output("print(1 < 2, \"a\" < \"b\", 2 == 2.0, 1 != 2);"),
+            "true true true true\n");
+  EXPECT_EQ(Output("print(true && false, true || false, !true);"),
+            "false true false\n");
+}
+
+TEST_F(ScriptTest, ShortCircuitEvaluation) {
+  // Division by zero on the right side must not run.
+  EXPECT_EQ(Output("print(false && (1 / 0 > 0));"), "false\n");
+  EXPECT_EQ(Output("print(true || (1 / 0 > 0));"), "true\n");
+}
+
+TEST_F(ScriptTest, ArgsBinding) {
+  Result<ExecutionResult> r =
+      Run("print(arg(0), argc());", {"/data/file.tbf", "x=1"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output, "/data/file.tbf 2\n");
+  EXPECT_FALSE(Run("arg(5);", {"one"}).ok());
+}
+
+TEST_F(ScriptTest, HostFunctions) {
+  hosts_["double_it"] = [](std::vector<ScriptValue>& args)
+      -> Result<ScriptValue> {
+    return ScriptValue::Number(args[0].AsNumber() * 2);
+  };
+  EXPECT_EQ(Output("print(double_it(21));"), "42\n");
+}
+
+TEST_F(ScriptTest, HostErrorsPropagateWithContext) {
+  hosts_["denied"] = [](std::vector<ScriptValue>&) -> Result<ScriptValue> {
+    return Status::PermissionDenied("sandbox says no");
+  };
+  Status s = Run("denied();").status();
+  EXPECT_TRUE(s.IsPermissionDenied());
+  EXPECT_NE(s.message().find("denied()"), std::string::npos);
+}
+
+TEST_F(ScriptTest, UserFunctionShadowsHost) {
+  hosts_["f"] = [](std::vector<ScriptValue>&) -> Result<ScriptValue> {
+    return ScriptValue::Number(1);
+  };
+  EXPECT_EQ(Output("func f() { return 2; } print(f());"), "2\n");
+}
+
+TEST_F(ScriptTest, ReturnFromTopLevelStopsExecution) {
+  EXPECT_EQ(Output("print(\"a\"); return; print(\"b\");"), "a\n");
+}
+
+// --- Sandbox quotas ---
+
+TEST_F(ScriptTest, StepQuotaStopsInfiniteLoop) {
+  limits_.max_steps = 10000;
+  Status s = Run("while (true) { let x = 1; }").status();
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+}
+
+TEST_F(ScriptTest, MemoryQuotaStopsAllocation) {
+  limits_.max_memory_bytes = 100000;
+  Status s = Run(
+      "let s = \"xxxxxxxxxxxxxxxx\";"
+      "for (let i = 0; i < 30; i = i + 1) { s = s + s; }").status();
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+}
+
+TEST_F(ScriptTest, HugeArrayAllocationBlocked) {
+  limits_.max_memory_bytes = 1 << 20;
+  EXPECT_TRUE(Run("array(100000000, 0);").status().IsResourceExhausted());
+}
+
+TEST_F(ScriptTest, CallDepthLimited) {
+  limits_.max_call_depth = 32;
+  Status s = Run("func f(n) { return f(n + 1); } f(0);").status();
+  EXPECT_TRUE(s.IsResourceExhausted());
+}
+
+TEST_F(ScriptTest, OutputQuotaEnforced) {
+  limits_.max_output_bytes = 100;
+  Status s = Run(
+      "for (let i = 0; i < 100; i = i + 1) { print(\"0123456789\"); }")
+      .status();
+  EXPECT_TRUE(s.IsResourceExhausted());
+}
+
+TEST_F(ScriptTest, StepsReported) {
+  Result<ExecutionResult> r = Run("let x = 1 + 1;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->steps_used, 0u);
+  EXPECT_LT(r->steps_used, 100u);
+}
+
+TEST_F(ScriptTest, DeterministicAcrossRuns) {
+  const char* src =
+      "let t = 0; for (let i = 0; i < 100; i = i + 1) { t = t + i * i; }"
+      "print(t);";
+  Result<ExecutionResult> a = Run(src);
+  Result<ExecutionResult> b = Run(src);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->output, b->output);
+  EXPECT_EQ(a->steps_used, b->steps_used);
+}
+
+// --- Parse errors ---
+
+TEST_F(ScriptTest, ParseErrorsHaveLineNumbers) {
+  Status s = Run("let x = 1;\nlet y = ;").status();
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("eascript:2"), std::string::npos)
+      << s.message();
+}
+
+TEST_F(ScriptTest, ParseErrorCases) {
+  EXPECT_TRUE(Run("let;").status().IsParseError());
+  EXPECT_TRUE(Run("if (1) print(1);").status().IsParseError());  // need {}
+  EXPECT_TRUE(Run("let x = \"unterminated;").status().IsParseError());
+  EXPECT_TRUE(Run("func f( { }").status().IsParseError());
+  EXPECT_TRUE(Run("1 + ;").status().IsParseError());
+}
+
+TEST_F(ScriptTest, RuntimeTypeErrors) {
+  EXPECT_FALSE(Run("print(1 + [1]);").ok());
+  EXPECT_FALSE(Run("print(\"a\" - 1);").ok());
+  EXPECT_FALSE(Run("print(len(5));").ok());
+  EXPECT_FALSE(Run("print(nosuchfn());").ok());
+  EXPECT_FALSE(Run("print(1 / 0);").ok());
+}
+
+TEST_F(ScriptTest, BreakOutsideLoopRejected) {
+  EXPECT_FALSE(Run("break;").ok());
+}
+
+TEST_F(ScriptTest, CommentsBothStyles) {
+  EXPECT_EQ(Output("# hash comment\n// slash comment\nprint(1);"), "1\n");
+}
+
+}  // namespace
+}  // namespace easia::script

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "xml/dtd.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace easia::xml {
+namespace {
+
+TEST(XmlParserTest, SimpleElement) {
+  auto doc = Parse("<root/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name(), "root");
+  EXPECT_TRUE(doc->root->children().empty());
+}
+
+TEST(XmlParserTest, AttributesBothQuoteStyles) {
+  auto doc = Parse("<t a=\"1\" b='two'/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->Attr("a"), "1");
+  EXPECT_EQ(doc->root->Attr("b"), "two");
+  EXPECT_FALSE(doc->root->HasAttr("c"));
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto doc = Parse("<a><b>hello</b><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->ChildText("b"), "hello");
+  ASSERT_NE(doc->root->FindChild("c"), nullptr);
+  EXPECT_NE(doc->root->FindChild("c")->FindChild("d"), nullptr);
+}
+
+TEST(XmlParserTest, Entities) {
+  auto doc = Parse("<t a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->Attr("a"), "<&>");
+  EXPECT_EQ(doc->root->InnerText(), "\"x' AB");
+}
+
+TEST(XmlParserTest, CData) {
+  auto doc = Parse("<t><![CDATA[<not-parsed> & raw]]></t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->InnerText(), "<not-parsed> & raw");
+}
+
+TEST(XmlParserTest, CommentsPreserved) {
+  auto doc = Parse("<t><!--note--><x/></t>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root->children().size(), 2u);
+  EXPECT_EQ(doc->root->children()[0]->type(), Node::Type::kComment);
+  EXPECT_EQ(doc->root->children()[0]->text(), "note");
+}
+
+TEST(XmlParserTest, DeclarationAndDoctype) {
+  auto doc = Parse(
+      "<?xml version=\"1.1\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE xuis [<!ELEMENT xuis ANY>]>\n"
+      "<xuis/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->version, "1.1");
+  EXPECT_EQ(doc->encoding, "UTF-8");
+  EXPECT_EQ(doc->doctype_name, "xuis");
+  EXPECT_EQ(doc->internal_dtd, "<!ELEMENT xuis ANY>");
+}
+
+TEST(XmlParserTest, DottedNamesAllowed) {
+  // The XUIS uses <database.result> and guest.access attributes.
+  auto doc = Parse("<database.result guest.access=\"true\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name(), "database.result");
+  EXPECT_EQ(doc->root->Attr("guest.access"), "true");
+}
+
+TEST(XmlParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("<a>").ok());                  // unterminated
+  EXPECT_FALSE(Parse("<a></b>").ok());              // mismatched
+  EXPECT_FALSE(Parse("<a x=1/>").ok());             // unquoted attribute
+  EXPECT_FALSE(Parse("<a x='1' x='2'/>").ok());     // duplicate attribute
+  EXPECT_FALSE(Parse("<a>&bogus;</a>").ok());       // unknown entity
+  EXPECT_FALSE(Parse("<a/><b/>").ok());             // two roots
+  EXPECT_FALSE(Parse("<a><!--unterminated</a>").ok());
+}
+
+TEST(XmlParserTest, ErrorsCarryLineNumbers) {
+  Status s = Parse("<a>\n<b>\n</a>").status();
+  EXPECT_NE(s.message().find("xml:3"), std::string::npos) << s.message();
+}
+
+TEST(XmlNodeTest, BuildAndQuery) {
+  auto root = Node::Element("table");
+  root->SetAttr("name", "AUTHOR");
+  root->AddElementWithText("tablealias", "Author");
+  Node* col = root->AddElement("column");
+  col->SetAttr("name", "AUTHOR_KEY");
+  EXPECT_EQ(root->ChildText("tablealias"), "Author");
+  EXPECT_EQ(root->FindChildren("column").size(), 1u);
+  EXPECT_EQ(root->CountElements(), 3u);
+}
+
+TEST(XmlNodeTest, CloneIsDeep) {
+  auto root = Node::Element("a");
+  root->AddElementWithText("b", "text");
+  auto copy = root->Clone();
+  root->FindChild("b")->set_name("c");
+  EXPECT_NE(copy->FindChild("b"), nullptr);
+  EXPECT_EQ(copy->ChildText("b"), "text");
+}
+
+TEST(XmlNodeTest, RemoveChildren) {
+  auto root = Node::Element("a");
+  root->AddElement("x");
+  root->AddElement("y");
+  root->AddElement("x");
+  EXPECT_EQ(root->RemoveChildren("x"), 2u);
+  EXPECT_EQ(root->ChildElements().size(), 1u);
+}
+
+TEST(XmlWriterTest, EscapesSpecials) {
+  auto root = Node::Element("t");
+  root->SetAttr("a", "x<y&\"z\"");
+  root->AddText("a<b>&c");
+  std::string out = WriteNode(*root);
+  EXPECT_EQ(out, "<t a=\"x&lt;y&amp;&quot;z&quot;\">a&lt;b&gt;&amp;c</t>");
+}
+
+TEST(XmlWriterTest, RoundTripPreservesStructure) {
+  const char* kInput =
+      "<table name=\"AUTHOR\" primaryKey=\"AUTHOR.AUTHOR_KEY\">"
+      "<tablealias>Author</tablealias>"
+      "<column name=\"AUTHOR_KEY\" colid=\"AUTHOR.AUTHOR_KEY\">"
+      "<type><VARCHAR/><size>30</size></type>"
+      "<pk><refby tablecolumn=\"SIMULATION.AUTHOR_KEY\"/></pk>"
+      "<samples><sample>A19990110151042</sample></samples>"
+      "</column></table>";
+  auto doc1 = Parse(kInput);
+  ASSERT_TRUE(doc1.ok());
+  std::string written = WriteDocument(*doc1);
+  auto doc2 = Parse(written);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc1->root->CountElements(), doc2->root->CountElements());
+  EXPECT_EQ(doc2->root->FindChild("column")
+                ->FindChild("type")
+                ->ChildText("size"),
+            "30");
+  // Idempotence: writing the reparsed document gives identical text.
+  EXPECT_EQ(WriteDocument(*doc2), written);
+}
+
+// Property: generated random trees survive write -> parse -> write.
+class XmlRoundTripTest : public ::testing::TestWithParam<int> {};
+
+std::unique_ptr<Node> RandomTree(Random* rng, int depth) {
+  auto node = Node::Element("e" + std::to_string(rng->Uniform(5)));
+  size_t attrs = rng->Uniform(3);
+  for (size_t i = 0; i < attrs; ++i) {
+    node->SetAttr("a" + std::to_string(i), rng->AlphaNum(4) + "<&>'\"");
+  }
+  if (depth > 0) {
+    size_t kids = rng->Uniform(4);
+    for (size_t i = 0; i < kids; ++i) {
+      if (rng->OneIn(3)) {
+        node->AddText(rng->AlphaNum(5) + "&<");
+      } else {
+        node->AddChild(RandomTree(rng, depth - 1));
+      }
+    }
+  }
+  return node;
+}
+
+TEST_P(XmlRoundTripTest, WriteParseWriteFixpoint) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 977 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Document doc;
+    doc.root = RandomTree(&rng, 3);
+    std::string once = WriteDocument(doc);
+    auto parsed = Parse(once);
+    ASSERT_TRUE(parsed.ok()) << once;
+    EXPECT_EQ(WriteDocument(*parsed), once);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest, ::testing::Range(0, 5));
+
+// ---- DTD ----
+
+TEST(DtdTest, ParsesElementAndAttlist) {
+  auto dtd = Dtd::Parse(
+      "<!ELEMENT a (b, c?)>\n<!ELEMENT b EMPTY>\n"
+      "<!ELEMENT c (#PCDATA)>\n"
+      "<!ATTLIST a id CDATA #REQUIRED kind (x|y) \"x\">");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd->HasElement("a"));
+  EXPECT_TRUE(dtd->HasElement("b"));
+  EXPECT_EQ(dtd->attlists().at("a").size(), 2u);
+}
+
+TEST(DtdTest, ValidatesSequence) {
+  auto dtd = Dtd::Parse(
+      "<!ELEMENT a (b, c)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  auto good = Parse("<a><b/><c/></a>");
+  EXPECT_TRUE(dtd->Validate(*good->root).ok());
+  auto wrong_order = Parse("<a><c/><b/></a>");
+  EXPECT_FALSE(dtd->Validate(*wrong_order->root).ok());
+  auto missing = Parse("<a><b/></a>");
+  EXPECT_FALSE(dtd->Validate(*missing->root).ok());
+}
+
+TEST(DtdTest, ValidatesChoiceAndOccurrence) {
+  auto dtd = Dtd::Parse(
+      "<!ELEMENT a (b | c)*> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  for (const char* text : {"<a/>", "<a><b/></a>", "<a><c/><b/><c/></a>"}) {
+    auto doc = Parse(text);
+    EXPECT_TRUE(dtd->Validate(*doc->root).ok()) << text;
+  }
+}
+
+TEST(DtdTest, PlusRequiresAtLeastOne) {
+  auto dtd = Dtd::Parse("<!ELEMENT a (b+)> <!ELEMENT b EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_FALSE(dtd->Validate(*Parse("<a/>")->root).ok());
+  EXPECT_TRUE(dtd->Validate(*Parse("<a><b/></a>")->root).ok());
+  EXPECT_TRUE(dtd->Validate(*Parse("<a><b/><b/><b/></a>")->root).ok());
+}
+
+TEST(DtdTest, EmptyModelRejectsContent) {
+  auto dtd = Dtd::Parse("<!ELEMENT a EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd->Validate(*Parse("<a/>")->root).ok());
+  EXPECT_FALSE(dtd->Validate(*Parse("<a>text</a>")->root).ok());
+}
+
+TEST(DtdTest, MixedAllowsListedElements) {
+  auto dtd = Dtd::Parse(
+      "<!ELEMENT a (#PCDATA | b)*> <!ELEMENT b EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd->Validate(*Parse("<a>text<b/>more</a>")->root).ok());
+  auto bad = Parse("<a><c/></a>");
+  EXPECT_FALSE(dtd->Validate(*bad->root).ok());
+}
+
+TEST(DtdTest, RequiredAttributeEnforced) {
+  auto dtd = Dtd::Parse(
+      "<!ELEMENT a EMPTY> <!ATTLIST a id CDATA #REQUIRED>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_FALSE(dtd->Validate(*Parse("<a/>")->root).ok());
+  EXPECT_TRUE(dtd->Validate(*Parse("<a id='1'/>")->root).ok());
+}
+
+TEST(DtdTest, EnumeratedAttributeEnforced) {
+  auto dtd = Dtd::Parse(
+      "<!ELEMENT a EMPTY> <!ATTLIST a kind (x|y) #IMPLIED>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd->Validate(*Parse("<a kind='x'/>")->root).ok());
+  EXPECT_FALSE(dtd->Validate(*Parse("<a kind='z'/>")->root).ok());
+}
+
+TEST(DtdTest, UndeclaredAttributeRejected) {
+  auto dtd = Dtd::Parse("<!ELEMENT a EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_FALSE(dtd->Validate(*Parse("<a rogue='1'/>")->root).ok());
+}
+
+TEST(DtdTest, UndeclaredElementRejected) {
+  auto dtd = Dtd::Parse("<!ELEMENT a ANY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_FALSE(dtd->Validate(*Parse("<a><mystery/></a>")->root).ok());
+}
+
+TEST(DtdTest, XuisDtdParsesAndValidatesPaperFragment) {
+  auto dtd = Dtd::Parse(XuisDtdText());
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  // The paper's AUTHOR fragment, completed to a full document.
+  const char* kPaperFragment = R"XML(
+<xuis database="TURBULENCE">
+ <table name="AUTHOR" primaryKey="AUTHOR.AUTHOR_KEY">
+  <tablealias>Author</tablealias>
+  <column name="AUTHOR_KEY" colid="AUTHOR.AUTHOR_KEY">
+   <type><VARCHAR/><size>30</size></type>
+   <pk><refby tablecolumn="SIMULATION.AUTHOR_KEY"/></pk>
+   <samples>
+    <sample>A19990110151042</sample>
+    <sample>A19990209151042</sample>
+   </samples>
+  </column>
+ </table>
+</xuis>)XML";
+  auto doc = Parse(kPaperFragment);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(dtd->Validate(*doc->root).ok())
+      << dtd->Validate(*doc->root).ToString();
+}
+
+TEST(DtdTest, XuisDtdValidatesOperationFragment) {
+  auto dtd = Dtd::Parse(XuisDtdText());
+  ASSERT_TRUE(dtd.ok());
+  // The paper's GetImage operation fragment.
+  const char* kOperation = R"XML(
+<xuis database="TURBULENCE">
+ <table name="RESULT_FILE">
+  <column name="DOWNLOAD_RESULT" colid="RESULT_FILE.DOWNLOAD_RESULT">
+   <type><DATALINK/></type>
+   <operation name="GetImage" type="JAVA" filename="GetImage.class"
+              format="jar" guest.access="true" column="false">
+    <if>
+     <condition colid="RESULT_FILE.SIMULATION_KEY">
+      <eq>'S19990110150932'</eq>
+     </condition>
+    </if>
+    <location>
+     <database.result colid="CODE_FILE.DOWNLOAD_CODE_FILE">
+      <condition colid="CODE_FILE.CODE_NAME"><eq>'GetImage.jar'</eq></condition>
+     </database.result>
+    </location>
+    <parameters>
+     <param><variable>
+      <description>Select the slice you wish to visualise:</description>
+      <select name="slice" size="4">
+       <option value="x0">x0=0.0</option>
+       <option value="x1">x1=0.1015625</option>
+      </select>
+     </variable></param>
+     <param><variable>
+      <description>Select velocity component or pressure:</description>
+      <input type="radio" name="type" value="u">u speed</input>
+      <input type="radio" name="type" value="p">pressure</input>
+     </variable></param>
+    </parameters>
+   </operation>
+   <upload type="JAVA" format="jar" guest.access="false" column="false">
+    <if>
+     <condition colid="RESULT_FILE.SIMULATION_KEY">
+      <eq>'S19990110150932'</eq>
+     </condition>
+     <condition colid="RESULT_FILE.MEASUREMENT"><eq>'u,v,w,p'</eq></condition>
+    </if>
+   </upload>
+  </column>
+ </table>
+</xuis>)XML";
+  auto doc = Parse(kOperation);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  Status v = dtd->Validate(*doc->root);
+  EXPECT_TRUE(v.ok()) << v.ToString();
+}
+
+}  // namespace
+}  // namespace easia::xml
