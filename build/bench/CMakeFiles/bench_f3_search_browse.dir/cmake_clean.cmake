@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_search_browse.dir/bench_f3_search_browse.cc.o"
+  "CMakeFiles/bench_f3_search_browse.dir/bench_f3_search_browse.cc.o.d"
+  "bench_f3_search_browse"
+  "bench_f3_search_browse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_search_browse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_operation_reduction.dir/bench_f4_operation_reduction.cc.o"
+  "CMakeFiles/bench_f4_operation_reduction.dir/bench_f4_operation_reduction.cc.o.d"
+  "bench_f4_operation_reduction"
+  "bench_f4_operation_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_operation_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

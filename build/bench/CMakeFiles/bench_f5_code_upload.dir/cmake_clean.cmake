@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_code_upload.dir/bench_f5_code_upload.cc.o"
+  "CMakeFiles/bench_f5_code_upload.dir/bench_f5_code_upload.cc.o.d"
+  "bench_f5_code_upload"
+  "bench_f5_code_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_code_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_xuis.dir/bench_f6_xuis.cc.o"
+  "CMakeFiles/bench_f6_xuis.dir/bench_f6_xuis.cc.o.d"
+  "bench_f6_xuis"
+  "bench_f6_xuis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_xuis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

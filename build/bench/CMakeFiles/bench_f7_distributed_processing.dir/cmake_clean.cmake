@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_distributed_processing.dir/bench_f7_distributed_processing.cc.o"
+  "CMakeFiles/bench_f7_distributed_processing.dir/bench_f7_distributed_processing.cc.o.d"
+  "bench_f7_distributed_processing"
+  "bench_f7_distributed_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_distributed_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

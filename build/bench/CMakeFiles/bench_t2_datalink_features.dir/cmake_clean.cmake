@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_datalink_features.dir/bench_t2_datalink_features.cc.o"
+  "CMakeFiles/bench_t2_datalink_features.dir/bench_t2_datalink_features.cc.o.d"
+  "bench_t2_datalink_features"
+  "bench_t2_datalink_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_datalink_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

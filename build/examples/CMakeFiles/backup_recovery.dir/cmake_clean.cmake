@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_recovery.dir/backup_recovery.cpp.o"
+  "CMakeFiles/backup_recovery.dir/backup_recovery.cpp.o.d"
+  "backup_recovery"
+  "backup_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

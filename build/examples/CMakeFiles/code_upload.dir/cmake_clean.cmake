@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_upload.dir/code_upload.cpp.o"
+  "CMakeFiles/code_upload.dir/code_upload.cpp.o.d"
+  "code_upload"
+  "code_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbulence_archive.dir/turbulence_archive.cpp.o"
+  "CMakeFiles/turbulence_archive.dir/turbulence_archive.cpp.o.d"
+  "turbulence_archive"
+  "turbulence_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbulence_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xuis_customize.dir/xuis_customize.cpp.o"
+  "CMakeFiles/xuis_customize.dir/xuis_customize.cpp.o.d"
+  "xuis_customize"
+  "xuis_customize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xuis_customize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

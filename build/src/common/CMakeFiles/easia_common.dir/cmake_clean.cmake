@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_common.dir/clock.cc.o"
+  "CMakeFiles/easia_common.dir/clock.cc.o.d"
+  "CMakeFiles/easia_common.dir/coding.cc.o"
+  "CMakeFiles/easia_common.dir/coding.cc.o.d"
+  "CMakeFiles/easia_common.dir/random.cc.o"
+  "CMakeFiles/easia_common.dir/random.cc.o.d"
+  "CMakeFiles/easia_common.dir/status.cc.o"
+  "CMakeFiles/easia_common.dir/status.cc.o.d"
+  "CMakeFiles/easia_common.dir/string_util.cc.o"
+  "CMakeFiles/easia_common.dir/string_util.cc.o.d"
+  "libeasia_common.a"
+  "libeasia_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

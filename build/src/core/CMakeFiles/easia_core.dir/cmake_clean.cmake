@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_core.dir/archive.cc.o"
+  "CMakeFiles/easia_core.dir/archive.cc.o.d"
+  "CMakeFiles/easia_core.dir/turbulence_setup.cc.o"
+  "CMakeFiles/easia_core.dir/turbulence_setup.cc.o.d"
+  "libeasia_core.a"
+  "libeasia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_crypto.dir/base64.cc.o"
+  "CMakeFiles/easia_crypto.dir/base64.cc.o.d"
+  "CMakeFiles/easia_crypto.dir/hmac.cc.o"
+  "CMakeFiles/easia_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/easia_crypto.dir/sha256.cc.o"
+  "CMakeFiles/easia_crypto.dir/sha256.cc.o.d"
+  "libeasia_crypto.a"
+  "libeasia_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_db.dir/ast.cc.o"
+  "CMakeFiles/easia_db.dir/ast.cc.o.d"
+  "CMakeFiles/easia_db.dir/database.cc.o"
+  "CMakeFiles/easia_db.dir/database.cc.o.d"
+  "CMakeFiles/easia_db.dir/executor.cc.o"
+  "CMakeFiles/easia_db.dir/executor.cc.o.d"
+  "CMakeFiles/easia_db.dir/lexer.cc.o"
+  "CMakeFiles/easia_db.dir/lexer.cc.o.d"
+  "CMakeFiles/easia_db.dir/parser.cc.o"
+  "CMakeFiles/easia_db.dir/parser.cc.o.d"
+  "CMakeFiles/easia_db.dir/schema.cc.o"
+  "CMakeFiles/easia_db.dir/schema.cc.o.d"
+  "CMakeFiles/easia_db.dir/table.cc.o"
+  "CMakeFiles/easia_db.dir/table.cc.o.d"
+  "CMakeFiles/easia_db.dir/value.cc.o"
+  "CMakeFiles/easia_db.dir/value.cc.o.d"
+  "CMakeFiles/easia_db.dir/wal.cc.o"
+  "CMakeFiles/easia_db.dir/wal.cc.o.d"
+  "libeasia_db.a"
+  "libeasia_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fileserver/file_server.cc" "src/fileserver/CMakeFiles/easia_fileserver.dir/file_server.cc.o" "gcc" "src/fileserver/CMakeFiles/easia_fileserver.dir/file_server.cc.o.d"
+  "/root/repo/src/fileserver/url.cc" "src/fileserver/CMakeFiles/easia_fileserver.dir/url.cc.o" "gcc" "src/fileserver/CMakeFiles/easia_fileserver.dir/url.cc.o.d"
+  "/root/repo/src/fileserver/vfs.cc" "src/fileserver/CMakeFiles/easia_fileserver.dir/vfs.cc.o" "gcc" "src/fileserver/CMakeFiles/easia_fileserver.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/easia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

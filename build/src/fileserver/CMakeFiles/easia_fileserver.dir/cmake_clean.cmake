@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_fileserver.dir/file_server.cc.o"
+  "CMakeFiles/easia_fileserver.dir/file_server.cc.o.d"
+  "CMakeFiles/easia_fileserver.dir/url.cc.o"
+  "CMakeFiles/easia_fileserver.dir/url.cc.o.d"
+  "CMakeFiles/easia_fileserver.dir/vfs.cc.o"
+  "CMakeFiles/easia_fileserver.dir/vfs.cc.o.d"
+  "libeasia_fileserver.a"
+  "libeasia_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

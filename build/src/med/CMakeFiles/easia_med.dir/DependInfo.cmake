@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/med/backup.cc" "src/med/CMakeFiles/easia_med.dir/backup.cc.o" "gcc" "src/med/CMakeFiles/easia_med.dir/backup.cc.o.d"
+  "/root/repo/src/med/datalink_manager.cc" "src/med/CMakeFiles/easia_med.dir/datalink_manager.cc.o" "gcc" "src/med/CMakeFiles/easia_med.dir/datalink_manager.cc.o.d"
+  "/root/repo/src/med/datalinker.cc" "src/med/CMakeFiles/easia_med.dir/datalinker.cc.o" "gcc" "src/med/CMakeFiles/easia_med.dir/datalinker.cc.o.d"
+  "/root/repo/src/med/token.cc" "src/med/CMakeFiles/easia_med.dir/token.cc.o" "gcc" "src/med/CMakeFiles/easia_med.dir/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/easia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/easia_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/easia_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/fileserver/CMakeFiles/easia_fileserver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

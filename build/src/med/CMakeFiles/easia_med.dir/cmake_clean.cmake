@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_med.dir/backup.cc.o"
+  "CMakeFiles/easia_med.dir/backup.cc.o.d"
+  "CMakeFiles/easia_med.dir/datalink_manager.cc.o"
+  "CMakeFiles/easia_med.dir/datalink_manager.cc.o.d"
+  "CMakeFiles/easia_med.dir/datalinker.cc.o"
+  "CMakeFiles/easia_med.dir/datalinker.cc.o.d"
+  "CMakeFiles/easia_med.dir/token.cc.o"
+  "CMakeFiles/easia_med.dir/token.cc.o.d"
+  "libeasia_med.a"
+  "libeasia_med.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_med.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for easia_med.
+# This may be replaced when dependencies are built.

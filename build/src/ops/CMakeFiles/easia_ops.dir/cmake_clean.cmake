@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_ops.dir/archive.cc.o"
+  "CMakeFiles/easia_ops.dir/archive.cc.o.d"
+  "CMakeFiles/easia_ops.dir/engine.cc.o"
+  "CMakeFiles/easia_ops.dir/engine.cc.o.d"
+  "CMakeFiles/easia_ops.dir/native.cc.o"
+  "CMakeFiles/easia_ops.dir/native.cc.o.d"
+  "libeasia_ops.a"
+  "libeasia_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_script.dir/interpreter.cc.o"
+  "CMakeFiles/easia_script.dir/interpreter.cc.o.d"
+  "CMakeFiles/easia_script.dir/parser.cc.o"
+  "CMakeFiles/easia_script.dir/parser.cc.o.d"
+  "CMakeFiles/easia_script.dir/value.cc.o"
+  "CMakeFiles/easia_script.dir/value.cc.o.d"
+  "libeasia_script.a"
+  "libeasia_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

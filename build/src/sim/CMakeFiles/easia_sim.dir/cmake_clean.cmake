@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_sim.dir/bandwidth.cc.o"
+  "CMakeFiles/easia_sim.dir/bandwidth.cc.o.d"
+  "CMakeFiles/easia_sim.dir/network.cc.o"
+  "CMakeFiles/easia_sim.dir/network.cc.o.d"
+  "libeasia_sim.a"
+  "libeasia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

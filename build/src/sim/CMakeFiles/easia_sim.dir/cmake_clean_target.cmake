@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeasia_sim.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/turbulence/field.cc" "src/turbulence/CMakeFiles/easia_turbulence.dir/field.cc.o" "gcc" "src/turbulence/CMakeFiles/easia_turbulence.dir/field.cc.o.d"
+  "/root/repo/src/turbulence/tbf.cc" "src/turbulence/CMakeFiles/easia_turbulence.dir/tbf.cc.o" "gcc" "src/turbulence/CMakeFiles/easia_turbulence.dir/tbf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/easia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fileserver/CMakeFiles/easia_fileserver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_turbulence.dir/field.cc.o"
+  "CMakeFiles/easia_turbulence.dir/field.cc.o.d"
+  "CMakeFiles/easia_turbulence.dir/tbf.cc.o"
+  "CMakeFiles/easia_turbulence.dir/tbf.cc.o.d"
+  "libeasia_turbulence.a"
+  "libeasia_turbulence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_turbulence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_web.dir/html.cc.o"
+  "CMakeFiles/easia_web.dir/html.cc.o.d"
+  "CMakeFiles/easia_web.dir/qbe.cc.o"
+  "CMakeFiles/easia_web.dir/qbe.cc.o.d"
+  "CMakeFiles/easia_web.dir/renderer.cc.o"
+  "CMakeFiles/easia_web.dir/renderer.cc.o.d"
+  "CMakeFiles/easia_web.dir/server.cc.o"
+  "CMakeFiles/easia_web.dir/server.cc.o.d"
+  "CMakeFiles/easia_web.dir/session.cc.o"
+  "CMakeFiles/easia_web.dir/session.cc.o.d"
+  "CMakeFiles/easia_web.dir/users.cc.o"
+  "CMakeFiles/easia_web.dir/users.cc.o.d"
+  "libeasia_web.a"
+  "libeasia_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_xml.dir/dtd.cc.o"
+  "CMakeFiles/easia_xml.dir/dtd.cc.o.d"
+  "CMakeFiles/easia_xml.dir/node.cc.o"
+  "CMakeFiles/easia_xml.dir/node.cc.o.d"
+  "CMakeFiles/easia_xml.dir/parser.cc.o"
+  "CMakeFiles/easia_xml.dir/parser.cc.o.d"
+  "CMakeFiles/easia_xml.dir/writer.cc.o"
+  "CMakeFiles/easia_xml.dir/writer.cc.o.d"
+  "libeasia_xml.a"
+  "libeasia_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

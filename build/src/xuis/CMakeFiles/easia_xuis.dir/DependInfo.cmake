@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xuis/customize.cc" "src/xuis/CMakeFiles/easia_xuis.dir/customize.cc.o" "gcc" "src/xuis/CMakeFiles/easia_xuis.dir/customize.cc.o.d"
+  "/root/repo/src/xuis/generator.cc" "src/xuis/CMakeFiles/easia_xuis.dir/generator.cc.o" "gcc" "src/xuis/CMakeFiles/easia_xuis.dir/generator.cc.o.d"
+  "/root/repo/src/xuis/model.cc" "src/xuis/CMakeFiles/easia_xuis.dir/model.cc.o" "gcc" "src/xuis/CMakeFiles/easia_xuis.dir/model.cc.o.d"
+  "/root/repo/src/xuis/serialize.cc" "src/xuis/CMakeFiles/easia_xuis.dir/serialize.cc.o" "gcc" "src/xuis/CMakeFiles/easia_xuis.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/easia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/easia_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/easia_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easia_xuis.dir/customize.cc.o"
+  "CMakeFiles/easia_xuis.dir/customize.cc.o.d"
+  "CMakeFiles/easia_xuis.dir/generator.cc.o"
+  "CMakeFiles/easia_xuis.dir/generator.cc.o.d"
+  "CMakeFiles/easia_xuis.dir/model.cc.o"
+  "CMakeFiles/easia_xuis.dir/model.cc.o.d"
+  "CMakeFiles/easia_xuis.dir/serialize.cc.o"
+  "CMakeFiles/easia_xuis.dir/serialize.cc.o.d"
+  "libeasia_xuis.a"
+  "libeasia_xuis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easia_xuis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_web_test.dir/chain_web_test.cc.o"
+  "CMakeFiles/chain_web_test.dir/chain_web_test.cc.o.d"
+  "chain_web_test"
+  "chain_web_test.pdb"
+  "chain_web_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_web_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_exec_test.dir/db_exec_test.cc.o"
+  "CMakeFiles/db_exec_test.dir/db_exec_test.cc.o.d"
+  "db_exec_test"
+  "db_exec_test.pdb"
+  "db_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

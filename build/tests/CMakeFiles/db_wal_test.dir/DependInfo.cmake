@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db_wal_test.cc" "tests/CMakeFiles/db_wal_test.dir/db_wal_test.cc.o" "gcc" "tests/CMakeFiles/db_wal_test.dir/db_wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/easia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/med/CMakeFiles/easia_med.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/easia_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/easia_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/easia_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/turbulence/CMakeFiles/easia_turbulence.dir/DependInfo.cmake"
+  "/root/repo/build/src/fileserver/CMakeFiles/easia_fileserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/easia_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/xuis/CMakeFiles/easia_xuis.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/easia_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/easia_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbulence_test.dir/turbulence_test.cc.o"
+  "CMakeFiles/turbulence_test.dir/turbulence_test.cc.o.d"
+  "turbulence_test"
+  "turbulence_test.pdb"
+  "turbulence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbulence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xuis_test.dir/xuis_test.cc.o"
+  "CMakeFiles/xuis_test.dir/xuis_test.cc.o.d"
+  "xuis_test"
+  "xuis_test.pdb"
+  "xuis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xuis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

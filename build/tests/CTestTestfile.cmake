@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/db_value_test[1]_include.cmake")
+include("/root/repo/build/tests/db_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/db_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/db_wal_test[1]_include.cmake")
+include("/root/repo/build/tests/med_test[1]_include.cmake")
+include("/root/repo/build/tests/fileserver_test[1]_include.cmake")
+include("/root/repo/build/tests/turbulence_test[1]_include.cmake")
+include("/root/repo/build/tests/script_test[1]_include.cmake")
+include("/root/repo/build/tests/xuis_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/web_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_web_test[1]_include.cmake")
+include("/root/repo/build/tests/db_executor_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
