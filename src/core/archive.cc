@@ -16,6 +16,9 @@ Archive::Archive(Options options)
                                                   &fleet_);
   engine_ = std::make_unique<ops::OperationEngine>(database_.get(), &fleet_,
                                                    &network_);
+  jobs_ = std::make_unique<easia::jobs::JobScheduler>(
+      engine_.get(), &xuis_, &network_.clock(), options_.job_options);
+  (void)jobs_->Recover();
   sessions_ = std::make_unique<web::SessionManager>(
       &users_, &network_.clock(), options_.session_timeout_seconds);
   web::ArchiveWebServer::Deps deps;
@@ -25,6 +28,7 @@ Archive::Archive(Options options)
   deps.engine = engine_.get();
   deps.users = &users_;
   deps.sessions = sessions_.get();
+  deps.jobs = jobs_.get();
   web_ = std::make_unique<web::ArchiveWebServer>(deps);
   // Database host participates in the network (metadata/query traffic).
   sim::HostSpec db_host;

@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "db/database.h"
 #include "fileserver/file_server.h"
+#include "jobs/scheduler.h"
 #include "med/backup.h"
 #include "med/datalink_manager.h"
 #include "ops/engine.h"
@@ -40,6 +41,10 @@ class Archive {
     double session_timeout_seconds = 1800.0;
     /// Database persistence (empty = in-memory).
     db::DatabaseOptions db_options;
+    /// Batch job queue: quotas, retry/backoff and the journal path
+    /// (journal empty = queue is volatile). Recovery replays the journal
+    /// at construction and re-enqueues jobs that were in flight.
+    easia::jobs::SchedulerOptions job_options;
   };
 
   Archive() : Archive(Options()) {}
@@ -99,6 +104,7 @@ class Archive {
   med::BackupManager& backups() { return *backups_; }
   sim::Network& network() { return network_; }
   ops::OperationEngine& engine() { return *engine_; }
+  easia::jobs::JobScheduler& jobs() { return *jobs_; }
   web::ArchiveWebServer& web() { return *web_; }
   web::UserManager& users() { return users_; }
   web::SessionManager& sessions() { return *sessions_; }
@@ -114,6 +120,7 @@ class Archive {
   std::unique_ptr<med::DataLinkManager> med_;
   std::unique_ptr<med::BackupManager> backups_;
   std::unique_ptr<ops::OperationEngine> engine_;
+  std::unique_ptr<easia::jobs::JobScheduler> jobs_;
   web::UserManager users_;
   std::unique_ptr<web::SessionManager> sessions_;
   xuis::XuisRegistry xuis_;

@@ -1,0 +1,151 @@
+#include "jobs/job.h"
+
+#include "common/coding.h"
+
+namespace easia::jobs {
+
+std::string_view JobKindName(JobKind kind) {
+  switch (kind) {
+    case JobKind::kInvoke: return "op";
+    case JobKind::kChain: return "chain";
+    case JobKind::kMulti: return "multi";
+    case JobKind::kUploadedCode: return "upload";
+  }
+  return "?";
+}
+
+Result<JobKind> JobKindFromName(std::string_view name) {
+  if (name == "op" || name.empty()) return JobKind::kInvoke;
+  if (name == "chain") return JobKind::kChain;
+  if (name == "multi") return JobKind::kMulti;
+  if (name == "upload") return JobKind::kUploadedCode;
+  return Status::InvalidArgument("unknown job kind '" + std::string(name) +
+                                 "'");
+}
+
+std::string_view JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kSubmitted: return "submitted";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kFailed: return "failed";
+    case JobState::kRetrying: return "retrying";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kSucceeded || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+namespace {
+
+void PutStringVector(std::string* dst, const std::vector<std::string>& v) {
+  PutU32(dst, static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) PutLengthPrefixed(dst, s);
+}
+
+Result<std::vector<std::string>> GetStringVector(Decoder* dec) {
+  EASIA_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    EASIA_ASSIGN_OR_RETURN(std::string s, dec->GetLengthPrefixed());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string JobSpec::Encode() const {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(kind));
+  PutLengthPrefixed(&out, user);
+  PutU8(&out, is_guest ? 1 : 0);
+  PutLengthPrefixed(&out, session_id);
+  PutLengthPrefixed(&out, operation);
+  PutStringVector(&out, datasets);
+  PutU32(&out, static_cast<uint32_t>(params.size()));
+  for (const auto& [k, v] : params) {
+    PutLengthPrefixed(&out, k);
+    PutLengthPrefixed(&out, v);
+  }
+  PutU32(&out, static_cast<uint32_t>(priority));
+  PutDouble(&out, timeout_seconds);
+  PutU32(&out, max_attempts);
+  PutLengthPrefixed(&out, code);
+  PutLengthPrefixed(&out, entry_filename);
+  return out;
+}
+
+Result<JobSpec> JobSpec::Decode(std::string_view payload) {
+  Decoder dec(payload);
+  JobSpec spec;
+  EASIA_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+  if (kind < 1 || kind > 4) {
+    return Status::Corruption("job spec: bad kind");
+  }
+  spec.kind = static_cast<JobKind>(kind);
+  EASIA_ASSIGN_OR_RETURN(spec.user, dec.GetLengthPrefixed());
+  EASIA_ASSIGN_OR_RETURN(uint8_t guest, dec.GetU8());
+  spec.is_guest = guest != 0;
+  EASIA_ASSIGN_OR_RETURN(spec.session_id, dec.GetLengthPrefixed());
+  EASIA_ASSIGN_OR_RETURN(spec.operation, dec.GetLengthPrefixed());
+  EASIA_ASSIGN_OR_RETURN(spec.datasets, GetStringVector(&dec));
+  EASIA_ASSIGN_OR_RETURN(uint32_t n_params, dec.GetU32());
+  for (uint32_t i = 0; i < n_params; ++i) {
+    EASIA_ASSIGN_OR_RETURN(std::string k, dec.GetLengthPrefixed());
+    EASIA_ASSIGN_OR_RETURN(std::string v, dec.GetLengthPrefixed());
+    spec.params[std::move(k)] = std::move(v);
+  }
+  EASIA_ASSIGN_OR_RETURN(uint32_t priority, dec.GetU32());
+  spec.priority = static_cast<int32_t>(priority);
+  EASIA_ASSIGN_OR_RETURN(spec.timeout_seconds, dec.GetDouble());
+  EASIA_ASSIGN_OR_RETURN(spec.max_attempts, dec.GetU32());
+  EASIA_ASSIGN_OR_RETURN(spec.code, dec.GetLengthPrefixed());
+  EASIA_ASSIGN_OR_RETURN(spec.entry_filename, dec.GetLengthPrefixed());
+  return spec;
+}
+
+std::string JobEvent::Encode() const {
+  std::string out;
+  PutU64(&out, job_id);
+  PutU8(&out, static_cast<uint8_t>(state));
+  PutU32(&out, attempt);
+  PutDouble(&out, time);
+  PutDouble(&out, not_before);
+  PutLengthPrefixed(&out, error);
+  PutStringVector(&out, output_urls);
+  PutLengthPrefixed(&out,
+                    state == JobState::kSubmitted ? spec.Encode() : "");
+  return out;
+}
+
+Result<JobEvent> JobEvent::Decode(std::string_view payload) {
+  Decoder dec(payload);
+  JobEvent event;
+  EASIA_ASSIGN_OR_RETURN(event.job_id, dec.GetU64());
+  EASIA_ASSIGN_OR_RETURN(uint8_t state, dec.GetU8());
+  if (state < 1 || state > 6) {
+    return Status::Corruption("job event: bad state");
+  }
+  event.state = static_cast<JobState>(state);
+  EASIA_ASSIGN_OR_RETURN(event.attempt, dec.GetU32());
+  EASIA_ASSIGN_OR_RETURN(event.time, dec.GetDouble());
+  EASIA_ASSIGN_OR_RETURN(event.not_before, dec.GetDouble());
+  EASIA_ASSIGN_OR_RETURN(event.error, dec.GetLengthPrefixed());
+  EASIA_ASSIGN_OR_RETURN(event.output_urls, GetStringVector(&dec));
+  EASIA_ASSIGN_OR_RETURN(std::string spec_bytes, dec.GetLengthPrefixed());
+  if (event.state == JobState::kSubmitted) {
+    EASIA_ASSIGN_OR_RETURN(event.spec, JobSpec::Decode(spec_bytes));
+  }
+  if (!dec.Done()) {
+    return Status::Corruption("job event: trailing bytes");
+  }
+  return event;
+}
+
+}  // namespace easia::jobs

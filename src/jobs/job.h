@@ -1,0 +1,103 @@
+#ifndef EASIA_JOBS_JOB_H_
+#define EASIA_JOBS_JOB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fileserver/file_server.h"
+#include "ops/engine.h"
+
+namespace easia::jobs {
+
+using JobId = uint64_t;
+
+/// What a job executes when a worker picks it up. Mirrors the synchronous
+/// web entry points (/runop, /runchain, multi-dataset, /upload) so any
+/// interactive request can instead be queued (the paper's batch-file
+/// mechanism, decoupled from the servlet request).
+enum class JobKind : uint8_t {
+  kInvoke = 1,        // one operation over one dataset
+  kChain = 2,         // an <operationchain> over one dataset
+  kMulti = 3,         // one operation over several datasets
+  kUploadedCode = 4,  // user-uploaded EaScript over one dataset
+};
+
+std::string_view JobKindName(JobKind kind);
+Result<JobKind> JobKindFromName(std::string_view name);
+
+/// Job lifecycle. Terminal states are kSucceeded/kFailed/kCancelled;
+/// kRetrying means a failed attempt is waiting out its backoff window.
+enum class JobState : uint8_t {
+  kSubmitted = 1,
+  kRunning = 2,
+  kSucceeded = 3,
+  kFailed = 4,
+  kRetrying = 5,
+  kCancelled = 6,
+};
+
+std::string_view JobStateName(JobState state);
+bool IsTerminal(JobState state);
+
+/// Everything needed to (re-)execute a job, independent of in-memory
+/// pointers — specs are resolved by name at execution time so a journal
+/// replayed after a crash can re-run the job.
+struct JobSpec {
+  JobKind kind = JobKind::kInvoke;
+  std::string user = "guest";
+  bool is_guest = true;
+  std::string session_id;
+  std::string operation;  // kInvoke/kMulti: op name; kChain: chain name
+  std::vector<std::string> datasets;  // kMulti uses all, others use [0]
+  fs::HttpParams params;
+  int32_t priority = 0;           // higher runs first (guests clamped to 0)
+  double timeout_seconds = 0;     // 0 = no deadline
+  uint32_t max_attempts = 3;
+  std::string code;               // kUploadedCode: packaged source
+  std::string entry_filename;     // kUploadedCode: entry file in the bundle
+
+  std::string Encode() const;
+  static Result<JobSpec> Decode(std::string_view payload);
+};
+
+/// A queued job plus its runtime bookkeeping.
+struct Job {
+  JobId id = 0;
+  JobSpec spec;
+  JobState state = JobState::kSubmitted;
+  uint32_t attempts = 0;          // attempts started so far
+  double submitted_at = 0;
+  double not_before = 0;          // backoff gate (epoch seconds)
+  double deadline = 0;            // submitted_at + timeout (0 = none)
+  double finished_at = 0;
+  std::string error;              // last failure, human readable
+  std::vector<std::string> output_urls;
+  std::string output_text;
+  double exec_seconds = 0;
+  /// Engine stage events observed during the latest attempt
+  /// ("stage: detail" lines, exposed by /jobs/status).
+  std::vector<std::string> progress;
+};
+
+/// One persisted journal entry: a submission (carrying the full spec) or a
+/// state transition. Replaying the sequence rebuilds the queue.
+struct JobEvent {
+  JobId job_id = 0;
+  JobState state = JobState::kSubmitted;
+  uint32_t attempt = 0;
+  double time = 0;
+  double not_before = 0;          // meaningful for kRetrying
+  std::string error;
+  std::vector<std::string> output_urls;
+  JobSpec spec;                   // populated for kSubmitted events
+
+  std::string Encode() const;
+  static Result<JobEvent> Decode(std::string_view payload);
+};
+
+}  // namespace easia::jobs
+
+#endif  // EASIA_JOBS_JOB_H_

@@ -1,0 +1,133 @@
+#include "jobs/journal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace easia::jobs {
+
+Result<JobJournal> JobJournal::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::Internal("job journal: cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  return JobJournal(f);
+}
+
+JobJournal::JobJournal(JobJournal&& other) noexcept : file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+JobJournal& JobJournal::operator=(JobJournal&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+JobJournal::~JobJournal() { Close(); }
+
+void JobJournal::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status JobJournal::Append(const JobEvent& event) {
+  if (file_ == nullptr) return Status::Internal("job journal: closed");
+  std::string payload = event.Encode();
+  std::string frame;
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload));
+  frame += payload;
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::Internal("job journal: short write");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("job journal: flush failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<JobEvent>> ReadJournal(const std::string& path) {
+  std::vector<JobEvent> events;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return events;  // no journal yet
+  std::string contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  size_t pos = 0;
+  while (pos + 8 <= contents.size()) {
+    Decoder header(std::string_view(contents).substr(pos, 8));
+    uint32_t len = header.GetU32().value();
+    uint32_t crc = header.GetU32().value();
+    if (pos + 8 + len > contents.size()) break;  // torn tail
+    std::string_view payload =
+        std::string_view(contents).substr(pos + 8, len);
+    if (Crc32(payload) != crc) break;  // corrupt tail
+    Result<JobEvent> event = JobEvent::Decode(payload);
+    if (!event.ok()) break;
+    events.push_back(std::move(*event));
+    pos += 8 + len;
+  }
+  return events;
+}
+
+Result<RecoveredQueue> RecoverQueue(const std::string& path) {
+  EASIA_ASSIGN_OR_RETURN(std::vector<JobEvent> events, ReadJournal(path));
+  std::map<JobId, Job> jobs;  // ordered, so recovery is deterministic
+  for (const JobEvent& event : events) {
+    if (event.state == JobState::kSubmitted) {
+      Job job;
+      job.id = event.job_id;
+      job.spec = event.spec;
+      job.state = JobState::kSubmitted;
+      job.submitted_at = event.time;
+      job.not_before = event.not_before;
+      if (job.spec.timeout_seconds > 0) {
+        job.deadline = event.time + job.spec.timeout_seconds;
+      }
+      jobs[event.job_id] = std::move(job);
+      continue;
+    }
+    auto it = jobs.find(event.job_id);
+    if (it == jobs.end()) continue;  // transition without a submit record
+    Job& job = it->second;
+    job.state = event.state;
+    job.attempts = event.attempt;
+    job.not_before = event.not_before;
+    job.error = event.error;
+    if (IsTerminal(event.state)) {
+      job.finished_at = event.time;
+      job.output_urls = event.output_urls;
+    }
+  }
+  RecoveredQueue recovered;
+  for (auto& [id, job] : jobs) {
+    recovered.max_job_id = std::max(recovered.max_job_id, id);
+    if (IsTerminal(job.state)) {
+      recovered.finished.push_back(std::move(job));
+      continue;
+    }
+    if (job.state == JobState::kRunning) {
+      // Crash mid-execution: the attempt never finished, so it does not
+      // count against max_attempts on the restarted archive.
+      job.attempts = job.attempts > 0 ? job.attempts - 1 : 0;
+      job.not_before = 0;
+      job.state = JobState::kSubmitted;
+    }
+    recovered.pending.push_back(std::move(job));
+  }
+  return recovered;
+}
+
+}  // namespace easia::jobs

@@ -1,0 +1,59 @@
+#ifndef EASIA_JOBS_JOURNAL_H_
+#define EASIA_JOBS_JOURNAL_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "jobs/job.h"
+
+namespace easia::jobs {
+
+/// Persists every job state transition as a framed record
+/// (`u32 length, u32 crc32, payload`) — the same redo-log framing as
+/// `db::Wal` — so a crashed archive can rebuild its queue on restart.
+/// A torn final record (crash mid-write) is tolerated by the reader.
+class JobJournal {
+ public:
+  static Result<JobJournal> Open(const std::string& path);
+
+  JobJournal(JobJournal&& other) noexcept;
+  JobJournal& operator=(JobJournal&& other) noexcept;
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+  ~JobJournal();
+
+  /// Appends and flushes one event (every transition is durable before it
+  /// is visible, so recovery never loses an acknowledged submission).
+  Status Append(const JobEvent& event);
+  void Close();
+
+ private:
+  explicit JobJournal(std::FILE* file) : file_(file) {}
+  std::FILE* file_ = nullptr;
+};
+
+/// Reads every intact event from a journal file; stops silently at the
+/// first torn or corrupt frame (standard redo-log semantics).
+Result<std::vector<JobEvent>> ReadJournal(const std::string& path);
+
+/// The queue state reconstructed from a journal replay.
+struct RecoveredQueue {
+  /// Jobs whose last event is non-terminal — kSubmitted, kRetrying and
+  /// (crash while executing) kRunning — to be re-enqueued and re-run.
+  std::vector<Job> pending;
+  /// Jobs that had already finished, kept for /jobs/status history.
+  std::vector<Job> finished;
+  JobId max_job_id = 0;
+};
+
+/// Replays a journal into the latest state per job. Jobs last seen
+/// kRunning are treated as never started (attempt counter rolled back) so
+/// the restarted archive re-runs them to completion.
+Result<RecoveredQueue> RecoverQueue(const std::string& path);
+
+}  // namespace easia::jobs
+
+#endif  // EASIA_JOBS_JOURNAL_H_

@@ -1,0 +1,224 @@
+#include "jobs/queue.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace easia::jobs {
+
+size_t JobQueue::OpenCountForUserLocked(const std::string& user) const {
+  size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.spec.user == user && !IsTerminal(job.state)) ++n;
+  }
+  return n;
+}
+
+size_t JobQueue::RunningCountForUserLocked(const std::string& user) const {
+  size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.spec.user == user && job.state == JobState::kRunning) ++n;
+  }
+  return n;
+}
+
+Result<Job> JobQueue::Submit(JobSpec spec, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t open = 0;
+  size_t open_for_user = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (IsTerminal(job.state)) continue;
+    ++open;
+    if (job.spec.user == spec.user) ++open_for_user;
+  }
+  if (open >= limits_.max_open_jobs) {
+    return Status::ResourceExhausted("job queue is full");
+  }
+  size_t quota = spec.is_guest ? limits_.guest_queued : limits_.user_queued;
+  if (open_for_user >= quota) {
+    return Status::ResourceExhausted(
+        StrPrintf("user '%s' already has %zu open jobs (quota %zu)",
+                  spec.user.c_str(), open_for_user, quota));
+  }
+  if (spec.is_guest && spec.priority > 0) spec.priority = 0;
+  if (spec.max_attempts == 0) spec.max_attempts = 1;
+  Job job;
+  job.id = next_id_++;
+  job.spec = std::move(spec);
+  job.state = JobState::kSubmitted;
+  job.submitted_at = now;
+  if (job.spec.timeout_seconds > 0) {
+    job.deadline = now + job.spec.timeout_seconds;
+  }
+  Job copy = job;
+  jobs_[job.id] = std::move(job);
+  return copy;
+}
+
+void JobQueue::Restore(Job job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_id_ = std::max(next_id_, job.id + 1);
+  jobs_[job.id] = std::move(job);
+}
+
+std::optional<Job> JobQueue::ClaimNext(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Job* best = nullptr;
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::kSubmitted &&
+        job.state != JobState::kRetrying) {
+      continue;
+    }
+    if (job.not_before > now) continue;
+    size_t cap = job.spec.is_guest ? limits_.guest_concurrent
+                                   : limits_.user_concurrent;
+    if (RunningCountForUserLocked(job.spec.user) >= cap) continue;
+    // Highest priority wins; the map iterates in id order, so within a
+    // priority band the earliest submission wins.
+    if (best == nullptr || job.spec.priority > best->spec.priority) {
+      best = &job;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  best->state = JobState::kRunning;
+  ++best->attempts;
+  best->progress.clear();
+  return *best;
+}
+
+std::vector<Job> JobQueue::ExpireDeadlines(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Job> expired;
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::kSubmitted &&
+        job.state != JobState::kRetrying) {
+      continue;
+    }
+    if (job.deadline > 0 && now > job.deadline) {
+      job.state = JobState::kFailed;
+      job.finished_at = now;
+      job.error = StrPrintf("deadline exceeded (timeout %.0fs)",
+                            job.spec.timeout_seconds);
+      expired.push_back(job);
+    }
+  }
+  return expired;
+}
+
+Result<Job> JobQueue::MarkSucceeded(JobId id, double now,
+                                    std::vector<std::string> output_urls,
+                                    std::string output_text,
+                                    double exec_seconds,
+                                    std::vector<std::string> progress) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("no such job");
+  Job& job = it->second;
+  job.state = JobState::kSucceeded;
+  job.finished_at = now;
+  job.error.clear();
+  job.output_urls = std::move(output_urls);
+  job.output_text = std::move(output_text);
+  job.exec_seconds = exec_seconds;
+  job.progress = std::move(progress);
+  return job;
+}
+
+Result<Job> JobQueue::MarkFailed(JobId id, double now,
+                                 const std::string& error,
+                                 std::vector<std::string> progress) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("no such job");
+  Job& job = it->second;
+  job.state = JobState::kFailed;
+  job.finished_at = now;
+  job.error = error;
+  job.progress = std::move(progress);
+  return job;
+}
+
+Result<Job> JobQueue::MarkRetrying(JobId id, double now, double not_before,
+                                   const std::string& error) {
+  (void)now;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("no such job");
+  Job& job = it->second;
+  job.state = JobState::kRetrying;
+  job.not_before = not_before;
+  job.error = error;
+  return job;
+}
+
+Result<Job> JobQueue::Cancel(JobId id, const std::string& user,
+                             bool is_admin, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("no such job");
+  Job& job = it->second;
+  if (!is_admin && job.spec.user != user) {
+    return Status::PermissionDenied("job belongs to another user");
+  }
+  if (IsTerminal(job.state)) {
+    return Status::FailedPrecondition(
+        "job already " + std::string(JobStateName(job.state)));
+  }
+  if (job.state == JobState::kRunning) {
+    return Status::FailedPrecondition("job is running and cannot be killed");
+  }
+  job.state = JobState::kCancelled;
+  job.finished_at = now;
+  return job;
+}
+
+Result<Job> JobQueue::Get(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("no such job");
+  return it->second;
+}
+
+std::vector<Job> JobQueue::List(const std::string& user,
+                                bool all_users) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Job> out;
+  for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+    if (all_users || it->second.spec.user == user) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+std::optional<double> JobQueue::NextRetryTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<double> earliest;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRetrying) continue;
+    if (!earliest.has_value() || job.not_before < *earliest) {
+      earliest = job.not_before;
+    }
+  }
+  return earliest;
+}
+
+size_t JobQueue::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (!IsTerminal(job.state)) ++n;
+  }
+  return n;
+}
+
+size_t JobQueue::running_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kRunning) ++n;
+  }
+  return n;
+}
+
+}  // namespace easia::jobs

@@ -1,0 +1,92 @@
+#ifndef EASIA_JOBS_QUEUE_H_
+#define EASIA_JOBS_QUEUE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "jobs/job.h"
+
+namespace easia::jobs {
+
+/// Per-user admission limits. Guests get fewer slots than authorised
+/// users (the paper's guest restrictions, applied to batch capacity).
+struct QueueLimits {
+  size_t guest_concurrent = 1;   // running jobs per guest user
+  size_t user_concurrent = 4;    // running jobs per authorised user
+  size_t guest_queued = 4;       // open (non-terminal) jobs per guest
+  size_t user_queued = 64;       // open jobs per authorised user
+  size_t max_open_jobs = 4096;   // archive-wide backstop
+};
+
+/// Thread-safe priority job queue. Holds every job the archive has seen
+/// (pending, running and finished) so `/jobs/status` can answer for
+/// completed ids; ordering is highest priority first, FIFO within a
+/// priority band (job ids are monotonic). Jobs in backoff (kRetrying with
+/// a future `not_before`) and users at their concurrency cap are skipped
+/// by `ClaimNext`, not blocked on.
+class JobQueue {
+ public:
+  explicit JobQueue(QueueLimits limits = {}) : limits_(limits) {}
+
+  /// Admits a job (quota-checked) and assigns its id. Guest priorities are
+  /// clamped to 0 so guests cannot jump the queue.
+  Result<Job> Submit(JobSpec spec, double now);
+
+  /// Re-admits a journal-recovered job verbatim (no quota check; the
+  /// submission was already accepted before the crash).
+  void Restore(Job job);
+
+  /// Claims the best eligible job: marks it kRunning, bumps its attempt
+  /// counter and returns a copy. Eligibility: state kSubmitted/kRetrying,
+  /// `not_before` reached, owner under their concurrency cap.
+  std::optional<Job> ClaimNext(double now);
+
+  /// Fails every queued job whose deadline has passed; returns the jobs
+  /// transitioned (for journaling).
+  std::vector<Job> ExpireDeadlines(double now);
+
+  /// Terminal transitions for a previously claimed job.
+  Result<Job> MarkSucceeded(JobId id, double now,
+                            std::vector<std::string> output_urls,
+                            std::string output_text, double exec_seconds,
+                            std::vector<std::string> progress);
+  Result<Job> MarkFailed(JobId id, double now, const std::string& error,
+                         std::vector<std::string> progress);
+  /// Failed attempt with budget left: park until `not_before`.
+  Result<Job> MarkRetrying(JobId id, double now, double not_before,
+                           const std::string& error);
+
+  /// Cancels a queued or retrying job. Running jobs cannot be cancelled
+  /// (execution is already on a worker); terminal jobs are left alone.
+  Result<Job> Cancel(JobId id, const std::string& user, bool is_admin,
+                     double now);
+
+  Result<Job> Get(JobId id) const;
+  /// Jobs owned by `user` (or every job when `all_users`), newest first.
+  std::vector<Job> List(const std::string& user, bool all_users) const;
+
+  /// Earliest `not_before` among backoff-parked jobs (for deterministic
+  /// drivers to know how far to advance the clock); nullopt if none.
+  std::optional<double> NextRetryTime() const;
+
+  size_t open_count() const;     // non-terminal jobs
+  size_t running_count() const;
+
+ private:
+  size_t OpenCountForUserLocked(const std::string& user) const;
+  size_t RunningCountForUserLocked(const std::string& user) const;
+
+  mutable std::mutex mu_;
+  QueueLimits limits_;
+  JobId next_id_ = 1;
+  std::map<JobId, Job> jobs_;
+};
+
+}  // namespace easia::jobs
+
+#endif  // EASIA_JOBS_QUEUE_H_

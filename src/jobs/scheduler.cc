@@ -1,0 +1,339 @@
+#include "jobs/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace easia::jobs {
+
+namespace {
+
+/// Failures worth another attempt: transient infrastructure trouble.
+/// Permission, validation and not-found errors fail permanently.
+bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kInternal:
+    case StatusCode::kAborted:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+JobEvent EventFrom(const Job& job, double time) {
+  JobEvent event;
+  event.job_id = job.id;
+  event.state = job.state;
+  event.attempt = job.attempts;
+  event.time = time;
+  event.not_before = job.not_before;
+  event.error = job.error;
+  if (IsTerminal(job.state)) event.output_urls = job.output_urls;
+  if (job.state == JobState::kSubmitted) event.spec = job.spec;
+  return event;
+}
+
+/// Operation specs are declared per column; search the whole XUIS the way
+/// the web front end does.
+const xuis::OperationSpec* FindOperation(const xuis::XuisSpec& spec,
+                                         const std::string& name) {
+  for (const xuis::XuisTable& table : spec.tables) {
+    for (const xuis::XuisColumn& col : table.columns) {
+      for (const xuis::OperationSpec& op : col.operations) {
+        if (op.name == name) return &op;
+      }
+    }
+  }
+  return nullptr;
+}
+
+struct FoundChain {
+  const xuis::XuisColumn* column = nullptr;
+  const xuis::OperationChainSpec* chain = nullptr;
+};
+
+FoundChain FindChain(const xuis::XuisSpec& spec, const std::string& name) {
+  FoundChain found;
+  for (const xuis::XuisTable& table : spec.tables) {
+    for (const xuis::XuisColumn& col : table.columns) {
+      if (const xuis::OperationChainSpec* chain = col.FindChain(name)) {
+        found.column = &col;
+        found.chain = chain;
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+JobScheduler::JobScheduler(ops::OperationEngine* engine,
+                           const xuis::XuisRegistry* xuis, const Clock* clock,
+                           SchedulerOptions options)
+    : engine_(engine),
+      xuis_(xuis),
+      clock_(clock),
+      options_(std::move(options)),
+      queue_(options_.limits),
+      rng_(options_.jitter_seed) {
+  if (!options_.journal_path.empty()) {
+    Result<JobJournal> journal = JobJournal::Open(options_.journal_path);
+    if (journal.ok()) journal_ = std::move(*journal);
+  }
+}
+
+JobScheduler::~JobScheduler() { Stop(); }
+
+void JobScheduler::Journal(const Job& job) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (journal_.has_value()) {
+    (void)journal_->Append(EventFrom(job, clock_->Now()));
+  }
+}
+
+Result<size_t> JobScheduler::Recover() {
+  if (options_.journal_path.empty()) return size_t{0};
+  EASIA_ASSIGN_OR_RETURN(RecoveredQueue recovered,
+                         RecoverQueue(options_.journal_path));
+  for (Job& job : recovered.finished) queue_.Restore(std::move(job));
+  for (Job& job : recovered.pending) queue_.Restore(std::move(job));
+  return recovered.pending.size();
+}
+
+Result<Job> JobScheduler::Submit(JobSpec spec) {
+  EASIA_ASSIGN_OR_RETURN(Job job, queue_.Submit(std::move(spec),
+                                                clock_->Now()));
+  Journal(job);
+  return job;
+}
+
+Result<Job> JobScheduler::Cancel(JobId id, const std::string& user,
+                                 bool is_admin) {
+  EASIA_ASSIGN_OR_RETURN(Job job,
+                         queue_.Cancel(id, user, is_admin, clock_->Now()));
+  Journal(job);
+  return job;
+}
+
+double JobScheduler::BackoffDelay(uint32_t attempt) {
+  double delay = options_.backoff_base_seconds;
+  for (uint32_t i = 1; i < attempt && delay < options_.backoff_max_seconds;
+       ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.backoff_max_seconds);
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return delay * (1.0 + options_.backoff_jitter * rng_.NextDouble());
+}
+
+Result<ops::OperationResult> JobScheduler::Dispatch(
+    const Job& job, std::vector<std::string>* progress) {
+  const JobSpec& spec = job.spec;
+  if (spec.datasets.empty()) {
+    return Status::InvalidArgument("job has no dataset");
+  }
+  const xuis::XuisSpec& user_spec = xuis_->For(spec.user);
+  ops::InvocationContext ctx;
+  ctx.user = spec.user;
+  ctx.is_guest = spec.is_guest;
+  ctx.session_id =
+      spec.session_id.empty() ? StrPrintf("job%llu",
+                                          static_cast<unsigned long long>(
+                                              job.id))
+                              : spec.session_id;
+
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  engine_->set_progress_listener([progress](const ops::ProgressEvent& e) {
+    progress->push_back(std::string(ops::ProgressStageName(e.stage)) + ": " +
+                        e.operation +
+                        (e.detail.empty() ? "" : " (" + e.detail + ")"));
+  });
+  Result<ops::OperationResult> result = [&]() -> Result<ops::OperationResult> {
+    switch (spec.kind) {
+      case JobKind::kInvoke: {
+        const xuis::OperationSpec* op = FindOperation(user_spec,
+                                                      spec.operation);
+        if (op == nullptr) {
+          return Status::NotFound("no such operation: " + spec.operation);
+        }
+        return engine_->Invoke(*op, spec.datasets[0], spec.params, ctx);
+      }
+      case JobKind::kChain: {
+        FoundChain found = FindChain(user_spec, spec.operation);
+        if (found.chain == nullptr) {
+          return Status::NotFound("no such operation chain: " +
+                                  spec.operation);
+        }
+        if (ctx.is_guest && !found.chain->guest_access) {
+          return Status::PermissionDenied("chain not available to guests");
+        }
+        std::vector<ops::ChainStep> steps;
+        for (const std::string& step_name : found.chain->step_operations) {
+          const xuis::OperationSpec* op =
+              found.column->FindOperation(step_name);
+          if (op == nullptr) {
+            return Status::Internal("chain step missing: " + step_name);
+          }
+          ops::ChainStep step;
+          step.op = op;
+          for (const auto& [key, value] : spec.params) {
+            if (StartsWith(key, step_name + ".")) {
+              step.params[key.substr(step_name.size() + 1)] = value;
+            }
+          }
+          steps.push_back(std::move(step));
+        }
+        EASIA_ASSIGN_OR_RETURN(
+            std::vector<ops::OperationResult> results,
+            engine_->InvokeChain(steps, spec.datasets[0], ctx));
+        // Flatten the chain into one result: every step's outputs stay
+        // downloadable, the text concatenates per-step output.
+        ops::OperationResult merged;
+        for (size_t i = 0; i < results.size(); ++i) {
+          merged.host = results[i].host;
+          merged.exec_seconds += results[i].exec_seconds;
+          merged.input_bytes += results[i].input_bytes;
+          merged.output_bytes += results[i].output_bytes;
+          merged.output.text += StrPrintf(
+              "== step %zu: %s ==\n%s", i + 1,
+              found.chain->step_operations[i].c_str(),
+              results[i].output.text.c_str());
+          for (const std::string& url : results[i].output_urls) {
+            merged.output_urls.push_back(url);
+          }
+        }
+        return merged;
+      }
+      case JobKind::kMulti: {
+        const xuis::OperationSpec* op = FindOperation(user_spec,
+                                                      spec.operation);
+        if (op == nullptr) {
+          return Status::NotFound("no such operation: " + spec.operation);
+        }
+        EASIA_ASSIGN_OR_RETURN(
+            ops::OperationEngine::MultiResult multi,
+            engine_->InvokeMulti(*op, spec.datasets, spec.params, ctx));
+        ops::OperationResult merged;
+        merged.exec_seconds = multi.makespan_seconds;
+        merged.output.text = StrPrintf(
+            "%zu datasets, makespan %.3fs (serial %.3fs)\n",
+            multi.results.size(), multi.makespan_seconds,
+            multi.serial_seconds);
+        for (const ops::OperationResult& r : multi.results) {
+          merged.host = r.host;
+          merged.input_bytes += r.input_bytes;
+          merged.output_bytes += r.output_bytes;
+          for (const std::string& url : r.output_urls) {
+            merged.output_urls.push_back(url);
+          }
+        }
+        return merged;
+      }
+      case JobKind::kUploadedCode: {
+        const xuis::XuisColumn* col =
+            user_spec.FindColumnById(spec.operation);
+        if (col == nullptr || !col->upload.has_value()) {
+          return Status::NotFound("no upload column " + spec.operation);
+        }
+        return engine_->RunUploadedCode(
+            *col->upload, spec.code,
+            spec.entry_filename.empty() ? "main.ea" : spec.entry_filename,
+            spec.datasets[0], spec.params, ctx);
+      }
+    }
+    return Status::Internal("unknown job kind");
+  }();
+  engine_->set_progress_listener(nullptr);
+  return result;
+}
+
+void JobScheduler::Execute(Job job) {
+  Journal(job);  // kRunning transition (attempt counter already bumped)
+  std::vector<std::string> progress;
+  Result<ops::OperationResult> result = Dispatch(job, &progress);
+  double now = clock_->Now();
+  executed_.fetch_add(1);
+  if (result.ok() && job.deadline > 0 && now > job.deadline) {
+    result = Status::Aborted(StrPrintf(
+        "completed after its deadline (timeout %.0fs)",
+        job.spec.timeout_seconds));
+  }
+  if (result.ok()) {
+    Result<Job> done = queue_.MarkSucceeded(
+        job.id, now, std::move(result->output_urls),
+        std::move(result->output.text), result->exec_seconds,
+        std::move(progress));
+    if (done.ok()) {
+      succeeded_.fetch_add(1);
+      Journal(*done);
+    }
+    return;
+  }
+  const Status& error = result.status();
+  bool budget_left = job.attempts < job.spec.max_attempts;
+  bool deadline_ok = job.deadline == 0 || now <= job.deadline;
+  if (IsRetryable(error) && budget_left && deadline_ok) {
+    double not_before = now + BackoffDelay(job.attempts);
+    Result<Job> parked =
+        queue_.MarkRetrying(job.id, now, not_before, error.ToString());
+    if (parked.ok()) {
+      retries_.fetch_add(1);
+      Journal(*parked);
+    }
+    return;
+  }
+  Result<Job> failed =
+      queue_.MarkFailed(job.id, now, error.ToString(), std::move(progress));
+  if (failed.ok()) {
+    failed_.fetch_add(1);
+    Journal(*failed);
+  }
+}
+
+bool JobScheduler::StepOne() {
+  double now = clock_->Now();
+  for (const Job& expired : queue_.ExpireDeadlines(now)) {
+    failed_.fetch_add(1);
+    Journal(expired);
+  }
+  std::optional<Job> job = queue_.ClaimNext(now);
+  if (!job.has_value()) return false;
+  Execute(std::move(*job));
+  return true;
+}
+
+size_t JobScheduler::RunPending() {
+  size_t n = 0;
+  while (StepOne()) ++n;
+  return n;
+}
+
+void JobScheduler::WorkerLoop() {
+  while (!stop_.load()) {
+    if (!StepOne()) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.worker_poll_seconds));
+    }
+  }
+}
+
+void JobScheduler::Start(size_t workers) {
+  if (!workers_.empty()) return;
+  stop_.store(false);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void JobScheduler::Stop() {
+  stop_.store(true);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace easia::jobs

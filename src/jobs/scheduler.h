@@ -1,0 +1,127 @@
+#ifndef EASIA_JOBS_SCHEDULER_H_
+#define EASIA_JOBS_SCHEDULER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "jobs/journal.h"
+#include "jobs/queue.h"
+#include "ops/engine.h"
+#include "xuis/customize.h"
+
+namespace easia::jobs {
+
+/// Retry/backoff and worker tuning.
+struct SchedulerOptions {
+  QueueLimits limits;
+  /// Backoff before retry k (1-based) is
+  /// `base * 2^(k-1) * (1 + jitter * u)`, u ~ U[0,1), capped at `max`.
+  double backoff_base_seconds = 1.0;
+  double backoff_max_seconds = 60.0;
+  double backoff_jitter = 0.25;
+  uint64_t jitter_seed = 0x6a6f6273ULL;  // deterministic across runs
+  /// Journal path; empty disables persistence (and crash recovery).
+  std::string journal_path;
+  /// Threaded-mode poll interval while the queue is empty.
+  double worker_poll_seconds = 0.001;
+};
+
+/// Drains the JobQueue and calls into ops::OperationEngine. Two modes:
+///
+///  - deterministic: the caller single-steps with `StepOne`/`RunPending`
+///    on its own thread, driving time through a ManualClock — tests and
+///    benches get identical results across runs;
+///  - threaded: `Start(n)` spawns n std::thread workers that poll the
+///    queue; `Stop()` drains and joins.
+///
+/// The OperationEngine is not thread-safe, so workers serialise engine
+/// execution behind a mutex: submission is decoupled from execution (the
+/// point of the subsystem), execution itself is sequential.
+class JobScheduler {
+ public:
+  JobScheduler(ops::OperationEngine* engine, const xuis::XuisRegistry* xuis,
+               const Clock* clock, SchedulerOptions options = {});
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Replays the journal (if configured): re-enqueues every job that was
+  /// submitted/running/retrying at crash time, restores finished history.
+  /// Returns the number of jobs re-enqueued.
+  Result<size_t> Recover();
+
+  /// Admits a job and journals the submission. Returns immediately with
+  /// the accepted job (workers pick it up later).
+  Result<Job> Submit(JobSpec spec);
+
+  /// Cancels a queued/retrying job (journaled).
+  Result<Job> Cancel(JobId id, const std::string& user, bool is_admin);
+
+  // --- Deterministic mode --------------------------------------------------
+
+  /// Expires overdue deadlines, then claims and executes one eligible job
+  /// on the calling thread. Returns false when nothing was runnable.
+  bool StepOne();
+
+  /// Steps until no job is eligible at the current clock time (jobs in
+  /// backoff stay parked — advance the ManualClock and call again).
+  /// Returns the number of jobs executed.
+  size_t RunPending();
+
+  // --- Threaded mode -------------------------------------------------------
+
+  void Start(size_t workers);
+  void Stop();
+  bool running() const { return !workers_.empty(); }
+
+  // --- Introspection -------------------------------------------------------
+
+  JobQueue& queue() { return queue_; }
+  const JobQueue& queue() const { return queue_; }
+  /// Executed-job counters (successes include every terminal success).
+  uint64_t executed() const { return executed_.load(); }
+  uint64_t succeeded() const { return succeeded_.load(); }
+  uint64_t failed() const { return failed_.load(); }
+  uint64_t retries() const { return retries_.load(); }
+
+ private:
+  void WorkerLoop();
+  /// Runs one claimed job to a terminal or retrying state.
+  void Execute(Job job);
+  Result<ops::OperationResult> Dispatch(const Job& job,
+                                        std::vector<std::string>* progress);
+  void Journal(const Job& job);
+  double BackoffDelay(uint32_t attempt);
+
+  ops::OperationEngine* engine_;
+  const xuis::XuisRegistry* xuis_;
+  const Clock* clock_;
+  SchedulerOptions options_;
+  JobQueue queue_;
+
+  std::mutex engine_mu_;   // serialises OperationEngine access
+  std::mutex journal_mu_;
+  std::optional<JobJournal> journal_;
+  std::mutex rng_mu_;
+  Random rng_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> succeeded_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> retries_{0};
+};
+
+}  // namespace easia::jobs
+
+#endif  // EASIA_JOBS_SCHEDULER_H_

@@ -71,6 +71,43 @@ OperationEngine::OperationEngine(db::Database* database,
       network_(network),
       natives_(NativeRegistry::BuiltIns()) {}
 
+void OperationEngine::set_cache_capacity(size_t capacity) {
+  cache_capacity_ = capacity;
+  while (cache_index_.size() > cache_capacity_ && !cache_lru_.empty()) {
+    ++stats_[cache_lru_.back().stats_key].cache_evictions;
+    ++cache_evictions_;
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+  }
+}
+
+const OperationResult* OperationEngine::CacheLookup(const std::string& key) {
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) return nullptr;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  return &cache_lru_.front().result;
+}
+
+void OperationEngine::CacheInsert(const std::string& stats_key,
+                                  const std::string& key,
+                                  const OperationResult& result) {
+  if (cache_capacity_ == 0) return;
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    it->second->result = result;
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  if (cache_index_.size() >= cache_capacity_) {
+    ++stats_[cache_lru_.back().stats_key].cache_evictions;
+    ++cache_evictions_;
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+  }
+  cache_lru_.push_front(CacheEntry{key, stats_key, result});
+  cache_index_[key] = cache_lru_.begin();
+}
+
 std::string OperationEngine::CacheKey(const std::string& op_name,
                                       const std::string& dataset_url,
                                       const fs::HttpParams& params) const {
@@ -146,7 +183,7 @@ Result<OperationResult> OperationEngine::FinishResult(
   stats.total_input_bytes += result.input_bytes;
   stats.total_output_bytes += result.output_bytes;
   if (caching_ && !cache_key.empty()) {
-    cache_[cache_key] = result;
+    CacheInsert(stats_key, cache_key, result);
   }
   return result;
 }
@@ -236,9 +273,8 @@ Result<OperationResult> OperationEngine::InvokeInternal(
   }
   std::string cache_key = CacheKey(op.name, dataset_url, params);
   if (caching_) {
-    auto it = cache_.find(cache_key);
-    if (it != cache_.end()) {
-      OperationResult hit = it->second;
+    if (const OperationResult* cached = CacheLookup(cache_key)) {
+      OperationResult hit = *cached;
       hit.cache_hit = true;
       OperationStats& stats = stats_[op.name];
       ++stats.invocations;

@@ -1,8 +1,10 @@
 #ifndef EASIA_OPS_ENGINE_H_
 #define EASIA_OPS_ENGINE_H_
 
+#include <list>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -27,6 +29,7 @@ struct InvocationContext {
 struct OperationStats {
   uint64_t invocations = 0;
   uint64_t cache_hits = 0;
+  uint64_t cache_evictions = 0;
   uint64_t failures = 0;
   double total_exec_seconds = 0;
   uint64_t total_input_bytes = 0;
@@ -88,7 +91,10 @@ class OperationEngine {
                   sim::Network* network = nullptr);
 
   /// Results caching (paper future work: "caching operations results").
+  /// The cache is an LRU bounded by `set_cache_capacity` entries so a
+  /// busy archive cannot grow it without limit.
   void set_caching(bool enabled) { caching_ = enabled; }
+  void set_cache_capacity(size_t capacity);
   script::SandboxLimits& sandbox_limits() { return sandbox_limits_; }
   NativeRegistry& natives() { return natives_; }
 
@@ -139,7 +145,9 @@ class OperationEngine {
   const std::map<std::string, OperationStats>& stats() const {
     return stats_;
   }
-  size_t cache_size() const { return cache_.size(); }
+  size_t cache_size() const { return cache_index_.size(); }
+  size_t cache_capacity() const { return cache_capacity_; }
+  uint64_t cache_evictions() const { return cache_evictions_; }
 
  private:
   /// Resolves a database.result location to the code file's bytes.
@@ -169,13 +177,31 @@ class OperationEngine {
                                          const fs::HttpParams& params,
                                          const InvocationContext& ctx);
 
+  /// One LRU slot: `stats_key` attributes evictions to the operation that
+  /// populated the entry.
+  struct CacheEntry {
+    std::string key;
+    std::string stats_key;
+    OperationResult result;
+  };
+
+  /// Returns the cached result for `key` (promoted to most-recent), or
+  /// nullptr. Inserting evicts the least-recently-used entry at capacity.
+  const OperationResult* CacheLookup(const std::string& key);
+  void CacheInsert(const std::string& stats_key, const std::string& key,
+                   const OperationResult& result);
+
   db::Database* database_;
   fs::FileServerFleet* fleet_;
   sim::Network* network_;
   NativeRegistry natives_;
   script::SandboxLimits sandbox_limits_;
   bool caching_ = false;
-  std::map<std::string, OperationResult> cache_;
+  std::list<CacheEntry> cache_lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator>
+      cache_index_;
+  size_t cache_capacity_ = 256;
+  uint64_t cache_evictions_ = 0;
   std::map<std::string, OperationStats> stats_;
   ProgressListener progress_;
 };

@@ -47,6 +47,11 @@ HttpResponse ArchiveWebServer::Handle(const HttpRequest& request) {
   if (request.path == "/runop") return HandleRunOp(request, session);
   if (request.path == "/runchain") return HandleRunChain(request, session);
   if (request.path == "/upload") return HandleUpload(request, session);
+  if (request.path == "/jobs/submit") return HandleJobSubmit(request, session);
+  if (request.path == "/jobs/status") return HandleJobStatus(request, session);
+  if (request.path == "/jobs/list") return HandleJobList(session);
+  if (request.path == "/jobs/cancel") return HandleJobCancel(request, session);
+  if (request.path == "/stats") return HandleStats(session);
   if (StartsWith(request.path, "/users")) return HandleUsers(request, session);
   return Error(404, "no such page: " + request.path);
 }
@@ -443,6 +448,258 @@ HttpResponse ArchiveWebServer::HandleUpload(const HttpRequest& request,
     w.Close();
   }
   w.Close();
+  w.Raw(PageFooter());
+  HttpResponse resp;
+  resp.body = w.Finish();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleJobSubmit(const HttpRequest& request,
+                                               const Session& session) {
+  if (deps_.jobs == nullptr) return Error(503, "job queue not configured");
+  jobs::JobSpec spec;
+  Result<jobs::JobKind> kind =
+      jobs::JobKindFromName(ParamOr(request.params, "kind"));
+  if (!kind.ok()) return Error(400, kind.status().ToString());
+  spec.kind = *kind;
+  spec.user = session.user.name;
+  spec.is_guest = session.user.IsGuest();
+  spec.session_id = session.id;
+  std::string datasets = ParamOr(request.params, "dataset");
+  spec.datasets = SplitAndTrim(datasets, ',');
+  if (spec.datasets.empty()) return Error(400, "missing dataset");
+  const xuis::XuisSpec& xspec = deps_.xuis->For(session.user.name);
+  switch (spec.kind) {
+    case jobs::JobKind::kInvoke:
+    case jobs::JobKind::kMulti: {
+      spec.operation = ParamOr(request.params, "op");
+      const xuis::OperationSpec* op = FindOperation(xspec, spec.operation);
+      if (op == nullptr) return Error(404, "no such operation");
+      if (session.user.IsGuest() && !op->guest_access) {
+        return Error(403, "operation not available to guests");
+      }
+      break;
+    }
+    case jobs::JobKind::kChain:
+      spec.operation = ParamOr(request.params, "chain");
+      if (spec.operation.empty()) return Error(400, "missing chain");
+      break;
+    case jobs::JobKind::kUploadedCode: {
+      if (!session.user.CanUploadCode()) {
+        return Error(403, "code upload is not available to guest users");
+      }
+      spec.operation = ParamOr(request.params, "table") + "." +
+                       ParamOr(request.params, "column");
+      spec.code = ParamOr(request.params, "code");
+      if (spec.code.empty()) return Error(400, "missing code");
+      spec.entry_filename =
+          ParamOr(request.params, "filename", "main.ea");
+      break;
+    }
+  }
+  Result<int64_t> priority =
+      ParseInt64(ParamOr(request.params, "priority", "0"));
+  if (priority.ok()) spec.priority = static_cast<int32_t>(*priority);
+  Result<int64_t> timeout =
+      ParseInt64(ParamOr(request.params, "timeout", "0"));
+  if (timeout.ok()) spec.timeout_seconds = static_cast<double>(*timeout);
+  Result<int64_t> attempts =
+      ParseInt64(ParamOr(request.params, "attempts", "3"));
+  if (attempts.ok() && *attempts > 0) {
+    spec.max_attempts = static_cast<uint32_t>(*attempts);
+  }
+  for (const auto& [key, value] : request.params) {
+    if (key == "kind" || key == "op" || key == "chain" || key == "dataset" ||
+        key == "priority" || key == "timeout" || key == "attempts" ||
+        key == "code" || key == "filename" || key == "table" ||
+        key == "column") {
+      continue;
+    }
+    spec.params[key] = value;
+  }
+  Result<jobs::Job> job = deps_.jobs->Submit(std::move(spec));
+  if (!job.ok()) {
+    int status = job.status().IsResourceExhausted() ? 429 : 400;
+    return Error(status, job.status().ToString());
+  }
+  // Plain text, like /login: the caller polls /jobs/status?id=<this>.
+  HttpResponse resp;
+  resp.content_type = "text/plain";
+  resp.body = StrPrintf("%llu", static_cast<unsigned long long>(job->id));
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleJobStatus(const HttpRequest& request,
+                                               const Session& session) {
+  if (deps_.jobs == nullptr) return Error(503, "job queue not configured");
+  Result<int64_t> id = ParseInt64(ParamOr(request.params, "id"));
+  if (!id.ok()) return Error(400, "missing or bad job id");
+  Result<jobs::Job> job =
+      deps_.jobs->queue().Get(static_cast<jobs::JobId>(*id));
+  if (!job.ok()) return Error(404, job.status().ToString());
+  if (!session.user.CanManageUsers() &&
+      job->spec.user != session.user.name) {
+    return Error(403, "job belongs to another user");
+  }
+  HtmlWriter w;
+  w.Raw(PageHeader(StrPrintf("Job %llu",
+                             static_cast<unsigned long long>(job->id))));
+  w.Open("table", {{"border", "1"}});
+  auto row = [&w](const std::string& k, const std::string& v) {
+    w.Open("tr").Element("th", k).Element("td", v).Close();
+  };
+  row("state", std::string(jobs::JobStateName(job->state)));
+  row("kind", std::string(jobs::JobKindName(job->spec.kind)));
+  row("operation", job->spec.operation);
+  row("dataset", Join(job->spec.datasets, ", "));
+  row("attempts", StrPrintf("%u of %u", job->attempts,
+                            job->spec.max_attempts));
+  row("priority", StrPrintf("%d", job->spec.priority));
+  if (job->state == jobs::JobState::kRetrying) {
+    row("next attempt at", StrPrintf("%.3f", job->not_before));
+  }
+  if (!job->error.empty()) row("error", job->error);
+  w.Close();
+  if (!job->progress.empty()) {
+    w.Element("p", "Progress:");
+    w.Open("ul");
+    for (const std::string& line : job->progress) {
+      w.Element("li", line);
+    }
+    w.Close();
+  }
+  if (job->state == jobs::JobState::kSucceeded) {
+    if (!job->output_text.empty()) {
+      w.Open("pre").Text(job->output_text).Close();
+    }
+    if (!job->output_urls.empty()) {
+      w.Element("p", "Output files:");
+      w.Open("ul");
+      for (const std::string& url : job->output_urls) {
+        w.Open("li");
+        w.Link(url, url);
+        w.Close();
+      }
+      w.Close();
+    }
+  }
+  w.Raw(PageFooter());
+  HttpResponse resp;
+  resp.body = w.Finish();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleJobList(const Session& session) {
+  if (deps_.jobs == nullptr) return Error(503, "job queue not configured");
+  std::vector<jobs::Job> all = deps_.jobs->queue().List(
+      session.user.name, session.user.CanManageUsers());
+  HtmlWriter w;
+  w.Raw(PageHeader("Jobs"));
+  w.Open("table", {{"border", "1"}});
+  w.Open("tr");
+  for (const char* h : {"id", "user", "kind", "operation", "state",
+                        "attempts", "outputs"}) {
+    w.Element("th", h);
+  }
+  w.Close();
+  for (const jobs::Job& job : all) {
+    w.Open("tr");
+    std::string id = StrPrintf("%llu",
+                               static_cast<unsigned long long>(job.id));
+    w.Open("td");
+    w.Link(BuildUrl("/jobs/status", {{"id", id}}), id);
+    w.Close();
+    w.Element("td", job.spec.user);
+    w.Element("td", std::string(jobs::JobKindName(job.spec.kind)));
+    w.Element("td", job.spec.operation);
+    w.Element("td", std::string(jobs::JobStateName(job.state)));
+    w.Element("td", StrPrintf("%u", job.attempts));
+    w.Element("td", StrPrintf("%zu", job.output_urls.size()));
+    w.Close();
+  }
+  w.Close();
+  w.Raw(PageFooter());
+  HttpResponse resp;
+  resp.body = w.Finish();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleJobCancel(const HttpRequest& request,
+                                               const Session& session) {
+  if (deps_.jobs == nullptr) return Error(503, "job queue not configured");
+  Result<int64_t> id = ParseInt64(ParamOr(request.params, "id"));
+  if (!id.ok()) return Error(400, "missing or bad job id");
+  Result<jobs::Job> job = deps_.jobs->Cancel(
+      static_cast<jobs::JobId>(*id), session.user.name,
+      session.user.CanManageUsers());
+  if (!job.ok()) {
+    int status = job.status().IsPermissionDenied() ? 403
+                 : job.status().IsNotFound()       ? 404
+                                                   : 400;
+    return Error(status, job.status().ToString());
+  }
+  HttpResponse resp;
+  resp.body = PageHeader("Job cancelled") +
+              StrPrintf("<p>job %llu cancelled</p>",
+                        static_cast<unsigned long long>(job->id)) +
+              PageFooter();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleStats(const Session& session) {
+  (void)session;  // stats are not sensitive; any logged-in user may look
+  HtmlWriter w;
+  w.Raw(PageHeader("Operation statistics"));
+  w.Element("p", StrPrintf("requests served: %llu",
+                           static_cast<unsigned long long>(requests_)));
+  if (deps_.engine != nullptr) {
+    w.Element("p",
+              StrPrintf("result cache: %zu of %zu entries, %llu evictions",
+                        deps_.engine->cache_size(),
+                        deps_.engine->cache_capacity(),
+                        static_cast<unsigned long long>(
+                            deps_.engine->cache_evictions())));
+    w.Open("table", {{"border", "1"}});
+    w.Open("tr");
+    for (const char* h : {"operation", "invocations", "cache hits",
+                          "evictions", "failures", "exec seconds",
+                          "input", "output"}) {
+      w.Element("th", h);
+    }
+    w.Close();
+    for (const auto& [name, stats] : deps_.engine->stats()) {
+      w.Open("tr");
+      w.Element("td", name);
+      w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
+                                            stats.invocations)));
+      w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
+                                            stats.cache_hits)));
+      w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
+                                            stats.cache_evictions)));
+      w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
+                                            stats.failures)));
+      w.Element("td", StrPrintf("%.3f", stats.total_exec_seconds));
+      w.Element("td", HumanBytes(stats.total_input_bytes));
+      w.Element("td", HumanBytes(stats.total_output_bytes));
+      w.Close();
+    }
+    w.Close();
+  }
+  if (deps_.jobs != nullptr) {
+    w.Element("p",
+              StrPrintf("jobs: %zu open, %zu running, %llu executed "
+                        "(%llu ok, %llu failed, %llu retries)",
+                        deps_.jobs->queue().open_count(),
+                        deps_.jobs->queue().running_count(),
+                        static_cast<unsigned long long>(
+                            deps_.jobs->executed()),
+                        static_cast<unsigned long long>(
+                            deps_.jobs->succeeded()),
+                        static_cast<unsigned long long>(
+                            deps_.jobs->failed()),
+                        static_cast<unsigned long long>(
+                            deps_.jobs->retries())));
+  }
   w.Raw(PageFooter());
   HttpResponse resp;
   resp.body = w.Finish();

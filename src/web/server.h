@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "db/database.h"
 #include "fileserver/file_server.h"
+#include "jobs/scheduler.h"
 #include "ops/engine.h"
 #include "web/qbe.h"
 #include "web/renderer.h"
@@ -46,6 +47,11 @@ struct HttpResponse {
 ///   /runop                      -> execute a server-side operation
 ///   /upload                     -> upload + run code (authorised users)
 ///   /users, /users/add, ...     -> web-based user management (admin)
+///   /jobs/submit                -> queue a batch job, returns its id
+///   /jobs/status?id=            -> job state, progress and output URLs
+///   /jobs/list                  -> the user's jobs (admin: everyone's)
+///   /jobs/cancel?id=            -> cancel a queued job
+///   /stats                      -> per-operation counters for operators
 class ArchiveWebServer {
  public:
   struct Deps {
@@ -55,6 +61,8 @@ class ArchiveWebServer {
     ops::OperationEngine* engine = nullptr;
     UserManager* users = nullptr;
     SessionManager* sessions = nullptr;
+    /// Optional: enables the /jobs/* routes when wired.
+    easia::jobs::JobScheduler* jobs = nullptr;
   };
 
   explicit ArchiveWebServer(Deps deps) : deps_(deps) {}
@@ -88,6 +96,14 @@ class ArchiveWebServer {
                             const Session& session);
   HttpResponse HandleUsers(const HttpRequest& request,
                            const Session& session);
+  HttpResponse HandleJobSubmit(const HttpRequest& request,
+                               const Session& session);
+  HttpResponse HandleJobStatus(const HttpRequest& request,
+                               const Session& session);
+  HttpResponse HandleJobList(const Session& session);
+  HttpResponse HandleJobCancel(const HttpRequest& request,
+                               const Session& session);
+  HttpResponse HandleStats(const Session& session);
 
   HttpResponse RenderQuery(const std::string& sql,
                            const xuis::XuisTable* table,

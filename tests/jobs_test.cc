@@ -1,0 +1,506 @@
+// Job-queue subsystem: priority ordering, per-user quotas, retry with
+// exponential backoff under ManualClock, deadline timeouts, journal
+// round-trips and crash recovery (torn final record tolerated, running
+// jobs re-enqueued).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "jobs/journal.h"
+#include "jobs/queue.h"
+#include "jobs/scheduler.h"
+
+namespace easia::jobs {
+namespace {
+
+// ---- Encoding ----
+
+TEST(JobCodecTest, SpecRoundTrip) {
+  JobSpec spec;
+  spec.kind = JobKind::kChain;
+  spec.user = "alice";
+  spec.is_guest = false;
+  spec.session_id = "s1";
+  spec.operation = "SubsampleThenImage";
+  spec.datasets = {"http://fs1/archive/a.tbf", "http://fs2/archive/b.tbf"};
+  spec.params = {{"Subsample.factor", "2"}, {"GetImage.type", "u"}};
+  spec.priority = 7;
+  spec.timeout_seconds = 30;
+  spec.max_attempts = 5;
+  spec.code = "let x = 1;";
+  spec.entry_filename = "main.ea";
+  auto decoded = JobSpec::Decode(spec.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, JobKind::kChain);
+  EXPECT_EQ(decoded->user, "alice");
+  EXPECT_FALSE(decoded->is_guest);
+  EXPECT_EQ(decoded->operation, "SubsampleThenImage");
+  EXPECT_EQ(decoded->datasets, spec.datasets);
+  EXPECT_EQ(decoded->params, spec.params);
+  EXPECT_EQ(decoded->priority, 7);
+  EXPECT_DOUBLE_EQ(decoded->timeout_seconds, 30);
+  EXPECT_EQ(decoded->max_attempts, 5u);
+  EXPECT_EQ(decoded->code, "let x = 1;");
+}
+
+TEST(JobCodecTest, EventRoundTripCarriesSpecOnlyWhenSubmitted) {
+  JobEvent event;
+  event.job_id = 42;
+  event.state = JobState::kSubmitted;
+  event.attempt = 0;
+  event.time = 12.5;
+  event.spec.operation = "GetImage";
+  event.spec.datasets = {"http://fs1/a"};
+  auto submitted = JobEvent::Decode(event.Encode());
+  ASSERT_TRUE(submitted.ok());
+  EXPECT_EQ(submitted->spec.operation, "GetImage");
+
+  event.state = JobState::kSucceeded;
+  event.output_urls = {"http://fs1/tmp/x.pgm"};
+  auto finished = JobEvent::Decode(event.Encode());
+  ASSERT_TRUE(finished.ok());
+  EXPECT_EQ(finished->output_urls, event.output_urls);
+  EXPECT_TRUE(finished->spec.operation.empty());  // spec not persisted
+}
+
+TEST(JobCodecTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(JobEvent::Decode("nonsense").ok());
+  EXPECT_FALSE(JobSpec::Decode("\xff\xff").ok());
+}
+
+// ---- Queue ----
+
+JobSpec MakeSpec(const std::string& user, bool guest, int priority = 0) {
+  JobSpec spec;
+  spec.user = user;
+  spec.is_guest = guest;
+  spec.operation = "FieldStats";
+  spec.datasets = {"http://fs1/archive/a.tbf"};
+  spec.priority = priority;
+  return spec;
+}
+
+TEST(JobQueueTest, PriorityOrderFifoWithinBand) {
+  JobQueue queue;
+  ASSERT_TRUE(queue.Submit(MakeSpec("alice", false, 0), 0).ok());
+  ASSERT_TRUE(queue.Submit(MakeSpec("bob", false, 5), 0).ok());
+  ASSERT_TRUE(queue.Submit(MakeSpec("carol", false, 5), 0).ok());
+  auto first = queue.ClaimNext(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->spec.user, "bob");  // highest priority, earliest id
+  auto second = queue.ClaimNext(0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->spec.user, "carol");
+  auto third = queue.ClaimNext(0);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->spec.user, "alice");
+}
+
+TEST(JobQueueTest, GuestPriorityClamped) {
+  JobQueue queue;
+  auto job = queue.Submit(MakeSpec("guest", true, 9), 0);
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->spec.priority, 0);
+}
+
+TEST(JobQueueTest, GuestQueueQuotaRejected) {
+  QueueLimits limits;
+  limits.guest_queued = 2;
+  JobQueue queue(limits);
+  ASSERT_TRUE(queue.Submit(MakeSpec("guest", true), 0).ok());
+  ASSERT_TRUE(queue.Submit(MakeSpec("guest", true), 0).ok());
+  auto third = queue.Submit(MakeSpec("guest", true), 0);
+  EXPECT_TRUE(third.status().IsResourceExhausted())
+      << third.status().ToString();
+  // Other users are unaffected by the guest's full queue.
+  EXPECT_TRUE(queue.Submit(MakeSpec("alice", false), 0).ok());
+}
+
+TEST(JobQueueTest, ConcurrencyCapSkipsBusyUser) {
+  QueueLimits limits;
+  limits.guest_concurrent = 1;
+  JobQueue queue(limits);
+  ASSERT_TRUE(queue.Submit(MakeSpec("guest", true), 0).ok());
+  ASSERT_TRUE(queue.Submit(MakeSpec("guest", true), 0).ok());
+  ASSERT_TRUE(queue.Submit(MakeSpec("alice", false), 0).ok());
+  auto first = queue.ClaimNext(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->spec.user, "guest");
+  // Guest is at their cap: the next claim must skip to alice.
+  auto second = queue.ClaimNext(0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->spec.user, "alice");
+  auto third = queue.ClaimNext(0);
+  EXPECT_FALSE(third.has_value());
+}
+
+TEST(JobQueueTest, BackoffGateAndNextRetryTime) {
+  JobQueue queue;
+  auto job = queue.Submit(MakeSpec("alice", false), 0);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(queue.ClaimNext(0).has_value());
+  ASSERT_TRUE(queue.MarkRetrying(job->id, 1.0, 5.0, "transient").ok());
+  EXPECT_FALSE(queue.ClaimNext(4.9).has_value());
+  ASSERT_TRUE(queue.NextRetryTime().has_value());
+  EXPECT_DOUBLE_EQ(*queue.NextRetryTime(), 5.0);
+  EXPECT_TRUE(queue.ClaimNext(5.0).has_value());
+}
+
+TEST(JobQueueTest, CancelRules) {
+  JobQueue queue;
+  auto job = queue.Submit(MakeSpec("alice", false), 0);
+  ASSERT_TRUE(job.ok());
+  // Another (non-admin) user may not cancel it; an admin may.
+  EXPECT_TRUE(queue.Cancel(job->id, "bob", false, 1)
+                  .status().IsPermissionDenied());
+  ASSERT_TRUE(queue.Cancel(job->id, "root", true, 1).ok());
+  EXPECT_EQ(queue.Get(job->id)->state, JobState::kCancelled);
+  // Terminal jobs cannot be re-cancelled; running jobs cannot be killed.
+  EXPECT_FALSE(queue.Cancel(job->id, "alice", false, 2).ok());
+  auto running = queue.Submit(MakeSpec("alice", false), 0);
+  ASSERT_TRUE(queue.ClaimNext(0).has_value());
+  EXPECT_FALSE(queue.Cancel(running->id, "alice", false, 1).ok());
+}
+
+// ---- Journal recovery (unit) ----
+
+std::string TempJournal(const char* name) {
+  return testing::TempDir() + "/easia_" + name +
+         std::to_string(::getpid()) + ".jobj";
+}
+
+TEST(JobJournalTest, RecoversPendingAndFinished) {
+  std::string path = TempJournal("recover");
+  std::remove(path.c_str());
+  {
+    auto journal = JobJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    auto submit = [&](JobId id, JobState state, uint32_t attempt) {
+      JobEvent event;
+      event.job_id = id;
+      event.state = state;
+      event.attempt = attempt;
+      event.time = 1.0;
+      if (state == JobState::kSubmitted) {
+        event.spec = MakeSpec("alice", false);
+      }
+      ASSERT_TRUE(journal->Append(event).ok());
+    };
+    submit(1, JobState::kSubmitted, 0);
+    submit(2, JobState::kSubmitted, 0);
+    submit(3, JobState::kSubmitted, 0);
+    submit(1, JobState::kRunning, 1);
+    submit(1, JobState::kSucceeded, 1);
+    submit(2, JobState::kRunning, 1);  // crash while running
+  }
+  auto recovered = RecoverQueue(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->max_job_id, 3u);
+  ASSERT_EQ(recovered->finished.size(), 1u);
+  EXPECT_EQ(recovered->finished[0].id, 1u);
+  ASSERT_EQ(recovered->pending.size(), 2u);
+  // Job 2 was mid-flight: re-enqueued with its attempt rolled back so the
+  // crash does not eat into the retry budget.
+  EXPECT_EQ(recovered->pending[0].id, 2u);
+  EXPECT_EQ(recovered->pending[0].state, JobState::kSubmitted);
+  EXPECT_EQ(recovered->pending[0].attempts, 0u);
+  EXPECT_EQ(recovered->pending[1].id, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournalTest, ToleratesTornFinalRecord) {
+  std::string path = TempJournal("torn");
+  std::remove(path.c_str());
+  {
+    auto journal = JobJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    JobEvent event;
+    event.job_id = 1;
+    event.state = JobState::kSubmitted;
+    event.spec = MakeSpec("alice", false);
+    ASSERT_TRUE(journal->Append(event).ok());
+  }
+  // Crash mid-write: a frame header promising more bytes than exist.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char torn[] = "\x40\x00\x00\x00\xde\xad\xbe\xefpartial";
+  std::fwrite(torn, 1, sizeof(torn) - 1, f);
+  std::fclose(f);
+  auto recovered = RecoverQueue(path);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->pending.size(), 1u);
+  EXPECT_EQ(recovered->pending[0].id, 1u);
+  std::remove(path.c_str());
+}
+
+// ---- Scheduler over a real archive ----
+
+class JobSchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { archive_ = MakeArchive(); }
+
+  std::unique_ptr<core::Archive> MakeArchive(
+      const std::string& journal_path = "") {
+    core::Archive::Options options;
+    options.job_options.journal_path = journal_path;
+    options.job_options.limits.guest_queued = 2;
+    auto archive = std::make_unique<core::Archive>(options);
+    archive->AddFileServer("fs1", 8.0);
+    EXPECT_TRUE(core::CreateTurbulenceSchema(archive.get()).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1"};
+    seed.simulations = 1;
+    seed.timesteps_per_simulation = 2;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(archive.get(), seed);
+    EXPECT_TRUE(seeded.ok());
+    dataset_ = (*seeded)[0].dataset_urls[0];
+    EXPECT_TRUE(archive->InitializeXuis().ok());
+    EXPECT_TRUE(core::AttachNativeOperations(archive.get()).ok());
+    EXPECT_TRUE(
+        archive->AddUser("alice", "pw", web::UserRole::kAuthorised).ok());
+    return archive;
+  }
+
+  /// Registers a native op that fails with a retryable error for its
+  /// first `failures` runs, then succeeds.
+  void AddFlakyOp(core::Archive* archive, const std::string& name,
+                  int failures, bool retryable = true) {
+    auto remaining = std::make_shared<int>(failures);
+    ops::NativeOperation native;
+    native.run = [remaining, retryable](const std::string&,
+                                        const fs::HttpParams&)
+        -> Result<ops::OperationOutput> {
+      if (*remaining > 0) {
+        --*remaining;
+        if (retryable) return Status::Unavailable("host flapping");
+        return Status::InvalidArgument("bad parameters");
+      }
+      ops::OperationOutput output;
+      output.text = "done\n";
+      output.files = {{"out.txt", "payload"}};
+      return output;
+    };
+    native.reduction_model = [](uint64_t bytes) { return bytes; };
+    archive->engine().natives().Register(name, std::move(native));
+    xuis::OperationSpec op;
+    op.name = name;
+    op.type = "NATIVE";
+    op.guest_access = true;
+    op.location.kind = xuis::OperationLocation::Kind::kUrl;
+    op.location.url = "native:builtin";
+    xuis::XuisCustomizer c(archive->xuis().MutableDefault());
+    ASSERT_TRUE(c.AddOperation("RESULT_FILE.DOWNLOAD_RESULT", op).ok());
+  }
+
+  JobSpec InvokeSpec(const std::string& op,
+                     const std::string& user = "alice") {
+    JobSpec spec;
+    spec.kind = JobKind::kInvoke;
+    spec.user = user;
+    spec.is_guest = user == "guest";
+    spec.operation = op;
+    spec.datasets = {dataset_};
+    return spec;
+  }
+
+  std::unique_ptr<core::Archive> archive_;
+  std::string dataset_;
+};
+
+TEST_F(JobSchedulerTest, SubmitExecuteSucceeds) {
+  auto job = archive_->jobs().Submit(InvokeSpec("FieldStats"));
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_EQ(archive_->jobs().queue().Get(job->id)->state,
+            JobState::kSubmitted);
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto done = archive_->jobs().queue().Get(job->id);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, JobState::kSucceeded);
+  EXPECT_EQ(done->attempts, 1u);
+  ASSERT_FALSE(done->output_urls.empty());
+  EXPECT_NE(done->output_text.find("min"), std::string::npos);
+  EXPECT_FALSE(done->progress.empty());
+}
+
+TEST_F(JobSchedulerTest, RetryWithBackoffUnderManualClock) {
+  AddFlakyOp(archive_.get(), "Flaky", /*failures=*/2);
+  auto job = archive_->jobs().Submit(InvokeSpec("Flaky"));
+  ASSERT_TRUE(job.ok());
+  double t0 = archive_->clock().Now();
+
+  // Attempt 1 fails with a transient error: parked in backoff.
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto parked = archive_->jobs().queue().Get(job->id);
+  EXPECT_EQ(parked->state, JobState::kRetrying);
+  double first_delay = parked->not_before - t0;
+  EXPECT_GE(first_delay, 1.0);          // base
+  EXPECT_LE(first_delay, 1.25);         // base * (1 + jitter)
+  // Still gated: nothing to run until the clock passes not_before.
+  EXPECT_EQ(archive_->jobs().RunPending(), 0u);
+
+  // Attempt 2 fails: backoff doubles.
+  archive_->clock().Set(parked->not_before);
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto parked2 = archive_->jobs().queue().Get(job->id);
+  EXPECT_EQ(parked2->state, JobState::kRetrying);
+  double second_delay = parked2->not_before - archive_->clock().Now();
+  EXPECT_GE(second_delay, 2.0);
+  EXPECT_LE(second_delay, 2.5);
+
+  // Attempt 3 succeeds.
+  archive_->clock().Set(parked2->not_before);
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto done = archive_->jobs().queue().Get(job->id);
+  EXPECT_EQ(done->state, JobState::kSucceeded);
+  EXPECT_EQ(done->attempts, 3u);
+  EXPECT_EQ(archive_->jobs().retries(), 2u);
+}
+
+TEST_F(JobSchedulerTest, BackoffIsDeterministicAcrossRuns) {
+  auto run_once = [this]() {
+    auto archive = MakeArchive();
+    AddFlakyOp(archive.get(), "Flaky", /*failures=*/2);
+    auto job = archive->jobs().Submit(InvokeSpec("Flaky"));
+    EXPECT_EQ(archive->jobs().RunPending(), 1u);
+    return archive->jobs().queue().Get(job->id)->not_before;
+  };
+  double first = run_once();
+  double second = run_once();
+  EXPECT_GT(first, 0.0);
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST_F(JobSchedulerTest, NonRetryableErrorFailsImmediately) {
+  AddFlakyOp(archive_.get(), "BadArgs", /*failures=*/5,
+             /*retryable=*/false);
+  auto job = archive_->jobs().Submit(InvokeSpec("BadArgs"));
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto failed = archive_->jobs().queue().Get(job->id);
+  EXPECT_EQ(failed->state, JobState::kFailed);
+  EXPECT_EQ(failed->attempts, 1u);
+  EXPECT_NE(failed->error.find("bad parameters"), std::string::npos);
+}
+
+TEST_F(JobSchedulerTest, RetryBudgetExhaustedFails) {
+  AddFlakyOp(archive_.get(), "AlwaysDown", /*failures=*/100);
+  JobSpec spec = InvokeSpec("AlwaysDown");
+  spec.max_attempts = 2;
+  auto job = archive_->jobs().Submit(std::move(spec));
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  archive_->clock().Advance(100);
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto failed = archive_->jobs().queue().Get(job->id);
+  EXPECT_EQ(failed->state, JobState::kFailed);
+  EXPECT_EQ(failed->attempts, 2u);
+}
+
+TEST_F(JobSchedulerTest, DeadlineExpiresQueuedJob) {
+  JobSpec spec = InvokeSpec("FieldStats");
+  spec.timeout_seconds = 10;
+  auto job = archive_->jobs().Submit(std::move(spec));
+  ASSERT_TRUE(job.ok());
+  archive_->clock().Advance(11);
+  EXPECT_EQ(archive_->jobs().RunPending(), 0u);
+  auto failed = archive_->jobs().queue().Get(job->id);
+  EXPECT_EQ(failed->state, JobState::kFailed);
+  EXPECT_NE(failed->error.find("deadline exceeded"), std::string::npos);
+}
+
+TEST_F(JobSchedulerTest, DeadlineCutsRetriesShort) {
+  AddFlakyOp(archive_.get(), "SlowFlaky", /*failures=*/100);
+  JobSpec spec = InvokeSpec("SlowFlaky");
+  spec.timeout_seconds = 3;
+  spec.max_attempts = 10;
+  auto job = archive_->jobs().Submit(std::move(spec));
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);  // attempt 1 -> retrying
+  archive_->clock().Advance(5);  // past the deadline
+  EXPECT_EQ(archive_->jobs().RunPending(), 0u);  // expired, not re-claimed
+  EXPECT_EQ(archive_->jobs().queue().Get(job->id)->state, JobState::kFailed);
+}
+
+TEST_F(JobSchedulerTest, PriorityOrderObservedByWorkers) {
+  std::vector<std::string> order;
+  for (const auto& [name, priority] :
+       std::vector<std::pair<std::string, int>>{
+           {"low", 0}, {"high", 5}, {"mid", 2}}) {
+    auto tag = std::make_shared<std::string>(name);
+    auto order_ptr = &order;
+    ops::NativeOperation native;
+    native.run = [tag, order_ptr](const std::string&, const fs::HttpParams&)
+        -> Result<ops::OperationOutput> {
+      order_ptr->push_back(*tag);
+      return ops::OperationOutput{};
+    };
+    native.reduction_model = [](uint64_t bytes) { return bytes; };
+    archive_->engine().natives().Register("Tag_" + name, std::move(native));
+    xuis::OperationSpec op;
+    op.name = "Tag_" + name;
+    op.type = "NATIVE";
+    op.guest_access = true;
+    op.location.kind = xuis::OperationLocation::Kind::kUrl;
+    op.location.url = "native:builtin";
+    xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
+    ASSERT_TRUE(c.AddOperation("RESULT_FILE.DOWNLOAD_RESULT", op).ok());
+    JobSpec spec = InvokeSpec("Tag_" + name);
+    spec.priority = priority;
+    ASSERT_TRUE(archive_->jobs().Submit(std::move(spec)).ok());
+  }
+  EXPECT_EQ(archive_->jobs().RunPending(), 3u);
+  EXPECT_EQ(order, (std::vector<std::string>{"high", "mid", "low"}));
+}
+
+TEST_F(JobSchedulerTest, JournalRecoveryReRunsInFlightJobs) {
+  std::string path = TempJournal("scheduler");
+  std::remove(path.c_str());
+  JobId job_id = 0;
+  {
+    auto crashed = MakeArchive(path);
+    auto job = crashed->jobs().Submit(InvokeSpec("FieldStats"));
+    ASSERT_TRUE(job.ok());
+    job_id = job->id;
+    // Crash before any worker ran the job: destructor drops the queue,
+    // only the journal survives.
+  }
+  auto restarted = MakeArchive(path);
+  auto pending = restarted->jobs().queue().Get(job_id);
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  EXPECT_EQ(pending->state, JobState::kSubmitted);
+  EXPECT_EQ(restarted->jobs().RunPending(), 1u);
+  auto done = restarted->jobs().queue().Get(job_id);
+  EXPECT_EQ(done->state, JobState::kSucceeded);
+  ASSERT_FALSE(done->output_urls.empty());
+  // The journal now carries the success: a third incarnation has nothing
+  // to re-run but still serves the job's terminal status.
+  auto third = MakeArchive(path);
+  EXPECT_EQ(third->jobs().RunPending(), 0u);
+  EXPECT_EQ(third->jobs().queue().Get(job_id)->state,
+            JobState::kSucceeded);
+  std::remove(path.c_str());
+}
+
+TEST_F(JobSchedulerTest, ThreadedWorkersDrainTheQueue) {
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(archive_->jobs().Submit(InvokeSpec("FieldStats")).ok());
+  }
+  archive_->jobs().Start(3);
+  for (int spins = 0; spins < 5000; ++spins) {
+    if (archive_->jobs().queue().open_count() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  archive_->jobs().Stop();
+  EXPECT_EQ(archive_->jobs().queue().open_count(), 0u);
+  EXPECT_EQ(archive_->jobs().succeeded(), 6u);
+}
+
+}  // namespace
+}  // namespace easia::jobs

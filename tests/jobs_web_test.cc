@@ -1,0 +1,229 @@
+// The /jobs/* web routes: asynchronous submission returning an id
+// immediately, status polling with progress and output URLs, listing,
+// cancellation, guest quotas over the web, journal recovery through a full
+// archive restart, and the /stats operator page.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "common/string_util.h"
+#include "xuis/customize.h"
+
+namespace easia {
+namespace {
+
+class JobsWebTest : public ::testing::Test {
+ protected:
+  void SetUp() override { archive_ = MakeArchive(); }
+
+  std::unique_ptr<core::Archive> MakeArchive(
+      const std::string& journal_path = "") {
+    core::Archive::Options options;
+    options.job_options.journal_path = journal_path;
+    options.job_options.limits.guest_queued = 2;
+    auto archive = std::make_unique<core::Archive>(options);
+    archive->AddFileServer("fs1", 8.0);
+    archive->AddFileServer("fs2", 8.0);
+    EXPECT_TRUE(core::CreateTurbulenceSchema(archive.get()).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1", "fs2"};
+    seed.simulations = 1;
+    seed.timesteps_per_simulation = 4;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(archive.get(), seed);
+    EXPECT_TRUE(seeded.ok());
+    datasets_ = (*seeded)[0].dataset_urls;
+    EXPECT_TRUE(archive->InitializeXuis().ok());
+    EXPECT_TRUE(core::AttachNativeOperations(archive.get()).ok());
+    EXPECT_TRUE(
+        archive->AddUser("alice", "pw", web::UserRole::kAuthorised).ok());
+    EXPECT_TRUE(archive->AddUser("root", "pw", web::UserRole::kAdmin).ok());
+    return archive;
+  }
+
+  std::string LoginAlice(core::Archive* archive) {
+    return *archive->Login("alice", "pw");
+  }
+
+  std::unique_ptr<core::Archive> archive_;
+  std::vector<std::string> datasets_;
+};
+
+TEST_F(JobsWebTest, SubmitReturnsIdImmediatelyThenCompletes) {
+  std::string alice = LoginAlice(archive_.get());
+  auto submit = archive_->Get(alice, "/jobs/submit",
+                              {{"op", "FieldStats"},
+                               {"dataset", datasets_[0]}});
+  ASSERT_EQ(submit.status, 200) << submit.body;
+  EXPECT_EQ(submit.content_type, "text/plain");
+  Result<int64_t> id = ParseInt64(submit.body);
+  ASSERT_TRUE(id.ok()) << submit.body;
+
+  // Nothing has run yet: the request only queued the job.
+  auto queued = archive_->Get(alice, "/jobs/status", {{"id", submit.body}});
+  ASSERT_EQ(queued.status, 200);
+  EXPECT_NE(queued.body.find("submitted"), std::string::npos);
+  EXPECT_EQ(queued.body.find("Output files:"), std::string::npos);
+
+  // A worker drains the queue; status flips to the terminal state and
+  // exposes the output file exactly like synchronous /runop.
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto done = archive_->Get(alice, "/jobs/status", {{"id", submit.body}});
+  ASSERT_EQ(done.status, 200);
+  EXPECT_NE(done.body.find("succeeded"), std::string::npos);
+  EXPECT_NE(done.body.find("stats.txt"), std::string::npos);
+  EXPECT_NE(done.body.find("executing: FieldStats"), std::string::npos);
+}
+
+TEST_F(JobsWebTest, ChainJobOverTheWeb) {
+  xuis::OperationChainSpec chain;
+  chain.name = "SubsampleThenStats";
+  chain.guest_access = false;
+  chain.step_operations = {"Subsample", "FieldStats"};
+  xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
+  ASSERT_TRUE(c.AddOperationChain("RESULT_FILE.DOWNLOAD_RESULT",
+                                  std::move(chain)).ok());
+  std::string alice = LoginAlice(archive_.get());
+  auto submit = archive_->Get(alice, "/jobs/submit",
+                              {{"kind", "chain"},
+                               {"chain", "SubsampleThenStats"},
+                               {"dataset", datasets_[0]},
+                               {"Subsample.factor", "2"}});
+  ASSERT_EQ(submit.status, 200) << submit.body;
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto done = archive_->Get(alice, "/jobs/status", {{"id", submit.body}});
+  EXPECT_NE(done.body.find("succeeded"), std::string::npos);
+  EXPECT_NE(done.body.find("step 1: Subsample"), std::string::npos);
+  EXPECT_NE(done.body.find("step 2: FieldStats"), std::string::npos);
+}
+
+TEST_F(JobsWebTest, MultiDatasetJobOverTheWeb) {
+  std::string alice = LoginAlice(archive_.get());
+  auto submit = archive_->Get(
+      alice, "/jobs/submit",
+      {{"kind", "multi"},
+       {"op", "FieldStats"},
+       {"dataset", datasets_[0] + "," + datasets_[1]}});
+  ASSERT_EQ(submit.status, 200) << submit.body;
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto done = archive_->Get(alice, "/jobs/status", {{"id", submit.body}});
+  EXPECT_NE(done.body.find("succeeded"), std::string::npos);
+  EXPECT_NE(done.body.find("2 datasets"), std::string::npos);
+}
+
+TEST_F(JobsWebTest, GuestQuotaRejectedWith429) {
+  std::string guest = *archive_->Login("guest", "guest");
+  // FieldStats is guest-accessible; the fixture caps guests at 2 queued.
+  fs::HttpParams params = {{"op", "FieldStats"}, {"dataset", datasets_[0]}};
+  EXPECT_EQ(archive_->Get(guest, "/jobs/submit", params).status, 200);
+  EXPECT_EQ(archive_->Get(guest, "/jobs/submit", params).status, 200);
+  auto rejected = archive_->Get(guest, "/jobs/submit", params);
+  EXPECT_EQ(rejected.status, 429) << rejected.body;
+  EXPECT_NE(rejected.body.find("quota"), std::string::npos);
+  // Draining the queue frees the guest's slots.
+  EXPECT_EQ(archive_->jobs().RunPending(), 2u);
+  EXPECT_EQ(archive_->Get(guest, "/jobs/submit", params).status, 200);
+}
+
+TEST_F(JobsWebTest, ListAndIsolationBetweenUsers) {
+  std::string alice = LoginAlice(archive_.get());
+  std::string guest = *archive_->Login("guest", "guest");
+  auto submit = archive_->Get(alice, "/jobs/submit",
+                              {{"op", "FieldStats"},
+                               {"dataset", datasets_[0]}});
+  ASSERT_EQ(submit.status, 200);
+  // The guest neither sees alice's job in the list nor can query it.
+  auto guest_list = archive_->Get(guest, "/jobs/list", {});
+  EXPECT_EQ(guest_list.body.find("FieldStats"), std::string::npos);
+  EXPECT_EQ(archive_->Get(guest, "/jobs/status", {{"id", submit.body}})
+                .status,
+            403);
+  // Alice sees it; the admin sees everyone's.
+  EXPECT_NE(archive_->Get(alice, "/jobs/list", {}).body.find("FieldStats"),
+            std::string::npos);
+  std::string root = *archive_->Login("root", "pw");
+  EXPECT_NE(archive_->Get(root, "/jobs/list", {}).body.find("FieldStats"),
+            std::string::npos);
+}
+
+TEST_F(JobsWebTest, CancelOverTheWeb) {
+  std::string alice = LoginAlice(archive_.get());
+  auto submit = archive_->Get(alice, "/jobs/submit",
+                              {{"op", "FieldStats"},
+                               {"dataset", datasets_[0]}});
+  ASSERT_EQ(submit.status, 200);
+  EXPECT_EQ(archive_->Get(alice, "/jobs/cancel", {{"id", submit.body}})
+                .status,
+            200);
+  auto status = archive_->Get(alice, "/jobs/status", {{"id", submit.body}});
+  EXPECT_NE(status.body.find("cancelled"), std::string::npos);
+  EXPECT_EQ(archive_->jobs().RunPending(), 0u);
+}
+
+TEST_F(JobsWebTest, SubmitValidatesInput) {
+  std::string alice = LoginAlice(archive_.get());
+  EXPECT_EQ(archive_->Get(alice, "/jobs/submit",
+                          {{"op", "FieldStats"}}).status,
+            400);  // no dataset
+  EXPECT_EQ(archive_->Get(alice, "/jobs/submit",
+                          {{"op", "NoSuchOp"},
+                           {"dataset", datasets_[0]}}).status,
+            404);
+  EXPECT_EQ(archive_->Get(alice, "/jobs/status", {{"id", "999"}}).status,
+            404);
+  EXPECT_EQ(archive_->Get(alice, "/jobs/status", {}).status, 400);
+}
+
+TEST_F(JobsWebTest, CrashRecoveryReRunsJobToCompletion) {
+  std::string path = testing::TempDir() + "/easia_webjobs_" +
+                     std::to_string(::getpid()) + ".jobj";
+  std::remove(path.c_str());
+  std::string job_id;
+  {
+    auto crashed = MakeArchive(path);
+    std::string alice = LoginAlice(crashed.get());
+    auto submit = crashed->Get(alice, "/jobs/submit",
+                               {{"op", "FieldStats"},
+                                {"dataset", datasets_[0]}});
+    ASSERT_EQ(submit.status, 200) << submit.body;
+    job_id = submit.body;
+    // The archive dies here with the job still queued; only the journal
+    // (and, after re-seeding, the deterministic datasets) survive.
+  }
+  auto restarted = MakeArchive(path);
+  std::string alice = LoginAlice(restarted.get());
+  auto recovered = restarted->Get(alice, "/jobs/status", {{"id", job_id}});
+  ASSERT_EQ(recovered.status, 200) << recovered.body;
+  EXPECT_NE(recovered.body.find("submitted"), std::string::npos);
+  EXPECT_EQ(restarted->jobs().RunPending(), 1u);
+  auto done = restarted->Get(alice, "/jobs/status", {{"id", job_id}});
+  EXPECT_NE(done.body.find("succeeded"), std::string::npos);
+  EXPECT_NE(done.body.find("stats.txt"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(JobsWebTest, StatsPageShowsCountersAndCache) {
+  std::string alice = LoginAlice(archive_.get());
+  archive_->engine().set_caching(true);
+  archive_->engine().set_cache_capacity(8);
+  auto submit = archive_->Get(alice, "/jobs/submit",
+                              {{"op", "FieldStats"},
+                               {"dataset", datasets_[0]}});
+  ASSERT_EQ(submit.status, 200);
+  EXPECT_EQ(archive_->jobs().RunPending(), 1u);
+  auto stats = archive_->Get(alice, "/stats", {});
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("FieldStats"), std::string::npos);
+  EXPECT_NE(stats.body.find("requests served"), std::string::npos);
+  EXPECT_NE(stats.body.find("result cache: 1 of 8 entries"),
+            std::string::npos)
+      << stats.body;
+  EXPECT_NE(stats.body.find("1 ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easia

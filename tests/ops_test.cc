@@ -270,6 +270,80 @@ TEST_F(EngineTest, CacheKeyIgnoresAccessToken) {
   EXPECT_TRUE(second->cache_hit);
 }
 
+TEST_F(EngineTest, LruEvictsOldestWhenOverCapacity) {
+  archive_->engine().set_caching(true);
+  archive_->engine().set_cache_capacity(2);
+  const std::string& url = seeded_[0].dataset_urls[0];
+  for (const char* slice : {"x1", "x2", "x3"}) {
+    ASSERT_TRUE(archive_->engine()
+                    .Invoke(get_image_, url, {{"slice", slice}},
+                            AuthorisedCtx())
+                    .ok());
+  }
+  EXPECT_EQ(archive_->engine().cache_size(), 2u);
+  EXPECT_EQ(archive_->engine().cache_evictions(), 1u);
+  EXPECT_EQ(archive_->engine().stats().at("GetImage").cache_evictions, 1u);
+  // The oldest entry (x1) was evicted; the newest (x3) survives.
+  auto x1 = archive_->engine().Invoke(get_image_, url, {{"slice", "x1"}},
+                                      AuthorisedCtx());
+  ASSERT_TRUE(x1.ok());
+  EXPECT_FALSE(x1->cache_hit);
+  auto x3 = archive_->engine().Invoke(get_image_, url, {{"slice", "x3"}},
+                                      AuthorisedCtx());
+  ASSERT_TRUE(x3.ok());
+  EXPECT_TRUE(x3->cache_hit);
+}
+
+TEST_F(EngineTest, LruHitPromotesEntry) {
+  archive_->engine().set_caching(true);
+  archive_->engine().set_cache_capacity(2);
+  const std::string& url = seeded_[0].dataset_urls[0];
+  auto invoke = [&](const char* slice) {
+    auto r = archive_->engine().Invoke(get_image_, url, {{"slice", slice}},
+                                       AuthorisedCtx());
+    EXPECT_TRUE(r.ok());
+    return r->cache_hit;
+  };
+  invoke("x1");
+  invoke("x2");
+  EXPECT_TRUE(invoke("x1"));   // promote x1 to most-recent
+  invoke("x3");                // evicts x2, not x1
+  EXPECT_TRUE(invoke("x1"));
+  EXPECT_FALSE(invoke("x2"));
+}
+
+TEST_F(EngineTest, ShrinkingCapacityEvictsDownKeepingNewest) {
+  archive_->engine().set_caching(true);
+  const std::string& url = seeded_[0].dataset_urls[0];
+  for (const char* slice : {"x1", "x2", "x3"}) {
+    ASSERT_TRUE(archive_->engine()
+                    .Invoke(get_image_, url, {{"slice", slice}},
+                            AuthorisedCtx())
+                    .ok());
+  }
+  EXPECT_EQ(archive_->engine().cache_size(), 3u);
+  archive_->engine().set_cache_capacity(1);
+  EXPECT_EQ(archive_->engine().cache_size(), 1u);
+  EXPECT_EQ(archive_->engine().cache_evictions(), 2u);
+  auto x3 = archive_->engine().Invoke(get_image_, url, {{"slice", "x3"}},
+                                      AuthorisedCtx());
+  ASSERT_TRUE(x3.ok());
+  EXPECT_TRUE(x3->cache_hit);
+}
+
+TEST_F(EngineTest, ZeroCapacityDisablesCaching) {
+  archive_->engine().set_caching(true);
+  archive_->engine().set_cache_capacity(0);
+  const std::string& url = seeded_[0].dataset_urls[0];
+  for (int i = 0; i < 2; ++i) {
+    auto r = archive_->engine().Invoke(get_image_, url, {{"slice", "x1"}},
+                                       AuthorisedCtx());
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->cache_hit);
+  }
+  EXPECT_EQ(archive_->engine().cache_size(), 0u);
+}
+
 TEST_F(EngineTest, StatsTrackFailures) {
   auto bad = archive_->engine().Invoke(
       get_image_, seeded_[0].dataset_urls[0], {{"slice", "x99"}},
