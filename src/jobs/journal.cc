@@ -1,6 +1,10 @@
 #include "jobs/journal.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "common/coding.h"
@@ -50,6 +54,12 @@ Status JobJournal::Append(const JobEvent& event) {
   }
   if (std::fflush(file_) != 0) {
     return Status::Internal("job journal: flush failed");
+  }
+  // fflush only reaches the OS page cache; fsync makes the record durable
+  // against an OS crash or power loss, not just a process crash.
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::Internal(std::string("job journal: fsync failed: ") +
+                            std::strerror(errno));
   }
   return Status::OK();
 }
@@ -128,6 +138,42 @@ Result<RecoveredQueue> RecoverQueue(const std::string& path) {
     recovered.pending.push_back(std::move(job));
   }
   return recovered;
+}
+
+Status CompactJournal(const std::string& path,
+                      const std::vector<Job>& jobs) {
+  const std::string tmp = path + ".tmp";
+  std::remove(tmp.c_str());
+  {
+    EASIA_ASSIGN_OR_RETURN(JobJournal journal, JobJournal::Open(tmp));
+    for (const Job& job : jobs) {
+      JobEvent submitted;
+      submitted.job_id = job.id;
+      submitted.state = JobState::kSubmitted;
+      submitted.time = job.submitted_at;
+      submitted.spec = job.spec;
+      if (job.state == JobState::kSubmitted) {
+        submitted.not_before = job.not_before;
+      }
+      EASIA_RETURN_IF_ERROR(journal.Append(submitted));
+      if (job.state == JobState::kSubmitted) continue;
+      JobEvent latest;
+      latest.job_id = job.id;
+      latest.state = job.state;
+      latest.attempt = job.attempts;
+      latest.time =
+          IsTerminal(job.state) ? job.finished_at : job.submitted_at;
+      latest.not_before = job.not_before;
+      latest.error = job.error;
+      if (IsTerminal(job.state)) latest.output_urls = job.output_urls;
+      EASIA_RETURN_IF_ERROR(journal.Append(latest));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("job journal: compaction rename failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::OK();
 }
 
 }  // namespace easia::jobs

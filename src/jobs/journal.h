@@ -25,7 +25,8 @@ class JobJournal {
   JobJournal& operator=(const JobJournal&) = delete;
   ~JobJournal();
 
-  /// Appends and flushes one event (every transition is durable before it
+  /// Appends, flushes and fsyncs one event (every transition is durable —
+  /// against OS crash and power loss, not just process death — before it
   /// is visible, so recovery never loses an acknowledged submission).
   Status Append(const JobEvent& event);
   void Close();
@@ -53,6 +54,13 @@ struct RecoveredQueue {
 /// kRunning are treated as never started (attempt counter rolled back) so
 /// the restarted archive re-runs them to completion.
 Result<RecoveredQueue> RecoverQueue(const std::string& path);
+
+/// Rewrites the journal at `path` to the minimal event sequence that
+/// replays into `jobs` (one submit record per job plus its latest
+/// transition), via a temp file renamed into place. Run at recovery time —
+/// with no workers appending — so replay cost is bounded by the retained
+/// history instead of growing with the archive's lifetime.
+Status CompactJournal(const std::string& path, const std::vector<Job>& jobs);
 
 }  // namespace easia::jobs
 

@@ -22,7 +22,16 @@ size_t JobQueue::RunningCountForUserLocked(const std::string& user) const {
   return n;
 }
 
-Result<Job> JobQueue::Submit(JobSpec spec, double now) {
+void JobQueue::NoteFinishedLocked(JobId id) {
+  finished_order_.push_back(id);
+  while (finished_order_.size() > limits_.max_finished_jobs) {
+    jobs_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+}
+
+Result<Job> JobQueue::Submit(JobSpec spec, double now,
+                             const std::function<void(const Job&)>& on_admit) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t open = 0;
   size_t open_for_user = 0;
@@ -52,13 +61,19 @@ Result<Job> JobQueue::Submit(JobSpec spec, double now) {
   }
   Job copy = job;
   jobs_[job.id] = std::move(job);
+  // Still inside the critical section: ClaimNext cannot observe the job
+  // until the caller's journal record (if any) is written.
+  if (on_admit) on_admit(copy);
   return copy;
 }
 
 void JobQueue::Restore(Job job) {
   std::lock_guard<std::mutex> lock(mu_);
   next_id_ = std::max(next_id_, job.id + 1);
-  jobs_[job.id] = std::move(job);
+  JobId id = job.id;
+  bool terminal = IsTerminal(job.state);
+  jobs_[id] = std::move(job);
+  if (terminal) NoteFinishedLocked(id);
 }
 
 std::optional<Job> JobQueue::ClaimNext(double now) {
@@ -102,6 +117,7 @@ std::vector<Job> JobQueue::ExpireDeadlines(double now) {
       expired.push_back(job);
     }
   }
+  for (const Job& job : expired) NoteFinishedLocked(job.id);
   return expired;
 }
 
@@ -121,7 +137,9 @@ Result<Job> JobQueue::MarkSucceeded(JobId id, double now,
   job.output_text = std::move(output_text);
   job.exec_seconds = exec_seconds;
   job.progress = std::move(progress);
-  return job;
+  Job copy = job;  // pruning may evict the map slot `job` refers to
+  NoteFinishedLocked(id);
+  return copy;
 }
 
 Result<Job> JobQueue::MarkFailed(JobId id, double now,
@@ -135,7 +153,9 @@ Result<Job> JobQueue::MarkFailed(JobId id, double now,
   job.finished_at = now;
   job.error = error;
   job.progress = std::move(progress);
-  return job;
+  Job copy = job;
+  NoteFinishedLocked(id);
+  return copy;
 }
 
 Result<Job> JobQueue::MarkRetrying(JobId id, double now, double not_before,
@@ -169,7 +189,9 @@ Result<Job> JobQueue::Cancel(JobId id, const std::string& user,
   }
   job.state = JobState::kCancelled;
   job.finished_at = now;
-  return job;
+  Job copy = job;
+  NoteFinishedLocked(id);
+  return copy;
 }
 
 Result<Job> JobQueue::Get(JobId id) const {
@@ -188,6 +210,14 @@ std::vector<Job> JobQueue::List(const std::string& user,
       out.push_back(it->second);
     }
   }
+  return out;
+}
+
+std::vector<Job> JobQueue::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Job> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job);
   return out;
 }
 

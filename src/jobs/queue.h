@@ -2,6 +2,8 @@
 #define EASIA_JOBS_QUEUE_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -21,6 +23,10 @@ struct QueueLimits {
   size_t guest_queued = 4;       // open (non-terminal) jobs per guest
   size_t user_queued = 64;       // open jobs per authorised user
   size_t max_open_jobs = 4096;   // archive-wide backstop
+  /// Terminal jobs retained for /jobs/status history; the oldest finished
+  /// jobs beyond this are pruned so a long-running archive's queue (and
+  /// its compacted journal) stay bounded.
+  size_t max_finished_jobs = 1024;
 };
 
 /// Thread-safe priority job queue. Holds every job the archive has seen
@@ -34,8 +40,13 @@ class JobQueue {
   explicit JobQueue(QueueLimits limits = {}) : limits_(limits) {}
 
   /// Admits a job (quota-checked) and assigns its id. Guest priorities are
-  /// clamped to 0 so guests cannot jump the queue.
-  Result<Job> Submit(JobSpec spec, double now);
+  /// clamped to 0 so guests cannot jump the queue. `on_admit` (optional)
+  /// runs inside the queue's critical section, after the job is inserted
+  /// but before any `ClaimNext` can see it — journaling the submission
+  /// there guarantees the kSubmitted record precedes every worker-written
+  /// transition, so replay never re-runs an already-finished job.
+  Result<Job> Submit(JobSpec spec, double now,
+                     const std::function<void(const Job&)>& on_admit = {});
 
   /// Re-admits a journal-recovered job verbatim (no quota check; the
   /// submission was already accepted before the crash).
@@ -69,6 +80,8 @@ class JobQueue {
   Result<Job> Get(JobId id) const;
   /// Jobs owned by `user` (or every job when `all_users`), newest first.
   std::vector<Job> List(const std::string& user, bool all_users) const;
+  /// Every retained job in id order (for journal checkpointing).
+  std::vector<Job> Snapshot() const;
 
   /// Earliest `not_before` among backoff-parked jobs (for deterministic
   /// drivers to know how far to advance the clock); nullopt if none.
@@ -80,11 +93,17 @@ class JobQueue {
  private:
   size_t OpenCountForUserLocked(const std::string& user) const;
   size_t RunningCountForUserLocked(const std::string& user) const;
+  /// Records `id` as terminal and prunes the oldest finished jobs beyond
+  /// `limits_.max_finished_jobs`.
+  void NoteFinishedLocked(JobId id);
 
   mutable std::mutex mu_;
   QueueLimits limits_;
   JobId next_id_ = 1;
   std::map<JobId, Job> jobs_;
+  /// Terminal job ids, oldest first (jobs never leave a terminal state,
+  /// so the front is always safe to prune).
+  std::deque<JobId> finished_order_;
 };
 
 }  // namespace easia::jobs

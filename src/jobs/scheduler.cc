@@ -98,16 +98,32 @@ Result<size_t> JobScheduler::Recover() {
   if (options_.journal_path.empty()) return size_t{0};
   EASIA_ASSIGN_OR_RETURN(RecoveredQueue recovered,
                          RecoverQueue(options_.journal_path));
+  size_t pending = recovered.pending.size();
   for (Job& job : recovered.finished) queue_.Restore(std::move(job));
   for (Job& job : recovered.pending) queue_.Restore(std::move(job));
-  return recovered.pending.size();
+  // Checkpoint: rewrite the journal to the recovered (history-pruned)
+  // state so replay cost stays bounded instead of accumulating every
+  // transition the archive ever made. Safe here because no worker is
+  // running yet, so the snapshot cannot go stale under us.
+  std::vector<Job> snapshot = queue_.Snapshot();
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (journal_.has_value()) {
+    journal_->Close();
+    Status compacted = CompactJournal(options_.journal_path, snapshot);
+    Result<JobJournal> reopened = JobJournal::Open(options_.journal_path);
+    if (reopened.ok()) journal_ = std::move(*reopened);
+    EASIA_RETURN_IF_ERROR(compacted);
+  }
+  return pending;
 }
 
 Result<Job> JobScheduler::Submit(JobSpec spec) {
-  EASIA_ASSIGN_OR_RETURN(Job job, queue_.Submit(std::move(spec),
-                                                clock_->Now()));
-  Journal(job);
-  return job;
+  // The submission is journaled inside the queue's critical section —
+  // before any worker can claim the job — so the kSubmitted record always
+  // precedes the transitions that worker writes (replay drops transitions
+  // it has no submit record for).
+  return queue_.Submit(std::move(spec), clock_->Now(),
+                       [this](const Job& job) { Journal(job); });
 }
 
 Result<Job> JobScheduler::Cancel(JobId id, const std::string& user,
@@ -145,12 +161,14 @@ Result<ops::OperationResult> JobScheduler::Dispatch(
                                               job.id))
                               : spec.session_id;
 
-  std::lock_guard<std::mutex> lock(engine_mu_);
-  engine_->set_progress_listener([progress](const ops::ProgressEvent& e) {
+  // Job-local progress capture: the listener lives in the invocation
+  // context, so concurrent web-thread invocations can never emit into this
+  // job's progress vector (the engine serialises execution internally).
+  ctx.progress = [progress](const ops::ProgressEvent& e) {
     progress->push_back(std::string(ops::ProgressStageName(e.stage)) + ": " +
                         e.operation +
                         (e.detail.empty() ? "" : " (" + e.detail + ")"));
-  });
+  };
   Result<ops::OperationResult> result = [&]() -> Result<ops::OperationResult> {
     switch (spec.kind) {
       case JobKind::kInvoke: {
@@ -246,7 +264,6 @@ Result<ops::OperationResult> JobScheduler::Dispatch(
     }
     return Status::Internal("unknown job kind");
   }();
-  engine_->set_progress_listener(nullptr);
   return result;
 }
 

@@ -42,9 +42,11 @@ struct SchedulerOptions {
 ///  - threaded: `Start(n)` spawns n std::thread workers that poll the
 ///    queue; `Stop()` drains and joins.
 ///
-/// The OperationEngine is not thread-safe, so workers serialise engine
-/// execution behind a mutex: submission is decoupled from execution (the
-/// point of the subsystem), execution itself is sequential.
+/// The OperationEngine serialises invocations internally, so threaded
+/// workers and synchronous web requests can share one engine: submission
+/// is decoupled from execution (the point of the subsystem), execution
+/// itself is sequential. Job progress is captured through a per-invocation
+/// listener (`InvocationContext::progress`), never global engine state.
 class JobScheduler {
  public:
   JobScheduler(ops::OperationEngine* engine, const xuis::XuisRegistry* xuis,
@@ -55,8 +57,11 @@ class JobScheduler {
   JobScheduler& operator=(const JobScheduler&) = delete;
 
   /// Replays the journal (if configured): re-enqueues every job that was
-  /// submitted/running/retrying at crash time, restores finished history.
-  /// Returns the number of jobs re-enqueued.
+  /// submitted/running/retrying at crash time, restores finished history
+  /// (bounded by `QueueLimits::max_finished_jobs`), then compacts the
+  /// journal to that recovered state so replay cost never grows with the
+  /// archive's lifetime. Call before `Start`. Returns the number of jobs
+  /// re-enqueued.
   Result<size_t> Recover();
 
   /// Admits a job and journals the submission. Returns immediately with
@@ -108,7 +113,6 @@ class JobScheduler {
   SchedulerOptions options_;
   JobQueue queue_;
 
-  std::mutex engine_mu_;   // serialises OperationEngine access
   std::mutex journal_mu_;
   std::optional<JobJournal> journal_;
   std::mutex rng_mu_;

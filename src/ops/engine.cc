@@ -55,12 +55,23 @@ std::string_view ProgressStageName(ProgressEvent::Stage stage) {
   return "?";
 }
 
-void OperationEngine::Emit(ProgressEvent::Stage stage,
+void OperationEngine::Emit(const InvocationContext& ctx,
+                           ProgressEvent::Stage stage,
                            const std::string& operation,
                            const std::string& detail) const {
-  if (progress_ != nullptr) {
-    progress_(ProgressEvent{stage, operation, detail});
+  ProgressListener global;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    global = progress_;
   }
+  ProgressEvent event{stage, operation, detail};
+  if (ctx.progress != nullptr) ctx.progress(event);
+  if (global != nullptr) global(event);
+}
+
+void OperationEngine::RecordFailure(const std::string& stats_key) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ++stats_[stats_key].failures;
 }
 
 OperationEngine::OperationEngine(db::Database* database,
@@ -71,8 +82,7 @@ OperationEngine::OperationEngine(db::Database* database,
       network_(network),
       natives_(NativeRegistry::BuiltIns()) {}
 
-void OperationEngine::set_cache_capacity(size_t capacity) {
-  cache_capacity_ = capacity;
+void OperationEngine::EvictOverCapacityLocked() {
   while (cache_index_.size() > cache_capacity_ && !cache_lru_.empty()) {
     ++stats_[cache_lru_.back().stats_key].cache_evictions;
     ++cache_evictions_;
@@ -81,16 +91,31 @@ void OperationEngine::set_cache_capacity(size_t capacity) {
   }
 }
 
-const OperationResult* OperationEngine::CacheLookup(const std::string& key) {
+void OperationEngine::set_cache_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  cache_capacity_ = capacity;
+  EvictOverCapacityLocked();
+}
+
+std::optional<OperationResult> OperationEngine::CacheLookup(
+    const std::string& stats_key, const std::string& key) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (!caching_) return std::nullopt;
   auto it = cache_index_.find(key);
-  if (it == cache_index_.end()) return nullptr;
+  if (it == cache_index_.end()) return std::nullopt;
   cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-  return &cache_lru_.front().result;
+  OperationStats& stats = stats_[stats_key];
+  ++stats.invocations;
+  ++stats.cache_hits;
+  OperationResult hit = cache_lru_.front().result;
+  hit.cache_hit = true;
+  return hit;
 }
 
 void OperationEngine::CacheInsert(const std::string& stats_key,
                                   const std::string& key,
                                   const OperationResult& result) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   if (cache_capacity_ == 0) return;
   auto it = cache_index_.find(key);
   if (it != cache_index_.end()) {
@@ -177,12 +202,17 @@ Result<OperationResult> OperationEngine::FinishResult(
                                  result.input_bytes + result.output_bytes));
     result.exec_seconds = seconds;
   }
-  OperationStats& stats = stats_[stats_key];
-  ++stats.invocations;
-  stats.total_exec_seconds += result.exec_seconds;
-  stats.total_input_bytes += result.input_bytes;
-  stats.total_output_bytes += result.output_bytes;
-  if (caching_ && !cache_key.empty()) {
+  bool cache_it;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    OperationStats& stats = stats_[stats_key];
+    ++stats.invocations;
+    stats.total_exec_seconds += result.exec_seconds;
+    stats.total_input_bytes += result.input_bytes;
+    stats.total_output_bytes += result.output_bytes;
+    cache_it = caching_ && !cache_key.empty();
+  }
+  if (cache_it) {
     CacheInsert(stats_key, cache_key, result);
   }
   return result;
@@ -192,14 +222,21 @@ Result<OperationResult> OperationEngine::Invoke(const xuis::OperationSpec& op,
                                                 const std::string& dataset_url,
                                                 const fs::HttpParams& params,
                                                 const InvocationContext& ctx) {
-  Emit(ProgressEvent::Stage::kExecuting, op.name, dataset_url);
+  std::lock_guard<std::mutex> lock(invoke_mu_);
+  return InvokeSerialized(op, dataset_url, params, ctx);
+}
+
+Result<OperationResult> OperationEngine::InvokeSerialized(
+    const xuis::OperationSpec& op, const std::string& dataset_url,
+    const fs::HttpParams& params, const InvocationContext& ctx) {
+  Emit(ctx, ProgressEvent::Stage::kExecuting, op.name, dataset_url);
   Result<OperationResult> result =
       InvokeInternal(op, dataset_url, params, ctx);
   if (result.ok()) {
-    Emit(ProgressEvent::Stage::kDone, op.name,
+    Emit(ctx, ProgressEvent::Stage::kDone, op.name,
          StrPrintf("%zu output files", result->output.files.size()));
   } else {
-    Emit(ProgressEvent::Stage::kFailed, op.name,
+    Emit(ctx, ProgressEvent::Stage::kFailed, op.name,
          result.status().ToString());
   }
   return result;
@@ -211,6 +248,7 @@ Result<std::vector<OperationResult>> OperationEngine::InvokeChain(
   if (steps.empty()) {
     return Status::InvalidArgument("operation chain is empty");
   }
+  std::lock_guard<std::mutex> lock(invoke_mu_);
   std::vector<OperationResult> results;
   std::string current = dataset_url;
   for (size_t i = 0; i < steps.size(); ++i) {
@@ -218,8 +256,9 @@ Result<std::vector<OperationResult>> OperationEngine::InvokeChain(
     if (step.op == nullptr) {
       return Status::InvalidArgument("chain step has no operation");
     }
-    EASIA_ASSIGN_OR_RETURN(OperationResult result,
-                           Invoke(*step.op, current, step.params, ctx));
+    EASIA_ASSIGN_OR_RETURN(
+        OperationResult result,
+        InvokeSerialized(*step.op, current, step.params, ctx));
     results.push_back(std::move(result));
     if (i + 1 < steps.size()) {
       if (results.back().output_urls.empty()) {
@@ -241,11 +280,12 @@ Result<OperationEngine::MultiResult> OperationEngine::InvokeMulti(
   if (dataset_urls.empty()) {
     return Status::InvalidArgument("InvokeMulti: no datasets");
   }
+  std::lock_guard<std::mutex> lock(invoke_mu_);
   MultiResult multi;
   std::map<std::string, double> per_host_seconds;
   for (const std::string& url : dataset_urls) {
     EASIA_ASSIGN_OR_RETURN(OperationResult result,
-                           Invoke(op, url, params, ctx));
+                           InvokeSerialized(op, url, params, ctx));
     per_host_seconds[result.host] += result.exec_seconds;
     multi.serial_seconds += result.exec_seconds;
     multi.results.push_back(std::move(result));
@@ -267,20 +307,13 @@ Result<OperationResult> OperationEngine::InvokeInternal(
     const xuis::OperationSpec& op, const std::string& dataset_url,
     const fs::HttpParams& params, const InvocationContext& ctx) {
   if (ctx.is_guest && !op.guest_access) {
-    ++stats_[op.name].failures;
+    RecordFailure(op.name);
     return Status::PermissionDenied("operation " + op.name +
                                     " is not available to guest users");
   }
   std::string cache_key = CacheKey(op.name, dataset_url, params);
-  if (caching_) {
-    if (const OperationResult* cached = CacheLookup(cache_key)) {
-      OperationResult hit = *cached;
-      hit.cache_hit = true;
-      OperationStats& stats = stats_[op.name];
-      ++stats.invocations;
-      ++stats.cache_hits;
-      return hit;
-    }
+  if (std::optional<OperationResult> hit = CacheLookup(op.name, cache_key)) {
+    return *std::move(hit);
   }
   // Stage the dataset.
   EASIA_ASSIGN_OR_RETURN(auto resolved, fleet_->Resolve(dataset_url));
@@ -314,7 +347,7 @@ Result<OperationResult> OperationEngine::InvokeInternal(
                              staged.server->vfs().ReadFile(staged.url.path));
       Result<OperationOutput> output = native->run(dataset_bytes, params);
       if (!output.ok()) {
-        ++stats_[op.name].failures;
+        RecordFailure(op.name);
         return output.status();
       }
       result.output = std::move(*output);
@@ -347,7 +380,7 @@ Result<OperationResult> OperationEngine::InvokeInternal(
   }
 
   // database.result operations: fetch the archived code.
-  Emit(ProgressEvent::Stage::kResolvingCode, op.name,
+  Emit(ctx, ProgressEvent::Stage::kResolvingCode, op.name,
        op.location.result_colid);
   EASIA_ASSIGN_OR_RETURN(auto code, FetchCode(op.location));
   const std::string& code_url = code.first;
@@ -368,7 +401,7 @@ Result<OperationResult> OperationEngine::InvokeInternal(
     bundle[op.filename.empty() ? "main.ea" : op.filename] = code_bytes;
   }
   std::string temp_dir = staged.server->MakeTempDir(ctx.session_id);
-  Emit(ProgressEvent::Stage::kStaging, op.name, temp_dir);
+  Emit(ctx, ProgressEvent::Stage::kStaging, op.name, temp_dir);
   for (const auto& [name, contents] : bundle) {
     EASIA_RETURN_IF_ERROR(
         staged.server->vfs().WriteFile(temp_dir + name, contents, ctx.user));
@@ -385,26 +418,26 @@ Result<OperationResult> OperationEngine::InvokeInternal(
     std::string entry = op.filename.empty() ? "main.ea" : op.filename;
     auto entry_it = bundle.find(entry);
     if (entry_it == bundle.end()) {
-      ++stats_[op.name].failures;
+      RecordFailure(op.name);
       return Status::NotFound("bundle has no entry file " + entry);
     }
     Result<OperationResult> script_result =
         ExecuteScript(op.name, entry_it->second, dataset_url, params, ctx,
                       code_bytes.size());
     if (!script_result.ok()) {
-      ++stats_[op.name].failures;
+      RecordFailure(op.name);
       return script_result.status();
     }
     script_result->temp_dir = temp_dir;
     result = std::move(*script_result);
   } else {
-    ++stats_[op.name].failures;
+    RecordFailure(op.name);
     return Status::Unimplemented("unsupported operation type '" + op.type +
                                  "'");
   }
 
   // Materialise outputs in the temp dir and expose them as URLs.
-  Emit(ProgressEvent::Stage::kCollectingOutputs, op.name, temp_dir);
+  Emit(ctx, ProgressEvent::Stage::kCollectingOutputs, op.name, temp_dir);
   for (const auto& [name, contents] : result.output.files) {
     std::string path = temp_dir + name;
     EASIA_RETURN_IF_ERROR(
@@ -592,8 +625,9 @@ Result<OperationResult> OperationEngine::RunUploadedCode(
     const std::string& entry_filename, const std::string& dataset_url,
     const fs::HttpParams& params, const InvocationContext& ctx) {
   const std::string stats_key = "upload:" + entry_filename;
+  std::lock_guard<std::mutex> lock(invoke_mu_);
   if (ctx.is_guest && !upload.guest_access) {
-    ++stats_[stats_key].failures;
+    RecordFailure(stats_key);
     return Status::PermissionDenied(
         "code upload is not available to guest users");
   }
@@ -605,7 +639,7 @@ Result<OperationResult> OperationEngine::RunUploadedCode(
   }
   auto entry_it = bundle.find(entry_filename);
   if (entry_it == bundle.end()) {
-    ++stats_[stats_key].failures;
+    RecordFailure(stats_key);
     return Status::NotFound("uploaded bundle has no entry file " +
                             entry_filename);
   }
@@ -620,7 +654,7 @@ Result<OperationResult> OperationEngine::RunUploadedCode(
       ExecuteScript(stats_key, entry_it->second, dataset_url, params, ctx,
                     packaged_code.size());
   if (!result.ok()) {
-    ++stats_[stats_key].failures;
+    RecordFailure(stats_key);
     return result.status();
   }
   result->temp_dir = temp_dir;

@@ -1,8 +1,11 @@
 #ifndef EASIA_OPS_ENGINE_H_
 #define EASIA_OPS_ENGINE_H_
 
+#include <functional>
 #include <list>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,11 +20,35 @@
 
 namespace easia::ops {
 
+/// Progress events emitted during an invocation (paper future work:
+/// "runtime monitoring of operation progress").
+struct ProgressEvent {
+  enum class Stage {
+    kResolvingCode,
+    kStaging,
+    kExecuting,
+    kCollectingOutputs,
+    kDone,
+    kFailed,
+  };
+  Stage stage;
+  std::string operation;
+  std::string detail;
+};
+
+using ProgressListener = std::function<void(const ProgressEvent& event)>;
+
+std::string_view ProgressStageName(ProgressEvent::Stage stage);
+
 /// Who is invoking an operation (the paper's guest restrictions apply).
 struct InvocationContext {
   std::string user = "guest";
   bool is_guest = true;
   std::string session_id = "session0";
+  /// Per-invocation progress listener: receives stage events for this
+  /// invocation only, so concurrent callers (job workers, web requests)
+  /// never observe each other's progress.
+  ProgressListener progress;
 };
 
 /// Per-operation counters ("store operation statistics ... for the benefit
@@ -59,30 +86,19 @@ struct ChainStep {
   fs::HttpParams params;
 };
 
-/// Progress events emitted during an invocation (paper future work:
-/// "runtime monitoring of operation progress").
-struct ProgressEvent {
-  enum class Stage {
-    kResolvingCode,
-    kStaging,
-    kExecuting,
-    kCollectingOutputs,
-    kDone,
-    kFailed,
-  };
-  Stage stage;
-  std::string operation;
-  std::string detail;
-};
-
-using ProgressListener = std::function<void(const ProgressEvent& event)>;
-
-std::string_view ProgressStageName(ProgressEvent::Stage stage);
-
 /// Executes XUIS operations next to the data: resolves the code location
 /// (database.result query or URL endpoint), stages code into a temporary
 /// directory on the dataset's host (the paper's batch-file mechanism), runs
 /// it — native C++ codes or sandboxed EaScript — and collects outputs.
+///
+/// Thread safety: invocations (`Invoke`, `InvokeChain`, `InvokeMulti`,
+/// `RunUploadedCode`) are serialised behind an internal mutex, so job
+/// workers and synchronous web requests can share one engine without
+/// racing on the cache, the stats map, or the underlying database/VFS
+/// (which are not thread-safe themselves). Stats and cache accessors take
+/// their own lock and may be called concurrently with an invocation.
+/// Configuration mutators (`natives()`, `sandbox_limits()`) are wiring-time
+/// only and must not be called while invocations are in flight.
 class OperationEngine {
  public:
   /// `network` (optional) provides processing-time and code-shipping
@@ -93,7 +109,10 @@ class OperationEngine {
   /// Results caching (paper future work: "caching operations results").
   /// The cache is an LRU bounded by `set_cache_capacity` entries so a
   /// busy archive cannot grow it without limit.
-  void set_caching(bool enabled) { caching_ = enabled; }
+  void set_caching(bool enabled) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    caching_ = enabled;
+  }
   void set_cache_capacity(size_t capacity);
   script::SandboxLimits& sandbox_limits() { return sandbox_limits_; }
   NativeRegistry& natives() { return natives_; }
@@ -127,9 +146,11 @@ class OperationEngine {
                                   const fs::HttpParams& params,
                                   const InvocationContext& ctx);
 
-  /// Installs a progress listener receiving stage events for every
-  /// invocation (null to remove).
+  /// Installs a global progress listener receiving stage events for every
+  /// invocation, whichever caller triggered it (null to remove). For
+  /// caller-scoped monitoring use `InvocationContext::progress` instead.
   void set_progress_listener(ProgressListener listener) {
+    std::lock_guard<std::mutex> lock(state_mu_);
     progress_ = std::move(listener);
   }
 
@@ -142,12 +163,24 @@ class OperationEngine {
                                           const fs::HttpParams& params,
                                           const InvocationContext& ctx);
 
-  const std::map<std::string, OperationStats>& stats() const {
+  /// Snapshot of the per-operation counters (copied under the state lock,
+  /// so it is safe to read while a worker executes).
+  std::map<std::string, OperationStats> stats() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
     return stats_;
   }
-  size_t cache_size() const { return cache_index_.size(); }
-  size_t cache_capacity() const { return cache_capacity_; }
-  uint64_t cache_evictions() const { return cache_evictions_; }
+  size_t cache_size() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return cache_index_.size();
+  }
+  size_t cache_capacity() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return cache_capacity_;
+  }
+  uint64_t cache_evictions() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return cache_evictions_;
+  }
 
  private:
   /// Resolves a database.result location to the code file's bytes.
@@ -169,8 +202,20 @@ class OperationEngine {
                        const std::string& dataset_url,
                        const fs::HttpParams& params) const;
 
-  void Emit(ProgressEvent::Stage stage, const std::string& operation,
-            const std::string& detail) const;
+  /// Fires the per-invocation listener (if any) and the global one. The
+  /// listeners run outside the state lock, so they may call the stats and
+  /// cache accessors.
+  void Emit(const InvocationContext& ctx, ProgressEvent::Stage stage,
+            const std::string& operation, const std::string& detail) const;
+
+  void RecordFailure(const std::string& stats_key);
+
+  /// `Invoke` with `invoke_mu_` already held (chains and multi-dataset
+  /// invocations hold the lock across all their steps).
+  Result<OperationResult> InvokeSerialized(const xuis::OperationSpec& op,
+                                           const std::string& dataset_url,
+                                           const fs::HttpParams& params,
+                                           const InvocationContext& ctx);
 
   Result<OperationResult> InvokeInternal(const xuis::OperationSpec& op,
                                          const std::string& dataset_url,
@@ -185,17 +230,28 @@ class OperationEngine {
     OperationResult result;
   };
 
-  /// Returns the cached result for `key` (promoted to most-recent), or
-  /// nullptr. Inserting evicts the least-recently-used entry at capacity.
-  const OperationResult* CacheLookup(const std::string& key);
+  /// Returns a copy of the cached result for `key` (promoted to
+  /// most-recent) with the hit counted, or nullopt when caching is off or
+  /// the key misses. Inserting evicts the least-recently-used entry at
+  /// capacity.
+  std::optional<OperationResult> CacheLookup(const std::string& stats_key,
+                                             const std::string& key);
   void CacheInsert(const std::string& stats_key, const std::string& key,
                    const OperationResult& result);
+  void EvictOverCapacityLocked();
 
   db::Database* database_;
   fs::FileServerFleet* fleet_;
   sim::Network* network_;
   NativeRegistry natives_;
   script::SandboxLimits sandbox_limits_;
+
+  /// Serialises whole invocations (the database, fleet and network below
+  /// are not thread-safe).
+  std::mutex invoke_mu_;
+  /// Guards the mutable engine state below; never held while executing
+  /// user code or calling progress listeners.
+  mutable std::mutex state_mu_;
   bool caching_ = false;
   std::list<CacheEntry> cache_lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<CacheEntry>::iterator>

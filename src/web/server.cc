@@ -1,5 +1,7 @@
 #include "web/server.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "web/html.h"
 
@@ -480,16 +482,36 @@ HttpResponse ArchiveWebServer::HandleJobSubmit(const HttpRequest& request,
       }
       break;
     }
-    case jobs::JobKind::kChain:
+    case jobs::JobKind::kChain: {
       spec.operation = ParamOr(request.params, "chain");
       if (spec.operation.empty()) return Error(400, "missing chain");
+      // Validate at submission (like kInvoke) so a bad chain name or a
+      // guest-forbidden chain fails here, not after queueing.
+      const xuis::OperationChainSpec* chain = nullptr;
+      for (const xuis::XuisTable& table : xspec.tables) {
+        for (const xuis::XuisColumn& col : table.columns) {
+          if (const xuis::OperationChainSpec* found =
+                  col.FindChain(spec.operation)) {
+            chain = found;
+          }
+        }
+      }
+      if (chain == nullptr) return Error(404, "no such operation chain");
+      if (session.user.IsGuest() && !chain->guest_access) {
+        return Error(403, "chain not available to guests");
+      }
       break;
+    }
     case jobs::JobKind::kUploadedCode: {
       if (!session.user.CanUploadCode()) {
         return Error(403, "code upload is not available to guest users");
       }
       spec.operation = ParamOr(request.params, "table") + "." +
                        ParamOr(request.params, "column");
+      const xuis::XuisColumn* col = xspec.FindColumnById(spec.operation);
+      if (col == nullptr || !col->upload.has_value()) {
+        return Error(404, "no upload column " + spec.operation);
+      }
       spec.code = ParamOr(request.params, "code");
       if (spec.code.empty()) return Error(400, "missing code");
       spec.entry_filename =
@@ -502,11 +524,18 @@ HttpResponse ArchiveWebServer::HandleJobSubmit(const HttpRequest& request,
   if (priority.ok()) spec.priority = static_cast<int32_t>(*priority);
   Result<int64_t> timeout =
       ParseInt64(ParamOr(request.params, "timeout", "0"));
-  if (timeout.ok()) spec.timeout_seconds = static_cast<double>(*timeout);
+  if (timeout.ok() && *timeout > 0) {
+    spec.timeout_seconds = static_cast<double>(*timeout);
+  }
+  // Server-side retry ceiling: backoff caps at a minute per retry, so an
+  // uncapped user-supplied budget could park a job (and its queue slot)
+  // for hours.
+  constexpr int64_t kMaxJobAttempts = 10;
   Result<int64_t> attempts =
       ParseInt64(ParamOr(request.params, "attempts", "3"));
   if (attempts.ok() && *attempts > 0) {
-    spec.max_attempts = static_cast<uint32_t>(*attempts);
+    spec.max_attempts =
+        static_cast<uint32_t>(std::min(*attempts, kMaxJobAttempts));
   }
   for (const auto& [key, value] : request.params) {
     if (key == "kind" || key == "op" || key == "chain" || key == "dataset" ||

@@ -168,6 +168,35 @@ TEST(JobQueueTest, CancelRules) {
   EXPECT_FALSE(queue.Cancel(running->id, "alice", false, 1).ok());
 }
 
+TEST(JobQueueTest, FinishedHistoryBounded) {
+  QueueLimits limits;
+  limits.max_finished_jobs = 2;
+  JobQueue queue(limits);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto job = queue.Submit(MakeSpec("alice", false), 0);
+    ASSERT_TRUE(job.ok());
+    ids.push_back(job->id);
+    ASSERT_TRUE(queue.ClaimNext(0).has_value());
+    ASSERT_TRUE(queue.MarkSucceeded(job->id, 1.0, {}, "", 0.1, {}).ok());
+  }
+  // Only the two most recent terminal jobs are retained for history.
+  EXPECT_TRUE(queue.Get(ids[0]).status().IsNotFound());
+  EXPECT_TRUE(queue.Get(ids[1]).status().IsNotFound());
+  EXPECT_EQ(queue.Get(ids[2])->state, JobState::kSucceeded);
+  EXPECT_EQ(queue.Get(ids[3])->state, JobState::kSucceeded);
+  // Open jobs are never pruned, however old.
+  auto open = queue.Submit(MakeSpec("alice", false), 0);
+  ASSERT_TRUE(open.ok());
+  for (int i = 0; i < 4; ++i) {
+    // Higher priority so ClaimNext picks these over the idle open job.
+    auto job = queue.Submit(MakeSpec("alice", false, 5), 0);
+    ASSERT_TRUE(queue.ClaimNext(0).has_value());
+    ASSERT_TRUE(queue.MarkSucceeded(job->id, 2.0, {}, "", 0.1, {}).ok());
+  }
+  EXPECT_EQ(queue.Get(open->id)->state, JobState::kSubmitted);
+}
+
 // ---- Journal recovery (unit) ----
 
 std::string TempJournal(const char* name) {
@@ -485,6 +514,44 @@ TEST_F(JobSchedulerTest, JournalRecoveryReRunsInFlightJobs) {
   EXPECT_EQ(third->jobs().RunPending(), 0u);
   EXPECT_EQ(third->jobs().queue().Get(job_id)->state,
             JobState::kSucceeded);
+  std::remove(path.c_str());
+}
+
+TEST_F(JobSchedulerTest, RecoveryCompactsJournal) {
+  std::string path = TempJournal("compact");
+  std::remove(path.c_str());
+  JobId job_id = 0;
+  {
+    auto archive = MakeArchive(path);
+    AddFlakyOp(archive.get(), "Flaky", /*failures=*/1);
+    auto job = archive->jobs().Submit(InvokeSpec("Flaky"));
+    ASSERT_TRUE(job.ok());
+    job_id = job->id;
+    // Attempt 1 fails, backoff, attempt 2 succeeds: the journal has
+    // accumulated the full history (submitted, running, retrying,
+    // running, succeeded).
+    EXPECT_EQ(archive->jobs().RunPending(), 1u);
+    archive->clock().Advance(100);
+    EXPECT_EQ(archive->jobs().RunPending(), 1u);
+    EXPECT_EQ(archive->jobs().queue().Get(job_id)->state,
+              JobState::kSucceeded);
+    auto events = ReadJournal(path);
+    ASSERT_TRUE(events.ok());
+    EXPECT_GE(events->size(), 5u);
+  }
+  // Restart compacts the journal down to the minimal replayable form:
+  // one submit plus the terminal transition.
+  auto restarted = MakeArchive(path);
+  EXPECT_EQ(restarted->jobs().RunPending(), 0u);
+  EXPECT_EQ(restarted->jobs().queue().Get(job_id)->state,
+            JobState::kSucceeded);
+  auto compacted = ReadJournal(path);
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ(compacted->size(), 2u);
+  // The compacted journal still recovers the same state.
+  auto third = MakeArchive(path);
+  EXPECT_EQ(third->jobs().RunPending(), 0u);
+  EXPECT_EQ(third->jobs().queue().Get(job_id)->state, JobState::kSucceeded);
   std::remove(path.c_str());
 }
 

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "core/archive.h"
 #include "core/turbulence_setup.h"
@@ -176,6 +178,90 @@ TEST_F(JobsWebTest, SubmitValidatesInput) {
   EXPECT_EQ(archive_->Get(alice, "/jobs/status", {{"id", "999"}}).status,
             404);
   EXPECT_EQ(archive_->Get(alice, "/jobs/status", {}).status, 400);
+}
+
+TEST_F(JobsWebTest, SubmitValidatesChainAndUploadAtSubmission) {
+  xuis::OperationChainSpec chain;
+  chain.name = "AuthorisedOnly";
+  chain.guest_access = false;
+  chain.step_operations = {"Subsample", "FieldStats"};
+  xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
+  ASSERT_TRUE(c.AddOperationChain("RESULT_FILE.DOWNLOAD_RESULT",
+                                  std::move(chain)).ok());
+  std::string alice = LoginAlice(archive_.get());
+  // A bad chain name fails at submission, not after queueing.
+  EXPECT_EQ(archive_->Get(alice, "/jobs/submit",
+                          {{"kind", "chain"},
+                           {"chain", "NoSuchChain"},
+                           {"dataset", datasets_[0]}}).status,
+            404);
+  // Guests cannot queue a guest-forbidden chain.
+  std::string guest = *archive_->Login("guest", "guest");
+  EXPECT_EQ(archive_->Get(guest, "/jobs/submit",
+                          {{"kind", "chain"},
+                           {"chain", "AuthorisedOnly"},
+                           {"dataset", datasets_[0]}}).status,
+            403);
+  // Upload jobs check the target column exists and accepts uploads.
+  EXPECT_EQ(archive_->Get(alice, "/jobs/submit",
+                          {{"kind", "upload"},
+                           {"table", "RESULT_FILE"},
+                           {"column", "NO_SUCH_COLUMN"},
+                           {"dataset", datasets_[0]},
+                           {"code", "let x = 1;"}}).status,
+            404);
+  // Nothing was queued by any of the rejected submissions.
+  EXPECT_EQ(archive_->jobs().queue().open_count(), 0u);
+}
+
+TEST_F(JobsWebTest, SubmitClampsRetryBudget) {
+  std::string alice = LoginAlice(archive_.get());
+  auto submit = archive_->Get(alice, "/jobs/submit",
+                              {{"op", "FieldStats"},
+                               {"dataset", datasets_[0]},
+                               {"attempts", "500"}});
+  ASSERT_EQ(submit.status, 200) << submit.body;
+  Result<int64_t> id = ParseInt64(submit.body);
+  ASSERT_TRUE(id.ok());
+  auto job = archive_->jobs().queue().Get(static_cast<jobs::JobId>(*id));
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job->spec.max_attempts, 10u);
+}
+
+TEST_F(JobsWebTest, WebRequestsConcurrentWithWorkers) {
+  std::string alice = LoginAlice(archive_.get());
+  archive_->engine().set_caching(true);
+  constexpr int kJobs = 8;
+  std::string first_id;
+  for (int i = 0; i < kJobs; ++i) {
+    auto submit = archive_->Get(
+        alice, "/jobs/submit",
+        {{"op", "FieldStats"},
+         {"dataset", datasets_[i % datasets_.size()]}});
+    ASSERT_EQ(submit.status, 200) << submit.body;
+    if (i == 0) first_id = submit.body;
+  }
+  archive_->jobs().Start(2);
+  // The engine serialises invocations internally, so synchronous web
+  // requests — including /runop, which invokes the same engine — are safe
+  // while workers drain the queue. TSan builds check this for real.
+  for (int spins = 0; spins < 5000; ++spins) {
+    EXPECT_EQ(archive_->Get(alice, "/runop",
+                            {{"op", "FieldStats"},
+                             {"dataset", datasets_[0]}}).status,
+              200);
+    EXPECT_EQ(archive_->Get(alice, "/stats", {}).status, 200);
+    EXPECT_EQ(archive_->Get(alice, "/jobs/list", {}).status, 200);
+    EXPECT_EQ(archive_->Get(alice, "/jobs/status", {{"id", first_id}})
+                  .status,
+              200);
+    if (archive_->jobs().queue().open_count() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  archive_->jobs().Stop();
+  EXPECT_EQ(archive_->jobs().queue().open_count(), 0u);
+  EXPECT_EQ(archive_->jobs().succeeded(),
+            static_cast<uint64_t>(kJobs));
 }
 
 TEST_F(JobsWebTest, CrashRecoveryReRunsJobToCompletion) {

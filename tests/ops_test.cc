@@ -251,7 +251,7 @@ TEST_F(EngineTest, CachingAvoidsRecomputation) {
       AuthorisedCtx());
   ASSERT_TRUE(third.ok());
   EXPECT_FALSE(third->cache_hit);
-  const OperationStats& stats = archive_->engine().stats().at("GetImage");
+  const OperationStats stats = archive_->engine().stats().at("GetImage");
   EXPECT_EQ(stats.invocations, 3u);
   EXPECT_EQ(stats.cache_hits, 1u);
 }
