@@ -124,6 +124,7 @@ struct DropTableStmt {
 struct Statement {
   enum class Kind {
     kSelect,
+    kExplain,  // EXPLAIN SELECT ... — plan stored in `select`
     kInsert,
     kUpdate,
     kDelete,

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "db/executor.h"
 #include "db/parser.h"
+#include "db/planner.h"
 
 namespace easia::db {
 
@@ -160,6 +161,9 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
     case Statement::Kind::kRollback:
       EASIA_RETURN_IF_ERROR(Rollback());
       return DmlResult(0);
+    case Statement::Kind::kExplain:
+      // Pure planning — reads the catalogue only, needs no transaction.
+      return ExecExplain(*stmt.select);
     default:
       break;
   }
@@ -655,6 +659,21 @@ Result<QueryResult> Database::ExecSelect(const SelectStmt& stmt,
     };
   }
   return ExecuteSelect(stmt, lookup, rewriter);
+}
+
+Result<QueryResult> Database::ExecExplain(const SelectStmt& stmt) {
+  TableLookup lookup = [this](const std::string& name) {
+    return GetTable(name);
+  };
+  EASIA_ASSIGN_OR_RETURN(SelectPlan plan, PlanSelect(stmt, lookup));
+  QueryResult result;
+  result.is_query = true;
+  result.column_names.push_back("PLAN");
+  result.column_types.push_back(DataType::kVarchar);
+  for (std::string& line : plan.Describe()) {
+    result.rows.push_back({Value::Varchar(std::move(line))});
+  }
+  return result;
 }
 
 std::string Database::SerializeSnapshot() const {

@@ -176,6 +176,8 @@ class Database {
                                  const ExecContext& ctx);
   Result<QueryResult> ExecSelect(const SelectStmt& stmt,
                                  const ExecContext& ctx);
+  /// EXPLAIN SELECT: plans the query and returns one PLAN row per node.
+  Result<QueryResult> ExecExplain(const SelectStmt& stmt);
 
   Result<Table*> GetMutableTable(const std::string& table);
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <set>
 
 #include "common/string_util.h"
 #include "db/database.h"
+#include "db/planner.h"
 
 namespace easia::db {
 
@@ -391,15 +393,12 @@ const ColumnDef* SourceColumnDef(const Expr& expr,
   return nullptr;
 }
 
-}  // namespace
-
-Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
-                                  const TableLookup& lookup,
-                                  const DatalinkRewriter& rewriter) {
-  if (stmt.from.empty()) {
-    return Status::InvalidArgument("SELECT requires a FROM clause");
-  }
-  // --- Build the joined row set (nested loops, left to right) ---
+/// Legacy row production: materialised nested-loop joins left to right,
+/// then the whole WHERE as one filter. Kept as the reference
+/// implementation for planner equivalence tests and benchmarks.
+Status BuildRowsNaive(const SelectStmt& stmt, const TableLookup& lookup,
+                      std::vector<ColumnBinding>* schema_out,
+                      std::vector<Row>* rows_out) {
   std::vector<ColumnBinding> schema;
   std::vector<Row> rows;
   bool first = true;
@@ -435,7 +434,6 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
     rows = std::move(new_rows);
     first = false;
   }
-  // --- WHERE ---
   if (stmt.where != nullptr) {
     std::vector<Row> filtered;
     for (Row& row : rows) {
@@ -445,7 +443,161 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
     }
     rows = std::move(filtered);
   }
+  *schema_out = std::move(schema);
+  *rows_out = std::move(rows);
+  return Status::OK();
+}
 
+/// Planned row production: per-scan access paths with pushed predicates,
+/// hash or nested-loop joins, residual WHERE, and optional early cutoff
+/// once LIMIT(+OFFSET) rows survive every filter. Produces rows in the
+/// same order as BuildRowsNaive (left-major, RowId-minor): index fetches
+/// return RowIds ascending, and hash buckets preserve insertion order for
+/// equal keys.
+Status BuildRowsPlanned(const SelectPlan& plan,
+                        std::vector<ColumnBinding>* schema_out,
+                        std::vector<Row>* rows_out) {
+  const size_t n = plan.scans.size();
+  // cum_schemas[d] covers scans[0..d-1]; cum_schemas[n] is the full schema.
+  std::vector<std::vector<ColumnBinding>> scan_schemas(n);
+  std::vector<std::vector<ColumnBinding>> cum_schemas(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (const ColumnDef& col : plan.scans[i].table->def().columns) {
+      scan_schemas[i].push_back({plan.scans[i].alias, col.name, col.type,
+                                 &col});
+    }
+    cum_schemas[i + 1] = cum_schemas[i];
+    cum_schemas[i + 1].insert(cum_schemas[i + 1].end(),
+                              scan_schemas[i].begin(), scan_schemas[i].end());
+  }
+
+  // Materialise each scan through its access path. Pushed predicates are
+  // re-evaluated on every fetched row — including index hits — so the
+  // index key coercion can never change which rows qualify.
+  std::vector<std::vector<Row>> base(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ScanPlan& scan = plan.scans[i];
+    std::vector<Row> fetched;
+    if (scan.access == ScanPlan::Access::kSeqScan) {
+      for (const auto& [id, row] : scan.table->rows()) fetched.push_back(row);
+    } else {
+      EASIA_ASSIGN_OR_RETURN(
+          std::vector<RowId> ids,
+          scan.table->FindByIndex(scan.index_columns, scan.key_values));
+      for (RowId id : ids) {
+        EASIA_ASSIGN_OR_RETURN(const Row* row, scan.table->Get(id));
+        fetched.push_back(*row);
+      }
+    }
+    for (Row& row : fetched) {
+      EvalEnv env{&scan_schemas[i], &row};
+      bool keep = true;
+      for (const Expr* e : scan.pushed) {
+        EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
+        if (!IsTruthy(v)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) base[i].push_back(std::move(row));
+    }
+  }
+
+  // Hash tables for hash joins: right-side base rows keyed by their join
+  // keys. Rows with a NULL key can never match and are left out.
+  std::vector<std::multimap<std::string, const Row*>> hashes(n);
+  for (size_t j = 0; j + 1 < n; ++j) {
+    const JoinPlan& join = plan.joins[j];
+    if (join.strategy != JoinPlan::Strategy::kHashJoin) continue;
+    for (const Row& row : base[j + 1]) {
+      EvalEnv env{&scan_schemas[j + 1], &row};
+      std::string key;
+      bool null_key = false;
+      for (const Expr* e : join.right_keys) {
+        EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
+        if (v.is_null()) {
+          null_key = true;
+          break;
+        }
+        PutLengthPrefixed(&key, v.ToKeyString());
+      }
+      if (!null_key) hashes[j + 1].emplace(std::move(key), &row);
+    }
+  }
+
+  // Depth-first pipelined production; `extend` returns true to stop early
+  // once the LIMIT cutoff is satisfied.
+  std::vector<Row> out;
+  const int64_t cutoff = plan.row_cutoff;
+  std::function<Result<bool>(Row&, size_t)> extend =
+      [&](Row& so_far, size_t depth) -> Result<bool> {
+    if (depth == n) {
+      EvalEnv env{&cum_schemas[n], &so_far};
+      for (const Expr* e : plan.residual_where) {
+        EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
+        if (!IsTruthy(v)) return false;
+      }
+      out.push_back(so_far);
+      return cutoff >= 0 && out.size() >= static_cast<size_t>(cutoff);
+    }
+    const JoinPlan& join = plan.joins[depth - 1];
+    auto try_right = [&](const Row& right) -> Result<bool> {
+      size_t old_size = so_far.size();
+      so_far.insert(so_far.end(), right.begin(), right.end());
+      bool keep = true;
+      EvalEnv env{&cum_schemas[depth + 1], &so_far};
+      for (const Expr* e : join.residual) {
+        EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
+        if (!IsTruthy(v)) {
+          keep = false;
+          break;
+        }
+      }
+      bool stop = false;
+      if (keep) {
+        EASIA_ASSIGN_OR_RETURN(stop, extend(so_far, depth + 1));
+      }
+      so_far.resize(old_size);
+      return stop;
+    };
+    if (join.strategy == JoinPlan::Strategy::kHashJoin) {
+      EvalEnv env{&cum_schemas[depth], &so_far};
+      std::string key;
+      for (const Expr* e : join.left_keys) {
+        EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
+        if (v.is_null()) return false;  // NULL never equi-joins
+        PutLengthPrefixed(&key, v.ToKeyString());
+      }
+      auto range = hashes[depth].equal_range(key);
+      for (auto it = range.first; it != range.second; ++it) {
+        EASIA_ASSIGN_OR_RETURN(bool stop, try_right(*it->second));
+        if (stop) return true;
+      }
+      return false;
+    }
+    for (const Row& right : base[depth]) {
+      EASIA_ASSIGN_OR_RETURN(bool stop, try_right(right));
+      if (stop) return true;
+    }
+    return false;
+  };
+  for (const Row& first : base[0]) {
+    Row so_far = first;
+    EASIA_ASSIGN_OR_RETURN(bool stop, extend(so_far, 1));
+    if (stop) break;
+  }
+  *schema_out = std::move(cum_schemas[n]);
+  *rows_out = std::move(out);
+  return Status::OK();
+}
+
+/// Everything downstream of row production: projection, aggregates,
+/// DISTINCT, ORDER BY, OFFSET/LIMIT, DATALINK rewrite. `rows` must already
+/// be WHERE-filtered.
+Result<QueryResult> FinishSelect(const SelectStmt& stmt,
+                                 const std::vector<ColumnBinding>& schema,
+                                 std::vector<Row> rows,
+                                 const DatalinkRewriter& rewriter) {
   // --- Expand projection items ---
   struct OutputItem {
     std::string name;
@@ -663,6 +815,26 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
     result.rows.push_back(std::move(values));
   }
   return result;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                  const TableLookup& lookup,
+                                  const DatalinkRewriter& rewriter,
+                                  const ExecuteOptions& options) {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("SELECT requires a FROM clause");
+  }
+  std::vector<ColumnBinding> schema;
+  std::vector<Row> rows;
+  if (options.use_planner) {
+    EASIA_ASSIGN_OR_RETURN(SelectPlan plan, PlanSelect(stmt, lookup));
+    EASIA_RETURN_IF_ERROR(BuildRowsPlanned(plan, &schema, &rows));
+  } else {
+    EASIA_RETURN_IF_ERROR(BuildRowsNaive(stmt, lookup, &schema, &rows));
+  }
+  return FinishSelect(stmt, schema, std::move(rows), rewriter);
 }
 
 }  // namespace easia::db

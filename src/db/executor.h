@@ -45,13 +45,23 @@ using TableLookup =
 using DatalinkRewriter = std::function<Result<std::string>(
     const ColumnDef& def, const std::string& url)>;
 
-/// Executes a SELECT: nested-loop joins, WHERE, GROUP BY / aggregates
-/// (COUNT/SUM/AVG/MIN/MAX), HAVING, ORDER BY, DISTINCT, LIMIT/OFFSET and
-/// projection. `rewriter`, when set, is applied to projected DATALINK
-/// columns (SQL/MED READ PERMISSION DB token insertion).
+/// Execution knobs. `use_planner = false` selects the legacy path
+/// (materialised nested-loop joins, whole-WHERE filter) — kept for plan
+/// correctness tests and before/after benchmarks.
+struct ExecuteOptions {
+  bool use_planner = true;
+};
+
+/// Executes a SELECT: planned scans and joins (predicate pushdown, index
+/// access, hash joins, LIMIT short-circuit — see db/planner.h), then WHERE
+/// residual, GROUP BY / aggregates (COUNT/SUM/AVG/MIN/MAX), HAVING,
+/// ORDER BY, DISTINCT, LIMIT/OFFSET and projection. `rewriter`, when set,
+/// is applied to projected DATALINK columns (SQL/MED READ PERMISSION DB
+/// token insertion).
 Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
                                   const TableLookup& lookup,
-                                  const DatalinkRewriter& rewriter);
+                                  const DatalinkRewriter& rewriter,
+                                  const ExecuteOptions& options = {});
 
 }  // namespace easia::db
 

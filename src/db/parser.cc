@@ -16,6 +16,10 @@ class SqlParser {
     if (ConsumeKeyword("SELECT")) {
       stmt.kind = Statement::Kind::kSelect;
       EASIA_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
+    } else if (ConsumeKeyword("EXPLAIN")) {
+      stmt.kind = Statement::Kind::kExplain;
+      EASIA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+      EASIA_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
     } else if (ConsumeKeyword("INSERT")) {
       stmt.kind = Statement::Kind::kInsert;
       EASIA_ASSIGN_OR_RETURN(stmt.insert, ParseInsertBody());

@@ -1,0 +1,395 @@
+#include "db/planner.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace easia::db {
+
+namespace {
+
+/// Flattens the top-level AND tree of `expr` into conjuncts. Splitting is
+/// sound under SQL three-valued logic: AND(a, b) is truthy iff both a and b
+/// are truthy, so filtering by each conjunct in turn rejects exactly the
+/// same rows as filtering by the conjunction.
+void SplitConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == Expr::Kind::kBinary && expr.op == Expr::Op::kAnd) {
+    SplitConjuncts(*expr.left, out);
+    SplitConjuncts(*expr.right, out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+/// Column namespace of the FROM list used to decide which tables a
+/// predicate touches.
+struct AliasSchema {
+  std::string alias;
+  const Table* table;
+};
+
+/// Resolves one column reference to the FROM entry that owns it. Returns
+/// nullopt when the reference is unknown or ambiguous — the caller then
+/// refuses to move the enclosing conjunct, so the executor surfaces the
+/// same error the unplanned path would.
+std::optional<size_t> ResolveAlias(const std::vector<AliasSchema>& aliases,
+                                   const std::string& table,
+                                   const std::string& column) {
+  std::optional<size_t> found;
+  for (size_t i = 0; i < aliases.size(); ++i) {
+    if (!table.empty() && !EqualsIgnoreCase(aliases[i].alias, table)) {
+      continue;
+    }
+    if (aliases[i].table->def().FindColumn(column) == nullptr) continue;
+    if (found.has_value()) return std::nullopt;  // ambiguous
+    found = i;
+  }
+  return found;
+}
+
+/// Collects the set of FROM entries referenced by `expr` into `out`.
+/// Returns false when any reference fails to resolve uniquely.
+bool CollectAliases(const Expr& expr, const std::vector<AliasSchema>& aliases,
+                    std::set<size_t>* out) {
+  if (expr.kind == Expr::Kind::kColumn) {
+    std::optional<size_t> idx = ResolveAlias(aliases, expr.table, expr.column);
+    if (!idx.has_value()) return false;
+    out->insert(*idx);
+    return true;
+  }
+  if (expr.left != nullptr && !CollectAliases(*expr.left, aliases, out)) {
+    return false;
+  }
+  if (expr.right != nullptr && !CollectAliases(*expr.right, aliases, out)) {
+    return false;
+  }
+  for (const auto& a : expr.args) {
+    if (!CollectAliases(*a, aliases, out)) return false;
+  }
+  return true;
+}
+
+/// A conjunct awaiting placement, with the FROM entries it references.
+struct Conjunct {
+  const Expr* expr;
+  std::set<size_t> aliases;
+  /// ON conjuncts may not float ahead of their join (the unplanned
+  /// executor evaluates them there); WHERE conjuncts have no floor.
+  size_t min_join = 0;
+  bool placed = false;
+};
+
+/// True when `expr` is `column = literal` (either side order) over the
+/// given FROM entry; fills the column name and literal.
+bool MatchColumnEqualsLiteral(const Expr& expr,
+                              const std::vector<AliasSchema>& aliases,
+                              size_t alias_index, std::string* column,
+                              Value* literal) {
+  if (expr.kind != Expr::Kind::kBinary || expr.op != Expr::Op::kEq) {
+    return false;
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  for (const Expr* side : {expr.left.get(), expr.right.get()}) {
+    if (side->kind == Expr::Kind::kColumn) col = side;
+    if (side->kind == Expr::Kind::kLiteral) lit = side;
+  }
+  if (col == nullptr || lit == nullptr || lit->literal.is_null()) {
+    return false;
+  }
+  std::optional<size_t> owner = ResolveAlias(aliases, col->table, col->column);
+  if (!owner.has_value() || *owner != alias_index) return false;
+  *column = col->column;
+  *literal = lit->literal;
+  return true;
+}
+
+/// Hash-join keys must agree with the executor's equality semantics:
+/// Value::Compare treats numeric kinds as one family and string kinds as
+/// another, and Value::ToKeyString (the hash key) mirrors exactly that
+/// split. Mixed numeric/string comparisons fall back to display-form
+/// equality, which ToKeyString does not model — such pairs stay in the
+/// nested-loop/residual path.
+bool HashComparable(DataType a, DataType b) {
+  auto numeric = [](DataType t) {
+    return t == DataType::kInteger || t == DataType::kDouble ||
+           t == DataType::kTimestamp;
+  };
+  return (numeric(a) && numeric(b)) || (!numeric(a) && !numeric(b));
+}
+
+/// True when `expr` is `x = y` with bare hash-comparable column refs on
+/// both sides, one resolving to `right_index` and the other to an earlier
+/// FROM entry. Orients the pair as (left expr, right expr).
+bool MatchEquiJoin(const Expr& expr, const std::vector<AliasSchema>& aliases,
+                   size_t right_index, const Expr** left_key,
+                   const Expr** right_key) {
+  if (expr.kind != Expr::Kind::kBinary || expr.op != Expr::Op::kEq) {
+    return false;
+  }
+  if (expr.left->kind != Expr::Kind::kColumn ||
+      expr.right->kind != Expr::Kind::kColumn) {
+    return false;
+  }
+  std::optional<size_t> a =
+      ResolveAlias(aliases, expr.left->table, expr.left->column);
+  std::optional<size_t> b =
+      ResolveAlias(aliases, expr.right->table, expr.right->column);
+  if (!a.has_value() || !b.has_value()) return false;
+  const Expr* left = nullptr;
+  const Expr* right = nullptr;
+  if (*a < right_index && *b == right_index) {
+    left = expr.left.get();
+    right = expr.right.get();
+  } else if (*b < right_index && *a == right_index) {
+    left = expr.right.get();
+    right = expr.left.get();
+  } else {
+    return false;
+  }
+  auto column_type = [&](const Expr* col, size_t idx) {
+    return aliases[idx].table->def().FindColumn(col->column)->type;
+  };
+  size_t left_idx = (left == expr.left.get()) ? *a : *b;
+  if (!HashComparable(column_type(left, left_idx),
+                      column_type(right, right_index))) {
+    return false;
+  }
+  *left_key = left;
+  *right_key = right;
+  return true;
+}
+
+/// Picks the access path for one scan from its pushed-down equality
+/// predicates: a unique index whose columns are all pinned beats a
+/// secondary (FK) index beats a sequential scan.
+void ChooseAccessPath(ScanPlan* scan,
+                      const std::vector<AliasSchema>& aliases,
+                      size_t alias_index) {
+  // Equality predicates available on this table, by upper-cased column.
+  std::map<std::string, Value> equalities;
+  for (const Expr* e : scan->pushed) {
+    std::string column;
+    Value literal;
+    if (MatchColumnEqualsLiteral(*e, aliases, alias_index, &column,
+                                 &literal)) {
+      equalities.emplace(ToUpper(column), std::move(literal));
+    }
+  }
+  if (equalities.empty()) return;
+  const TableDef& def = scan->table->def();
+  auto try_index = [&](const std::vector<std::string>& columns,
+                       ScanPlan::Access access) {
+    std::vector<Value> key;
+    for (const std::string& col : columns) {
+      auto it = equalities.find(ToUpper(col));
+      if (it == equalities.end()) return false;
+      const ColumnDef* cdef = def.FindColumn(col);
+      if (cdef == nullptr) return false;
+      // Coerce the literal so index keys agree with stored values. A
+      // literal that cannot coerce (e.g. 'abc' against INTEGER) can still
+      // be display-equal to nothing, so a plain scan handles it.
+      Result<Value> coerced = it->second.CoerceTo(cdef->type);
+      if (!coerced.ok()) return false;
+      key.push_back(std::move(*coerced));
+    }
+    scan->access = access;
+    scan->index_columns = columns;
+    scan->key_values = std::move(key);
+    return true;
+  };
+  for (const std::vector<std::string>& columns :
+       scan->table->UniqueIndexColumns()) {
+    if (try_index(columns, ScanPlan::Access::kUniqueLookup)) return;
+  }
+  for (const std::vector<std::string>& columns :
+       scan->table->SecondaryIndexColumns()) {
+    if (try_index(columns, ScanPlan::Access::kIndexScan)) return;
+  }
+}
+
+std::string DescribeExprList(const std::vector<const Expr*>& exprs) {
+  std::vector<std::string> parts;
+  for (const Expr* e : exprs) parts.push_back(e->ToString());
+  return Join(parts, " AND ");
+}
+
+}  // namespace
+
+Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
+                              const TableLookup& lookup) {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("SELECT requires a FROM clause");
+  }
+  SelectPlan plan;
+  plan.stmt = &stmt;
+  std::vector<AliasSchema> aliases;
+  for (const TableRef& ref : stmt.from) {
+    EASIA_ASSIGN_OR_RETURN(const Table* table, lookup(ref.table));
+    aliases.push_back({ref.alias, table});
+    ScanPlan scan;
+    scan.table = table;
+    scan.alias = ref.alias;
+    plan.scans.push_back(std::move(scan));
+  }
+  plan.joins.resize(plan.scans.size() > 0 ? plan.scans.size() - 1 : 0);
+
+  // --- Gather conjuncts from WHERE and every ON condition ---
+  std::vector<Conjunct> conjuncts;
+  if (stmt.where != nullptr) {
+    std::vector<const Expr*> parts;
+    SplitConjuncts(*stmt.where, &parts);
+    for (const Expr* e : parts) {
+      Conjunct c;
+      c.expr = e;
+      c.min_join = 0;
+      if (!CollectAliases(*e, aliases, &c.aliases)) {
+        // Unknown/ambiguous reference: leave the conjunct in the final
+        // residual so evaluation reports the same error as before.
+        plan.residual_where.push_back(e);
+        continue;
+      }
+      conjuncts.push_back(std::move(c));
+    }
+  }
+  for (size_t i = 1; i < stmt.from.size(); ++i) {
+    const Expr* cond = stmt.from[i].join_condition.get();
+    if (cond == nullptr) continue;
+    std::vector<const Expr*> parts;
+    SplitConjuncts(*cond, &parts);
+    // If any part fails to resolve, or references a table joined later,
+    // keep the whole condition at this join (the unplanned executor
+    // evaluates it there, over the tables joined so far).
+    bool splittable = true;
+    std::vector<Conjunct> local;
+    for (const Expr* e : parts) {
+      Conjunct c;
+      c.expr = e;
+      c.min_join = i;
+      if (!CollectAliases(*e, aliases, &c.aliases) ||
+          (!c.aliases.empty() && *c.aliases.rbegin() > i)) {
+        splittable = false;
+        break;
+      }
+      local.push_back(std::move(c));
+    }
+    if (!splittable) {
+      plan.joins[i - 1].residual.push_back(cond);
+      continue;
+    }
+    for (Conjunct& c : local) conjuncts.push_back(std::move(c));
+  }
+
+  // --- Place conjuncts: scan pushdown, join keys, join/where residual ---
+  for (Conjunct& c : conjuncts) {
+    if (c.aliases.size() == 1 && c.min_join == 0) {
+      plan.scans[*c.aliases.begin()].pushed.push_back(c.expr);
+      c.placed = true;
+    } else if (c.aliases.size() == 1) {
+      // Single-table ON conjunct: push to its scan only when that table is
+      // the one being joined (or earlier); pushing earlier than min_join
+      // would skip rows the unplanned ON evaluation also skips, so it is
+      // always safe for inner joins.
+      plan.scans[*c.aliases.begin()].pushed.push_back(c.expr);
+      c.placed = true;
+    }
+  }
+  for (Conjunct& c : conjuncts) {
+    if (c.placed || c.aliases.empty()) continue;
+    size_t last = *c.aliases.rbegin();
+    if (last == 0) continue;  // multi-ref over first table only: residual
+    const Expr* left_key = nullptr;
+    const Expr* right_key = nullptr;
+    if (MatchEquiJoin(*c.expr, aliases, last, &left_key, &right_key)) {
+      JoinPlan& join = plan.joins[last - 1];
+      join.strategy = JoinPlan::Strategy::kHashJoin;
+      join.left_keys.push_back(left_key);
+      join.right_keys.push_back(right_key);
+    } else {
+      plan.joins[last - 1].residual.push_back(c.expr);
+    }
+    c.placed = true;
+  }
+  for (Conjunct& c : conjuncts) {
+    if (!c.placed) {
+      // Constant conjuncts (no column refs) and multi-ref conjuncts over
+      // the first table land in the final residual.
+      if (c.aliases.empty() || *c.aliases.rbegin() == 0) {
+        plan.residual_where.push_back(c.expr);
+        c.placed = true;
+      }
+    }
+  }
+
+  // --- Access paths ---
+  for (size_t i = 0; i < plan.scans.size(); ++i) {
+    ChooseAccessPath(&plan.scans[i], aliases, i);
+  }
+
+  // --- LIMIT short-circuit ---
+  bool aggregate_query = !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr != nullptr && item.expr->ContainsAggregate()) {
+      aggregate_query = true;
+    }
+  }
+  if (stmt.limit >= 0 && stmt.order_by.empty() && !aggregate_query &&
+      !stmt.distinct) {
+    plan.row_cutoff = stmt.limit + std::max<int64_t>(stmt.offset, 0);
+  }
+  return plan;
+}
+
+std::vector<std::string> SelectPlan::Describe() const {
+  std::vector<std::string> lines;
+  for (size_t i = 0; i < scans.size(); ++i) {
+    const ScanPlan& scan = scans[i];
+    std::string line =
+        "scan " + scan.table->def().name + " AS " + scan.alias + ": ";
+    switch (scan.access) {
+      case ScanPlan::Access::kSeqScan:
+        line += "seq scan";
+        break;
+      case ScanPlan::Access::kUniqueLookup:
+        line += "unique lookup via (" + Join(scan.index_columns, ", ") + ")";
+        break;
+      case ScanPlan::Access::kIndexScan:
+        line += "index scan via (" + Join(scan.index_columns, ", ") + ")";
+        break;
+    }
+    if (!scan.pushed.empty()) {
+      line += ", pushed: " + DescribeExprList(scan.pushed);
+    }
+    lines.push_back(std::move(line));
+  }
+  for (size_t i = 0; i < joins.size(); ++i) {
+    const JoinPlan& join = joins[i];
+    std::string line = "join " + scans[i + 1].alias + ": ";
+    if (join.strategy == JoinPlan::Strategy::kHashJoin) {
+      std::vector<std::string> keys;
+      for (size_t k = 0; k < join.left_keys.size(); ++k) {
+        keys.push_back(join.left_keys[k]->ToString() + " = " +
+                       join.right_keys[k]->ToString());
+      }
+      line += "hash join on (" + Join(keys, ", ") + ")";
+    } else {
+      line += "nested loop";
+    }
+    if (!join.residual.empty()) {
+      line += ", residual: " + DescribeExprList(join.residual);
+    }
+    lines.push_back(std::move(line));
+  }
+  if (!residual_where.empty()) {
+    lines.push_back("where residual: " + DescribeExprList(residual_where));
+  }
+  if (row_cutoff >= 0) {
+    lines.push_back(StrPrintf("limit short-circuit: %lld",
+                              static_cast<long long>(row_cutoff)));
+  }
+  return lines;
+}
+
+}  // namespace easia::db

@@ -1,0 +1,85 @@
+#ifndef EASIA_DB_PLANNER_H_
+#define EASIA_DB_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/ast.h"
+#include "db/executor.h"
+#include "db/table.h"
+
+namespace easia::db {
+
+/// How one FROM-clause table is read.
+struct ScanPlan {
+  enum class Access {
+    kSeqScan,       // full table scan
+    kUniqueLookup,  // point fetch through a unique index (PK or UNIQUE)
+    kIndexScan,     // non-unique secondary index (FK columns)
+  };
+
+  const Table* table = nullptr;
+  std::string alias;
+  Access access = Access::kSeqScan;
+  /// Columns of the chosen index (empty for seq scans).
+  std::vector<std::string> index_columns;
+  /// Literal key values, coerced to the index column types.
+  std::vector<Value> key_values;
+  /// Single-table WHERE/ON conjuncts pushed below the join. These are
+  /// re-evaluated on every fetched row (including index hits), so an index
+  /// choice can never change which rows qualify.
+  std::vector<const Expr*> pushed;
+};
+
+/// How scans[i] (i >= 1) is attached to the rows accumulated so far.
+struct JoinPlan {
+  enum class Strategy { kNestedLoop, kHashJoin };
+
+  Strategy strategy = Strategy::kNestedLoop;
+  /// Hash-join key pairs: left_keys[k] evaluates over the accumulated
+  /// (left) schema, right_keys[k] over the new table's single-table schema.
+  std::vector<const Expr*> left_keys;
+  std::vector<const Expr*> right_keys;
+  /// Conjuncts applied to each combined row at this join (the non-equi
+  /// remainder of the ON condition plus WHERE conjuncts that span exactly
+  /// the tables joined so far).
+  std::vector<const Expr*> residual;
+};
+
+/// A planned SELECT: per-table access paths, join strategies, the residual
+/// WHERE that survives pushdown, and an optional row-production cutoff.
+struct SelectPlan {
+  const SelectStmt* stmt = nullptr;
+  std::vector<ScanPlan> scans;
+  /// joins[i] attaches scans[i + 1]; empty for single-table queries.
+  std::vector<JoinPlan> joins;
+  /// WHERE conjuncts not pushed to a scan or consumed by a join.
+  std::vector<const Expr*> residual_where;
+  /// When >= 0, row production may stop after this many joined+filtered
+  /// rows (LIMIT+OFFSET with no ORDER BY / GROUP BY / DISTINCT /
+  /// aggregates).
+  int64_t row_cutoff = -1;
+
+  /// Human/test-readable plan description, one line per plan node — the
+  /// EXPLAIN output.
+  std::vector<std::string> Describe() const;
+
+  /// Exprs synthesized while planning (conjunct clones); plan nodes point
+  /// into these and into the statement, so the plan must not outlive
+  /// either.
+  std::vector<std::unique_ptr<Expr>> owned;
+};
+
+/// Builds an execution plan for `stmt`: splits the WHERE conjunction,
+/// pushes single-table predicates down to the scans, picks index access
+/// paths (unique point lookups on any table, FK secondary-index scans),
+/// turns equi-join conditions into hash joins, and decides whether LIMIT
+/// may short-circuit row production.
+Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
+                              const TableLookup& lookup);
+
+}  // namespace easia::db
+
+#endif  // EASIA_DB_PLANNER_H_

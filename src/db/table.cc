@@ -1,5 +1,7 @@
 #include "db/table.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace easia::db {
@@ -96,6 +98,25 @@ Table::Table(TableDef def) : def_(std::move(def)) {
   };
   if (!def_.primary_key.empty()) add_index(def_.primary_key, true);
   for (const auto& unique : def_.unique_constraints) add_index(unique, false);
+  // One non-unique secondary index per foreign key, so FK-browse queries
+  // (`WHERE fk_col = v`) need not scan. Skip FKs already covered exactly
+  // by a unique index.
+  for (const ForeignKeyDef& fk : def_.foreign_keys) {
+    SecondaryIndex index;
+    for (const std::string& c : fk.columns) {
+      Result<size_t> idx = def_.ColumnIndex(c);
+      if (idx.ok()) index.column_indexes.push_back(*idx);
+    }
+    if (index.column_indexes.size() != fk.columns.size()) continue;
+    bool covered = false;
+    for (const UniqueIndex& u : indexes_) {
+      if (u.column_indexes == index.column_indexes) covered = true;
+    }
+    for (const SecondaryIndex& s : secondary_indexes_) {
+      if (s.column_indexes == index.column_indexes) covered = true;
+    }
+    if (!covered) secondary_indexes_.push_back(std::move(index));
+  }
 }
 
 std::string Table::MakeKey(const Row& row,
@@ -134,6 +155,10 @@ void Table::IndexInsert(RowId id, const Row& row) {
     if (!AllNonNull(row, index.column_indexes)) continue;
     index.entries[MakeKey(row, index.column_indexes)] = id;
   }
+  for (SecondaryIndex& index : secondary_indexes_) {
+    if (!AllNonNull(row, index.column_indexes)) continue;
+    index.entries.emplace(MakeKey(row, index.column_indexes), id);
+  }
 }
 
 void Table::IndexRemove(RowId id, const Row& row) {
@@ -142,6 +167,16 @@ void Table::IndexRemove(RowId id, const Row& row) {
     auto it = index.entries.find(MakeKey(row, index.column_indexes));
     if (it != index.entries.end() && it->second == id) {
       index.entries.erase(it);
+    }
+  }
+  for (SecondaryIndex& index : secondary_indexes_) {
+    if (!AllNonNull(row, index.column_indexes)) continue;
+    auto range = index.entries.equal_range(MakeKey(row, index.column_indexes));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == id) {
+        index.entries.erase(it);
+        break;
+      }
     }
   }
 }
@@ -241,6 +276,81 @@ Result<RowId> Table::FindUnique(const std::vector<std::string>& columns,
     if (match) return id;
   }
   return Status::NotFound("no row with given key in " + def_.name);
+}
+
+std::vector<std::vector<std::string>> Table::UniqueIndexColumns() const {
+  std::vector<std::vector<std::string>> out;
+  for (const UniqueIndex& index : indexes_) {
+    std::vector<std::string> columns;
+    for (size_t idx : index.column_indexes) {
+      columns.push_back(def_.columns[idx].name);
+    }
+    out.push_back(std::move(columns));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> Table::SecondaryIndexColumns() const {
+  std::vector<std::vector<std::string>> out;
+  for (const SecondaryIndex& index : secondary_indexes_) {
+    std::vector<std::string> columns;
+    for (size_t idx : index.column_indexes) {
+      columns.push_back(def_.columns[idx].name);
+    }
+    out.push_back(std::move(columns));
+  }
+  return out;
+}
+
+Result<std::vector<RowId>> Table::FindByIndex(
+    const std::vector<std::string>& columns,
+    const std::vector<Value>& key_values) const {
+  if (columns.size() != key_values.size()) {
+    return Status::InvalidArgument("FindByIndex: arity mismatch");
+  }
+  // SQL equality: a NULL key matches no row.
+  for (const Value& v : key_values) {
+    if (v.is_null()) return std::vector<RowId>{};
+  }
+  std::vector<size_t> col_indexes;
+  for (const std::string& c : columns) {
+    EASIA_ASSIGN_OR_RETURN(size_t idx, def_.ColumnIndex(c));
+    col_indexes.push_back(idx);
+  }
+  std::string key;
+  for (const Value& v : key_values) {
+    PutLengthPrefixed(&key, v.ToKeyString());
+  }
+  for (const UniqueIndex& index : indexes_) {
+    if (index.column_indexes != col_indexes) continue;
+    auto it = index.entries.find(key);
+    if (it == index.entries.end()) return std::vector<RowId>{};
+    return std::vector<RowId>{it->second};
+  }
+  for (const SecondaryIndex& index : secondary_indexes_) {
+    if (index.column_indexes != col_indexes) continue;
+    auto range = index.entries.equal_range(key);
+    std::vector<RowId> ids;
+    for (auto it = range.first; it != range.second; ++it) {
+      ids.push_back(it->second);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+  // No covering index: scan in RowId order.
+  std::vector<RowId> ids;
+  for (const auto& [id, row] : rows_) {
+    bool match = true;
+    for (size_t i = 0; i < col_indexes.size(); ++i) {
+      if (row[col_indexes[i]].is_null() ||
+          !row[col_indexes[i]].Equals(key_values[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ids.push_back(id);
+  }
+  return ids;
 }
 
 bool Table::AnyRowWithValue(size_t column_index, const Value& value) const {

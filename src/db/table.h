@@ -60,6 +60,19 @@ class Table {
   /// True if any row has `value` in column `column_index`.
   bool AnyRowWithValue(size_t column_index, const Value& value) const;
 
+  /// Column-name lists of the unique indexes (primary key first) and the
+  /// non-unique secondary indexes, for planner access-path selection.
+  std::vector<std::vector<std::string>> UniqueIndexColumns() const;
+  std::vector<std::vector<std::string>> SecondaryIndexColumns() const;
+
+  /// RowIds whose values in `columns` equal `key_values`, in ascending
+  /// RowId order (matching scan order). Uses a unique or secondary index
+  /// when one covers exactly these columns, else scans. NULL key values
+  /// match nothing (SQL equality).
+  Result<std::vector<RowId>> FindByIndex(
+      const std::vector<std::string>& columns,
+      const std::vector<Value>& key_values) const;
+
   /// Key string over the given column indexes of a row.
   static std::string MakeKey(const Row& row,
                              const std::vector<size_t>& column_indexes);
@@ -71,6 +84,12 @@ class Table {
     std::vector<size_t> column_indexes;
     std::map<std::string, RowId> entries;
     bool is_primary = false;
+  };
+
+  /// Non-unique index (one per foreign key): many rows may share a key.
+  struct SecondaryIndex {
+    std::vector<size_t> column_indexes;
+    std::multimap<std::string, RowId> entries;
   };
 
   /// Checks that inserting/updating to `row` (excluding `exclude_id`) does
@@ -85,6 +104,7 @@ class Table {
   TableDef def_;
   std::map<RowId, Row> rows_;
   std::vector<UniqueIndex> indexes_;
+  std::vector<SecondaryIndex> secondary_indexes_;
   RowId next_row_id_ = 1;
 };
 

@@ -1,5 +1,7 @@
 #include "db/wal.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 
@@ -83,6 +85,12 @@ Status WalWriter::Append(const WalRecord& record) {
 Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::Internal("wal: writer closed");
   if (std::fflush(file_) != 0) return Status::Internal("wal: flush failed");
+  // fflush only reaches the OS page cache; fsync makes the commit durable
+  // against an OS crash or power loss, not just a process crash.
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::Internal(std::string("wal: fsync failed: ") +
+                            std::strerror(errno));
+  }
   return Status::OK();
 }
 

@@ -32,12 +32,12 @@ std::string TokenManager::Issue(const std::string& path, double now_epoch) {
 std::string TokenManager::IssueWithTtl(const std::string& path,
                                        double now_epoch, double ttl_seconds) {
   uint64_t expiry = static_cast<uint64_t>(now_epoch + ttl_seconds);
-  uint32_t nonce = ++nonce_counter_;
+  uint32_t nonce = nonce_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::string raw;
   PutU64(&raw, expiry);
   PutU32(&raw, nonce);
   raw += MacFor(expiry, nonce, path);
-  ++issued_;
+  issued_.fetch_add(1, std::memory_order_relaxed);
   return crypto::Base64UrlEncode(raw);
 }
 
@@ -46,7 +46,7 @@ Status TokenManager::Validate(const std::string& token,
                               double now_epoch) const {
   Result<std::string> decoded = crypto::Base64UrlDecode(token);
   if (!decoded.ok() || decoded->size() != kHeaderBytes + kMacBytes) {
-    ++rejected_;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::PermissionDenied("malformed access token");
   }
   Decoder dec(*decoded);
@@ -55,14 +55,14 @@ Status TokenManager::Validate(const std::string& token,
   std::string expected_mac = MacFor(expiry, nonce, path);
   std::string presented_mac = decoded->substr(kHeaderBytes);
   if (!crypto::ConstantTimeEquals(expected_mac, presented_mac)) {
-    ++rejected_;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::PermissionDenied("invalid access token for " + path);
   }
   if (now_epoch > static_cast<double>(expiry)) {
-    ++rejected_;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::TokenExpired("access token expired for " + path);
   }
-  ++validated_ok_;
+  validated_ok_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef EASIA_MED_TOKEN_H_
 #define EASIA_MED_TOKEN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -39,9 +40,13 @@ class TokenManager {
   void set_default_ttl(double seconds) { default_ttl_seconds_ = seconds; }
 
   /// Counters for the benchmark harness.
-  uint64_t issued() const { return issued_; }
-  uint64_t validated_ok() const { return validated_ok_; }
-  uint64_t rejected() const { return rejected_; }
+  uint64_t issued() const { return issued_.load(std::memory_order_relaxed); }
+  uint64_t validated_ok() const {
+    return validated_ok_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string MacFor(uint64_t expiry, uint32_t nonce,
@@ -49,10 +54,12 @@ class TokenManager {
 
   std::string secret_;
   double default_ttl_seconds_;
-  uint32_t nonce_counter_ = 0;
-  uint64_t issued_ = 0;
-  mutable uint64_t validated_ok_ = 0;
-  mutable uint64_t rejected_ = 0;
+  // Issue/Validate run concurrently from job workers and web handlers;
+  // atomics keep the nonce unique and the counters race-free.
+  std::atomic<uint32_t> nonce_counter_{0};
+  std::atomic<uint64_t> issued_{0};
+  mutable std::atomic<uint64_t> validated_ok_{0};
+  mutable std::atomic<uint64_t> rejected_{0};
 };
 
 }  // namespace easia::med

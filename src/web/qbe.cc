@@ -200,9 +200,16 @@ Result<std::string> BrowseSql(const xuis::XuisSpec& spec,
                               const std::string& value) {
   const xuis::XuisTable* t = spec.FindTable(table);
   if (t == nullptr) return Status::NotFound("browse: unknown table " + table);
+  if (t->hidden) {
+    return Status::PermissionDenied("browse: table " + table +
+                                    " is hidden from this interface");
+  }
   const xuis::XuisColumn* col = t->FindColumn(column);
   if (col == nullptr) {
     return Status::NotFound("browse: unknown column " + column);
+  }
+  if (col->hidden) {
+    return Status::PermissionDenied("browse: column " + column + " is hidden");
   }
   std::string literal;
   if (IsNumericType(col->type)) {

@@ -165,7 +165,10 @@ HttpResponse ArchiveWebServer::HandleBrowse(const HttpRequest& request,
   Result<std::string> sql =
       BrowseSql(spec, table_name, ParamOr(request.params, "column"),
                 ParamOr(request.params, "value"));
-  if (!sql.ok()) return Error(400, sql.status().ToString());
+  if (!sql.ok()) {
+    int status = sql.status().IsPermissionDenied() ? 403 : 400;
+    return Error(status, sql.status().ToString());
+  }
   const xuis::XuisTable* table = spec.FindTable(table_name);
   return RenderQuery(*sql, table, session);
 }

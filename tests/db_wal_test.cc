@@ -143,6 +143,38 @@ TEST_F(WalTest, RecoveryReplaysCommittedWork) {
   EXPECT_EQ(r->rows[0][1].AsString(), "z");
 }
 
+TEST_F(WalTest, SyncMakesCommitVisibleOnDiskBeforeClose) {
+  // Simulated crash-after-Sync: while the writer is still open (its stdio
+  // buffer never drained by fclose), the committed records must already be
+  // readable from the file — Sync has to fflush AND fsync, not rely on the
+  // eventual close. A plain fflush-less implementation leaves the log
+  // empty here.
+  Database db("T", Options());
+  ASSERT_TRUE(db.Recover().ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id INTEGER PRIMARY KEY, "
+                         "v VARCHAR(10))").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, 'a')").ok());
+  Result<std::vector<WalRecord>> records = ReadWal(Path("wal.log"));
+  ASSERT_TRUE(records.ok());
+  size_t commits = 0;
+  size_t inserts = 0;
+  for (const WalRecord& rec : *records) {
+    if (rec.type == WalRecordType::kCommit) ++commits;
+    if (rec.type == WalRecordType::kInsert) ++inserts;
+  }
+  EXPECT_EQ(commits, 2u);  // CREATE TABLE txn + INSERT txn
+  EXPECT_EQ(inserts, 1u);
+}
+
+TEST_F(WalTest, SyncFailsOnClosedWriter) {
+  Result<WalWriter> writer = WalWriter::Open(Path("w.log"));
+  ASSERT_TRUE(writer.ok());
+  EXPECT_TRUE(writer->Sync().ok());
+  WalWriter moved = std::move(*writer);
+  EXPECT_FALSE(writer->Sync().ok());  // moved-from writer holds no file
+  EXPECT_TRUE(moved.Sync().ok());
+}
+
 TEST_F(WalTest, UncommittedTransactionNotReplayed) {
   {
     Database db("T", Options());

@@ -305,6 +305,30 @@ TEST_F(WebTest, PrimaryKeyBrowsing) {
   EXPECT_NE(browse.body.find("_t0000_n8.tbf"), std::string::npos);
 }
 
+TEST_F(WebTest, BrowseRespectsHiddenTablesAndColumns) {
+  // FK/PK browsing must honour the same XUIS visibility rules as QBE —
+  // previously BrowseSql skipped the hidden checks entirely.
+  xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
+  ASSERT_TRUE(c.HideColumn("RESULT_FILE.SIMULATION_KEY").ok());
+  auto hidden_col = archive_->Get(alice_, "/browse",
+                                  {{"table", "RESULT_FILE"},
+                                   {"column", "SIMULATION_KEY"},
+                                   {"value", seeded_[0].simulation_key}});
+  EXPECT_EQ(hidden_col.status, 403) << hidden_col.body;
+  ASSERT_TRUE(c.HideTable("CODE_FILE").ok());
+  auto hidden_table = archive_->Get(alice_, "/browse",
+                                    {{"table", "CODE_FILE"},
+                                     {"column", "SIMULATION_KEY"},
+                                     {"value", seeded_[0].simulation_key}});
+  EXPECT_EQ(hidden_table.status, 403) << hidden_table.body;
+  // Unknown table/column still report 400, not 403.
+  auto unknown = archive_->Get(alice_, "/browse",
+                               {{"table", "NOPE"},
+                                {"column", "X"},
+                                {"value", "1"}});
+  EXPECT_EQ(unknown.status, 400);
+}
+
 TEST_F(WebTest, FkSubstitutionShowsName) {
   xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
   ASSERT_TRUE(c.SetFkSubstitution("SIMULATION.AUTHOR_KEY",
