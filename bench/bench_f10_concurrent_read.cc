@@ -1,0 +1,336 @@
+// F10 — concurrent read path. PR 3 made the read path parallel end-to-end:
+// SELECTs run under a shared database lock, the web front end dispatches
+// requests across a worker pool, and rendered pages are served from an
+// epoch-invalidated cache. This bench measures both halves:
+//
+//   * scaling: a fixed batch of mixed search/browse/form requests pushed
+//     through HandleConcurrent at 1/2/4/8 workers. Each request carries a
+//     real client-link latency (the paper's users reach the archive over
+//     the Internet; closed-loop load, so overlapping that wait is exactly
+//     what request concurrency buys the server) — throughput is measured
+//     with the wall clock, not the simulation clock;
+//   * caching: a repeated-browse phase over a small set of hot rows, with
+//     the render cache on, reporting the hit rate and warm/cold timing.
+//
+// Emits a JSON block like bench_f8/f9 so future PRs can track the numbers.
+// `--smoke` shrinks everything and skips the microbenchmarks (wired as a
+// ctest test so the bench itself cannot rot).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "web/cache.h"
+#include "web/server.h"
+#include "web/session.h"
+#include "web/users.h"
+#include "xuis/customize.h"
+#include "xuis/generator.h"
+
+namespace {
+
+using namespace easia;
+
+/// AUTHOR -> SIMULATION -> DATASET catalogue (same shape as bench_f9).
+std::unique_ptr<db::Database> MakeCatalogue(size_t datasets) {
+  auto db = std::make_unique<db::Database>("BENCH");
+  (void)db->Execute(
+      "CREATE TABLE AUTHOR (AUTHOR_KEY VARCHAR(30) NOT NULL,"
+      " NAME VARCHAR(80), PRIMARY KEY (AUTHOR_KEY))");
+  (void)db->Execute(
+      "CREATE TABLE SIMULATION (SIMULATION_KEY VARCHAR(30) NOT NULL,"
+      " AUTHOR_KEY VARCHAR(30), RE DOUBLE,"
+      " PRIMARY KEY (SIMULATION_KEY),"
+      " FOREIGN KEY (AUTHOR_KEY) REFERENCES AUTHOR (AUTHOR_KEY))");
+  (void)db->Execute(
+      "CREATE TABLE DATASET (DATASET_KEY VARCHAR(30) NOT NULL,"
+      " SIMULATION_KEY VARCHAR(30), STEP INTEGER, SIZE_MB DOUBLE,"
+      " PRIMARY KEY (DATASET_KEY),"
+      " FOREIGN KEY (SIMULATION_KEY) REFERENCES SIMULATION"
+      " (SIMULATION_KEY))");
+  for (int a = 0; a < 20; ++a) {
+    (void)db->Execute("INSERT INTO AUTHOR VALUES ('A" + std::to_string(a) +
+                      "', 'Author " + std::to_string(a) + "')");
+  }
+  size_t sims = datasets / 10 == 0 ? 1 : datasets / 10;
+  (void)db->Execute("BEGIN");
+  for (size_t s = 0; s < sims; ++s) {
+    (void)db->Execute("INSERT INTO SIMULATION VALUES ('S" +
+                      std::to_string(s) + "', 'A" + std::to_string(s % 20) +
+                      "', " + std::to_string(100 * (s % 64)) + ")");
+  }
+  for (size_t d = 0; d < datasets; ++d) {
+    (void)db->Execute("INSERT INTO DATASET VALUES ('D" + std::to_string(d) +
+                      "', 'S" + std::to_string(d / 10) + "', " +
+                      std::to_string(d % 16) + ", " +
+                      std::to_string((d % 100) * 4.0) + ")");
+  }
+  (void)db->Execute("COMMIT");
+  return db;
+}
+
+/// The full read stack over the catalogue: users, sessions, XUIS, web
+/// server — with or without the render cache.
+struct Stack {
+  std::unique_ptr<db::Database> db;
+  xuis::XuisRegistry xuis;
+  web::UserManager users;
+  ManualClock clock{0};
+  std::unique_ptr<web::SessionManager> sessions;
+  std::unique_ptr<web::RenderCache> cache;
+  std::unique_ptr<web::ArchiveWebServer> server;
+  std::string session_id;
+};
+
+std::unique_ptr<Stack> MakeStack(size_t datasets, bool with_cache) {
+  auto stack = std::make_unique<Stack>();
+  stack->db = MakeCatalogue(datasets);
+  auto spec = xuis::GenerateDefaultXuis(*stack->db);
+  if (!spec.ok()) return nullptr;
+  stack->xuis.SetDefault(std::move(*spec));
+  (void)stack->users.AddUser("alice", "pw", web::UserRole::kAuthorised);
+  stack->sessions = std::make_unique<web::SessionManager>(
+      &stack->users, &stack->clock, 1e9);
+  if (with_cache) {
+    stack->cache = std::make_unique<web::RenderCache>();
+  }
+  web::ArchiveWebServer::Deps deps;
+  deps.database = stack->db.get();
+  deps.xuis = &stack->xuis;
+  deps.users = &stack->users;
+  deps.sessions = stack->sessions.get();
+  deps.cache = stack->cache.get();
+  stack->server = std::make_unique<web::ArchiveWebServer>(deps);
+  auto id = stack->sessions->Login("alice", "pw");
+  if (!id.ok()) return nullptr;
+  stack->session_id = *id;
+  return stack;
+}
+
+web::HttpRequest Req(const Stack& stack, const std::string& path,
+                     fs::HttpParams params = {}) {
+  web::HttpRequest r;
+  r.path = path;
+  r.params = std::move(params);
+  r.session_id = stack.session_id;
+  return r;
+}
+
+/// Mixed interactive batch: FK browses (hot path), query forms, the table
+/// index, the XUIS document, and a few full searches.
+std::vector<web::HttpRequest> MixedBatch(const Stack& stack, size_t count,
+                                         size_t datasets) {
+  std::vector<web::HttpRequest> batch;
+  batch.reserve(count);
+  size_t sims = datasets / 10 == 0 ? 1 : datasets / 10;
+  for (size_t i = 0; i < count; ++i) {
+    switch (i % 8) {
+      case 0:
+        batch.push_back(Req(stack, "/tables"));
+        break;
+      case 1:
+        batch.push_back(Req(stack, "/query", {{"table", "DATASET"}}));
+        break;
+      case 2:
+        batch.push_back(Req(stack, "/xuis"));
+        break;
+      case 3:
+        batch.push_back(
+            Req(stack, "/search",
+                {{"table", "SIMULATION"},
+                 {"value.RE", std::to_string(100 * (i % 64))}}));
+        break;
+      default:
+        batch.push_back(
+            Req(stack, "/browse",
+                {{"table", "DATASET"},
+                 {"column", "SIMULATION_KEY"},
+                 {"value", "S" + std::to_string((i * 37) % sims)}}));
+        break;
+    }
+  }
+  return batch;
+}
+
+double WallSeconds(
+    const std::function<std::vector<web::HttpResponse>()>& run) {
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<web::HttpResponse> responses = run();
+  auto t1 = std::chrono::steady_clock::now();
+  for (const web::HttpResponse& r : responses) {
+    if (r.status != 200) return -1;
+    benchmark::DoNotOptimize(r.body.size());
+  }
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct SmokeConfig {
+  size_t datasets = 10000;
+  size_t scaling_requests = 400;
+  size_t cache_requests = 400;
+  size_t hot_targets = 20;
+  double client_latency_ms = 5.0;
+  std::vector<size_t> worker_counts = {1, 2, 4, 8};
+};
+
+void PrintReproduction(const SmokeConfig& cfg) {
+  std::printf("\n=== F10: concurrent read dispatch + render cache ===\n");
+  std::printf(
+      "{\"bench\":\"f10_concurrent_read\",\"rows\":%zu,"
+      "\"simulated_client_latency_ms\":%.1f,\n \"scaling\":[",
+      cfg.datasets, cfg.client_latency_ms);
+
+  // Phase 1 — worker scaling, cache off, so every request does real work
+  // and the numbers isolate dispatch + shared-lock reads.
+  auto stack = MakeStack(cfg.datasets, /*with_cache=*/false);
+  if (stack == nullptr) {
+    std::printf("]}\n");
+    return;
+  }
+  std::vector<web::HttpRequest> batch =
+      MixedBatch(*stack, cfg.scaling_requests, cfg.datasets);
+  double base_seconds = -1;
+  bool first = true;
+  for (size_t workers : cfg.worker_counts) {
+    web::ArchiveWebServer::DispatchOptions options;
+    options.workers = workers;
+    options.simulated_client_latency_seconds =
+        cfg.client_latency_ms / 1000.0;
+    double seconds = WallSeconds([&] {
+      return stack->server->HandleConcurrent(batch, options);
+    });
+    if (workers == 1) base_seconds = seconds;
+    if (!first) std::printf(",");
+    first = false;
+    std::printf(
+        "\n  {\"workers\":%zu,\"seconds\":%.3f,\"rps\":%.1f,"
+        "\"speedup\":%.2f}",
+        workers, seconds,
+        seconds > 0 ? cfg.scaling_requests / seconds : 0.0,
+        seconds > 0 && base_seconds > 0 ? base_seconds / seconds : 0.0);
+  }
+  std::printf("\n ],\n");
+
+  // Phase 2 — repeated browsing of a small hot set with the cache on:
+  // the archetypal session (a user walking the same FK neighbourhood).
+  auto cached = MakeStack(cfg.datasets, /*with_cache=*/true);
+  if (cached == nullptr) {
+    std::printf(" \"cache\":null}\n");
+    return;
+  }
+  size_t sims = cfg.datasets / 10 == 0 ? 1 : cfg.datasets / 10;
+  std::vector<web::HttpRequest> hot;
+  hot.reserve(cfg.cache_requests);
+  for (size_t i = 0; i < cfg.cache_requests; ++i) {
+    hot.push_back(
+        Req(*cached, "/browse",
+            {{"table", "DATASET"},
+             {"column", "SIMULATION_KEY"},
+             {"value",
+              "S" + std::to_string((i % cfg.hot_targets) % sims)}}));
+  }
+  web::ArchiveWebServer::DispatchOptions options;
+  options.workers = 4;
+  double warm_seconds = WallSeconds([&] {
+    return cached->server->HandleConcurrent(hot, options);
+  });
+  web::RenderCacheStats stats = cached->cache->stats();
+  double hit_rate =
+      stats.hits + stats.misses > 0
+          ? static_cast<double>(stats.hits) / (stats.hits + stats.misses)
+          : 0.0;
+  // Same batch against the cacheless stack for the render-cost comparison.
+  double uncached_seconds = WallSeconds([&] {
+    std::vector<web::HttpRequest> replay;
+    replay.reserve(hot.size());
+    for (const web::HttpRequest& r : hot) {
+      web::HttpRequest copy = r;
+      copy.session_id = stack->session_id;
+      replay.push_back(std::move(copy));
+    }
+    return stack->server->HandleConcurrent(replay, options);
+  });
+  std::printf(
+      " \"cache\":{\"requests\":%zu,\"workers\":%zu,\"hot_targets\":%zu,"
+      "\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.3f,"
+      "\"cached_seconds\":%.3f,\"uncached_seconds\":%.3f,"
+      "\"render_speedup\":%.1f}}\n",
+      cfg.cache_requests, options.workers, cfg.hot_targets,
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses), hit_rate,
+      warm_seconds, uncached_seconds,
+      warm_seconds > 0 ? uncached_seconds / warm_seconds : 0.0);
+}
+
+// ---- Microbenchmarks (skipped under --smoke) ----
+
+void BM_ConcurrentMixedRead(benchmark::State& state) {
+  static std::unique_ptr<Stack> stack = MakeStack(10000, false);
+  std::vector<web::HttpRequest> batch = MixedBatch(*stack, 64, 10000);
+  web::ArchiveWebServer::DispatchOptions options;
+  options.workers = static_cast<size_t>(state.range(0));
+  options.simulated_client_latency_seconds = 0.002;
+  for (auto _ : state) {
+    auto responses = stack->server->HandleConcurrent(batch, options);
+    benchmark::DoNotOptimize(responses.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_ConcurrentMixedRead)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CachedBrowse(benchmark::State& state) {
+  static std::unique_ptr<Stack> stack = MakeStack(10000, true);
+  web::HttpRequest req =
+      Req(*stack, "/browse", {{"table", "DATASET"},
+                              {"column", "SIMULATION_KEY"},
+                              {"value", "S7"}});
+  (void)stack->server->Handle(req);  // warm
+  for (auto _ : state) {
+    web::HttpResponse resp = stack->server->Handle(req);
+    benchmark::DoNotOptimize(resp.body.size());
+  }
+}
+BENCHMARK(BM_CachedBrowse)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  // Strip --smoke before benchmark::Initialize (it is not a benchmark
+  // flag); ctest runs `bench_f10_concurrent_read --smoke` on every build.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  SmokeConfig cfg;
+  if (smoke) {
+    cfg.datasets = 500;
+    cfg.scaling_requests = 48;
+    cfg.cache_requests = 48;
+    cfg.hot_targets = 8;
+    cfg.client_latency_ms = 1.0;
+    cfg.worker_counts = {1, 4};
+  }
+  PrintReproduction(cfg);
+  if (smoke) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #ifndef EASIA_COMMON_CLOCK_H_
 #define EASIA_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -16,16 +17,31 @@ class Clock {
 };
 
 /// A manually advanced clock (deterministic, used by sim and tests).
+/// Readable from any thread; advancing is single-writer (the simulation
+/// driver), so Advance is a plain load+store, not a CAS loop.
 class ManualClock : public Clock {
  public:
   explicit ManualClock(double start = 0.0) : now_(start) {}
 
-  double Now() const override { return now_; }
-  void Advance(double seconds) { now_ += seconds; }
-  void Set(double t) { now_ = t; }
+  // Copyable/movable despite the atomic member (a copy snapshots the time;
+  // moving a clock that other threads still read is a caller bug anyway).
+  ManualClock(const ManualClock& other) : now_(other.Now()) {}
+  ManualClock& operator=(const ManualClock& other) {
+    Set(other.Now());
+    return *this;
+  }
+
+  double Now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void Advance(double seconds) {
+    now_.store(now_.load(std::memory_order_relaxed) + seconds,
+               std::memory_order_relaxed);
+  }
+  void Set(double t) { now_.store(t, std::memory_order_relaxed); }
 
  private:
-  double now_;
+  std::atomic<double> now_;
 };
 
 /// Wall-clock backed by the system realtime clock.

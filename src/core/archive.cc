@@ -21,6 +21,13 @@ Archive::Archive(Options options)
   (void)jobs_->Recover();
   sessions_ = std::make_unique<web::SessionManager>(
       &users_, &network_.clock(), options_.session_timeout_seconds);
+  if (options_.render_cache_bytes > 0) {
+    web::RenderCache::Options cache_options;
+    cache_options.max_bytes = options_.render_cache_bytes;
+    cache_options.max_age_seconds = options_.token_ttl_seconds / 2;
+    cache_options.clock = &network_.clock();
+    render_cache_ = std::make_unique<web::RenderCache>(cache_options);
+  }
   web::ArchiveWebServer::Deps deps;
   deps.database = database_.get();
   deps.xuis = &xuis_;
@@ -29,6 +36,7 @@ Archive::Archive(Options options)
   deps.users = &users_;
   deps.sessions = sessions_.get();
   deps.jobs = jobs_.get();
+  deps.cache = render_cache_.get();
   web_ = std::make_unique<web::ArchiveWebServer>(deps);
   // Database host participates in the network (metadata/query traffic).
   sim::HostSpec db_host;

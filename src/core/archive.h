@@ -45,6 +45,11 @@ class Archive {
     /// (journal empty = queue is volatile). Recovery replays the journal
     /// at construction and re-enqueues jobs that were in flight.
     easia::jobs::SchedulerOptions job_options;
+    /// Byte budget for the rendered-page cache (0 disables caching).
+    /// Cached pages are validated against the database commit epoch and
+    /// the XUIS revision; token-bearing pages additionally age out at
+    /// half the DATALINK token TTL so no cached link outlives its token.
+    size_t render_cache_bytes = 8 << 20;
   };
 
   Archive() : Archive(Options()) {}
@@ -106,6 +111,7 @@ class Archive {
   ops::OperationEngine& engine() { return *engine_; }
   easia::jobs::JobScheduler& jobs() { return *jobs_; }
   web::ArchiveWebServer& web() { return *web_; }
+  web::RenderCache& render_cache() { return *render_cache_; }
   web::UserManager& users() { return users_; }
   web::SessionManager& sessions() { return *sessions_; }
   xuis::XuisRegistry& xuis() { return xuis_; }
@@ -124,6 +130,7 @@ class Archive {
   web::UserManager users_;
   std::unique_ptr<web::SessionManager> sessions_;
   xuis::XuisRegistry xuis_;
+  std::unique_ptr<web::RenderCache> render_cache_;
   std::unique_ptr<web::ArchiveWebServer> web_;
 };
 

@@ -50,6 +50,32 @@ Database::Database(std::string name, DatabaseOptions options)
 
 Database::~Database() {
   if (txn_ != nullptr) RollbackInternal();
+  if (explicit_txn_.load(std::memory_order_acquire)) ReleaseExplicitLock();
+}
+
+DatabaseStats Database::stats() const {
+  DatabaseStats out;
+  out.statements = counters_.statements.load(std::memory_order_relaxed);
+  out.queries = counters_.queries.load(std::memory_order_relaxed);
+  out.rows_inserted = counters_.rows_inserted.load(std::memory_order_relaxed);
+  out.rows_updated = counters_.rows_updated.load(std::memory_order_relaxed);
+  out.rows_deleted = counters_.rows_deleted.load(std::memory_order_relaxed);
+  out.txn_commits = counters_.txn_commits.load(std::memory_order_relaxed);
+  out.txn_aborts = counters_.txn_aborts.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool Database::OwnsExplicitTxn() const {
+  return explicit_txn_.load(std::memory_order_acquire) &&
+         explicit_owner_.load(std::memory_order_acquire) ==
+             std::this_thread::get_id();
+}
+
+void Database::ReleaseExplicitLock() {
+  explicit_owner_.store(std::thread::id(), std::memory_order_release);
+  explicit_txn_.store(false, std::memory_order_release);
+  if (explicit_lock_.owns_lock()) explicit_lock_.unlock();
+  explicit_lock_ = {};
 }
 
 Status Database::Recover() {
@@ -150,7 +176,8 @@ Result<QueryResult> Database::Execute(std::string_view sql,
 Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
                                                std::string_view original_sql,
                                                const ExecContext& ctx) {
-  ++stats_.statements;
+  counters_.statements.fetch_add(1, std::memory_order_relaxed);
+  bool owns_explicit = OwnsExplicitTxn();
   switch (stmt.kind) {
     case Statement::Kind::kBegin:
       EASIA_RETURN_IF_ERROR(Begin());
@@ -161,12 +188,29 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
     case Statement::Kind::kRollback:
       EASIA_RETURN_IF_ERROR(Rollback());
       return DmlResult(0);
-    case Statement::Kind::kExplain:
+    case Statement::Kind::kExplain: {
       // Pure planning — reads the catalogue only, needs no transaction.
+      // Inside an explicit txn the exclusive lock is already held.
+      if (owns_explicit) return ExecExplain(*stmt.select);
+      std::shared_lock<std::shared_mutex> read_lock(mu_);
       return ExecExplain(*stmt.select);
+    }
+    case Statement::Kind::kSelect:
+      if (!owns_explicit) {
+        // The concurrent read path: no transaction machinery, no WAL
+        // records — just the shared lock and the committed state.
+        std::shared_lock<std::shared_mutex> read_lock(mu_);
+        return ExecSelect(*stmt.select, ctx);
+      }
+      break;  // SELECT inside a txn sees its own writes; fall through
     default:
       break;
   }
+  // Mutating path (or statement inside an explicit transaction). An
+  // explicit txn already holds the exclusive lock; a standalone statement
+  // takes it for its own (implicit-txn) duration.
+  std::unique_lock<std::shared_mutex> write_lock;
+  if (!owns_explicit) write_lock = std::unique_lock<std::shared_mutex>(mu_);
   bool owns_txn = EnsureTxn();
   Result<QueryResult> result = Status::Internal("unhandled statement");
   switch (stmt.kind) {
@@ -194,17 +238,18 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
   if (!result.ok()) {
     // Statement failure aborts the enclosing transaction (strict, simple).
     RollbackInternal();
-    ++stats_.txn_aborts;
+    counters_.txn_aborts.fetch_add(1, std::memory_order_relaxed);
+    if (owns_explicit) ReleaseExplicitLock();
     return result;
   }
   if (owns_txn) {
     Status commit_status = CommitInternal();
     if (!commit_status.ok()) {
       RollbackInternal();
-      ++stats_.txn_aborts;
+      counters_.txn_aborts.fetch_add(1, std::memory_order_relaxed);
       return commit_status;
     }
-    ++stats_.txn_commits;
+    counters_.txn_commits.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
 }
@@ -220,39 +265,56 @@ bool Database::EnsureTxn() {
 }
 
 Status Database::Begin() {
+  if (OwnsExplicitTxn()) {
+    return Status::FailedPrecondition("transaction already active");
+  }
+  // Blocks here while readers or another explicit transaction hold the
+  // statement gate; once acquired, the lock is kept until COMMIT/ROLLBACK
+  // (or statement failure) on this thread.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (txn_ != nullptr) {
     return Status::FailedPrecondition("transaction already active");
   }
   EnsureTxn();
   txn_->implicit = false;
+  explicit_owner_.store(std::this_thread::get_id(),
+                        std::memory_order_release);
+  explicit_txn_.store(true, std::memory_order_release);
+  explicit_lock_ = std::move(lock);
   return Status::OK();
 }
 
 Status Database::Commit() {
-  if (txn_ == nullptr) {
+  if (!OwnsExplicitTxn() || txn_ == nullptr) {
     return Status::FailedPrecondition("no active transaction");
   }
   Status s = CommitInternal();
   if (!s.ok()) {
     RollbackInternal();
-    ++stats_.txn_aborts;
+    counters_.txn_aborts.fetch_add(1, std::memory_order_relaxed);
+    ReleaseExplicitLock();
     return s;
   }
-  ++stats_.txn_commits;
+  counters_.txn_commits.fetch_add(1, std::memory_order_relaxed);
+  ReleaseExplicitLock();
   return Status::OK();
 }
 
 Status Database::Rollback() {
-  if (txn_ == nullptr) {
+  if (!OwnsExplicitTxn() || txn_ == nullptr) {
     return Status::FailedPrecondition("no active transaction");
   }
   RollbackInternal();
-  ++stats_.txn_aborts;
+  counters_.txn_aborts.fetch_add(1, std::memory_order_relaxed);
+  ReleaseExplicitLock();
   return Status::OK();
 }
 
 Status Database::CommitInternal() {
   if (txn_ == nullptr) return Status::OK();
+  // Undo entries exist exactly when the transaction changed something; a
+  // read-only (or empty) commit must not invalidate caches.
+  bool mutated = !txn_->undo.empty();
   txn_->wal_records.push_back(
       {WalRecordType::kCommit, txn_->id, "", 0, {}, {}, ""});
   if (wal_ != nullptr) {
@@ -267,6 +329,7 @@ Status Database::CommitInternal() {
     coordinator_->CommitTxn(txn_->id);
   }
   txn_.reset();
+  if (mutated) commit_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -529,7 +592,7 @@ Result<QueryResult> Database::ExecInsert(const InsertStmt& stmt,
     rec.row = row;
     AppendWal(std::move(rec));
     ++inserted;
-    ++stats_.rows_inserted;
+    counters_.rows_inserted.fetch_add(1, std::memory_order_relaxed);
   }
   return DmlResult(inserted);
 }
@@ -592,7 +655,7 @@ Result<QueryResult> Database::ExecUpdate(const UpdateStmt& stmt,
     rec.old_row = old_row;
     AppendWal(std::move(rec));
     ++updated;
-    ++stats_.rows_updated;
+    counters_.rows_updated.fetch_add(1, std::memory_order_relaxed);
   }
   return DmlResult(updated);
 }
@@ -639,14 +702,14 @@ Result<QueryResult> Database::ExecDelete(const DeleteStmt& stmt,
     rec.old_row = old_row;
     AppendWal(std::move(rec));
     ++deleted;
-    ++stats_.rows_deleted;
+    counters_.rows_deleted.fetch_add(1, std::memory_order_relaxed);
   }
   return DmlResult(deleted);
 }
 
 Result<QueryResult> Database::ExecSelect(const SelectStmt& stmt,
                                          const ExecContext& ctx) {
-  ++stats_.queries;
+  counters_.queries.fetch_add(1, std::memory_order_relaxed);
   TableLookup lookup = [this](const std::string& name) {
     return GetTable(name);
   };
@@ -677,6 +740,11 @@ Result<QueryResult> Database::ExecExplain(const SelectStmt& stmt) {
 }
 
 std::string Database::SerializeSnapshot() const {
+  std::shared_lock<std::shared_mutex> read_lock(mu_);
+  return SerializeSnapshotLocked();
+}
+
+std::string Database::SerializeSnapshotLocked() const {
   std::string out;
   out += kSnapshotMagic;
   PutU32(&out, static_cast<uint32_t>(tables_.size()));
@@ -694,7 +762,12 @@ std::string Database::SerializeSnapshot() const {
 }
 
 Status Database::SaveSnapshot(const std::string& path) const {
-  std::string out = SerializeSnapshot();
+  std::shared_lock<std::shared_mutex> read_lock(mu_);
+  return SaveSnapshotLocked(path);
+}
+
+Status Database::SaveSnapshotLocked(const std::string& path) const {
+  std::string out = SerializeSnapshotLocked();
   std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return Status::Internal("cannot open snapshot " + tmp);
@@ -721,6 +794,15 @@ Status Database::LoadSnapshot(const std::string& path) {
 }
 
 Status Database::LoadSnapshotFromString(const std::string& contents) {
+  std::unique_lock<std::shared_mutex> write_lock(mu_);
+  Status s = LoadSnapshotFromStringLocked(contents);
+  // Whatever happened to the in-memory state, cached derivations of it are
+  // no longer trustworthy.
+  commit_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return s;
+}
+
+Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
   if (contents.size() < kSnapshotMagic.size() + 4 ||
       std::string_view(contents).substr(0, kSnapshotMagic.size()) !=
           kSnapshotMagic) {
@@ -793,10 +875,12 @@ Status Database::Checkpoint() {
   if (options_.snapshot_path.empty()) {
     return Status::FailedPrecondition("no snapshot path configured");
   }
-  if (txn_ != nullptr && !txn_->implicit) {
+  if (OwnsExplicitTxn()) {
     return Status::FailedPrecondition("cannot checkpoint inside transaction");
   }
-  EASIA_RETURN_IF_ERROR(SaveSnapshot(options_.snapshot_path));
+  // Exclusive: the snapshot and the WAL truncation must see one state.
+  std::unique_lock<std::shared_mutex> write_lock(mu_);
+  EASIA_RETURN_IF_ERROR(SaveSnapshotLocked(options_.snapshot_path));
   if (!options_.wal_path.empty()) {
     wal_.reset();
     std::FILE* f = std::fopen(options_.wal_path.c_str(), "wb");

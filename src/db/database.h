@@ -1,10 +1,14 @@
 #ifndef EASIA_DB_DATABASE_H_
 #define EASIA_DB_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -93,8 +97,24 @@ struct DatabaseStats {
 /// catalogue + row storage + SQL execution + WAL-based durability +
 /// transactional coordination with external file managers.
 ///
-/// Concurrency: the engine is single-threaded by design (the archive's
-/// servlet front end serialises statements); no internal locking.
+/// Concurrency: reader/writer mode over one `std::shared_mutex`. Parsed
+/// statements are classified before execution:
+///
+///  * SELECT and EXPLAIN outside an explicit transaction run under a
+///    *shared* lock against the committed (immutable-for-the-duration)
+///    state — any number of web handlers, job workers and benches read in
+///    parallel;
+///  * INSERT/UPDATE/DELETE/DDL, and every statement issued between BEGIN
+///    and COMMIT/ROLLBACK, hold the *exclusive* lock. An explicit
+///    transaction keeps the exclusive lock from BEGIN until it commits,
+///    rolls back, or fails, so readers never observe a half-applied
+///    transaction. Explicit transactions must begin and finish on the same
+///    thread (the lock is thread-owned).
+///
+/// Every successful mutating commit bumps a monotonically increasing
+/// commit epoch (`commit_epoch()`); the web layer's render cache uses it
+/// to invalidate cheaply without dependency tracking. Cumulative counters
+/// are atomics, so shared-lock readers update them race-free.
 class Database {
  public:
   explicit Database(std::string name, DatabaseOptions options = {});
@@ -126,12 +146,28 @@ class Database {
   Status Begin();
   Status Commit();
   Status Rollback();
-  bool InTransaction() const { return txn_ != nullptr; }
+  bool InTransaction() const {
+    return explicit_txn_.load(std::memory_order_acquire);
+  }
+
+  /// Monotonically increasing counter, bumped once per successfully
+  /// committed transaction that mutated anything (DML or DDL; snapshot
+  /// restores bump it too). Reads never change it. Cached derivations of
+  /// database state are valid exactly while the epoch they captured still
+  /// matches.
+  uint64_t commit_epoch() const {
+    return commit_epoch_.load(std::memory_order_acquire);
+  }
 
   const std::string& name() const { return name_; }
   const Catalog& catalog() const { return catalog_; }
+  /// Raw table access for single-threaded callers (benches, the XUIS
+  /// generator at setup). Concurrent callers must go through Execute,
+  /// which brackets statement execution with the reader/writer lock.
   Result<const Table*> GetTable(const std::string& table) const;
-  const DatabaseStats& stats() const { return stats_; }
+  /// Snapshot of the cumulative counters (by value: the fields advance
+  /// concurrently under shared-lock reads).
+  DatabaseStats stats() const;
 
   // --- Persistence ---
   /// Writes a full snapshot of catalogue + data to `path`.
@@ -203,6 +239,18 @@ class Database {
   void RollbackInternal();
   void AppendWal(WalRecord record);
 
+  /// True when the calling thread owns the open explicit transaction (and
+  /// with it the exclusive lock).
+  bool OwnsExplicitTxn() const;
+  /// Drops the explicit-transaction flag and releases the exclusive lock
+  /// held since BEGIN. Call only from the owning thread.
+  void ReleaseExplicitLock();
+
+  /// Lock-free bodies; the public wrappers take `mu_` in the right mode.
+  std::string SerializeSnapshotLocked() const;
+  Status SaveSnapshotLocked(const std::string& path) const;
+  Status LoadSnapshotFromStringLocked(const std::string& image);
+
   std::string name_;
   DatabaseOptions options_;
   Catalog catalog_;
@@ -211,7 +259,25 @@ class Database {
   std::unique_ptr<Txn> txn_;
   uint64_t next_txn_id_ = 1;
   std::unique_ptr<WalWriter> wal_;
-  DatabaseStats stats_;
+
+  /// Reader/writer statement gate (see class comment).
+  mutable std::shared_mutex mu_;
+  /// Exclusive lock held across an explicit BEGIN..COMMIT span.
+  std::unique_lock<std::shared_mutex> explicit_lock_;
+  std::atomic<bool> explicit_txn_{false};
+  std::atomic<std::thread::id> explicit_owner_{};
+  std::atomic<uint64_t> commit_epoch_{0};
+
+  struct Counters {
+    std::atomic<uint64_t> statements{0};
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> rows_inserted{0};
+    std::atomic<uint64_t> rows_updated{0};
+    std::atomic<uint64_t> rows_deleted{0};
+    std::atomic<uint64_t> txn_commits{0};
+    std::atomic<uint64_t> txn_aborts{0};
+  };
+  Counters counters_;
 };
 
 }  // namespace easia::db

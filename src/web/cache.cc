@@ -1,0 +1,126 @@
+#include "web/cache.h"
+
+#include <functional>
+
+namespace easia::web {
+
+namespace {
+
+/// Fixed per-entry accounting overhead (map node, LRU node, validators) so
+/// many tiny pages cannot blow past the budget unaccounted.
+constexpr size_t kEntryOverhead = 96;
+
+}  // namespace
+
+RenderCache::RenderCache(Options options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  shard_budget_ = options_.max_bytes / options_.shards;
+  if (shard_budget_ == 0) shard_budget_ = 1;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string RenderCache::FlattenKey(const Key& key) {
+  std::string flat;
+  flat.reserve(key.visibility.size() + key.route.size() + key.params.size() +
+               2);
+  flat += key.visibility;
+  flat += '\x1f';
+  flat += key.route;
+  flat += '\x1f';
+  flat += key.params;
+  return flat;
+}
+
+RenderCache::Shard& RenderCache::ShardFor(const std::string& flat) {
+  return *shards_[std::hash<std::string>{}(flat) % shards_.size()];
+}
+
+void RenderCache::EraseLocked(
+    Shard& shard, std::unordered_map<std::string, Entry>::iterator it) {
+  shard.bytes -= it->second.charge;
+  shard.lru.erase(it->second.lru_it);
+  shard.entries.erase(it);
+}
+
+std::optional<CachedPage> RenderCache::Get(const Key& key, uint64_t epoch,
+                                           uint64_t xuis_revision) {
+  std::string flat = FlattenKey(key);
+  Shard& shard = ShardFor(flat);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(flat);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  bool stale = entry.epoch != epoch || entry.xuis_revision != xuis_revision;
+  if (!stale && options_.max_age_seconds > 0 && options_.clock != nullptr) {
+    stale = options_.clock->Now() - entry.inserted_at >
+            options_.max_age_seconds;
+  }
+  if (stale) {
+    EraseLocked(shard, it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // Touch: move to the front of the shard's LRU list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_it);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return entry.page;
+}
+
+void RenderCache::Put(const Key& key, uint64_t epoch, uint64_t xuis_revision,
+                      CachedPage page) {
+  std::string flat = FlattenKey(key);
+  size_t charge = flat.size() + page.body.size() + page.content_type.size() +
+                  kEntryOverhead;
+  if (charge > shard_budget_) return;  // would evict the whole shard
+  Shard& shard = ShardFor(flat);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(flat);
+  if (it != shard.entries.end()) EraseLocked(shard, it);
+  shard.lru.push_front(flat);
+  Entry entry;
+  entry.epoch = epoch;
+  entry.xuis_revision = xuis_revision;
+  entry.inserted_at = options_.clock != nullptr ? options_.clock->Now() : 0;
+  entry.charge = charge;
+  entry.page = std::move(page);
+  entry.lru_it = shard.lru.begin();
+  shard.entries.emplace(std::move(flat), std::move(entry));
+  shard.bytes += charge;
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    auto victim = shard.entries.find(shard.lru.back());
+    EraseLocked(shard, victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RenderCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+RenderCacheStats RenderCache::stats() const {
+  RenderCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.entries += shard->entries.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+}  // namespace easia::web

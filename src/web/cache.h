@@ -1,0 +1,127 @@
+#ifndef EASIA_WEB_CACHE_H_
+#define EASIA_WEB_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace easia::web {
+
+/// A cached rendered page (only successful renders are stored, so no
+/// status field is needed — a hit is always a 200).
+struct CachedPage {
+  std::string content_type;
+  std::string body;
+};
+
+/// Cumulative cache counters, surfaced on /stats.
+struct RenderCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      // LRU pressure (byte budget)
+  uint64_t invalidations = 0;  // stale epoch/revision or max-age
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+/// Sharded, byte-bounded LRU for rendered read-path pages (/tables, /query
+/// forms, /browse results, per-user XUIS documents).
+///
+/// Keys are (user-visibility class, route, canonical params): users who
+/// see the same XUIS spec and role share entries, users with personal
+/// specs — or pages embedding per-user DATALINK tokens — get their own.
+///
+/// Validation is epoch-based instead of dependency-tracked: every entry
+/// stores the database commit epoch and the XUIS customisation revision
+/// current when it was rendered. A lookup whose validators do not match
+/// drops the entry — so ANY committed write (or XUIS customisation)
+/// invalidates everything, cheaply, with no per-table bookkeeping. The
+/// archive is read-dominated, so wholesale invalidation on rare writes
+/// costs far less than tracking which page depends on which table.
+///
+/// Thread-safe; shards keep lock contention off the hot read path. An
+/// optional max-age bound (driven by the simulation clock) caps how long
+/// token-bearing pages may be replayed.
+class RenderCache {
+ public:
+  struct Options {
+    /// Total byte budget across all shards (page bodies + key overhead).
+    size_t max_bytes = 8 << 20;
+    size_t shards = 8;
+    /// Entries older than this many seconds are invalid; 0 disables the
+    /// age check. Requires `clock`.
+    double max_age_seconds = 0;
+    const Clock* clock = nullptr;
+  };
+
+  struct Key {
+    std::string visibility;  // e.g. "u:alice", "role:guest", "role:auth"
+    std::string route;       // e.g. "/browse"
+    std::string params;      // canonical query-string form
+  };
+
+  RenderCache() : RenderCache(Options()) {}
+  explicit RenderCache(Options options);
+
+  /// Returns the cached page when present AND still valid for the given
+  /// database commit epoch + XUIS revision (and young enough, when a
+  /// max-age is configured). Stale entries are dropped and counted as
+  /// invalidations; both stale and absent count as misses.
+  std::optional<CachedPage> Get(const Key& key, uint64_t epoch,
+                                uint64_t xuis_revision);
+
+  /// Stores a rendered page tagged with its validators. Pages larger than
+  /// a shard's byte budget are not cached.
+  void Put(const Key& key, uint64_t epoch, uint64_t xuis_revision,
+           CachedPage page);
+
+  /// Drops everything (counters are kept).
+  void Clear();
+
+  RenderCacheStats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t epoch = 0;
+    uint64_t xuis_revision = 0;
+    double inserted_at = 0;
+    size_t charge = 0;
+    CachedPage page;
+    /// Position in the shard's LRU list (front = most recent).
+    std::list<std::string>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::string> lru;
+    std::unordered_map<std::string, Entry> entries;
+    size_t bytes = 0;
+  };
+
+  static std::string FlattenKey(const Key& key);
+  Shard& ShardFor(const std::string& flat);
+  /// Removes one entry from a locked shard.
+  void EraseLocked(Shard& shard,
+                   std::unordered_map<std::string, Entry>::iterator it);
+
+  Options options_;
+  size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace easia::web
+
+#endif  // EASIA_WEB_CACHE_H_

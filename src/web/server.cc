@@ -1,9 +1,13 @@
 #include "web/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
 
 #include "common/string_util.h"
 #include "web/html.h"
+#include "xuis/serialize.h"
 
 namespace easia::web {
 
@@ -26,7 +30,7 @@ HttpResponse ArchiveWebServer::Error(int status, const std::string& message) {
 }
 
 HttpResponse ArchiveWebServer::Handle(const HttpRequest& request) {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   if (request.path == "/login") return HandleLogin(request);
   Session session;
   HttpResponse gate = RequireSession(request, &session);
@@ -53,9 +57,80 @@ HttpResponse ArchiveWebServer::Handle(const HttpRequest& request) {
   if (request.path == "/jobs/status") return HandleJobStatus(request, session);
   if (request.path == "/jobs/list") return HandleJobList(session);
   if (request.path == "/jobs/cancel") return HandleJobCancel(request, session);
+  if (request.path == "/xuis") return HandleXuis(session);
   if (request.path == "/stats") return HandleStats(session);
   if (StartsWith(request.path, "/users")) return HandleUsers(request, session);
   return Error(404, "no such page: " + request.path);
+}
+
+std::vector<HttpResponse> ArchiveWebServer::HandleConcurrent(
+    const std::vector<HttpRequest>& requests, const DispatchOptions& options) {
+  std::vector<HttpResponse> responses(requests.size());
+  size_t workers = std::max<size_t>(1, options.workers);
+  workers = std::min(workers, std::max<size_t>(1, requests.size()));
+  std::atomic<size_t> next{0};
+  auto run = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= requests.size()) return;
+      if (options.simulated_client_latency_seconds > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options.simulated_client_latency_seconds));
+      }
+      responses[i] = Handle(requests[i]);
+    }
+  };
+  if (workers == 1) {
+    run();
+    return responses;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) pool.emplace_back(run);
+  for (std::thread& t : pool) t.join();
+  return responses;
+}
+
+std::string ArchiveWebServer::CacheVisibility(const Session& session,
+                                              bool per_user) const {
+  if (per_user || deps_.xuis->HasPersonal(session.user.name)) {
+    return "u:" + session.user.name;
+  }
+  return session.user.IsGuest() ? "role:guest" : "role:auth";
+}
+
+template <typename RenderFn>
+HttpResponse ArchiveWebServer::CachedRender(const Session& session,
+                                            bool per_user,
+                                            const std::string& route,
+                                            const std::string& params,
+                                            RenderFn&& render) {
+  if (deps_.cache == nullptr) return render();
+  RenderCache::Key key;
+  key.visibility = CacheVisibility(session, per_user);
+  key.route = route;
+  key.params = params;
+  // Capture the validators BEFORE rendering: a commit racing with the
+  // render leaves the entry tagged with the pre-commit epoch, so the next
+  // lookup conservatively misses instead of replaying a possibly-mixed
+  // page as current.
+  uint64_t epoch = deps_.database->commit_epoch();
+  uint64_t revision = deps_.xuis->revision();
+  if (std::optional<CachedPage> page =
+          deps_.cache->Get(key, epoch, revision)) {
+    HttpResponse resp;
+    resp.content_type = std::move(page->content_type);
+    resp.body = std::move(page->body);
+    return resp;
+  }
+  HttpResponse resp = render();
+  if (resp.status == 200) {
+    CachedPage page;
+    page.content_type = resp.content_type;
+    page.body = resp.body;
+    deps_.cache->Put(key, epoch, revision, std::move(page));
+  }
+  return resp;
 }
 
 HttpResponse ArchiveWebServer::RequireSession(const HttpRequest& request,
@@ -82,23 +157,40 @@ HttpResponse ArchiveWebServer::HandleLogin(const HttpRequest& request) {
 }
 
 HttpResponse ArchiveWebServer::HandleTables(const Session& session) {
-  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
-  HttpResponse resp;
-  resp.body = RenderTableIndex(spec);
-  return resp;
+  return CachedRender(session, /*per_user=*/false, "/tables", "", [&] {
+    const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+    HttpResponse resp;
+    resp.body = RenderTableIndex(spec);
+    return resp;
+  });
 }
 
 HttpResponse ArchiveWebServer::HandleQueryForm(const HttpRequest& request,
                                                const Session& session) {
-  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
-  const xuis::XuisTable* table =
-      spec.FindTable(ParamOr(request.params, "table"));
-  if (table == nullptr || table->hidden) {
-    return Error(404, "no such table");
-  }
-  HttpResponse resp;
-  resp.body = RenderQueryForm(*table);
-  return resp;
+  std::string table_name = ParamOr(request.params, "table");
+  return CachedRender(
+      session, /*per_user=*/false, "/query", "table=" + table_name, [&] {
+        const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+        const xuis::XuisTable* table = spec.FindTable(table_name);
+        if (table == nullptr || table->hidden) {
+          return Error(404, "no such table");
+        }
+        HttpResponse resp;
+        resp.body = RenderQueryForm(*table);
+        return resp;
+      });
+}
+
+HttpResponse ArchiveWebServer::HandleXuis(const Session& session) {
+  return CachedRender(session, /*per_user=*/false, "/xuis", "", [&] {
+    Result<std::string> xml =
+        xuis::ToXmlText(deps_.xuis->For(session.user.name));
+    if (!xml.ok()) return Error(500, xml.status().ToString());
+    HttpResponse resp;
+    resp.content_type = "text/xml";
+    resp.body = std::move(*xml);
+    return resp;
+  });
 }
 
 HttpResponse ArchiveWebServer::RenderQuery(const std::string& sql,
@@ -160,17 +252,24 @@ HttpResponse ArchiveWebServer::HandleSearch(const HttpRequest& request,
 
 HttpResponse ArchiveWebServer::HandleBrowse(const HttpRequest& request,
                                             const Session& session) {
-  const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
   std::string table_name = ParamOr(request.params, "table");
-  Result<std::string> sql =
-      BrowseSql(spec, table_name, ParamOr(request.params, "column"),
-                ParamOr(request.params, "value"));
-  if (!sql.ok()) {
-    int status = sql.status().IsPermissionDenied() ? 403 : 400;
-    return Error(status, sql.status().ToString());
-  }
-  const xuis::XuisTable* table = spec.FindTable(table_name);
-  return RenderQuery(*sql, table, session);
+  std::string column = ParamOr(request.params, "column");
+  std::string value = ParamOr(request.params, "value");
+  // Browse pages embed per-user DATALINK access tokens, so they are cached
+  // per user (and aged out by the cache's max-age bound, which the archive
+  // wires to a fraction of the token TTL).
+  std::string params =
+      "table=" + table_name + "&column=" + column + "&value=" + value;
+  return CachedRender(session, /*per_user=*/true, "/browse", params, [&] {
+    const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+    Result<std::string> sql = BrowseSql(spec, table_name, column, value);
+    if (!sql.ok()) {
+      int status = sql.status().IsPermissionDenied() ? 403 : 400;
+      return Error(status, sql.status().ToString());
+    }
+    const xuis::XuisTable* table = spec.FindTable(table_name);
+    return RenderQuery(*sql, table, session);
+  });
 }
 
 HttpResponse ArchiveWebServer::HandleObject(const HttpRequest& request,
@@ -682,8 +781,35 @@ HttpResponse ArchiveWebServer::HandleStats(const Session& session) {
   (void)session;  // stats are not sensitive; any logged-in user may look
   HtmlWriter w;
   w.Raw(PageHeader("Operation statistics"));
-  w.Element("p", StrPrintf("requests served: %llu",
-                           static_cast<unsigned long long>(requests_)));
+  w.Element("p",
+            StrPrintf("requests served: %llu",
+                      static_cast<unsigned long long>(
+                          requests_.load(std::memory_order_relaxed))));
+  if (deps_.database != nullptr) {
+    db::DatabaseStats ds = deps_.database->stats();
+    w.Element(
+        "p",
+        StrPrintf("database: %llu statements, %llu queries, %llu commits, "
+                  "%llu aborts, commit epoch %llu",
+                  static_cast<unsigned long long>(ds.statements),
+                  static_cast<unsigned long long>(ds.queries),
+                  static_cast<unsigned long long>(ds.txn_commits),
+                  static_cast<unsigned long long>(ds.txn_aborts),
+                  static_cast<unsigned long long>(
+                      deps_.database->commit_epoch())));
+  }
+  if (deps_.cache != nullptr) {
+    RenderCacheStats cs = deps_.cache->stats();
+    w.Element(
+        "p",
+        StrPrintf("render cache: %llu hits, %llu misses, %llu evictions, "
+                  "%llu invalidations, %zu entries (%s)",
+                  static_cast<unsigned long long>(cs.hits),
+                  static_cast<unsigned long long>(cs.misses),
+                  static_cast<unsigned long long>(cs.evictions),
+                  static_cast<unsigned long long>(cs.invalidations),
+                  cs.entries, HumanBytes(cs.bytes).c_str()));
+  }
   if (deps_.engine != nullptr) {
     w.Element("p",
               StrPrintf("result cache: %zu of %zu entries, %llu evictions",

@@ -1,13 +1,16 @@
 #ifndef EASIA_WEB_SERVER_H_
 #define EASIA_WEB_SERVER_H_
 
+#include <atomic>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "db/database.h"
 #include "fileserver/file_server.h"
 #include "jobs/scheduler.h"
 #include "ops/engine.h"
+#include "web/cache.h"
 #include "web/qbe.h"
 #include "web/renderer.h"
 #include "web/session.h"
@@ -51,7 +54,14 @@ struct HttpResponse {
 ///   /jobs/status?id=            -> job state, progress and output URLs
 ///   /jobs/list                  -> the user's jobs (admin: everyone's)
 ///   /jobs/cancel?id=            -> cancel a queued job
+///   /xuis                       -> the session user's XUIS XML document
 ///   /stats                      -> per-operation counters for operators
+///
+/// `Handle` is thread-safe: read-only routes execute in parallel (shared
+/// database lock, mutex-guarded session/user stores, epoch-validated
+/// render cache); mutating routes serialise inside the layer they touch.
+/// `HandleConcurrent` is the built-in worker-pool dispatcher over a batch
+/// of independent requests.
 class ArchiveWebServer {
  public:
   struct Deps {
@@ -63,14 +73,41 @@ class ArchiveWebServer {
     SessionManager* sessions = nullptr;
     /// Optional: enables the /jobs/* routes when wired.
     easia::jobs::JobScheduler* jobs = nullptr;
+    /// Optional: caches rendered /tables, /query, /browse and /xuis pages,
+    /// invalidated by the database commit epoch + XUIS revision.
+    RenderCache* cache = nullptr;
+  };
+
+  /// Worker-pool dispatch tuning for HandleConcurrent.
+  struct DispatchOptions {
+    size_t workers = 4;
+    /// Real per-request sleep before handling, modelling the client link
+    /// of the paper's WAN-bound archive (closed-loop load generation —
+    /// overlapping this wait is most of what request concurrency buys a
+    /// small server). 0 disables.
+    double simulated_client_latency_seconds = 0;
   };
 
   explicit ArchiveWebServer(Deps deps) : deps_(deps) {}
 
   HttpResponse Handle(const HttpRequest& request);
 
+  /// Dispatches `requests` across a pool of `options.workers` threads,
+  /// each calling Handle; returns responses in request order.
+  std::vector<HttpResponse> HandleConcurrent(
+      const std::vector<HttpRequest>& requests,
+      const DispatchOptions& options);
+  std::vector<HttpResponse> HandleConcurrent(
+      const std::vector<HttpRequest>& requests, size_t workers) {
+    DispatchOptions options;
+    options.workers = workers;
+    return HandleConcurrent(requests, options);
+  }
+
   /// Requests served (for benches).
-  uint64_t requests_served() const { return requests_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
 
  private:
   HttpResponse RequireSession(const HttpRequest& request, Session* session);
@@ -103,7 +140,20 @@ class ArchiveWebServer {
   HttpResponse HandleJobList(const Session& session);
   HttpResponse HandleJobCancel(const HttpRequest& request,
                                const Session& session);
+  HttpResponse HandleXuis(const Session& session);
   HttpResponse HandleStats(const Session& session);
+
+  /// Cache key visibility class for a session: per-user when the user has
+  /// a personal XUIS spec or the route embeds per-user DATALINK tokens,
+  /// otherwise shared by role.
+  std::string CacheVisibility(const Session& session, bool per_user) const;
+  /// Cached-read wrapper: looks up (visibility, route, params) in the
+  /// render cache, re-renders on miss and stores successful pages tagged
+  /// with the pre-render commit epoch + XUIS revision.
+  template <typename RenderFn>
+  HttpResponse CachedRender(const Session& session, bool per_user,
+                            const std::string& route,
+                            const std::string& params, RenderFn&& render);
 
   HttpResponse RenderQuery(const std::string& sql,
                            const xuis::XuisTable* table,
@@ -116,7 +166,7 @@ class ArchiveWebServer {
   static HttpResponse Error(int status, const std::string& message);
 
   Deps deps_;
-  uint64_t requests_ = 0;
+  std::atomic<uint64_t> requests_{0};
 };
 
 }  // namespace easia::web

@@ -16,6 +16,7 @@ Result<std::string> SessionManager::Login(const std::string& name,
   session.user = user;
   session.created_epoch = clock_->Now();
   session.last_active_epoch = session.created_epoch;
+  std::lock_guard<std::mutex> lock(mu_);
   // Session ids mix a counter with a hash so they are unguessable-ish and
   // deterministic under the simulation clock.
   session.id = crypto::Sha256::HexHash(
@@ -28,6 +29,7 @@ Result<std::string> SessionManager::Login(const std::string& name,
 }
 
 Result<Session> SessionManager::Get(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return Status::NotFound("no such session");
@@ -42,6 +44,7 @@ Result<Session> SessionManager::Get(const std::string& session_id) {
 }
 
 Status SessionManager::Logout(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (sessions_.erase(session_id) == 0) {
     return Status::NotFound("no such session");
   }
@@ -49,6 +52,7 @@ Status SessionManager::Logout(const std::string& session_id) {
 }
 
 size_t SessionManager::SweepExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
   double now = clock_->Now();
   size_t removed = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {

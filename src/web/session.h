@@ -2,6 +2,7 @@
 #define EASIA_WEB_SESSION_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/clock.h"
@@ -19,6 +20,10 @@ struct Session {
   double last_active_epoch = 0;
 };
 
+/// Thread-safe: concurrent web workers log in, touch and expire sessions
+/// in parallel, so the map is mutex-guarded and lookups return session
+/// snapshots by value (handlers keep using their copy after the entry is
+/// swept or logged out elsewhere).
 class SessionManager {
  public:
   SessionManager(const UserManager* users, const Clock* clock,
@@ -29,7 +34,7 @@ class SessionManager {
                             const std::string& password);
 
   /// Looks up a live session; touches last-active. Errors: kNotFound,
-  /// kTokenExpired (idle timeout).
+  /// kTokenExpired (idle timeout). Returns a snapshot by value.
   Result<Session> Get(const std::string& session_id);
 
   Status Logout(const std::string& session_id);
@@ -37,12 +42,16 @@ class SessionManager {
   /// Drops idle sessions; returns how many were removed.
   size_t SweepExpired();
 
-  size_t ActiveCount() const { return sessions_.size(); }
+  size_t ActiveCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sessions_.size();
+  }
 
  private:
   const UserManager* users_;
   const Clock* clock_;
   double idle_timeout_;
+  mutable std::mutex mu_;
   std::map<std::string, Session> sessions_;
   uint64_t counter_ = 0;
 };

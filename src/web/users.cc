@@ -26,6 +26,7 @@ std::string UserManager::Digest(const std::string& salt,
 
 Status UserManager::AddUser(const std::string& name,
                             const std::string& password, UserRole role) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (name.empty()) return Status::InvalidArgument("empty user name");
   if (users_.count(name) != 0) {
     return Status::AlreadyExists("user " + name + " already exists");
@@ -41,6 +42,7 @@ Status UserManager::AddUser(const std::string& name,
 }
 
 Status UserManager::RemoveUser(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (users_.erase(name) == 0) {
     return Status::NotFound("no user named " + name);
   }
@@ -48,6 +50,7 @@ Status UserManager::RemoveUser(const std::string& name) {
 }
 
 Status UserManager::SetRole(const std::string& name, UserRole role) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = users_.find(name);
   if (it == users_.end()) return Status::NotFound("no user named " + name);
   it->second.user.role = role;
@@ -56,6 +59,7 @@ Status UserManager::SetRole(const std::string& name, UserRole role) {
 
 Status UserManager::SetPassword(const std::string& name,
                                 const std::string& password) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = users_.find(name);
   if (it == users_.end()) return Status::NotFound("no user named " + name);
   it->second.password_digest = Digest(it->second.salt, password);
@@ -64,6 +68,7 @@ Status UserManager::SetPassword(const std::string& name,
 
 Result<User> UserManager::Authenticate(const std::string& name,
                                        const std::string& password) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = users_.find(name);
   if (it == users_.end() ||
       it->second.password_digest != Digest(it->second.salt, password)) {
@@ -73,12 +78,14 @@ Result<User> UserManager::Authenticate(const std::string& name,
 }
 
 Result<User> UserManager::GetUser(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = users_.find(name);
   if (it == users_.end()) return Status::NotFound("no user named " + name);
   return it->second.user;
 }
 
 std::vector<User> UserManager::ListUsers() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<User> out;
   for (const auto& [name, entry] : users_) out.push_back(entry.user);
   return out;

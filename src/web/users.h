@@ -2,6 +2,7 @@
 #define EASIA_WEB_USERS_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,9 @@ struct User {
 };
 
 /// Credential store (passwords held as salted SHA-256 digests).
+/// Thread-safe: admin mutations through /users/* race with concurrent
+/// logins and per-request role checks, so every accessor locks and user
+/// records are returned by value.
 class UserManager {
  public:
   UserManager();
@@ -59,6 +63,7 @@ class UserManager {
   static std::string Digest(const std::string& salt,
                             const std::string& password);
 
+  mutable std::mutex mu_;
   std::map<std::string, Entry> users_;
   uint64_t salt_counter_ = 0;
 };

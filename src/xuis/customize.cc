@@ -109,6 +109,7 @@ Status XuisCustomizer::SetUpload(const std::string& colid, UploadSpec upload) {
 
 void XuisRegistry::SetForUser(const std::string& user, XuisSpec spec) {
   per_user_[user] = std::move(spec);
+  BumpRevision();
 }
 
 const XuisSpec& XuisRegistry::For(const std::string& user) const {
@@ -117,6 +118,7 @@ const XuisSpec& XuisRegistry::For(const std::string& user) const {
 }
 
 XuisSpec* XuisRegistry::MutableFor(const std::string& user) {
+  BumpRevision();
   auto it = per_user_.find(user);
   return it == per_user_.end() ? &default_spec_ : &it->second;
 }

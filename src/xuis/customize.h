@@ -1,6 +1,8 @@
 #ifndef EASIA_XUIS_CUSTOMIZE_H_
 #define EASIA_XUIS_CUSTOMIZE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -52,24 +54,47 @@ class XuisCustomizer {
 
 /// Per-user personalised interfaces: one default spec plus named overlays
 /// ("different users (or classes of user) can have different XML files").
+///
+/// The registry carries a customisation `revision()` so cached renderings
+/// of XUIS-derived pages can be invalidated: every mutation entry point
+/// (SetDefault / SetForUser / MutableDefault / MutableFor / BumpRevision)
+/// bumps it. Callers that retain a Mutable* pointer and keep editing
+/// through it later must call BumpRevision() (or re-fetch the pointer)
+/// after the edit; in this codebase customisation happens during setup,
+/// before the web front end serves traffic.
 class XuisRegistry {
  public:
-  void SetDefault(XuisSpec spec) { default_spec_ = std::move(spec); }
+  void SetDefault(XuisSpec spec) {
+    default_spec_ = std::move(spec);
+    BumpRevision();
+  }
   void SetForUser(const std::string& user, XuisSpec spec);
 
   /// The spec for `user`: their personal one, else the default.
   const XuisSpec& For(const std::string& user) const;
   XuisSpec* MutableFor(const std::string& user);
   const XuisSpec& Default() const { return default_spec_; }
-  XuisSpec* MutableDefault() { return &default_spec_; }
+  XuisSpec* MutableDefault() {
+    BumpRevision();
+    return &default_spec_;
+  }
 
   bool HasPersonal(const std::string& user) const {
     return per_user_.find(user) != per_user_.end();
   }
 
+  /// Monotonic customisation counter (see class comment).
+  uint64_t revision() const {
+    return revision_.load(std::memory_order_acquire);
+  }
+  void BumpRevision() {
+    revision_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   XuisSpec default_spec_;
   std::map<std::string, XuisSpec> per_user_;
+  std::atomic<uint64_t> revision_{1};
 };
 
 }  // namespace easia::xuis

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+
+// Concurrency regressions for the reader/writer database mode. Build with
+// -DEASIA_TSAN=ON (or `make check-tsan`) to have ThreadSanitizer verify
+// the locking, not just the assertions.
+namespace easia::db {
+namespace {
+
+Result<QueryResult> Exec(Database& db, const std::string& sql) {
+  return db.Execute(sql);
+}
+
+int64_t SingleInt(Database& db, const std::string& sql) {
+  Result<QueryResult> r = db.Execute(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok() || r->rows.empty()) return -1;
+  return r->rows[0][0].AsInt();
+}
+
+// Statements are atomic under the exclusive lock: a reader running under
+// the shared lock must never observe a half-applied UPDATE. The writer
+// keeps A == B in every committed state; any torn read breaks that.
+TEST(DbConcurrencyTest, ReadersNeverSeeTornWrites) {
+  Database db("conc");
+  ASSERT_TRUE(
+      Exec(db, "CREATE TABLE PAIR (ID INTEGER PRIMARY KEY, A INTEGER, "
+               "B INTEGER)")
+          .ok());
+  ASSERT_TRUE(Exec(db, "INSERT INTO PAIR VALUES (1, 0, 0)").ok());
+
+  constexpr int kWrites = 300;
+  constexpr int kReaders = 4;
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        Result<QueryResult> r =
+            Exec(db, "SELECT A, B FROM PAIR WHERE ID = 1");
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_EQ(r->rows.size(), 1u);
+        if (r->rows[0][0].AsInt() != r->rows[0][1].AsInt()) {
+          torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 1; i <= kWrites; ++i) {
+    std::string v = std::to_string(i);
+    ASSERT_TRUE(
+        Exec(db, "UPDATE PAIR SET A = " + v + ", B = " + v + " WHERE ID = 1")
+            .ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(SingleInt(db, "SELECT A FROM PAIR WHERE ID = 1"), kWrites);
+}
+
+// An explicit transaction holds the exclusive lock from BEGIN to COMMIT:
+// concurrent readers see either none or all of its statements, never a
+// prefix.
+TEST(DbConcurrencyTest, ExplicitTransactionIsOpaqueToReaders) {
+  Database db("txn");
+  ASSERT_TRUE(
+      Exec(db, "CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER)").ok());
+
+  constexpr int kRounds = 50;
+  std::atomic<bool> done{false};
+  std::atomic<int> partial{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Result<QueryResult> r = Exec(db, "SELECT K FROM T");
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      // Each round inserts a pair; an odd count means a visible half-txn.
+      if (r->rows.size() % 2 != 0) partial.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_TRUE(db.Begin().ok());
+    ASSERT_TRUE(
+        Exec(db, "INSERT INTO T VALUES (" + std::to_string(2 * i) + ", 0)")
+            .ok());
+    ASSERT_TRUE(
+        Exec(db,
+             "INSERT INTO T VALUES (" + std::to_string(2 * i + 1) + ", 0)")
+            .ok());
+    ASSERT_TRUE(db.Commit().ok());
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(partial.load(), 0);
+  EXPECT_EQ(SingleInt(db, "SELECT COUNT(*) FROM T"), 2 * kRounds);
+}
+
+// Randomized mixed workload: writers insert disjoint key ranges (so the
+// final state is interleaving-independent) while readers run planned
+// SELECTs under the shared lock. The live database must end up exactly
+// where a serial replay of the same statements ends up.
+TEST(DbConcurrencyTest, MixedWorkloadMatchesSerialExecution) {
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 3;
+  constexpr int kPerWriter = 80;
+
+  // Deterministic per-writer statement streams (shared with the serial
+  // replay below).
+  std::vector<std::vector<std::string>> streams(kWriters);
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> value(0, 999);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      int key = w * kPerWriter + i;
+      streams[w].push_back("INSERT INTO M VALUES (" + std::to_string(key) +
+                           ", " + std::to_string(value(rng)) + ")");
+      if (i % 7 == 3) {
+        // Occasionally rewrite an own earlier key; still deterministic.
+        int target = w * kPerWriter + (i / 2);
+        streams[w].push_back("UPDATE M SET V = " +
+                             std::to_string(value(rng)) + " WHERE K = " +
+                             std::to_string(target));
+      }
+    }
+  }
+
+  Database live("live");
+  ASSERT_TRUE(
+      Exec(live, "CREATE TABLE M (K INTEGER PRIMARY KEY, V INTEGER)").ok());
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        Result<QueryResult> q =
+            Exec(live, "SELECT K, V FROM M WHERE V >= 500 ORDER BY K");
+        ASSERT_TRUE(q.ok()) << q.status().ToString();
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&live, &streams, w] {
+      for (const std::string& sql : streams[w]) {
+        Result<QueryResult> r = Exec(live, sql);
+        ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  Database serial("serial");
+  ASSERT_TRUE(
+      Exec(serial, "CREATE TABLE M (K INTEGER PRIMARY KEY, V INTEGER)")
+          .ok());
+  for (int w = 0; w < kWriters; ++w) {
+    for (const std::string& sql : streams[w]) {
+      ASSERT_TRUE(Exec(serial, sql).ok());
+    }
+  }
+
+  Result<QueryResult> a = Exec(live, "SELECT K, V FROM M ORDER BY K");
+  Result<QueryResult> b = Exec(serial, "SELECT K, V FROM M ORDER BY K");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->rows.size(), b->rows.size());
+  for (size_t i = 0; i < a->rows.size(); ++i) {
+    EXPECT_EQ(a->rows[i][0].AsInt(), b->rows[i][0].AsInt());
+    EXPECT_EQ(a->rows[i][1].AsInt(), b->rows[i][1].AsInt());
+  }
+}
+
+// The commit epoch moves only on mutating commits — reads, empty explicit
+// transactions and failed statements leave it alone, so cached pages are
+// not invalidated by traffic that cannot have changed what they show.
+TEST(DbConcurrencyTest, CommitEpochTracksMutatingCommitsOnly) {
+  Database db("epoch");
+  uint64_t e0 = db.commit_epoch();
+  ASSERT_TRUE(Exec(db, "CREATE TABLE E (K INTEGER PRIMARY KEY)").ok());
+  uint64_t e1 = db.commit_epoch();
+  EXPECT_GT(e1, e0);  // DDL mutates
+
+  ASSERT_TRUE(Exec(db, "SELECT K FROM E").ok());
+  EXPECT_EQ(db.commit_epoch(), e1);  // reads do not
+
+  ASSERT_TRUE(db.Begin().ok());
+  ASSERT_TRUE(Exec(db, "SELECT K FROM E").ok());
+  ASSERT_TRUE(db.Commit().ok());
+  EXPECT_EQ(db.commit_epoch(), e1);  // read-only explicit txn does not
+
+  ASSERT_TRUE(db.Begin().ok());
+  ASSERT_TRUE(Exec(db, "INSERT INTO E VALUES (1)").ok());
+  ASSERT_TRUE(db.Commit().ok());
+  uint64_t e2 = db.commit_epoch();
+  EXPECT_EQ(e2, e1 + 1);  // one commit, one bump (two statements)
+
+  ASSERT_TRUE(db.Begin().ok());
+  ASSERT_TRUE(Exec(db, "INSERT INTO E VALUES (2)").ok());
+  ASSERT_TRUE(db.Rollback().ok());
+  EXPECT_EQ(db.commit_epoch(), e2);  // rolled back => unchanged
+
+  EXPECT_FALSE(Exec(db, "INSERT INTO E VALUES (1)").ok());  // dup PK
+  EXPECT_EQ(db.commit_epoch(), e2);  // failed statement => unchanged
+
+  ASSERT_TRUE(Exec(db, "INSERT INTO E VALUES (3)").ok());
+  EXPECT_EQ(db.commit_epoch(), e2 + 1);
+}
+
+// Counter integrity: N threads issuing M queries each must account for
+// exactly N*M in stats().queries (the counters are atomics updated under
+// the shared lock).
+TEST(DbConcurrencyTest, StatsCountersExactUnderConcurrentReads) {
+  Database db("stats");
+  ASSERT_TRUE(Exec(db, "CREATE TABLE S (K INTEGER PRIMARY KEY)").ok());
+  ASSERT_TRUE(Exec(db, "INSERT INTO S VALUES (1)").ok());
+  const uint64_t base_queries = db.stats().queries;
+  const uint64_t base_statements = db.stats().statements;
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 150;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(Exec(db, "SELECT K FROM S").ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  DatabaseStats after = db.stats();
+  EXPECT_EQ(after.queries - base_queries,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(after.statements - base_statements,
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace easia::db

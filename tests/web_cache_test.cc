@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "web/cache.h"
+
+namespace easia::web {
+namespace {
+
+CachedPage Page(const std::string& body) {
+  CachedPage page;
+  page.content_type = "text/html";
+  page.body = body;
+  return page;
+}
+
+RenderCache::Key Key(const std::string& visibility, const std::string& route,
+                     const std::string& params = "") {
+  RenderCache::Key key;
+  key.visibility = visibility;
+  key.route = route;
+  key.params = params;
+  return key;
+}
+
+TEST(RenderCacheTest, HitRequiresMatchingValidators) {
+  RenderCache cache;
+  RenderCache::Key key = Key("role:auth", "/tables");
+  EXPECT_FALSE(cache.Get(key, 1, 1).has_value());  // cold
+  cache.Put(key, 1, 1, Page("<html>index</html>"));
+
+  auto hit = cache.Get(key, 1, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->body, "<html>index</html>");
+  EXPECT_EQ(hit->content_type, "text/html");
+
+  // A bumped commit epoch invalidates (and drops) the entry...
+  EXPECT_FALSE(cache.Get(key, 2, 1).has_value());
+  // ...so even the original validators miss afterwards.
+  EXPECT_FALSE(cache.Get(key, 1, 1).has_value());
+
+  RenderCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(RenderCacheTest, XuisRevisionInvalidatesIndependently) {
+  RenderCache cache;
+  RenderCache::Key key = Key("u:alice", "/xuis");
+  cache.Put(key, 5, 7, Page("xml"));
+  EXPECT_TRUE(cache.Get(key, 5, 7).has_value());
+  EXPECT_FALSE(cache.Get(key, 5, 8).has_value());  // customisation changed
+}
+
+TEST(RenderCacheTest, VisibilityClassesAndParamsAreDistinctEntries) {
+  RenderCache cache;
+  cache.Put(Key("role:auth", "/query", "table=A"), 1, 1, Page("auth-A"));
+  cache.Put(Key("role:guest", "/query", "table=A"), 1, 1, Page("guest-A"));
+  cache.Put(Key("role:auth", "/query", "table=B"), 1, 1, Page("auth-B"));
+  EXPECT_EQ(cache.Get(Key("role:auth", "/query", "table=A"), 1, 1)->body,
+            "auth-A");
+  EXPECT_EQ(cache.Get(Key("role:guest", "/query", "table=A"), 1, 1)->body,
+            "guest-A");
+  EXPECT_EQ(cache.Get(Key("role:auth", "/query", "table=B"), 1, 1)->body,
+            "auth-B");
+}
+
+TEST(RenderCacheTest, MaxAgeExpiresTokenBearingPages) {
+  ManualClock clock(1000.0);
+  RenderCache::Options options;
+  options.max_age_seconds = 150.0;  // half a 300 s token TTL
+  options.clock = &clock;
+  RenderCache cache(options);
+  RenderCache::Key key = Key("u:alice", "/browse", "table=T&value=x");
+  cache.Put(key, 1, 1, Page("tokens"));
+
+  clock.Advance(149.0);
+  EXPECT_TRUE(cache.Get(key, 1, 1).has_value());
+  clock.Advance(2.0);
+  EXPECT_FALSE(cache.Get(key, 1, 1).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(RenderCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  RenderCache::Options options;
+  options.shards = 1;  // deterministic LRU order across keys
+  // Room for roughly three small pages (each charge ≈ key + body + 96).
+  options.max_bytes = 3 * 140;
+  RenderCache cache(options);
+
+  std::string body(16, 'x');
+  cache.Put(Key("r", "/a"), 1, 1, Page(body));
+  cache.Put(Key("r", "/b"), 1, 1, Page(body));
+  cache.Put(Key("r", "/c"), 1, 1, Page(body));
+  // Touch /a so /b is now the least recently used.
+  EXPECT_TRUE(cache.Get(Key("r", "/a"), 1, 1).has_value());
+  cache.Put(Key("r", "/d"), 1, 1, Page(body));
+
+  EXPECT_TRUE(cache.Get(Key("r", "/a"), 1, 1).has_value());
+  EXPECT_FALSE(cache.Get(Key("r", "/b"), 1, 1).has_value());  // evicted
+  EXPECT_TRUE(cache.Get(Key("r", "/d"), 1, 1).has_value());
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, options.max_bytes);
+}
+
+TEST(RenderCacheTest, OversizedPagesAreNotCached) {
+  RenderCache::Options options;
+  options.shards = 1;
+  options.max_bytes = 256;
+  RenderCache cache(options);
+  cache.Put(Key("r", "/huge"), 1, 1, Page(std::string(1024, 'x')));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.Get(Key("r", "/huge"), 1, 1).has_value());
+}
+
+TEST(RenderCacheTest, ReplacingAnEntryKeepsAccountingConsistent) {
+  RenderCache::Options options;
+  options.shards = 1;
+  RenderCache cache(options);
+  RenderCache::Key key = Key("r", "/page");
+  cache.Put(key, 1, 1, Page(std::string(100, 'a')));
+  size_t bytes_v1 = cache.stats().bytes;
+  cache.Put(key, 2, 1, Page(std::string(10, 'b')));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_LT(cache.stats().bytes, bytes_v1);
+  EXPECT_EQ(cache.Get(key, 2, 1)->body, std::string(10, 'b'));
+}
+
+TEST(RenderCacheTest, ClearDropsEntriesKeepsCounters) {
+  RenderCache cache;
+  cache.Put(Key("r", "/a"), 1, 1, Page("x"));
+  EXPECT_TRUE(cache.Get(Key("r", "/a"), 1, 1).has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_FALSE(cache.Get(Key("r", "/a"), 1, 1).has_value());
+}
+
+// Hammer one cache from many threads mixing hits, misses, replacements
+// and evictions; run under -DEASIA_TSAN=ON to verify the shard locking.
+TEST(RenderCacheTest, ConcurrentMixedAccessIsSafe) {
+  RenderCache::Options options;
+  options.max_bytes = 64 * 1024;
+  options.shards = 4;
+  RenderCache cache(options);
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RenderCache::Key key =
+            Key("u:" + std::to_string(t % 3), "/browse",
+                "value=" + std::to_string(i % 17));
+        if (!cache.Get(key, 1, 1).has_value()) {
+          cache.Put(key, 1, 1, Page(std::string(64 + i % 64, 'p')));
+        }
+        if (i % 50 == 0) (void)cache.stats();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  RenderCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_LE(stats.bytes, options.max_bytes);
+}
+
+}  // namespace
+}  // namespace easia::web

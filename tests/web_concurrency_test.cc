@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "web/server.h"
+#include "web/session.h"
+#include "web/users.h"
+
+// Concurrency regressions for the web layer: session/user stores under
+// parallel workers, the HandleConcurrent dispatcher, and end-to-end render
+// cache invalidation. Build with -DEASIA_TSAN=ON (or `make check-tsan`)
+// to have ThreadSanitizer verify the locking.
+namespace easia::web {
+namespace {
+
+// Logins, lookups, logouts and sweeps race while the clock advances past
+// the idle timeout; sessions are snapshots by value, so a handler's copy
+// stays usable even when the sweeper drops the entry mid-request.
+TEST(WebConcurrencyTest, ConcurrentLoginExpiryAndSweep) {
+  UserManager users;
+  ASSERT_TRUE(users.AddUser("alice", "pw", UserRole::kAuthorised).ok());
+  ManualClock clock(0);
+  SessionManager sessions(&users, &clock, /*idle_timeout_seconds=*/10.0);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 150;
+  std::atomic<bool> done{false};
+  std::thread sweeper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      clock.Advance(3.0);
+      (void)sessions.SweepExpired();
+      (void)sessions.ActiveCount();
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Result<std::string> id = sessions.Login("alice", "pw");
+        ASSERT_TRUE(id.ok());
+        Result<Session> s = sessions.Get(*id);
+        if (s.ok()) {
+          // The snapshot stays valid whatever the sweeper does.
+          EXPECT_EQ(s->user.name, "alice");
+          EXPECT_EQ(s->id, *id);
+        } else {
+          // Only the idle timeout may beat us to it.
+          EXPECT_TRUE(s.status().IsTokenExpired() ||
+                      s.status().IsNotFound());
+        }
+        if (i % 3 == 0) (void)sessions.Logout(*id);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  done.store(true, std::memory_order_release);
+  sweeper.join();
+
+  clock.Advance(1e6);
+  (void)sessions.SweepExpired();
+  EXPECT_EQ(sessions.ActiveCount(), 0u);
+}
+
+TEST(WebConcurrencyTest, UserStoreSurvivesParallelMutation) {
+  UserManager users;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string name = "u" + std::to_string(t) + "_" +
+                           std::to_string(i);
+        ASSERT_TRUE(users.AddUser(name, "pw", UserRole::kAuthorised).ok());
+        EXPECT_TRUE(users.Authenticate(name, "pw").ok());
+        (void)users.ListUsers();
+        if (i % 2 == 0) {
+          ASSERT_TRUE(users.SetPassword(name, "pw2").ok());
+          EXPECT_TRUE(users.Authenticate(name, "pw2").ok());
+        }
+        if (i % 5 == 0) {
+          ASSERT_TRUE(users.RemoveUser(name).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // guest + survivors of each thread's add/remove pattern.
+  size_t expected = 1 + kThreads * (kPerThread - kPerThread / 5);
+  EXPECT_EQ(users.ListUsers().size(), expected);
+}
+
+// ---- Full archive under the concurrent dispatcher ----
+
+class WebConcurrencyArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    archive_ = std::make_unique<core::Archive>();
+    archive_->AddFileServer("fs1", 8.0);
+    ASSERT_TRUE(core::CreateTurbulenceSchema(archive_.get()).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1"};
+    seed.simulations = 2;
+    seed.timesteps_per_simulation = 2;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(archive_.get(), seed);
+    ASSERT_TRUE(seeded.ok());
+    seeded_ = *seeded;
+    ASSERT_TRUE(archive_->InitializeXuis().ok());
+    ASSERT_TRUE(
+        archive_->AddUser("alice", "pw", UserRole::kAuthorised).ok());
+    alice_ = *archive_->Login("alice", "pw");
+  }
+
+  HttpRequest Req(const std::string& path, fs::HttpParams params = {}) {
+    HttpRequest r;
+    r.path = path;
+    r.params = std::move(params);
+    r.session_id = alice_;
+    return r;
+  }
+
+  std::unique_ptr<core::Archive> archive_;
+  std::vector<core::SeededSimulation> seeded_;
+  std::string alice_;
+};
+
+// The worker pool must return, for every request, exactly the response a
+// serial pass produces (read-only batch, so caching cannot change bodies).
+TEST_F(WebConcurrencyArchiveTest, HandleConcurrentMatchesSerialHandle) {
+  std::vector<HttpRequest> batch;
+  for (int i = 0; i < 30; ++i) {
+    switch (i % 4) {
+      case 0:
+        batch.push_back(Req("/tables"));
+        break;
+      case 1:
+        batch.push_back(Req("/query", {{"table", "SIMULATION"}}));
+        break;
+      case 2:
+        batch.push_back(Req("/search", {{"table", "AUTHOR"},
+                                        {"all", "1"}}));
+        break;
+      default:
+        batch.push_back(Req("/xuis"));
+        break;
+    }
+  }
+  std::vector<HttpResponse> serial;
+  serial.reserve(batch.size());
+  for (const HttpRequest& r : batch) {
+    serial.push_back(archive_->web().Handle(r));
+  }
+  for (size_t workers : {2u, 4u}) {
+    std::vector<HttpResponse> concurrent =
+        archive_->web().HandleConcurrent(batch, workers);
+    ASSERT_EQ(concurrent.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(concurrent[i].status, serial[i].status) << i;
+      EXPECT_EQ(concurrent[i].body, serial[i].body) << i;
+    }
+  }
+  EXPECT_GE(archive_->render_cache().stats().hits, 1u);
+}
+
+TEST_F(WebConcurrencyArchiveTest, CacheInvalidatesOnCommitAndCustomise) {
+  // Cold, then hot.
+  HttpResponse first = archive_->web().Handle(Req("/tables"));
+  ASSERT_EQ(first.status, 200);
+  uint64_t hits_before = archive_->render_cache().stats().hits;
+  HttpResponse second = archive_->web().Handle(Req("/tables"));
+  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(archive_->render_cache().stats().hits, hits_before + 1);
+
+  // Warm a /browse page for a key that does not exist yet.
+  fs::HttpParams browse = {{"table", "AUTHOR"},
+                           {"column", "AUTHOR_KEY"},
+                           {"value", "AX"}};
+  HttpResponse empty_browse = archive_->web().Handle(Req("/browse", browse));
+  ASSERT_EQ(empty_browse.status, 200);
+  (void)archive_->web().Handle(Req("/browse", browse));  // now cached
+
+  // A committed write bumps the epoch: the cached /tables and /browse
+  // entries are invalidated, and the re-rendered browse shows the new row
+  // instead of replaying the stale empty page.
+  ASSERT_TRUE(archive_
+                  ->Execute("INSERT INTO AUTHOR VALUES ('AX', 'New Author', "
+                            "'Southampton', 'new@soton.ac.uk')")
+                  .ok());
+  uint64_t invalidations_before =
+      archive_->render_cache().stats().invalidations;
+  HttpResponse third = archive_->web().Handle(Req("/tables"));
+  ASSERT_EQ(third.status, 200);
+  EXPECT_GT(archive_->render_cache().stats().invalidations,
+            invalidations_before);
+  HttpResponse fresh_browse = archive_->web().Handle(Req("/browse", browse));
+  ASSERT_EQ(fresh_browse.status, 200);
+  EXPECT_NE(fresh_browse.body, empty_browse.body);
+  EXPECT_NE(fresh_browse.body.find("New Author"), std::string::npos);
+
+  // Warm it again, then change the XUIS: revision bump invalidates too.
+  (void)archive_->web().Handle(Req("/tables"));
+  archive_->xuis().BumpRevision();
+  uint64_t misses_before = archive_->render_cache().stats().misses;
+  (void)archive_->web().Handle(Req("/tables"));
+  EXPECT_GT(archive_->render_cache().stats().misses, misses_before);
+}
+
+// /xuis serves the session user's XML document and is cached per
+// visibility class: a personal spec splits the user off the shared entry.
+TEST_F(WebConcurrencyArchiveTest, XuisDocumentCachedPerVisibility) {
+  HttpResponse doc = archive_->web().Handle(Req("/xuis"));
+  ASSERT_EQ(doc.status, 200);
+  EXPECT_EQ(doc.content_type, "text/xml");
+  EXPECT_NE(doc.body.find("SIMULATION"), std::string::npos);
+
+  // Personalise alice's spec: her document changes, and the cache follows
+  // the registry revision rather than serving the stale shared entry.
+  xuis::XuisSpec personal = archive_->xuis().Default();
+  xuis::XuisCustomizer customizer(&personal);
+  ASSERT_TRUE(customizer.HideTable("AUTHOR").ok());
+  archive_->xuis().SetForUser("alice", std::move(personal));
+  HttpResponse after = archive_->web().Handle(Req("/xuis"));
+  ASSERT_EQ(after.status, 200);
+  EXPECT_NE(after.body, doc.body);
+}
+
+// Mixed readers and a writer through the full web stack; responses must
+// always be well-formed (this is the TSan workout for the whole path:
+// sessions, shared-lock SELECTs, cache, renderer).
+TEST_F(WebConcurrencyArchiveTest, ParallelReadersWithWriterStayConsistent) {
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 40; ++i) {
+      std::string key = "W" + std::to_string(i);
+      ASSERT_TRUE(archive_
+                      ->Execute("INSERT INTO AUTHOR VALUES ('" + key +
+                                "', 'Writer " + std::to_string(i) +
+                                "', 'w@x', 'Soton')")
+                      .ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        HttpResponse resp = archive_->web().Handle(
+            Req("/search", {{"table", "AUTHOR"}, {"all", "1"}}));
+        ASSERT_EQ(resp.status, 200);
+        ASSERT_NE(resp.body.find("</html>"), std::string::npos);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& r : readers) r.join();
+
+  HttpResponse final_page = archive_->web().Handle(
+      Req("/search", {{"table", "AUTHOR"}, {"all", "1"}}));
+  EXPECT_NE(final_page.body.find("Writer 39"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easia::web
