@@ -1,0 +1,234 @@
+// F11 — fault injection and crash recovery. PR 4 added a deterministic
+// fault-injection harness (src/testing/): an in-memory environment that
+// tears writes, drops fsyncs and stops persisting at a seeded crash point,
+// plus crash-recovery workloads over the WAL, the job journal and the
+// SQL/MED DATALINK layer (post-crash reconciliation of database rows
+// against file-server contents). This bench drives the harness at scale:
+//
+//   * wal: seeded DML workloads crashed at random WAL byte offsets across
+//     all three survival models; recovery is differentially checked
+//     against a shadow replay of the acknowledged statements;
+//   * jobs: seeded submit/cancel workloads crashed mid-journal; acked
+//     submissions must survive, recovery must be a fixpoint;
+//   * datalink: torn WAL write plus lost linked files; the reconciler
+//     restores RECOVERY YES files from a coordinated backup (or flags the
+//     dangling rows) and a second pass must be a fixpoint.
+//
+// Emits a JSON block like bench_f9/f10 and exits non-zero on any invariant
+// violation, so `--smoke` doubles as a correctness gate: it runs >= 100
+// seeded crash points on every build via ctest.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "testing/crash_harness.h"
+
+namespace {
+
+using namespace easia;
+using easia::testing::CrashReport;
+using easia::testing::CrashSurvival;
+
+struct SmokeConfig {
+  int wal_cases = 200;
+  int jobs_cases = 120;
+  int datalink_cases = 24;
+};
+
+struct SweepResult {
+  int cases = 0;
+  int crashed = 0;
+  size_t acked = 0;
+  size_t violations = 0;
+  double seconds = 0;
+};
+
+double WallSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+CrashSurvival Mode(int i) {
+  const CrashSurvival kModes[] = {CrashSurvival::kAll,
+                                  CrashSurvival::kSyncedOnly,
+                                  CrashSurvival::kRandomTail};
+  return kModes[i % 3];
+}
+
+void Account(SweepResult* sweep, const CrashReport& report) {
+  ++sweep->cases;
+  if (report.crashed) ++sweep->crashed;
+  sweep->acked += report.acked;
+  sweep->violations += report.violations.size();
+  for (const std::string& v : report.violations) {
+    std::fprintf(stderr, "VIOLATION: %s\n", v.c_str());
+  }
+}
+
+SweepResult WalSweep(int cases) {
+  SweepResult sweep;
+  auto start = std::chrono::steady_clock::now();
+  Random rng(0xF11A);
+  for (int i = 0; i < cases; ++i) {
+    testing::WalCrashOptions options;
+    options.seed = rng.Next();
+    options.statements = 10 + static_cast<int>(rng.Uniform(20));
+    options.survival = Mode(i);
+    testing::WalCrashOptions probe = options;
+    probe.crash_after_bytes = -1;
+    CrashReport full = RunWalCrashCase(probe);
+    if (!full.Clean() || full.wal_bytes == 0) {
+      Account(&sweep, full);
+      continue;
+    }
+    options.crash_after_bytes =
+        static_cast<int64_t>(rng.Uniform(full.wal_bytes + 1));
+    Account(&sweep, RunWalCrashCase(options));
+  }
+  sweep.seconds = WallSince(start);
+  return sweep;
+}
+
+SweepResult JobsSweep(int cases) {
+  SweepResult sweep;
+  auto start = std::chrono::steady_clock::now();
+  Random rng(0xF11B);
+  for (int i = 0; i < cases; ++i) {
+    testing::JobsCrashOptions options;
+    options.seed = rng.Next();
+    options.operations = 10 + static_cast<int>(rng.Uniform(25));
+    options.survival = Mode(i);
+    testing::JobsCrashOptions probe = options;
+    probe.crash_after_bytes = -1;
+    CrashReport full = RunJobsCrashCase(probe);
+    if (!full.Clean() || full.wal_bytes == 0) {
+      Account(&sweep, full);
+      continue;
+    }
+    options.crash_after_bytes =
+        static_cast<int64_t>(rng.Uniform(full.wal_bytes + 1));
+    Account(&sweep, RunJobsCrashCase(options));
+  }
+  sweep.seconds = WallSince(start);
+  return sweep;
+}
+
+SweepResult DatalinkSweep(int cases) {
+  SweepResult sweep;
+  auto start = std::chrono::steady_clock::now();
+  Random rng(0xF11C);
+  for (int i = 0; i < cases; ++i) {
+    testing::DatalinkCrashOptions options;
+    options.seed = rng.Next();
+    options.files = 8 + static_cast<int>(rng.Uniform(8));
+    options.survival = Mode(i);
+    options.lose_files = 1 + static_cast<int>(rng.Uniform(3));
+    // Half the sweep runs with a coordinated backup (lost files restore);
+    // the other half without (lost files must be flagged dangling).
+    options.with_backup = (i % 2) == 0;
+    testing::DatalinkCrashOptions probe = options;
+    probe.crash_after_bytes = -1;
+    probe.lose_files = 0;
+    CrashReport full = RunDatalinkCrashCase(probe);
+    if (!full.Clean() || full.wal_bytes == 0) {
+      Account(&sweep, full);
+      continue;
+    }
+    options.crash_after_bytes =
+        static_cast<int64_t>(rng.Uniform(full.wal_bytes + 1));
+    Account(&sweep, RunDatalinkCrashCase(options));
+  }
+  sweep.seconds = WallSince(start);
+  return sweep;
+}
+
+void PrintSweep(const char* name, const SweepResult& sweep, bool last) {
+  std::printf(
+      " \"%s\":{\"cases\":%d,\"crashed\":%d,\"acked_ops\":%zu,"
+      "\"violations\":%zu,\"seconds\":%.3f}%s\n",
+      name, sweep.cases, sweep.crashed, sweep.acked, sweep.violations,
+      sweep.seconds, last ? "" : ",");
+}
+
+size_t RunSweeps(const SmokeConfig& cfg) {
+  std::printf("\n=== F11: fault injection + crash recovery ===\n");
+  SweepResult wal = WalSweep(cfg.wal_cases);
+  SweepResult jobs = JobsSweep(cfg.jobs_cases);
+  SweepResult datalink = DatalinkSweep(cfg.datalink_cases);
+  std::printf("{\"bench\":\"f11_fault_recovery\",\n");
+  PrintSweep("wal", wal, false);
+  PrintSweep("jobs", jobs, false);
+  PrintSweep("datalink", datalink, true);
+  std::printf("}\n");
+  return wal.violations + jobs.violations + datalink.violations;
+}
+
+// ---- Microbenchmarks (skipped under --smoke) ----
+
+void BM_WalCrashRecoverCycle(benchmark::State& state) {
+  Random rng(1);
+  for (auto _ : state) {
+    testing::WalCrashOptions options;
+    options.seed = rng.Next();
+    options.statements = static_cast<int>(state.range(0));
+    options.crash_after_bytes = 400;
+    options.survival = CrashSurvival::kRandomTail;
+    CrashReport report = RunWalCrashCase(options);
+    if (!report.Clean()) state.SkipWithError("invariant violation");
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_WalCrashRecoverCycle)->Arg(10)->Arg(40);
+
+void BM_DatalinkCrashReconcile(benchmark::State& state) {
+  Random rng(2);
+  for (auto _ : state) {
+    testing::DatalinkCrashOptions options;
+    options.seed = rng.Next();
+    options.files = static_cast<int>(state.range(0));
+    options.crash_after_bytes = 600;
+    options.lose_files = 2;
+    CrashReport report = RunDatalinkCrashCase(options);
+    if (!report.Clean()) state.SkipWithError("invariant violation");
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_DatalinkCrashReconcile)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  // Strip --smoke before benchmark::Initialize (it is not a benchmark
+  // flag); ctest runs `bench_f11_fault_recovery --smoke` on every build.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  SmokeConfig cfg;
+  if (smoke) {
+    // >= 100 seeded crash points even in the smoke configuration: the
+    // sweep is the correctness gate, not just a timing probe.
+    cfg.wal_cases = 60;
+    cfg.jobs_cases = 40;
+    cfg.datalink_cases = 10;
+  }
+  size_t violations = RunSweeps(cfg);
+  if (violations != 0) {
+    std::fprintf(stderr, "bench_f11: %zu invariant violations\n", violations);
+    return 1;
+  }
+  if (smoke) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

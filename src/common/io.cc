@@ -1,0 +1,156 @@
+#include "common/io.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace easia::io {
+
+namespace {
+
+/// stdio-backed append file; Sync is fflush + fsync.
+class StdioLogFile : public LogFile {
+ public:
+  explicit StdioLogFile(std::FILE* file) : file_(file) {}
+  ~StdioLogFile() override { Close(); }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::Internal("log file: closed");
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::Internal("log file: short write");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::Internal("log file: closed");
+    if (std::fflush(file_) != 0) {
+      return Status::Internal("log file: flush failed");
+    }
+    // fflush only reaches the OS page cache; fsync makes the bytes durable
+    // against an OS crash or power loss, not just a process crash.
+    if (::fsync(::fileno(file_)) != 0) {
+      return Status::Internal(std::string("log file: fsync failed: ") +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+class StdioEnv : public Env {
+ public:
+  Result<std::unique_ptr<LogFile>> OpenAppend(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) {
+      return Status::Internal("io: cannot open " + path + ": " +
+                              std::strerror(errno));
+    }
+    return std::unique_ptr<LogFile>(new StdioLogFile(f));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("io: no such file: " + path);
+    std::string contents;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      contents.append(buf, n);
+    }
+    std::fclose(f);
+    return contents;
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+  }
+
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view contents) override {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::Internal("io: cannot open " + tmp + ": " +
+                              std::strerror(errno));
+    }
+    size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+    bool flushed = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    std::fclose(f);
+    if (written != contents.size() || !flushed) {
+      std::remove(tmp.c_str());
+      return Status::Internal("io: short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      return Status::Internal("io: cannot rename " + tmp + " into place: " +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::NotFound("io: cannot remove " + path + ": " +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::Internal("io: cannot truncate " + path + ": " +
+                              std::strerror(errno));
+    }
+    std::fclose(f);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* RealEnv() {
+  static StdioEnv* env = new StdioEnv();
+  return env;
+}
+
+void AppendFrame(std::string* dst, std::string_view payload) {
+  PutU32(dst, static_cast<uint32_t>(payload.size()));
+  PutU32(dst, Crc32(payload));
+  dst->append(payload);
+}
+
+std::vector<std::string_view> ScanFrames(std::string_view contents) {
+  std::vector<std::string_view> frames;
+  size_t pos = 0;
+  while (pos + 8 <= contents.size()) {
+    Decoder header(contents.substr(pos, 8));
+    uint32_t len = header.GetU32().value();
+    uint32_t crc = header.GetU32().value();
+    if (pos + 8 + len > contents.size()) break;  // torn tail
+    std::string_view payload = contents.substr(pos + 8, len);
+    if (Crc32(payload) != crc) break;  // corrupt tail
+    frames.push_back(payload);
+    pos += 8 + len;
+  }
+  return frames;
+}
+
+}  // namespace easia::io

@@ -1,0 +1,78 @@
+#ifndef EASIA_COMMON_IO_H_
+#define EASIA_COMMON_IO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easia::io {
+
+/// The byte-sink seam under every append-only log in EASIA (the database
+/// WAL and the job journal write through it). Production code uses the
+/// stdio-backed implementation from RealEnv(); the fault-injection harness
+/// substitutes an implementation that can tear writes, drop fsyncs and
+/// stop persisting at a crash point.
+class LogFile {
+ public:
+  virtual ~LogFile() = default;
+
+  /// Appends bytes at the end of the file. Buffered: durability is only
+  /// guaranteed after a successful Sync().
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Makes everything appended so far durable (against OS crash and power
+  /// loss, not just process death).
+  virtual Status Sync() = 0;
+
+  /// Idempotent; further Append/Sync calls fail.
+  virtual void Close() = 0;
+};
+
+/// The file-system seam for EASIA's durable state (log files, snapshots,
+/// journal compaction). All paths are plain strings; implementations may
+/// map them to the host file system (RealEnv) or to memory (the
+/// fault-injection environment).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it when absent.
+  virtual Result<std::unique_ptr<LogFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  /// Whole-file read; kNotFound when the file does not exist.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Durably replaces `path` with `contents` (write-temp + rename): after
+  /// an OK return the file holds exactly `contents`, and a crash during
+  /// the call leaves either the old or the new version, never a mix.
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 std::string_view contents) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Truncates `path` to zero bytes, creating it when absent.
+  virtual Status Truncate(const std::string& path) = 0;
+};
+
+/// The host-file-system environment (stdio + fsync). Never null; shared
+/// process-wide singleton.
+Env* RealEnv();
+
+/// Redo-log framing shared by the WAL and the job journal:
+/// `u32 length, u32 crc32, payload`, little-endian.
+void AppendFrame(std::string* dst, std::string_view payload);
+
+/// Scans framed records out of `contents`, stopping silently at the first
+/// torn or checksum-corrupt frame (standard redo-log semantics). The
+/// returned views point into `contents`.
+std::vector<std::string_view> ScanFrames(std::string_view contents);
+
+}  // namespace easia::io
+
+#endif  // EASIA_COMMON_IO_H_

@@ -39,11 +39,17 @@ Result<Value> QueryResult::At(size_t row, std::string_view column) const {
 }
 
 Database::Database(std::string name, DatabaseOptions options)
-    : name_(std::move(name)), options_(std::move(options)) {
+    : name_(std::move(name)),
+      options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : io::RealEnv()) {
   if (!options_.wal_path.empty()) {
-    Result<WalWriter> writer = WalWriter::Open(options_.wal_path);
+    Result<WalWriter> writer = WalWriter::Open(env_, options_.wal_path);
     if (writer.ok()) {
       wal_ = std::make_unique<WalWriter>(std::move(*writer));
+    } else {
+      // Remember why: commits of a WAL-configured database must fail
+      // instead of silently running without durability.
+      wal_open_status_ = writer.status();
     }
   }
 }
@@ -79,18 +85,15 @@ void Database::ReleaseExplicitLock() {
 }
 
 Status Database::Recover() {
-  if (!options_.snapshot_path.empty()) {
-    std::FILE* probe = std::fopen(options_.snapshot_path.c_str(), "rb");
-    if (probe != nullptr) {
-      std::fclose(probe);
-      EASIA_RETURN_IF_ERROR(LoadSnapshot(options_.snapshot_path));
-    }
+  if (!options_.snapshot_path.empty() &&
+      env_->FileExists(options_.snapshot_path)) {
+    EASIA_RETURN_IF_ERROR(LoadSnapshot(options_.snapshot_path));
   }
   if (options_.wal_path.empty()) return Status::OK();
   // Close the writer while replaying (it holds the file in append mode,
   // which is fine, but keep the logic simple and reopen after).
   EASIA_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
-                         ReadWal(options_.wal_path));
+                         ReadWal(env_, options_.wal_path));
   // Group records by txn; apply only committed transactions, in log order.
   std::map<uint64_t, std::vector<const WalRecord*>> pending;
   for (const WalRecord& rec : records) {
@@ -315,6 +318,12 @@ Status Database::CommitInternal() {
   // Undo entries exist exactly when the transaction changed something; a
   // read-only (or empty) commit must not invalidate caches.
   bool mutated = !txn_->undo.empty();
+  if (wal_ == nullptr && !options_.wal_path.empty() && mutated) {
+    // Durability was requested but the log could not be opened; losing the
+    // commit silently would violate the WAL contract.
+    return Status::Internal("wal unavailable: " +
+                            std::string(wal_open_status_.message()));
+  }
   txn_->wal_records.push_back(
       {WalRecordType::kCommit, txn_->id, "", 0, {}, {}, ""});
   if (wal_ != nullptr) {
@@ -767,29 +776,12 @@ Status Database::SaveSnapshot(const std::string& path) const {
 }
 
 Status Database::SaveSnapshotLocked(const std::string& path) const {
-  std::string out = SerializeSnapshotLocked();
-  std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return Status::Internal("cannot open snapshot " + tmp);
-  size_t written = std::fwrite(out.data(), 1, out.size(), f);
-  std::fclose(f);
-  if (written != out.size()) {
-    return Status::Internal("short snapshot write");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal("cannot rename snapshot into place");
-  }
-  return Status::OK();
+  return env_->WriteFileAtomic(path, SerializeSnapshotLocked())
+      .WithContext("snapshot");
 }
 
 Status Database::LoadSnapshot(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("no snapshot at " + path);
-  std::string contents;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
-  std::fclose(f);
+  EASIA_ASSIGN_OR_RETURN(std::string contents, env_->ReadFileToString(path));
   return LoadSnapshotFromString(contents);
 }
 
@@ -883,10 +875,14 @@ Status Database::Checkpoint() {
   EASIA_RETURN_IF_ERROR(SaveSnapshotLocked(options_.snapshot_path));
   if (!options_.wal_path.empty()) {
     wal_.reset();
-    std::FILE* f = std::fopen(options_.wal_path.c_str(), "wb");
-    if (f != nullptr) std::fclose(f);
-    EASIA_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Open(options_.wal_path));
-    wal_ = std::make_unique<WalWriter>(std::move(writer));
+    EASIA_RETURN_IF_ERROR(env_->Truncate(options_.wal_path));
+    Result<WalWriter> writer = WalWriter::Open(env_, options_.wal_path);
+    if (!writer.ok()) {
+      wal_open_status_ = writer.status();
+      return writer.status();
+    }
+    wal_ = std::make_unique<WalWriter>(std::move(*writer));
+    wal_open_status_ = Status::OK();
   }
   return Status::OK();
 }

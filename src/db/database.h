@@ -80,6 +80,9 @@ struct DatabaseOptions {
   std::string snapshot_path;
   /// Flush the log on every commit.
   bool sync_on_commit = true;
+  /// File-system seam for WAL + snapshots; null uses io::RealEnv(). The
+  /// fault-injection harness substitutes a crashing/torn-write environment.
+  io::Env* env = nullptr;
 };
 
 /// Cumulative engine counters.
@@ -253,12 +256,18 @@ class Database {
 
   std::string name_;
   DatabaseOptions options_;
+  io::Env* env_ = nullptr;
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   DatalinkCoordinator* coordinator_ = nullptr;
   std::unique_ptr<Txn> txn_;
   uint64_t next_txn_id_ = 1;
   std::unique_ptr<WalWriter> wal_;
+  /// Why the WAL is unavailable when `wal_path` is set but `wal_` is null
+  /// (open failure at construction, or a failed checkpoint reopen). Commits
+  /// of a durability-configured database fail with this status rather than
+  /// silently losing the log.
+  Status wal_open_status_ = Status::OK();
 
   /// Reader/writer statement gate (see class comment).
   mutable std::shared_mutex mu_;

@@ -1,10 +1,5 @@
 #include "db/wal.h"
 
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
 #include "common/coding.h"
 #include "common/string_util.h"
 
@@ -39,85 +34,50 @@ Result<WalRecord> WalRecord::Decode(std::string_view payload) {
 }
 
 Result<WalWriter> WalWriter::Open(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) {
-    return Status::Internal("wal: cannot open " + path + ": " +
-                            std::strerror(errno));
-  }
-  return WalWriter(f);
+  return Open(io::RealEnv(), path);
 }
 
-WalWriter::WalWriter(WalWriter&& other) noexcept : file_(other.file_) {
-  other.file_ = nullptr;
+Result<WalWriter> WalWriter::Open(io::Env* env, const std::string& path) {
+  EASIA_ASSIGN_OR_RETURN(std::unique_ptr<WalFile> file,
+                         env->OpenAppend(path));
+  return WalWriter(std::move(file));
 }
-
-WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
-  if (this != &other) {
-    Close();
-    file_ = other.file_;
-    other.file_ = nullptr;
-  }
-  return *this;
-}
-
-WalWriter::~WalWriter() { Close(); }
 
 void WalWriter::Close() {
   if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+    file_->Close();
+    file_.reset();
   }
 }
 
 Status WalWriter::Append(const WalRecord& record) {
   if (file_ == nullptr) return Status::Internal("wal: writer closed");
-  std::string payload = record.Encode();
   std::string frame;
-  PutU32(&frame, static_cast<uint32_t>(payload.size()));
-  PutU32(&frame, Crc32(payload));
-  frame += payload;
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return Status::Internal("wal: short write");
-  }
-  return Status::OK();
+  io::AppendFrame(&frame, record.Encode());
+  return file_->Append(frame).WithContext("wal");
 }
 
 Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::Internal("wal: writer closed");
-  if (std::fflush(file_) != 0) return Status::Internal("wal: flush failed");
-  // fflush only reaches the OS page cache; fsync makes the commit durable
-  // against an OS crash or power loss, not just a process crash.
-  if (::fsync(::fileno(file_)) != 0) {
-    return Status::Internal(std::string("wal: fsync failed: ") +
-                            std::strerror(errno));
-  }
-  return Status::OK();
+  return file_->Sync().WithContext("wal");
 }
 
 Result<std::vector<WalRecord>> ReadWal(const std::string& path) {
+  return ReadWal(io::RealEnv(), path);
+}
+
+Result<std::vector<WalRecord>> ReadWal(io::Env* env,
+                                       const std::string& path) {
   std::vector<WalRecord> records;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return records;  // no log yet
-  std::string contents;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    contents.append(buf, n);
+  Result<std::string> contents = env->ReadFileToString(path);
+  if (!contents.ok()) {
+    if (contents.status().IsNotFound()) return records;  // no log yet
+    return contents.status();
   }
-  std::fclose(f);
-  size_t pos = 0;
-  while (pos + 8 <= contents.size()) {
-    Decoder header(std::string_view(contents).substr(pos, 8));
-    uint32_t len = header.GetU32().value();
-    uint32_t crc = header.GetU32().value();
-    if (pos + 8 + len > contents.size()) break;  // torn tail
-    std::string_view payload =
-        std::string_view(contents).substr(pos + 8, len);
-    if (Crc32(payload) != crc) break;  // corrupt tail
+  for (std::string_view payload : io::ScanFrames(*contents)) {
     Result<WalRecord> rec = WalRecord::Decode(payload);
-    if (!rec.ok()) break;
+    if (!rec.ok()) break;  // corrupt tail
     records.push_back(std::move(*rec));
-    pos += 8 + len;
   }
   return records;
 }

@@ -1,14 +1,21 @@
 #ifndef EASIA_DB_WAL_H_
 #define EASIA_DB_WAL_H_
 
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/io.h"
 #include "common/result.h"
 #include "db/table.h"
 
 namespace easia::db {
+
+/// The byte sink the WAL writes through (see common/io.h). Production code
+/// gets the stdio+fsync implementation from io::RealEnv(); the
+/// fault-injection harness substitutes one that tears writes, drops fsyncs
+/// and stops persisting at a crash point.
+using WalFile = io::LogFile;
 
 /// Write-ahead-log record types. DDL records carry the statement SQL and
 /// are replayed through the parser; DML records carry physical rows.
@@ -40,26 +47,30 @@ struct WalRecord {
 /// A torn final record (crash mid-write) is tolerated by the reader.
 class WalWriter {
  public:
+  /// Opens against the host file system (io::RealEnv()).
   static Result<WalWriter> Open(const std::string& path);
+  /// Opens through an explicit environment (fault injection, tests).
+  static Result<WalWriter> Open(io::Env* env, const std::string& path);
 
-  WalWriter(WalWriter&& other) noexcept;
-  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(WalWriter&&) noexcept = default;
+  WalWriter& operator=(WalWriter&&) noexcept = default;
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
-  ~WalWriter();
+  ~WalWriter() = default;
 
   Status Append(const WalRecord& record);
   Status Sync();
   void Close();
 
  private:
-  explicit WalWriter(std::FILE* file) : file_(file) {}
-  std::FILE* file_ = nullptr;
+  explicit WalWriter(std::unique_ptr<WalFile> file) : file_(std::move(file)) {}
+  std::unique_ptr<WalFile> file_;
 };
 
 /// Reads every intact record from a log file; stops silently at the first
 /// torn or corrupt frame (standard redo-log semantics).
 Result<std::vector<WalRecord>> ReadWal(const std::string& path);
+Result<std::vector<WalRecord>> ReadWal(io::Env* env, const std::string& path);
 
 }  // namespace easia::db
 

@@ -1,10 +1,50 @@
 #include "fileserver/file_server.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace easia::fs {
 
+namespace {
+
+/// Uniform status access for Status- and Result<T>-returning operations.
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace
+
 FileServer::FileServer(std::string host) : host_(std::move(host)) {}
+
+RetryStats FileServer::retry_stats() const {
+  RetryStats out;
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.give_ups = give_ups_.load(std::memory_order_relaxed);
+  return out;
+}
+
+template <typename Op>
+auto FileServer::WithRetry(Op&& op) const -> decltype(op()) {
+  int attempts = std::max(1, retry_policy_.max_attempts);
+  double delay = retry_policy_.backoff_base_seconds;
+  for (int attempt = 1;; ++attempt) {
+    auto result = op();
+    if (result.ok() ||
+        StatusOf(result).code() != StatusCode::kUnavailable) {
+      return result;
+    }
+    if (attempt >= attempts) {
+      give_ups_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (retry_policy_.on_backoff) retry_policy_.on_backoff(attempt, delay);
+    delay *= 2;
+  }
+}
 
 Result<GetResult> FileServer::Get(const std::string& request_path) const {
   // Split optional "token;" prefix on the final path component.
@@ -21,11 +61,14 @@ Result<GetResult> FileServer::Get(const std::string& request_path) const {
   if (read_gate_ != nullptr) {
     EASIA_RETURN_IF_ERROR(read_gate_(path, token));
   }
-  EASIA_ASSIGN_OR_RETURN(FileStat stat, vfs_.Stat(path));
+  EASIA_ASSIGN_OR_RETURN(
+      FileStat stat, WithRetry([&] { return active_vfs_->Stat(path); }));
   GetResult out;
   out.stat = stat;
   if (!stat.sparse) {
-    EASIA_ASSIGN_OR_RETURN(out.content, vfs_.ReadFile(path));
+    EASIA_ASSIGN_OR_RETURN(
+        out.content,
+        WithRetry([&] { return active_vfs_->ReadFile(path); }));
   }
   return out;
 }
@@ -46,7 +89,8 @@ Result<GetResult> FileServer::GetUrl(const std::string& url) const {
 
 Status FileServer::Put(const std::string& path, std::string contents,
                        const std::string& owner) {
-  return vfs_.WriteFile(path, std::move(contents), owner);
+  return WithRetry(
+      [&] { return active_vfs_->WriteFile(path, contents, owner); });
 }
 
 void FileServer::RegisterEndpoint(const std::string& path,
@@ -80,8 +124,10 @@ std::string FileServer::MakeTempDir(const std::string& session_id) {
 
 size_t FileServer::CleanTempDir(const std::string& dir) {
   size_t removed = 0;
-  for (const std::string& path : vfs_.List(dir)) {
-    if (vfs_.DeleteFile(path).ok()) ++removed;
+  for (const std::string& path : active_vfs_->List(dir)) {
+    Status deleted =
+        WithRetry([&] { return active_vfs_->DeleteFile(path); });
+    if (deleted.ok()) ++removed;
   }
   return removed;
 }

@@ -1,6 +1,7 @@
 #ifndef EASIA_FILESERVER_FILE_SERVER_H_
 #define EASIA_FILESERVER_FILE_SERVER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,6 +13,24 @@
 #include "fileserver/vfs.h"
 
 namespace easia::fs {
+
+/// Retry tuning for transient storage errors (kUnavailable — injected disk
+/// EIOs, and eventually real network hiccups). Other codes fail fast.
+struct RetryPolicy {
+  /// Total tries per operation, first attempt included.
+  int max_attempts = 4;
+  /// Advisory backoff before retry k (1-based): base * 2^(k-1) seconds.
+  /// The simulated archive never sleeps; the delay is reported to
+  /// `on_backoff` so callers can advance a simulated clock or log it.
+  double backoff_base_seconds = 0.01;
+  std::function<void(int attempt, double delay_seconds)> on_backoff;
+};
+
+/// Cumulative retry counters for one server (surfaced on /stats).
+struct RetryStats {
+  uint64_t retries = 0;   // individual re-attempts after a transient error
+  uint64_t give_ups = 0;  // operations that stayed transient past the budget
+};
 
 /// Result of a file-server GET.
 struct GetResult {
@@ -46,6 +65,21 @@ class FileServer {
   VirtualFileSystem& vfs() { return vfs_; }
   const VirtualFileSystem& vfs() const { return vfs_; }
 
+  /// The Vfs all server operations (Get/Put/CleanTempDir and the
+  /// DataLinker) go through — the in-memory store by default. Install a
+  /// decorator (e.g. testing::FaultInjectingVfs wrapping `&vfs()`) to
+  /// interpose faults; pass null to restore the backing store.
+  void InterposeVfs(Vfs* vfs) { active_vfs_ = vfs != nullptr ? vfs : &vfs_; }
+  Vfs& storage() { return *active_vfs_; }
+  const Vfs& storage() const { return *active_vfs_; }
+
+  void set_retry_policy(RetryPolicy policy) {
+    retry_policy_ = std::move(policy);
+  }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Snapshot of the retry counters (atomics; Get runs concurrently).
+  RetryStats retry_stats() const;
+
   void SetReadGate(ReadGate gate) { read_gate_ = std::move(gate); }
 
   /// GET "/filesystem/dir/[token;]file". Applies the read gate.
@@ -73,8 +107,19 @@ class FileServer {
   size_t CleanTempDir(const std::string& dir);
 
  private:
+  /// Runs `op` under the retry policy: transient (kUnavailable) failures
+  /// are re-attempted up to the budget, with counters updated.
+  template <typename Op>
+  auto WithRetry(Op&& op) const -> decltype(op());
+
   std::string host_;
   VirtualFileSystem vfs_;
+  /// Never null; defaults to `&vfs_` (see InterposeVfs).
+  Vfs* active_vfs_ = &vfs_;
+  RetryPolicy retry_policy_;
+  /// Mutable: Get is logically const but still counts its retries.
+  mutable std::atomic<uint64_t> retries_{0};
+  mutable std::atomic<uint64_t> give_ups_{0};
   ReadGate read_gate_;
   std::map<std::string, EndpointHandler> endpoints_;
   uint64_t temp_counter_ = 0;

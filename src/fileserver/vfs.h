@@ -21,6 +21,46 @@ struct FileStat {
   std::string owner;
 };
 
+/// The file-system interface of one simulated host. `VirtualFileSystem` is
+/// the in-memory production implementation; the fault-injection harness
+/// wraps any Vfs in a decorator that injects transient I/O errors and
+/// crash-lost writes, which is why every file-server and DataLinker
+/// operation goes through this seam.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Creates or overwrites a regular file. Fails if pinned.
+  virtual Status WriteFile(const std::string& path, std::string contents,
+                           const std::string& owner = "") = 0;
+
+  /// Declares a sparse file of `size` bytes.
+  virtual Status CreateSparseFile(const std::string& path, uint64_t size,
+                                  const std::string& owner = "") = 0;
+
+  virtual Result<std::string> ReadFile(const std::string& path) const = 0;
+  virtual Result<FileStat> Stat(const std::string& path) const = 0;
+  virtual bool Exists(const std::string& path) const = 0;
+
+  /// Fails with kFailedPrecondition when the file is pinned.
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// SQL/MED control operations (invoked only by the DataLinker agent).
+  virtual Status Pin(const std::string& path) = 0;
+  virtual Status Unpin(const std::string& path) = 0;
+  virtual bool IsPinned(const std::string& path) const = 0;
+
+  /// All paths with the given prefix, sorted.
+  virtual std::vector<std::string> List(
+      const std::string& prefix = "/") const = 0;
+
+  /// Sum of file sizes (sparse files count their declared size).
+  virtual uint64_t TotalBytes() const = 0;
+  virtual size_t FileCount() const = 0;
+};
+
 /// An in-memory file system for one simulated host. Two storage modes:
 ///
 ///  * regular files hold real bytes (metadata, codes, small outputs);
@@ -32,37 +72,26 @@ struct FileStat {
 /// Pinning implements the SQL/MED referential-integrity guarantee: a pinned
 /// (linked) file cannot be deleted, renamed or overwritten through the
 /// normal file-system interface.
-class VirtualFileSystem {
+class VirtualFileSystem final : public Vfs {
  public:
   VirtualFileSystem() = default;
 
-  /// Creates or overwrites a regular file. Fails if pinned.
   Status WriteFile(const std::string& path, std::string contents,
-                   const std::string& owner = "");
-
-  /// Declares a sparse file of `size` bytes.
+                   const std::string& owner = "") override;
   Status CreateSparseFile(const std::string& path, uint64_t size,
-                          const std::string& owner = "");
-
-  Result<std::string> ReadFile(const std::string& path) const;
-  Result<FileStat> Stat(const std::string& path) const;
-  bool Exists(const std::string& path) const;
-
-  /// Fails with kFailedPrecondition when the file is pinned.
-  Status DeleteFile(const std::string& path);
-  Status RenameFile(const std::string& from, const std::string& to);
-
-  /// SQL/MED control operations (invoked only by the DataLinker agent).
-  Status Pin(const std::string& path);
-  Status Unpin(const std::string& path);
-  bool IsPinned(const std::string& path) const;
-
-  /// All paths with the given prefix, sorted.
-  std::vector<std::string> List(const std::string& prefix = "/") const;
-
-  /// Sum of file sizes (sparse files count their declared size).
-  uint64_t TotalBytes() const;
-  size_t FileCount() const { return files_.size(); }
+                          const std::string& owner = "") override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  Result<FileStat> Stat(const std::string& path) const override;
+  bool Exists(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status Pin(const std::string& path) override;
+  Status Unpin(const std::string& path) override;
+  bool IsPinned(const std::string& path) const override;
+  std::vector<std::string> List(
+      const std::string& prefix = "/") const override;
+  uint64_t TotalBytes() const override;
+  size_t FileCount() const override { return files_.size(); }
 
   void set_clock(std::function<double()> now) { now_ = std::move(now); }
 

@@ -1,99 +1,65 @@
 #include "jobs/journal.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
 
 #include "common/coding.h"
 
 namespace easia::jobs {
 
 Result<JobJournal> JobJournal::Open(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) {
-    return Status::Internal("job journal: cannot open " + path + ": " +
-                            std::strerror(errno));
-  }
-  return JobJournal(f);
+  return Open(io::RealEnv(), path);
 }
 
-JobJournal::JobJournal(JobJournal&& other) noexcept : file_(other.file_) {
-  other.file_ = nullptr;
+Result<JobJournal> JobJournal::Open(io::Env* env, const std::string& path) {
+  EASIA_ASSIGN_OR_RETURN(std::unique_ptr<JournalFile> file,
+                         env->OpenAppend(path));
+  return JobJournal(std::move(file));
 }
-
-JobJournal& JobJournal::operator=(JobJournal&& other) noexcept {
-  if (this != &other) {
-    Close();
-    file_ = other.file_;
-    other.file_ = nullptr;
-  }
-  return *this;
-}
-
-JobJournal::~JobJournal() { Close(); }
 
 void JobJournal::Close() {
   if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+    file_->Close();
+    file_.reset();
   }
 }
 
 Status JobJournal::Append(const JobEvent& event) {
   if (file_ == nullptr) return Status::Internal("job journal: closed");
-  std::string payload = event.Encode();
   std::string frame;
-  PutU32(&frame, static_cast<uint32_t>(payload.size()));
-  PutU32(&frame, Crc32(payload));
-  frame += payload;
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return Status::Internal("job journal: short write");
-  }
-  if (std::fflush(file_) != 0) {
-    return Status::Internal("job journal: flush failed");
-  }
-  // fflush only reaches the OS page cache; fsync makes the record durable
-  // against an OS crash or power loss, not just a process crash.
-  if (::fsync(::fileno(file_)) != 0) {
-    return Status::Internal(std::string("job journal: fsync failed: ") +
-                            std::strerror(errno));
-  }
-  return Status::OK();
+  io::AppendFrame(&frame, event.Encode());
+  EASIA_RETURN_IF_ERROR(file_->Append(frame).WithContext("job journal"));
+  // Every transition must be durable before it is acknowledged; an fsync
+  // failure here is a lost-durability event and must reach the caller.
+  return file_->Sync().WithContext("job journal");
 }
 
 Result<std::vector<JobEvent>> ReadJournal(const std::string& path) {
+  return ReadJournal(io::RealEnv(), path);
+}
+
+Result<std::vector<JobEvent>> ReadJournal(io::Env* env,
+                                          const std::string& path) {
   std::vector<JobEvent> events;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return events;  // no journal yet
-  std::string contents;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    contents.append(buf, n);
+  Result<std::string> contents = env->ReadFileToString(path);
+  if (!contents.ok()) {
+    if (contents.status().IsNotFound()) return events;  // no journal yet
+    return contents.status();
   }
-  std::fclose(f);
-  size_t pos = 0;
-  while (pos + 8 <= contents.size()) {
-    Decoder header(std::string_view(contents).substr(pos, 8));
-    uint32_t len = header.GetU32().value();
-    uint32_t crc = header.GetU32().value();
-    if (pos + 8 + len > contents.size()) break;  // torn tail
-    std::string_view payload =
-        std::string_view(contents).substr(pos + 8, len);
-    if (Crc32(payload) != crc) break;  // corrupt tail
+  for (std::string_view payload : io::ScanFrames(*contents)) {
     Result<JobEvent> event = JobEvent::Decode(payload);
-    if (!event.ok()) break;
+    if (!event.ok()) break;  // corrupt tail
     events.push_back(std::move(*event));
-    pos += 8 + len;
   }
   return events;
 }
 
 Result<RecoveredQueue> RecoverQueue(const std::string& path) {
-  EASIA_ASSIGN_OR_RETURN(std::vector<JobEvent> events, ReadJournal(path));
+  return RecoverQueue(io::RealEnv(), path);
+}
+
+Result<RecoveredQueue> RecoverQueue(io::Env* env, const std::string& path) {
+  EASIA_ASSIGN_OR_RETURN(std::vector<JobEvent> events,
+                         ReadJournal(env, path));
   std::map<JobId, Job> jobs;  // ordered, so recovery is deterministic
   for (const JobEvent& event : events) {
     if (event.state == JobState::kSubmitted) {
@@ -142,38 +108,34 @@ Result<RecoveredQueue> RecoverQueue(const std::string& path) {
 
 Status CompactJournal(const std::string& path,
                       const std::vector<Job>& jobs) {
-  const std::string tmp = path + ".tmp";
-  std::remove(tmp.c_str());
-  {
-    EASIA_ASSIGN_OR_RETURN(JobJournal journal, JobJournal::Open(tmp));
-    for (const Job& job : jobs) {
-      JobEvent submitted;
-      submitted.job_id = job.id;
-      submitted.state = JobState::kSubmitted;
-      submitted.time = job.submitted_at;
-      submitted.spec = job.spec;
-      if (job.state == JobState::kSubmitted) {
-        submitted.not_before = job.not_before;
-      }
-      EASIA_RETURN_IF_ERROR(journal.Append(submitted));
-      if (job.state == JobState::kSubmitted) continue;
-      JobEvent latest;
-      latest.job_id = job.id;
-      latest.state = job.state;
-      latest.attempt = job.attempts;
-      latest.time =
-          IsTerminal(job.state) ? job.finished_at : job.submitted_at;
-      latest.not_before = job.not_before;
-      latest.error = job.error;
-      if (IsTerminal(job.state)) latest.output_urls = job.output_urls;
-      EASIA_RETURN_IF_ERROR(journal.Append(latest));
+  return CompactJournal(io::RealEnv(), path, jobs);
+}
+
+Status CompactJournal(io::Env* env, const std::string& path,
+                      const std::vector<Job>& jobs) {
+  std::string contents;
+  for (const Job& job : jobs) {
+    JobEvent submitted;
+    submitted.job_id = job.id;
+    submitted.state = JobState::kSubmitted;
+    submitted.time = job.submitted_at;
+    submitted.spec = job.spec;
+    if (job.state == JobState::kSubmitted) {
+      submitted.not_before = job.not_before;
     }
+    io::AppendFrame(&contents, submitted.Encode());
+    if (job.state == JobState::kSubmitted) continue;
+    JobEvent latest;
+    latest.job_id = job.id;
+    latest.state = job.state;
+    latest.attempt = job.attempts;
+    latest.time = IsTerminal(job.state) ? job.finished_at : job.submitted_at;
+    latest.not_before = job.not_before;
+    latest.error = job.error;
+    if (IsTerminal(job.state)) latest.output_urls = job.output_urls;
+    io::AppendFrame(&contents, latest.Encode());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal("job journal: compaction rename failed: " +
-                            std::string(std::strerror(errno)));
-  }
-  return Status::OK();
+  return env->WriteFileAtomic(path, contents).WithContext("job journal");
 }
 
 }  // namespace easia::jobs

@@ -1,15 +1,22 @@
 #ifndef EASIA_JOBS_JOURNAL_H_
 #define EASIA_JOBS_JOURNAL_H_
 
-#include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/io.h"
 #include "common/result.h"
 #include "jobs/job.h"
 
 namespace easia::jobs {
+
+/// The byte sink the journal writes through (see common/io.h). Production
+/// code gets the stdio+fsync implementation from io::RealEnv(); the
+/// fault-injection harness substitutes one that tears writes, drops fsyncs
+/// and stops persisting at a crash point.
+using JournalFile = io::LogFile;
 
 /// Persists every job state transition as a framed record
 /// (`u32 length, u32 crc32, payload`) — the same redo-log framing as
@@ -17,13 +24,16 @@ namespace easia::jobs {
 /// A torn final record (crash mid-write) is tolerated by the reader.
 class JobJournal {
  public:
+  /// Opens against the host file system (io::RealEnv()).
   static Result<JobJournal> Open(const std::string& path);
+  /// Opens through an explicit environment (fault injection, tests).
+  static Result<JobJournal> Open(io::Env* env, const std::string& path);
 
-  JobJournal(JobJournal&& other) noexcept;
-  JobJournal& operator=(JobJournal&& other) noexcept;
+  JobJournal(JobJournal&&) noexcept = default;
+  JobJournal& operator=(JobJournal&&) noexcept = default;
   JobJournal(const JobJournal&) = delete;
   JobJournal& operator=(const JobJournal&) = delete;
-  ~JobJournal();
+  ~JobJournal() = default;
 
   /// Appends, flushes and fsyncs one event (every transition is durable —
   /// against OS crash and power loss, not just process death — before it
@@ -32,13 +42,16 @@ class JobJournal {
   void Close();
 
  private:
-  explicit JobJournal(std::FILE* file) : file_(file) {}
-  std::FILE* file_ = nullptr;
+  explicit JobJournal(std::unique_ptr<JournalFile> file)
+      : file_(std::move(file)) {}
+  std::unique_ptr<JournalFile> file_;
 };
 
 /// Reads every intact event from a journal file; stops silently at the
 /// first torn or corrupt frame (standard redo-log semantics).
 Result<std::vector<JobEvent>> ReadJournal(const std::string& path);
+Result<std::vector<JobEvent>> ReadJournal(io::Env* env,
+                                          const std::string& path);
 
 /// The queue state reconstructed from a journal replay.
 struct RecoveredQueue {
@@ -54,13 +67,16 @@ struct RecoveredQueue {
 /// kRunning are treated as never started (attempt counter rolled back) so
 /// the restarted archive re-runs them to completion.
 Result<RecoveredQueue> RecoverQueue(const std::string& path);
+Result<RecoveredQueue> RecoverQueue(io::Env* env, const std::string& path);
 
 /// Rewrites the journal at `path` to the minimal event sequence that
 /// replays into `jobs` (one submit record per job plus its latest
-/// transition), via a temp file renamed into place. Run at recovery time —
+/// transition), atomically (write-temp + rename). Run at recovery time —
 /// with no workers appending — so replay cost is bounded by the retained
 /// history instead of growing with the archive's lifetime.
 Status CompactJournal(const std::string& path, const std::vector<Job>& jobs);
+Status CompactJournal(io::Env* env, const std::string& path,
+                      const std::vector<Job>& jobs);
 
 }  // namespace easia::jobs
 

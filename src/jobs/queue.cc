@@ -30,8 +30,9 @@ void JobQueue::NoteFinishedLocked(JobId id) {
   }
 }
 
-Result<Job> JobQueue::Submit(JobSpec spec, double now,
-                             const std::function<void(const Job&)>& on_admit) {
+Result<Job> JobQueue::Submit(
+    JobSpec spec, double now,
+    const std::function<Status(const Job&)>& on_admit) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t open = 0;
   size_t open_for_user = 0;
@@ -63,7 +64,18 @@ Result<Job> JobQueue::Submit(JobSpec spec, double now,
   jobs_[job.id] = std::move(job);
   // Still inside the critical section: ClaimNext cannot observe the job
   // until the caller's journal record (if any) is written.
-  if (on_admit) on_admit(copy);
+  if (on_admit) {
+    Status admitted = on_admit(copy);
+    if (!admitted.ok()) {
+      // The submit record never became durable; withdraw the job so the
+      // caller's error cannot leave a phantom admission behind. No
+      // ClaimNext ran in between (we still hold the lock), so the id can
+      // be reclaimed too.
+      jobs_.erase(copy.id);
+      if (next_id_ == copy.id + 1) --next_id_;
+      return admitted;
+    }
+  }
   return copy;
 }
 

@@ -44,9 +44,12 @@ class JobQueue {
   /// runs inside the queue's critical section, after the job is inserted
   /// but before any `ClaimNext` can see it — journaling the submission
   /// there guarantees the kSubmitted record precedes every worker-written
-  /// transition, so replay never re-runs an already-finished job.
+  /// transition, so replay never re-runs an already-finished job. When
+  /// `on_admit` fails (the submit record could not be made durable) the
+  /// job is withdrawn and the error propagated: a submission is never
+  /// acknowledged without its journal record.
   Result<Job> Submit(JobSpec spec, double now,
-                     const std::function<void(const Job&)>& on_admit = {});
+                     const std::function<Status(const Job&)>& on_admit = {});
 
   /// Re-admits a journal-recovered job verbatim (no quota check; the
   /// submission was already accepted before the crash).

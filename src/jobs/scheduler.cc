@@ -77,27 +77,36 @@ JobScheduler::JobScheduler(ops::OperationEngine* engine,
       xuis_(xuis),
       clock_(clock),
       options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : io::RealEnv()),
       queue_(options_.limits),
       rng_(options_.jitter_seed) {
   if (!options_.journal_path.empty()) {
-    Result<JobJournal> journal = JobJournal::Open(options_.journal_path);
+    Result<JobJournal> journal =
+        JobJournal::Open(env_, options_.journal_path);
     if (journal.ok()) journal_ = std::move(*journal);
   }
 }
 
 JobScheduler::~JobScheduler() { Stop(); }
 
-void JobScheduler::Journal(const Job& job) {
+Status JobScheduler::Journal(const Job& job) {
   std::lock_guard<std::mutex> lock(journal_mu_);
-  if (journal_.has_value()) {
-    (void)journal_->Append(EventFrom(job, clock_->Now()));
+  if (!journal_.has_value()) {
+    if (options_.journal_path.empty()) return Status::OK();
+    // Persistence was requested but the journal never opened (or failed to
+    // reopen after compaction): this transition is not durable.
+    journal_errors_.fetch_add(1);
+    return Status::Internal("job journal unavailable");
   }
+  Status appended = journal_->Append(EventFrom(job, clock_->Now()));
+  if (!appended.ok()) journal_errors_.fetch_add(1);
+  return appended;
 }
 
 Result<size_t> JobScheduler::Recover() {
   if (options_.journal_path.empty()) return size_t{0};
   EASIA_ASSIGN_OR_RETURN(RecoveredQueue recovered,
-                         RecoverQueue(options_.journal_path));
+                         RecoverQueue(env_, options_.journal_path));
   size_t pending = recovered.pending.size();
   for (Job& job : recovered.finished) queue_.Restore(std::move(job));
   for (Job& job : recovered.pending) queue_.Restore(std::move(job));
@@ -109,8 +118,9 @@ Result<size_t> JobScheduler::Recover() {
   std::lock_guard<std::mutex> lock(journal_mu_);
   if (journal_.has_value()) {
     journal_->Close();
-    Status compacted = CompactJournal(options_.journal_path, snapshot);
-    Result<JobJournal> reopened = JobJournal::Open(options_.journal_path);
+    Status compacted = CompactJournal(env_, options_.journal_path, snapshot);
+    Result<JobJournal> reopened =
+        JobJournal::Open(env_, options_.journal_path);
     if (reopened.ok()) journal_ = std::move(*reopened);
     EASIA_RETURN_IF_ERROR(compacted);
   }
@@ -121,16 +131,17 @@ Result<Job> JobScheduler::Submit(JobSpec spec) {
   // The submission is journaled inside the queue's critical section —
   // before any worker can claim the job — so the kSubmitted record always
   // precedes the transitions that worker writes (replay drops transitions
-  // it has no submit record for).
+  // it has no submit record for). A journal failure rejects the submit:
+  // acknowledged means durable.
   return queue_.Submit(std::move(spec), clock_->Now(),
-                       [this](const Job& job) { Journal(job); });
+                       [this](const Job& job) { return Journal(job); });
 }
 
 Result<Job> JobScheduler::Cancel(JobId id, const std::string& user,
                                  bool is_admin) {
   EASIA_ASSIGN_OR_RETURN(Job job,
                          queue_.Cancel(id, user, is_admin, clock_->Now()));
-  Journal(job);
+  EASIA_RETURN_IF_ERROR(Journal(job));
   return job;
 }
 
@@ -268,7 +279,11 @@ Result<ops::OperationResult> JobScheduler::Dispatch(
 }
 
 void JobScheduler::Execute(Job job) {
-  Journal(job);  // kRunning transition (attempt counter already bumped)
+  // Worker-path journaling is count-and-continue: a failed append is
+  // tallied in journal_errors_ (the Journal call itself) and surfaced on
+  // /stats, while the job still runs — recovery re-runs anything whose
+  // final state never persisted.
+  (void)Journal(job);  // kRunning transition (attempt counter bumped)
   std::vector<std::string> progress;
   Result<ops::OperationResult> result = Dispatch(job, &progress);
   double now = clock_->Now();
@@ -285,7 +300,7 @@ void JobScheduler::Execute(Job job) {
         std::move(progress));
     if (done.ok()) {
       succeeded_.fetch_add(1);
-      Journal(*done);
+      (void)Journal(*done);
     }
     return;
   }
@@ -298,7 +313,7 @@ void JobScheduler::Execute(Job job) {
         queue_.MarkRetrying(job.id, now, not_before, error.ToString());
     if (parked.ok()) {
       retries_.fetch_add(1);
-      Journal(*parked);
+      (void)Journal(*parked);
     }
     return;
   }
@@ -306,7 +321,7 @@ void JobScheduler::Execute(Job job) {
       queue_.MarkFailed(job.id, now, error.ToString(), std::move(progress));
   if (failed.ok()) {
     failed_.fetch_add(1);
-    Journal(*failed);
+    (void)Journal(*failed);
   }
 }
 
@@ -314,7 +329,7 @@ bool JobScheduler::StepOne() {
   double now = clock_->Now();
   for (const Job& expired : queue_.ExpireDeadlines(now)) {
     failed_.fetch_add(1);
-    Journal(expired);
+    (void)Journal(expired);
   }
   std::optional<Job> job = queue_.ClaimNext(now);
   if (!job.has_value()) return false;

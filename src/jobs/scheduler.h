@@ -32,6 +32,9 @@ struct SchedulerOptions {
   std::string journal_path;
   /// Threaded-mode poll interval while the queue is empty.
   double worker_poll_seconds = 0.001;
+  /// File-system seam for the journal; null uses io::RealEnv(). The
+  /// fault-injection harness substitutes a crashing/torn-write environment.
+  io::Env* env = nullptr;
 };
 
 /// Drains the JobQueue and calls into ops::OperationEngine. Two modes:
@@ -97,6 +100,10 @@ class JobScheduler {
   uint64_t succeeded() const { return succeeded_.load(); }
   uint64_t failed() const { return failed_.load(); }
   uint64_t retries() const { return retries_.load(); }
+  /// Journal appends that failed (fsync/write errors). Submission-path
+  /// failures also reject the submit; worker-transition failures are
+  /// counted and execution continues (recovery re-runs the job).
+  uint64_t journal_errors() const { return journal_errors_.load(); }
 
  private:
   void WorkerLoop();
@@ -104,13 +111,17 @@ class JobScheduler {
   void Execute(Job job);
   Result<ops::OperationResult> Dispatch(const Job& job,
                                         std::vector<std::string>* progress);
-  void Journal(const Job& job);
+  /// Appends one durable event. Failures bump `journal_errors_` and are
+  /// returned; whether to propagate or continue is the caller's call (the
+  /// submit path must propagate — acknowledged means durable).
+  Status Journal(const Job& job);
   double BackoffDelay(uint32_t attempt);
 
   ops::OperationEngine* engine_;
   const xuis::XuisRegistry* xuis_;
   const Clock* clock_;
   SchedulerOptions options_;
+  io::Env* env_ = nullptr;
   JobQueue queue_;
 
   std::mutex journal_mu_;
@@ -124,6 +135,7 @@ class JobScheduler {
   std::atomic<uint64_t> succeeded_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> journal_errors_{0};
 };
 
 }  // namespace easia::jobs

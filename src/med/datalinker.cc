@@ -5,7 +5,7 @@ namespace easia::med {
 Status DataLinker::PrepareLink(uint64_t txn_id,
                                const db::DatalinkOptions& options,
                                const std::string& path) {
-  if (options.file_link_control && !server_->vfs().Exists(path)) {
+  if (options.file_link_control && !server_->storage().Exists(path)) {
     return Status::NotFound("datalink: file does not exist on " + host() +
                             ": " + path);
   }
@@ -63,17 +63,17 @@ void DataLinker::CommitTxn(uint64_t txn_id) {
       case LinkEntry::State::kLinkPending:
         entry.state = LinkEntry::State::kLinked;
         if (entry.options.file_link_control) {
-          (void)server_->vfs().Pin(it->first);
+          (void)server_->storage().Pin(it->first);
         }
         ++it;
         break;
       case LinkEntry::State::kUnlinkPending: {
         if (entry.options.file_link_control) {
-          (void)server_->vfs().Unpin(it->first);
+          (void)server_->storage().Unpin(it->first);
         }
         if (entry.options.on_unlink ==
             db::DatalinkOptions::OnUnlink::kDelete) {
-          (void)server_->vfs().DeleteFile(it->first);
+          (void)server_->storage().DeleteFile(it->first);
         }
         it = links_.erase(it);
         break;
@@ -120,6 +120,15 @@ Result<db::DatalinkOptions> DataLinker::LinkedOptions(
     return Status::NotFound("datalink: file is not linked: " + path);
   }
   return it->second.options;
+}
+
+void DataLinker::ForgetLink(const std::string& path) {
+  auto it = links_.find(path);
+  if (it == links_.end()) return;
+  if (it->second.options.file_link_control) {
+    (void)server_->storage().Unpin(path);  // no-op when the file is gone
+  }
+  links_.erase(it);
 }
 
 std::vector<std::string> DataLinker::LinkedPaths() const {

@@ -57,6 +57,12 @@ class DataLinker {
   /// Options a path was linked under (error when not linked).
   Result<db::DatalinkOptions> LinkedOptions(const std::string& path) const;
 
+  /// Drops all link state for `path`, releasing its pin. Reconciliation
+  /// only: used when the database row a link served no longer exists
+  /// (orphaned file) or the file itself is gone (dangling link), outside
+  /// any transaction.
+  void ForgetLink(const std::string& path);
+
   /// All committed links (for backup and reconcile).
   std::vector<std::string> LinkedPaths() const;
   size_t PendingCount() const;

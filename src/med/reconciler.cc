@@ -1,0 +1,126 @@
+#include "med/reconciler.h"
+
+#include <set>
+
+#include "fileserver/url.h"
+
+namespace easia::med {
+
+const BackupSet::FileCopy* DatalinkReconciler::FindBackupCopy(
+    const std::string& host, const std::string& path) const {
+  if (backups_ == nullptr) return nullptr;
+  const BackupSet::FileCopy* found = nullptr;
+  // backups() is keyed by ascending id; the last match is the newest copy.
+  for (const auto& [id, set] : backups_->backups()) {
+    for (const BackupSet::FileCopy& copy : set.files) {
+      if (copy.host == host && copy.path == path) found = &copy;
+    }
+  }
+  return found;
+}
+
+Result<ReconcileFindings> DatalinkReconciler::Run(bool repair) {
+  ReconcileFindings findings;
+  constexpr uint64_t kReconcileTxn = ~uint64_t{0} - 2;
+  // "host:path" of every file some DATALINK value references — the
+  // universe of files the database claims; anything linked beyond it is an
+  // orphan.
+  std::set<std::string> referenced;
+  for (const std::string& table_name : database_->catalog().TableNames()) {
+    EASIA_ASSIGN_OR_RETURN(const db::TableDef* def,
+                           database_->catalog().GetTable(table_name));
+    std::vector<std::pair<size_t, const db::ColumnDef*>> dl_columns;
+    for (size_t i = 0; i < def->columns.size(); ++i) {
+      const db::ColumnDef& col = def->columns[i];
+      if (col.type == db::DataType::kDatalink && col.datalink.has_value() &&
+          col.datalink->file_link_control) {
+        dl_columns.emplace_back(i, &col);
+      }
+    }
+    if (dl_columns.empty()) continue;
+    EASIA_ASSIGN_OR_RETURN(const db::Table* table,
+                           database_->GetTable(table_name));
+    for (const auto& [row_id, row] : table->rows()) {
+      for (const auto& [idx, col] : dl_columns) {
+        if (row[idx].is_null()) continue;
+        ++findings.values_checked;
+        const std::string& url = row[idx].AsString();
+        Result<fs::FileUrl> parsed = fs::ParseFileUrl(url);
+        if (!parsed.ok()) {
+          findings.dangling_urls.push_back(url);
+          continue;
+        }
+        Result<fs::FileServer*> server = fleet_->GetServer(parsed->host);
+        if (!server.ok()) {
+          findings.dangling_urls.push_back(url);
+          continue;
+        }
+        referenced.insert(parsed->host + ":" + parsed->path);
+        EASIA_ASSIGN_OR_RETURN(DataLinker * linker,
+                               manager_->EnsureLinker(parsed->host));
+        if (!(*server)->storage().Exists(parsed->path)) {
+          // The file is gone. RECOVERY YES files restore from the latest
+          // backup copy; everything else is flagged, never dropped.
+          const BackupSet::FileCopy* copy =
+              FindBackupCopy(parsed->host, parsed->path);
+          bool restorable =
+              repair && copy != nullptr &&
+              copy->options.recovery == db::DatalinkOptions::Recovery::kYes;
+          if (!restorable) {
+            // A stranded link entry for a vanished file would block any
+            // future re-link of the path; clear it while flagging.
+            if (repair && linker->IsLinked(parsed->path)) {
+              linker->ForgetLink(parsed->path);
+            }
+            findings.dangling_urls.push_back(url);
+            continue;
+          }
+          if (copy->sparse) {
+            EASIA_RETURN_IF_ERROR((*server)->storage().CreateSparseFile(
+                parsed->path, copy->size));
+          } else {
+            EASIA_RETURN_IF_ERROR((*server)->storage().WriteFile(
+                parsed->path, copy->contents));
+          }
+          ++findings.restored;
+        }
+        if (linker->IsLinked(parsed->path)) {
+          // Link state survived; make sure the pin did too (a restored
+          // file starts unpinned).
+          if (col->datalink->file_link_control &&
+              !(*server)->storage().IsPinned(parsed->path)) {
+            if (repair) {
+              EASIA_RETURN_IF_ERROR((*server)->storage().Pin(parsed->path));
+              ++findings.relinked;
+            }
+          } else {
+            ++findings.intact;
+          }
+          continue;
+        }
+        if (repair) {
+          EASIA_RETURN_IF_ERROR(linker->PrepareLink(
+              kReconcileTxn, *col->datalink, parsed->path));
+          ++findings.relinked;
+        }
+      }
+    }
+  }
+  if (repair) manager_->CommitTxn(kReconcileTxn);
+  // Sweep the other direction: linked files no DATALINK value references.
+  for (const std::string& host : fleet_->Hosts()) {
+    Result<DataLinker*> linker = manager_->GetLinker(host);
+    if (!linker.ok()) continue;  // host never linked anything
+    for (const std::string& path : (*linker)->LinkedPaths()) {
+      if (referenced.count(host + ":" + path) != 0) continue;
+      findings.orphan_files.push_back(host + ":" + path);
+      if (repair) {
+        (*linker)->ForgetLink(path);
+        ++findings.released_orphans;
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace easia::med

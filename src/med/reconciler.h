@@ -1,0 +1,80 @@
+#ifndef EASIA_MED_RECONCILER_H_
+#define EASIA_MED_RECONCILER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "fileserver/file_server.h"
+#include "med/backup.h"
+#include "med/datalink_manager.h"
+
+namespace easia::med {
+
+/// What one reconciliation pass found (and, in repair mode, did).
+struct ReconcileFindings {
+  /// Non-null DATALINK values inspected.
+  size_t values_checked = 0;
+  /// Values whose file and link state were both intact.
+  size_t intact = 0;
+  /// Files present whose link state had been lost; re-linked and pinned.
+  size_t relinked = 0;
+  /// Missing files re-materialised from the latest backup (RECOVERY YES).
+  size_t restored = 0;
+  /// DATALINK values whose file is gone and unrecoverable — flagged, never
+  /// silently dropped (the row keeps its URL; operators decide).
+  std::vector<std::string> dangling_urls;
+  /// "host:path" of linked files no DATALINK value references any more.
+  std::vector<std::string> orphan_files;
+  /// Orphans whose link state (and pin) was released in repair mode.
+  size_t released_orphans = 0;
+
+  bool Clean() const {
+    return dangling_urls.empty() && orphan_files.empty();
+  }
+};
+
+/// Post-crash DATALINK integrity scanner — the paper's referential-
+/// integrity guarantee made checkable. After the database recovers from
+/// its WAL, the file servers' contents and the linkers' pin state may
+/// disagree with the DATALINK columns (a crash can strand any of the
+/// three). `Run` walks every FILE LINK CONTROL DATALINK value and:
+///
+///  * file present, link state lost        -> re-link + pin      (repair)
+///  * file missing, RECOVERY YES + backup  -> restore bytes, re-link
+///  * file missing otherwise               -> report as dangling (flag)
+///  * linked file no row references        -> release link + pin (repair)
+///
+/// With `repair = false` the pass only reports. Distinct from
+/// `BackupManager::Reconcile`, which runs as part of a coordinated
+/// restore; this reconciler assumes nothing about how the archive got
+/// into its current state.
+class DatalinkReconciler {
+ public:
+  /// `backups` is optional; without it RECOVERY YES files cannot be
+  /// restored and missing files are reported as dangling.
+  DatalinkReconciler(db::Database* database, DataLinkManager* manager,
+                     fs::FileServerFleet* fleet,
+                     BackupManager* backups = nullptr)
+      : database_(database),
+        manager_(manager),
+        fleet_(fleet),
+        backups_(backups) {}
+
+  Result<ReconcileFindings> Run(bool repair = true);
+
+ private:
+  /// Latest backup copy of `host:path` with byte contents, if any.
+  const BackupSet::FileCopy* FindBackupCopy(const std::string& host,
+                                            const std::string& path) const;
+
+  db::Database* database_;
+  DataLinkManager* manager_;
+  fs::FileServerFleet* fleet_;
+  BackupManager* backups_;
+};
+
+}  // namespace easia::med
+
+#endif  // EASIA_MED_RECONCILER_H_

@@ -1,0 +1,466 @@
+#include "testing/crash_harness.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "db/database.h"
+#include "fileserver/url.h"
+#include "jobs/scheduler.h"
+#include "med/backup.h"
+#include "med/datalink_manager.h"
+#include "med/reconciler.h"
+
+namespace easia::testing {
+
+namespace {
+
+/// Canonical textual image of every table: name, row ids and display values
+/// in storage order. Two databases are behaviourally equal for the
+/// harness's purposes iff their dumps match byte-for-byte.
+std::string DumpDatabase(const db::Database& db, size_t* rows_out) {
+  std::ostringstream out;
+  for (const std::string& name : db.catalog().TableNames()) {
+    out << "#" << name << "\n";
+    Result<const db::Table*> table = db.GetTable(name);
+    if (!table.ok()) continue;
+    for (const auto& [id, row] : (*table)->rows()) {
+      out << id;
+      for (const db::Value& v : row) out << "|" << v.ToDisplayString();
+      out << "\n";
+      if (rows_out != nullptr) ++*rows_out;
+    }
+  }
+  return out.str();
+}
+
+/// Replays `sql` against a fresh in-memory database (no WAL) and returns
+/// its canonical dump — the shadow the recovered state is compared to.
+Result<std::string> ReplayDump(const std::vector<std::string>& sql) {
+  db::Database shadow("SHADOW");
+  for (const std::string& stmt : sql) {
+    EASIA_RETURN_IF_ERROR(shadow.Execute(stmt).status());
+  }
+  return DumpDatabase(shadow, nullptr);
+}
+
+/// The seeded DML workload both the crash run and its shadow replay use.
+/// Only the statement list is derived from the seed; whether a statement
+/// was acknowledged is observed at run time.
+std::vector<std::string> GenerateWalWorkload(uint64_t seed, int statements) {
+  Random rng(seed);
+  std::vector<std::string> sql;
+  sql.push_back(
+      "CREATE TABLE T (ID INTEGER PRIMARY KEY, NAME VARCHAR(64), "
+      "SCORE INTEGER)");
+  std::vector<int> live;
+  int next_id = 1;
+  for (int i = 0; i < statements; ++i) {
+    uint64_t pick = rng.Uniform(10);
+    if (live.empty() || pick < 5) {
+      int id = next_id++;
+      sql.push_back("INSERT INTO T (ID, NAME, SCORE) VALUES (" +
+                    std::to_string(id) + ", '" + rng.AlphaNum(8) + "', " +
+                    std::to_string(rng.Uniform(1000)) + ")");
+      live.push_back(id);
+    } else if (pick < 8) {
+      int id = live[rng.Uniform(live.size())];
+      sql.push_back("UPDATE T SET SCORE = " + std::to_string(rng.Uniform(1000)) +
+                    ", NAME = '" + rng.AlphaNum(6) +
+                    "' WHERE ID = " + std::to_string(id));
+    } else {
+      size_t at = rng.Uniform(live.size());
+      sql.push_back("DELETE FROM T WHERE ID = " + std::to_string(live[at]));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(at));
+    }
+  }
+  return sql;
+}
+
+}  // namespace
+
+CrashReport RunWalCrashCase(const WalCrashOptions& options) {
+  CrashReport report;
+  std::vector<std::string> workload =
+      GenerateWalWorkload(options.seed, options.statements);
+
+  FaultPlan plan;
+  plan.seed = options.seed;
+  plan.crash_after_bytes = options.crash_after_bytes;
+  plan.crash_path_filter = "/wal";
+  plan.survival = options.survival;
+  FaultyEnv env(plan);
+
+  db::DatabaseOptions db_opts;
+  db_opts.wal_path = "/db/wal";
+  db_opts.sync_on_commit = true;
+  db_opts.env = &env;
+
+  std::vector<std::string> acked;
+  std::string inflight;
+  {
+    db::Database db("CRASH", db_opts);
+    Status recover = db.Recover();
+    if (!recover.ok()) {
+      report.violations.push_back("pre-workload recover failed: " +
+                                  std::string(recover.message()));
+      return report;
+    }
+    for (const std::string& sql : workload) {
+      Result<db::QueryResult> result = db.Execute(sql);
+      if (result.ok()) {
+        acked.push_back(sql);
+        continue;
+      }
+      if (env.crashed()) {
+        inflight = sql;
+        break;
+      }
+      report.violations.push_back(
+          "statement failed without a crash: " + sql + ": " +
+          std::string(result.status().message()));
+      return report;
+    }
+  }
+  report.acked = acked.size();
+  report.wal_bytes = env.bytes_appended();
+  report.crashed = env.crashed();
+
+  // Restart from the surviving bytes and recover — torn-tail or not, this
+  // must succeed.
+  env.Reopen();
+  db::Database recovered("CRASH", db_opts);
+  Status rs = recovered.Recover();
+  if (!rs.ok()) {
+    report.violations.push_back("post-crash recover failed: " +
+                                std::string(rs.message()));
+    return report;
+  }
+  std::string got = DumpDatabase(recovered, &report.recovered_items);
+
+  // Differential check: the recovered image must equal the shadow replay
+  // of exactly the acknowledged statements — or of acked + the in-flight
+  // one, whose commit record can have become durable an instant before the
+  // crash surfaced. Anything else means a torn record was applied or an
+  // acknowledged commit was lost.
+  Result<std::string> want_acked = ReplayDump(acked);
+  if (!want_acked.ok()) {
+    report.violations.push_back("shadow replay failed: " +
+                                std::string(want_acked.status().message()));
+    return report;
+  }
+  if (got == *want_acked) return report;
+  if (!inflight.empty()) {
+    std::vector<std::string> with_inflight = acked;
+    with_inflight.push_back(inflight);
+    Result<std::string> want_both = ReplayDump(with_inflight);
+    if (want_both.ok() && got == *want_both) return report;
+  }
+  report.violations.push_back(
+      "recovered state diverges from acked replay (seed " +
+      std::to_string(options.seed) + ", crash_after_bytes " +
+      std::to_string(options.crash_after_bytes) + "):\n--- recovered ---\n" +
+      got + "--- acked replay ---\n" + *want_acked);
+  return report;
+}
+
+namespace {
+
+std::string DumpJobs(const std::vector<jobs::Job>& snapshot) {
+  std::ostringstream out;
+  for (const jobs::Job& job : snapshot) {
+    out << job.id << "|" << jobs::JobStateName(job.state) << "|"
+        << job.attempts << "|" << job.spec.Encode().size() << "|"
+        << job.spec.operation << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+CrashReport RunJobsCrashCase(const JobsCrashOptions& options) {
+  CrashReport report;
+
+  FaultPlan plan;
+  plan.seed = options.seed;
+  plan.crash_after_bytes = options.crash_after_bytes;
+  plan.crash_path_filter = "/jobs/journal";
+  plan.survival = options.survival;
+  FaultyEnv env(plan);
+
+  ManualClock clock(1000.0);
+  jobs::SchedulerOptions sopts;
+  sopts.journal_path = "/jobs/journal";
+  sopts.env = &env;
+
+  Random rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::map<jobs::JobId, std::string> acked_submits;  // id -> operation name
+  std::set<jobs::JobId> acked_cancels;
+  std::vector<jobs::JobId> open_ids;
+  {
+    jobs::JobScheduler sched(nullptr, nullptr, &clock, sopts);
+    for (int i = 0; i < options.operations && !env.crashed(); ++i) {
+      if (!open_ids.empty() && rng.OneIn(4)) {
+        size_t at = rng.Uniform(open_ids.size());
+        jobs::JobId id = open_ids[at];
+        Result<jobs::Job> r = sched.Cancel(id, "harness", /*is_admin=*/true);
+        if (r.ok()) {
+          acked_cancels.insert(id);
+          open_ids.erase(open_ids.begin() + static_cast<ptrdiff_t>(at));
+        } else if (!env.crashed()) {
+          report.violations.push_back("cancel failed without a crash: " +
+                                      std::string(r.status().message()));
+          return report;
+        }
+      } else {
+        jobs::JobSpec spec;
+        spec.kind = jobs::JobKind::kInvoke;
+        spec.user = "user" + std::to_string(rng.Uniform(3));
+        spec.is_guest = false;
+        spec.operation = "op_" + rng.AlphaNum(6);
+        spec.datasets = {"dataset" + std::to_string(rng.Uniform(8))};
+        spec.priority = static_cast<int32_t>(rng.Uniform(5));
+        Result<jobs::Job> r = sched.Submit(spec);
+        if (r.ok()) {
+          acked_submits[r->id] = spec.operation;
+          open_ids.push_back(r->id);
+        } else if (!env.crashed()) {
+          report.violations.push_back("submit failed without a crash: " +
+                                      std::string(r.status().message()));
+          return report;
+        }
+      }
+      clock.Advance(0.5);
+    }
+  }
+  report.acked = acked_submits.size() + acked_cancels.size();
+  report.wal_bytes = env.bytes_appended();
+  report.crashed = env.crashed();
+
+  env.Reopen();
+  jobs::JobScheduler recovered(nullptr, nullptr, &clock, sopts);
+  Result<size_t> rec = recovered.Recover();
+  if (!rec.ok()) {
+    report.violations.push_back("recovery failed: " +
+                                std::string(rec.status().message()));
+    return report;
+  }
+  std::vector<jobs::Job> snapshot = recovered.queue().Snapshot();
+  report.recovered_items = snapshot.size();
+  std::map<jobs::JobId, const jobs::Job*> by_id;
+  for (const jobs::Job& job : snapshot) by_id[job.id] = &job;
+
+  // Acknowledged submissions survive, with their spec, and job states only
+  // move forward: nothing runs after a restart, and an acked cancel stays
+  // cancelled.
+  for (const auto& [id, operation] : acked_submits) {
+    auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      report.violations.push_back("acked submit lost: job " +
+                                  std::to_string(id));
+      continue;
+    }
+    if (it->second->spec.operation != operation) {
+      report.violations.push_back("job " + std::to_string(id) +
+                                  " recovered with wrong spec");
+    }
+    if (it->second->state == jobs::JobState::kRunning) {
+      report.violations.push_back("job " + std::to_string(id) +
+                                  " is running after recovery");
+    }
+    if (acked_cancels.count(id) != 0 &&
+        it->second->state != jobs::JobState::kCancelled) {
+      report.violations.push_back("acked cancel regressed: job " +
+                                  std::to_string(id) + " is " +
+                                  std::string(jobs::JobStateName(
+                                      it->second->state)));
+    }
+  }
+  // Finished-history bound: recovery must never rebuild more jobs than the
+  // queue is allowed to retain.
+  if (snapshot.size() >
+      sopts.limits.max_open_jobs + sopts.limits.max_finished_jobs) {
+    report.violations.push_back("recovered queue exceeds retention bounds");
+  }
+  // Fixpoint: recovering the compacted journal again reproduces the
+  // identical queue.
+  jobs::JobScheduler again(nullptr, nullptr, &clock, sopts);
+  Result<size_t> rec2 = again.Recover();
+  if (!rec2.ok()) {
+    report.violations.push_back("second recovery failed: " +
+                                std::string(rec2.status().message()));
+  } else if (DumpJobs(again.queue().Snapshot()) != DumpJobs(snapshot)) {
+    report.violations.push_back("recovery is not a fixpoint");
+  }
+  return report;
+}
+
+CrashReport RunDatalinkCrashCase(const DatalinkCrashOptions& options) {
+  CrashReport report;
+
+  FaultPlan plan;
+  plan.seed = options.seed;
+  plan.crash_after_bytes = options.crash_after_bytes;
+  plan.crash_path_filter = "/db/wal";
+  plan.survival = options.survival;
+  FaultyEnv env(plan);
+
+  fs::FileServerFleet fleet;
+  fs::FileServer* server = fleet.AddServer("fs1");
+  ManualClock clock(1000.0);
+  med::DataLinkManager manager(&fleet, &clock, "secret", 300.0);
+
+  db::DatabaseOptions db_opts;
+  db_opts.wal_path = "/db/wal";
+  db_opts.sync_on_commit = true;
+  db_opts.env = &env;
+
+  Random rng(options.seed ^ 0x5deece66dULL);
+  std::vector<std::string> acked_paths;
+  std::set<std::string> backed_up;  // paths covered by a completed backup
+  med::BackupManager backups(nullptr, nullptr, nullptr);
+  {
+    db::Database db("MEDCRASH", db_opts);
+    db.set_coordinator(&manager);
+    Status recover = db.Recover();
+    if (!recover.ok()) {
+      report.violations.push_back("pre-workload recover failed: " +
+                                  std::string(recover.message()));
+      return report;
+    }
+    Result<db::QueryResult> ddl = db.Execute(
+        "CREATE TABLE RESULT_FILE (FILE_NAME VARCHAR(100) PRIMARY KEY, "
+        "DOWNLOAD DATALINK LINKTYPE URL FILE LINK CONTROL "
+        "READ PERMISSION DB RECOVERY YES ON UNLINK DELETE)");
+    if (!ddl.ok() && !env.crashed()) {
+      report.violations.push_back("DDL failed: " +
+                                  std::string(ddl.status().message()));
+      return report;
+    }
+    med::BackupManager live_backups(&db, &manager, &fleet);
+    int backup_at = options.with_backup ? options.files / 2 : -1;
+    for (int i = 0; i < options.files && !env.crashed(); ++i) {
+      if (i == backup_at) {
+        Result<uint64_t> b = live_backups.CreateBackup();
+        if (!b.ok()) {
+          report.violations.push_back("backup failed: " +
+                                      std::string(b.status().message()));
+          return report;
+        }
+        backed_up.insert(acked_paths.begin(), acked_paths.end());
+      }
+      std::string path = "/d/file" + std::to_string(i) + ".tbf";
+      Status ws = server->vfs().WriteFile(path, rng.AlphaNum(32));
+      if (!ws.ok()) {
+        report.violations.push_back("file write failed: " +
+                                    std::string(ws.message()));
+        return report;
+      }
+      Result<db::QueryResult> ins = db.Execute(
+          "INSERT INTO RESULT_FILE VALUES ('file" + std::to_string(i) +
+          "', 'http://fs1" + path + "')");
+      if (ins.ok()) {
+        acked_paths.push_back(path);
+      } else if (!env.crashed()) {
+        report.violations.push_back("insert failed without a crash: " +
+                                    std::string(ins.status().message()));
+        return report;
+      }
+    }
+    // The backup sets must outlive the pre-crash database they were taken
+    // from; move them to the outer-scope manager (same fleet + linker
+    // state, database pointer re-bound after recovery is not needed — the
+    // reconciler only reads file copies).
+    backups = std::move(live_backups);
+  }
+  report.acked = acked_paths.size();
+  report.wal_bytes = env.bytes_appended();
+  report.crashed = env.crashed();
+
+  // The crash takes storage with it: the first `lose_files` linked files
+  // vanish from the server (unpin first — media loss does not honour
+  // pins).
+  std::set<std::string> lost;
+  for (int i = 0; i < options.lose_files &&
+                  static_cast<size_t>(i) < acked_paths.size();
+       ++i) {
+    const std::string& path = acked_paths[static_cast<size_t>(i)];
+    (void)server->vfs().Unpin(path);
+    (void)server->vfs().DeleteFile(path);
+    lost.insert(path);
+  }
+
+  env.Reopen();
+  db::Database recovered("MEDCRASH", db_opts);
+  recovered.set_coordinator(&manager);
+  Status rs = recovered.Recover();
+  if (!rs.ok()) {
+    report.violations.push_back("post-crash recover failed: " +
+                                std::string(rs.message()));
+    return report;
+  }
+
+  med::DatalinkReconciler reconciler(&recovered, &manager, &fleet,
+                                     options.with_backup ? &backups
+                                                         : nullptr);
+  Result<med::ReconcileFindings> first = reconciler.Run(/*repair=*/true);
+  if (!first.ok()) {
+    report.violations.push_back("reconcile failed: " +
+                                std::string(first.status().message()));
+    return report;
+  }
+  report.recovered_items = first->values_checked;
+
+  // Post-condition: every DATALINK value now references an existing,
+  // pinned file, or was flagged dangling — nothing silently inconsistent.
+  std::set<std::string> dangling(first->dangling_urls.begin(),
+                                 first->dangling_urls.end());
+  Result<const db::Table*> table = recovered.GetTable("RESULT_FILE");
+  if (table.ok()) {
+    for (const auto& [row_id, row] : (*table)->rows()) {
+      if (row.size() < 2 || row[1].is_null()) continue;
+      const std::string& url = row[1].AsString();
+      if (dangling.count(url) != 0) continue;
+      Result<fs::FileUrl> parsed = fs::ParseFileUrl(url);
+      if (!parsed.ok() || !server->vfs().Exists(parsed->path)) {
+        report.violations.push_back("unflagged dangling DATALINK: " + url);
+      } else if (!server->vfs().IsPinned(parsed->path)) {
+        report.violations.push_back("linked file left unpinned: " + url);
+      }
+    }
+  }
+  // Every lost file a completed backup covers restores from its copy —
+  // it must never surface as dangling. Files lost outside backup
+  // coverage (or when the crash pre-empted the backup) are correctly
+  // flagged instead.
+  for (const std::string& url : first->dangling_urls) {
+    Result<fs::FileUrl> parsed = fs::ParseFileUrl(url);
+    if (parsed.ok() && backed_up.count(parsed->path) != 0) {
+      report.violations.push_back("dangling despite backup: " + url);
+    }
+  }
+  Result<med::ReconcileFindings> second = reconciler.Run(/*repair=*/true);
+  if (!second.ok()) {
+    report.violations.push_back("second reconcile failed: " +
+                                std::string(second.status().message()));
+    return report;
+  }
+  // The second pass must be a fixpoint: no new repairs, orphans all
+  // released, and the dangling set (if any, without backup) stable.
+  if (second->relinked != 0 || second->restored != 0 ||
+      second->released_orphans != 0 || !second->orphan_files.empty()) {
+    report.violations.push_back("reconcile is not a fixpoint");
+  }
+  std::set<std::string> dangling2(second->dangling_urls.begin(),
+                                  second->dangling_urls.end());
+  if (dangling2 != dangling) {
+    report.violations.push_back("dangling set not stable across reconciles");
+  }
+  return report;
+}
+
+}  // namespace easia::testing

@@ -1,0 +1,87 @@
+#ifndef EASIA_TESTING_CRASH_HARNESS_H_
+#define EASIA_TESTING_CRASH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/fault_injection.h"
+
+namespace easia::testing {
+
+/// Outcome of one crash-recovery case. `violations` is the contract: an
+/// empty list means every invariant held for this seed/crash-point pair;
+/// entries are human-readable descriptions of what broke (suitable for a
+/// test failure message or the bench's JSON report).
+struct CrashReport {
+  bool crashed = false;       // the crash point was actually reached
+  size_t acked = 0;           // operations acknowledged OK before the crash
+  uint64_t wal_bytes = 0;     // log bytes the full (uncrashed) run appends
+  size_t recovered_items = 0; // rows / jobs / links visible after recovery
+  std::vector<std::string> violations;
+
+  bool Clean() const { return violations.empty(); }
+};
+
+/// One WAL crash case: a seeded DML workload against a WAL-backed database
+/// that stops persisting at `crash_after_bytes`, then recovery from the
+/// surviving bytes. Invariants checked:
+///
+///  * recovery itself never fails, whatever the torn tail looks like;
+///  * no torn/partial transaction is applied and no acknowledged commit is
+///    lost: the recovered state equals the replay of exactly the acked
+///    statements, or acked + the one in-flight statement (whose commit
+///    record may have become durable just before the crash was reported).
+struct WalCrashOptions {
+  uint64_t seed = 1;
+  int statements = 25;
+  /// Byte offset in the WAL stream to crash at; negative runs to
+  /// completion (used to measure `wal_bytes` for boundary sweeps).
+  int64_t crash_after_bytes = -1;
+  CrashSurvival survival = CrashSurvival::kAll;
+};
+CrashReport RunWalCrashCase(const WalCrashOptions& options);
+
+/// One job-journal crash case: seeded submits/cancels against a
+/// journal-backed scheduler (no engine — execution is not the subject),
+/// crash, recover. Invariants:
+///
+///  * recovery never fails;
+///  * every acknowledged submission survives with its spec;
+///  * job states only move forward (an acked cancel stays cancelled; no
+///    job is kRunning after recovery);
+///  * recovery is a fixpoint: recovering the compacted journal again
+///    reproduces the identical queue.
+struct JobsCrashOptions {
+  uint64_t seed = 1;
+  int operations = 30;
+  int64_t crash_after_bytes = -1;
+  CrashSurvival survival = CrashSurvival::kAll;
+};
+CrashReport RunJobsCrashCase(const JobsCrashOptions& options);
+
+/// One DATALINK crash case: files linked into a WAL-backed database
+/// through the SQL/MED coordinator; the database crashes at a WAL byte
+/// point while some files are also lost outright (the crash takes disks
+/// with it). After recovery the DatalinkReconciler runs. Invariants:
+///
+///  * recovery and reconciliation never fail;
+///  * afterwards every DATALINK value references an existing, pinned file
+///    or was flagged dangling — nothing is silently inconsistent;
+///  * with a pre-crash coordinated backup, RECOVERY YES files are
+///    restored and a second reconcile pass reports fully clean.
+struct DatalinkCrashOptions {
+  uint64_t seed = 1;
+  int files = 12;
+  int64_t crash_after_bytes = -1;
+  CrashSurvival survival = CrashSurvival::kAll;
+  /// How many linked files the crash destroys on the file server.
+  int lose_files = 2;
+  /// Take a coordinated backup before the crash (enables restoration).
+  bool with_backup = true;
+};
+CrashReport RunDatalinkCrashCase(const DatalinkCrashOptions& options);
+
+}  // namespace easia::testing
+
+#endif  // EASIA_TESTING_CRASH_HARNESS_H_

@@ -1,0 +1,313 @@
+#include "testing/fault_injection.h"
+
+#include <algorithm>
+
+namespace easia::testing {
+
+// ---------------------------------------------------------------------------
+// FaultyEnv
+
+class FaultyEnv::FaultyLogFile : public io::LogFile {
+ public:
+  FaultyLogFile(FaultyEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    if (closed_) return Status::Internal("log file: closed");
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    return env_->AppendLocked(path_, data);
+  }
+
+  Status Sync() override {
+    if (closed_) return Status::Internal("log file: closed");
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    return env_->SyncLocked(path_);
+  }
+
+  void Close() override { closed_ = true; }
+
+ private:
+  FaultyEnv* env_;
+  std::string path_;
+  bool closed_ = false;
+};
+
+FaultyEnv::FaultyEnv(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultyEnv::MatchesCrashFilter(const std::string& path) const {
+  return plan_.crash_path_filter.empty() ||
+         path.find(plan_.crash_path_filter) != std::string::npos;
+}
+
+Status FaultyEnv::AppendLocked(const std::string& path,
+                               std::string_view data) {
+  if (crashed_) return Status::Unavailable("fault: environment crashed");
+  if (plan_.append_error_probability > 0 &&
+      rng_.NextDouble() < plan_.append_error_probability) {
+    return Status::Unavailable("fault: injected append EIO");
+  }
+  FileState& f = files_[path];
+  bool counted = MatchesCrashFilter(path);
+  if (counted && plan_.crash_after_bytes >= 0 &&
+      appended_ + data.size() >
+          static_cast<uint64_t>(plan_.crash_after_bytes)) {
+    // Crash point lands inside this write: persist exactly the prefix up
+    // to the threshold, then stop persisting — no longjmp, the caller
+    // just sees errors from here on.
+    size_t keep = static_cast<size_t>(plan_.crash_after_bytes) - appended_;
+    f.data.append(data.substr(0, keep));
+    appended_ += keep;
+    crashed_ = true;
+    return Status::Unavailable("fault: crash point reached");
+  }
+  f.data.append(data);
+  if (counted) appended_ += data.size();
+  return Status::OK();
+}
+
+Status FaultyEnv::SyncLocked(const std::string& path) {
+  if (crashed_) return Status::Unavailable("fault: environment crashed");
+  if (fail_fsyncs_ > 0) {
+    --fail_fsyncs_;
+    return Status::Unavailable("fault: injected fsync failure");
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::OK();
+  if (plan_.drop_fsync_probability > 0 &&
+      rng_.NextDouble() < plan_.drop_fsync_probability) {
+    return Status::OK();  // silent drop: reports success, persists nothing
+  }
+  it->second.synced = it->second.data.size();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<io::LogFile>> FaultyEnv::OpenAppend(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("fault: environment crashed");
+  files_[path];  // create empty when absent, like fopen("ab")
+  return std::unique_ptr<io::LogFile>(new FaultyLogFile(this, path));
+}
+
+Result<std::string> FaultyEnv::ReadFileToString(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("fault: environment crashed");
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("fault env: no such file: " + path);
+  }
+  const std::string& data = it->second.data;
+  if (plan_.short_read_probability > 0 && !data.empty() &&
+      rng_.NextDouble() < plan_.short_read_probability) {
+    return data.substr(0, rng_.Uniform(data.size()));
+  }
+  return data;
+}
+
+bool FaultyEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !crashed_ && files_.find(path) != files_.end();
+}
+
+Status FaultyEnv::WriteFileAtomic(const std::string& path,
+                                  std::string_view contents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("fault: environment crashed");
+  if (plan_.append_error_probability > 0 &&
+      rng_.NextDouble() < plan_.append_error_probability) {
+    return Status::Unavailable("fault: injected write EIO");
+  }
+  if (MatchesCrashFilter(path) && plan_.crash_after_bytes >= 0 &&
+      appended_ + contents.size() >
+          static_cast<uint64_t>(plan_.crash_after_bytes)) {
+    // Atomic replace is all-or-nothing: a crash mid-way leaves the old
+    // version, never a prefix of the new one.
+    crashed_ = true;
+    return Status::Unavailable("fault: crash point reached");
+  }
+  if (MatchesCrashFilter(path)) appended_ += contents.size();
+  FileState& f = files_[path];
+  f.data.assign(contents.data(), contents.size());
+  f.synced = f.data.size();  // rename+fsync semantics: durable on return
+  return Status::OK();
+}
+
+Status FaultyEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("fault: environment crashed");
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("fault env: no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultyEnv::Truncate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("fault: environment crashed");
+  FileState& f = files_[path];
+  f.data.clear();
+  f.synced = 0;
+  return Status::OK();
+}
+
+bool FaultyEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultyEnv::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+void FaultyEnv::FailNextFsyncs(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_fsyncs_ = n;
+}
+
+std::string FaultyEnv::SurvivingLocked(const FileState& f) const {
+  switch (plan_.survival) {
+    case CrashSurvival::kAll:
+      return f.data;
+    case CrashSurvival::kSyncedOnly:
+      return f.data.substr(0, f.synced);
+    case CrashSurvival::kRandomTail: {
+      size_t unsynced = f.data.size() - f.synced;
+      if (unsynced == 0) return f.data;
+      return f.data.substr(0, f.synced + rng_.Uniform(unsynced + 1));
+    }
+  }
+  return f.data;
+}
+
+void FaultyEnv::Reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, f] : files_) {
+    f.data = SurvivingLocked(f);
+    f.synced = f.data.size();
+  }
+  crashed_ = false;
+  plan_.crash_after_bytes = -1;  // one crash per plan; re-arm via a new env
+}
+
+Result<std::string> FaultyEnv::DurableContents(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("fault env: no such file: " + path);
+  }
+  return SurvivingLocked(it->second);
+}
+
+Result<std::string> FaultyEnv::BufferedContents(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("fault env: no such file: " + path);
+  }
+  return it->second.data;
+}
+
+void FaultyEnv::FlipBit(const std::string& path, size_t byte_offset,
+                        int bit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end() || byte_offset >= it->second.data.size()) return;
+  it->second.data[byte_offset] ^= static_cast<char>(1 << (bit & 7));
+}
+
+void FaultyEnv::TruncateTo(const std::string& path, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return;
+  FileState& f = it->second;
+  if (len < f.data.size()) f.data.resize(len);
+  f.synced = std::min(f.synced, f.data.size());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingVfs
+
+Status FaultInjectingVfs::MaybeFault(const char* op) const {
+  int remaining = fail_ops_.load();
+  while (remaining > 0) {
+    if (fail_ops_.compare_exchange_weak(remaining, remaining - 1)) {
+      faults_.fetch_add(1);
+      return Status::Unavailable(std::string("fault: injected EIO in ") +
+                                 op);
+    }
+  }
+  if (error_probability_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rng_.NextDouble() < error_probability_) {
+      faults_.fetch_add(1);
+      return Status::Unavailable(std::string("fault: injected EIO in ") +
+                                 op);
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingVfs::WriteFile(const std::string& path,
+                                    std::string contents,
+                                    const std::string& owner) {
+  EASIA_RETURN_IF_ERROR(MaybeFault("WriteFile"));
+  return base_->WriteFile(path, std::move(contents), owner);
+}
+
+Status FaultInjectingVfs::CreateSparseFile(const std::string& path,
+                                           uint64_t size,
+                                           const std::string& owner) {
+  EASIA_RETURN_IF_ERROR(MaybeFault("CreateSparseFile"));
+  return base_->CreateSparseFile(path, size, owner);
+}
+
+Result<std::string> FaultInjectingVfs::ReadFile(
+    const std::string& path) const {
+  EASIA_RETURN_IF_ERROR(MaybeFault("ReadFile"));
+  return base_->ReadFile(path);
+}
+
+Result<fs::FileStat> FaultInjectingVfs::Stat(const std::string& path) const {
+  EASIA_RETURN_IF_ERROR(MaybeFault("Stat"));
+  return base_->Stat(path);
+}
+
+bool FaultInjectingVfs::Exists(const std::string& path) const {
+  return base_->Exists(path);  // existence checks are not faulted
+}
+
+Status FaultInjectingVfs::DeleteFile(const std::string& path) {
+  EASIA_RETURN_IF_ERROR(MaybeFault("DeleteFile"));
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectingVfs::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  EASIA_RETURN_IF_ERROR(MaybeFault("RenameFile"));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingVfs::Pin(const std::string& path) {
+  EASIA_RETURN_IF_ERROR(MaybeFault("Pin"));
+  return base_->Pin(path);
+}
+
+Status FaultInjectingVfs::Unpin(const std::string& path) {
+  EASIA_RETURN_IF_ERROR(MaybeFault("Unpin"));
+  return base_->Unpin(path);
+}
+
+bool FaultInjectingVfs::IsPinned(const std::string& path) const {
+  return base_->IsPinned(path);
+}
+
+std::vector<std::string> FaultInjectingVfs::List(
+    const std::string& prefix) const {
+  return base_->List(prefix);
+}
+
+}  // namespace easia::testing

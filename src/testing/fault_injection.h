@@ -1,0 +1,171 @@
+#ifndef EASIA_TESTING_FAULT_INJECTION_H_
+#define EASIA_TESTING_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "fileserver/vfs.h"
+
+namespace easia::testing {
+
+/// What happens to bytes that were appended but not fsynced when the
+/// environment crashes.
+enum class CrashSurvival {
+  /// Every appended byte up to the crash point survives (write-through
+  /// model; crash points land on exact byte boundaries — used to sweep a
+  /// record's every boundary).
+  kAll,
+  /// Only fsynced bytes survive (strict durability model).
+  kSyncedOnly,
+  /// Fsynced bytes survive plus a seeded-random prefix of the unsynced
+  /// tail — a torn write.
+  kRandomTail,
+};
+
+/// A seeded, declarative description of the faults one run injects.
+/// Deterministic: the same plan against the same workload produces the
+/// same faults, so every failure reproduces from its seed.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  /// Crash after this many bytes have been appended to files whose path
+  /// contains `crash_path_filter` (every file when empty). Negative
+  /// disables crashing. Crash semantics are longjmp-free: the environment
+  /// simply stops persisting — every subsequent operation fails with
+  /// kUnavailable until `Reopen()` simulates the restart.
+  int64_t crash_after_bytes = -1;
+  std::string crash_path_filter;
+  CrashSurvival survival = CrashSurvival::kAll;
+
+  /// Probability an append fails with a transient error (kUnavailable)
+  /// before writing anything — an injected EIO.
+  double append_error_probability = 0.0;
+  /// Probability an fsync silently does nothing (reports OK, durability
+  /// lost) — the silent-drop fault class. Leave 0 to keep the
+  /// acked-implies-durable invariant checkable.
+  double drop_fsync_probability = 0.0;
+  /// Probability a whole-file read returns only a prefix (short read).
+  double short_read_probability = 0.0;
+};
+
+/// An in-memory io::Env that injects the faults a FaultPlan describes.
+/// Tracks, per file, the full buffered contents and the prefix known
+/// durable (fsynced); a crash discards buffered bytes according to the
+/// plan's survival policy when the environment is reopened.
+class FaultyEnv : public io::Env {
+ public:
+  explicit FaultyEnv(FaultPlan plan);
+
+  // --- io::Env ---
+  Result<std::unique_ptr<io::LogFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view contents) override;
+  Status RemoveFile(const std::string& path) override;
+  Status Truncate(const std::string& path) override;
+
+  // --- harness controls ---
+  bool crashed() const;
+  /// Simulates the post-crash restart: applies the survival policy to
+  /// every file (buffered bytes are kept, torn or discarded), marks the
+  /// surviving bytes durable, clears the crashed flag and disarms the
+  /// crash trigger. Also the way to start a run from a pre-built image.
+  void Reopen();
+  /// Bytes appended so far to files matching the crash filter (the crash
+  /// counter; use it to size `crash_after_bytes` sweeps).
+  uint64_t bytes_appended() const;
+  /// Next n fsyncs return an error (without persisting) — for testing
+  /// that fsync failures propagate as Status.
+  void FailNextFsyncs(int n);
+
+  /// The next restart's durable image of `path` under the current plan's
+  /// survival policy (kNotFound when the file does not exist).
+  Result<std::string> DurableContents(const std::string& path) const;
+  /// Buffered (process-visible) contents, ignoring durability.
+  Result<std::string> BufferedContents(const std::string& path) const;
+  /// Flips one bit — corruption the CRC layer must reject.
+  void FlipBit(const std::string& path, size_t byte_offset, int bit);
+  /// Truncates the buffered file to `len` bytes (torn tail).
+  void TruncateTo(const std::string& path, size_t len);
+
+ private:
+  class FaultyLogFile;
+
+  struct FileState {
+    std::string data;   // everything appended (process-visible)
+    size_t synced = 0;  // durable prefix
+  };
+
+  /// Called with mu_ held.
+  Status AppendLocked(const std::string& path, std::string_view data);
+  Status SyncLocked(const std::string& path);
+  std::string SurvivingLocked(const FileState& f) const;
+  bool MatchesCrashFilter(const std::string& path) const;
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  mutable Random rng_;
+  bool crashed_ = false;
+  uint64_t appended_ = 0;
+  int fail_fsyncs_ = 0;
+  std::map<std::string, FileState> files_;
+};
+
+/// A fs::Vfs decorator injecting transient storage errors in front of any
+/// base implementation — the file-server analogue of FaultyEnv. Used to
+/// exercise the retry-with-backoff path (`FileServer::WithRetry`) and the
+/// reconciler's dangling/orphan handling.
+class FaultInjectingVfs : public fs::Vfs {
+ public:
+  explicit FaultInjectingVfs(fs::Vfs* base, uint64_t seed = 1)
+      : base_(base), rng_(seed) {}
+
+  /// The next n mutating/reading operations fail with kUnavailable.
+  void FailNextOps(int n) { fail_ops_.store(n); }
+  /// Every operation independently fails with probability p.
+  void set_error_probability(double p) { error_probability_ = p; }
+  uint64_t faults_injected() const { return faults_.load(); }
+
+  // --- fs::Vfs ---
+  Status WriteFile(const std::string& path, std::string contents,
+                   const std::string& owner = "") override;
+  Status CreateSparseFile(const std::string& path, uint64_t size,
+                          const std::string& owner = "") override;
+  Result<std::string> ReadFile(const std::string& path) const override;
+  Result<fs::FileStat> Stat(const std::string& path) const override;
+  bool Exists(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status Pin(const std::string& path) override;
+  Status Unpin(const std::string& path) override;
+  bool IsPinned(const std::string& path) const override;
+  std::vector<std::string> List(
+      const std::string& prefix = "/") const override;
+  uint64_t TotalBytes() const override { return base_->TotalBytes(); }
+  size_t FileCount() const override { return base_->FileCount(); }
+
+ private:
+  /// Returns the injected error, or OK to forward to the base.
+  Status MaybeFault(const char* op) const;
+
+  fs::Vfs* base_;
+  mutable std::mutex mu_;  // guards rng_
+  mutable Random rng_;
+  double error_probability_ = 0.0;
+  mutable std::atomic<int> fail_ops_{0};
+  mutable std::atomic<uint64_t> faults_{0};
+};
+
+}  // namespace easia::testing
+
+#endif  // EASIA_TESTING_FAULT_INJECTION_H_

@@ -857,6 +857,27 @@ HttpResponse ArchiveWebServer::HandleStats(const Session& session) {
                             deps_.jobs->failed()),
                         static_cast<unsigned long long>(
                             deps_.jobs->retries())));
+    if (deps_.jobs->journal_errors() > 0) {
+      w.Element("p", StrPrintf("job journal errors: %llu",
+                               static_cast<unsigned long long>(
+                                   deps_.jobs->journal_errors())));
+    }
+  }
+  if (deps_.fleet != nullptr) {
+    uint64_t fs_retries = 0;
+    uint64_t fs_give_ups = 0;
+    for (const std::string& host : deps_.fleet->Hosts()) {
+      Result<fs::FileServer*> server = deps_.fleet->GetServer(host);
+      if (!server.ok()) continue;
+      fs::RetryStats rs = (*server)->retry_stats();
+      fs_retries += rs.retries;
+      fs_give_ups += rs.give_ups;
+    }
+    w.Element("p",
+              StrPrintf("file servers: %llu transient-error retries, "
+                        "%llu give-ups",
+                        static_cast<unsigned long long>(fs_retries),
+                        static_cast<unsigned long long>(fs_give_ups)));
   }
   w.Raw(PageFooter());
   HttpResponse resp;

@@ -1,0 +1,228 @@
+#include "testing/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "db/database.h"
+#include "db/wal.h"
+#include "fileserver/file_server.h"
+#include "jobs/journal.h"
+
+namespace easia::testing {
+namespace {
+
+// --- FaultyEnv semantics ---------------------------------------------------
+
+TEST(FaultyEnvTest, AppendSyncReadRoundTrip) {
+  FaultyEnv env(FaultPlan{});
+  auto file = env.OpenAppend("/log");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("hello ").ok());
+  EXPECT_TRUE((*file)->Append("world").ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+  auto contents = env.ReadFileToString("/log");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello world");
+  EXPECT_TRUE(env.FileExists("/log"));
+  EXPECT_FALSE(env.FileExists("/nope"));
+}
+
+TEST(FaultyEnvTest, SyncedOnlySurvivalDropsUnsyncedTail) {
+  FaultPlan plan;
+  plan.survival = CrashSurvival::kSyncedOnly;
+  FaultyEnv env(plan);
+  auto file = env.OpenAppend("/log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("-volatile").ok());
+  auto durable = env.DurableContents("/log");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, "durable");
+  env.Reopen();
+  auto survived = env.ReadFileToString("/log");
+  ASSERT_TRUE(survived.ok());
+  EXPECT_EQ(*survived, "durable");
+}
+
+TEST(FaultyEnvTest, CrashPersistsExactPrefixThenFailsEverything) {
+  FaultPlan plan;
+  plan.crash_after_bytes = 4;
+  FaultyEnv env(plan);
+  auto file = env.OpenAppend("/log");
+  ASSERT_TRUE(file.ok());
+  Status s = (*file)->Append("abcdefgh");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(env.crashed());
+  // Everything fails until the environment is reopened.
+  EXPECT_FALSE((*file)->Append("x").ok());
+  EXPECT_FALSE(env.ReadFileToString("/log").ok());
+  EXPECT_FALSE(env.WriteFileAtomic("/other", "x").ok());
+  env.Reopen();
+  EXPECT_FALSE(env.crashed());
+  auto survived = env.ReadFileToString("/log");
+  ASSERT_TRUE(survived.ok());
+  EXPECT_EQ(*survived, "abcd");  // exactly crash_after_bytes bytes
+  // The trigger is disarmed after Reopen: appends work again.
+  auto file2 = env.OpenAppend("/log");
+  ASSERT_TRUE(file2.ok());
+  EXPECT_TRUE((*file2)->Append("more").ok());
+}
+
+TEST(FaultyEnvTest, CrashFilterOnlyCountsMatchingPaths) {
+  FaultPlan plan;
+  plan.crash_after_bytes = 4;
+  plan.crash_path_filter = "/wal";
+  FaultyEnv env(plan);
+  auto other = env.OpenAppend("/elsewhere");
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE((*other)->Append("lots of bytes, not counted").ok());
+  auto wal = env.OpenAppend("/db/wal");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_FALSE((*wal)->Append("abcdefgh").ok());
+  EXPECT_TRUE(env.crashed());
+}
+
+TEST(FaultyEnvTest, WriteFileAtomicIsAllOrNothingAtCrash) {
+  FaultPlan plan;
+  plan.crash_after_bytes = 4;
+  FaultyEnv env(plan);
+  ASSERT_TRUE(env.WriteFileAtomic("/snap", "old").ok());  // 3 bytes counted
+  EXPECT_FALSE(env.WriteFileAtomic("/snap", "new-contents").ok());
+  env.Reopen();
+  auto contents = env.ReadFileToString("/snap");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "old");  // never a prefix of the new image
+}
+
+TEST(FaultyEnvTest, FlipBitAndTruncateCorruptTheImage) {
+  FaultyEnv env(FaultPlan{});
+  ASSERT_TRUE(env.WriteFileAtomic("/f", std::string("AAAA")).ok());
+  env.FlipBit("/f", 1, 0);
+  auto contents = env.ReadFileToString("/f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ((*contents)[1], 'A' ^ 1);
+  env.TruncateTo("/f", 2);
+  contents = env.ReadFileToString("/f");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->size(), 2u);
+}
+
+// --- fsync failure propagation (regression) --------------------------------
+
+// WalWriter::Sync must propagate an fsync failure as a Status instead of
+// silently reporting durability that does not exist.
+TEST(FsyncPropagationTest, WalSyncReturnsErrorStatus) {
+  FaultyEnv env(FaultPlan{});
+  auto wal = db::WalWriter::Open(&env, "/db/wal");
+  ASSERT_TRUE(wal.ok());
+  db::WalRecord rec;
+  rec.type = db::WalRecordType::kBegin;
+  rec.txn_id = 1;
+  ASSERT_TRUE(wal->Append(rec).ok());
+  env.FailNextFsyncs(1);
+  Status s = wal->Sync();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(wal->Sync().ok());  // transient: next sync succeeds
+}
+
+// A commit that cannot make its WAL durable must fail the statement rather
+// than acknowledge a commit that would be lost by a crash.
+TEST(FsyncPropagationTest, CommitFailsWhenWalSyncFails) {
+  FaultyEnv env(FaultPlan{});
+  db::DatabaseOptions opts;
+  opts.wal_path = "/db/wal";
+  opts.sync_on_commit = true;
+  opts.env = &env;
+  db::Database db("T", opts);
+  ASSERT_TRUE(db.Recover().ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE T (ID INTEGER)").ok());
+  env.FailNextFsyncs(1);
+  auto r = db.Execute("INSERT INTO T VALUES (1)");
+  EXPECT_FALSE(r.ok());
+  // The failed statement rolled back: the row is not visible either.
+  auto q = db.Execute("SELECT * FROM T");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->rows.empty());
+}
+
+// JobJournal::Append syncs each event; an fsync failure must surface.
+TEST(FsyncPropagationTest, JobJournalAppendReturnsErrorStatus) {
+  FaultyEnv env(FaultPlan{});
+  auto journal = jobs::JobJournal::Open(&env, "/jobs/journal");
+  ASSERT_TRUE(journal.ok());
+  jobs::JobEvent event;
+  event.job_id = 1;
+  event.state = jobs::JobState::kSubmitted;
+  ASSERT_TRUE(journal->Append(event).ok());
+  env.FailNextFsyncs(1);
+  EXPECT_FALSE(journal->Append(event).ok());
+  EXPECT_TRUE(journal->Append(event).ok());
+}
+
+// --- FaultInjectingVfs + FileServer retry ----------------------------------
+
+TEST(FileServerRetryTest, TransientReadErrorsAreRetried) {
+  fs::FileServer server("fs1");
+  ASSERT_TRUE(server.vfs().WriteFile("/d/a.tbf", "payload").ok());
+  FaultInjectingVfs faulty(&server.vfs(), /*seed=*/7);
+  server.InterposeVfs(&faulty);
+  fs::RetryPolicy policy;
+  policy.max_attempts = 4;
+  std::vector<double> delays;
+  policy.on_backoff = [&](int attempt, double delay) {
+    (void)attempt;
+    delays.push_back(delay);
+  };
+  server.set_retry_policy(policy);
+
+  faulty.FailNextOps(2);
+  auto response = server.Get("/d/a.tbf");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->content, "payload");
+  EXPECT_EQ(server.retry_stats().retries, 2u);
+  EXPECT_EQ(server.retry_stats().give_ups, 0u);
+  // Advisory exponential backoff was reported for each retry.
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_GT(delays[1], delays[0]);
+  server.InterposeVfs(nullptr);
+}
+
+TEST(FileServerRetryTest, PersistentErrorsGiveUpAfterBudget) {
+  fs::FileServer server("fs1");
+  ASSERT_TRUE(server.vfs().WriteFile("/d/a.tbf", "payload").ok());
+  FaultInjectingVfs faulty(&server.vfs(), /*seed=*/7);
+  server.InterposeVfs(&faulty);
+  fs::RetryPolicy policy;
+  policy.max_attempts = 3;
+  server.set_retry_policy(policy);
+
+  faulty.FailNextOps(100);
+  auto response = server.Get("/d/a.tbf");
+  EXPECT_FALSE(response.ok());
+  EXPECT_GE(server.retry_stats().give_ups, 1u);
+  EXPECT_GE(faulty.faults_injected(), 3u);
+  server.InterposeVfs(nullptr);
+}
+
+TEST(FileServerRetryTest, PutRetriesTransientWriteErrors) {
+  fs::FileServer server("fs1");
+  FaultInjectingVfs faulty(&server.vfs(), /*seed=*/11);
+  server.InterposeVfs(&faulty);
+  fs::RetryPolicy policy;
+  policy.max_attempts = 4;
+  server.set_retry_policy(policy);
+
+  faulty.FailNextOps(2);
+  Status put = server.Put("/d/new.tbf", "bytes", "user");
+  EXPECT_TRUE(put.ok()) << put.ToString();
+  server.InterposeVfs(nullptr);
+  EXPECT_TRUE(server.vfs().Exists("/d/new.tbf"));
+}
+
+}  // namespace
+}  // namespace easia::testing

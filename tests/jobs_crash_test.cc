@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "jobs/journal.h"
+#include "jobs/scheduler.h"
+#include "testing/crash_harness.h"
+#include "testing/fault_injection.h"
+
+namespace easia::testing {
+namespace {
+
+constexpr char kJournalPath[] = "/jobs/journal";
+
+int FuzzIters(int default_iters) {
+  const char* env = std::getenv("EASIA_FUZZ_ITERS");
+  if (env == nullptr) return default_iters;
+  int parsed = std::atoi(env);
+  return parsed > 0 ? parsed : default_iters;
+}
+
+std::string Describe(const CrashReport& report) {
+  std::string out;
+  for (const std::string& v : report.violations) {
+    out += v;
+    out += "\n";
+  }
+  return out;
+}
+
+/// Fills a journal with a seeded submit/cancel workload (no crash) and
+/// returns the environment holding it.
+std::unique_ptr<FaultyEnv> BuildJournal(uint64_t seed, int operations) {
+  auto env = std::make_unique<FaultyEnv>(FaultPlan{seed});
+  ManualClock clock(1000.0);
+  jobs::SchedulerOptions opts;
+  opts.journal_path = kJournalPath;
+  opts.env = env.get();
+  jobs::JobScheduler sched(nullptr, nullptr, &clock, opts);
+  Random rng(seed);
+  std::vector<jobs::JobId> open;
+  for (int i = 0; i < operations; ++i) {
+    if (!open.empty() && rng.OneIn(4)) {
+      size_t at = rng.Uniform(open.size());
+      EXPECT_TRUE(sched.Cancel(open[at], "u", true).ok());
+      open.erase(open.begin() + static_cast<ptrdiff_t>(at));
+    } else {
+      jobs::JobSpec spec;
+      spec.user = "u";
+      spec.is_guest = false;
+      spec.operation = "op_" + rng.AlphaNum(5);
+      spec.datasets = {"ds"};
+      auto job = sched.Submit(spec);
+      EXPECT_TRUE(job.ok());
+      if (job.ok()) open.push_back(job->id);
+    }
+    clock.Advance(0.25);
+  }
+  return env;
+}
+
+/// Crash-point sweep through the harness: acked submissions survive, no
+/// job runs after restart, recovery is a fixpoint.
+TEST(JobsCrashTest, SeededCrashPointsRecoverValidQueues) {
+  const int iters = FuzzIters(100);
+  Random rng(0x6A6F);
+  const CrashSurvival kModes[] = {CrashSurvival::kAll,
+                                  CrashSurvival::kSyncedOnly,
+                                  CrashSurvival::kRandomTail};
+  for (int i = 0; i < iters; ++i) {
+    JobsCrashOptions options;
+    options.seed = rng.Next();
+    options.operations = 10 + static_cast<int>(rng.Uniform(30));
+    options.survival = kModes[i % 3];
+
+    JobsCrashOptions probe = options;
+    probe.crash_after_bytes = -1;
+    CrashReport full = RunJobsCrashCase(probe);
+    ASSERT_TRUE(full.Clean()) << "iter " << i << " (uncrashed run):\n"
+                              << Describe(full);
+    ASSERT_GT(full.wal_bytes, 0u);
+
+    options.crash_after_bytes =
+        static_cast<int64_t>(rng.Uniform(full.wal_bytes + 1));
+    CrashReport report = RunJobsCrashCase(options);
+    EXPECT_TRUE(report.Clean())
+        << "iter " << i << " seed " << options.seed << " crash_after_bytes "
+        << options.crash_after_bytes << ":\n"
+        << Describe(report);
+    if (!report.Clean()) break;
+  }
+}
+
+/// A journal truncated at any byte must still recover: replay stops at the
+/// torn frame and yields a valid prefix of the history.
+TEST(JobsCrashTest, TruncatedJournalsRecoverValidPrefix) {
+  std::unique_ptr<FaultyEnv> env = BuildJournal(0xBEEF, 20);
+  auto full = env->ReadFileToString(kJournalPath);
+  ASSERT_TRUE(full.ok());
+  auto intact = jobs::RecoverQueue(env.get(), kJournalPath);
+  ASSERT_TRUE(intact.ok());
+  size_t full_jobs = intact->pending.size() + intact->finished.size();
+  ASSERT_GT(full_jobs, 0u);
+
+  for (size_t len = 0; len < full->size(); len += 7) {
+    FaultyEnv trimmed(FaultPlan{1});
+    ASSERT_TRUE(trimmed.WriteFileAtomic(kJournalPath, *full).ok());
+    trimmed.TruncateTo(kJournalPath, len);
+    auto recovered = jobs::RecoverQueue(&trimmed, kJournalPath);
+    ASSERT_TRUE(recovered.ok())
+        << "truncated to " << len << ": " << recovered.status().ToString();
+    size_t jobs = recovered->pending.size() + recovered->finished.size();
+    EXPECT_LE(jobs, full_jobs) << "truncated to " << len;
+    EXPECT_LE(recovered->max_job_id, intact->max_job_id);
+    // Recovered jobs must be a prefix of the full history: every id that
+    // survives must also exist in the intact replay with a valid state.
+    for (const jobs::Job& job : recovered->pending) {
+      EXPECT_NE(job.state, jobs::JobState::kRunning);
+      EXPECT_FALSE(job.spec.operation.empty());
+    }
+  }
+}
+
+/// Bit flips anywhere in the journal are caught by the CRC framing: replay
+/// stops at the corrupt frame instead of decoding garbage.
+TEST(JobsCrashTest, BitFlippedJournalsNeverDecodeGarbage) {
+  std::unique_ptr<FaultyEnv> env = BuildJournal(0xFEED, 16);
+  auto full = env->ReadFileToString(kJournalPath);
+  ASSERT_TRUE(full.ok());
+  auto intact = jobs::RecoverQueue(env.get(), kJournalPath);
+  ASSERT_TRUE(intact.ok());
+  size_t full_jobs = intact->pending.size() + intact->finished.size();
+
+  Random rng(99);
+  const int iters = FuzzIters(64);
+  for (int i = 0; i < iters; ++i) {
+    FaultyEnv flipped(FaultPlan{1});
+    ASSERT_TRUE(flipped.WriteFileAtomic(kJournalPath, *full).ok());
+    flipped.FlipBit(kJournalPath, rng.Uniform(full->size()),
+                    static_cast<int>(rng.Uniform(8)));
+    auto recovered = jobs::RecoverQueue(&flipped, kJournalPath);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    size_t jobs = recovered->pending.size() + recovered->finished.size();
+    EXPECT_LE(jobs, full_jobs);
+    for (const jobs::Job& job : recovered->pending) {
+      EXPECT_FALSE(job.spec.operation.empty());
+      EXPECT_NE(job.state, jobs::JobState::kRunning);
+    }
+  }
+}
+
+/// The finished-history bound holds through recovery: a long archive's
+/// compacted journal never rebuilds more history than the queue retains.
+TEST(JobsCrashTest, FinishedHistoryBoundHoldsAcrossRecovery) {
+  FaultyEnv env(FaultPlan{5});
+  ManualClock clock(1000.0);
+  jobs::SchedulerOptions opts;
+  opts.journal_path = kJournalPath;
+  opts.env = &env;
+  opts.limits.max_finished_jobs = 8;
+  opts.limits.user_queued = 256;
+  {
+    jobs::JobScheduler sched(nullptr, nullptr, &clock, opts);
+    std::vector<jobs::JobId> ids;
+    for (int i = 0; i < 60; ++i) {
+      jobs::JobSpec spec;
+      spec.user = "u";
+      spec.is_guest = false;
+      spec.operation = "op";
+      spec.datasets = {"ds"};
+      auto job = sched.Submit(spec);
+      ASSERT_TRUE(job.ok());
+      ids.push_back(job->id);
+    }
+    // Finish 50 of them (cancellation is the terminal transition available
+    // without an execution engine).
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(sched.Cancel(ids[static_cast<size_t>(i)], "u", true).ok());
+    }
+  }
+  jobs::JobScheduler recovered(nullptr, nullptr, &clock, opts);
+  auto count = recovered.Recover();
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 10u);  // the 10 still-open jobs re-enqueue
+  std::vector<jobs::Job> snapshot = recovered.queue().Snapshot();
+  size_t finished = 0;
+  for (const jobs::Job& job : snapshot) {
+    if (jobs::IsTerminal(job.state)) ++finished;
+  }
+  EXPECT_LE(finished, opts.limits.max_finished_jobs);
+  EXPECT_EQ(snapshot.size() - finished, 10u);
+}
+
+/// Submission is never acknowledged without a durable journal record: when
+/// the journal append fails, Submit fails and the job does not exist.
+TEST(JobsCrashTest, SubmitFailureLeavesNoGhostJob) {
+  FaultyEnv env(FaultPlan{3});
+  ManualClock clock(1000.0);
+  jobs::SchedulerOptions opts;
+  opts.journal_path = kJournalPath;
+  opts.env = &env;
+  jobs::JobScheduler sched(nullptr, nullptr, &clock, opts);
+
+  jobs::JobSpec spec;
+  spec.user = "u";
+  spec.is_guest = false;
+  spec.operation = "op";
+  spec.datasets = {"ds"};
+  env.FailNextFsyncs(1);
+  auto rejected = sched.Submit(spec);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(sched.journal_errors(), 1u);
+  EXPECT_EQ(sched.queue().Snapshot().size(), 0u);
+
+  // The next submission succeeds and reuses the withdrawn id.
+  auto accepted = sched.Submit(spec);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted->id, 1u);
+}
+
+}  // namespace
+}  // namespace easia::testing

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/random.h"
+#include "testing/crash_harness.h"
+
+namespace easia::testing {
+namespace {
+
+/// Iteration scaling: EASIA_FUZZ_ITERS overrides the default count so CI
+/// can dial crash coverage up (soak runs) or down without editing tests.
+int FuzzIters(int default_iters) {
+  const char* env = std::getenv("EASIA_FUZZ_ITERS");
+  if (env == nullptr) return default_iters;
+  int parsed = std::atoi(env);
+  return parsed > 0 ? parsed : default_iters;
+}
+
+std::string Describe(const CrashReport& report) {
+  std::string out;
+  for (const std::string& v : report.violations) {
+    out += v;
+    out += "\n";
+  }
+  return out;
+}
+
+/// Crash at every byte boundary of the log: for a small workload, every
+/// prefix of the WAL stream is a recovery start state. No prefix may apply
+/// a torn record or lose an acknowledged commit.
+TEST(WalCrashTest, EveryByteBoundarySurvivesRecovery) {
+  WalCrashOptions probe;
+  probe.seed = 42;
+  probe.statements = 6;
+  probe.crash_after_bytes = -1;
+  CrashReport full = RunWalCrashCase(probe);
+  ASSERT_TRUE(full.Clean()) << Describe(full);
+  ASSERT_FALSE(full.crashed);
+  ASSERT_GT(full.wal_bytes, 0u);
+
+  for (uint64_t boundary = 0; boundary <= full.wal_bytes; ++boundary) {
+    WalCrashOptions options = probe;
+    options.crash_after_bytes = static_cast<int64_t>(boundary);
+    CrashReport report = RunWalCrashCase(options);
+    EXPECT_TRUE(report.Clean())
+        << "crash at byte " << boundary << " of " << full.wal_bytes << ":\n"
+        << Describe(report);
+    if (!report.Clean()) break;
+    // Interior boundaries must actually crash (sanity on the fault seam).
+    if (boundary < full.wal_bytes) EXPECT_TRUE(report.crashed);
+  }
+}
+
+/// 200 seeded runs: random workloads, random crash points, cycling through
+/// all three survival models (write-through, fsync-only, torn tail).
+TEST(WalCrashTest, SeededCrashPointsNeverViolateDurability) {
+  const int iters = FuzzIters(200);
+  Random rng(0xC4A5);
+  const CrashSurvival kModes[] = {CrashSurvival::kAll,
+                                  CrashSurvival::kSyncedOnly,
+                                  CrashSurvival::kRandomTail};
+  for (int i = 0; i < iters; ++i) {
+    WalCrashOptions options;
+    options.seed = rng.Next();
+    options.statements = 10 + static_cast<int>(rng.Uniform(20));
+    options.survival = kModes[i % 3];
+
+    WalCrashOptions probe = options;
+    probe.crash_after_bytes = -1;
+    CrashReport full = RunWalCrashCase(probe);
+    ASSERT_TRUE(full.Clean()) << "iter " << i << " (uncrashed run):\n"
+                              << Describe(full);
+    ASSERT_GT(full.wal_bytes, 0u);
+
+    options.crash_after_bytes =
+        static_cast<int64_t>(rng.Uniform(full.wal_bytes + 1));
+    CrashReport report = RunWalCrashCase(options);
+    EXPECT_TRUE(report.Clean())
+        << "iter " << i << " seed " << options.seed << " crash_after_bytes "
+        << options.crash_after_bytes << " survival " << (i % 3) << ":\n"
+        << Describe(report);
+    if (!report.Clean()) break;
+  }
+}
+
+/// A run that never reaches its crash point recovers to exactly the full
+/// acked workload (the differential check also covers the happy path).
+TEST(WalCrashTest, UncrashedRunRecoversAllAckedStatements) {
+  WalCrashOptions options;
+  options.seed = 7;
+  options.statements = 20;
+  options.crash_after_bytes = -1;
+  CrashReport report = RunWalCrashCase(options);
+  EXPECT_TRUE(report.Clean()) << Describe(report);
+  EXPECT_FALSE(report.crashed);
+  EXPECT_EQ(report.acked, 21u);  // CREATE TABLE + 20 DML statements
+}
+
+}  // namespace
+}  // namespace easia::testing
