@@ -19,6 +19,19 @@ Archive::Archive(Options options)
   jobs_ = std::make_unique<easia::jobs::JobScheduler>(
       engine_.get(), &xuis_, &network_.clock(), options_.job_options);
   (void)jobs_->Recover();
+  if (options_.obs.enabled) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    obs::Tracer::Options tracer_options;
+    tracer_options.clock = &network_.clock();
+    tracer_options.ring_capacity = options_.obs.trace_ring_capacity;
+    tracer_options.slow_threshold_seconds =
+        options_.obs.slow_request_threshold_seconds;
+    tracer_options.slow_log_capacity = options_.obs.slow_log_capacity;
+    tracer_options.metrics = metrics_.get();
+    tracer_ = std::make_unique<obs::Tracer>(tracer_options);
+    database_->set_tracer(tracer_.get());
+    jobs_->set_tracer(tracer_.get());
+  }
   sessions_ = std::make_unique<web::SessionManager>(
       &users_, &network_.clock(), options_.session_timeout_seconds);
   if (options_.render_cache_bytes > 0) {
@@ -37,7 +50,11 @@ Archive::Archive(Options options)
   deps.sessions = sessions_.get();
   deps.jobs = jobs_.get();
   deps.cache = render_cache_.get();
+  deps.metrics = metrics_.get();
+  deps.tracer = tracer_.get();
   web_ = std::make_unique<web::ArchiveWebServer>(deps);
+  // After every sampled component exists (notably the render cache).
+  if (metrics_ != nullptr) RegisterCollectors();
   // Database host participates in the network (metadata/query traffic).
   sim::HostSpec db_host;
   db_host.name = options_.db_host;
@@ -52,6 +69,178 @@ Archive::Archive(Options options)
 }
 
 Archive::~Archive() = default;
+
+void Archive::RegisterCollectors() {
+  using obs::Labels;
+  using obs::MetricsRegistry;
+  using Samples = std::vector<std::pair<Labels, double>>;
+  obs::MetricsRegistry* m = metrics_.get();
+  // The components keep their own atomic counters as the single source of
+  // truth; these families sample them at collect time, so /metrics and
+  // /stats always agree with the component introspection APIs.
+  (void)m->RegisterCallback(
+      "easia_db_statements_total", "SQL statements executed",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        return {{{}, static_cast<double>(database_->stats().statements)}};
+      });
+  (void)m->RegisterCallback(
+      "easia_db_queries_total", "SELECT statements executed",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        return {{{}, static_cast<double>(database_->stats().queries)}};
+      });
+  (void)m->RegisterCallback(
+      "easia_db_rows_total", "Rows changed by DML, by operation",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        db::DatabaseStats ds = database_->stats();
+        return {{{{"op", "deleted"}}, static_cast<double>(ds.rows_deleted)},
+                {{{"op", "inserted"}}, static_cast<double>(ds.rows_inserted)},
+                {{{"op", "updated"}}, static_cast<double>(ds.rows_updated)}};
+      });
+  (void)m->RegisterCallback(
+      "easia_db_txns_total", "Transactions finished, by outcome",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        db::DatabaseStats ds = database_->stats();
+        return {
+            {{{"outcome", "aborted"}}, static_cast<double>(ds.txn_aborts)},
+            {{{"outcome", "committed"}}, static_cast<double>(ds.txn_commits)}};
+      });
+  (void)m->RegisterCallback(
+      "easia_db_commit_epoch", "Monotonic commit epoch (cache validator)",
+      MetricsRegistry::CallbackKind::kGauge, [this]() -> Samples {
+        return {{{}, static_cast<double>(database_->commit_epoch())}};
+      });
+  if (render_cache_ != nullptr) {
+    (void)m->RegisterCallback(
+        "easia_render_cache_events_total", "Rendered-page cache events",
+        MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+          web::RenderCacheStats cs = render_cache_->stats();
+          return {
+              {{{"event", "eviction"}}, static_cast<double>(cs.evictions)},
+              {{{"event", "hit"}}, static_cast<double>(cs.hits)},
+              {{{"event", "invalidation"}},
+               static_cast<double>(cs.invalidations)},
+              {{{"event", "miss"}}, static_cast<double>(cs.misses)}};
+        });
+    (void)m->RegisterCallback(
+        "easia_render_cache_entries", "Rendered pages currently cached",
+        MetricsRegistry::CallbackKind::kGauge, [this]() -> Samples {
+          return {{{},
+                   static_cast<double>(render_cache_->stats().entries)}};
+        });
+    (void)m->RegisterCallback(
+        "easia_render_cache_bytes", "Bytes held by the render cache",
+        MetricsRegistry::CallbackKind::kGauge, [this]() -> Samples {
+          return {{{}, static_cast<double>(render_cache_->stats().bytes)}};
+        });
+  }
+  (void)m->RegisterCallback(
+      "easia_tokens_total", "DATALINK access-token events",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        med::TokenManager& tokens = med_->tokens();
+        return {
+            {{{"event", "issued"}}, static_cast<double>(tokens.issued())},
+            {{{"event", "rejected"}}, static_cast<double>(tokens.rejected())},
+            {{{"event", "validated"}},
+             static_cast<double>(tokens.validated_ok())}};
+      });
+  (void)m->RegisterCallback(
+      "easia_jobs_total", "Batch-job scheduler events",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        return {
+            {{{"event", "executed"}}, static_cast<double>(jobs_->executed())},
+            {{{"event", "failed"}}, static_cast<double>(jobs_->failed())},
+            {{{"event", "journal_error"}},
+             static_cast<double>(jobs_->journal_errors())},
+            {{{"event", "retried"}}, static_cast<double>(jobs_->retries())},
+            {{{"event", "succeeded"}},
+             static_cast<double>(jobs_->succeeded())}};
+      });
+  (void)m->RegisterCallback(
+      "easia_jobs_queued", "Jobs by live queue state",
+      MetricsRegistry::CallbackKind::kGauge, [this]() -> Samples {
+        return {{{{"state", "open"}},
+                 static_cast<double>(jobs_->queue().open_count())},
+                {{{"state", "running"}},
+                 static_cast<double>(jobs_->queue().running_count())}};
+      });
+  (void)m->RegisterCallback(
+      "easia_engine_result_cache_entries", "Operation result-cache entries",
+      MetricsRegistry::CallbackKind::kGauge, [this]() -> Samples {
+        return {{{}, static_cast<double>(engine_->cache_size())}};
+      });
+  (void)m->RegisterCallback(
+      "easia_engine_result_cache_evictions_total",
+      "Operation result-cache evictions",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        return {{{}, static_cast<double>(engine_->cache_evictions())}};
+      });
+  (void)m->RegisterCallback(
+      "easia_op_invocations_total", "Server-side operation invocations",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        Samples out;
+        for (const auto& [name, stats] : engine_->stats()) {
+          out.push_back(
+              {{{"op", name}}, static_cast<double>(stats.invocations)});
+        }
+        return out;
+      });
+  (void)m->RegisterCallback(
+      "easia_op_cache_hits_total", "Operation result-cache hits",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        Samples out;
+        for (const auto& [name, stats] : engine_->stats()) {
+          out.push_back(
+              {{{"op", name}}, static_cast<double>(stats.cache_hits)});
+        }
+        return out;
+      });
+  (void)m->RegisterCallback(
+      "easia_op_failures_total", "Operation failures",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        Samples out;
+        for (const auto& [name, stats] : engine_->stats()) {
+          out.push_back(
+              {{{"op", name}}, static_cast<double>(stats.failures)});
+        }
+        return out;
+      });
+  (void)m->RegisterCallback(
+      "easia_op_exec_seconds_total", "Modelled operation execution time",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        Samples out;
+        for (const auto& [name, stats] : engine_->stats()) {
+          out.push_back({{{"op", name}}, stats.total_exec_seconds});
+        }
+        return out;
+      });
+  (void)m->RegisterCallback(
+      "easia_fileserver_retries_total",
+      "Transient-error re-attempts, by file-server host",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        Samples out;
+        for (const std::string& host : fleet_.Hosts()) {
+          Result<fs::FileServer*> server = fleet_.GetServer(host);
+          if (!server.ok()) continue;
+          out.push_back({{{"host", host}},
+                         static_cast<double>((*server)->retry_stats().retries)});
+        }
+        return out;
+      });
+  (void)m->RegisterCallback(
+      "easia_fileserver_give_ups_total",
+      "Operations that stayed transient past the retry budget, by host",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        Samples out;
+        for (const std::string& host : fleet_.Hosts()) {
+          Result<fs::FileServer*> server = fleet_.GetServer(host);
+          if (!server.ok()) continue;
+          out.push_back(
+              {{{"host", host}},
+               static_cast<double>((*server)->retry_stats().give_ups)});
+        }
+        return out;
+      });
+}
 
 fs::FileServer* Archive::AddFileServer(const std::string& host,
                                        double constant_mbps,
@@ -71,6 +260,7 @@ fs::FileServer* Archive::AddFileServer(const std::string& host,
     network_.AddLink(options_.db_host, host, sim::FromSouthamptonSchedule());
   }
   server->vfs().set_clock([this]() { return network_.Now(); });
+  server->set_tracer(tracer_.get());
   // Make sure the SQL/MED agent exists on the host.
   (void)med_->EnsureLinker(host);
   return server;

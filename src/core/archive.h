@@ -10,6 +10,8 @@
 #include "jobs/scheduler.h"
 #include "med/backup.h"
 #include "med/datalink_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/engine.h"
 #include "sim/network.h"
 #include "web/server.h"
@@ -50,6 +52,20 @@ class Archive {
     /// the XUIS revision; token-bearing pages additionally age out at
     /// half the DATALINK token TTL so no cached link outlives its token.
     size_t render_cache_bytes = 8 << 20;
+    /// Observability: metrics registry (backs /metrics and /stats) plus
+    /// the request tracer threaded through web, database, render cache,
+    /// job and file-server layers. Timing comes from the archive's
+    /// ManualClock, so traces and latency histograms are deterministic.
+    struct ObsOptions {
+      bool enabled = true;
+      /// Finished-span ring bound (oldest dropped first).
+      size_t trace_ring_capacity = 2048;
+      /// Requests/spans at or past this duration hit the slow-request
+      /// log; 0 disables the log.
+      double slow_request_threshold_seconds = 0;
+      size_t slow_log_capacity = 128;
+    };
+    ObsOptions obs;
   };
 
   Archive() : Archive(Options()) {}
@@ -117,8 +133,16 @@ class Archive {
   xuis::XuisRegistry& xuis() { return xuis_; }
   ManualClock& clock() { return network_.clock(); }
   const Options& options() const { return options_; }
+  /// Null when Options::obs.enabled is false.
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  obs::Tracer* tracer() { return tracer_.get(); }
 
  private:
+  /// Registers the pull-style registry families that sample component
+  /// counters (database, caches, tokens, jobs, file servers) at collect
+  /// time.
+  void RegisterCollectors();
+
   Options options_;
   sim::Network network_;
   fs::FileServerFleet fleet_;
@@ -130,6 +154,8 @@ class Archive {
   web::UserManager users_;
   std::unique_ptr<web::SessionManager> sessions_;
   xuis::XuisRegistry xuis_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<web::RenderCache> render_cache_;
   std::unique_ptr<web::ArchiveWebServer> web_;
 };

@@ -7,12 +7,17 @@
 #include "db/executor.h"
 #include "db/parser.h"
 #include "db/planner.h"
+#include "obs/trace.h"
 
 namespace easia::db {
 
 namespace {
 
-constexpr std::string_view kSnapshotMagic = "EASIASNAP1";
+/// V1 snapshots carry catalogue + rows only; V2 prefixes the table section
+/// with the cumulative DatabaseStats counters so /metrics counters survive
+/// checkpoint/restart instead of resetting to zero. Readers accept both.
+constexpr std::string_view kSnapshotMagicV1 = "EASIASNAP1";
+constexpr std::string_view kSnapshotMagic = "EASIASNAP2";
 
 QueryResult DmlResult(size_t affected) {
   QueryResult r;
@@ -110,6 +115,10 @@ Status Database::Recover() {
         for (const WalRecord* op : it->second) {
           EASIA_RETURN_IF_ERROR(ApplyWalOp(*op));
         }
+        // Replayed work counts like live work: without this, counters on
+        // /metrics would read lower after a crash than before it even
+        // though the committed rows are all present.
+        counters_.txn_commits.fetch_add(1, std::memory_order_relaxed);
         pending.erase(it);
         break;
       }
@@ -139,15 +148,21 @@ Status Database::ApplyWalOp(const WalRecord& op) {
     }
     case WalRecordType::kInsert: {
       EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(op.table));
-      return table->InsertWithId(op.row_id, op.row);
+      EASIA_RETURN_IF_ERROR(table->InsertWithId(op.row_id, op.row));
+      counters_.rows_inserted.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
     }
     case WalRecordType::kUpdate: {
       EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(op.table));
-      return table->Update(op.row_id, op.row);
+      EASIA_RETURN_IF_ERROR(table->Update(op.row_id, op.row));
+      counters_.rows_updated.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
     }
     case WalRecordType::kDelete: {
       EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(op.table));
-      return table->Delete(op.row_id);
+      EASIA_RETURN_IF_ERROR(table->Delete(op.row_id));
+      counters_.rows_deleted.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
     }
     default:
       return Status::Corruption("wal: unexpected record type in replay");
@@ -212,6 +227,7 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
   // Mutating path (or statement inside an explicit transaction). An
   // explicit txn already holds the exclusive lock; a standalone statement
   // takes it for its own (implicit-txn) duration.
+  obs::Tracer::Scope span(tracer_, "db:execute");
   std::unique_lock<std::shared_mutex> write_lock;
   if (!owns_explicit) write_lock = std::unique_lock<std::shared_mutex>(mu_);
   bool owns_txn = EnsureTxn();
@@ -239,6 +255,7 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
       break;
   }
   if (!result.ok()) {
+    span.set_error();
     // Statement failure aborts the enclosing transaction (strict, simple).
     RollbackInternal();
     counters_.txn_aborts.fetch_add(1, std::memory_order_relaxed);
@@ -718,6 +735,7 @@ Result<QueryResult> Database::ExecDelete(const DeleteStmt& stmt,
 
 Result<QueryResult> Database::ExecSelect(const SelectStmt& stmt,
                                          const ExecContext& ctx) {
+  obs::Tracer::Scope span(tracer_, "planner:select");
   counters_.queries.fetch_add(1, std::memory_order_relaxed);
   TableLookup lookup = [this](const std::string& name) {
     return GetTable(name);
@@ -756,6 +774,14 @@ std::string Database::SerializeSnapshot() const {
 std::string Database::SerializeSnapshotLocked() const {
   std::string out;
   out += kSnapshotMagic;
+  DatabaseStats ds = stats();
+  PutU64(&out, ds.statements);
+  PutU64(&out, ds.queries);
+  PutU64(&out, ds.rows_inserted);
+  PutU64(&out, ds.rows_updated);
+  PutU64(&out, ds.rows_deleted);
+  PutU64(&out, ds.txn_commits);
+  PutU64(&out, ds.txn_aborts);
   PutU32(&out, static_cast<uint32_t>(tables_.size()));
   for (const auto& [key, table] : tables_) {
     PutLengthPrefixed(&out, table->def().ToSql());
@@ -795,9 +821,11 @@ Status Database::LoadSnapshotFromString(const std::string& contents) {
 }
 
 Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
+  std::string_view magic =
+      std::string_view(contents).substr(0, kSnapshotMagic.size());
+  bool has_stats = magic == kSnapshotMagic;
   if (contents.size() < kSnapshotMagic.size() + 4 ||
-      std::string_view(contents).substr(0, kSnapshotMagic.size()) !=
-          kSnapshotMagic) {
+      (!has_stats && magic != kSnapshotMagicV1)) {
     return Status::Corruption("bad snapshot magic");
   }
   std::string_view body = std::string_view(contents).substr(
@@ -806,10 +834,38 @@ Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
       std::string_view(contents).substr(contents.size() - 4));
   EASIA_ASSIGN_OR_RETURN(uint32_t crc, crc_dec.GetU32());
   if (Crc32(body) != crc) return Status::Corruption("snapshot crc mismatch");
+  Decoder dec(body);
+  if (has_stats) {
+    // Counters are restored monotonically: a snapshot taken earlier in
+    // this process's life (backup round-trips, crash recovery into a
+    // fresh Database) never moves a live counter backwards, so /metrics
+    // counter families keep their Prometheus monotonicity contract.
+    DatabaseStats ds;
+    EASIA_ASSIGN_OR_RETURN(ds.statements, dec.GetU64());
+    EASIA_ASSIGN_OR_RETURN(ds.queries, dec.GetU64());
+    EASIA_ASSIGN_OR_RETURN(ds.rows_inserted, dec.GetU64());
+    EASIA_ASSIGN_OR_RETURN(ds.rows_updated, dec.GetU64());
+    EASIA_ASSIGN_OR_RETURN(ds.rows_deleted, dec.GetU64());
+    EASIA_ASSIGN_OR_RETURN(ds.txn_commits, dec.GetU64());
+    EASIA_ASSIGN_OR_RETURN(ds.txn_aborts, dec.GetU64());
+    auto restore = [](std::atomic<uint64_t>* counter, uint64_t persisted) {
+      uint64_t cur = counter->load(std::memory_order_relaxed);
+      while (cur < persisted && !counter->compare_exchange_weak(
+                                    cur, persisted,
+                                    std::memory_order_relaxed)) {
+      }
+    };
+    restore(&counters_.statements, ds.statements);
+    restore(&counters_.queries, ds.queries);
+    restore(&counters_.rows_inserted, ds.rows_inserted);
+    restore(&counters_.rows_updated, ds.rows_updated);
+    restore(&counters_.rows_deleted, ds.rows_deleted);
+    restore(&counters_.txn_commits, ds.txn_commits);
+    restore(&counters_.txn_aborts, ds.txn_aborts);
+  }
   // Reset state.
   catalog_ = Catalog();
   tables_.clear();
-  Decoder dec(body);
   EASIA_ASSIGN_OR_RETURN(uint32_t table_count, dec.GetU32());
   // First pass may hit FK ordering problems; defer FK validation by adding
   // tables in two passes: create bare, then re-add with FKs. Simpler: retry

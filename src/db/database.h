@@ -17,6 +17,10 @@
 #include "db/table.h"
 #include "db/wal.h"
 
+namespace easia::obs {
+class Tracer;
+}  // namespace easia::obs
+
 namespace easia::db {
 
 /// The result of executing one SQL statement. For queries, `rows` holds the
@@ -130,6 +134,12 @@ class Database {
   void set_coordinator(DatalinkCoordinator* coordinator) {
     coordinator_ = coordinator;
   }
+
+  /// Wires in the request tracer (may be null — the default — for
+  /// untraced operation). Planner execution and mutating statements open
+  /// spans that nest under whatever request span is current on the
+  /// calling thread.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Loads the snapshot (if any) and replays the WAL. Call once, before the
   /// first Execute, when options carry persistence paths.
@@ -260,6 +270,7 @@ class Database {
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   DatalinkCoordinator* coordinator_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::unique_ptr<Txn> txn_;
   uint64_t next_txn_id_ = 1;
   std::unique_ptr<WalWriter> wal_;

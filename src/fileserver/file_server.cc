@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace easia::fs {
 
@@ -47,6 +48,8 @@ auto FileServer::WithRetry(Op&& op) const -> decltype(op()) {
 }
 
 Result<GetResult> FileServer::Get(const std::string& request_path) const {
+  obs::Tracer::Scope span(tracer_, "fs:get");
+  span.set_note(host_);
   // Split optional "token;" prefix on the final path component.
   std::string path = request_path;
   std::string token;
@@ -59,18 +62,36 @@ Result<GetResult> FileServer::Get(const std::string& request_path) const {
     path = path.substr(0, name_start) + path.substr(semi + 1);
   }
   if (read_gate_ != nullptr) {
-    EASIA_RETURN_IF_ERROR(read_gate_(path, token));
+    Status admitted = read_gate_(path, token);
+    if (!admitted.ok()) {
+      span.set_error();
+      return admitted;
+    }
   }
-  EASIA_ASSIGN_OR_RETURN(
-      FileStat stat, WithRetry([&] { return active_vfs_->Stat(path); }));
+  auto stat = WithRetry([&] { return active_vfs_->Stat(path); });
+  if (!stat.ok()) {
+    span.set_error();
+    return stat.status();
+  }
   GetResult out;
-  out.stat = stat;
-  if (!stat.sparse) {
-    EASIA_ASSIGN_OR_RETURN(
-        out.content,
-        WithRetry([&] { return active_vfs_->ReadFile(path); }));
+  out.stat = *stat;
+  if (!out.stat.sparse) {
+    auto content = WithRetry([&] { return active_vfs_->ReadFile(path); });
+    if (!content.ok()) {
+      span.set_error();
+      return content.status();
+    }
+    out.content = std::move(*content);
   }
   return out;
+}
+
+Result<FileStat> FileServer::StatFile(const std::string& path) const {
+  obs::Tracer::Scope span(tracer_, "fs:stat");
+  span.set_note(host_);
+  auto stat = WithRetry([&] { return active_vfs_->Stat(path); });
+  if (!stat.ok()) span.set_error();
+  return stat;
 }
 
 Result<GetResult> FileServer::GetUrl(const std::string& url) const {

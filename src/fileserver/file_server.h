@@ -12,6 +12,10 @@
 #include "fileserver/url.h"
 #include "fileserver/vfs.h"
 
+namespace easia::obs {
+class Tracer;
+}  // namespace easia::obs
+
 namespace easia::fs {
 
 /// Retry tuning for transient storage errors (kUnavailable — injected disk
@@ -82,11 +86,19 @@ class FileServer {
 
   void SetReadGate(ReadGate gate) { read_gate_ = std::move(gate); }
 
+  /// Wires in the request tracer (may be null — the default). Get/Stat
+  /// operations open "fs:*" spans that nest under the current request span.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// GET "/filesystem/dir/[token;]file". Applies the read gate.
   Result<GetResult> Get(const std::string& request_path) const;
 
   /// Like Get but takes a full URL and verifies the host matches.
   Result<GetResult> GetUrl(const std::string& url) const;
+
+  /// Stat through the active storage under the retry policy (no read gate:
+  /// metadata only). The web renderer sizes DATALINK cells with this.
+  Result<FileStat> StatFile(const std::string& path) const;
 
   /// PUT a regular file (used to archive results/codes where generated).
   Status Put(const std::string& path, std::string contents,
@@ -121,6 +133,7 @@ class FileServer {
   mutable std::atomic<uint64_t> retries_{0};
   mutable std::atomic<uint64_t> give_ups_{0};
   ReadGate read_gate_;
+  obs::Tracer* tracer_ = nullptr;
   std::map<std::string, EndpointHandler> endpoints_;
   uint64_t temp_counter_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace easia::jobs {
 
@@ -279,6 +280,8 @@ Result<ops::OperationResult> JobScheduler::Dispatch(
 }
 
 void JobScheduler::Execute(Job job) {
+  obs::Tracer::Scope span(tracer_, "job:execute");
+  span.set_note(job.spec.operation);
   // Worker-path journaling is count-and-continue: a failed append is
   // tallied in journal_errors_ (the Journal call itself) and surfaced on
   // /stats, while the job still runs — recovery re-runs anything whose
@@ -304,6 +307,7 @@ void JobScheduler::Execute(Job job) {
     }
     return;
   }
+  span.set_error();
   const Status& error = result.status();
   bool budget_left = job.attempts < job.spec.max_attempts;
   bool deadline_ok = job.deadline == 0 || now <= job.deadline;

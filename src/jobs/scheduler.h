@@ -17,6 +17,10 @@
 #include "ops/engine.h"
 #include "xuis/customize.h"
 
+namespace easia::obs {
+class Tracer;
+}  // namespace easia::obs
+
 namespace easia::jobs {
 
 /// Retry/backoff and worker tuning.
@@ -66,6 +70,11 @@ class JobScheduler {
   /// archive's lifetime. Call before `Start`. Returns the number of jobs
   /// re-enqueued.
   Result<size_t> Recover();
+
+  /// Wires in the request tracer (may be null — the default). Each job
+  /// execution opens a "job:execute" span; in deterministic mode it nests
+  /// under the caller's current span, in threaded mode it roots a trace.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Admits a job and journals the submission. Returns immediately with
   /// the accepted job (workers pick it up later).
@@ -121,6 +130,7 @@ class JobScheduler {
   const xuis::XuisRegistry* xuis_;
   const Clock* clock_;
   SchedulerOptions options_;
+  obs::Tracer* tracer_ = nullptr;
   io::Env* env_ = nullptr;
   JobQueue queue_;
 

@@ -39,7 +39,15 @@ class TokenManager {
   double default_ttl() const { return default_ttl_seconds_; }
   void set_default_ttl(double seconds) { default_ttl_seconds_ = seconds; }
 
-  /// Counters for the benchmark harness.
+  /// Counters for the benchmark harness and the metrics registry.
+  ///
+  /// Unlike the database counters (which a V2 snapshot carries across
+  /// checkpoint/restart), token counters are deliberately process-local:
+  /// the MED layer has no persistence of its own, tokens are short-lived
+  /// by design, and a restart invalidates nothing a scraper can act on.
+  /// They reset to zero with each TokenManager — documented, tested
+  /// (DbStatsRecoveryTest.TokenCountersResetByDesign) semantics, read as
+  /// a counter reset by Prometheus-style rate() consumers.
   uint64_t issued() const { return issued_.load(std::memory_order_relaxed); }
   uint64_t validated_ok() const {
     return validated_ok_.load(std::memory_order_relaxed);

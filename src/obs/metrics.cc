@@ -1,0 +1,386 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace easia::obs {
+
+namespace {
+
+/// Shared sinks returned on registration conflicts so instrumentation
+/// never has to null-check (the bad registration is visible in tests via
+/// the family's unchanged kind).
+Counter* SinkCounter() {
+  static Counter* sink = new Counter();
+  return sink;
+}
+Gauge* SinkGauge() {
+  static Gauge* sink = new Gauge();
+  return sink;
+}
+Histogram* SinkHistogram() {
+  static Histogram* sink = new Histogram({1.0});
+  return sink;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelp(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Labels SortedLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+Labels WithLe(const Labels& labels, const std::string& le) {
+  Labels out = labels;
+  out.emplace_back("le", le);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string FormatLabels(const Labels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += '"';
+  }
+  return out;
+}
+
+// --- Histogram -------------------------------------------------------------
+
+std::vector<double> Histogram::LatencyBounds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    // Degenerate bounds would silently skew quantiles; collapse to a
+    // defensible state instead of UB.
+    if (bounds_[i + 1] <= bounds_[i]) {
+      bounds_.resize(i + 1);
+      break;
+    }
+  }
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v (Prometheus `le` semantics:
+  // v <= bound); everything past the last bound lands in the +Inf
+  // overflow bucket.
+  size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target order statistic, 1-based.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    uint64_t before = cum;
+    cum += counts[i];
+    if (cum < rank) continue;
+    if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+    double hi = bounds_[i];
+    double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+    double frac = static_cast<double>(rank - before) /
+                  static_cast<double>(counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.back();
+}
+
+Status Histogram::MergeFrom(const Histogram& other) {
+  if (other.bounds_ != bounds_) {
+    return Status::InvalidArgument("histogram merge: bucket bounds differ");
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  double delta = other.sum();
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+bool MetricsRegistry::ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool MetricsRegistry::ValidLabelName(std::string_view name) {
+  if (name.empty() || name.substr(0, 2) == "__") return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+std::string MetricsRegistry::FormatValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return StrPrintf("%lld", static_cast<long long>(v));
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // 64 bytes always suffice for a double
+  return std::string(buf, ptr);
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetOrCreateFamily(
+    std::string_view name, std::string_view help, Kind kind) {
+  if (!ValidMetricName(name)) return nullptr;
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& family = it->second;
+  if (inserted) {
+    family.kind = kind;
+    family.help = std::string(help);
+  } else if (family.kind != kind) {
+    return nullptr;
+  }
+  return &family;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetOrCreateFamily(name, help, Kind::kCounter);
+  if (family == nullptr) return SinkCounter();
+  labels = SortedLabels(std::move(labels));
+  Child& child = family->children[FormatLabels(labels)];
+  if (child.counter == nullptr) {
+    child.labels = std::move(labels);
+    child.counter = std::make_unique<Counter>();
+  }
+  return child.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetOrCreateFamily(name, help, Kind::kGauge);
+  if (family == nullptr) return SinkGauge();
+  labels = SortedLabels(std::move(labels));
+  Child& child = family->children[FormatLabels(labels)];
+  if (child.gauge == nullptr) {
+    child.labels = std::move(labels);
+    child.gauge = std::make_unique<Gauge>();
+  }
+  return child.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> bounds,
+                                         Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetOrCreateFamily(name, help, Kind::kHistogram);
+  if (family == nullptr) return SinkHistogram();
+  if (family->bounds.empty()) family->bounds = bounds;
+  labels = SortedLabels(std::move(labels));
+  Child& child = family->children[FormatLabels(labels)];
+  if (child.histogram == nullptr) {
+    child.labels = std::move(labels);
+    // All children of one family share the family's bounds so their
+    // bucket lines line up in the exposition.
+    child.histogram = std::make_unique<Histogram>(family->bounds);
+  }
+  return child.histogram.get();
+}
+
+Status MetricsRegistry::RegisterCallback(std::string_view name,
+                                         std::string_view help,
+                                         CallbackKind kind, SampleFn fn) {
+  if (!ValidMetricName(name)) {
+    return Status::InvalidArgument("bad metric name: " + std::string(name));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  if (!inserted) {
+    return Status::AlreadyExists("metric family exists: " +
+                                 std::string(name));
+  }
+  Family& family = it->second;
+  family.kind = Kind::kCallback;
+  family.callback_kind = kind;
+  family.help = std::string(help);
+  family.fn = std::move(fn);
+  return Status::OK();
+}
+
+void MetricsRegistry::AppendFamily(const std::string& name,
+                                   const Family& family, std::string* out,
+                                   std::vector<MetricSample>* samples) const {
+  const char* type = "counter";
+  switch (family.kind) {
+    case Kind::kCounter: type = "counter"; break;
+    case Kind::kGauge: type = "gauge"; break;
+    case Kind::kHistogram: type = "histogram"; break;
+    case Kind::kCallback:
+      type = family.callback_kind == CallbackKind::kCounter ? "counter"
+                                                            : "gauge";
+      break;
+  }
+  if (out != nullptr) {
+    *out += "# HELP " + name + " " + EscapeHelp(family.help) + "\n";
+    *out += "# TYPE " + name + " " + type + "\n";
+  }
+  auto emit = [&](const std::string& sample_name, const Labels& labels,
+                  double value) {
+    if (out != nullptr) {
+      std::string rendered = FormatLabels(labels);
+      *out += sample_name;
+      if (!rendered.empty()) *out += "{" + rendered + "}";
+      *out += " " + FormatValue(value) + "\n";
+    }
+    if (samples != nullptr) samples->push_back({sample_name, labels, value});
+  };
+  if (family.kind == Kind::kCallback) {
+    if (!family.fn) return;
+    std::vector<std::pair<Labels, double>> pulled = family.fn();
+    for (auto& [labels, value] : pulled) {
+      emit(name, SortedLabels(std::move(labels)), value);
+    }
+    return;
+  }
+  for (const auto& [key, child] : family.children) {
+    switch (family.kind) {
+      case Kind::kCounter:
+        emit(name, child.labels, static_cast<double>(child.counter->value()));
+        break;
+      case Kind::kGauge:
+        emit(name, child.labels, child.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *child.histogram;
+        std::vector<uint64_t> counts = h.BucketCounts();
+        uint64_t cum = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cum += counts[i];
+          emit(name + "_bucket",
+               WithLe(child.labels, FormatValue(h.bounds()[i])),
+               static_cast<double>(cum));
+        }
+        cum += counts.back();
+        emit(name + "_bucket", WithLe(child.labels, "+Inf"),
+             static_cast<double>(cum));
+        emit(name + "_sum", child.labels, h.sum());
+        emit(name + "_count", child.labels,
+             static_cast<double>(h.count()));
+        break;
+      }
+      case Kind::kCallback:
+        break;
+    }
+  }
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    AppendFamily(name, family, &out, nullptr);
+  }
+  return out;
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> samples;
+  for (const auto& [name, family] : families_) {
+    AppendFamily(name, family, nullptr, &samples);
+  }
+  return samples;
+}
+
+}  // namespace easia::obs

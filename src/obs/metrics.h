@@ -1,0 +1,199 @@
+#ifndef EASIA_OBS_METRICS_H_
+#define EASIA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace easia::obs {
+
+/// Sorted (key, value) label pairs identifying one child of a metric
+/// family. Keys follow Prometheus rules ([a-zA-Z_][a-zA-Z0-9_]*); values
+/// are free text (escaped on render). Keep cardinality bounded: route
+/// names, table names, job states — never user ids, session ids or URLs
+/// (DESIGN.md §4g).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// A monotonically increasing 64-bit counter. Lock-free; handles returned
+/// by the registry stay valid for the registry's lifetime, so hot paths
+/// resolve them once and increment forever.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A settable instantaneous value (queue depths, cache bytes).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// A fixed-bucket latency/size histogram: per-bucket atomic counters plus
+/// a running sum and count. Buckets are defined by strictly increasing
+/// upper bounds; an implicit +Inf overflow bucket catches everything past
+/// the last bound. Recording is lock-free (one bucket increment, one count
+/// increment, one CAS-add on the sum); quantile extraction walks the
+/// bucket array and interpolates within the winning bucket.
+class Histogram {
+ public:
+  /// Canonical latency bounds in seconds (sub-millisecond to 10s).
+  static std::vector<double> LatencyBounds();
+  /// `factor`-spaced exponential bounds: start, start*factor, ...
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t count);
+
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; the final entry is the +Inf
+  /// overflow bucket, so the vector is bounds().size() + 1 long.
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// The value at quantile `q` in [0, 1], estimated by rank: the bucket
+  /// holding the ceil(q * count)-th observation is found and the estimate
+  /// interpolated linearly inside it, so the result is always within the
+  /// winning bucket (one bucket-width of the exact order statistic). The
+  /// overflow bucket reports its lower bound. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Adds `other`'s counts/sum into this histogram. Bucket bounds must be
+  /// identical; merge is associative and commutative, so shard-local
+  /// histograms can be combined in any order.
+  Status MergeFrom(const Histogram& other);
+
+ private:
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 buckets; the last is the +Inf overflow.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// One flattened sample as it appears in the text exposition (histograms
+/// expand into `_bucket`/`_sum`/`_count` samples).
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  double value = 0;
+};
+
+/// The archive-wide metric namespace: counter/gauge/histogram families
+/// addressed by (name, labels), plus pull-style callback families that
+/// sample existing component counters at collection time (so subsystems
+/// keep their own atomics as the single source of truth and the registry
+/// is the uniform exposition layer over them).
+///
+/// Registration takes one mutex; returned handles are stable pointers, so
+/// instrumentation on hot paths is a relaxed atomic op. Collection and
+/// rendering are deterministic: families sort by name, children by label
+/// signature, and values format via shortest-round-trip to_chars — the
+/// same counters always render to the same bytes (the /metrics golden
+/// test depends on this).
+class MetricsRegistry {
+ public:
+  enum class CallbackKind { kCounter, kGauge };
+  /// Returns (labels, value) samples for one family at collect time.
+  using SampleFn = std::function<std::vector<std::pair<Labels, double>>()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the (created-on-first-use) child for (name, labels). On a
+  /// kind conflict — the name already registered as a different type — a
+  /// process-wide sink object is returned so call sites never crash, and
+  /// the family is untouched; tests catch the mismatch via Collect().
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      Labels labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  Labels labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> bounds, Labels labels = {});
+
+  /// Registers a pull-style family sampled fresh on every Collect/Render.
+  /// Fails if the name is taken.
+  Status RegisterCallback(std::string_view name, std::string_view help,
+                          CallbackKind kind, SampleFn fn);
+
+  /// Prometheus text exposition (0.0.4): `# HELP`/`# TYPE` per family,
+  /// one sample line per child, deterministic byte-for-byte for equal
+  /// counter states.
+  std::string RenderPrometheusText() const;
+
+  /// Flattened samples in exactly the order the text exposition emits
+  /// them (the parser round-trip test compares against this).
+  std::vector<MetricSample> Collect() const;
+
+  static bool ValidMetricName(std::string_view name);
+  static bool ValidLabelName(std::string_view name);
+  /// Deterministic number formatting used by the exposition: integers
+  /// render without a decimal point, everything else shortest-round-trip.
+  static std::string FormatValue(double v);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallback };
+
+  struct Child {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    CallbackKind callback_kind = CallbackKind::kCounter;
+    std::string help;
+    std::vector<double> bounds;  // histogram families
+    /// Children keyed by their rendered label signature (sorted).
+    std::map<std::string, Child> children;
+    SampleFn fn;
+  };
+
+  Family* GetOrCreateFamily(std::string_view name, std::string_view help,
+                            Kind kind);
+  void AppendFamily(const std::string& name, const Family& family,
+                    std::string* out, std::vector<MetricSample>* samples)
+      const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// Renders one label set as it appears between braces, e.g.
+/// `route="/browse",code="200"` (empty labels render as an empty string).
+std::string FormatLabels(const Labels& labels);
+
+}  // namespace easia::obs
+
+#endif  // EASIA_OBS_METRICS_H_

@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include "common/string_util.h"
+
+namespace easia::obs {
+
+thread_local Tracer::Scope* Tracer::current_ = nullptr;
+
+Tracer::Tracer(Options options) : options_(options) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  if (options_.metrics != nullptr) {
+    spans_total_ = options_.metrics->GetCounter(
+        "easia_trace_spans_total", "Spans finished by the tracer");
+    spans_dropped_total_ = options_.metrics->GetCounter(
+        "easia_trace_spans_dropped_total",
+        "Finished spans evicted from the bounded ring");
+    slow_requests_total_ = options_.metrics->GetCounter(
+        "easia_trace_slow_spans_total",
+        "Spans at or past the slow-request threshold");
+  }
+}
+
+Tracer::Scope::Scope(Tracer* tracer, std::string_view name)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  tracer_->started_.fetch_add(1, std::memory_order_relaxed);
+  span_.name = std::string(name);
+  span_.start =
+      tracer_->options_.clock != nullptr ? tracer_->options_.clock->Now() : 0;
+  span_.span_id =
+      tracer_->next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  Scope* parent = current_;
+  if (parent != nullptr && parent->tracer_ == tracer_) {
+    span_.trace_id = parent->span_.trace_id;
+    span_.parent_span_id = parent->span_.span_id;
+  } else {
+    span_.trace_id =
+        tracer_->next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  restore_ = current_;
+  current_ = this;
+}
+
+Tracer::Scope::~Scope() {
+  if (tracer_ == nullptr) return;
+  current_ = restore_;
+  if (tracer_->options_.clock != nullptr) {
+    span_.duration = tracer_->options_.clock->Now() - span_.start;
+  }
+  tracer_->Finish(std::move(span_));
+}
+
+void Tracer::Finish(Span span) {
+  finished_.fetch_add(1, std::memory_order_relaxed);
+  if (spans_total_ != nullptr) spans_total_->Increment();
+  bool slow = options_.slow_threshold_seconds > 0 &&
+              span.duration >= options_.slow_threshold_seconds;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slow) {
+    slow_.fetch_add(1, std::memory_order_relaxed);
+    if (slow_requests_total_ != nullptr) slow_requests_total_->Increment();
+    std::string line = StrPrintf(
+        "slow span %s trace=%llu span=%llu duration=%.6fs%s%s%s",
+        span.name.c_str(), static_cast<unsigned long long>(span.trace_id),
+        static_cast<unsigned long long>(span.span_id), span.duration,
+        span.error ? " error" : "", span.note.empty() ? "" : " ",
+        span.note.c_str());
+    slow_log_.push_back(std::move(line));
+    while (slow_log_.size() > options_.slow_log_capacity &&
+           !slow_log_.empty()) {
+      slow_log_.pop_front();
+    }
+  }
+  ring_.push_back(std::move(span));
+  while (ring_.size() > options_.ring_capacity) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (spans_dropped_total_ != nullptr) spans_dropped_total_->Increment();
+  }
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Span>(ring_.begin(), ring_.end());
+}
+
+std::vector<std::string> Tracer::slow_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(slow_log_.begin(), slow_log_.end());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  slow_log_.clear();
+}
+
+}  // namespace easia::obs

@@ -1,0 +1,146 @@
+#ifndef EASIA_OBS_TRACE_H_
+#define EASIA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace easia::obs {
+
+/// One finished span: a named, timed section of work inside a request.
+/// Spans form trees — every span records the trace it belongs to and the
+/// span that enclosed it (0 for roots), so a request's full path through
+/// web → planner → cache → fileserver can be reconstructed from the ring.
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root
+  std::string name;             // "web:/browse", "planner:select", ...
+  std::string note;             // small free-text annotation (status, host)
+  double start = 0;             // clock seconds at open
+  double duration = 0;          // seconds between open and close
+  bool error = false;
+};
+
+/// Produces per-request span trees with automatic parent propagation.
+///
+/// Propagation is thread-local: opening a `Scope` makes it the current
+/// span for the calling thread, so any instrumented layer further down
+/// the call stack (the planner inside Database::Execute, the render cache
+/// lookup, a file-server stat during rendering) parents itself correctly
+/// without an explicit context parameter threading through every API.
+/// This matches the archive's execution model — one request is handled
+/// start-to-finish on one thread, whether that thread is the caller's or
+/// a HandleConcurrent / job-scheduler worker.
+///
+/// Finished spans land in a bounded ring (oldest dropped first, drops
+/// counted) and slow spans — duration at or past the configured
+/// threshold — additionally append a line to a bounded slow-request log.
+/// All timing comes from the injected Clock, so tests drive it with a
+/// ManualClock and every duration is deterministic.
+///
+/// Thread-safe. A null `Tracer*` at any instrumentation point produces
+/// inert scopes, so instrumented code runs untraced at (almost) zero
+/// cost when observability is not wired.
+class Tracer {
+ public:
+  struct Options {
+    /// Time source for span start/duration; null records zeros (spans
+    /// still nest and count, they just carry no timing).
+    const Clock* clock = nullptr;
+    /// Finished-span ring bound.
+    size_t ring_capacity = 2048;
+    /// Spans lasting at least this many seconds hit the slow-request
+    /// log; 0 disables the log.
+    double slow_threshold_seconds = 0;
+    size_t slow_log_capacity = 128;
+    /// Optional: self-metrics (spans started/finished/dropped, slow
+    /// requests) are registered here.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  Tracer() : Tracer(Options()) {}
+  explicit Tracer(Options options);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// RAII span. Opening parents under the thread's current scope (when
+  /// that scope belongs to the same tracer), closing restores it and
+  /// records the finished span.
+  class Scope {
+   public:
+    Scope(Tracer* tracer, std::string_view name);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    /// True when attached to a live tracer (false for the null-tracer
+    /// no-op form).
+    bool active() const { return tracer_ != nullptr; }
+    uint64_t trace_id() const { return span_.trace_id; }
+    uint64_t span_id() const { return span_.span_id; }
+    void set_error() { span_.error = true; }
+    void set_note(std::string note) { span_.note = std::move(note); }
+
+   private:
+    friend class Tracer;
+    Tracer* tracer_ = nullptr;
+    /// The scope that was current when this one opened (any tracer).
+    Scope* restore_ = nullptr;
+    Span span_;
+  };
+
+  /// Finished spans, oldest first (bounded by ring_capacity).
+  std::vector<Span> Snapshot() const;
+  /// Slow-request log lines, oldest first (bounded).
+  std::vector<std::string> slow_log() const;
+
+  uint64_t started() const { return started_.load(); }
+  uint64_t finished() const { return finished_.load(); }
+  uint64_t dropped() const { return dropped_.load(); }
+  uint64_t slow_count() const { return slow_.load(); }
+
+  /// Drops buffered spans and slow-log lines (counters are kept).
+  void Clear();
+
+  const Clock* clock() const { return options_.clock; }
+  double slow_threshold_seconds() const {
+    return options_.slow_threshold_seconds;
+  }
+
+ private:
+  void Finish(Span span);
+
+  /// The innermost open scope on this thread (across all tracers; a new
+  /// scope only parents under it when the tracer matches).
+  static thread_local Scope* current_;
+
+  Options options_;
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> started_{0};
+  std::atomic<uint64_t> finished_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> slow_{0};
+
+  mutable std::mutex mu_;
+  std::deque<Span> ring_;
+  std::deque<std::string> slow_log_;
+
+  Counter* spans_total_ = nullptr;
+  Counter* spans_dropped_total_ = nullptr;
+  Counter* slow_requests_total_ = nullptr;
+};
+
+}  // namespace easia::obs
+
+#endif  // EASIA_OBS_TRACE_H_

@@ -102,6 +102,7 @@ CrashReport RunWalCrashCase(const WalCrashOptions& options) {
 
   std::vector<std::string> acked;
   std::string inflight;
+  db::DatabaseStats pre_crash_stats;
   {
     db::Database db("CRASH", db_opts);
     Status recover = db.Recover();
@@ -125,6 +126,7 @@ CrashReport RunWalCrashCase(const WalCrashOptions& options) {
           std::string(result.status().message()));
       return report;
     }
+    pre_crash_stats = db.stats();
   }
   report.acked = acked.size();
   report.wal_bytes = env.bytes_appended();
@@ -141,6 +143,54 @@ CrashReport RunWalCrashCase(const WalCrashOptions& options) {
     return report;
   }
   std::string got = DumpDatabase(recovered, &report.recovered_items);
+
+  // Metrics-vs-recovery invariants: the counters /metrics exposes must be
+  // consistent with the recovered data. Every acknowledged statement was
+  // one committed implicit transaction, so WAL replay must reproduce at
+  // least that many commits (at most one more: the in-flight statement's
+  // commit record may have become durable just before the crash), and the
+  // replayed insert counter can never undercount the rows that survived.
+  db::DatabaseStats rstats = recovered.stats();
+  if (rstats.txn_commits < acked.size() ||
+      rstats.txn_commits > acked.size() + 1) {
+    report.violations.push_back(
+        "replayed txn_commits " + std::to_string(rstats.txn_commits) +
+        " inconsistent with " + std::to_string(acked.size()) +
+        " acked statements");
+  }
+  if (rstats.rows_inserted < report.recovered_items) {
+    report.violations.push_back(
+        "replayed rows_inserted " + std::to_string(rstats.rows_inserted) +
+        " undercounts " + std::to_string(report.recovered_items) +
+        " recovered rows");
+  }
+  if (rstats.txn_commits < pre_crash_stats.txn_commits) {
+    report.violations.push_back("txn_commits went backwards across recovery");
+  }
+  // Snapshot round-trip: serialising the recovered database and loading it
+  // into a fresh one must carry both the rows and the cumulative counters
+  // (the checkpoint/restart path of the same monotonicity contract).
+  db::Database restored("CRASH-SNAP");
+  Status snap = restored.LoadSnapshotFromString(recovered.SerializeSnapshot());
+  if (!snap.ok()) {
+    report.violations.push_back("snapshot round-trip failed: " +
+                                std::string(snap.message()));
+  } else {
+    if (DumpDatabase(restored, nullptr) != got) {
+      report.violations.push_back("snapshot round-trip changed the data");
+    }
+    db::DatabaseStats sstats = restored.stats();
+    if (sstats.statements != rstats.statements ||
+        sstats.queries != rstats.queries ||
+        sstats.rows_inserted != rstats.rows_inserted ||
+        sstats.rows_updated != rstats.rows_updated ||
+        sstats.rows_deleted != rstats.rows_deleted ||
+        sstats.txn_commits != rstats.txn_commits ||
+        sstats.txn_aborts != rstats.txn_aborts) {
+      report.violations.push_back(
+          "snapshot round-trip lost cumulative counters");
+    }
+  }
 
   // Differential check: the recovered image must equal the shadow replay
   // of exactly the acknowledged statements — or of acked + the in-flight

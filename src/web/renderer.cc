@@ -39,7 +39,7 @@ std::string DatalinkSizeText(const RenderContext& ctx,
   if (!parsed.ok()) return "";
   Result<fs::FileServer*> server = ctx.fleet->GetServer(parsed->host);
   if (!server.ok()) return "";
-  Result<fs::FileStat> stat = (*server)->vfs().Stat(parsed->path);
+  Result<fs::FileStat> stat = (*server)->StatFile(parsed->path);
   if (!stat.ok()) return "";
   return " (" + HumanBytes(stat->size) + ")";
 }

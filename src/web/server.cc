@@ -19,7 +19,41 @@ std::string ParamOr(const fs::HttpParams& params, const std::string& key,
   return it == params.end() ? fallback : it->second;
 }
 
+/// Every route label the server emits. Request paths outside this set are
+/// collapsed to "other" so a scanner probing random URLs cannot grow the
+/// metric cardinality.
+constexpr const char* kRoutes[] = {
+    "/login",       "/logout",      "/tables",    "/query",
+    "/search",      "/browse",      "/object",    "/object/put",
+    "/opform",      "/runop",       "/runchain",  "/upload",
+    "/jobs/submit", "/jobs/status", "/jobs/list", "/jobs/cancel",
+    "/xuis",        "/stats",       "/metrics",   "/users",
+    "other"};
+
+constexpr const char kHttpRequestsHelp[] =
+    "HTTP requests served, by route and status code";
+constexpr const char kHttpLatencyHelp[] =
+    "HTTP request latency in seconds, by route";
+
 }  // namespace
+
+ArchiveWebServer::ArchiveWebServer(Deps deps) : deps_(deps) {
+  for (const char* route : kRoutes) {
+    RouteMetrics rm;
+    rm.web_span = std::string("web:") + route;
+    rm.cache_span = std::string("cache:") + route;
+    if (deps_.metrics != nullptr) {
+      rm.requests_ok =
+          deps_.metrics->GetCounter("easia_http_requests_total",
+                                    kHttpRequestsHelp,
+                                    {{"code", "200"}, {"route", route}});
+      rm.latency = deps_.metrics->GetHistogram(
+          "easia_http_request_seconds", kHttpLatencyHelp,
+          obs::Histogram::LatencyBounds(), {{"route", route}});
+    }
+    route_metrics_.emplace(route, std::move(rm));
+  }
+}
 
 HttpResponse ArchiveWebServer::Error(int status, const std::string& message) {
   HttpResponse resp;
@@ -29,9 +63,54 @@ HttpResponse ArchiveWebServer::Error(int status, const std::string& message) {
   return resp;
 }
 
+const ArchiveWebServer::RouteMetrics& ArchiveWebServer::RouteEntry(
+    const std::string& path, std::string* route) const {
+  *route = path == "/"                  ? "/tables"
+           : StartsWith(path, "/users") ? "/users"
+                                        : path;
+  auto it = route_metrics_.find(*route);
+  if (it == route_metrics_.end()) {
+    *route = "other";
+    it = route_metrics_.find(*route);
+  }
+  return it->second;
+}
+
 HttpResponse ArchiveWebServer::Handle(const HttpRequest& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string route;
+  const RouteMetrics& rm = RouteEntry(request.path, &route);
+  obs::Tracer::Scope span(deps_.tracer, rm.web_span);
+  const Clock* clock =
+      deps_.tracer != nullptr ? deps_.tracer->clock() : nullptr;
+  double start = clock != nullptr ? clock->Now() : 0;
+  HttpResponse resp = Dispatch(request);
+  if (resp.status != 200) {
+    span.set_error();
+    span.set_note(StrPrintf("status %d", resp.status));
+  }
+  if (deps_.metrics != nullptr) {
+    if (resp.status == 200) {
+      rm.requests_ok->Increment();
+    } else {
+      // Non-200 codes are rare; the registry lookup off the hot path
+      // keeps per-route-per-code children sparse.
+      deps_.metrics
+          ->GetCounter("easia_http_requests_total", kHttpRequestsHelp,
+                       {{"code", StrPrintf("%d", resp.status)},
+                        {"route", route}})
+          ->Increment();
+    }
+    if (clock != nullptr) {
+      rm.latency->Observe(clock->Now() - start);
+    }
+  }
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::Dispatch(const HttpRequest& request) {
   if (request.path == "/login") return HandleLogin(request);
+  if (request.path == "/metrics") return HandleMetrics();
   Session session;
   HttpResponse gate = RequireSession(request, &session);
   if (!gate.ok()) return gate;
@@ -106,6 +185,9 @@ HttpResponse ArchiveWebServer::CachedRender(const Session& session,
                                             const std::string& params,
                                             RenderFn&& render) {
   if (deps_.cache == nullptr) return render();
+  std::string route_label;
+  const RouteMetrics& rm = RouteEntry(route, &route_label);
+  obs::Tracer::Scope span(deps_.tracer, rm.cache_span);
   RenderCache::Key key;
   key.visibility = CacheVisibility(session, per_user);
   key.route = route;
@@ -118,11 +200,13 @@ HttpResponse ArchiveWebServer::CachedRender(const Session& session,
   uint64_t revision = deps_.xuis->revision();
   if (std::optional<CachedPage> page =
           deps_.cache->Get(key, epoch, revision)) {
+    span.set_note("hit");
     HttpResponse resp;
     resp.content_type = std::move(page->content_type);
     resp.body = std::move(page->body);
     return resp;
   }
+  span.set_note("miss");
   HttpResponse resp = render();
   if (resp.status == 200) {
     CachedPage page;
@@ -879,9 +963,33 @@ HttpResponse ArchiveWebServer::HandleStats(const Session& session) {
                         static_cast<unsigned long long>(fs_retries),
                         static_cast<unsigned long long>(fs_give_ups)));
   }
+  if (deps_.metrics != nullptr) {
+    w.Element("h2", "Metrics");
+    w.Open("table", {{"border", "1"}});
+    w.Open("tr");
+    for (const char* h : {"metric", "value"}) w.Element("th", h);
+    w.Close();
+    for (const obs::MetricSample& sample : deps_.metrics->Collect()) {
+      w.Open("tr");
+      w.Element("td", sample.name + obs::FormatLabels(sample.labels));
+      w.Element("td", obs::MetricsRegistry::FormatValue(sample.value));
+      w.Close();
+    }
+    w.Close();
+  }
   w.Raw(PageFooter());
   HttpResponse resp;
   resp.body = w.Finish();
+  return resp;
+}
+
+HttpResponse ArchiveWebServer::HandleMetrics() {
+  if (deps_.metrics == nullptr) {
+    return Error(503, "metrics registry not wired");
+  }
+  HttpResponse resp;
+  resp.content_type = "text/plain; version=0.0.4";
+  resp.body = deps_.metrics->RenderPrometheusText();
   return resp;
 }
 

@@ -2,6 +2,7 @@
 #define EASIA_WEB_SERVER_H_
 
 #include <atomic>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "db/database.h"
 #include "fileserver/file_server.h"
 #include "jobs/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/engine.h"
 #include "web/cache.h"
 #include "web/qbe.h"
@@ -76,6 +79,16 @@ class ArchiveWebServer {
     /// Optional: caches rendered /tables, /query, /browse and /xuis pages,
     /// invalidated by the database commit epoch + XUIS revision.
     RenderCache* cache = nullptr;
+    /// Optional: enables the /metrics route, per-route request counters
+    /// and latency histograms, and the metrics table on /stats. Must be
+    /// wired at construction (per-route handles are resolved once, in the
+    /// constructor, so the request hot path never takes the registry
+    /// lock for a 200 response).
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Optional: every request opens a "web:<route>" root span; cache
+    /// lookups, planner execution, file-server I/O and job execution nest
+    /// under it. Also the clock source for request latency.
+    obs::Tracer* tracer = nullptr;
   };
 
   /// Worker-pool dispatch tuning for HandleConcurrent.
@@ -88,7 +101,7 @@ class ArchiveWebServer {
     double simulated_client_latency_seconds = 0;
   };
 
-  explicit ArchiveWebServer(Deps deps) : deps_(deps) {}
+  explicit ArchiveWebServer(Deps deps);
 
   HttpResponse Handle(const HttpRequest& request);
 
@@ -110,6 +123,25 @@ class ArchiveWebServer {
   }
 
  private:
+  /// Pre-resolved per-route instrumentation: counter/histogram handles and
+  /// span-name strings, built once in the constructor so Handle adds no
+  /// registry lookups or string concatenation on the 200 path. Unknown
+  /// paths collapse onto the "other" entry to bound label cardinality.
+  struct RouteMetrics {
+    std::string web_span;    // "web:/browse"
+    std::string cache_span;  // "cache:/browse"
+    obs::Counter* requests_ok = nullptr;  // easia_http_requests_total 200
+    obs::Histogram* latency = nullptr;    // easia_http_request_seconds
+  };
+
+  /// Maps a request path onto its bounded route label and instrumentation
+  /// entry ("/" -> "/tables", "/users/*" -> "/users", unknown -> "other").
+  const RouteMetrics& RouteEntry(const std::string& path,
+                                 std::string* route) const;
+
+  /// The un-instrumented router (the old Handle body).
+  HttpResponse Dispatch(const HttpRequest& request);
+
   HttpResponse RequireSession(const HttpRequest& request, Session* session);
   HttpResponse HandleLogin(const HttpRequest& request);
   HttpResponse HandleTables(const Session& session);
@@ -142,6 +174,7 @@ class ArchiveWebServer {
                                const Session& session);
   HttpResponse HandleXuis(const Session& session);
   HttpResponse HandleStats(const Session& session);
+  HttpResponse HandleMetrics();
 
   /// Cache key visibility class for a session: per-user when the user has
   /// a personal XUIS spec or the route embeds per-user DATALINK tokens,
@@ -166,6 +199,8 @@ class ArchiveWebServer {
   static HttpResponse Error(int status, const std::string& message);
 
   Deps deps_;
+  /// Immutable after construction; concurrent Handle calls read freely.
+  std::map<std::string, RouteMetrics> route_metrics_;
   std::atomic<uint64_t> requests_{0};
 };
 

@@ -1,0 +1,182 @@
+// Regression tests for cumulative-counter recovery: /metrics counter
+// families must never go backwards across checkpoint/restart, snapshot
+// round-trips or WAL replay. V2 snapshots carry DatabaseStats; V1
+// snapshots still load (counters start at zero); TokenManager counters
+// are documented process-local and reset by design.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/coding.h"
+#include "db/database.h"
+#include "med/token.h"
+
+namespace easia::db {
+namespace {
+
+class DbStatsRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("easia_stats_recovery_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  DatabaseOptions Options() {
+    DatabaseOptions opts;
+    opts.wal_path = (dir_ / "wal.log").string();
+    opts.snapshot_path = (dir_ / "snapshot.db").string();
+    return opts;
+  }
+
+  void RunWorkload(Database* db) {
+    ASSERT_TRUE(db->Execute("CREATE TABLE T (ID INTEGER PRIMARY KEY, "
+                            "NAME VARCHAR(32))")
+                    .ok());
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE(db->Execute("INSERT INTO T VALUES (" + std::to_string(i) +
+                              ", 'row" + std::to_string(i) + "')")
+                      .ok());
+    }
+    ASSERT_TRUE(
+        db->Execute("UPDATE T SET NAME = 'changed' WHERE ID = 2").ok());
+    ASSERT_TRUE(db->Execute("DELETE FROM T WHERE ID = 5").ok());
+    ASSERT_TRUE(db->Execute("SELECT * FROM T").ok());
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DbStatsRecoveryTest, CountersSurviveCheckpointAndRestart) {
+  DatabaseStats before;
+  {
+    Database db("STATS", Options());
+    ASSERT_TRUE(db.Recover().ok());
+    RunWorkload(&db);
+    ASSERT_TRUE(db.Checkpoint().ok());
+    before = db.stats();
+  }
+  EXPECT_EQ(before.rows_inserted, 5u);
+  EXPECT_EQ(before.rows_updated, 1u);
+  EXPECT_EQ(before.rows_deleted, 1u);
+
+  Database restarted("STATS", Options());
+  ASSERT_TRUE(restarted.Recover().ok());
+  DatabaseStats after = restarted.stats();
+  // The checkpoint snapshot carried every counter; nothing resets.
+  EXPECT_EQ(after.statements, before.statements);
+  EXPECT_EQ(after.queries, before.queries);
+  EXPECT_EQ(after.rows_inserted, before.rows_inserted);
+  EXPECT_EQ(after.rows_updated, before.rows_updated);
+  EXPECT_EQ(after.rows_deleted, before.rows_deleted);
+  EXPECT_EQ(after.txn_commits, before.txn_commits);
+  EXPECT_EQ(after.txn_aborts, before.txn_aborts);
+}
+
+TEST_F(DbStatsRecoveryTest, WalReplayAdvancesCountersPastCheckpoint) {
+  DatabaseStats at_crash;
+  {
+    Database db("STATS", Options());
+    ASSERT_TRUE(db.Recover().ok());
+    RunWorkload(&db);
+    ASSERT_TRUE(db.Checkpoint().ok());
+    // Post-checkpoint work lives only in the WAL.
+    ASSERT_TRUE(db.Execute("INSERT INTO T VALUES (10, 'late')").ok());
+    ASSERT_TRUE(db.Execute("DELETE FROM T WHERE ID = 1").ok());
+    at_crash = db.stats();
+  }  // "crash": no second checkpoint
+
+  Database recovered("STATS", Options());
+  ASSERT_TRUE(recovered.Recover().ok());
+  DatabaseStats after = recovered.stats();
+  // Replayed DML counts like live DML: the row counters and commit count
+  // match the pre-crash values exactly, so a /metrics scrape after
+  // recovery never reads lower than one before the crash.
+  EXPECT_EQ(after.rows_inserted, at_crash.rows_inserted);
+  EXPECT_EQ(after.rows_updated, at_crash.rows_updated);
+  EXPECT_EQ(after.rows_deleted, at_crash.rows_deleted);
+  EXPECT_EQ(after.txn_commits, at_crash.txn_commits);
+  // Statement/query counters are snapshot-carried but not WAL-replayed
+  // (reads never hit the log); they restart from the checkpoint value.
+  EXPECT_GE(at_crash.statements, after.statements);
+  EXPECT_GE(after.statements, 8u);  // the pre-checkpoint workload
+}
+
+TEST_F(DbStatsRecoveryTest, SnapshotRoundTripIsMonotonic) {
+  Database db("STATS");
+  RunWorkload(&db);
+  DatabaseStats before = db.stats();
+  std::string image = db.SerializeSnapshot();
+
+  // Into a fresh database: counters restore exactly.
+  Database fresh("COPY");
+  ASSERT_TRUE(fresh.LoadSnapshotFromString(image).ok());
+  DatabaseStats copy = fresh.stats();
+  EXPECT_EQ(copy.rows_inserted, before.rows_inserted);
+  EXPECT_EQ(copy.txn_commits, before.txn_commits);
+
+  // Back into the live database after more work (the backup-restore
+  // path): max(current, persisted) keeps every counter monotonic even
+  // though the data rolls back.
+  ASSERT_TRUE(db.Execute("INSERT INTO T VALUES (20, 'post-backup')").ok());
+  DatabaseStats advanced = db.stats();
+  ASSERT_TRUE(db.LoadSnapshotFromString(image).ok());
+  DatabaseStats restored = db.stats();
+  EXPECT_GE(restored.rows_inserted, advanced.rows_inserted);
+  EXPECT_GE(restored.txn_commits, advanced.txn_commits);
+  EXPECT_GE(restored.statements, advanced.statements);
+  // The data itself did roll back (the restore is about state, the
+  // counters are about history).
+  auto rows = db.Execute("SELECT * FROM T WHERE ID = 20");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->rows.empty());
+}
+
+TEST_F(DbStatsRecoveryTest, V1SnapshotsStillLoad) {
+  Database db("STATS");
+  RunWorkload(&db);
+  std::string v2 = db.SerializeSnapshot();
+  ASSERT_EQ(v2.substr(0, 10), "EASIASNAP2");
+
+  // Reconstruct the V1 layout: old magic, no stats block, re-CRC'd body.
+  // (Stats are the first 7*8 bytes of the V2 body; the CRC is the last 4.)
+  std::string body = v2.substr(10 + 7 * 8, v2.size() - 10 - 7 * 8 - 4);
+  std::string v1 = "EASIASNAP1" + body;
+  uint32_t crc = Crc32(body);
+  for (int shift = 0; shift < 32; shift += 8) {
+    v1 += static_cast<char>((crc >> shift) & 0xff);
+  }
+
+  Database old("OLD");
+  ASSERT_TRUE(old.LoadSnapshotFromString(v1).ok());
+  DatabaseStats stats = old.stats();
+  // V1 carried no counters: documented reset-to-zero semantics.
+  EXPECT_EQ(stats.rows_inserted, 0u);
+  EXPECT_EQ(stats.txn_commits, 0u);
+  auto rows = old.Execute("SELECT * FROM T");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 4u);
+}
+
+TEST_F(DbStatsRecoveryTest, TokenCountersResetByDesign) {
+  // TokenManager counters are process-local (see med/token.h): the MED
+  // layer persists nothing, so a restart starts them from zero. This test
+  // pins that documented behaviour — if persistence is ever added, it
+  // must update the docs and this expectation together.
+  med::TokenManager first("secret");
+  (void)first.Issue("/d/file.tbf", 100.0);
+  (void)first.Issue("/d/file.tbf", 101.0);
+  EXPECT_EQ(first.issued(), 2u);
+
+  med::TokenManager restarted("secret");
+  EXPECT_EQ(restarted.issued(), 0u);
+  EXPECT_EQ(restarted.validated_ok(), 0u);
+  EXPECT_EQ(restarted.rejected(), 0u);
+}
+
+}  // namespace
+}  // namespace easia::db

@@ -1,0 +1,242 @@
+// Property tests for the fixed-bucket histogram: quantile monotonicity,
+// sum/count conservation, merge associativity, agreement with a
+// sorted-vector oracle, and race-free concurrent recording (the latter is
+// what the `tsan` label buys). Randomised rounds are seeded and scale with
+// EASIA_FUZZ_ITERS for soak runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/metrics.h"
+
+namespace easia::obs {
+namespace {
+
+size_t FuzzRounds(size_t base) {
+  const char* env = std::getenv("EASIA_FUZZ_ITERS");
+  if (env == nullptr) return base;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : base;
+}
+
+/// Draws an observation spread across the interesting range of `bounds`:
+/// mostly inside the bucketed range, occasionally zero or past the last
+/// bound (the +Inf overflow bucket).
+double DrawValue(Random* rng, const std::vector<double>& bounds,
+                 bool allow_overflow) {
+  uint64_t pick = rng->Uniform(20);
+  if (pick == 0) return 0;
+  double top = bounds.back();
+  if (allow_overflow && pick == 1) {
+    return top * (1.0 + static_cast<double>(rng->Uniform(1000)) / 100.0);
+  }
+  // Log-uniform across the bounds so small buckets get traffic too.
+  double lo = bounds.front() / 4;
+  double u = static_cast<double>(rng->Uniform(1u << 20)) /
+             static_cast<double>(1u << 20);
+  return lo * std::pow(top / lo, u);
+}
+
+/// The exact order statistic the histogram estimates: the ceil(q*n)-th
+/// smallest observation (matching Histogram::Quantile's rank definition).
+double OracleQuantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+/// Index of the bucket `v` lands in (le semantics; bounds.size() = +Inf).
+size_t BucketIndex(const std::vector<double>& bounds, double v) {
+  return static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+TEST(ObsHistogramTest, QuantilesMonotonicAcrossRandomWorkloads) {
+  size_t rounds = FuzzRounds(50);
+  std::vector<double> bounds = Histogram::LatencyBounds();
+  for (size_t round = 0; round < rounds; ++round) {
+    Random rng(4242 + round);
+    Histogram h(bounds);
+    size_t n = 1 + rng.Uniform(500);
+    for (size_t i = 0; i < n; ++i) {
+      h.Observe(DrawValue(&rng, bounds, /*allow_overflow=*/true));
+    }
+    double prev = 0;
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+      double cur = h.Quantile(q);
+      EXPECT_GE(cur, prev) << "q=" << q << " round=" << round;
+      prev = cur;
+    }
+  }
+}
+
+TEST(ObsHistogramTest, SumAndCountConserved) {
+  size_t rounds = FuzzRounds(50);
+  std::vector<double> bounds = Histogram::ExponentialBounds(0.001, 2.0, 12);
+  for (size_t round = 0; round < rounds; ++round) {
+    Random rng(7700 + round);
+    Histogram h(bounds);
+    double expected_sum = 0;
+    size_t n = rng.Uniform(400);
+    for (size_t i = 0; i < n; ++i) {
+      double v = DrawValue(&rng, bounds, true);
+      expected_sum += v;
+      h.Observe(v);
+    }
+    EXPECT_EQ(h.count(), n);
+    EXPECT_NEAR(h.sum(), expected_sum, 1e-9 * (1 + std::abs(expected_sum)));
+    // Bucket counts partition the observations exactly.
+    std::vector<uint64_t> buckets = h.BucketCounts();
+    ASSERT_EQ(buckets.size(), bounds.size() + 1);
+    uint64_t total = 0;
+    for (uint64_t b : buckets) total += b;
+    EXPECT_EQ(total, n);
+  }
+}
+
+TEST(ObsHistogramTest, MergeIsAssociativeAndCommutative) {
+  size_t rounds = FuzzRounds(30);
+  std::vector<double> bounds = Histogram::LatencyBounds();
+  for (size_t round = 0; round < rounds; ++round) {
+    Random rng(31337 + round);
+    Histogram a(bounds), b(bounds), c(bounds);
+    Histogram left(bounds), right(bounds), swapped(bounds);
+    for (Histogram* h : {&a, &b, &c}) {
+      size_t n = rng.Uniform(200);
+      for (size_t i = 0; i < n; ++i) {
+        h->Observe(DrawValue(&rng, bounds, true));
+      }
+    }
+    // left = (a + b) + c; right = a + (b + c); swapped = c + b + a.
+    ASSERT_TRUE(left.MergeFrom(a).ok());
+    ASSERT_TRUE(left.MergeFrom(b).ok());
+    ASSERT_TRUE(left.MergeFrom(c).ok());
+    Histogram bc(bounds);
+    ASSERT_TRUE(bc.MergeFrom(b).ok());
+    ASSERT_TRUE(bc.MergeFrom(c).ok());
+    ASSERT_TRUE(right.MergeFrom(a).ok());
+    ASSERT_TRUE(right.MergeFrom(bc).ok());
+    ASSERT_TRUE(swapped.MergeFrom(c).ok());
+    ASSERT_TRUE(swapped.MergeFrom(b).ok());
+    ASSERT_TRUE(swapped.MergeFrom(a).ok());
+    EXPECT_EQ(left.BucketCounts(), right.BucketCounts());
+    EXPECT_EQ(left.BucketCounts(), swapped.BucketCounts());
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_NEAR(left.sum(), right.sum(), 1e-9 * (1 + std::abs(left.sum())));
+    EXPECT_NEAR(left.sum(), swapped.sum(),
+                1e-9 * (1 + std::abs(left.sum())));
+  }
+}
+
+TEST(ObsHistogramTest, MergeRejectsMismatchedBounds) {
+  Histogram a(Histogram::LatencyBounds());
+  Histogram b(Histogram::ExponentialBounds(1.0, 2.0, 4));
+  EXPECT_FALSE(a.MergeFrom(b).ok());
+}
+
+TEST(ObsHistogramTest, QuantileAgreesWithSortedOracleWithinOneBucket) {
+  size_t rounds = FuzzRounds(50);
+  std::vector<double> bounds = Histogram::LatencyBounds();
+  for (size_t round = 0; round < rounds; ++round) {
+    Random rng(90210 + round);
+    Histogram h(bounds);
+    std::vector<double> observed;
+    size_t n = 1 + rng.Uniform(300);
+    for (size_t i = 0; i < n; ++i) {
+      // Stay inside the bucketed range: the overflow bucket has no upper
+      // bound, so no finite estimate can promise oracle agreement there.
+      double v = DrawValue(&rng, bounds, /*allow_overflow=*/false);
+      if (v > bounds.back()) v = bounds.back();
+      observed.push_back(v);
+      h.Observe(v);
+    }
+    std::sort(observed.begin(), observed.end());
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+      double oracle = OracleQuantile(observed, q);
+      double estimate = h.Quantile(q);
+      // Both the estimate and the exact order statistic live in the same
+      // bucket (same rank definition), so they differ by at most that
+      // bucket's width.
+      size_t bucket = BucketIndex(bounds, oracle);
+      ASSERT_LT(bucket, bounds.size());
+      double lo = bucket == 0 ? 0.0 : bounds[bucket - 1];
+      double width = bounds[bucket] - lo;
+      EXPECT_LE(std::abs(estimate - oracle), width + 1e-12)
+          << "q=" << q << " round=" << round << " oracle=" << oracle
+          << " estimate=" << estimate;
+    }
+  }
+}
+
+TEST(ObsHistogramTest, OverflowBucketReportsLastBound) {
+  std::vector<double> bounds = {1.0, 2.0, 4.0};
+  Histogram h(bounds);
+  for (int i = 0; i < 10; ++i) h.Observe(100.0);
+  EXPECT_EQ(h.Quantile(0.5), 4.0);
+  EXPECT_EQ(h.BucketCounts().back(), 10u);
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordingLosesNothing) {
+  // Race-freedom regression (run under `ctest -L tsan` in the sanitizer
+  // build): hammer one histogram from several threads, then check the
+  // conservation properties that any dropped or torn update would break.
+  std::vector<double> bounds = Histogram::LatencyBounds();
+  Histogram h(bounds);
+  constexpr int kThreads = 4;
+  const size_t per_thread = FuzzRounds(50) * 40;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::vector<double> expected_sums(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(555 + static_cast<uint64_t>(t));
+      double local = 0;
+      for (size_t i = 0; i < per_thread; ++i) {
+        double v = DrawValue(&rng, bounds, true);
+        local += v;
+        h.Observe(v);
+      }
+      expected_sums[static_cast<size_t>(t)] = local;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double expected_sum = 0;
+  for (double s : expected_sums) expected_sum += s;
+  EXPECT_EQ(h.count(), per_thread * kThreads);
+  EXPECT_NEAR(h.sum(), expected_sum, 1e-6 * (1 + std::abs(expected_sum)));
+  std::vector<uint64_t> buckets = h.BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  EXPECT_EQ(total, per_thread * kThreads);
+}
+
+TEST(ObsHistogramTest, ConcurrentCountersAndGauges) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("easia_test_total", "test");
+  Gauge* gauge = registry.GetGauge("easia_test_gauge", "test");
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPer = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kPer; ++i) {
+        counter->Increment();
+        gauge->Add(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(), kPer * kThreads);
+  EXPECT_EQ(gauge->value(), static_cast<double>(kPer * kThreads));
+}
+
+}  // namespace
+}  // namespace easia::obs

@@ -1,0 +1,322 @@
+// The /metrics golden test: a scripted workload on an in-memory archive
+// under its ManualClock renders the Prometheus text exposition, which must
+// match the checked-in golden byte-for-byte (set EASIA_UPDATE_GOLDEN=1 to
+// regenerate after an intentional change). A parser round-trip checks the
+// text against MetricsRegistry::Collect(), a second identical archive
+// checks run-to-run determinism, and registry unit tests pin the naming,
+// escaping and conflict rules the exposition relies on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "obs/metrics.h"
+#include "xuis/customize.h"
+
+#ifndef EASIA_SOURCE_DIR
+#error "EASIA_SOURCE_DIR must be defined (see tests/CMakeLists.txt)"
+#endif
+
+namespace easia {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(EASIA_SOURCE_DIR) + "/tests/goldens/obs_metrics.txt";
+}
+
+struct ScriptedArchive {
+  std::unique_ptr<core::Archive> archive;
+  std::string session;
+};
+
+/// Builds an archive and replays the fixed workload the golden captures:
+/// cached + uncached page renders, a query, a batch job, and a 404.
+ScriptedArchive RunScriptedWorkload() {
+  ScriptedArchive out;
+  core::Archive::Options options;
+  out.archive = std::make_unique<core::Archive>(options);
+  core::Archive* archive = out.archive.get();
+  archive->AddFileServer("fs1", 8.0);
+  EXPECT_TRUE(core::CreateTurbulenceSchema(archive).ok());
+  core::SeedOptions seed;
+  seed.hosts = {"fs1"};
+  seed.simulations = 1;
+  seed.timesteps_per_simulation = 2;
+  seed.grid_n = 8;
+  auto seeded = core::SeedTurbulenceData(archive, seed);
+  EXPECT_TRUE(seeded.ok());
+  EXPECT_TRUE(archive->InitializeXuis().ok());
+  EXPECT_TRUE(core::AttachNativeOperations(archive).ok());
+  EXPECT_TRUE(archive->AddUser("alice", "pw", web::UserRole::kAuthorised).ok());
+  out.session = *archive->Login("alice", "pw");
+
+  const std::string& session = out.session;
+  EXPECT_EQ(archive->Get(session, "/tables").status, 200);
+  EXPECT_EQ(archive->Get(session, "/tables").status, 200);  // cache hit
+  EXPECT_EQ(archive
+                ->Get(session, "/browse",
+                      {{"table", "RESULT_FILE"},
+                       {"column", "SIMULATION_KEY"},
+                       {"value", (*seeded)[0].simulation_key}})
+                .status,
+            200);
+  EXPECT_EQ(archive
+                ->Get(session, "/search", {{"table", "SIMULATION"},
+                                           {"all", "1"}})
+                .status,
+            200);
+  auto submit = archive->Get(session, "/jobs/submit",
+                             {{"op", "FieldStats"},
+                              {"dataset", (*seeded)[0].dataset_urls[0]}});
+  EXPECT_EQ(submit.status, 200) << submit.body;
+  EXPECT_EQ(archive->jobs().RunPending(), 1u);
+  EXPECT_EQ(archive->Get(session, "/no/such/page").status, 404);
+  return out;
+}
+
+/// One parsed exposition sample (labels kept in rendered order).
+struct ParsedSample {
+  std::string name;
+  obs::Labels labels;
+  double value = 0;
+};
+
+std::string UnescapeLabelValue(const std::string& in) {
+  std::string out;
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '\\' && i + 1 < in.size()) {
+      ++i;
+      if (in[i] == 'n') {
+        out += '\n';
+      } else {
+        out += in[i];  // \\ and \"
+      }
+    } else {
+      out += in[i];
+    }
+  }
+  return out;
+}
+
+/// Minimal Prometheus text-format parser: enough for everything the
+/// registry emits. Fails the test on any malformed line. (Out-parameter
+/// because ASSERT_* requires a void-returning function.)
+void ParseExpositionInto(const std::string& text,
+                         std::vector<ParsedSample>* out_samples) {
+  std::vector<ParsedSample> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ParsedSample sample;
+    size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    sample.name = line.substr(0, name_end);
+    size_t value_start;
+    if (line[name_end] == '{') {
+      size_t close = line.rfind('}');
+      ASSERT_NE(close, std::string::npos) << line;
+      std::string body = line.substr(name_end + 1, close - name_end - 1);
+      size_t pos = 0;
+      while (pos < body.size()) {
+        size_t eq = body.find('=', pos);
+        ASSERT_NE(eq, std::string::npos) << line;
+        std::string key = body.substr(pos, eq - pos);
+        ASSERT_EQ(body[eq + 1], '"') << line;
+        // Find the closing quote, skipping escaped characters.
+        size_t v = eq + 2;
+        std::string raw;
+        while (v < body.size() && body[v] != '"') {
+          if (body[v] == '\\' && v + 1 < body.size()) {
+            raw += body[v];
+            ++v;
+          }
+          raw += body[v];
+          ++v;
+        }
+        ASSERT_LT(v, body.size()) << line;
+        sample.labels.emplace_back(key, UnescapeLabelValue(raw));
+        pos = v + 1;
+        if (pos < body.size() && body[pos] == ',') ++pos;
+      }
+      value_start = close + 2;
+    } else {
+      value_start = name_end + 1;
+    }
+    ASSERT_LT(value_start, line.size()) << line;
+    std::string value_text = line.substr(value_start);
+    if (value_text == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else {
+      sample.value = std::strtod(value_text.c_str(), nullptr);
+    }
+    out.push_back(std::move(sample));
+  }
+  *out_samples = std::move(out);
+}
+
+TEST(ObsMetricsGoldenTest, ScriptedWorkloadMatchesGolden) {
+  ScriptedArchive scripted = RunScriptedWorkload();
+  auto metrics = scripted.archive->Get(scripted.session, "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4");
+  ASSERT_FALSE(metrics.body.empty());
+
+  if (std::getenv("EASIA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << metrics.body;
+    out.close();
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << GoldenPath()
+      << " — run with EASIA_UPDATE_GOLDEN=1 to create it";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(metrics.body, golden.str())
+      << "/metrics drifted from the golden; if the change is intentional, "
+         "regenerate with EASIA_UPDATE_GOLDEN=1";
+}
+
+TEST(ObsMetricsGoldenTest, ExpositionIsDeterministicAcrossRuns) {
+  ScriptedArchive first = RunScriptedWorkload();
+  ScriptedArchive second = RunScriptedWorkload();
+  auto a = first.archive->Get(first.session, "/metrics");
+  auto b = second.archive->Get(second.session, "/metrics");
+  ASSERT_EQ(a.status, 200);
+  ASSERT_EQ(b.status, 200);
+  EXPECT_EQ(a.body, b.body);
+  // And stable when nothing happened in between: scraping must not
+  // perturb what it measures (beyond its own pre-registered counters).
+  auto c = first.archive->Get(first.session, "/metrics");
+  auto d = first.archive->Get(first.session, "/metrics");
+  ASSERT_EQ(c.status, 200);
+  std::vector<ParsedSample> cs, ds;
+  ParseExpositionInto(c.body, &cs);
+  ParseExpositionInto(d.body, &ds);
+  ASSERT_EQ(cs.size(), ds.size());
+  for (size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_EQ(cs[i].name, ds[i].name);
+    EXPECT_EQ(cs[i].labels, ds[i].labels);
+    // Only the /metrics route's own counters may have advanced.
+    bool self = false;
+    for (const auto& [k, v] : cs[i].labels) {
+      if (k == "route" && v == "/metrics") self = true;
+    }
+    if (!self && cs[i].name != "easia_trace_spans_total" &&
+        cs[i].name != "easia_http_requests_total") {
+      EXPECT_EQ(cs[i].value, ds[i].value) << cs[i].name;
+    }
+  }
+}
+
+TEST(ObsMetricsGoldenTest, ParserRoundTripMatchesCollect) {
+  ScriptedArchive scripted = RunScriptedWorkload();
+  obs::MetricsRegistry* registry = scripted.archive->metrics();
+  ASSERT_NE(registry, nullptr);
+  // Render and collect back-to-back with no requests in between, so both
+  // views sample identical counter states.
+  std::string text = registry->RenderPrometheusText();
+  std::vector<obs::MetricSample> collected = registry->Collect();
+  std::vector<ParsedSample> parsed;
+  ParseExpositionInto(text, &parsed);
+  ASSERT_EQ(parsed.size(), collected.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, collected[i].name) << i;
+    EXPECT_EQ(parsed[i].labels, collected[i].labels) << parsed[i].name;
+    EXPECT_EQ(parsed[i].value, collected[i].value) << parsed[i].name;
+  }
+  // The workload left recognisable marks: served requests per route, a
+  // completed job, database activity and a render-cache hit.
+  auto value_of = [&](const std::string& name,
+                      const obs::Labels& labels) -> double {
+    for (const ParsedSample& s : parsed) {
+      if (s.name == name && s.labels == labels) return s.value;
+    }
+    ADD_FAILURE() << "sample not found: " << name;
+    return -1;
+  };
+  EXPECT_EQ(value_of("easia_http_requests_total",
+                     {{"code", "200"}, {"route", "/tables"}}),
+            2.0);
+  EXPECT_EQ(value_of("easia_http_requests_total",
+                     {{"code", "404"}, {"route", "other"}}),
+            1.0);
+  EXPECT_EQ(value_of("easia_jobs_total", {{"event", "succeeded"}}), 1.0);
+  EXPECT_GE(value_of("easia_db_queries_total", {}), 1.0);
+  EXPECT_GE(value_of("easia_render_cache_events_total", {{"event", "hit"}}),
+            1.0);
+  EXPECT_EQ(value_of("easia_op_invocations_total", {{"op", "FieldStats"}}),
+            1.0);
+}
+
+TEST(ObsMetricsRegistryTest, NamingAndFormattingRules) {
+  EXPECT_TRUE(obs::MetricsRegistry::ValidMetricName("easia_http_total"));
+  EXPECT_TRUE(obs::MetricsRegistry::ValidMetricName("_x9"));
+  EXPECT_FALSE(obs::MetricsRegistry::ValidMetricName("9lives"));
+  EXPECT_FALSE(obs::MetricsRegistry::ValidMetricName("bad-name"));
+  EXPECT_FALSE(obs::MetricsRegistry::ValidMetricName(""));
+  EXPECT_TRUE(obs::MetricsRegistry::ValidLabelName("route"));
+  EXPECT_FALSE(obs::MetricsRegistry::ValidLabelName("ro-ute"));
+
+  EXPECT_EQ(obs::MetricsRegistry::FormatValue(0), "0");
+  EXPECT_EQ(obs::MetricsRegistry::FormatValue(42), "42");
+  EXPECT_EQ(obs::MetricsRegistry::FormatValue(-7), "-7");
+  EXPECT_EQ(obs::MetricsRegistry::FormatValue(0.5), "0.5");
+  EXPECT_EQ(obs::MetricsRegistry::FormatValue(
+                std::numeric_limits<double>::infinity()),
+            "+Inf");
+}
+
+TEST(ObsMetricsRegistryTest, LabelValuesEscapeCleanly) {
+  obs::MetricsRegistry registry;
+  registry
+      .GetCounter("easia_test_total", "test", {{"path", "a\\b\"c\nd"}})
+      ->Increment();
+  std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos)
+      << text;
+  // And the parser reverses it.
+  std::vector<ParsedSample> parsed;
+  ParseExpositionInto(text, &parsed);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].labels,
+            (obs::Labels{{"path", "a\\b\"c\nd"}}));
+}
+
+TEST(ObsMetricsRegistryTest, KindConflictsReturnSinksNotCrashes) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("easia_thing", "as counter");
+  ASSERT_NE(counter, nullptr);
+  counter->Increment();
+  // Same name, different kind: a sink comes back and the family is
+  // untouched.
+  obs::Gauge* gauge = registry.GetGauge("easia_thing", "as gauge");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(99);
+  std::vector<obs::MetricSample> samples = registry.Collect();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].value, 1.0);
+  // Callback registration refuses taken names.
+  EXPECT_FALSE(registry
+                   .RegisterCallback(
+                       "easia_thing", "dup",
+                       obs::MetricsRegistry::CallbackKind::kCounter,
+                       [] {
+                         return std::vector<std::pair<obs::Labels, double>>{};
+                       })
+                   .ok());
+}
+
+}  // namespace
+}  // namespace easia

@@ -1,0 +1,223 @@
+// Trace propagation through the full stack: one cold-cache /browse yields
+// a web -> cache -> planner / file-server span tree with one trace id and
+// consistent nesting; the slow-request log triggers exactly at the
+// ManualClock threshold; the span ring holds its bound under overflow.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/archive.h"
+#include "core/turbulence_setup.h"
+#include "obs/trace.h"
+#include "xuis/customize.h"
+
+namespace easia {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::Archive::Options options;
+    archive_ = std::make_unique<core::Archive>(options);
+    archive_->AddFileServer("fs1", 8.0);
+    ASSERT_TRUE(core::CreateTurbulenceSchema(archive_.get()).ok());
+    core::SeedOptions seed;
+    seed.hosts = {"fs1"};
+    seed.simulations = 1;
+    seed.timesteps_per_simulation = 2;
+    seed.grid_n = 8;
+    auto seeded = core::SeedTurbulenceData(archive_.get(), seed);
+    ASSERT_TRUE(seeded.ok());
+    simulation_key_ = (*seeded)[0].simulation_key;
+    datasets_ = (*seeded)[0].dataset_urls;
+    ASSERT_TRUE(archive_->InitializeXuis().ok());
+    ASSERT_TRUE(core::AttachNativeOperations(archive_.get()).ok());
+    ASSERT_TRUE(
+        archive_->AddUser("alice", "pw", web::UserRole::kAuthorised).ok());
+    session_ = *archive_->Login("alice", "pw");
+  }
+
+  std::vector<obs::Span> SpansNamed(const std::vector<obs::Span>& spans,
+                                    const std::string& name) {
+    std::vector<obs::Span> out;
+    for (const obs::Span& s : spans) {
+      if (s.name == name) out.push_back(s);
+    }
+    return out;
+  }
+
+  std::unique_ptr<core::Archive> archive_;
+  std::string simulation_key_;
+  std::vector<std::string> datasets_;
+  std::string session_;
+};
+
+TEST_F(ObsTraceTest, ColdBrowseProducesNestedSpanTree) {
+  obs::Tracer* tracer = archive_->tracer();
+  ASSERT_NE(tracer, nullptr);
+  tracer->Clear();
+
+  auto browse = archive_->Get(session_, "/browse",
+                              {{"table", "RESULT_FILE"},
+                               {"column", "SIMULATION_KEY"},
+                               {"value", simulation_key_}});
+  ASSERT_EQ(browse.status, 200) << browse.body;
+
+  std::vector<obs::Span> spans = tracer->Snapshot();
+  std::vector<obs::Span> web = SpansNamed(spans, "web:/browse");
+  std::vector<obs::Span> cache = SpansNamed(spans, "cache:/browse");
+  std::vector<obs::Span> planner = SpansNamed(spans, "planner:select");
+  std::vector<obs::Span> stat = SpansNamed(spans, "fs:stat");
+  ASSERT_EQ(web.size(), 1u);
+  ASSERT_EQ(cache.size(), 1u);
+  ASSERT_GE(planner.size(), 1u);
+  // Every RESULT_FILE row renders a DATALINK cell whose size is fetched
+  // from the file server, so the cold render reaches the storage layer.
+  ASSERT_GE(stat.size(), 1u);
+
+  // One request, one trace: every span carries the root's trace id.
+  uint64_t trace_id = web[0].trace_id;
+  EXPECT_NE(trace_id, 0u);
+  for (const obs::Span& s : spans) {
+    EXPECT_EQ(s.trace_id, trace_id) << s.name;
+  }
+  // Nesting: web is the root, the cache lookup is its direct child, and
+  // the planner + file-server work happens inside the cache-miss render.
+  EXPECT_EQ(web[0].parent_span_id, 0u);
+  EXPECT_EQ(cache[0].parent_span_id, web[0].span_id);
+  EXPECT_EQ(cache[0].note, "miss");
+  for (const obs::Span& s : planner) {
+    EXPECT_EQ(s.parent_span_id, cache[0].span_id);
+  }
+  for (const obs::Span& s : stat) {
+    EXPECT_EQ(s.parent_span_id, cache[0].span_id);
+    EXPECT_EQ(s.note, "fs1");
+  }
+  for (const obs::Span& s : spans) {
+    EXPECT_FALSE(s.error) << s.name;
+  }
+
+  // A warm replay serves from the render cache: a fresh web + cache-hit
+  // pair, and no new planner or file-server spans.
+  tracer->Clear();
+  auto again = archive_->Get(session_, "/browse",
+                             {{"table", "RESULT_FILE"},
+                              {"column", "SIMULATION_KEY"},
+                              {"value", simulation_key_}});
+  ASSERT_EQ(again.status, 200);
+  std::vector<obs::Span> warm = tracer->Snapshot();
+  ASSERT_EQ(SpansNamed(warm, "cache:/browse").size(), 1u);
+  EXPECT_EQ(SpansNamed(warm, "cache:/browse")[0].note, "hit");
+  EXPECT_EQ(SpansNamed(warm, "planner:select").size(), 0u);
+  EXPECT_EQ(SpansNamed(warm, "fs:stat").size(), 0u);
+  // Distinct requests are distinct traces.
+  EXPECT_NE(SpansNamed(warm, "web:/browse")[0].trace_id, trace_id);
+}
+
+TEST_F(ObsTraceTest, ErrorResponsesMarkTheRootSpan) {
+  obs::Tracer* tracer = archive_->tracer();
+  tracer->Clear();
+  auto missing = archive_->Get(session_, "/no/such/page");
+  EXPECT_EQ(missing.status, 404);
+  std::vector<obs::Span> web = SpansNamed(tracer->Snapshot(), "web:other");
+  ASSERT_EQ(web.size(), 1u);
+  EXPECT_TRUE(web[0].error);
+  EXPECT_EQ(web[0].note, "status 404");
+}
+
+TEST_F(ObsTraceTest, JobExecutionRootsItsOwnTrace) {
+  obs::Tracer* tracer = archive_->tracer();
+  auto submit = archive_->Get(session_, "/jobs/submit",
+                              {{"op", "FieldStats"},
+                               {"dataset", datasets_[0]}});
+  ASSERT_EQ(submit.status, 200) << submit.body;
+  tracer->Clear();
+  ASSERT_EQ(archive_->jobs().RunPending(), 1u);
+  std::vector<obs::Span> spans = tracer->Snapshot();
+  std::vector<obs::Span> jobs = SpansNamed(spans, "job:execute");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].parent_span_id, 0u);
+  EXPECT_EQ(jobs[0].note, "FieldStats");
+  // Work done by the operation (its SELECTs, file reads) joins the job's
+  // trace rather than starting unrooted ones.
+  for (const obs::Span& s : spans) {
+    EXPECT_EQ(s.trace_id, jobs[0].trace_id) << s.name;
+  }
+}
+
+TEST(ObsTracerUnitTest, SlowLogTriggersExactlyAtThreshold) {
+  ManualClock clock(100.0);
+  obs::Tracer::Options options;
+  options.clock = &clock;
+  options.slow_threshold_seconds = 5.0;
+  obs::Tracer tracer(options);
+
+  {
+    obs::Tracer::Scope fast(&tracer, "req:fast");
+    clock.Advance(4.999);
+  }
+  EXPECT_EQ(tracer.slow_count(), 0u);
+  EXPECT_TRUE(tracer.slow_log().empty());
+
+  {
+    obs::Tracer::Scope exact(&tracer, "req:exact");
+    clock.Advance(5.0);  // duration == threshold: slow (>= semantics)
+  }
+  EXPECT_EQ(tracer.slow_count(), 1u);
+  ASSERT_EQ(tracer.slow_log().size(), 1u);
+  EXPECT_NE(tracer.slow_log()[0].find("req:exact"), std::string::npos);
+
+  {
+    obs::Tracer::Scope slow(&tracer, "req:slow");
+    clock.Advance(60.0);
+  }
+  EXPECT_EQ(tracer.slow_count(), 2u);
+
+  // Durations are clock-derived (modulo end-minus-start rounding).
+  std::vector<obs::Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_NEAR(spans[0].duration, 4.999, 1e-9);
+  EXPECT_NEAR(spans[1].duration, 5.0, 1e-9);
+  EXPECT_NEAR(spans[2].duration, 60.0, 1e-9);
+}
+
+TEST(ObsTracerUnitTest, RingBoundHoldsUnderOverflow) {
+  ManualClock clock(0.0);
+  obs::Tracer::Options options;
+  options.clock = &clock;
+  options.ring_capacity = 8;
+  options.slow_threshold_seconds = 0.5;
+  options.slow_log_capacity = 4;
+  obs::Tracer tracer(options);
+
+  for (int i = 0; i < 20; ++i) {
+    obs::Tracer::Scope scope(&tracer, "span" + std::to_string(i));
+    clock.Advance(1.0);  // every span is also slow
+  }
+  std::vector<obs::Span> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Drop-oldest: the survivors are the 8 most recent, oldest first.
+  EXPECT_EQ(spans.front().name, "span12");
+  EXPECT_EQ(spans.back().name, "span19");
+  EXPECT_EQ(tracer.started(), 20u);
+  EXPECT_EQ(tracer.finished(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  EXPECT_EQ(tracer.slow_count(), 20u);
+  EXPECT_EQ(tracer.slow_log().size(), 4u);
+}
+
+TEST(ObsTracerUnitTest, NullTracerScopesAreInert) {
+  obs::Tracer::Scope scope(nullptr, "nothing");
+  EXPECT_FALSE(scope.active());
+  EXPECT_EQ(scope.trace_id(), 0u);
+  scope.set_error();  // must not crash
+  scope.set_note("ignored");
+}
+
+}  // namespace
+}  // namespace easia
