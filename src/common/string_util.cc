@@ -145,28 +145,88 @@ Result<double> ParseDouble(std::string_view s) {
   return v;
 }
 
+namespace {
+
+/// One decoded LIKE pattern token starting at `p`.
+struct LikeToken {
+  enum class Kind { kLiteral, kAnyRun, kAnyOne };
+  Kind kind;
+  char literal;  // kLiteral only
+  size_t length; // bytes consumed from the pattern (2 for an escape)
+};
+
+LikeToken DecodeLikeToken(std::string_view pattern, size_t p) {
+  char c = pattern[p];
+  if (c == '\\') {
+    if (p + 1 < pattern.size()) {
+      return {LikeToken::Kind::kLiteral, pattern[p + 1], 2};
+    }
+    // A trailing backslash escapes nothing: match it literally.
+    return {LikeToken::Kind::kLiteral, '\\', 1};
+  }
+  if (c == '%') return {LikeToken::Kind::kAnyRun, 0, 1};
+  if (c == '_') return {LikeToken::Kind::kAnyOne, 0, 1};
+  return {LikeToken::Kind::kLiteral, c, 1};
+}
+
+}  // namespace
+
 bool LikeMatch(std::string_view value, std::string_view pattern) {
   // Iterative two-pointer algorithm with backtracking on the last '%'.
   size_t v = 0, p = 0;
   size_t star_p = std::string_view::npos;
   size_t star_v = 0;
   while (v < value.size()) {
-    if (p < pattern.size() &&
-        (pattern[p] == '_' || pattern[p] == value[v])) {
-      ++v;
-      ++p;
-    } else if (p < pattern.size() && pattern[p] == '%') {
-      star_p = p++;
-      star_v = v;
-    } else if (star_p != std::string_view::npos) {
+    if (p < pattern.size()) {
+      LikeToken tok = DecodeLikeToken(pattern, p);
+      if (tok.kind == LikeToken::Kind::kAnyOne ||
+          (tok.kind == LikeToken::Kind::kLiteral && tok.literal == value[v])) {
+        ++v;
+        p += tok.length;
+        continue;
+      }
+      if (tok.kind == LikeToken::Kind::kAnyRun) {
+        star_p = p;
+        p += tok.length;
+        star_v = v;
+        continue;
+      }
+    }
+    if (star_p != std::string_view::npos) {
       p = star_p + 1;
       v = ++star_v;
     } else {
       return false;
     }
   }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
+  while (p < pattern.size()) {
+    LikeToken tok = DecodeLikeToken(pattern, p);
+    if (tok.kind != LikeToken::Kind::kAnyRun) break;
+    p += tok.length;
+  }
   return p == pattern.size();
+}
+
+std::string EscapeLikePattern(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '%' || c == '_' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string LikePatternPrefix(std::string_view pattern) {
+  std::string out;
+  size_t p = 0;
+  while (p < pattern.size()) {
+    LikeToken tok = DecodeLikeToken(pattern, p);
+    if (tok.kind != LikeToken::Kind::kLiteral) break;
+    out += tok.literal;
+    p += tok.length;
+  }
+  return out;
 }
 
 std::string HumanBytes(uint64_t bytes) {

@@ -41,9 +41,20 @@ std::string ReplaceAll(std::string_view s, std::string_view from,
 Result<int64_t> ParseInt64(std::string_view s);
 Result<double> ParseDouble(std::string_view s);
 
-/// SQL LIKE matching: '%' matches any run, '_' matches one character.
+/// SQL LIKE matching: '%' matches any run, '_' matches one character, and
+/// a backslash escapes the next pattern character ('\%' matches a literal
+/// percent; a trailing backslash matches a literal backslash).
 /// Comparison is case sensitive, matching the paper's QBE wildcard search.
 bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Escapes `text` so that `LikeMatch(v, EscapeLikePattern(text))` holds
+/// exactly when v == text: backslash-prefixes '%', '_' and '\'.
+std::string EscapeLikePattern(std::string_view text);
+
+/// The literal prefix every LIKE match must start with: pattern characters
+/// up to the first unescaped wildcard, with escapes resolved. Empty when
+/// the pattern starts with a wildcard. Used for index-prefix pushdown.
+std::string LikePatternPrefix(std::string_view pattern);
 
 /// Renders `bytes` with a human-readable unit suffix (e.g. "544.0 MB").
 std::string HumanBytes(uint64_t bytes);

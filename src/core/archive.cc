@@ -109,6 +109,55 @@ void Archive::RegisterCollectors() {
       MetricsRegistry::CallbackKind::kGauge, [this]() -> Samples {
         return {{{}, static_cast<double>(database_->commit_epoch())}};
       });
+  (void)m->RegisterCallback(
+      "easia_db_bulk_chunks_total", "COPY bulk-ingest chunks committed",
+      MetricsRegistry::CallbackKind::kCounter, [this]() -> Samples {
+        return {{{}, static_cast<double>(database_->stats().bulk_chunks)}};
+      });
+  // Storage-engine gauges, sampled per table at collect time. Catalog
+  // iteration yields sorted names, so exposition order is stable.
+  (void)m->RegisterCallback(
+      "easia_db_table_rows", "Rows stored, by table",
+      MetricsRegistry::CallbackKind::kGauge, [this]() -> Samples {
+        Samples out;
+        for (const std::string& name : database_->catalog().TableNames()) {
+          Result<const db::Table*> t = database_->GetTable(name);
+          if (!t.ok()) continue;
+          out.push_back({{{"table", name}},
+                         static_cast<double>((*t)->GetStorageStats().rows)});
+        }
+        return out;
+      });
+  (void)m->RegisterCallback(
+      "easia_db_columnar_bytes", "Columnar page bytes, by table",
+      MetricsRegistry::CallbackKind::kGauge, [this]() -> Samples {
+        Samples out;
+        for (const std::string& name : database_->catalog().TableNames()) {
+          Result<const db::Table*> t = database_->GetTable(name);
+          if (!t.ok()) continue;
+          db::Table::StorageStats ss = (*t)->GetStorageStats();
+          if (!ss.columnar) continue;
+          out.push_back(
+              {{{"table", name}}, static_cast<double>(ss.columnar_bytes)});
+        }
+        return out;
+      });
+  (void)m->RegisterCallback(
+      "easia_db_radix_index", "Radix prefix-index size, by table and unit",
+      MetricsRegistry::CallbackKind::kGauge, [this]() -> Samples {
+        Samples out;
+        for (const std::string& name : database_->catalog().TableNames()) {
+          Result<const db::Table*> t = database_->GetTable(name);
+          if (!t.ok()) continue;
+          db::Table::StorageStats ss = (*t)->GetStorageStats();
+          if (!ss.columnar) continue;
+          out.push_back({{{"table", name}, {"unit", "bytes"}},
+                         static_cast<double>(ss.radix_bytes)});
+          out.push_back({{{"table", name}, {"unit", "nodes"}},
+                         static_cast<double>(ss.radix_nodes)});
+        }
+        return out;
+      });
   if (render_cache_ != nullptr) {
     (void)m->RegisterCallback(
         "easia_render_cache_events_total", "Rendered-page cache events",

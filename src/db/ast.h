@@ -120,6 +120,13 @@ struct DropTableStmt {
   std::string table;
 };
 
+/// `COPY <table> FROM '<path>'`: binary bulk ingest from a bulk file
+/// (store::BulkFile format) through the io::Env seam.
+struct CopyStmt {
+  std::string table;
+  std::string path;
+};
+
 /// A parsed SQL statement.
 struct Statement {
   enum class Kind {
@@ -133,6 +140,7 @@ struct Statement {
     kBegin,
     kCommit,
     kRollback,
+    kCopy,
   };
 
   Kind kind;
@@ -142,6 +150,7 @@ struct Statement {
   std::unique_ptr<DeleteStmt> del;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<DropTableStmt> drop_table;
+  std::unique_ptr<CopyStmt> copy;
 };
 
 }  // namespace easia::db

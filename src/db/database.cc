@@ -7,6 +7,7 @@
 #include "db/executor.h"
 #include "db/parser.h"
 #include "db/planner.h"
+#include "db/store/bulk_loader.h"
 #include "obs/trace.h"
 
 namespace easia::db {
@@ -15,9 +16,11 @@ namespace {
 
 /// V1 snapshots carry catalogue + rows only; V2 prefixes the table section
 /// with the cumulative DatabaseStats counters so /metrics counters survive
-/// checkpoint/restart instead of resetting to zero. Readers accept both.
+/// checkpoint/restart instead of resetting to zero; V3 appends the
+/// bulk_chunks counter to the stats block. Readers accept all three.
 constexpr std::string_view kSnapshotMagicV1 = "EASIASNAP1";
-constexpr std::string_view kSnapshotMagic = "EASIASNAP2";
+constexpr std::string_view kSnapshotMagicV2 = "EASIASNAP2";
+constexpr std::string_view kSnapshotMagic = "EASIASNAP3";
 
 QueryResult DmlResult(size_t affected) {
   QueryResult r;
@@ -73,6 +76,7 @@ DatabaseStats Database::stats() const {
   out.rows_deleted = counters_.rows_deleted.load(std::memory_order_relaxed);
   out.txn_commits = counters_.txn_commits.load(std::memory_order_relaxed);
   out.txn_aborts = counters_.txn_aborts.load(std::memory_order_relaxed);
+  out.bulk_chunks = counters_.bulk_chunks.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -164,6 +168,17 @@ Status Database::ApplyWalOp(const WalRecord& op) {
       counters_.rows_deleted.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
+    case WalRecordType::kBulkLoad: {
+      EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(op.table));
+      RowId id = op.row_id;
+      for (const Row& row : op.bulk_rows) {
+        EASIA_RETURN_IF_ERROR(table->InsertWithId(id++, row));
+      }
+      counters_.rows_inserted.fetch_add(op.bulk_rows.size(),
+                                        std::memory_order_relaxed);
+      counters_.bulk_chunks.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
     default:
       return Status::Corruption("wal: unexpected record type in replay");
   }
@@ -221,6 +236,20 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
         return ExecSelect(*stmt.select, ctx);
       }
       break;  // SELECT inside a txn sees its own writes; fall through
+    case Statement::Kind::kCopy: {
+      // COPY commits once per chunk, which is incompatible with an
+      // enclosing atomic transaction — refuse rather than silently break
+      // atomicity.
+      if (owns_explicit) {
+        return Status::FailedPrecondition(
+            "COPY may not run inside an explicit transaction");
+      }
+      obs::Tracer::Scope span(tracer_, "db:copy");
+      std::unique_lock<std::shared_mutex> copy_lock(mu_);
+      Result<QueryResult> copied = ExecCopy(*stmt.copy, ctx);
+      if (!copied.ok()) span.set_error();
+      return copied;
+    }
     default:
       break;
   }
@@ -442,11 +471,13 @@ Result<QueryResult> Database::ExecDropTable(const DropTableStmt& stmt,
           col.datalink->file_link_control) {
         EASIA_ASSIGN_OR_RETURN(size_t idx,
                                it->second->def().ColumnIndex(col.name));
-        for (const auto& [id, row] : it->second->rows()) {
-          if (!row[idx].is_null()) {
-            return Status::FailedPrecondition(
-                "cannot drop table with linked files; delete rows first");
-          }
+        bool any_linked = false;
+        it->second->ForEachRow([&](RowId, const Row& row) {
+          if (!row[idx].is_null()) any_linked = true;
+        });
+        if (any_linked) {
+          return Status::FailedPrecondition(
+              "cannot drop table with linked files; delete rows first");
         }
       }
     }
@@ -640,18 +671,24 @@ Result<QueryResult> Database::ExecUpdate(const UpdateStmt& stmt,
   }
   // Materialise target row ids first (avoid mutating while scanning).
   std::vector<RowId> targets;
-  for (const auto& [id, row] : table->rows()) {
+  Status scan_status = Status::OK();
+  table->ForEachRow([&](RowId id, const Row& row) {
+    if (!scan_status.ok()) return;
     if (stmt.where != nullptr) {
       EvalEnv env{&schema, &row};
-      EASIA_ASSIGN_OR_RETURN(Value cond, EvalExpr(*stmt.where, env));
-      if (!IsTruthy(cond)) continue;
+      Result<Value> cond = EvalExpr(*stmt.where, env);
+      if (!cond.ok()) {
+        scan_status = cond.status();
+        return;
+      }
+      if (!IsTruthy(*cond)) return;
     }
     targets.push_back(id);
-  }
+  });
+  EASIA_RETURN_IF_ERROR(scan_status);
   size_t updated = 0;
   for (RowId id : targets) {
-    EASIA_ASSIGN_OR_RETURN(const Row* current, table->Get(id));
-    Row old_row = *current;
+    EASIA_ASSIGN_OR_RETURN(Row old_row, table->Get(id));
     Row new_row = old_row;
     EvalEnv env{&schema, &old_row};
     for (const auto& [idx, expr] : sets) {
@@ -696,18 +733,24 @@ Result<QueryResult> Database::ExecDelete(const DeleteStmt& stmt,
     schema.push_back({def.name, col.name, col.type, &col});
   }
   std::vector<RowId> targets;
-  for (const auto& [id, row] : table->rows()) {
+  Status scan_status = Status::OK();
+  table->ForEachRow([&](RowId id, const Row& row) {
+    if (!scan_status.ok()) return;
     if (stmt.where != nullptr) {
       EvalEnv env{&schema, &row};
-      EASIA_ASSIGN_OR_RETURN(Value cond, EvalExpr(*stmt.where, env));
-      if (!IsTruthy(cond)) continue;
+      Result<Value> cond = EvalExpr(*stmt.where, env);
+      if (!cond.ok()) {
+        scan_status = cond.status();
+        return;
+      }
+      if (!IsTruthy(*cond)) return;
     }
     targets.push_back(id);
-  }
+  });
+  EASIA_RETURN_IF_ERROR(scan_status);
   size_t deleted = 0;
   for (RowId id : targets) {
-    EASIA_ASSIGN_OR_RETURN(const Row* current, table->Get(id));
-    Row old_row = *current;
+    EASIA_ASSIGN_OR_RETURN(Row old_row, table->Get(id));
     EASIA_RETURN_IF_ERROR(CheckNoChildren(def, old_row, nullptr));
     for (size_t i = 0; i < def.columns.size(); ++i) {
       EASIA_RETURN_IF_ERROR(
@@ -731,6 +774,87 @@ Result<QueryResult> Database::ExecDelete(const DeleteStmt& stmt,
     counters_.rows_deleted.fetch_add(1, std::memory_order_relaxed);
   }
   return DmlResult(deleted);
+}
+
+Result<QueryResult> Database::ExecCopy(const CopyStmt& stmt,
+                                       const ExecContext& ctx) {
+  (void)ctx;
+  EASIA_ASSIGN_OR_RETURN(Table * table, GetMutableTable(stmt.table));
+  const TableDef& def = table->def();
+  EASIA_ASSIGN_OR_RETURN(store::BulkFile file,
+                         store::ReadBulkFile(env_, stmt.path));
+  // The bulk header must match the table positionally: loading a file
+  // written against a different schema would silently scramble columns.
+  if (file.columns.size() != def.columns.size()) {
+    return Status::InvalidArgument(StrPrintf(
+        "bulk file has %zu columns but table %s has %zu", file.columns.size(),
+        def.name.c_str(), def.columns.size()));
+  }
+  for (size_t i = 0; i < def.columns.size(); ++i) {
+    if (!EqualsIgnoreCase(file.columns[i], def.columns[i].name) ||
+        file.types[i] != def.columns[i].type) {
+      return Status::InvalidArgument(
+          "bulk file column " + file.columns[i] + " does not match " +
+          def.name + "." + def.columns[i].name);
+    }
+  }
+  // One transaction (and one kBulkLoad WAL record) per chunk: a crash
+  // mid-COPY recovers exactly the chunks whose commit reached the log, and
+  // a bad row aborts only its own chunk, keeping the chunks before it.
+  size_t inserted = 0;
+  size_t chunk_no = 0;
+  for (std::vector<Row>& chunk : file.chunks) {
+    ++chunk_no;
+    if (chunk.empty()) continue;
+    EnsureTxn();
+    WalRecord rec;
+    rec.type = WalRecordType::kBulkLoad;
+    rec.txn_id = txn_->id;
+    rec.table = def.name;
+    rec.bulk_rows.reserve(chunk.size());
+    txn_->undo.reserve(txn_->undo.size() + chunk.size());
+    auto load_row = [&](Row raw) -> Status {
+      EASIA_ASSIGN_OR_RETURN(Row row, ValidateAndCoerce(def, std::move(raw)));
+      EASIA_RETURN_IF_ERROR(CheckForeignKeysOnWrite(def, row));
+      for (size_t i = 0; i < def.columns.size(); ++i) {
+        EASIA_RETURN_IF_ERROR(
+            PrepareDatalinkChange(def.columns[i], nullptr, &row[i]));
+      }
+      EASIA_ASSIGN_OR_RETURN(RowId id, table->Insert(row));
+      if (rec.bulk_rows.empty()) rec.row_id = id;
+      UndoOp undo;
+      undo.kind = UndoOp::Kind::kInsert;
+      undo.table = def.name;
+      undo.row_id = id;
+      txn_->undo.push_back(std::move(undo));
+      rec.bulk_rows.push_back(std::move(row));
+      return Status::OK();
+    };
+    Status chunk_status = Status::OK();
+    for (Row& raw : chunk) {
+      chunk_status = load_row(std::move(raw));
+      if (!chunk_status.ok()) break;
+    }
+    if (!chunk_status.ok()) {
+      RollbackInternal();
+      counters_.txn_aborts.fetch_add(1, std::memory_order_relaxed);
+      return chunk_status.WithContext(
+          StrPrintf("copy %s chunk %zu", def.name.c_str(), chunk_no));
+    }
+    size_t chunk_rows = rec.bulk_rows.size();
+    AppendWal(std::move(rec));
+    Status commit = CommitInternal();
+    if (!commit.ok()) {
+      RollbackInternal();
+      counters_.txn_aborts.fetch_add(1, std::memory_order_relaxed);
+      return commit;
+    }
+    counters_.txn_commits.fetch_add(1, std::memory_order_relaxed);
+    counters_.rows_inserted.fetch_add(chunk_rows, std::memory_order_relaxed);
+    counters_.bulk_chunks.fetch_add(1, std::memory_order_relaxed);
+    inserted += chunk_rows;
+  }
+  return DmlResult(inserted);
 }
 
 Result<QueryResult> Database::ExecSelect(const SelectStmt& stmt,
@@ -782,15 +906,16 @@ std::string Database::SerializeSnapshotLocked() const {
   PutU64(&out, ds.rows_deleted);
   PutU64(&out, ds.txn_commits);
   PutU64(&out, ds.txn_aborts);
+  PutU64(&out, ds.bulk_chunks);
   PutU32(&out, static_cast<uint32_t>(tables_.size()));
   for (const auto& [key, table] : tables_) {
     PutLengthPrefixed(&out, table->def().ToSql());
     PutU64(&out, table->next_row_id());
     PutU32(&out, static_cast<uint32_t>(table->RowCount()));
-    for (const auto& [id, row] : table->rows()) {
+    table->ForEachRow([&out](RowId id, const Row& row) {
       PutU64(&out, id);
       EncodeRow(&out, row);
-    }
+    });
   }
   PutU32(&out, Crc32(std::string_view(out).substr(kSnapshotMagic.size())));
   return out;
@@ -823,7 +948,8 @@ Status Database::LoadSnapshotFromString(const std::string& contents) {
 Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
   std::string_view magic =
       std::string_view(contents).substr(0, kSnapshotMagic.size());
-  bool has_stats = magic == kSnapshotMagic;
+  bool has_bulk = magic == kSnapshotMagic;
+  bool has_stats = has_bulk || magic == kSnapshotMagicV2;
   if (contents.size() < kSnapshotMagic.size() + 4 ||
       (!has_stats && magic != kSnapshotMagicV1)) {
     return Status::Corruption("bad snapshot magic");
@@ -848,6 +974,9 @@ Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
     EASIA_ASSIGN_OR_RETURN(ds.rows_deleted, dec.GetU64());
     EASIA_ASSIGN_OR_RETURN(ds.txn_commits, dec.GetU64());
     EASIA_ASSIGN_OR_RETURN(ds.txn_aborts, dec.GetU64());
+    if (has_bulk) {
+      EASIA_ASSIGN_OR_RETURN(ds.bulk_chunks, dec.GetU64());
+    }
     auto restore = [](std::atomic<uint64_t>* counter, uint64_t persisted) {
       uint64_t cur = counter->load(std::memory_order_relaxed);
       while (cur < persisted && !counter->compare_exchange_weak(
@@ -862,6 +991,7 @@ Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
     restore(&counters_.rows_deleted, ds.rows_deleted);
     restore(&counters_.txn_commits, ds.txn_commits);
     restore(&counters_.txn_aborts, ds.txn_aborts);
+    restore(&counters_.bulk_chunks, ds.bulk_chunks);
   }
   // Reset state.
   catalog_ = Catalog();

@@ -98,6 +98,8 @@ struct DatabaseStats {
   uint64_t rows_deleted = 0;
   uint64_t txn_commits = 0;
   uint64_t txn_aborts = 0;
+  /// COPY chunks durably committed (one kBulkLoad WAL record each).
+  uint64_t bulk_chunks = 0;
 };
 
 /// A single-node relational engine with SQL/MED DATALINK support:
@@ -227,6 +229,12 @@ class Database {
                                  const ExecContext& ctx);
   /// EXPLAIN SELECT: plans the query and returns one PLAN row per node.
   Result<QueryResult> ExecExplain(const SelectStmt& stmt);
+  /// COPY <table> FROM '<path>': binary bulk ingest. Runs one transaction
+  /// per chunk (one kBulkLoad WAL record each), so a crash mid-COPY keeps
+  /// exactly the chunks whose commit reached the log. Must be called with
+  /// the exclusive lock held and no transaction active; manages its own
+  /// per-chunk transactions.
+  Result<QueryResult> ExecCopy(const CopyStmt& stmt, const ExecContext& ctx);
 
   Result<Table*> GetMutableTable(const std::string& table);
 
@@ -296,6 +304,7 @@ class Database {
     std::atomic<uint64_t> rows_deleted{0};
     std::atomic<uint64_t> txn_commits{0};
     std::atomic<uint64_t> txn_aborts{0};
+    std::atomic<uint64_t> bulk_chunks{0};
   };
   Counters counters_;
 };

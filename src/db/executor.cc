@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "db/database.h"
 #include "db/planner.h"
+#include "db/store/column_page.h"
 
 namespace easia::db {
 
@@ -219,8 +220,8 @@ bool TryUniqueLookup(const SelectStmt& stmt, const Table& table,
   }
   Result<RowId> id = table.FindUnique(def.primary_key, key_values);
   if (id.ok()) {
-    Result<const Row*> row = table.Get(*id);
-    if (row.ok()) rows->push_back(**row);
+    Result<Row> row = table.Get(*id);
+    if (row.ok()) rows->push_back(std::move(*row));
   }
   return true;  // applied (possibly zero rows)
 }
@@ -413,11 +414,16 @@ Status BuildRowsNaive(const SelectStmt& stmt, const TableLookup& lookup,
     std::vector<Row> new_rows;
     if (first) {
       if (!TryUniqueLookup(stmt, *table, &new_rows)) {
-        for (const auto& [id, row] : table->rows()) new_rows.push_back(row);
+        table->ForEachRow(
+            [&new_rows](RowId, const Row& row) { new_rows.push_back(row); });
       }
     } else {
+      std::vector<Row> right_rows;
+      table->ForEachRow([&right_rows](RowId, const Row& row) {
+        right_rows.push_back(row);
+      });
       for (const Row& left : rows) {
-        for (const auto& [id, right] : table->rows()) {
+        for (const Row& right : right_rows) {
           Row combined = left;
           combined.insert(combined.end(), right.begin(), right.end());
           if (ref.join_condition != nullptr) {
@@ -479,14 +485,36 @@ Status BuildRowsPlanned(const SelectPlan& plan,
     const ScanPlan& scan = plan.scans[i];
     std::vector<Row> fetched;
     if (scan.access == ScanPlan::Access::kSeqScan) {
-      for (const auto& [id, row] : scan.table->rows()) fetched.push_back(row);
+      if (scan.kernel_filter) {
+        // Columnar filter kernel: matching RowIds over the raw arrays, then
+        // materialise only survivors. The pushed predicates are still
+        // re-evaluated below, so the kernel can only narrow the candidate
+        // set, never change which rows qualify.
+        for (RowId id :
+             scan.table->column_store()->FilterScan(scan.kernel_predicates)) {
+          EASIA_ASSIGN_OR_RETURN(Row row, scan.table->Get(id));
+          fetched.push_back(std::move(row));
+        }
+      } else {
+        scan.table->ForEachRow(
+            [&fetched](RowId, const Row& row) { fetched.push_back(row); });
+      }
+    } else if (scan.access == ScanPlan::Access::kPrefixScan) {
+      // Radix candidates are a superset of the LIKE matches (the pattern's
+      // wildcard tail still applies); the pushed LIKE conjunct below does
+      // the exact filtering.
+      for (RowId id : scan.table->RadixPrefixRowIds(scan.index_columns[0],
+                                                    scan.prefix)) {
+        EASIA_ASSIGN_OR_RETURN(Row row, scan.table->Get(id));
+        fetched.push_back(std::move(row));
+      }
     } else {
       EASIA_ASSIGN_OR_RETURN(
           std::vector<RowId> ids,
           scan.table->FindByIndex(scan.index_columns, scan.key_values));
       for (RowId id : ids) {
-        EASIA_ASSIGN_OR_RETURN(const Row* row, scan.table->Get(id));
-        fetched.push_back(*row);
+        EASIA_ASSIGN_OR_RETURN(Row row, scan.table->Get(id));
+        fetched.push_back(std::move(row));
       }
     }
     for (Row& row : fetched) {
@@ -817,6 +845,45 @@ Result<QueryResult> FinishSelect(const SelectStmt& stmt,
   return result;
 }
 
+/// Whole-query columnar aggregation: one AggregateScan kernel call replaces
+/// row materialisation, grouping and per-group expression walking. Only
+/// reached when the planner proved the query maps exactly onto the kernel
+/// (plan.aggregate.fast_path), so names, types and values agree with the
+/// FinishSelect row path.
+Result<QueryResult> ExecuteAggregateFast(const SelectStmt& stmt,
+                                         const SelectPlan& plan) {
+  const ScanPlan& scan = plan.scans[0];
+  const store::ColumnStore* cs = scan.table->column_store();
+  EASIA_ASSIGN_OR_RETURN(
+      std::vector<store::AggGroup> groups,
+      cs->AggregateScan(scan.kernel_predicates, plan.aggregate.group_by_cols,
+                        plan.aggregate.aggs));
+
+  std::vector<ColumnBinding> schema;
+  for (const ColumnDef& col : scan.table->def().columns) {
+    schema.push_back({scan.alias, col.name, col.type, &col});
+  }
+  QueryResult result;
+  result.is_query = true;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    result.column_names.push_back(DefaultItemName(stmt.items[i], i));
+    result.column_types.push_back(GuessItemType(*stmt.items[i].expr, schema));
+  }
+  for (store::AggGroup& g : groups) {
+    Row out;
+    for (const AggregatePlan::Item& item : plan.aggregate.items) {
+      if (item.is_aggregate) {
+        out.push_back(std::move(g.aggregates[item.index]));
+      } else {
+        // Copied, not moved: a source column may appear in several items.
+        out.push_back(g.first_row[item.index]);
+      }
+    }
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
@@ -830,6 +897,7 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
   std::vector<Row> rows;
   if (options.use_planner) {
     EASIA_ASSIGN_OR_RETURN(SelectPlan plan, PlanSelect(stmt, lookup));
+    if (plan.aggregate.fast_path) return ExecuteAggregateFast(stmt, plan);
     EASIA_RETURN_IF_ERROR(BuildRowsPlanned(plan, &schema, &rows));
   } else {
     EASIA_RETURN_IF_ERROR(BuildRowsNaive(stmt, lookup, &schema, &rows));

@@ -46,6 +46,9 @@ class SqlParser {
     } else if (ConsumeKeyword("ROLLBACK")) {
       ConsumeKeyword("TRANSACTION") || ConsumeKeyword("WORK");
       stmt.kind = Statement::Kind::kRollback;
+    } else if (ConsumeKeyword("COPY")) {
+      stmt.kind = Statement::Kind::kCopy;
+      EASIA_ASSIGN_OR_RETURN(stmt.copy, ParseCopyBody());
     } else {
       return Error("expected a SQL statement");
     }
@@ -371,6 +374,25 @@ class SqlParser {
       if (!ConsumeSymbol(",")) break;
     }
     EASIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+    // Optional storage clause; STORE/COLUMNAR stay contextual words.
+    if (ConsumeWord("STORE")) {
+      EASIA_RETURN_IF_ERROR(ExpectWord("COLUMNAR"));
+      stmt->def.columnar = true;
+    }
+    return stmt;
+  }
+
+  // ---- COPY (binary bulk ingest) ----
+
+  Result<std::unique_ptr<CopyStmt>> ParseCopyBody() {
+    auto stmt = std::make_unique<CopyStmt>();
+    EASIA_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    EASIA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().kind != TokenKind::kString) {
+      return Error("expected a quoted file path");
+    }
+    stmt->path = Peek().literal;
+    Advance();
     return stmt;
   }
 

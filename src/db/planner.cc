@@ -162,9 +162,85 @@ bool MatchEquiJoin(const Expr& expr, const std::vector<AliasSchema>& aliases,
   return true;
 }
 
+/// True when `type` joins the numeric comparison family of Value::Compare.
+bool IsNumericType(DataType type) {
+  return type == DataType::kInteger || type == DataType::kDouble ||
+         type == DataType::kTimestamp;
+}
+
+/// Translates one pushed conjunct into a ColumnStore kernel predicate.
+/// Only shapes whose kernel evaluation provably agrees with EvalExpr
+/// convert: plain-column IS [NOT] NULL, and column-vs-literal comparisons
+/// where the literal sits in the column's comparison family (mixed
+/// families fall back to display-form equality, which the kernel does not
+/// model). Returns false to leave the conjunct on the row-at-a-time path.
+bool ConvertToColPredicate(const Expr& expr,
+                           const std::vector<AliasSchema>& aliases,
+                           size_t alias_index, store::ColPredicate* out) {
+  const TableDef& def = aliases[alias_index].table->def();
+  auto own_column = [&](const Expr* e, size_t* index) {
+    if (e->kind != Expr::Kind::kColumn) return false;
+    std::optional<size_t> owner = ResolveAlias(aliases, e->table, e->column);
+    if (!owner.has_value() || *owner != alias_index) return false;
+    Result<size_t> idx = def.ColumnIndex(e->column);
+    if (!idx.ok()) return false;
+    *index = *idx;
+    return true;
+  };
+  if (expr.kind == Expr::Kind::kIsNull) {
+    if (!own_column(expr.left.get(), &out->column)) return false;
+    out->op = expr.negated ? store::ColPredicate::Op::kIsNotNull
+                           : store::ColPredicate::Op::kIsNull;
+    return true;
+  }
+  if (expr.kind != Expr::Kind::kBinary) return false;
+  using Op = store::ColPredicate::Op;
+  if (expr.op == Expr::Op::kLike || expr.op == Expr::Op::kNotLike) {
+    // LIKE is not symmetric: only `column LIKE literal` converts.
+    if (!own_column(expr.left.get(), &out->column)) return false;
+    if (expr.right->kind != Expr::Kind::kLiteral ||
+        !expr.right->literal.IsStringKind()) {
+      return false;
+    }
+    if (IsNumericType(def.columns[out->column].type)) return false;
+    out->op = expr.op == Expr::Op::kLike ? Op::kLike : Op::kNotLike;
+    out->literal = expr.right->literal;
+    return true;
+  }
+  Op op;
+  Op flipped;
+  switch (expr.op) {
+    case Expr::Op::kEq: op = Op::kEq; flipped = Op::kEq; break;
+    case Expr::Op::kNe: op = Op::kNe; flipped = Op::kNe; break;
+    case Expr::Op::kLt: op = Op::kLt; flipped = Op::kGt; break;
+    case Expr::Op::kLe: op = Op::kLe; flipped = Op::kGe; break;
+    case Expr::Op::kGt: op = Op::kGt; flipped = Op::kLt; break;
+    case Expr::Op::kGe: op = Op::kGe; flipped = Op::kLe; break;
+    default:
+      return false;
+  }
+  const Expr* lit = nullptr;
+  if (own_column(expr.left.get(), &out->column) &&
+      expr.right->kind == Expr::Kind::kLiteral) {
+    lit = expr.right.get();
+    out->op = op;
+  } else if (own_column(expr.right.get(), &out->column) &&
+             expr.left->kind == Expr::Kind::kLiteral) {
+    lit = expr.left.get();
+    out->op = flipped;
+  } else {
+    return false;
+  }
+  if (lit->literal.is_null()) return false;
+  bool column_numeric = IsNumericType(def.columns[out->column].type);
+  if (column_numeric != lit->literal.IsNumericKind()) return false;
+  out->literal = lit->literal;
+  return true;
+}
+
 /// Picks the access path for one scan from its pushed-down equality
 /// predicates: a unique index whose columns are all pinned beats a
-/// secondary (FK) index beats a sequential scan.
+/// secondary (FK) index beats a radix prefix scan beats a sequential scan.
 void ChooseAccessPath(ScanPlan* scan,
                       const std::vector<AliasSchema>& aliases,
                       size_t alias_index) {
@@ -178,7 +254,6 @@ void ChooseAccessPath(ScanPlan* scan,
       equalities.emplace(ToUpper(column), std::move(literal));
     }
   }
-  if (equalities.empty()) return;
   const TableDef& def = scan->table->def();
   auto try_index = [&](const std::vector<std::string>& columns,
                        ScanPlan::Access access) {
@@ -200,14 +275,125 @@ void ChooseAccessPath(ScanPlan* scan,
     scan->key_values = std::move(key);
     return true;
   };
-  for (const std::vector<std::string>& columns :
-       scan->table->UniqueIndexColumns()) {
-    if (try_index(columns, ScanPlan::Access::kUniqueLookup)) return;
+  if (!equalities.empty()) {
+    for (const std::vector<std::string>& columns :
+         scan->table->UniqueIndexColumns()) {
+      if (try_index(columns, ScanPlan::Access::kUniqueLookup)) return;
+    }
+    for (const std::vector<std::string>& columns :
+         scan->table->SecondaryIndexColumns()) {
+      if (try_index(columns, ScanPlan::Access::kIndexScan)) return;
+    }
   }
-  for (const std::vector<std::string>& columns :
-       scan->table->SecondaryIndexColumns()) {
-    if (try_index(columns, ScanPlan::Access::kIndexScan)) return;
+  // Radix prefix scan: a pushed `col LIKE 'prefix...'` conjunct over a
+  // radix-indexed TEXT column narrows the scan to rows starting with the
+  // pattern's literal prefix. The conjunct stays in `pushed` and is still
+  // re-evaluated per fetched row, so the wildcard tail (and any other
+  // conjunct) filters exactly as before.
+  for (const Expr* e : scan->pushed) {
+    if (e->kind != Expr::Kind::kBinary || e->op != Expr::Op::kLike) continue;
+    if (e->left->kind != Expr::Kind::kColumn ||
+        e->right->kind != Expr::Kind::kLiteral ||
+        !e->right->literal.IsStringKind()) {
+      continue;
+    }
+    std::optional<size_t> owner =
+        ResolveAlias(aliases, e->left->table, e->left->column);
+    if (!owner.has_value() || *owner != alias_index) continue;
+    Result<size_t> col = def.ColumnIndex(e->left->column);
+    if (!col.ok() || !scan->table->HasRadixIndex(def.columns[*col].name)) {
+      continue;
+    }
+    std::string prefix = LikePatternPrefix(e->right->literal.AsString());
+    if (prefix.empty()) continue;  // leading wildcard: nothing to narrow
+    scan->access = ScanPlan::Access::kPrefixScan;
+    scan->prefix = std::move(prefix);
+    scan->index_columns = {def.columns[*col].name};
+    return;
   }
+}
+
+/// Decides whether the whole aggregate query maps onto one columnar
+/// AggregateScan kernel call, and fills the kernel spec when it does. Every
+/// bail-out leaves the query on the row path, which handles the general
+/// case; the fast path only claims shapes it evaluates identically.
+void PlanAggregateFastPath(const SelectStmt& stmt,
+                           const std::vector<AliasSchema>& aliases,
+                           SelectPlan* plan) {
+  if (plan->scans.size() != 1) return;
+  ScanPlan& scan = plan->scans[0];
+  if (scan.access != ScanPlan::Access::kSeqScan ||
+      scan.table->storage_kind() != Table::StorageKind::kColumnar) {
+    return;
+  }
+  if (!scan.pushed.empty() && !scan.kernel_filter) return;
+  if (!plan->residual_where.empty()) return;
+  if (stmt.having != nullptr || !stmt.order_by.empty() || stmt.distinct ||
+      stmt.limit >= 0 || stmt.offset > 0) {
+    return;
+  }
+  const TableDef& def = scan.table->def();
+  auto plain_column = [&](const Expr& e, size_t* index) {
+    if (e.kind != Expr::Kind::kColumn) return false;
+    std::optional<size_t> owner = ResolveAlias(aliases, e.table, e.column);
+    if (!owner.has_value() || *owner != 0) return false;
+    Result<size_t> idx = def.ColumnIndex(e.column);
+    if (!idx.ok()) return false;
+    *index = *idx;
+    return true;
+  };
+  std::vector<size_t> group_cols;
+  for (const auto& g : stmt.group_by) {
+    size_t idx;
+    if (!plain_column(*g, &idx)) return;
+    group_cols.push_back(idx);
+  }
+  std::vector<store::AggSpec> aggs;
+  std::vector<AggregatePlan::Item> items;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star || item.expr == nullptr) return;
+    const Expr& e = *item.expr;
+    size_t idx = 0;
+    if (plain_column(e, &idx)) {
+      // The DATALINK presentation rewrite applies to direct column
+      // outputs, which the kernel result path does not run.
+      if (def.columns[idx].type == DataType::kDatalink) return;
+      items.push_back({false, idx});
+      continue;
+    }
+    if (e.kind != Expr::Kind::kCall || !IsAggregateFunction(e.func)) return;
+    store::AggSpec spec;
+    if (e.func == "COUNT" && e.star) {
+      spec.fn = store::AggSpec::Fn::kCountStar;
+    } else {
+      if (e.args.size() != 1 || !plain_column(*e.args[0], &spec.column)) {
+        return;
+      }
+      bool numeric = IsNumericType(def.columns[spec.column].type);
+      if (e.func == "COUNT") {
+        spec.fn = store::AggSpec::Fn::kCount;
+      } else if (e.func == "SUM" || e.func == "AVG") {
+        // The row path only errors on SUM/AVG when a non-null non-numeric
+        // value is actually aggregated (all-NULL groups pass); a static
+        // kernel check cannot reproduce that, so text columns stay there.
+        if (!numeric) return;
+        spec.fn = e.func == "SUM" ? store::AggSpec::Fn::kSum
+                                  : store::AggSpec::Fn::kAvg;
+      } else if (e.func == "MIN") {
+        spec.fn = store::AggSpec::Fn::kMin;
+      } else if (e.func == "MAX") {
+        spec.fn = store::AggSpec::Fn::kMax;
+      } else {
+        return;
+      }
+    }
+    items.push_back({true, aggs.size()});
+    aggs.push_back(spec);
+  }
+  plan->aggregate.fast_path = true;
+  plan->aggregate.group_by_cols = std::move(group_cols);
+  plan->aggregate.aggs = std::move(aggs);
+  plan->aggregate.items = std::move(items);
 }
 
 std::string DescribeExprList(const std::vector<const Expr*>& exprs) {
@@ -328,13 +514,43 @@ Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
     ChooseAccessPath(&plan.scans[i], aliases, i);
   }
 
-  // --- LIMIT short-circuit ---
+  // --- Columnar filter kernels ---
+  // A columnar seq scan whose pushed conjuncts all convert runs the
+  // vectorised filter instead of materialising every row. All-or-nothing:
+  // partial conversion could change which conjunct errors first.
+  for (size_t i = 0; i < plan.scans.size(); ++i) {
+    ScanPlan& scan = plan.scans[i];
+    if (scan.access != ScanPlan::Access::kSeqScan || scan.pushed.empty() ||
+        scan.table->storage_kind() != Table::StorageKind::kColumnar) {
+      continue;
+    }
+    std::vector<store::ColPredicate> preds;
+    bool all = true;
+    for (const Expr* e : scan.pushed) {
+      store::ColPredicate p;
+      if (!ConvertToColPredicate(*e, aliases, i, &p)) {
+        all = false;
+        break;
+      }
+      preds.push_back(std::move(p));
+    }
+    if (all) {
+      scan.kernel_filter = true;
+      scan.kernel_predicates = std::move(preds);
+    }
+  }
+
+  // --- Aggregation ---
   bool aggregate_query = !stmt.group_by.empty() || stmt.having != nullptr;
   for (const SelectItem& item : stmt.items) {
     if (item.expr != nullptr && item.expr->ContainsAggregate()) {
       aggregate_query = true;
     }
   }
+  plan.aggregate.present = aggregate_query;
+  if (aggregate_query) PlanAggregateFastPath(stmt, aliases, &plan);
+
+  // --- LIMIT short-circuit ---
   if (stmt.limit >= 0 && stmt.order_by.empty() && !aggregate_query &&
       !stmt.distinct) {
     plan.row_cutoff = stmt.limit + std::max<int64_t>(stmt.offset, 0);
@@ -358,9 +574,14 @@ std::vector<std::string> SelectPlan::Describe() const {
       case ScanPlan::Access::kIndexScan:
         line += "index scan via (" + Join(scan.index_columns, ", ") + ")";
         break;
+      case ScanPlan::Access::kPrefixScan:
+        line += "prefix scan via (" + Join(scan.index_columns, ", ") +
+                "), prefix '" + scan.prefix + "'";
+        break;
     }
     if (!scan.pushed.empty()) {
       line += ", pushed: " + DescribeExprList(scan.pushed);
+      if (scan.kernel_filter) line += " [columnar filter]";
     }
     lines.push_back(std::move(line));
   }
@@ -384,6 +605,20 @@ std::vector<std::string> SelectPlan::Describe() const {
   }
   if (!residual_where.empty()) {
     lines.push_back("where residual: " + DescribeExprList(residual_where));
+  }
+  if (aggregate.present && stmt != nullptr) {
+    std::vector<std::string> parts;
+    for (const SelectItem& item : stmt->items) {
+      parts.push_back(item.star ? "*" : item.expr->ToString());
+    }
+    std::string line = "aggregate: " + Join(parts, ", ");
+    if (!stmt->group_by.empty()) {
+      std::vector<std::string> keys;
+      for (const auto& g : stmt->group_by) keys.push_back(g->ToString());
+      line += " group by (" + Join(keys, ", ") + ")";
+    }
+    line += aggregate.fast_path ? " [columnar fast path]" : " [row path]";
+    lines.push_back(std::move(line));
   }
   if (row_cutoff >= 0) {
     lines.push_back(StrPrintf("limit short-circuit: %lld",

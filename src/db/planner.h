@@ -18,6 +18,7 @@ struct ScanPlan {
     kSeqScan,       // full table scan
     kUniqueLookup,  // point fetch through a unique index (PK or UNIQUE)
     kIndexScan,     // non-unique secondary index (FK columns)
+    kPrefixScan,    // radix prefix index over a LIKE 'prefix%' conjunct
   };
 
   const Table* table = nullptr;
@@ -27,10 +28,21 @@ struct ScanPlan {
   std::vector<std::string> index_columns;
   /// Literal key values, coerced to the index column types.
   std::vector<Value> key_values;
+  /// kPrefixScan: the literal prefix every match must start with
+  /// (LikePatternPrefix of the pushed pattern); the radix-indexed column
+  /// is index_columns[0].
+  std::string prefix;
   /// Single-table WHERE/ON conjuncts pushed below the join. These are
   /// re-evaluated on every fetched row (including index hits), so an index
   /// choice can never change which rows qualify.
   std::vector<const Expr*> pushed;
+  /// Columnar seq scans only: every pushed conjunct translated into a
+  /// ColumnStore predicate, so the executor can run the filter kernel
+  /// instead of materialising every row. Set only when ALL pushed
+  /// conjuncts convert (partial conversion could reorder which predicate
+  /// errors first).
+  bool kernel_filter = false;
+  std::vector<store::ColPredicate> kernel_predicates;
 };
 
 /// How scans[i] (i >= 1) is attached to the rows accumulated so far.
@@ -48,11 +60,33 @@ struct JoinPlan {
   std::vector<const Expr*> residual;
 };
 
+/// Aggregation step of a planned SELECT. `present` marks any aggregate /
+/// GROUP BY query; `fast_path` additionally means the whole query maps
+/// onto one columnar AggregateScan kernel call: single columnar seq scan,
+/// every pushed predicate kernel-convertible, plain-column GROUP BY, and a
+/// select list of plain columns and plain aggregate calls — no HAVING,
+/// ORDER BY, DISTINCT, LIMIT/OFFSET, joins or residual predicates.
+struct AggregatePlan {
+  bool present = false;
+  bool fast_path = false;
+  /// kernel inputs (fast_path only)
+  std::vector<size_t> group_by_cols;
+  std::vector<store::AggSpec> aggs;
+  /// Output mapping per select item: an aggregate slot (index into `aggs`)
+  /// or a table column fetched from the group's first row.
+  struct Item {
+    bool is_aggregate = false;
+    size_t index = 0;
+  };
+  std::vector<Item> items;
+};
+
 /// A planned SELECT: per-table access paths, join strategies, the residual
 /// WHERE that survives pushdown, and an optional row-production cutoff.
 struct SelectPlan {
   const SelectStmt* stmt = nullptr;
   std::vector<ScanPlan> scans;
+  AggregatePlan aggregate;
   /// joins[i] attaches scans[i + 1]; empty for single-table queries.
   std::vector<JoinPlan> joins;
   /// WHERE conjuncts not pushed to a scan or consumed by a join.

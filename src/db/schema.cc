@@ -102,6 +102,7 @@ std::string TableDef::ToSql() const {
     out += i + 1 < unique_constraints.size() ? ",\n" : "\n";
   }
   out += ")";
+  if (columnar) out += " STORE COLUMNAR";
   return out;
 }
 

@@ -40,6 +40,9 @@ struct TableDef {
   std::vector<std::string> primary_key;
   std::vector<ForeignKeyDef> foreign_keys;
   std::vector<std::vector<std::string>> unique_constraints;
+  /// True for `CREATE TABLE ... STORE COLUMNAR`: the table is hosted in
+  /// columnar pages (store::ColumnStore) instead of the row map.
+  bool columnar = false;
 
   /// Index of a column by name (case-insensitive per SQL), or error.
   Result<size_t> ColumnIndex(std::string_view column_name) const;

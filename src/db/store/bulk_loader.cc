@@ -1,0 +1,86 @@
+#include "db/store/bulk_loader.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "db/table.h"
+
+namespace easia::db::store {
+
+std::string SerializeBulk(const TableDef& def, const std::vector<Row>& rows,
+                          size_t chunk_rows) {
+  if (chunk_rows == 0) chunk_rows = kDefaultChunkRows;
+  std::string out(kBulkMagic);
+  PutU32(&out, static_cast<uint32_t>(def.columns.size()));
+  for (const ColumnDef& col : def.columns) {
+    PutLengthPrefixed(&out, col.name);
+    PutU8(&out, static_cast<uint8_t>(col.type));
+  }
+  for (size_t start = 0; start < rows.size(); start += chunk_rows) {
+    size_t end = std::min(rows.size(), start + chunk_rows);
+    std::string payload;
+    PutU32(&payload, static_cast<uint32_t>(end - start));
+    for (size_t i = start; i < end; ++i) {
+      EncodeRow(&payload, rows[i]);
+    }
+    PutU32(&out, Crc32(payload));
+    PutLengthPrefixed(&out, payload);
+  }
+  return out;
+}
+
+Status WriteBulkFile(io::Env* env, const std::string& path,
+                     const TableDef& def, const std::vector<Row>& rows,
+                     size_t chunk_rows) {
+  return env->WriteFileAtomic(path, SerializeBulk(def, rows, chunk_rows));
+}
+
+Result<BulkFile> ParseBulk(std::string_view contents) {
+  if (contents.substr(0, kBulkMagic.size()) != kBulkMagic) {
+    return Status::Corruption("bulk file: bad magic");
+  }
+  Decoder dec(contents.substr(kBulkMagic.size()));
+  BulkFile file;
+  EASIA_ASSIGN_OR_RETURN(uint32_t ncols, dec.GetU32());
+  for (uint32_t i = 0; i < ncols; ++i) {
+    EASIA_ASSIGN_OR_RETURN(std::string_view name, dec.GetLengthPrefixed());
+    EASIA_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
+    if (type > static_cast<uint8_t>(DataType::kDatalink)) {
+      return Status::Corruption("bulk file: bad column type");
+    }
+    file.columns.emplace_back(name);
+    file.types.push_back(static_cast<DataType>(type));
+  }
+  while (!dec.Done()) {
+    EASIA_ASSIGN_OR_RETURN(uint32_t crc, dec.GetU32());
+    EASIA_ASSIGN_OR_RETURN(std::string_view payload, dec.GetLengthPrefixed());
+    if (Crc32(payload) != crc) {
+      return Status::Corruption("bulk file: chunk checksum mismatch");
+    }
+    Decoder chunk_dec(payload);
+    EASIA_ASSIGN_OR_RETURN(uint32_t nrows, chunk_dec.GetU32());
+    std::vector<Row> chunk;
+    chunk.reserve(nrows);
+    for (uint32_t i = 0; i < nrows; ++i) {
+      EASIA_ASSIGN_OR_RETURN(Row row, DecodeRow(&chunk_dec));
+      if (row.size() != file.columns.size()) {
+        return Status::Corruption("bulk file: row width mismatch");
+      }
+      chunk.push_back(std::move(row));
+    }
+    if (!chunk_dec.Done()) {
+      return Status::Corruption("bulk file: trailing bytes in chunk");
+    }
+    file.chunks.push_back(std::move(chunk));
+  }
+  return file;
+}
+
+Result<BulkFile> ReadBulkFile(io::Env* env, const std::string& path) {
+  EASIA_ASSIGN_OR_RETURN(std::string contents, env->ReadFileToString(path));
+  Result<BulkFile> parsed = ParseBulk(contents);
+  if (!parsed.ok()) return parsed.status().WithContext("bulk file " + path);
+  return parsed;
+}
+
+}  // namespace easia::db::store

@@ -1,0 +1,63 @@
+#ifndef EASIA_DB_STORE_BULK_LOADER_H_
+#define EASIA_DB_STORE_BULK_LOADER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "db/schema.h"
+#include "db/store/column_page.h"
+
+namespace easia::db::store {
+
+/// Binary bulk-ingest file format behind `COPY <table> FROM '<path>'`:
+///
+///   "EASIABULK1"                          magic
+///   u32 column_count
+///   column_count x { length-prefixed name, u8 DataType }
+///   repeated chunks:
+///     u32 crc32(payload)
+///     length-prefixed payload = u32 row_count + row_count x EncodeRow
+///
+/// Rows are pre-encoded in the WAL's row encoding, so ingest skips SQL
+/// parsing entirely: the loader decodes straight into Row vectors and the
+/// executor writes one batch WAL record per chunk. Chunks are individually
+/// checksummed; unlike the WAL, a torn or corrupt chunk is an error (bulk
+/// files are written atomically, not appended).
+inline constexpr std::string_view kBulkMagic = "EASIABULK1";
+
+/// Default rows per chunk; one WAL record and one commit per chunk.
+inline constexpr size_t kDefaultChunkRows = 1024;
+
+/// A parsed bulk file: the column header plus decoded row chunks.
+struct BulkFile {
+  std::vector<std::string> columns;
+  std::vector<DataType> types;
+  std::vector<std::vector<Row>> chunks;
+
+  size_t total_rows() const {
+    size_t n = 0;
+    for (const auto& chunk : chunks) n += chunk.size();
+    return n;
+  }
+};
+
+/// Serialises `rows` for table `def` into the bulk format,
+/// `chunk_rows` rows per chunk (0 falls back to kDefaultChunkRows).
+std::string SerializeBulk(const TableDef& def, const std::vector<Row>& rows,
+                          size_t chunk_rows);
+
+/// SerializeBulk + atomic write through the Env seam.
+Status WriteBulkFile(io::Env* env, const std::string& path,
+                     const TableDef& def, const std::vector<Row>& rows,
+                     size_t chunk_rows);
+
+Result<BulkFile> ParseBulk(std::string_view contents);
+
+Result<BulkFile> ReadBulkFile(io::Env* env, const std::string& path);
+
+}  // namespace easia::db::store
+
+#endif  // EASIA_DB_STORE_BULK_LOADER_H_

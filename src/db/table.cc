@@ -86,6 +86,16 @@ Result<Row> DecodeRow(Decoder* dec) {
 }
 
 Table::Table(TableDef def) : def_(std::move(def)) {
+  if (def_.columnar) {
+    column_store_ = std::make_unique<store::ColumnStore>(def_);
+    // Columnar tables carry a radix prefix index per VARCHAR column,
+    // powering LIKE-prefix pushdown and /typeahead name lookups.
+    for (size_t i = 0; i < def_.columns.size(); ++i) {
+      if (def_.columns[i].type == DataType::kVarchar) {
+        radix_indexes_.try_emplace(i);
+      }
+    }
+  }
   auto add_index = [&](const std::vector<std::string>& columns,
                        bool primary) {
     UniqueIndex index;
@@ -155,9 +165,40 @@ void Table::IndexInsert(RowId id, const Row& row) {
     if (!AllNonNull(row, index.column_indexes)) continue;
     index.entries[MakeKey(row, index.column_indexes)] = id;
   }
+  NonUniqueIndexInsert(id, row);
+}
+
+Status Table::ReserveUniqueEntries(RowId id, const Row& row) {
+  for (size_t n = 0; n < indexes_.size(); ++n) {
+    UniqueIndex& index = indexes_[n];
+    if (!AllNonNull(row, index.column_indexes)) continue;
+    auto [it, inserted] =
+        index.entries.try_emplace(MakeKey(row, index.column_indexes), id);
+    if (inserted) continue;
+    // Unwind the entries the earlier indexes reserved for this row.
+    for (size_t m = 0; m < n; ++m) {
+      UniqueIndex& prev = indexes_[m];
+      if (!AllNonNull(row, prev.column_indexes)) continue;
+      auto pit = prev.entries.find(MakeKey(row, prev.column_indexes));
+      if (pit != prev.entries.end() && pit->second == id) {
+        prev.entries.erase(pit);
+      }
+    }
+    return Status::ConstraintViolation(
+        (index.is_primary ? "duplicate primary key in table "
+                          : "unique constraint violated in table ") +
+        def_.name);
+  }
+  return Status::OK();
+}
+
+void Table::NonUniqueIndexInsert(RowId id, const Row& row) {
   for (SecondaryIndex& index : secondary_indexes_) {
     if (!AllNonNull(row, index.column_indexes)) continue;
     index.entries.emplace(MakeKey(row, index.column_indexes), id);
+  }
+  for (auto& [col, radix] : radix_indexes_) {
+    if (!row[col].is_null()) radix.Insert(row[col].AsString(), id);
   }
 }
 
@@ -179,15 +220,42 @@ void Table::IndexRemove(RowId id, const Row& row) {
       }
     }
   }
+  for (auto& [col, radix] : radix_indexes_) {
+    if (!row[col].is_null()) radix.Remove(row[col].AsString(), id);
+  }
 }
 
-Result<RowId> Table::Insert(Row row) {
+Result<RowId> Table::Insert(const Row& row) {
   if (row.size() != def_.columns.size()) {
     return Status::Internal("row arity mismatch in table " + def_.name);
   }
-  EASIA_RETURN_IF_ERROR(CheckUnique(row, 0));
-  RowId id = next_row_id_++;
-  IndexInsert(id, row);
+  RowId id = next_row_id_;
+  EASIA_RETURN_IF_ERROR(ReserveUniqueEntries(id, row));
+  ++next_row_id_;
+  if (column_store_) {
+    Status appended = column_store_->Append(id, row);
+    if (!appended.ok()) {
+      IndexRemove(id, row);  // release the reserved unique entries
+      return appended;
+    }
+  } else {
+    rows_.emplace(id, row);
+  }
+  NonUniqueIndexInsert(id, row);
+  return id;
+}
+
+Result<RowId> Table::Insert(Row&& row) {
+  // Columnar tables never store the row itself, so the const-ref path is
+  // already copy-free there.
+  if (column_store_) return Insert(row);
+  if (row.size() != def_.columns.size()) {
+    return Status::Internal("row arity mismatch in table " + def_.name);
+  }
+  RowId id = next_row_id_;
+  EASIA_RETURN_IF_ERROR(ReserveUniqueEntries(id, row));
+  ++next_row_id_;
+  NonUniqueIndexInsert(id, row);
   rows_.emplace(id, std::move(row));
   return id;
 }
@@ -196,24 +264,40 @@ Status Table::InsertWithId(RowId id, Row row) {
   if (row.size() != def_.columns.size()) {
     return Status::Internal("row arity mismatch in table " + def_.name);
   }
-  if (rows_.count(id) != 0) {
+  bool present =
+      column_store_ ? column_store_->Contains(id) : rows_.count(id) != 0;
+  if (present) {
     return Status::AlreadyExists(StrPrintf("rowid %llu already present",
                                            static_cast<unsigned long long>(id)));
   }
   EASIA_RETURN_IF_ERROR(CheckUnique(row, 0));
+  if (column_store_) {
+    EASIA_RETURN_IF_ERROR(column_store_->Append(id, row));
+  }
   IndexInsert(id, row);
-  rows_.emplace(id, std::move(row));
+  if (!column_store_) rows_.emplace(id, std::move(row));
   if (id >= next_row_id_) next_row_id_ = id + 1;
   return Status::OK();
 }
 
 Status Table::Update(RowId id, Row new_row) {
+  if (new_row.size() != def_.columns.size()) {
+    return Status::Internal("row arity mismatch in table " + def_.name);
+  }
+  if (column_store_) {
+    Result<Row> old_row = column_store_->Get(id);
+    if (!old_row.ok()) {
+      return Status::NotFound("update: no such row in " + def_.name);
+    }
+    EASIA_RETURN_IF_ERROR(CheckUnique(new_row, id));
+    EASIA_RETURN_IF_ERROR(column_store_->Update(id, new_row));
+    IndexRemove(id, *old_row);
+    IndexInsert(id, new_row);
+    return Status::OK();
+  }
   auto it = rows_.find(id);
   if (it == rows_.end()) {
     return Status::NotFound("update: no such row in " + def_.name);
-  }
-  if (new_row.size() != def_.columns.size()) {
-    return Status::Internal("row arity mismatch in table " + def_.name);
   }
   EASIA_RETURN_IF_ERROR(CheckUnique(new_row, id));
   IndexRemove(id, it->second);
@@ -223,6 +307,15 @@ Status Table::Update(RowId id, Row new_row) {
 }
 
 Status Table::Delete(RowId id) {
+  if (column_store_) {
+    Result<Row> old_row = column_store_->Get(id);
+    if (!old_row.ok()) {
+      return Status::NotFound("delete: no such row in " + def_.name);
+    }
+    EASIA_RETURN_IF_ERROR(column_store_->Delete(id));
+    IndexRemove(id, *old_row);
+    return Status::OK();
+  }
   auto it = rows_.find(id);
   if (it == rows_.end()) {
     return Status::NotFound("delete: no such row in " + def_.name);
@@ -232,12 +325,26 @@ Status Table::Delete(RowId id) {
   return Status::OK();
 }
 
-Result<const Row*> Table::Get(RowId id) const {
+Result<Row> Table::Get(RowId id) const {
+  if (column_store_) {
+    Result<Row> row = column_store_->Get(id);
+    if (!row.ok()) return Status::NotFound("no such row in " + def_.name);
+    return row;
+  }
   auto it = rows_.find(id);
   if (it == rows_.end()) {
     return Status::NotFound("no such row in " + def_.name);
   }
-  return &it->second;
+  return it->second;
+}
+
+void Table::ForEachRow(
+    const std::function<void(RowId, const Row&)>& fn) const {
+  if (column_store_) {
+    column_store_->ForEachRow(fn);
+    return;
+  }
+  for (const auto& [id, row] : rows_) fn(id, row);
 }
 
 Result<RowId> Table::FindUnique(const std::vector<std::string>& columns,
@@ -264,17 +371,18 @@ Result<RowId> Table::FindUnique(const std::vector<std::string>& columns,
       return it->second;
     }
   }
-  // Fall back to a scan.
-  for (const auto& [id, row] : rows_) {
-    bool match = true;
+  // Fall back to a scan (first match in RowId order).
+  RowId found = 0;
+  bool has_found = false;
+  ForEachRow([&](RowId id, const Row& row) {
+    if (has_found) return;
     for (size_t i = 0; i < col_indexes.size(); ++i) {
-      if (!row[col_indexes[i]].Equals(key_values[i])) {
-        match = false;
-        break;
-      }
+      if (!row[col_indexes[i]].Equals(key_values[i])) return;
     }
-    if (match) return id;
-  }
+    found = id;
+    has_found = true;
+  });
+  if (has_found) return found;
   return Status::NotFound("no row with given key in " + def_.name);
 }
 
@@ -339,27 +447,66 @@ Result<std::vector<RowId>> Table::FindByIndex(
   }
   // No covering index: scan in RowId order.
   std::vector<RowId> ids;
-  for (const auto& [id, row] : rows_) {
-    bool match = true;
+  ForEachRow([&](RowId id, const Row& row) {
     for (size_t i = 0; i < col_indexes.size(); ++i) {
       if (row[col_indexes[i]].is_null() ||
           !row[col_indexes[i]].Equals(key_values[i])) {
-        match = false;
-        break;
+        return;
       }
     }
-    if (match) ids.push_back(id);
-  }
+    ids.push_back(id);
+  });
   return ids;
 }
 
 bool Table::AnyRowWithValue(size_t column_index, const Value& value) const {
-  for (const auto& [id, row] : rows_) {
+  bool found = false;
+  ForEachRow([&](RowId /*id*/, const Row& row) {
+    if (found) return;
     if (!row[column_index].is_null() && row[column_index].Equals(value)) {
-      return true;
+      found = true;
     }
+  });
+  return found;
+}
+
+const store::RadixIndex* Table::FindRadix(std::string_view column) const {
+  Result<size_t> idx = def_.ColumnIndex(column);
+  if (!idx.ok()) return nullptr;
+  auto it = radix_indexes_.find(*idx);
+  return it == radix_indexes_.end() ? nullptr : &it->second;
+}
+
+bool Table::HasRadixIndex(std::string_view column) const {
+  return FindRadix(column) != nullptr;
+}
+
+std::vector<RowId> Table::RadixPrefixRowIds(std::string_view column,
+                                            std::string_view prefix) const {
+  const store::RadixIndex* radix = FindRadix(column);
+  if (radix == nullptr) return {};
+  return radix->PrefixRowIds(prefix);
+}
+
+std::vector<std::string> Table::RadixPrefixValues(std::string_view column,
+                                                  std::string_view prefix,
+                                                  size_t limit) const {
+  const store::RadixIndex* radix = FindRadix(column);
+  if (radix == nullptr) return {};
+  return radix->PrefixValues(prefix, limit);
+}
+
+Table::StorageStats Table::GetStorageStats() const {
+  StorageStats stats;
+  stats.columnar = column_store_ != nullptr;
+  stats.rows = RowCount();
+  if (column_store_) stats.columnar_bytes = column_store_->ApproxBytes();
+  for (const auto& [col, radix] : radix_indexes_) {
+    store::RadixIndex::Stats rs = radix.GetStats();
+    stats.radix_nodes += rs.nodes;
+    stats.radix_bytes += rs.bytes;
   }
-  return false;
+  return stats;
 }
 
 }  // namespace easia::db

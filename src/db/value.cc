@@ -1,6 +1,7 @@
 #include "db/value.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/string_util.h"
 
@@ -156,9 +157,14 @@ std::string Value::ToKeyString() const {
   if (null_) return "\x00N";
   std::string out;
   if (IsNumericKind()) {
-    // Normalise numerics so 3 (INTEGER) == 3.0 (DOUBLE) in keys.
-    out = "\x01";
-    out += StrPrintf("%.17g", AsDouble());
+    // Normalise numerics so 3 (INTEGER) == 3.0 (DOUBLE) in keys. The raw
+    // double bits partition values exactly like a %.17g rendering (which
+    // round-trips doubles, -0.0 included) at a fraction of the cost, and
+    // match the columnar kernels' group-key fragments.
+    double d = AsDouble();
+    out.resize(1 + sizeof(double));
+    out[0] = '\x01';
+    std::memcpy(&out[1], &d, sizeof(double));
   } else {
     out = "\x02";
     out += str_;

@@ -14,6 +14,10 @@ std::string WalRecord::Encode() const {
   EncodeRow(&out, row);
   EncodeRow(&out, old_row);
   PutLengthPrefixed(&out, ddl_sql);
+  if (type == WalRecordType::kBulkLoad) {
+    PutU32(&out, static_cast<uint32_t>(bulk_rows.size()));
+    for (const Row& r : bulk_rows) EncodeRow(&out, r);
+  }
   return out;
 }
 
@@ -21,7 +25,7 @@ Result<WalRecord> WalRecord::Decode(std::string_view payload) {
   Decoder dec(payload);
   WalRecord rec;
   EASIA_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
-  if (type < 1 || type > 8) return Status::Corruption("wal: bad record type");
+  if (type < 1 || type > 9) return Status::Corruption("wal: bad record type");
   rec.type = static_cast<WalRecordType>(type);
   EASIA_ASSIGN_OR_RETURN(rec.txn_id, dec.GetU64());
   EASIA_ASSIGN_OR_RETURN(rec.table, dec.GetLengthPrefixed());
@@ -29,6 +33,14 @@ Result<WalRecord> WalRecord::Decode(std::string_view payload) {
   EASIA_ASSIGN_OR_RETURN(rec.row, DecodeRow(&dec));
   EASIA_ASSIGN_OR_RETURN(rec.old_row, DecodeRow(&dec));
   EASIA_ASSIGN_OR_RETURN(rec.ddl_sql, dec.GetLengthPrefixed());
+  if (rec.type == WalRecordType::kBulkLoad) {
+    EASIA_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+    rec.bulk_rows.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      EASIA_ASSIGN_OR_RETURN(Row r, DecodeRow(&dec));
+      rec.bulk_rows.push_back(std::move(r));
+    }
+  }
   if (!dec.Done()) return Status::Corruption("wal: trailing bytes in record");
   return rec;
 }

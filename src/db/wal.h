@@ -28,6 +28,10 @@ enum class WalRecordType : uint8_t {
   kDelete = 6,
   kCreateTable = 7,
   kDropTable = 8,
+  /// One COPY chunk: `bulk_rows` inserted under consecutive RowIds
+  /// starting at `row_id`. One record per N-row chunk replaces N kInsert
+  /// records on the bulk-ingest path.
+  kBulkLoad = 9,
 };
 
 struct WalRecord {
@@ -38,6 +42,8 @@ struct WalRecord {
   Row row;      // insert: new row; update: new row
   Row old_row;  // update/delete: previous row (for audit/backup tooling)
   std::string ddl_sql;
+  /// kBulkLoad only: the chunk's rows, RowIds row_id .. row_id+n-1.
+  std::vector<Row> bulk_rows;
 
   std::string Encode() const;
   static Result<WalRecord> Decode(std::string_view payload);

@@ -40,7 +40,13 @@ Result<ReconcileFindings> DatalinkReconciler::Run(bool repair) {
     if (dl_columns.empty()) continue;
     EASIA_ASSIGN_OR_RETURN(const db::Table* table,
                            database_->GetTable(table_name));
-    for (const auto& [row_id, row] : table->rows()) {
+    // Materialised up front: the per-value checks below early-return with
+    // Status, which a ForEachRow callback cannot do.
+    std::vector<db::Row> table_rows;
+    table->ForEachRow([&table_rows](db::RowId, const db::Row& row) {
+      table_rows.push_back(row);
+    });
+    for (const db::Row& row : table_rows) {
       for (const auto& [idx, col] : dl_columns) {
         if (row[idx].is_null()) continue;
         ++findings.values_checked;

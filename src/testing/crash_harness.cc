@@ -28,12 +28,12 @@ std::string DumpDatabase(const db::Database& db, size_t* rows_out) {
     out << "#" << name << "\n";
     Result<const db::Table*> table = db.GetTable(name);
     if (!table.ok()) continue;
-    for (const auto& [id, row] : (*table)->rows()) {
+    (*table)->ForEachRow([&](db::RowId id, const db::Row& row) {
       out << id;
       for (const db::Value& v : row) out << "|" << v.ToDisplayString();
       out << "\n";
       if (rows_out != nullptr) ++*rows_out;
-    }
+    });
   }
   return out.str();
 }
@@ -471,17 +471,17 @@ CrashReport RunDatalinkCrashCase(const DatalinkCrashOptions& options) {
                                  first->dangling_urls.end());
   Result<const db::Table*> table = recovered.GetTable("RESULT_FILE");
   if (table.ok()) {
-    for (const auto& [row_id, row] : (*table)->rows()) {
-      if (row.size() < 2 || row[1].is_null()) continue;
+    (*table)->ForEachRow([&](db::RowId, const db::Row& row) {
+      if (row.size() < 2 || row[1].is_null()) return;
       const std::string& url = row[1].AsString();
-      if (dangling.count(url) != 0) continue;
+      if (dangling.count(url) != 0) return;
       Result<fs::FileUrl> parsed = fs::ParseFileUrl(url);
       if (!parsed.ok() || !server->vfs().Exists(parsed->path)) {
         report.violations.push_back("unflagged dangling DATALINK: " + url);
       } else if (!server->vfs().IsPinned(parsed->path)) {
         report.violations.push_back("linked file left unpinned: " + url);
       }
-    }
+    });
   }
   // Every lost file a completed backup covers restores from its copy —
   // it must never surface as dangling. Files lost outside backup

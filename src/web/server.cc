@@ -24,11 +24,11 @@ std::string ParamOr(const fs::HttpParams& params, const std::string& key,
 /// metric cardinality.
 constexpr const char* kRoutes[] = {
     "/login",       "/logout",      "/tables",    "/query",
-    "/search",      "/browse",      "/object",    "/object/put",
-    "/opform",      "/runop",       "/runchain",  "/upload",
-    "/jobs/submit", "/jobs/status", "/jobs/list", "/jobs/cancel",
-    "/xuis",        "/stats",       "/metrics",   "/users",
-    "other"};
+    "/search",      "/browse",      "/typeahead", "/object",
+    "/object/put",  "/opform",      "/runop",     "/runchain",
+    "/upload",      "/jobs/submit", "/jobs/status", "/jobs/list",
+    "/jobs/cancel", "/xuis",        "/stats",     "/metrics",
+    "/users",       "other"};
 
 constexpr const char kHttpRequestsHelp[] =
     "HTTP requests served, by route and status code";
@@ -126,6 +126,7 @@ HttpResponse ArchiveWebServer::Dispatch(const HttpRequest& request) {
   if (request.path == "/query") return HandleQueryForm(request, session);
   if (request.path == "/search") return HandleSearch(request, session);
   if (request.path == "/browse") return HandleBrowse(request, session);
+  if (request.path == "/typeahead") return HandleTypeahead(request, session);
   if (request.path == "/object/put") return HandleObjectPut(request, session);
   if (request.path == "/object") return HandleObject(request, session);
   if (request.path == "/opform") return HandleOpForm(request, session);
@@ -353,6 +354,46 @@ HttpResponse ArchiveWebServer::HandleBrowse(const HttpRequest& request,
     }
     const xuis::XuisTable* table = spec.FindTable(table_name);
     return RenderQuery(*sql, table, session);
+  });
+}
+
+HttpResponse ArchiveWebServer::HandleTypeahead(const HttpRequest& request,
+                                               const Session& session) {
+  std::string table_name = ParamOr(request.params, "table");
+  std::string column = ParamOr(request.params, "column");
+  std::string prefix = ParamOr(request.params, "prefix");
+  std::string limit = ParamOr(request.params, "limit", "10");
+  std::string params = "table=" + table_name + "&column=" + column +
+                       "&prefix=" + prefix + "&limit=" + limit;
+  return CachedRender(session, /*per_user=*/false, "/typeahead", params, [&] {
+    const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
+    const xuis::XuisTable* table = spec.FindTable(table_name);
+    if (table == nullptr || table->hidden) return Error(404, "no such table");
+    const xuis::XuisColumn* col = table->FindColumn(column);
+    if (col == nullptr || col->hidden) return Error(404, "no such column");
+    Result<int64_t> n = ParseInt64(limit);
+    if (!n.ok() || *n <= 0 || *n > 1000) return Error(400, "bad limit");
+    // The typed prefix is escaped (%, _, \ become literals) before the
+    // trailing %, so LikePatternPrefix recovers exactly the typed text and
+    // the planner serves the completion from the radix prefix index on
+    // columnar tables.
+    std::string pattern = EscapeLikePattern(prefix) + "%";
+    std::string sql = "SELECT DISTINCT " + column + " FROM " + table_name +
+                      " WHERE " + column + " LIKE '" +
+                      ReplaceAll(pattern, "'", "''") + "' ORDER BY " + column +
+                      " LIMIT " + std::to_string(*n);
+    db::ExecContext exec;
+    exec.user = session.user.name;
+    Result<db::QueryResult> result = deps_.database->Execute(sql, exec);
+    if (!result.ok()) return Error(400, result.status().ToString());
+    HttpResponse resp;
+    resp.content_type = "text/plain";
+    for (const db::Row& row : result->rows) {
+      if (row[0].is_null()) continue;
+      resp.body += row[0].ToDisplayString();
+      resp.body += "\n";
+    }
+    return resp;
   });
 }
 

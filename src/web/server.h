@@ -47,6 +47,7 @@ struct HttpResponse {
 ///   /query?table=T              -> QBE form
 ///   /search                     -> run a QBE submission, render results
 ///   /browse?table&column&value  -> PK/FK hyperlink traversal
+///   /typeahead?table&column&prefix&limit -> column-value completions
 ///   /object?table&column&pk...  -> BLOB/CLOB rematerialisation
 ///   /object/put (+value)        -> BLOB/CLOB upload (authorised users)
 ///   /opform?op&dataset          -> operation parameter form
@@ -151,6 +152,8 @@ class ArchiveWebServer {
                             const Session& session);
   HttpResponse HandleBrowse(const HttpRequest& request,
                             const Session& session);
+  HttpResponse HandleTypeahead(const HttpRequest& request,
+                               const Session& session);
   HttpResponse HandleObject(const HttpRequest& request,
                             const Session& session);
   HttpResponse HandleObjectPut(const HttpRequest& request,

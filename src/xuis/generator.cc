@@ -47,17 +47,17 @@ Result<XuisSpec> GenerateDefaultXuis(const db::Database& database,
       if (options.harvest_samples && options.samples_per_column > 0) {
         EASIA_ASSIGN_OR_RETURN(size_t col_idx, def->ColumnIndex(col.name));
         std::set<std::string> seen;
-        for (const auto& [row_id, row] : table->rows()) {
-          if (seen.size() >= options.samples_per_column) break;
+        table->ForEachRow([&](db::RowId, const db::Row& row) {
+          if (seen.size() >= options.samples_per_column) return;
           const db::Value& v = row[col_idx];
-          if (v.is_null()) continue;
+          if (v.is_null()) return;
           // Large objects and datalinks don't make useful QBE samples.
           if (col.type == db::DataType::kBlob ||
               col.type == db::DataType::kClob) {
-            continue;
+            return;
           }
           seen.insert(v.ToDisplayString());
-        }
+        });
         xc.samples.assign(seen.begin(), seen.end());
       }
       xt.columns.push_back(std::move(xc));

@@ -130,9 +130,77 @@ TEST(LikeMatchTest, MultipleWildcards) {
   EXPECT_TRUE(LikeMatch("aaa", "a%a"));
 }
 
-/// Reference implementation (recursive) to cross-check the iterative one.
+TEST(LikeMatchTest, EscapedWildcardsTableDriven) {
+  struct Case {
+    const char* value;
+    const char* pattern;
+    bool match;
+  };
+  // The escape, mid-pattern-% and empty-pattern cases the prefix-scan
+  // pushdown and its row-path fallback must agree on byte for byte.
+  static const Case kCases[] = {
+      {"100%", "100\\%", true},      // escaped % is a literal
+      {"1000", "100\\%", false},
+      {"100%x", "100\\%", false},
+      {"a_b", "a\\_b", true},        // escaped _ is a literal
+      {"axb", "a\\_b", false},
+      {"axb", "a_b", true},
+      {"a\\b", "a\\\\b", true},      // escaped backslash
+      {"ab", "a\\\\b", false},
+      {"a\\", "a\\", true},          // trailing backslash: literal backslash
+      {"a", "a\\", false},
+      {"abcXdef", "abc%def", true},  // % mid-pattern
+      {"abcdef", "abc%def", true},
+      {"abcdeg", "abc%def", false},
+      {"abc50%off", "abc%\\%off", true},
+      {"abc50off", "abc%\\%off", false},
+      {"", "", true},                // empty pattern matches only empty
+      {"a", "", false},
+      {"", "%", true},
+      {"", "%%", true},
+      {"", "_", false},
+      {"%", "\\%", true},
+      {"%", "%", true},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(LikeMatch(c.value, c.pattern), c.match)
+        << "value='" << c.value << "' pattern='" << c.pattern << "'";
+  }
+}
+
+TEST(LikeMatchTest, EscapeLikePatternRoundTrips) {
+  for (const char* s : {"plain", "100%", "a_b", "back\\slash", "%_\\", ""}) {
+    std::string escaped = EscapeLikePattern(s);
+    EXPECT_TRUE(LikeMatch(s, escaped)) << s << " vs " << escaped;
+    // The escaped pattern matches *only* the original text.
+    EXPECT_FALSE(LikeMatch(std::string(s) + "x", escaped));
+  }
+  EXPECT_EQ(EscapeLikePattern("100%"), "100\\%");
+  EXPECT_EQ(EscapeLikePattern("a_b"), "a\\_b");
+  EXPECT_EQ(EscapeLikePattern("a\\b"), "a\\\\b");
+}
+
+TEST(LikeMatchTest, LikePatternPrefix) {
+  EXPECT_EQ(LikePatternPrefix("abc%"), "abc");
+  EXPECT_EQ(LikePatternPrefix("abc%def"), "abc");
+  EXPECT_EQ(LikePatternPrefix("abc"), "abc");
+  EXPECT_EQ(LikePatternPrefix("%abc"), "");
+  EXPECT_EQ(LikePatternPrefix("_bc"), "");
+  EXPECT_EQ(LikePatternPrefix("a\\%b%"), "a%b");  // escape resolved
+  EXPECT_EQ(LikePatternPrefix("a\\\\%"), "a\\");
+  EXPECT_EQ(LikePatternPrefix(""), "");
+}
+
+/// Reference implementation (recursive) to cross-check the iterative one,
+/// including backslash escapes.
 bool LikeRef(std::string_view v, std::string_view p) {
   if (p.empty()) return v.empty();
+  if (p[0] == '\\') {
+    char lit = p.size() > 1 ? p[1] : '\\';
+    size_t skip = p.size() > 1 ? 2 : 1;
+    if (v.empty() || v[0] != lit) return false;
+    return LikeRef(v.substr(1), p.substr(skip));
+  }
   if (p[0] == '%') {
     for (size_t i = 0; i <= v.size(); ++i) {
       if (LikeRef(v.substr(i), p.substr(1))) return true;
@@ -148,15 +216,23 @@ class LikeMatchPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(LikeMatchPropertyTest, AgreesWithReference) {
   Random rng(static_cast<uint64_t>(GetParam()));
-  static const char kAlpha[] = "ab%_";
-  for (int trial = 0; trial < 200; ++trial) {
+  // Values draw from {a, b, \}; patterns additionally use the wildcards,
+  // so escaped-wildcard and escaped-escape paths get real coverage.
+  static const char kAlpha[] = "ab\\%_";
+  for (int trial = 0; trial < 400; ++trial) {
     std::string value, pattern;
     size_t vlen = rng.Uniform(8);
     size_t plen = rng.Uniform(6);
-    for (size_t i = 0; i < vlen; ++i) value += kAlpha[rng.Uniform(2)];
-    for (size_t i = 0; i < plen; ++i) pattern += kAlpha[rng.Uniform(4)];
+    for (size_t i = 0; i < vlen; ++i) value += kAlpha[rng.Uniform(3)];
+    for (size_t i = 0; i < plen; ++i) pattern += kAlpha[rng.Uniform(5)];
     EXPECT_EQ(LikeMatch(value, pattern), LikeRef(value, pattern))
         << "value='" << value << "' pattern='" << pattern << "'";
+    // A prefix-scan pushdown is sound only if every match carries the
+    // computed literal prefix.
+    if (LikeMatch(value, pattern)) {
+      EXPECT_TRUE(StartsWith(value, LikePatternPrefix(pattern)))
+          << "value='" << value << "' pattern='" << pattern << "'";
+    }
   }
 }
 

@@ -23,20 +23,24 @@ int FuzzIters(int default_iters) {
 
 /// Differential fuzzing: seeded random SELECTs executed through both the
 /// query planner and the legacy executor must produce identical results.
-/// The planner (predicate pushdown, index access, hash joins, LIMIT
-/// short-circuit) is the optimised path; the legacy executor is the
-/// naive-but-obviously-correct oracle.
+/// The planner (predicate pushdown, index access, hash joins, columnar
+/// filter/aggregate kernels, radix prefix scans, LIMIT short-circuit) is
+/// the optimised path; the legacy executor is the naive-but-obviously-
+/// correct oracle. Every query additionally runs against a columnar twin
+/// database (same DDL `STORE COLUMNAR`, same inserts), so each check is
+/// four-way: {planned, legacy} x {row store, columnar}.
 class DifferentialFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
     db_ = std::make_unique<Database>("FUZZ");
-    Exec(
+    columnar_db_ = std::make_unique<Database>("CFUZZ");
+    ExecBoth(
         "CREATE TABLE AUTHOR ("
         " AUTHOR_KEY INTEGER NOT NULL,"
         " NAME VARCHAR(40),"
         " AGE INTEGER,"
         " PRIMARY KEY (AUTHOR_KEY))");
-    Exec(
+    ExecBoth(
         "CREATE TABLE SIMULATION ("
         " SIMULATION_KEY INTEGER NOT NULL,"
         " AUTHOR_KEY INTEGER,"
@@ -47,21 +51,27 @@ class DifferentialFuzzTest : public ::testing::Test {
     Random rng(0xDA7A);
     for (int i = 1; i <= 25; ++i) {
       std::string age = rng.OneIn(5) ? "NULL" : std::to_string(rng.Uniform(60));
-      Exec("INSERT INTO AUTHOR VALUES (" + std::to_string(i) + ", 'name" +
-           std::to_string(rng.Uniform(10)) + "', " + age + ")");
+      ExecBoth("INSERT INTO AUTHOR VALUES (" + std::to_string(i) + ", 'name" +
+               std::to_string(rng.Uniform(10)) + "', " + age + ")");
     }
     for (int i = 1; i <= 80; ++i) {
       std::string author =
           rng.OneIn(6) ? "NULL" : std::to_string(1 + rng.Uniform(25));
-      Exec("INSERT INTO SIMULATION VALUES (" + std::to_string(i) + ", " +
-           author + ", " + std::to_string(rng.Uniform(5000)) + ", 'title" +
-           std::to_string(rng.Uniform(12)) + "')");
+      ExecBoth("INSERT INTO SIMULATION VALUES (" + std::to_string(i) + ", " +
+               author + ", " + std::to_string(rng.Uniform(5000)) + ", 'title" +
+               std::to_string(rng.Uniform(12)) + "')");
     }
   }
 
-  void Exec(const std::string& sql) {
+  /// Runs DDL/DML against the row-store database and its columnar twin
+  /// (CREATE TABLE gains the STORE COLUMNAR clause).
+  void ExecBoth(const std::string& sql) {
     Result<QueryResult> r = db_->Execute(sql);
     ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    std::string csql = sql;
+    if (sql.rfind("CREATE TABLE", 0) == 0) csql += " STORE COLUMNAR";
+    Result<QueryResult> cr = columnar_db_->Execute(csql);
+    ASSERT_TRUE(cr.ok()) << csql << " -> " << cr.status().ToString();
   }
 
   /// Rows rendered to comparable strings.
@@ -79,36 +89,50 @@ class DifferentialFuzzTest : public ::testing::Test {
     return out;
   }
 
-  /// Runs one generated query through both executors. `ordered` asserts
-  /// sequence equality (the query carries a total ORDER BY); otherwise the
-  /// row multisets must match.
+  /// Runs one generated query through planned and legacy executors on the
+  /// row-store database AND the columnar twin; all four runs must agree.
+  /// `ordered` asserts sequence equality (the query carries a total
+  /// ORDER BY); otherwise the row multisets must match.
   void CheckEquivalent(const std::string& sql, bool ordered) {
     SCOPED_TRACE(sql);
     Result<Statement> stmt = ParseSql(sql);
     ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
     ASSERT_EQ(stmt->kind, Statement::Kind::kSelect);
-    TableLookup lookup = [this](const std::string& name) {
-      return db_->GetTable(name);
+    struct Run {
+      const char* label;
+      Result<QueryResult> result;
     };
-    Result<QueryResult> planned =
-        ExecuteSelect(*stmt->select, lookup, nullptr, {true});
-    Result<QueryResult> naive =
-        ExecuteSelect(*stmt->select, lookup, nullptr, {false});
-    ASSERT_EQ(planned.ok(), naive.ok())
-        << "planned: " << planned.status().ToString()
-        << "\nnaive:   " << naive.status().ToString();
-    if (!planned.ok()) return;
-    EXPECT_EQ(planned->column_names, naive->column_names);
-    std::vector<std::string> lhs = Render(*planned);
-    std::vector<std::string> rhs = Render(*naive);
-    if (!ordered) {
-      std::sort(lhs.begin(), lhs.end());
-      std::sort(rhs.begin(), rhs.end());
+    std::vector<Run> runs;
+    for (Database* database : {db_.get(), columnar_db_.get()}) {
+      TableLookup lookup = [database](const std::string& name) {
+        return database->GetTable(name);
+      };
+      bool row_store = database == db_.get();
+      runs.push_back({row_store ? "row/planned" : "columnar/planned",
+                      ExecuteSelect(*stmt->select, lookup, nullptr, {true})});
+      runs.push_back({row_store ? "row/naive" : "columnar/naive",
+                      ExecuteSelect(*stmt->select, lookup, nullptr, {false})});
     }
-    EXPECT_EQ(lhs, rhs);
+    const Run& oracle = runs[1];  // row-store naive path
+    for (const Run& run : runs) {
+      ASSERT_EQ(run.result.ok(), oracle.result.ok())
+          << run.label << ": " << run.result.status().ToString()
+          << "\noracle:  " << oracle.result.status().ToString();
+    }
+    if (!oracle.result.ok()) return;
+    std::vector<std::string> want = Render(*oracle.result);
+    if (!ordered) std::sort(want.begin(), want.end());
+    for (const Run& run : runs) {
+      EXPECT_EQ(run.result->column_names, oracle.result->column_names)
+          << run.label;
+      std::vector<std::string> got = Render(*run.result);
+      if (!ordered) std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, want) << run.label;
+    }
   }
 
   std::unique_ptr<Database> db_;
+  std::unique_ptr<Database> columnar_db_;
 };
 
 /// One random predicate over the available columns.
@@ -123,6 +147,33 @@ std::string RandomPredicate(Random& rng, const std::vector<std::string>& cols) {
     default:
       return col + " " + kOps[rng.Uniform(6)] + " " +
              std::to_string(rng.Uniform(5000));
+  }
+}
+
+/// A random LIKE predicate over SIMULATION.TITLE (values title0..title11).
+/// Mostly prefix patterns (planner-pushable to the radix index on the
+/// columnar twin), with occasional leading-wildcard, mid-pattern-%,
+/// single-char-_ and escaped-wildcard shapes that must NOT take (or must
+/// survive) the prefix fast path.
+std::string RandomLikePredicate(Random& rng) {
+  std::string digit = std::to_string(rng.Uniform(12));
+  switch (rng.Uniform(8)) {
+    case 0:
+      return "TITLE LIKE 'title%'";  // matches everything
+    case 1:
+      return "TITLE LIKE '%" + digit + "'";  // leading wildcard
+    case 2:
+      return "TITLE LIKE 'title_'";  // single-char wildcard, no prefix tail
+    case 3:
+      return "TITLE LIKE 't%" + digit + "'";  // short prefix + wildcard tail
+    case 4:
+      return "TITLE LIKE 'title\\%'";  // escaped %: literal, matches nothing
+    case 5:
+      return "TITLE NOT LIKE 'title" + digit + "%'";
+    case 6:
+      return "TITLE LIKE 'xyz%'";  // empty result prefix
+    default:
+      return "TITLE LIKE 'title" + digit + "%'";
   }
 }
 
@@ -227,12 +278,49 @@ TEST_F(DifferentialFuzzTest, AggregateSelects) {
       sql += kAggs[rng.Uniform(6)];
     }
     sql += " FROM SIMULATION";
-    sql += RandomWhere(rng, cols);
+    // A LIKE conjunct forces the aggregate onto mixed filter shapes: a
+    // prefix pattern keeps the columnar fast path via the radix index, a
+    // non-pushable one falls back to the row path.
+    if (rng.OneIn(3)) {
+      sql += " WHERE " + RandomLikePredicate(rng);
+      sql += RandomWhere(rng, cols, " AND ");
+    } else {
+      sql += RandomWhere(rng, cols);
+    }
     if (grouped) {
       sql += " GROUP BY AUTHOR_KEY";
       if (rng.OneIn(3)) sql += " HAVING COUNT(*) > 1";
     }
     CheckEquivalent(sql, /*ordered=*/false);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+}
+
+TEST_F(DifferentialFuzzTest, PrefixLikeSelects) {
+  const int iters = FuzzIters(300);
+  Random rng(0x11CE);
+  const std::vector<std::string> cols = {"SIMULATION_KEY", "AUTHOR_KEY", "RE"};
+  for (int i = 0; i < iters; ++i) {
+    std::string sql = "SELECT ";
+    switch (rng.Uniform(3)) {
+      case 0:
+        sql += "*";
+        break;
+      case 1:
+        sql += "TITLE";
+        break;
+      default:
+        sql += "SIMULATION_KEY, TITLE";
+    }
+    sql += " FROM SIMULATION WHERE " + RandomLikePredicate(rng);
+    if (rng.OneIn(3)) sql += " AND " + RandomPredicate(rng, cols);
+    if (rng.OneIn(4)) sql += " OR " + RandomLikePredicate(rng);
+    bool ordered = rng.OneIn(2);
+    if (ordered) {
+      sql += " ORDER BY TITLE, SIMULATION_KEY";
+      if (rng.OneIn(3)) sql += " LIMIT " + std::to_string(1 + rng.Uniform(10));
+    }
+    CheckEquivalent(sql, ordered);
     if (HasFatalFailure() || HasNonfatalFailure()) return;
   }
 }

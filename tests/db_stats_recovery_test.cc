@@ -139,12 +139,12 @@ TEST_F(DbStatsRecoveryTest, SnapshotRoundTripIsMonotonic) {
 TEST_F(DbStatsRecoveryTest, V1SnapshotsStillLoad) {
   Database db("STATS");
   RunWorkload(&db);
-  std::string v2 = db.SerializeSnapshot();
-  ASSERT_EQ(v2.substr(0, 10), "EASIASNAP2");
+  std::string v3 = db.SerializeSnapshot();
+  ASSERT_EQ(v3.substr(0, 10), "EASIASNAP3");
 
   // Reconstruct the V1 layout: old magic, no stats block, re-CRC'd body.
-  // (Stats are the first 7*8 bytes of the V2 body; the CRC is the last 4.)
-  std::string body = v2.substr(10 + 7 * 8, v2.size() - 10 - 7 * 8 - 4);
+  // (Stats are the first 8*8 bytes of the V3 body; the CRC is the last 4.)
+  std::string body = v3.substr(10 + 8 * 8, v3.size() - 10 - 8 * 8 - 4);
   std::string v1 = "EASIASNAP1" + body;
   uint32_t crc = Crc32(body);
   for (int shift = 0; shift < 32; shift += 8) {

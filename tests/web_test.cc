@@ -329,6 +329,97 @@ TEST_F(WebTest, BrowseRespectsHiddenTablesAndColumns) {
   EXPECT_EQ(unknown.status, 400);
 }
 
+TEST_F(WebTest, TypeaheadMatchesDirectLikeQuery) {
+  auto resp = archive_->Get(alice_, "/typeahead",
+                            {{"table", "SIMULATION"},
+                             {"column", "TITLE"},
+                             {"prefix", "Decaying"},
+                             {"limit", "10"}});
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_EQ(resp.content_type, "text/plain");
+  auto direct = archive_->Execute(
+      "SELECT DISTINCT TITLE FROM SIMULATION WHERE TITLE LIKE 'Decaying%' "
+      "ORDER BY TITLE LIMIT 10");
+  ASSERT_TRUE(direct.ok());
+  ASSERT_FALSE(direct->rows.empty());
+  std::string want;
+  for (const auto& row : direct->rows) {
+    want += row[0].ToDisplayString();
+    want += "\n";
+  }
+  EXPECT_EQ(resp.body, want);
+  // The limit caps the completion list.
+  auto limited = archive_->Get(alice_, "/typeahead",
+                               {{"table", "SIMULATION"},
+                                {"column", "TITLE"},
+                                {"prefix", "Decaying"},
+                                {"limit", "1"}});
+  ASSERT_EQ(limited.status, 200);
+  EXPECT_EQ(limited.body, want.substr(0, want.find('\n') + 1));
+  // No match -> empty body, still 200.
+  auto none = archive_->Get(alice_, "/typeahead",
+                            {{"table", "SIMULATION"},
+                             {"column", "TITLE"},
+                             {"prefix", "Zebra"}});
+  ASSERT_EQ(none.status, 200);
+  EXPECT_TRUE(none.body.empty());
+}
+
+TEST_F(WebTest, TypeaheadEscapesWildcardsInPrefix) {
+  // A literal % in the typed prefix must not act as a wildcard: no title
+  // contains a percent sign, so this returns nothing (an unescaped '%'
+  // would match every row).
+  auto resp = archive_->Get(alice_, "/typeahead",
+                            {{"table", "SIMULATION"},
+                             {"column", "TITLE"},
+                             {"prefix", "%"}});
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_TRUE(resp.body.empty());
+  // Same for '_' (would otherwise match any first character).
+  auto underscore = archive_->Get(alice_, "/typeahead",
+                                  {{"table", "SIMULATION"},
+                                   {"column", "TITLE"},
+                                   {"prefix", "_ecaying"}});
+  ASSERT_EQ(underscore.status, 200);
+  EXPECT_TRUE(underscore.body.empty());
+  // Quotes cannot break out of the SQL literal.
+  auto quote = archive_->Get(alice_, "/typeahead",
+                             {{"table", "SIMULATION"},
+                              {"column", "TITLE"},
+                              {"prefix", "x' OR '1'='1"}});
+  ASSERT_EQ(quote.status, 200) << quote.body;
+  EXPECT_TRUE(quote.body.empty());
+}
+
+TEST_F(WebTest, TypeaheadRespectsHiddenTablesAndColumns) {
+  xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
+  ASSERT_TRUE(c.HideColumn("AUTHOR.EMAIL").ok());
+  auto hidden_col = archive_->Get(alice_, "/typeahead",
+                                  {{"table", "AUTHOR"},
+                                   {"column", "EMAIL"},
+                                   {"prefix", "a"}});
+  EXPECT_EQ(hidden_col.status, 404) << hidden_col.body;
+  ASSERT_TRUE(c.HideTable("CODE_FILE").ok());
+  auto hidden_table = archive_->Get(alice_, "/typeahead",
+                                    {{"table", "CODE_FILE"},
+                                     {"column", "CODE_NAME"},
+                                     {"prefix", "G"}});
+  EXPECT_EQ(hidden_table.status, 404) << hidden_table.body;
+  auto unknown = archive_->Get(alice_, "/typeahead",
+                               {{"table", "NOPE"}, {"column", "X"}});
+  EXPECT_EQ(unknown.status, 404);
+  auto bad_limit = archive_->Get(alice_, "/typeahead",
+                                 {{"table", "SIMULATION"},
+                                  {"column", "TITLE"},
+                                  {"prefix", "D"},
+                                  {"limit", "0"}});
+  EXPECT_EQ(bad_limit.status, 400);
+  auto no_session = archive_->Get("", "/typeahead",
+                                  {{"table", "SIMULATION"},
+                                   {"column", "TITLE"}});
+  EXPECT_EQ(no_session.status, 401);
+}
+
 TEST_F(WebTest, FkSubstitutionShowsName) {
   xuis::XuisCustomizer c(archive_->xuis().MutableDefault());
   ASSERT_TRUE(c.SetFkSubstitution("SIMULATION.AUTHOR_KEY",
