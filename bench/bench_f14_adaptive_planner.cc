@@ -1,0 +1,320 @@
+// F14 — statistics-driven adaptive planner: the same skewed join executed
+// with the static planner (written join order, hash joins only) versus the
+// cost-based planner (stats-driven join reorder + index-loop joins), and a
+// seq-scan hot-predicate workload before/after the index advisor's
+// recommendation is applied. Emits a JSON block (schema versioned, tagged
+// with the build revision); `--smoke` runs as a ctest gate and exits
+// non-zero when the adaptive plan is not at least 2x faster than the
+// static one or when the two plans disagree on results.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "db/parser.h"
+
+#ifndef EASIA_BENCH_REV
+#define EASIA_BENCH_REV "unknown"
+#endif
+
+namespace {
+
+using namespace easia;
+using namespace easia::db;
+
+struct Config {
+  size_t fact_rows = 200000;
+  size_t dim_rows = 2000;
+  size_t event_rows = 200000;
+  int query_iters = 5;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// DIM(K, GRP, NAME) + FACT(ID, DIM_K -> DIM.K, V): the FK declaration
+/// gives FACT a secondary index on DIM_K. The query filters DIM to 1/20th
+/// and joins FACT against it, written FACT-first — the order a client
+/// naturally writes ("facts, narrowed by a dimension") and the worst one
+/// to execute: the static planner builds a hash table over every FACT row,
+/// while the cost model flips the order and drives the FK index instead.
+std::unique_ptr<Database> MakeJoinDatabase(const Config& cfg) {
+  auto db = std::make_unique<Database>("F14");
+  (void)db->Execute(
+      "CREATE TABLE DIM ("
+      " K INTEGER NOT NULL,"
+      " GRP INTEGER,"
+      " NAME VARCHAR(24),"
+      " PRIMARY KEY (K))");
+  (void)db->Execute(
+      "CREATE TABLE FACT ("
+      " ID INTEGER NOT NULL,"
+      " DIM_K INTEGER,"
+      " V DOUBLE,"
+      " PRIMARY KEY (ID),"
+      " FOREIGN KEY (DIM_K) REFERENCES DIM (K))");
+  for (size_t k = 0; k < cfg.dim_rows; ++k) {
+    if (!db->Execute(StrPrintf("INSERT INTO DIM VALUES (%zu, %zu, 'd%zu')", k,
+                               k % 20, k))
+             .ok()) {
+      return nullptr;
+    }
+  }
+  for (size_t i = 0; i < cfg.fact_rows; ++i) {
+    if (!db->Execute(StrPrintf("INSERT INTO FACT VALUES (%zu, %zu, %g)", i,
+                               i % cfg.dim_rows,
+                               static_cast<double>(i % 1000)))
+             .ok()) {
+      return nullptr;
+    }
+  }
+  return db;
+}
+
+/// Best-of-`iters` wall time for `sql`; the first row of the last run is
+/// rendered into `result` for the parity gate. Returns -1 on error.
+double TimeSelectMs(Database& db, const std::string& sql, bool cost_based,
+                    int iters, std::string* result) {
+  Result<Statement> stmt = ParseSql(sql);
+  if (!stmt.ok() || stmt->kind != Statement::Kind::kSelect) return -1;
+  TableLookup lookup = [&db](const std::string& name) {
+    return db.GetTable(name);
+  };
+  ExecuteOptions options;
+  options.cost_based = cost_based;
+  double best = -1;
+  for (int i = 0; i < iters; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    Result<QueryResult> r = ExecuteSelect(*stmt->select, lookup, nullptr,
+                                          options);
+    if (!r.ok()) return -1;
+    benchmark::DoNotOptimize(r->rows.size());
+    double ms = SecondsSince(t0) * 1000.0;
+    if (best < 0 || ms < best) best = ms;
+    if (result != nullptr) {
+      result->clear();
+      for (const Row& row : r->rows) {
+        for (const Value& v : row) {
+          *result += v.ToDisplayString();
+          *result += "|";
+        }
+        *result += "\n";
+      }
+    }
+  }
+  return best;
+}
+
+/// The advisor workload: EVT(ID, KIND, PAYLOAD) with an unindexed, highly
+/// selective KIND. Repeated equality queries through Database::Execute
+/// feed the advisor's plan observations; ApplyIndexRecommendations then
+/// turns the hot seq scan into an index scan.
+struct AdvisorResult {
+  double seq_ms = -1;
+  double indexed_ms = -1;
+  std::string seq_rows;
+  std::string indexed_rows;
+};
+
+AdvisorResult RunAdvisorWorkload(const Config& cfg) {
+  AdvisorResult out;
+  Database db("F14A");
+  (void)db.Execute(
+      "CREATE TABLE EVT ("
+      " ID INTEGER NOT NULL,"
+      " KIND INTEGER,"
+      " PAYLOAD DOUBLE,"
+      " PRIMARY KEY (ID))");
+  for (size_t i = 0; i < cfg.event_rows; ++i) {
+    if (!db.Execute(StrPrintf("INSERT INTO EVT VALUES (%zu, %zu, %g)", i,
+                              i % 500, static_cast<double>(i)))
+             .ok()) {
+      return out;
+    }
+  }
+  const std::string sql =
+      "SELECT COUNT(*), SUM(PAYLOAD) FROM EVT WHERE KIND = 7";
+  auto run_best = [&](std::string* rows) {
+    double best = -1;
+    for (int i = 0; i < cfg.query_iters; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      Result<QueryResult> r = db.Execute(sql);
+      if (!r.ok()) return -1.0;
+      double ms = SecondsSince(t0) * 1000.0;
+      if (best < 0 || ms < best) best = ms;
+      if (rows != nullptr) {
+        rows->clear();
+        for (const Value& v : r->rows[0]) {
+          *rows += v.ToDisplayString();
+          *rows += "|";
+        }
+      }
+    }
+    return best;
+  };
+  out.seq_ms = run_best(&out.seq_rows);
+  // The timing loop above already observed enough plans to cross the
+  // advisor threshold; materialise its recommendation and re-measure.
+  if (!db.ApplyIndexRecommendations(cfg.query_iters).ok()) return out;
+  out.indexed_ms = run_best(&out.indexed_rows);
+  return out;
+}
+
+int RunReproduction(const Config& cfg, bool smoke) {
+  auto db = MakeJoinDatabase(cfg);
+  if (db == nullptr) {
+    std::fprintf(stderr, "f14: join database setup failed\n");
+    return 1;
+  }
+  const std::string join_sql =
+      "SELECT COUNT(*), SUM(F.V) FROM FACT F JOIN DIM D"
+      " ON F.DIM_K = D.K WHERE D.GRP = 3";
+
+  std::string static_rows, adaptive_rows, naive_rows;
+  double static_ms = TimeSelectMs(*db, join_sql, /*cost_based=*/false,
+                                  cfg.query_iters, &static_rows);
+  double adaptive_ms = TimeSelectMs(*db, join_sql, /*cost_based=*/true,
+                                    cfg.query_iters, &adaptive_rows);
+  double join_speedup =
+      (static_ms > 0 && adaptive_ms > 0) ? static_ms / adaptive_ms : 0.0;
+
+  int violations = 0;
+  if (static_ms < 0 || adaptive_ms < 0) {
+    std::fprintf(stderr, "f14: join query failed to run\n");
+    ++violations;
+  } else if (static_rows != adaptive_rows) {
+    std::fprintf(stderr, "f14: static and adaptive plans disagree\n");
+    ++violations;
+  }
+  if (smoke) {
+    // The naive executor is the oracle: one extra run under --smoke pins
+    // both planner modes to the obviously-correct result.
+    Result<Statement> stmt = ParseSql(join_sql);
+    TableLookup lookup = [&](const std::string& name) {
+      return db->GetTable(name);
+    };
+    ExecuteOptions naive;
+    naive.use_planner = false;
+    Result<QueryResult> r =
+        ExecuteSelect(*stmt->select, lookup, nullptr, naive);
+    if (!r.ok()) {
+      ++violations;
+    } else {
+      for (const Row& row : r->rows) {
+        for (const Value& v : row) {
+          naive_rows += v.ToDisplayString();
+          naive_rows += "|";
+        }
+        naive_rows += "\n";
+      }
+      if (naive_rows != adaptive_rows) {
+        std::fprintf(stderr, "f14: adaptive plan disagrees with oracle\n");
+        ++violations;
+      }
+    }
+  }
+
+  AdvisorResult advisor = RunAdvisorWorkload(cfg);
+  double advisor_speedup =
+      (advisor.seq_ms > 0 && advisor.indexed_ms > 0)
+          ? advisor.seq_ms / advisor.indexed_ms
+          : 0.0;
+  if (advisor.seq_ms < 0 || advisor.indexed_ms < 0) {
+    std::fprintf(stderr, "f14: advisor workload failed to run\n");
+    ++violations;
+  } else if (advisor.seq_rows != advisor.indexed_rows) {
+    std::fprintf(stderr, "f14: advisor index changed query results\n");
+    ++violations;
+  }
+
+  std::printf("\n=== F14: statistics-driven adaptive planner ===\n");
+  std::printf("{\"bench\":\"f14_adaptive_planner\",\"schema\":1,"
+              "\"rev\":\"%s\",\n",
+              EASIA_BENCH_REV);
+  std::printf(" \"fact_rows\":%zu,\"dim_rows\":%zu,\"event_rows\":%zu,\n",
+              cfg.fact_rows, cfg.dim_rows, cfg.event_rows);
+  std::printf(" \"skewed_join\":{\"static_ms\":%.3f,\"adaptive_ms\":%.3f,"
+              "\"speedup\":%.1f,\"static_plan\":\"hash build over FACT\","
+              "\"adaptive_plan\":\"reorder + index loop via (DIM_K)\"},\n",
+              static_ms, adaptive_ms, join_speedup);
+  std::printf(" \"index_advisor\":{\"seq_scan_ms\":%.3f,"
+              "\"indexed_ms\":%.3f,\"speedup\":%.1f,"
+              "\"recommendation\":\"EVT.KIND equality\"}}\n",
+              advisor.seq_ms, advisor.indexed_ms, advisor_speedup);
+
+  // The acceptance gate: stats-driven planning must be at least 2x
+  // faster than the static plan on the skewed join.
+  if (violations == 0 && join_speedup < 2.0) {
+    std::fprintf(stderr, "f14: adaptive speedup %.2fx below the 2x gate\n",
+                 join_speedup);
+    ++violations;
+  }
+  return violations;
+}
+
+// ---- Microbenchmarks (skipped under --smoke) ----
+
+void BM_SkewedJoin(benchmark::State& state) {
+  Config cfg;
+  cfg.fact_rows = static_cast<size_t>(state.range(0));
+  cfg.dim_rows = cfg.fact_rows / 100;
+  auto db = MakeJoinDatabase(cfg);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  Result<Statement> stmt = ParseSql(
+      "SELECT COUNT(*), SUM(F.V) FROM FACT F JOIN DIM D"
+      " ON F.DIM_K = D.K WHERE D.GRP = 3");
+  TableLookup lookup = [&db](const std::string& name) {
+    return db->GetTable(name);
+  };
+  ExecuteOptions options;
+  options.cost_based = state.range(1) != 0;
+  for (auto _ : state) {
+    auto r = ExecuteSelect(*stmt->select, lookup, nullptr, options);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_SkewedJoin)
+    ->ArgsProduct({{100000}, {0, 1}})
+    ->ArgNames({"fact_rows", "cost_based"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  // Strip our flag before benchmark::Initialize; ctest runs
+  // `bench_f14_adaptive_planner --smoke` on every build.
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else {
+      ++i;
+    }
+  }
+  Config cfg;
+  if (smoke) {
+    cfg.fact_rows = 30000;
+    cfg.dim_rows = 400;
+    cfg.event_rows = 30000;
+    cfg.query_iters = 3;
+  }
+  int violations = RunReproduction(cfg, smoke);
+  if (violations != 0) return 1;
+  if (smoke) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -30,6 +30,7 @@ Archive::Archive(Options options)
     tracer_options.metrics = metrics_.get();
     tracer_ = std::make_unique<obs::Tracer>(tracer_options);
     database_->set_tracer(tracer_.get());
+    database_->set_metrics_registry(metrics_.get());
     jobs_->set_tracer(tracer_.get());
   }
   sessions_ = std::make_unique<web::SessionManager>(

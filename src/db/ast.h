@@ -144,6 +144,9 @@ struct Statement {
   };
 
   Kind kind;
+  /// kExplain only: EXPLAIN ANALYZE — execute the plan and annotate each
+  /// operator with estimated vs. actual row counts and wall time.
+  bool explain_analyze = false;
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<UpdateStmt> update;

@@ -17,10 +17,14 @@ namespace {
 /// V1 snapshots carry catalogue + rows only; V2 prefixes the table section
 /// with the cumulative DatabaseStats counters so /metrics counters survive
 /// checkpoint/restart instead of resetting to zero; V3 appends the
-/// bulk_chunks counter to the stats block. Readers accept all three.
+/// bulk_chunks counter to the stats block; V4 appends a per-table column
+/// statistics block (planner sketches) after each table's rows. Readers
+/// accept all four — pre-V4 snapshots simply keep the statistics rebuilt
+/// from the rows themselves.
 constexpr std::string_view kSnapshotMagicV1 = "EASIASNAP1";
 constexpr std::string_view kSnapshotMagicV2 = "EASIASNAP2";
-constexpr std::string_view kSnapshotMagic = "EASIASNAP3";
+constexpr std::string_view kSnapshotMagicV3 = "EASIASNAP3";
+constexpr std::string_view kSnapshotMagic = "EASIASNAP4";
 
 QueryResult DmlResult(size_t affected) {
   QueryResult r;
@@ -224,9 +228,9 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
     case Statement::Kind::kExplain: {
       // Pure planning — reads the catalogue only, needs no transaction.
       // Inside an explicit txn the exclusive lock is already held.
-      if (owns_explicit) return ExecExplain(*stmt.select);
+      if (owns_explicit) return ExecExplain(*stmt.select, stmt.explain_analyze);
       std::shared_lock<std::shared_mutex> read_lock(mu_);
-      return ExecExplain(*stmt.select);
+      return ExecExplain(*stmt.select, stmt.explain_analyze);
     }
     case Statement::Kind::kSelect:
       if (!owns_explicit) {
@@ -385,6 +389,13 @@ Status Database::CommitInternal() {
   }
   txn_.reset();
   if (mutated) commit_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  if (mutated && options_.auto_create_indexes) {
+    // Opportunistic advisor application: the exclusive lock is already
+    // held here, and commits are where the data (and thus the payoff of a
+    // new index) changes. Failure to build an index never fails the
+    // commit — the data is already durable.
+    (void)ApplyIndexRecommendationsLocked(options_.auto_index_min_hits);
+  }
   return Status::OK();
 }
 
@@ -872,22 +883,88 @@ Result<QueryResult> Database::ExecSelect(const SelectStmt& stmt,
       return coordinator_->ResolveForRead(*def.datalink, url, ctx.user);
     };
   }
-  return ExecuteSelect(stmt, lookup, rewriter);
+  ExecuteOptions exec_options;
+  exec_options.cost_based = options_.cost_based_planner;
+  exec_options.tracer = tracer_;
+  exec_options.plan_observer = [this](const SelectPlan& plan) {
+    advisor_.ObservePlan(plan);
+  };
+  return ExecuteSelect(stmt, lookup, rewriter, exec_options);
 }
 
-Result<QueryResult> Database::ExecExplain(const SelectStmt& stmt) {
+Result<QueryResult> Database::ExecExplain(const SelectStmt& stmt,
+                                          bool analyze) {
   TableLookup lookup = [this](const std::string& name) {
     return GetTable(name);
   };
-  EASIA_ASSIGN_OR_RETURN(SelectPlan plan, PlanSelect(stmt, lookup));
+  PlannerOptions planner_options;
+  planner_options.cost_based = options_.cost_based_planner;
+  EASIA_ASSIGN_OR_RETURN(SelectPlan plan,
+                         PlanSelect(stmt, lookup, planner_options));
+  std::vector<std::string> lines = plan.Describe();
+  if (analyze) {
+    // Execute the same statement (deterministic planning: the plan shape
+    // matches `plan`) with profiling on, then annotate the per-operator
+    // Describe lines. DATALINK rewriting is presentation-only and the
+    // rows are discarded, so a null rewriter is fine.
+    PlanProfile profile;
+    ExecuteOptions exec_options;
+    exec_options.cost_based = options_.cost_based_planner;
+    exec_options.profile = &profile;
+    exec_options.tracer = tracer_;
+    Result<QueryResult> executed =
+        ExecuteSelect(stmt, lookup, nullptr, exec_options);
+    if (!executed.ok()) return std::move(executed).status();
+    auto annotate = [](std::string* line, const PlanProfile::Op& op) {
+      *line += StrPrintf(" (est rows=%.2f", op.est_rows);
+      if (op.actual_rows >= 0) {
+        *line += StrPrintf(", actual rows=%lld",
+                           static_cast<long long>(op.actual_rows));
+      } else {
+        *line += ", actual rows=n/a";
+      }
+      *line += StrPrintf(", %.3f ms)", op.seconds * 1000.0);
+    };
+    // Describe() emits the scan lines first, then one line per join, in
+    // execution order — exactly how the profile is indexed.
+    for (size_t i = 0; i < profile.scans.size() && i < lines.size(); ++i) {
+      annotate(&lines[i], profile.scans[i]);
+    }
+    for (size_t j = 0; j < profile.joins.size(); ++j) {
+      size_t at = profile.scans.size() + j;
+      if (at < lines.size()) annotate(&lines[at], profile.joins[j]);
+    }
+    lines.push_back(StrPrintf(
+        "total: %lld rows, %.3f ms",
+        static_cast<long long>(profile.result_rows),
+        profile.total_seconds * 1000.0));
+  }
   QueryResult result;
   result.is_query = true;
   result.column_names.push_back("PLAN");
   result.column_types.push_back(DataType::kVarchar);
-  for (std::string& line : plan.Describe()) {
+  for (std::string& line : lines) {
     result.rows.push_back({Value::Varchar(std::move(line))});
   }
   return result;
+}
+
+Status Database::ApplyIndexRecommendations(uint64_t min_hits) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return ApplyIndexRecommendationsLocked(min_hits);
+}
+
+Status Database::ApplyIndexRecommendationsLocked(uint64_t min_hits) {
+  for (const stats::IndexRecommendation& rec :
+       advisor_.Recommendations(min_hits)) {
+    if (rec.kind != stats::IndexRecommendation::Kind::kEquality) {
+      continue;  // radix prefix indexes are declared at CREATE TABLE time
+    }
+    auto it = tables_.find(ToUpper(rec.table));
+    if (it == tables_.end()) continue;  // table dropped since observed
+    EASIA_RETURN_IF_ERROR(it->second->CreateSecondaryIndex({rec.column}));
+  }
+  return Status::OK();
 }
 
 std::string Database::SerializeSnapshot() const {
@@ -916,6 +993,12 @@ std::string Database::SerializeSnapshotLocked() const {
       PutU64(&out, id);
       EncodeRow(&out, row);
     });
+    // Persist the planner sketches wholesale: they carry widen-only
+    // min/max history and the sample admission threshold, which a rebuild
+    // from the rows above cannot reproduce.
+    std::string stats_block;
+    table->table_stats().EncodeTo(&stats_block);
+    PutLengthPrefixed(&out, stats_block);
   }
   PutU32(&out, Crc32(std::string_view(out).substr(kSnapshotMagic.size())));
   return out;
@@ -948,7 +1031,8 @@ Status Database::LoadSnapshotFromString(const std::string& contents) {
 Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
   std::string_view magic =
       std::string_view(contents).substr(0, kSnapshotMagic.size());
-  bool has_bulk = magic == kSnapshotMagic;
+  bool has_table_stats = magic == kSnapshotMagic;
+  bool has_bulk = has_table_stats || magic == kSnapshotMagicV3;
   bool has_stats = has_bulk || magic == kSnapshotMagicV2;
   if (contents.size() < kSnapshotMagic.size() + 4 ||
       (!has_stats && magic != kSnapshotMagicV1)) {
@@ -1004,6 +1088,7 @@ Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
     TableDef def;
     uint64_t next_row_id;
     std::vector<std::pair<RowId, Row>> rows;
+    std::string stats_block;  // empty for pre-V4 snapshots
   };
   std::vector<PendingTable> pending;
   for (uint32_t t = 0; t < table_count; ++t) {
@@ -1021,6 +1106,9 @@ Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
       EASIA_ASSIGN_OR_RETURN(Row row, DecodeRow(&dec));
       pt.rows.emplace_back(id, std::move(row));
     }
+    if (has_table_stats) {
+      EASIA_ASSIGN_OR_RETURN(pt.stats_block, dec.GetLengthPrefixed());
+    }
     pending.push_back(std::move(pt));
   }
   // Add tables until fixpoint (handles FK dependency order).
@@ -1035,6 +1123,13 @@ Status Database::LoadSnapshotFromStringLocked(const std::string& contents) {
         auto table = std::make_unique<Table>(pending[i].def);
         for (auto& [id, row] : pending[i].rows) {
           EASIA_RETURN_IF_ERROR(table->InsertWithId(id, std::move(row)));
+        }
+        if (!pending[i].stats_block.empty()) {
+          // The persisted sketches override the ones the inserts above
+          // just rebuilt (they carry deleted-value history).
+          Decoder stats_dec(pending[i].stats_block);
+          EASIA_RETURN_IF_ERROR(
+              table->mutable_table_stats()->DecodeFrom(&stats_dec));
         }
         tables_[ToUpper(pending[i].def.name)] = std::move(table);
         added[i] = true;

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "db/ast.h"
 #include "db/schema.h"
+#include "db/stats/index_advisor.h"
 #include "db/table.h"
 #include "db/wal.h"
 
@@ -87,6 +88,17 @@ struct DatabaseOptions {
   /// File-system seam for WAL + snapshots; null uses io::RealEnv(). The
   /// fault-injection harness substitutes a crashing/torn-write environment.
   io::Env* env = nullptr;
+  /// Statistics-driven planning (join order, build side, index-loop
+  /// joins). False pins every SELECT to the static FROM-order plan shape.
+  bool cost_based_planner = true;
+  /// When true, every committed transaction also applies the index
+  /// advisor's hot recommendations (see ApplyIndexRecommendations):
+  /// equality patterns with at least `auto_index_min_hits` observations
+  /// get a secondary index built on the spot. Off by default — the
+  /// advisor then only *surfaces* recommendations (on /stats and through
+  /// index_advisor()).
+  bool auto_create_indexes = false;
+  uint64_t auto_index_min_hits = 32;
 };
 
 /// Cumulative engine counters.
@@ -142,6 +154,24 @@ class Database {
   /// spans that nest under whatever request span is current on the
   /// calling thread.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Mirrors index-advisor hit counts into a metrics registry
+  /// (`easia_db_index_advisor_hits_total`). May be null (the default).
+  void set_metrics_registry(obs::MetricsRegistry* metrics) {
+    advisor_.set_metrics(metrics);
+  }
+
+  /// The hot-predicate observer fed by every planned SELECT. The /stats
+  /// page reads its recommendations; tests reset it between workloads.
+  stats::IndexAdvisor& index_advisor() { return advisor_; }
+  const stats::IndexAdvisor& index_advisor() const { return advisor_; }
+
+  /// Builds a secondary index for every equality recommendation with at
+  /// least `min_hits` observations (exclusive lock; skips columns that
+  /// gained an index since). Auto-created indexes are runtime-only: they
+  /// are not WAL-logged and are rebuilt only when the advisor runs hot
+  /// again after recovery.
+  Status ApplyIndexRecommendations(uint64_t min_hits);
 
   /// Loads the snapshot (if any) and replays the WAL. Call once, before the
   /// first Execute, when options carry persistence paths.
@@ -228,7 +258,9 @@ class Database {
   Result<QueryResult> ExecSelect(const SelectStmt& stmt,
                                  const ExecContext& ctx);
   /// EXPLAIN SELECT: plans the query and returns one PLAN row per node.
-  Result<QueryResult> ExecExplain(const SelectStmt& stmt);
+  /// With `analyze`, the plan is also executed and every operator line
+  /// annotated with estimated vs. actual rows and wall time.
+  Result<QueryResult> ExecExplain(const SelectStmt& stmt, bool analyze);
   /// COPY <table> FROM '<path>': binary bulk ingest. Runs one transaction
   /// per chunk (one kBulkLoad WAL record each), so a crash mid-COPY keeps
   /// exactly the chunks whose commit reached the log. Must be called with
@@ -267,6 +299,9 @@ class Database {
   /// held since BEGIN. Call only from the owning thread.
   void ReleaseExplicitLock();
 
+  /// ApplyIndexRecommendations body; call with the exclusive lock held.
+  Status ApplyIndexRecommendationsLocked(uint64_t min_hits);
+
   /// Lock-free bodies; the public wrappers take `mu_` in the right mode.
   std::string SerializeSnapshotLocked() const;
   Status SaveSnapshotLocked(const std::string& path) const;
@@ -279,6 +314,7 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   DatalinkCoordinator* coordinator_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  stats::IndexAdvisor advisor_;
   std::unique_ptr<Txn> txn_;
   uint64_t next_txn_id_ = 1;
   std::unique_ptr<WalWriter> wal_;

@@ -1,6 +1,7 @@
 #include "db/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <map>
@@ -10,6 +11,7 @@
 #include "db/database.h"
 #include "db/planner.h"
 #include "db/store/column_page.h"
+#include "obs/trace.h"
 
 namespace easia::db {
 
@@ -303,7 +305,15 @@ Result<Value> EvalAggregate(const Expr& expr,
       return Status::InvalidArgument(expr.func + " takes one argument");
     }
     int64_t count = 0;
+    // SUM/AVG accumulate twice: exactly in int64 (overflow-checked) and
+    // approximately in double. The int64 total is authoritative while it
+    // never overflowed and every value was integer-kind; otherwise the
+    // result degrades to the double total. Identical rule and accumulation
+    // order to the columnar AggregateScan kernel — the differential-fuzz
+    // suite holds the two to bit-equality.
     double sum = 0;
+    int64_t isum = 0;
+    bool int_overflow = false;
     bool all_int = true;
     Value min_v = Value::Null();
     Value max_v = Value::Null();
@@ -314,7 +324,11 @@ Result<Value> EvalAggregate(const Expr& expr,
       ++count;
       if (v.IsNumericKind()) {
         sum += v.AsDouble();
-        if (v.type() == DataType::kDouble) all_int = false;
+        if (v.type() == DataType::kDouble) {
+          all_int = false;
+        } else if (__builtin_add_overflow(isum, v.AsInt(), &isum)) {
+          int_overflow = true;
+        }
       } else if (expr.func == "SUM" || expr.func == "AVG") {
         return Status::InvalidArgument(expr.func + " over non-numeric column");
       }
@@ -324,10 +338,15 @@ Result<Value> EvalAggregate(const Expr& expr,
     if (expr.func == "COUNT") return Value::Integer(count);
     if (count == 0) return Value::Null();
     if (expr.func == "SUM") {
-      return all_int ? Value::Integer(static_cast<int64_t>(sum))
-                     : Value::Double(sum);
+      return all_int && !int_overflow ? Value::Integer(isum)
+                                      : Value::Double(sum);
     }
-    if (expr.func == "AVG") return Value::Double(sum / count);
+    if (expr.func == "AVG") {
+      return all_int && !int_overflow
+                 ? Value::Double(static_cast<double>(isum) /
+                                 static_cast<double>(count))
+                 : Value::Double(sum / static_cast<double>(count));
+    }
     if (expr.func == "MIN") return min_v;
     if (expr.func == "MAX") return max_v;
   }
@@ -454,15 +473,39 @@ Status BuildRowsNaive(const SelectStmt& stmt, const TableLookup& lookup,
   return Status::OK();
 }
 
+/// Accumulates wall time into `*slot` for the guard's lifetime (null slot:
+/// inert). Used for per-operator profile timings.
+struct TimeGuard {
+  explicit TimeGuard(double* s) : slot(s) {
+    if (slot != nullptr) t0 = std::chrono::steady_clock::now();
+  }
+  ~TimeGuard() {
+    if (slot != nullptr) {
+      *slot += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    }
+  }
+  double* slot;
+  std::chrono::steady_clock::time_point t0;
+};
+
 /// Planned row production: per-scan access paths with pushed predicates,
-/// hash or nested-loop joins, residual WHERE, and optional early cutoff
-/// once LIMIT(+OFFSET) rows survive every filter. Produces rows in the
-/// same order as BuildRowsNaive (left-major, RowId-minor): index fetches
-/// return RowIds ascending, and hash buckets preserve insertion order for
-/// equal keys.
+/// hash, index-loop or nested-loop joins, residual WHERE, and optional
+/// early cutoff once LIMIT(+OFFSET) rows survive every filter.
+///
+/// Output order matches BuildRowsNaive exactly. For FROM-order plans the
+/// production is naturally left-major, RowId-minor: index fetches return
+/// RowIds ascending, and hash buckets preserve insertion order for equal
+/// keys. When the cost-based planner reordered the joins, each produced
+/// row is remapped back to the original FROM column order and the result
+/// sorted by its tuple of per-table RowIds (FROM order, lexicographic) —
+/// which is precisely the order the nested loops over RowId-ascending
+/// streams would have produced.
 Status BuildRowsPlanned(const SelectPlan& plan,
                         std::vector<ColumnBinding>* schema_out,
-                        std::vector<Row>* rows_out) {
+                        std::vector<Row>* rows_out, PlanProfile* profile,
+                        obs::Tracer* tracer) {
   const size_t n = plan.scans.size();
   // cum_schemas[d] covers scans[0..d-1]; cum_schemas[n] is the full schema.
   std::vector<std::vector<ColumnBinding>> scan_schemas(n);
@@ -477,13 +520,29 @@ Status BuildRowsPlanned(const SelectPlan& plan,
                               scan_schemas[i].begin(), scan_schemas[i].end());
   }
 
-  // Materialise each scan through its access path. Pushed predicates are
-  // re-evaluated on every fetched row — including index hits — so the
-  // index key coercion can never change which rows qualify.
+  // Scans attached by an index-loop join are never materialised up front:
+  // their rows are fetched per accumulated left row inside the join.
+  std::vector<bool> via_index_loop(n, false);
+  for (size_t j = 0; j + 1 < n; ++j) {
+    if (plan.joins[j].strategy == JoinPlan::Strategy::kIndexLoop) {
+      via_index_loop[j + 1] = true;
+    }
+  }
+
+  // Materialise each remaining scan through its access path, keeping the
+  // source RowId of every surviving row (order restoration needs them).
+  // Pushed predicates are re-evaluated on every fetched row — including
+  // index hits — so the index key coercion can never change which rows
+  // qualify.
   std::vector<std::vector<Row>> base(n);
+  std::vector<std::vector<RowId>> base_ids(n);
   for (size_t i = 0; i < n; ++i) {
+    if (via_index_loop[i]) continue;
     const ScanPlan& scan = plan.scans[i];
+    obs::Tracer::Scope span(tracer, "exec:scan:" + scan.alias);
+    TimeGuard tg(profile != nullptr ? &profile->scans[i].seconds : nullptr);
     std::vector<Row> fetched;
+    std::vector<RowId> fetched_ids;
     if (scan.access == ScanPlan::Access::kSeqScan) {
       if (scan.kernel_filter) {
         // Columnar filter kernel: matching RowIds over the raw arrays, then
@@ -494,10 +553,14 @@ Status BuildRowsPlanned(const SelectPlan& plan,
              scan.table->column_store()->FilterScan(scan.kernel_predicates)) {
           EASIA_ASSIGN_OR_RETURN(Row row, scan.table->Get(id));
           fetched.push_back(std::move(row));
+          fetched_ids.push_back(id);
         }
       } else {
-        scan.table->ForEachRow(
-            [&fetched](RowId, const Row& row) { fetched.push_back(row); });
+        scan.table->ForEachRow([&fetched, &fetched_ids](RowId id,
+                                                        const Row& row) {
+          fetched.push_back(row);
+          fetched_ids.push_back(id);
+        });
       }
     } else if (scan.access == ScanPlan::Access::kPrefixScan) {
       // Radix candidates are a superset of the LIKE matches (the pattern's
@@ -507,6 +570,7 @@ Status BuildRowsPlanned(const SelectPlan& plan,
                                                     scan.prefix)) {
         EASIA_ASSIGN_OR_RETURN(Row row, scan.table->Get(id));
         fetched.push_back(std::move(row));
+        fetched_ids.push_back(id);
       }
     } else {
       EASIA_ASSIGN_OR_RETURN(
@@ -515,10 +579,11 @@ Status BuildRowsPlanned(const SelectPlan& plan,
       for (RowId id : ids) {
         EASIA_ASSIGN_OR_RETURN(Row row, scan.table->Get(id));
         fetched.push_back(std::move(row));
+        fetched_ids.push_back(id);
       }
     }
-    for (Row& row : fetched) {
-      EvalEnv env{&scan_schemas[i], &row};
+    for (size_t r = 0; r < fetched.size(); ++r) {
+      EvalEnv env{&scan_schemas[i], &fetched[r]};
       bool keep = true;
       for (const Expr* e : scan.pushed) {
         EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
@@ -527,18 +592,25 @@ Status BuildRowsPlanned(const SelectPlan& plan,
           break;
         }
       }
-      if (keep) base[i].push_back(std::move(row));
+      if (keep) {
+        base[i].push_back(std::move(fetched[r]));
+        base_ids[i].push_back(fetched_ids[r]);
+      }
+    }
+    if (profile != nullptr) {
+      profile->scans[i].actual_rows = static_cast<int64_t>(base[i].size());
     }
   }
 
-  // Hash tables for hash joins: right-side base rows keyed by their join
-  // keys. Rows with a NULL key can never match and are left out.
-  std::vector<std::multimap<std::string, const Row*>> hashes(n);
+  // Hash tables for hash joins: right-side base row indexes keyed by their
+  // join keys. Rows with a NULL key can never match and are left out.
+  std::vector<std::multimap<std::string, size_t>> hashes(n);
   for (size_t j = 0; j + 1 < n; ++j) {
     const JoinPlan& join = plan.joins[j];
     if (join.strategy != JoinPlan::Strategy::kHashJoin) continue;
-    for (const Row& row : base[j + 1]) {
-      EvalEnv env{&scan_schemas[j + 1], &row};
+    TimeGuard tg(profile != nullptr ? &profile->joins[j].seconds : nullptr);
+    for (size_t r = 0; r < base[j + 1].size(); ++r) {
+      EvalEnv env{&scan_schemas[j + 1], &base[j + 1][r]};
       std::string key;
       bool null_key = false;
       for (const Expr* e : join.right_keys) {
@@ -549,29 +621,68 @@ Status BuildRowsPlanned(const SelectPlan& plan,
         }
         PutLengthPrefixed(&key, v.ToKeyString());
       }
-      if (!null_key) hashes[j + 1].emplace(std::move(key), &row);
+      if (!null_key) hashes[j + 1].emplace(std::move(key), r);
     }
   }
 
+  // Order-restoration bookkeeping for reordered plans: per-exec-position
+  // column offsets, exec position of each FROM entry, and the RowId chosen
+  // at each depth of the current DFS path.
+  const bool restore = plan.reordered;
+  std::vector<size_t> offset(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    offset[i + 1] = offset[i] + scan_schemas[i].size();
+  }
+  std::vector<size_t> pos_of_from(n, 0);
+  for (size_t p = 0; p < n; ++p) pos_of_from[plan.scans[p].from_index] = p;
+  std::vector<RowId> rid_stack(n, 0);
+  struct KeyedRow {
+    std::vector<RowId> key;  // RowIds in FROM order
+    Row row;                 // columns in FROM order
+  };
+  std::vector<KeyedRow> keyed;
+
   // Depth-first pipelined production; `extend` returns true to stop early
-  // once the LIMIT cutoff is satisfied.
+  // once the LIMIT cutoff is satisfied (the planner never reorders a
+  // cutoff plan, so restoration and early exit never mix).
   std::vector<Row> out;
+  int64_t produced = 0;
+  std::vector<double> incl(n + 2, 0.0);  // inclusive DFS time per depth
+  std::vector<int64_t> join_out(n, 0);   // rows surviving joins[depth-1]
+  std::vector<int64_t> loop_scan_rows(n, 0);  // index-loop fetched+filtered
   const int64_t cutoff = plan.row_cutoff;
   std::function<Result<bool>(Row&, size_t)> extend =
       [&](Row& so_far, size_t depth) -> Result<bool> {
+    TimeGuard tg(profile != nullptr ? &incl[depth] : nullptr);
     if (depth == n) {
       EvalEnv env{&cum_schemas[n], &so_far};
       for (const Expr* e : plan.residual_where) {
         EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
         if (!IsTruthy(v)) return false;
       }
-      out.push_back(so_far);
-      return cutoff >= 0 && out.size() >= static_cast<size_t>(cutoff);
+      if (restore) {
+        KeyedRow kr;
+        kr.key.reserve(n);
+        kr.row.reserve(so_far.size());
+        for (size_t f = 0; f < n; ++f) {
+          size_t p = pos_of_from[f];
+          kr.key.push_back(rid_stack[p]);
+          for (size_t c = offset[p]; c < offset[p + 1]; ++c) {
+            kr.row.push_back(so_far[c]);
+          }
+        }
+        keyed.push_back(std::move(kr));
+      } else {
+        out.push_back(so_far);
+      }
+      ++produced;
+      return cutoff >= 0 && produced >= cutoff;
     }
     const JoinPlan& join = plan.joins[depth - 1];
-    auto try_right = [&](const Row& right) -> Result<bool> {
+    auto try_right = [&](const Row& right, RowId rid) -> Result<bool> {
       size_t old_size = so_far.size();
       so_far.insert(so_far.end(), right.begin(), right.end());
+      rid_stack[depth] = rid;
       bool keep = true;
       EvalEnv env{&cum_schemas[depth + 1], &so_far};
       for (const Expr* e : join.residual) {
@@ -583,6 +694,7 @@ Status BuildRowsPlanned(const SelectPlan& plan,
       }
       bool stop = false;
       if (keep) {
+        ++join_out[depth - 1];
         EASIA_ASSIGN_OR_RETURN(stop, extend(so_far, depth + 1));
       }
       so_far.resize(old_size);
@@ -598,24 +710,94 @@ Status BuildRowsPlanned(const SelectPlan& plan,
       }
       auto range = hashes[depth].equal_range(key);
       for (auto it = range.first; it != range.second; ++it) {
-        EASIA_ASSIGN_OR_RETURN(bool stop, try_right(*it->second));
+        EASIA_ASSIGN_OR_RETURN(
+            bool stop,
+            try_right(base[depth][it->second], base_ids[depth][it->second]));
         if (stop) return true;
       }
       return false;
     }
-    for (const Row& right : base[depth]) {
-      EASIA_ASSIGN_OR_RETURN(bool stop, try_right(right));
+    if (join.strategy == JoinPlan::Strategy::kIndexLoop) {
+      // Per left row: evaluate the key, fetch matching right rows through
+      // the index (RowIds ascending, so per-key order matches the hash
+      // path), apply the scan's pushed predicates per fetched row.
+      const ScanPlan& scan = plan.scans[depth];
+      EvalEnv env{&cum_schemas[depth], &so_far};
+      std::vector<Value> key_values;
+      for (const Expr* e : join.left_keys) {
+        EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
+        if (v.is_null()) return false;  // NULL never equi-joins
+        key_values.push_back(std::move(v));
+      }
+      EASIA_ASSIGN_OR_RETURN(
+          std::vector<RowId> ids,
+          scan.table->FindByIndex(join.index_columns, key_values));
+      for (RowId id : ids) {
+        EASIA_ASSIGN_OR_RETURN(Row row, scan.table->Get(id));
+        EvalEnv renv{&scan_schemas[depth], &row};
+        bool keep = true;
+        for (const Expr* e : scan.pushed) {
+          EASIA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, renv));
+          if (!IsTruthy(v)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        ++loop_scan_rows[depth];
+        EASIA_ASSIGN_OR_RETURN(bool stop, try_right(row, id));
+        if (stop) return true;
+      }
+      return false;
+    }
+    for (size_t r = 0; r < base[depth].size(); ++r) {
+      EASIA_ASSIGN_OR_RETURN(bool stop,
+                             try_right(base[depth][r], base_ids[depth][r]));
       if (stop) return true;
     }
     return false;
   };
-  for (const Row& first : base[0]) {
-    Row so_far = first;
-    EASIA_ASSIGN_OR_RETURN(bool stop, extend(so_far, 1));
-    if (stop) break;
+  {
+    obs::Tracer::Scope span(tracer, n > 1 ? "exec:join-pipeline"
+                                          : "exec:scan-output");
+    for (size_t r = 0; r < base[0].size(); ++r) {
+      Row so_far = base[0][r];
+      rid_stack[0] = base_ids[0][r];
+      EASIA_ASSIGN_OR_RETURN(bool stop, extend(so_far, 1));
+      if (stop) break;
+    }
   }
-  *schema_out = std::move(cum_schemas[n]);
+  if (restore) {
+    std::sort(keyed.begin(), keyed.end(),
+              [](const KeyedRow& a, const KeyedRow& b) {
+                return a.key < b.key;
+              });
+    out.reserve(keyed.size());
+    for (KeyedRow& kr : keyed) out.push_back(std::move(kr.row));
+    std::vector<ColumnBinding> schema;
+    for (size_t f = 0; f < n; ++f) {
+      const std::vector<ColumnBinding>& s = scan_schemas[pos_of_from[f]];
+      schema.insert(schema.end(), s.begin(), s.end());
+    }
+    *schema_out = std::move(schema);
+  } else {
+    *schema_out = std::move(cum_schemas[n]);
+  }
   *rows_out = std::move(out);
+  if (profile != nullptr) {
+    for (size_t j = 0; j + 1 < n; ++j) {
+      profile->joins[j].actual_rows = join_out[j];
+      // Exclusive DFS time at the depth this join runs (join j executes in
+      // extend() calls at depth j + 1; deeper time belongs to later ops).
+      profile->joins[j].seconds +=
+          std::max(0.0, incl[j + 1] - incl[j + 2]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (via_index_loop[i]) {
+        profile->scans[i].actual_rows = loop_scan_rows[i];
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -893,16 +1075,52 @@ Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
   if (stmt.from.empty()) {
     return Status::InvalidArgument("SELECT requires a FROM clause");
   }
-  std::vector<ColumnBinding> schema;
-  std::vector<Row> rows;
-  if (options.use_planner) {
-    EASIA_ASSIGN_OR_RETURN(SelectPlan plan, PlanSelect(stmt, lookup));
-    if (plan.aggregate.fast_path) return ExecuteAggregateFast(stmt, plan);
-    EASIA_RETURN_IF_ERROR(BuildRowsPlanned(plan, &schema, &rows));
-  } else {
-    EASIA_RETURN_IF_ERROR(BuildRowsNaive(stmt, lookup, &schema, &rows));
+  PlanProfile* profile = options.profile;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto run = [&]() -> Result<QueryResult> {
+    std::vector<ColumnBinding> schema;
+    std::vector<Row> rows;
+    if (!options.use_planner) {
+      EASIA_RETURN_IF_ERROR(BuildRowsNaive(stmt, lookup, &schema, &rows));
+      return FinishSelect(stmt, schema, std::move(rows), rewriter);
+    }
+    PlannerOptions planner_options;
+    planner_options.cost_based = options.cost_based;
+    EASIA_ASSIGN_OR_RETURN(SelectPlan plan,
+                           PlanSelect(stmt, lookup, planner_options));
+    if (options.plan_observer != nullptr) options.plan_observer(plan);
+    if (profile != nullptr) {
+      profile->scans.assign(plan.scans.size(), PlanProfile::Op{});
+      profile->joins.assign(plan.joins.size(), PlanProfile::Op{});
+      for (size_t i = 0; i < plan.scans.size(); ++i) {
+        profile->scans[i].est_rows = plan.scans[i].est_rows;
+      }
+      for (size_t j = 0; j < plan.joins.size(); ++j) {
+        profile->joins[j].est_rows = plan.joins[j].est_rows;
+      }
+    }
+    if (plan.aggregate.fast_path) {
+      obs::Tracer::Scope span(options.tracer, "exec:aggregate-kernel");
+      TimeGuard tg(profile != nullptr && !profile->scans.empty()
+                       ? &profile->scans[0].seconds
+                       : nullptr);
+      return ExecuteAggregateFast(stmt, plan);
+    }
+    EASIA_RETURN_IF_ERROR(
+        BuildRowsPlanned(plan, &schema, &rows, profile, options.tracer));
+    obs::Tracer::Scope span(options.tracer, "exec:finish");
+    return FinishSelect(stmt, schema, std::move(rows), rewriter);
+  };
+  Result<QueryResult> result = run();
+  if (profile != nullptr) {
+    profile->total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (result.ok()) {
+      profile->result_rows = static_cast<int64_t>(result->rows.size());
+    }
   }
-  return FinishSelect(stmt, schema, std::move(rows), rewriter);
+  return result;
 }
 
 }  // namespace easia::db

@@ -9,9 +9,14 @@
 #include "db/ast.h"
 #include "db/table.h"
 
+namespace easia::obs {
+class Tracer;
+}  // namespace easia::obs
+
 namespace easia::db {
 
 struct QueryResult;  // database.h
+struct SelectPlan;   // planner.h
 
 /// One column of an intermediate (joined) row.
 struct ColumnBinding {
@@ -45,11 +50,39 @@ using TableLookup =
 using DatalinkRewriter = std::function<Result<std::string>(
     const ColumnDef& def, const std::string& url)>;
 
+/// Per-operator execution profile, filled when ExecuteOptions::profile is
+/// set. Operators are indexed like SelectPlan::Describe() lines: `scans`
+/// and `joins` follow the plan's execution order. EXPLAIN ANALYZE renders
+/// estimated vs. actual rows and per-operator wall time from this.
+struct PlanProfile {
+  struct Op {
+    double est_rows = -1;     // planner estimate (-1: not estimated)
+    int64_t actual_rows = -1;  // rows the operator produced (-1: unknown)
+    double seconds = 0;        // wall time attributed to the operator
+  };
+  std::vector<Op> scans;
+  std::vector<Op> joins;
+  int64_t result_rows = -1;
+  double total_seconds = 0;
+};
+
 /// Execution knobs. `use_planner = false` selects the legacy path
 /// (materialised nested-loop joins, whole-WHERE filter) — kept for plan
 /// correctness tests and before/after benchmarks.
 struct ExecuteOptions {
   bool use_planner = true;
+  /// Forwarded to PlannerOptions::cost_based: statistics-driven join
+  /// order / strategy / build-side choices. False pins the static
+  /// FROM-order plan shape.
+  bool cost_based = true;
+  /// When set, filled with per-operator estimates, actual row counts and
+  /// timings (EXPLAIN ANALYZE).
+  PlanProfile* profile = nullptr;
+  /// When set, row production opens per-operator spans under the caller's
+  /// current span.
+  obs::Tracer* tracer = nullptr;
+  /// Called with the final plan before execution (index advisor hook).
+  std::function<void(const SelectPlan&)> plan_observer;
 };
 
 /// Executes a SELECT: planned scans and joins (predicate pushdown, index

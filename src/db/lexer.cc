@@ -18,7 +18,7 @@ constexpr std::string_view kKeywords[] = {
     "LIKE",   "IN",     "IS",     "ORDER",  "BY",      "ASC",    "DESC",
     "LIMIT",  "OFFSET", "AS",     "JOIN",   "INNER",   "ON",     "BEGIN",
     "COMMIT", "ROLLBACK", "GROUP", "HAVING", "DATALINK",
-    "TRANSACTION", "WORK", "DISTINCT", "EXPLAIN", "COPY",
+    "TRANSACTION", "WORK", "DISTINCT", "EXPLAIN", "COPY", "ANALYZE",
 };
 
 }  // namespace

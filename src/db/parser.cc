@@ -18,6 +18,7 @@ class SqlParser {
       EASIA_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
     } else if (ConsumeKeyword("EXPLAIN")) {
       stmt.kind = Statement::Kind::kExplain;
+      if (ConsumeKeyword("ANALYZE")) stmt.explain_analyze = true;
       EASIA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
       EASIA_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
     } else if (ConsumeKeyword("INSERT")) {

@@ -1,5 +1,7 @@
 #include "db/planner.h"
 
+#include <algorithm>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -72,12 +74,13 @@ bool CollectAliases(const Expr& expr, const std::vector<AliasSchema>& aliases,
 }
 
 /// A conjunct awaiting placement, with the FROM entries it references.
+/// ON conjuncts are treated like WHERE conjuncts here: every join the
+/// engine executes is an inner join, where pushing a condition earlier
+/// than its syntactic position skips exactly the rows the unplanned ON
+/// evaluation also skips.
 struct Conjunct {
   const Expr* expr;
   std::set<size_t> aliases;
-  /// ON conjuncts may not float ahead of their join (the unplanned
-  /// executor evaluates them there); WHERE conjuncts have no floor.
-  size_t min_join = 0;
   bool placed = false;
 };
 
@@ -118,48 +121,6 @@ bool HashComparable(DataType a, DataType b) {
            t == DataType::kTimestamp;
   };
   return (numeric(a) && numeric(b)) || (!numeric(a) && !numeric(b));
-}
-
-/// True when `expr` is `x = y` with bare hash-comparable column refs on
-/// both sides, one resolving to `right_index` and the other to an earlier
-/// FROM entry. Orients the pair as (left expr, right expr).
-bool MatchEquiJoin(const Expr& expr, const std::vector<AliasSchema>& aliases,
-                   size_t right_index, const Expr** left_key,
-                   const Expr** right_key) {
-  if (expr.kind != Expr::Kind::kBinary || expr.op != Expr::Op::kEq) {
-    return false;
-  }
-  if (expr.left->kind != Expr::Kind::kColumn ||
-      expr.right->kind != Expr::Kind::kColumn) {
-    return false;
-  }
-  std::optional<size_t> a =
-      ResolveAlias(aliases, expr.left->table, expr.left->column);
-  std::optional<size_t> b =
-      ResolveAlias(aliases, expr.right->table, expr.right->column);
-  if (!a.has_value() || !b.has_value()) return false;
-  const Expr* left = nullptr;
-  const Expr* right = nullptr;
-  if (*a < right_index && *b == right_index) {
-    left = expr.left.get();
-    right = expr.right.get();
-  } else if (*b < right_index && *a == right_index) {
-    left = expr.right.get();
-    right = expr.left.get();
-  } else {
-    return false;
-  }
-  auto column_type = [&](const Expr* col, size_t idx) {
-    return aliases[idx].table->def().FindColumn(col->column)->type;
-  };
-  size_t left_idx = (left == expr.left.get()) ? *a : *b;
-  if (!HashComparable(column_type(left, left_idx),
-                      column_type(right, right_index))) {
-    return false;
-  }
-  *left_key = left;
-  *right_key = right;
-  return true;
 }
 
 /// True when `type` joins the numeric comparison family of Value::Compare.
@@ -402,39 +363,359 @@ std::string DescribeExprList(const std::vector<const Expr*>& exprs) {
   return Join(parts, " AND ");
 }
 
+// ---------------------------------------------------------------------------
+// Cost model. Quantities are rough "rows touched" counts; the only consumer
+// is a relative comparison between alternative shapes of the same query, so
+// the units merely need to be consistent.
+// ---------------------------------------------------------------------------
+
+constexpr double kDefaultSelectivity = 0.33;
+/// Deviating from the FROM-order/hash-join shape must beat it by BOTH a
+/// ratio and an absolute margin. A reordered plan pays an extra
+/// order-restoring sort of its result, and on small catalogues plan
+/// stability (deterministic EXPLAIN shapes) is worth more than a few dozen
+/// rows of estimated savings.
+constexpr double kReorderRatio = 0.9;
+constexpr double kMinCostGain = 1000.0;
+
+/// Statistics sketch behind a bare own-column reference, else null.
+const stats::ColumnSketch* SketchFor(const Expr* e,
+                                     const std::vector<AliasSchema>& aliases,
+                                     size_t alias_index) {
+  if (e == nullptr || e->kind != Expr::Kind::kColumn) return nullptr;
+  std::optional<size_t> owner = ResolveAlias(aliases, e->table, e->column);
+  if (!owner.has_value() || *owner != alias_index) return nullptr;
+  const Table* table = aliases[alias_index].table;
+  Result<size_t> idx = table->def().ColumnIndex(e->column);
+  const stats::TableStats& ts = table->table_stats();
+  if (!idx.ok() || *idx >= ts.column_count()) return nullptr;
+  return &ts.column(*idx);
+}
+
+/// Estimated fraction of the table's rows satisfying one pushed conjunct.
+double PushedSelectivity(const Expr& e,
+                         const std::vector<AliasSchema>& aliases,
+                         size_t alias_index) {
+  if (e.kind == Expr::Kind::kIsNull) {
+    const stats::ColumnSketch* s =
+        SketchFor(e.left.get(), aliases, alias_index);
+    if (s == nullptr) return kDefaultSelectivity;
+    return e.negated ? 1.0 - s->NullFraction() : s->NullFraction();
+  }
+  if (e.kind != Expr::Kind::kBinary) return kDefaultSelectivity;
+  if (e.op == Expr::Op::kLike || e.op == Expr::Op::kNotLike) {
+    const stats::ColumnSketch* s =
+        SketchFor(e.left.get(), aliases, alias_index);
+    if (s == nullptr || e.right == nullptr ||
+        e.right->kind != Expr::Kind::kLiteral ||
+        !e.right->literal.IsStringKind()) {
+      return kDefaultSelectivity;
+    }
+    std::string prefix = LikePatternPrefix(e.right->literal.AsString());
+    double sel =
+        prefix.empty()
+            ? kDefaultSelectivity
+            : s->SelectivityOf(
+                  [&prefix](const Value& v) {
+                    return v.IsStringKind() &&
+                           v.AsString().compare(0, prefix.size(), prefix) ==
+                               0;
+                  },
+                  /*fallback=*/0.1);
+    return e.op == Expr::Op::kLike ? sel : std::max(0.0, 1.0 - sel);
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  bool flipped = false;
+  if (e.left != nullptr && e.right != nullptr) {
+    if (e.left->kind == Expr::Kind::kColumn &&
+        e.right->kind == Expr::Kind::kLiteral) {
+      col = e.left.get();
+      lit = e.right.get();
+    } else if (e.right->kind == Expr::Kind::kColumn &&
+               e.left->kind == Expr::Kind::kLiteral) {
+      col = e.right.get();
+      lit = e.left.get();
+      flipped = true;
+    }
+  }
+  if (col == nullptr || lit->literal.is_null()) return kDefaultSelectivity;
+  const stats::ColumnSketch* s = SketchFor(col, aliases, alias_index);
+  if (s == nullptr) return kDefaultSelectivity;
+  Expr::Op op = e.op;
+  if (flipped) {
+    switch (op) {
+      case Expr::Op::kLt: op = Expr::Op::kGt; break;
+      case Expr::Op::kLe: op = Expr::Op::kGe; break;
+      case Expr::Op::kGt: op = Expr::Op::kLt; break;
+      case Expr::Op::kGe: op = Expr::Op::kLe; break;
+      default: break;
+    }
+  }
+  const Value& v = lit->literal;
+  switch (op) {
+    case Expr::Op::kEq:
+      return s->EqualitySelectivity(v);
+    case Expr::Op::kNe:
+      return std::max(0.0,
+                      1.0 - s->NullFraction() - s->EqualitySelectivity(v));
+    case Expr::Op::kLt:
+      return s->SelectivityOf(
+          [&v](const Value& x) { return x.Compare(v) < 0; },
+          kDefaultSelectivity);
+    case Expr::Op::kLe:
+      return s->SelectivityOf(
+          [&v](const Value& x) { return x.Compare(v) <= 0; },
+          kDefaultSelectivity);
+    case Expr::Op::kGt:
+      return s->SelectivityOf(
+          [&v](const Value& x) { return x.Compare(v) > 0; },
+          kDefaultSelectivity);
+    case Expr::Op::kGe:
+      return s->SelectivityOf(
+          [&v](const Value& x) { return x.Compare(v) >= 0; },
+          kDefaultSelectivity);
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+struct AccessEstimate {
+  double est_rows = 0;   // rows surviving the pushed filters
+  double scan_cost = 0;  // cost of materialising this scan's base rows
+};
+
+AccessEstimate EstimateScan(const ScanPlan& scan,
+                            const std::vector<AliasSchema>& aliases,
+                            size_t alias_index) {
+  double n = static_cast<double>(scan.table->RowCount());
+  double sel = 1.0;
+  for (const Expr* e : scan.pushed) {
+    sel *= PushedSelectivity(*e, aliases, alias_index);
+  }
+  AccessEstimate out;
+  out.est_rows = n * sel;
+  switch (scan.access) {
+    case ScanPlan::Access::kSeqScan:
+      out.scan_cost = n;
+      break;
+    case ScanPlan::Access::kUniqueLookup:
+      out.est_rows = std::min(out.est_rows, 1.0);
+      out.scan_cost = 1.0;
+      break;
+    case ScanPlan::Access::kIndexScan:
+    case ScanPlan::Access::kPrefixScan:
+      out.scan_cost = std::max(out.est_rows, 1.0);
+      break;
+  }
+  return out;
+}
+
+/// A conjunct of the canonical two-table equi-join shape `A.x = B.y`
+/// (bare hash-comparable columns of two distinct FROM entries).
+struct EquiPair {
+  const Expr* expr = nullptr;
+  const Expr* side_a = nullptr;  // column expr owned by FROM entry fa
+  const Expr* side_b = nullptr;
+  size_t fa = 0, fb = 0;
+  size_t col_a = 0, col_b = 0;  // column indexes within their tables
+};
+
+bool MatchEquiPair(const Expr& expr, const std::vector<AliasSchema>& aliases,
+                   EquiPair* out) {
+  if (expr.kind != Expr::Kind::kBinary || expr.op != Expr::Op::kEq) {
+    return false;
+  }
+  if (expr.left->kind != Expr::Kind::kColumn ||
+      expr.right->kind != Expr::Kind::kColumn) {
+    return false;
+  }
+  std::optional<size_t> a =
+      ResolveAlias(aliases, expr.left->table, expr.left->column);
+  std::optional<size_t> b =
+      ResolveAlias(aliases, expr.right->table, expr.right->column);
+  if (!a.has_value() || !b.has_value() || *a == *b) return false;
+  const TableDef& def_a = aliases[*a].table->def();
+  const TableDef& def_b = aliases[*b].table->def();
+  const ColumnDef* ca = def_a.FindColumn(expr.left->column);
+  const ColumnDef* cb = def_b.FindColumn(expr.right->column);
+  if (ca == nullptr || cb == nullptr || !HashComparable(ca->type, cb->type)) {
+    return false;
+  }
+  Result<size_t> ia = def_a.ColumnIndex(expr.left->column);
+  Result<size_t> ib = def_b.ColumnIndex(expr.right->column);
+  if (!ia.ok() || !ib.ok()) return false;
+  out->expr = &expr;
+  out->side_a = expr.left.get();
+  out->side_b = expr.right.get();
+  out->fa = *a;
+  out->fb = *b;
+  out->col_a = *ia;
+  out->col_b = *ib;
+  return true;
+}
+
+/// Distinct-value estimate for a join key column, clamped by how many rows
+/// of that table survive its pushed filters.
+double NdvOf(const Table* table, size_t col_index, double est_rows) {
+  const stats::TableStats& ts = table->table_stats();
+  double ndv = col_index < ts.column_count()
+                   ? ts.column(col_index).DistinctEstimate()
+                   : 1.0;
+  return std::min(std::max(ndv, 1.0), std::max(est_rows, 1.0));
+}
+
+/// The unique/secondary index of `table` covering exactly the given key
+/// columns (as an unordered set), returned in the index's own column
+/// order. Nullopt when none matches.
+std::optional<std::vector<std::string>> FindExactIndex(
+    const Table* table, const std::vector<std::string>& key_cols_upper) {
+  auto matches = [&](const std::vector<std::string>& cols) {
+    if (cols.size() != key_cols_upper.size()) return false;
+    for (const std::string& c : cols) {
+      bool found = false;
+      for (const std::string& k : key_cols_upper) {
+        if (ToUpper(c) == k) found = true;
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  for (const auto& cols : table->UniqueIndexColumns()) {
+    if (matches(cols)) return cols;
+  }
+  for (const auto& cols : table->SecondaryIndexColumns()) {
+    if (matches(cols)) return cols;
+  }
+  return std::nullopt;
+}
+
+/// One join position of a walked permutation.
+struct JoinStep {
+  double left_rows = 0;  // estimated rows accumulated before this join
+  double out_rows = 0;   // estimated rows surviving it
+  bool has_equi = false;
+  double hash_cost = 0;
+  double index_loop_cost = 0;  // infinity when no covering index exists
+  std::vector<std::string> index_columns;  // covering index, if any
+};
+
+/// Estimated total cost of executing the scans in `perm` order (perm maps
+/// exec position -> FROM index). Fills `steps` (indexed by exec position
+/// minus one) when non-null.
+double WalkPermutation(const std::vector<size_t>& perm,
+                       const std::vector<ScanPlan>& prepared,
+                       const std::vector<AccessEstimate>& est,
+                       const std::vector<EquiPair>& equis,
+                       const std::vector<const Conjunct*>& multi_residual,
+                       const std::vector<AliasSchema>& aliases,
+                       std::vector<JoinStep>* steps) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<size_t> pos(perm.size());
+  for (size_t p = 0; p < perm.size(); ++p) pos[perm[p]] = p;
+  double rows = est[perm[0]].est_rows;
+  double cost = est[perm[0]].scan_cost;
+  for (size_t p = 1; p < perm.size(); ++p) {
+    size_t f = perm[p];
+    double b_rows = est[f].est_rows;
+    double out = rows * b_rows;
+    JoinStep step;
+    step.left_rows = rows;
+    std::vector<std::string> right_cols_upper;
+    for (const EquiPair& eq : equis) {
+      size_t last = std::max(pos[eq.fa], pos[eq.fb]);
+      if (last != p) continue;
+      step.has_equi = true;
+      bool right_is_a = pos[eq.fa] == p;
+      size_t right_f = right_is_a ? eq.fa : eq.fb;
+      size_t left_f = right_is_a ? eq.fb : eq.fa;
+      size_t right_col = right_is_a ? eq.col_a : eq.col_b;
+      size_t left_col = right_is_a ? eq.col_b : eq.col_a;
+      // Classic equi-join cardinality: divide by the larger key domain.
+      out /= std::max(
+          {NdvOf(aliases[right_f].table, right_col, est[right_f].est_rows),
+           NdvOf(aliases[left_f].table, left_col, est[left_f].est_rows),
+           1.0});
+      right_cols_upper.push_back(
+          ToUpper(aliases[right_f].table->def().columns[right_col].name));
+    }
+    for (const Conjunct* c : multi_residual) {
+      size_t last = 0;
+      for (size_t a : c->aliases) last = std::max(last, pos[a]);
+      if (last == p) out *= kDefaultSelectivity;
+    }
+    double step_cost;
+    if (step.has_equi) {
+      // Hash join: materialise + hash the right side (2x build factor for
+      // construction and memory), probe once per accumulated row.
+      step.hash_cost = est[f].scan_cost + 2.0 * b_rows + rows + out;
+      step.index_loop_cost = kInf;
+      if (prepared[f].access == ScanPlan::Access::kSeqScan) {
+        std::optional<std::vector<std::string>> idx =
+            FindExactIndex(prepared[f].table, right_cols_upper);
+        if (idx.has_value()) {
+          // Index loop: no right-side materialisation at all; one probe
+          // (charged 2x a hash probe for the tree descent) per
+          // accumulated row.
+          step.index_loop_cost = 2.0 * rows + out;
+          step.index_columns = std::move(*idx);
+        }
+      }
+      step_cost = std::min(step.hash_cost, step.index_loop_cost);
+    } else {
+      // Nested loop: cross product, residual filtering per combined row.
+      step_cost = est[f].scan_cost + rows * b_rows;
+    }
+    cost += step_cost;
+    rows = std::max(out, 0.0);
+    step.out_rows = rows;
+    if (steps != nullptr) (*steps)[p - 1] = std::move(step);
+  }
+  return cost;
+}
+
 }  // namespace
 
 Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
-                              const TableLookup& lookup) {
+                              const TableLookup& lookup,
+                              const PlannerOptions& options) {
   if (stmt.from.empty()) {
     return Status::InvalidArgument("SELECT requires a FROM clause");
   }
   SelectPlan plan;
   plan.stmt = &stmt;
   std::vector<AliasSchema> aliases;
-  for (const TableRef& ref : stmt.from) {
+  std::vector<ScanPlan> prepared;  // in FROM order until assembly
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    const TableRef& ref = stmt.from[i];
     EASIA_ASSIGN_OR_RETURN(const Table* table, lookup(ref.table));
     aliases.push_back({ref.alias, table});
     ScanPlan scan;
     scan.table = table;
     scan.alias = ref.alias;
-    plan.scans.push_back(std::move(scan));
+    scan.from_index = i;
+    prepared.push_back(std::move(scan));
   }
-  plan.joins.resize(plan.scans.size() > 0 ? plan.scans.size() - 1 : 0);
+  size_t n = prepared.size();
 
   // --- Gather conjuncts from WHERE and every ON condition ---
   std::vector<Conjunct> conjuncts;
+  std::vector<const Expr*> unresolved_where;
+  // ON conditions kept whole at their syntactic join (any part failed to
+  // resolve, or referenced a table joined later). These pin the plan to
+  // FROM order: the unplanned executor evaluates them over exactly the
+  // tables joined so far, and moving tables around would change that set.
+  std::vector<std::pair<size_t, const Expr*>> forced_on;
   if (stmt.where != nullptr) {
     std::vector<const Expr*> parts;
     SplitConjuncts(*stmt.where, &parts);
     for (const Expr* e : parts) {
       Conjunct c;
       c.expr = e;
-      c.min_join = 0;
       if (!CollectAliases(*e, aliases, &c.aliases)) {
         // Unknown/ambiguous reference: leave the conjunct in the final
         // residual so evaluation reports the same error as before.
-        plan.residual_where.push_back(e);
+        unresolved_where.push_back(e);
         continue;
       }
       conjuncts.push_back(std::move(c));
@@ -445,15 +726,11 @@ Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
     if (cond == nullptr) continue;
     std::vector<const Expr*> parts;
     SplitConjuncts(*cond, &parts);
-    // If any part fails to resolve, or references a table joined later,
-    // keep the whole condition at this join (the unplanned executor
-    // evaluates it there, over the tables joined so far).
     bool splittable = true;
     std::vector<Conjunct> local;
     for (const Expr* e : parts) {
       Conjunct c;
       c.expr = e;
-      c.min_join = i;
       if (!CollectAliases(*e, aliases, &c.aliases) ||
           (!c.aliases.empty() && *c.aliases.rbegin() > i)) {
         splittable = false;
@@ -462,64 +739,34 @@ Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
       local.push_back(std::move(c));
     }
     if (!splittable) {
-      plan.joins[i - 1].residual.push_back(cond);
+      forced_on.emplace_back(i, cond);
       continue;
     }
     for (Conjunct& c : local) conjuncts.push_back(std::move(c));
   }
 
-  // --- Place conjuncts: scan pushdown, join keys, join/where residual ---
+  // --- Scan pushdown ---
+  // Single-table conjuncts (from WHERE or an ON) are always safe to push
+  // for inner joins: filtering the table early skips exactly the rows the
+  // unplanned conjunct evaluation also skips.
   for (Conjunct& c : conjuncts) {
-    if (c.aliases.size() == 1 && c.min_join == 0) {
-      plan.scans[*c.aliases.begin()].pushed.push_back(c.expr);
+    if (c.aliases.size() == 1) {
+      prepared[*c.aliases.begin()].pushed.push_back(c.expr);
       c.placed = true;
-    } else if (c.aliases.size() == 1) {
-      // Single-table ON conjunct: push to its scan only when that table is
-      // the one being joined (or earlier); pushing earlier than min_join
-      // would skip rows the unplanned ON evaluation also skips, so it is
-      // always safe for inner joins.
-      plan.scans[*c.aliases.begin()].pushed.push_back(c.expr);
-      c.placed = true;
-    }
-  }
-  for (Conjunct& c : conjuncts) {
-    if (c.placed || c.aliases.empty()) continue;
-    size_t last = *c.aliases.rbegin();
-    if (last == 0) continue;  // multi-ref over first table only: residual
-    const Expr* left_key = nullptr;
-    const Expr* right_key = nullptr;
-    if (MatchEquiJoin(*c.expr, aliases, last, &left_key, &right_key)) {
-      JoinPlan& join = plan.joins[last - 1];
-      join.strategy = JoinPlan::Strategy::kHashJoin;
-      join.left_keys.push_back(left_key);
-      join.right_keys.push_back(right_key);
-    } else {
-      plan.joins[last - 1].residual.push_back(c.expr);
-    }
-    c.placed = true;
-  }
-  for (Conjunct& c : conjuncts) {
-    if (!c.placed) {
-      // Constant conjuncts (no column refs) and multi-ref conjuncts over
-      // the first table land in the final residual.
-      if (c.aliases.empty() || *c.aliases.rbegin() == 0) {
-        plan.residual_where.push_back(c.expr);
-        c.placed = true;
-      }
     }
   }
 
   // --- Access paths ---
-  for (size_t i = 0; i < plan.scans.size(); ++i) {
-    ChooseAccessPath(&plan.scans[i], aliases, i);
+  for (size_t i = 0; i < n; ++i) {
+    ChooseAccessPath(&prepared[i], aliases, i);
   }
 
   // --- Columnar filter kernels ---
   // A columnar seq scan whose pushed conjuncts all convert runs the
   // vectorised filter instead of materialising every row. All-or-nothing:
   // partial conversion could change which conjunct errors first.
-  for (size_t i = 0; i < plan.scans.size(); ++i) {
-    ScanPlan& scan = plan.scans[i];
+  for (size_t i = 0; i < n; ++i) {
+    ScanPlan& scan = prepared[i];
     if (scan.access != ScanPlan::Access::kSeqScan || scan.pushed.empty() ||
         scan.table->storage_kind() != Table::StorageKind::kColumnar) {
       continue;
@@ -540,19 +787,157 @@ Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
     }
   }
 
-  // --- Aggregation ---
+  // --- Cardinality estimates (always computed: EXPLAIN ANALYZE shows
+  // them even when cost-based choices are disabled) ---
+  std::vector<AccessEstimate> est(n);
+  for (size_t i = 0; i < n; ++i) {
+    est[i] = EstimateScan(prepared[i], aliases, i);
+    prepared[i].est_rows = est[i].est_rows;
+  }
+
+  // --- Classify the remaining conjuncts ---
+  std::vector<EquiPair> equis;
+  std::map<const Expr*, size_t> equi_index;
+  std::vector<const Conjunct*> multi_residual;
+  for (const Conjunct& c : conjuncts) {
+    if (c.placed || c.aliases.empty()) continue;
+    EquiPair eq;
+    if (MatchEquiPair(*c.expr, aliases, &eq)) {
+      equi_index[c.expr] = equis.size();
+      equis.push_back(eq);
+    } else {
+      multi_residual.push_back(&c);
+    }
+  }
+
+  // --- Aggregation / cutoff flags (needed before the order choice) ---
   bool aggregate_query = !stmt.group_by.empty() || stmt.having != nullptr;
   for (const SelectItem& item : stmt.items) {
     if (item.expr != nullptr && item.expr->ContainsAggregate()) {
       aggregate_query = true;
     }
   }
+  bool cutoff_applies = stmt.limit >= 0 && stmt.order_by.empty() &&
+                        !aggregate_query && !stmt.distinct;
+
+  // --- Join order choice ---
+  std::vector<size_t> identity(n);
+  for (size_t i = 0; i < n; ++i) identity[i] = i;
+  std::vector<size_t> chosen = identity;
+  // Reordering is off the table when: cost-based planning is disabled; a
+  // forced ON condition pins tables to their syntactic positions; LIMIT
+  // short-circuits row production (the cutoff must see rows in original
+  // order, which a reordered plan only restores after producing them all);
+  // or the FROM list is too long to enumerate (n! permutations).
+  if (options.cost_based && n >= 2 && n <= 6 && forced_on.empty() &&
+      !cutoff_applies) {
+    double identity_cost = WalkPermutation(identity, prepared, est, equis,
+                                           multi_residual, aliases, nullptr);
+    std::vector<size_t> perm = identity;
+    double best_cost = identity_cost;
+    std::vector<size_t> best = identity;
+    while (std::next_permutation(perm.begin(), perm.end())) {
+      double cost = WalkPermutation(perm, prepared, est, equis,
+                                    multi_residual, aliases, nullptr);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = perm;
+      }
+    }
+    if (best_cost < kReorderRatio * identity_cost &&
+        identity_cost - best_cost > kMinCostGain) {
+      chosen = best;
+    }
+  }
+  std::vector<JoinStep> steps(n > 0 ? n - 1 : 0);
+  if (n >= 2) {
+    WalkPermutation(chosen, prepared, est, equis, multi_residual, aliases,
+                    &steps);
+  }
+
+  // --- Assemble the plan in execution order ---
+  plan.reordered = chosen != identity;
+  std::vector<size_t> pos(n);  // FROM index -> exec position
+  for (size_t p = 0; p < n; ++p) pos[chosen[p]] = p;
+  for (size_t p = 0; p < n; ++p) {
+    plan.scans.push_back(std::move(prepared[chosen[p]]));
+  }
+  plan.joins.resize(n > 0 ? n - 1 : 0);
+  for (const auto& [from_idx, cond] : forced_on) {
+    // forced_on pins identity order, so FROM index == exec position.
+    plan.joins[from_idx - 1].residual.push_back(cond);
+  }
+  plan.residual_where = std::move(unresolved_where);
+  for (const Conjunct& c : conjuncts) {
+    if (c.placed) continue;
+    if (c.aliases.empty()) {
+      // Constant conjunct (no column refs): final residual.
+      plan.residual_where.push_back(c.expr);
+      continue;
+    }
+    size_t last = 0;  // latest exec position this conjunct touches
+    for (size_t a : c.aliases) last = std::max(last, pos[a]);
+    if (last == 0) {
+      plan.residual_where.push_back(c.expr);
+      continue;
+    }
+    auto eq_it = equi_index.find(c.expr);
+    if (eq_it != equi_index.end()) {
+      const EquiPair& eq = equis[eq_it->second];
+      JoinPlan& join = plan.joins[last - 1];
+      join.strategy = JoinPlan::Strategy::kHashJoin;
+      bool right_is_a = pos[eq.fa] == last;
+      join.left_keys.push_back(right_is_a ? eq.side_b : eq.side_a);
+      join.right_keys.push_back(right_is_a ? eq.side_a : eq.side_b);
+    } else {
+      plan.joins[last - 1].residual.push_back(c.expr);
+    }
+  }
+
+  // --- Join strategies: hash vs. index loop ---
+  for (size_t p = 1; p < n; ++p) {
+    JoinPlan& join = plan.joins[p - 1];
+    const JoinStep& step = steps[p - 1];
+    join.est_rows = step.out_rows;
+    if (join.strategy != JoinPlan::Strategy::kHashJoin ||
+        !options.cost_based || step.index_columns.empty() ||
+        step.hash_cost - step.index_loop_cost <= kMinCostGain) {
+      continue;
+    }
+    // Reorder the key pairs into the index's own column order; bail (keep
+    // the hash join) unless the index columns cover the keys one-to-one.
+    std::vector<const Expr*> lk, rk;
+    std::vector<bool> used(join.right_keys.size(), false);
+    for (const std::string& col : step.index_columns) {
+      bool found = false;
+      for (size_t k = 0; k < join.right_keys.size(); ++k) {
+        if (!used[k] &&
+            EqualsIgnoreCase(join.right_keys[k]->column, col)) {
+          lk.push_back(join.left_keys[k]);
+          rk.push_back(join.right_keys[k]);
+          used[k] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+    }
+    if (lk.size() != step.index_columns.size() ||
+        lk.size() != join.left_keys.size()) {
+      continue;
+    }
+    join.strategy = JoinPlan::Strategy::kIndexLoop;
+    join.index_columns = step.index_columns;
+    join.left_keys = std::move(lk);
+    join.right_keys = std::move(rk);
+  }
+
+  // --- Aggregation ---
   plan.aggregate.present = aggregate_query;
   if (aggregate_query) PlanAggregateFastPath(stmt, aliases, &plan);
 
   // --- LIMIT short-circuit ---
-  if (stmt.limit >= 0 && stmt.order_by.empty() && !aggregate_query &&
-      !stmt.distinct) {
+  if (cutoff_applies) {
     plan.row_cutoff = stmt.limit + std::max<int64_t>(stmt.offset, 0);
   }
   return plan;
@@ -595,6 +980,14 @@ std::vector<std::string> SelectPlan::Describe() const {
                        join.right_keys[k]->ToString());
       }
       line += "hash join on (" + Join(keys, ", ") + ")";
+    } else if (join.strategy == JoinPlan::Strategy::kIndexLoop) {
+      std::vector<std::string> keys;
+      for (size_t k = 0; k < join.left_keys.size(); ++k) {
+        keys.push_back(join.left_keys[k]->ToString() + " = " +
+                       join.right_keys[k]->ToString());
+      }
+      line += "index loop join via (" + Join(join.index_columns, ", ") +
+              ") on (" + Join(keys, ", ") + ")";
     } else {
       line += "nested loop";
     }

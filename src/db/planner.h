@@ -23,6 +23,14 @@ struct ScanPlan {
 
   const Table* table = nullptr;
   std::string alias;
+  /// Position of this table in the statement's FROM list. Differs from the
+  /// scan's index in SelectPlan::scans when the cost-based planner reorders
+  /// joins; the executor uses it to assemble output rows (and row order)
+  /// as if the original FROM order had run.
+  size_t from_index = 0;
+  /// Planner cardinality estimate after pushed filters (rows this scan is
+  /// expected to produce); -1 when never estimated.
+  double est_rows = -1;
   Access access = Access::kSeqScan;
   /// Columns of the chosen index (empty for seq scans).
   std::vector<std::string> index_columns;
@@ -47,13 +55,24 @@ struct ScanPlan {
 
 /// How scans[i] (i >= 1) is attached to the rows accumulated so far.
 struct JoinPlan {
-  enum class Strategy { kNestedLoop, kHashJoin };
+  /// kIndexLoop fetches matching right-table rows through an index per
+  /// accumulated left row instead of materialising and hashing the right
+  /// table — the cost-based choice when the right side is large and an
+  /// index covers exactly the join key columns.
+  enum class Strategy { kNestedLoop, kHashJoin, kIndexLoop };
 
   Strategy strategy = Strategy::kNestedLoop;
-  /// Hash-join key pairs: left_keys[k] evaluates over the accumulated
-  /// (left) schema, right_keys[k] over the new table's single-table schema.
+  /// Join key pairs: left_keys[k] evaluates over the accumulated (left)
+  /// schema, right_keys[k] over the new table's single-table schema. For
+  /// kIndexLoop the pairs are ordered to match `index_columns`.
   std::vector<const Expr*> left_keys;
   std::vector<const Expr*> right_keys;
+  /// kIndexLoop: the right-table index driving the lookups, in the
+  /// index's own column order (Table::FindByIndex requires it).
+  std::vector<std::string> index_columns;
+  /// Planner estimate of rows surviving this join; -1 when never
+  /// estimated.
+  double est_rows = -1;
   /// Conjuncts applied to each combined row at this join (the non-equi
   /// remainder of the ON condition plus WHERE conjuncts that span exactly
   /// the tables joined so far).
@@ -85,7 +104,14 @@ struct AggregatePlan {
 /// WHERE that survives pushdown, and an optional row-production cutoff.
 struct SelectPlan {
   const SelectStmt* stmt = nullptr;
+  /// Scans in EXECUTION order. When `reordered`, this differs from the
+  /// statement's FROM order; each scan's `from_index` maps it back.
   std::vector<ScanPlan> scans;
+  /// True when the cost-based planner chose a join order other than the
+  /// FROM order. The executor then restores the original row order (and
+  /// column order) before handing rows downstream, so every reordered
+  /// plan remains result-identical to the unplanned path.
+  bool reordered = false;
   AggregatePlan aggregate;
   /// joins[i] attaches scans[i + 1]; empty for single-table queries.
   std::vector<JoinPlan> joins;
@@ -106,13 +132,26 @@ struct SelectPlan {
   std::vector<std::unique_ptr<Expr>> owned;
 };
 
+struct PlannerOptions {
+  /// When true (the default), the planner consults the tables' maintained
+  /// column statistics to pick join order, join strategy (hash vs. index
+  /// loop) and hash build side by estimated cost. Reordering only happens
+  /// past a stability margin (both a ratio and an absolute cost gain), so
+  /// near-tie plans keep the deterministic FROM-order shape. When false,
+  /// the static PR 2-era planner runs: FROM order, hash joins for every
+  /// equi-join.
+  bool cost_based = true;
+};
+
 /// Builds an execution plan for `stmt`: splits the WHERE conjunction,
 /// pushes single-table predicates down to the scans, picks index access
 /// paths (unique point lookups on any table, FK secondary-index scans),
-/// turns equi-join conditions into hash joins, and decides whether LIMIT
-/// may short-circuit row production.
+/// turns equi-join conditions into hash or index-loop joins, picks a
+/// cost-based join order, and decides whether LIMIT may short-circuit row
+/// production.
 Result<SelectPlan> PlanSelect(const SelectStmt& stmt,
-                              const TableLookup& lookup);
+                              const TableLookup& lookup,
+                              const PlannerOptions& options = {});
 
 }  // namespace easia::db
 

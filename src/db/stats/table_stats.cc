@@ -1,0 +1,181 @@
+#include "db/stats/table_stats.h"
+
+#include <algorithm>
+
+namespace easia::db {
+// Defined in table.cc; reused for the persisted stats block so sampled
+// values round-trip with the exact same tagging as row payloads.
+void EncodeValue(std::string* dst, const Value& value);
+Result<Value> DecodeValue(Decoder* dec);
+}  // namespace easia::db
+
+namespace easia::db::stats {
+
+namespace {
+
+/// FNV-1a over the value's key encoding. ToKeyString normalises the
+/// numeric family (3 INTEGER == 3.0 DOUBLE), so the sketch treats them as
+/// one distinct value exactly like index keys and group keys do.
+uint64_t KeyHash(const Value& v) {
+  std::string key = v.ToKeyString();
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void ColumnSketch::Add(const Value& v) {
+  if (v.is_null()) {
+    ++null_count_;
+    return;
+  }
+  ++non_null_;
+  if (min_.is_null() || v.Compare(min_) < 0) min_ = v;
+  if (max_.is_null() || v.Compare(max_) > 0) max_ = v;
+  uint64_t h = KeyHash(v);
+  if (!Admitted(h)) return;
+  auto [it, inserted] = sample_.try_emplace(h);
+  if (inserted) it->second.value = v;
+  ++it->second.count;
+  // Over budget: halve the admission range and evict entries that fall
+  // out. Eviction only forgets values (estimates get coarser), never
+  // invents them, so Remove stays exact for whatever remains admitted.
+  while (sample_.size() > 2 * kSampleTarget && shift_ < 63) {
+    ++shift_;
+    for (auto e = sample_.begin(); e != sample_.end();) {
+      if (!Admitted(e->first)) {
+        e = sample_.erase(e);
+      } else {
+        ++e;
+      }
+    }
+  }
+}
+
+void ColumnSketch::Remove(const Value& v) {
+  if (v.is_null()) {
+    if (null_count_ > 0) --null_count_;
+    return;
+  }
+  if (non_null_ > 0) --non_null_;
+  // min_/max_ stay as-is: widen-only bounds remain conservative.
+  uint64_t h = KeyHash(v);
+  if (!Admitted(h)) return;
+  auto it = sample_.find(h);
+  if (it == sample_.end()) return;
+  if (--it->second.count == 0) sample_.erase(it);
+}
+
+double ColumnSketch::NullFraction() const {
+  uint64_t total = rows();
+  if (total == 0) return 0.0;
+  return static_cast<double>(null_count_) / static_cast<double>(total);
+}
+
+double ColumnSketch::DistinctEstimate() const {
+  if (non_null_ == 0) return 0.0;
+  double est = static_cast<double>(sample_.size()) *
+               static_cast<double>(uint64_t{1} << shift_);
+  // Clamp to what the counters allow: at least one distinct value exists,
+  // and there cannot be more distinct values than non-null rows.
+  return std::min(std::max(est, 1.0), static_cast<double>(non_null_));
+}
+
+double ColumnSketch::EqualitySelectivity(const Value& literal) const {
+  uint64_t total = rows();
+  if (total == 0 || literal.is_null()) return 0.0;
+  uint64_t h = KeyHash(literal);
+  if (Admitted(h)) {
+    // Admitted hashes carry exact counts — including zero when the value
+    // was never inserted (or fully deleted).
+    auto it = sample_.find(h);
+    uint64_t count = it == sample_.end() ? 0 : it->second.count;
+    return static_cast<double>(count) / static_cast<double>(total);
+  }
+  double ndv = DistinctEstimate();
+  if (ndv <= 0.0) return 0.0;
+  return (1.0 / ndv) * (static_cast<double>(non_null_) /
+                        static_cast<double>(total));
+}
+
+double ColumnSketch::SelectivityOf(
+    const std::function<bool(const Value&)>& pred, double fallback) const {
+  uint64_t total = rows();
+  if (total == 0) return 0.0;
+  uint64_t sampled = 0;
+  uint64_t matched = 0;
+  for (const auto& [hash, entry] : sample_) {
+    sampled += entry.count;
+    if (pred(entry.value)) matched += entry.count;
+  }
+  if (sampled == 0) return fallback;
+  double frac = static_cast<double>(matched) / static_cast<double>(sampled);
+  return frac * (static_cast<double>(non_null_) /
+                 static_cast<double>(total));
+}
+
+void ColumnSketch::EncodeTo(std::string* dst) const {
+  PutU64(dst, null_count_);
+  PutU64(dst, non_null_);
+  EncodeValue(dst, min_);
+  EncodeValue(dst, max_);
+  PutU32(dst, shift_);
+  PutU32(dst, static_cast<uint32_t>(sample_.size()));
+  for (const auto& [hash, entry] : sample_) {
+    PutU64(dst, hash);
+    PutU64(dst, entry.count);
+    EncodeValue(dst, entry.value);
+  }
+}
+
+Status ColumnSketch::DecodeFrom(Decoder* dec) {
+  EASIA_ASSIGN_OR_RETURN(null_count_, dec->GetU64());
+  EASIA_ASSIGN_OR_RETURN(non_null_, dec->GetU64());
+  EASIA_ASSIGN_OR_RETURN(min_, DecodeValue(dec));
+  EASIA_ASSIGN_OR_RETURN(max_, DecodeValue(dec));
+  EASIA_ASSIGN_OR_RETURN(shift_, dec->GetU32());
+  EASIA_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+  sample_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    EASIA_ASSIGN_OR_RETURN(uint64_t hash, dec->GetU64());
+    SampleEntry entry;
+    EASIA_ASSIGN_OR_RETURN(entry.count, dec->GetU64());
+    EASIA_ASSIGN_OR_RETURN(entry.value, DecodeValue(dec));
+    sample_.emplace(hash, std::move(entry));
+  }
+  return Status::OK();
+}
+
+void TableStats::Reset(size_t column_count) {
+  columns_.assign(column_count, ColumnSketch());
+}
+
+void TableStats::AddRow(const std::vector<Value>& row) {
+  size_t n = std::min(columns_.size(), row.size());
+  for (size_t i = 0; i < n; ++i) columns_[i].Add(row[i]);
+}
+
+void TableStats::RemoveRow(const std::vector<Value>& row) {
+  size_t n = std::min(columns_.size(), row.size());
+  for (size_t i = 0; i < n; ++i) columns_[i].Remove(row[i]);
+}
+
+void TableStats::EncodeTo(std::string* dst) const {
+  PutU32(dst, static_cast<uint32_t>(columns_.size()));
+  for (const ColumnSketch& col : columns_) col.EncodeTo(dst);
+}
+
+Status TableStats::DecodeFrom(Decoder* dec) {
+  EASIA_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+  columns_.assign(n, ColumnSketch());
+  for (uint32_t i = 0; i < n; ++i) {
+    EASIA_RETURN_IF_ERROR(columns_[i].DecodeFrom(dec));
+  }
+  return Status::OK();
+}
+
+}  // namespace easia::db::stats

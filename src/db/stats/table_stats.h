@@ -1,0 +1,123 @@
+#ifndef EASIA_DB_STATS_TABLE_STATS_H_
+#define EASIA_DB_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "db/value.h"
+
+namespace easia::db::stats {
+
+/// Per-column statistics sketch, maintained incrementally on every
+/// insert/update/delete. Three components:
+///
+///  * exact null / non-null row counters;
+///  * widen-only min/max bounds over everything ever inserted (deletes do
+///    not narrow them — they stay conservative range bounds);
+///  * an adaptive hash sample: every distinct value whose 64-bit key hash
+///    falls below the current admission threshold is kept together with
+///    its exact row count. When the sample outgrows its budget the
+///    threshold halves and out-of-range entries are evicted (classic
+///    adaptive distinct sampling), so memory stays bounded while the
+///    sample remains an unbiased value-hash sample.
+///
+/// The sample supports exact deletion (a value admitted by the threshold
+/// is always present while its count is positive), which keeps the sketch
+/// deterministic under WAL replay: the same operation sequence always
+/// reproduces the same sketch state. No wall-clock or randomness is used
+/// anywhere — hashing is FNV-1a over Value::ToKeyString.
+///
+/// Estimates derived from the sketch:
+///  * NDV        = distinct sampled values * 2^shift (exact while shift=0);
+///  * equality   = exact count/rows when the literal's hash is admitted,
+///                 else (1/NDV) * non-null fraction;
+///  * arbitrary predicate selectivity = count-weighted fraction of the
+///    sample satisfying it (range and LIKE-prefix predicates use this).
+class ColumnSketch {
+ public:
+  /// Distinct-value budget: the sample holds at most 2 * kSampleTarget
+  /// entries before the admission threshold halves.
+  static constexpr size_t kSampleTarget = 128;
+
+  void Add(const Value& v);
+  void Remove(const Value& v);
+
+  uint64_t rows() const { return null_count_ + non_null_; }
+  uint64_t null_count() const { return null_count_; }
+  uint64_t non_null_count() const { return non_null_; }
+  double NullFraction() const;
+
+  /// Estimated number of distinct non-null values.
+  double DistinctEstimate() const;
+
+  /// Conservative bounds over every value ever inserted (NULL when the
+  /// column never held a non-null value).
+  const Value& min_value() const { return min_; }
+  const Value& max_value() const { return max_; }
+
+  /// Estimated fraction of ALL rows (nulls included, which never satisfy
+  /// a comparison) equal to `literal`.
+  double EqualitySelectivity(const Value& literal) const;
+
+  /// Count-weighted fraction of sampled rows whose value satisfies
+  /// `pred`, scaled by the non-null fraction; `fallback` when the sample
+  /// is empty.
+  double SelectivityOf(const std::function<bool(const Value&)>& pred,
+                       double fallback) const;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Decoder* dec);
+
+ private:
+  struct SampleEntry {
+    Value value;
+    uint64_t count = 0;
+  };
+
+  bool Admitted(uint64_t hash) const {
+    return shift_ == 0 || (hash >> (64 - shift_)) == 0;
+  }
+
+  uint64_t null_count_ = 0;
+  uint64_t non_null_ = 0;
+  Value min_ = Value::Null();
+  Value max_ = Value::Null();
+  /// Admission: hash < 2^(64-shift_). Monotonically increasing.
+  uint32_t shift_ = 0;
+  /// Admitted distinct values by key hash, with exact row counts.
+  std::map<uint64_t, SampleEntry> sample_;
+};
+
+/// Statistics for one table: a ColumnSketch per column. Embedded in
+/// db::Table and fed from the Insert/InsertWithId/Update/Delete choke
+/// points, so WAL replay, snapshot loading and transaction rollback all
+/// maintain it without extra plumbing.
+class TableStats {
+ public:
+  void Reset(size_t column_count);
+
+  void AddRow(const std::vector<Value>& row);
+  void RemoveRow(const std::vector<Value>& row);
+
+  size_t column_count() const { return columns_.size(); }
+  const ColumnSketch& column(size_t i) const { return columns_[i]; }
+
+  void EncodeTo(std::string* dst) const;
+  /// Replaces this object's state with the decoded block (snapshot load:
+  /// the persisted sketch carries history — deleted-value min/max
+  /// widening, admission threshold — that a rebuild from live rows alone
+  /// would lose).
+  Status DecodeFrom(Decoder* dec);
+
+ private:
+  std::vector<ColumnSketch> columns_;
+};
+
+}  // namespace easia::db::stats
+
+#endif  // EASIA_DB_STATS_TABLE_STATS_H_

@@ -31,10 +31,17 @@ void AppendKeyFragment(bool is_null, bool numeric, double num,
   key->append(text.data(), text.size());
 }
 
-/// Per-aggregate running state.
+/// Per-aggregate running state. SUM/AVG over integer columns accumulate
+/// twice: exactly in int64 (overflow-checked) and approximately in double.
+/// The int64 total is authoritative while it never overflowed; past that
+/// point the result degrades to the double total — the same rule, applied
+/// in the same slot order, as the row-path EvalAggregate, so the two
+/// executors stay bit-identical.
 struct AggAcc {
   size_t non_null = 0;
   double sum = 0;
+  int64_t isum = 0;
+  bool int_overflow = false;
   bool all_int = true;
   bool has_extreme = false;
   bool extreme_numeric = false;
@@ -372,6 +379,9 @@ Result<std::vector<AggGroup>> ColumnStore::AggregateScan(
             acc.sum += c.doubles[slot];
           } else {
             acc.sum += static_cast<double>(c.ints[slot]);
+            if (__builtin_add_overflow(acc.isum, c.ints[slot], &acc.isum)) {
+              acc.int_overflow = true;
+            }
           }
           break;
         }
@@ -448,9 +458,8 @@ Result<std::vector<AggGroup>> ColumnStore::AggregateScan(
         case AggSpec::Fn::kSum:
           if (acc.non_null == 0) {
             group.aggregates.push_back(Value::Null());
-          } else if (acc.all_int) {
-            group.aggregates.push_back(
-                Value::Integer(static_cast<int64_t>(acc.sum)));
+          } else if (acc.all_int && !acc.int_overflow) {
+            group.aggregates.push_back(Value::Integer(acc.isum));
           } else {
             group.aggregates.push_back(Value::Double(acc.sum));
           }
@@ -458,6 +467,10 @@ Result<std::vector<AggGroup>> ColumnStore::AggregateScan(
         case AggSpec::Fn::kAvg:
           if (acc.non_null == 0) {
             group.aggregates.push_back(Value::Null());
+          } else if (acc.all_int && !acc.int_overflow) {
+            group.aggregates.push_back(
+                Value::Double(static_cast<double>(acc.isum) /
+                              static_cast<double>(acc.non_null)));
           } else {
             group.aggregates.push_back(
                 Value::Double(acc.sum / static_cast<double>(acc.non_null)));

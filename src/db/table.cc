@@ -86,6 +86,7 @@ Result<Row> DecodeRow(Decoder* dec) {
 }
 
 Table::Table(TableDef def) : def_(std::move(def)) {
+  stats_.Reset(def_.columns.size());
   if (def_.columnar) {
     column_store_ = std::make_unique<store::ColumnStore>(def_);
     // Columnar tables carry a radix prefix index per VARCHAR column,
@@ -242,6 +243,7 @@ Result<RowId> Table::Insert(const Row& row) {
     rows_.emplace(id, row);
   }
   NonUniqueIndexInsert(id, row);
+  stats_.AddRow(row);
   return id;
 }
 
@@ -256,6 +258,7 @@ Result<RowId> Table::Insert(Row&& row) {
   EASIA_RETURN_IF_ERROR(ReserveUniqueEntries(id, row));
   ++next_row_id_;
   NonUniqueIndexInsert(id, row);
+  stats_.AddRow(row);
   rows_.emplace(id, std::move(row));
   return id;
 }
@@ -275,6 +278,7 @@ Status Table::InsertWithId(RowId id, Row row) {
     EASIA_RETURN_IF_ERROR(column_store_->Append(id, row));
   }
   IndexInsert(id, row);
+  stats_.AddRow(row);
   if (!column_store_) rows_.emplace(id, std::move(row));
   if (id >= next_row_id_) next_row_id_ = id + 1;
   return Status::OK();
@@ -293,6 +297,8 @@ Status Table::Update(RowId id, Row new_row) {
     EASIA_RETURN_IF_ERROR(column_store_->Update(id, new_row));
     IndexRemove(id, *old_row);
     IndexInsert(id, new_row);
+    stats_.RemoveRow(*old_row);
+    stats_.AddRow(new_row);
     return Status::OK();
   }
   auto it = rows_.find(id);
@@ -302,6 +308,8 @@ Status Table::Update(RowId id, Row new_row) {
   EASIA_RETURN_IF_ERROR(CheckUnique(new_row, id));
   IndexRemove(id, it->second);
   IndexInsert(id, new_row);
+  stats_.RemoveRow(it->second);
+  stats_.AddRow(new_row);
   it->second = std::move(new_row);
   return Status::OK();
 }
@@ -314,6 +322,7 @@ Status Table::Delete(RowId id) {
     }
     EASIA_RETURN_IF_ERROR(column_store_->Delete(id));
     IndexRemove(id, *old_row);
+    stats_.RemoveRow(*old_row);
     return Status::OK();
   }
   auto it = rows_.find(id);
@@ -321,6 +330,7 @@ Status Table::Delete(RowId id) {
     return Status::NotFound("delete: no such row in " + def_.name);
   }
   IndexRemove(id, it->second);
+  stats_.RemoveRow(it->second);
   rows_.erase(it);
   return Status::OK();
 }
@@ -494,6 +504,29 @@ std::vector<std::string> Table::RadixPrefixValues(std::string_view column,
   const store::RadixIndex* radix = FindRadix(column);
   if (radix == nullptr) return {};
   return radix->PrefixValues(prefix, limit);
+}
+
+Status Table::CreateSecondaryIndex(const std::vector<std::string>& columns) {
+  SecondaryIndex index;
+  for (const std::string& c : columns) {
+    EASIA_ASSIGN_OR_RETURN(size_t idx, def_.ColumnIndex(c));
+    index.column_indexes.push_back(idx);
+  }
+  if (index.column_indexes.empty()) {
+    return Status::InvalidArgument("secondary index needs columns");
+  }
+  for (const UniqueIndex& u : indexes_) {
+    if (u.column_indexes == index.column_indexes) return Status::OK();
+  }
+  for (const SecondaryIndex& s : secondary_indexes_) {
+    if (s.column_indexes == index.column_indexes) return Status::OK();
+  }
+  ForEachRow([&](RowId id, const Row& row) {
+    if (!AllNonNull(row, index.column_indexes)) return;
+    index.entries.emplace(MakeKey(row, index.column_indexes), id);
+  });
+  secondary_indexes_.push_back(std::move(index));
+  return Status::OK();
 }
 
 Table::StorageStats Table::GetStorageStats() const {

@@ -11,6 +11,7 @@
 #include "common/coding.h"
 #include "common/result.h"
 #include "db/schema.h"
+#include "db/stats/table_stats.h"
 #include "db/store/column_page.h"
 #include "db/store/radix_index.h"
 #include "db/value.h"
@@ -129,6 +130,20 @@ class Table {
 
   RowId next_row_id() const { return next_row_id_; }
 
+  /// Incrementally maintained column statistics (row counts, NDV, min/max,
+  /// value sample) fed from every mutation path, so WAL replay, snapshot
+  /// loading and rollback all keep them current. The mutable accessor
+  /// exists for snapshot loading, which overwrites the rebuilt sketches
+  /// with the persisted ones (those carry widen-only history a rebuild
+  /// from live rows cannot reproduce).
+  const stats::TableStats& table_stats() const { return stats_; }
+  stats::TableStats* mutable_table_stats() { return &stats_; }
+
+  /// Creates a non-unique secondary index over `columns` and backfills it
+  /// from the existing rows (index-advisor auto-creation). No-op when an
+  /// index with exactly these columns already exists.
+  Status CreateSecondaryIndex(const std::vector<std::string>& columns);
+
   /// Storage-level gauges for the obs registry.
   struct StorageStats {
     bool columnar = false;
@@ -183,6 +198,7 @@ class Table {
   std::map<size_t, store::RadixIndex> radix_indexes_;
   std::vector<UniqueIndex> indexes_;
   std::vector<SecondaryIndex> secondary_indexes_;
+  stats::TableStats stats_;
   RowId next_row_id_ = 1;
 };
 

@@ -922,6 +922,34 @@ HttpResponse ArchiveWebServer::HandleStats(const Session& session) {
                   static_cast<unsigned long long>(ds.txn_aborts),
                   static_cast<unsigned long long>(
                       deps_.database->commit_epoch())));
+    const db::stats::IndexAdvisor& advisor = deps_.database->index_advisor();
+    std::vector<db::stats::IndexRecommendation> recs =
+        advisor.Recommendations(1);
+    w.Element("p",
+              StrPrintf("index advisor: %llu plans observed, %zu "
+                        "recommendations",
+                        static_cast<unsigned long long>(
+                            advisor.total_observations()),
+                        recs.size()));
+    if (!recs.empty()) {
+      w.Open("table", {{"border", "1"}});
+      w.Open("tr");
+      w.Element("th", "table");
+      w.Element("th", "column");
+      w.Element("th", "kind");
+      w.Element("th", "hits");
+      w.Close();  // tr
+      for (const db::stats::IndexRecommendation& rec : recs) {
+        w.Open("tr");
+        w.Element("td", rec.table);
+        w.Element("td", rec.column);
+        w.Element("td", rec.kind_name());
+        w.Element("td", StrPrintf("%llu",
+                                  static_cast<unsigned long long>(rec.hits)));
+        w.Close();  // tr
+      }
+      w.Close();  // table
+    }
   }
   if (deps_.cache != nullptr) {
     RenderCacheStats cs = deps_.cache->stats();

@@ -296,6 +296,67 @@ TEST_F(DifferentialFuzzTest, AggregateSelects) {
   }
 }
 
+TEST_F(DifferentialFuzzTest, NearInt64MaxAggregates) {
+  // SUM/AVG accumulation near the INT64 boundary: the row executor, the
+  // planner fast path and the columnar aggregation kernel must widen (or
+  // saturate) identically, so a sum that would wrap in 64 bits renders
+  // the same on all four paths. Seeded values cluster at +/-INT64_MAX so
+  // two-element partial sums already overflow.
+  ExecBoth(
+      "CREATE TABLE EXTREME ("
+      " ID INTEGER NOT NULL,"
+      " G INTEGER,"
+      " V INTEGER,"
+      " PRIMARY KEY (ID))");
+  Random rng(0xB16);
+  static const char* kValues[] = {
+      "9223372036854775807",   // INT64_MAX
+      "9223372036854775806",   // INT64_MAX - 1
+      "-9223372036854775807",  // INT64_MIN + 1
+      "-9223372036854775806",
+      "4611686018427387904",   // 2^62
+      "-4611686018427387904",
+      "1",
+      "-1",
+      "0",
+      "NULL"};
+  for (int i = 1; i <= 40; ++i) {
+    ExecBoth("INSERT INTO EXTREME VALUES (" + std::to_string(i) + ", " +
+             std::to_string(rng.Uniform(4)) + ", " +
+             kValues[rng.Uniform(10)] + ")");
+  }
+  static const char* kAggs[] = {"SUM(V)", "AVG(V)", "MIN(V)", "MAX(V)",
+                                "COUNT(V)"};
+  const int iters = FuzzIters(200);
+  for (int i = 0; i < iters; ++i) {
+    std::string sql = "SELECT ";
+    bool grouped = rng.OneIn(2);
+    if (grouped) sql += "G, ";
+    sql += kAggs[rng.Uniform(5)];
+    if (rng.OneIn(2)) {
+      sql += ", ";
+      sql += kAggs[rng.Uniform(5)];
+    }
+    sql += " FROM EXTREME";
+    switch (rng.Uniform(4)) {
+      case 0:
+        sql += " WHERE V > 0";
+        break;
+      case 1:
+        sql += " WHERE V < 0";
+        break;
+      case 2:
+        sql += " WHERE V IS NOT NULL";
+        break;
+      default:
+        break;  // unfiltered: the full +/-INT64_MAX mix
+    }
+    if (grouped) sql += " GROUP BY G";
+    CheckEquivalent(sql, /*ordered=*/false);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+}
+
 TEST_F(DifferentialFuzzTest, PrefixLikeSelects) {
   const int iters = FuzzIters(300);
   Random rng(0x11CE);

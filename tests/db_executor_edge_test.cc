@@ -53,6 +53,51 @@ TEST_F(ExecutorEdgeTest, MultiColumnGroupBy) {
   EXPECT_TRUE(r.rows[2][1].is_null() || r.rows[3][1].is_null());
 }
 
+TEST_F(ExecutorEdgeTest, GroupByNullKeysFormOneGroup) {
+  // All-NULL keys coalesce into a single group on both executor paths,
+  // and that group aggregates like any other (COUNT(*) counts its rows,
+  // COUNT(col)/SUM skip NULL inputs independently of the NULL key).
+  Must("INSERT INTO T VALUES ('f', 'y', NULL, 7, NULL)");
+  QueryResult r = Q("SELECT SUB, COUNT(*), SUM(N) FROM T GROUP BY SUB");
+  ASSERT_EQ(r.rows.size(), 3u);  // p, q, NULL — never one group per NULL
+  bool saw_null_group = false;
+  for (const Row& row : r.rows) {
+    if (row[0].is_null()) {
+      saw_null_group = true;
+      EXPECT_EQ(row[1].AsInt(), 2);  // rows e and f
+      EXPECT_EQ(row[2].AsInt(), 7);  // e's N is NULL, f contributes 7
+    }
+  }
+  EXPECT_TRUE(saw_null_group);
+}
+
+TEST_F(ExecutorEdgeTest, LimitBoundsOutputGroupsNotInputRows) {
+  // LIMIT on an aggregate applies to the grouped output; the underlying
+  // scan must not short-circuit, or group counts would come up short.
+  QueryResult r = Q("SELECT GRP, COUNT(*) FROM T GROUP BY GRP LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  std::string grp = r.rows[0][0].AsString();
+  QueryResult full =
+      Q("SELECT COUNT(*) FROM T WHERE GRP = '" + grp + "'");
+  EXPECT_EQ(r.rows[0][1].AsInt(), full.rows[0][0].AsInt());
+
+  EXPECT_EQ(Q("SELECT GRP, COUNT(*) FROM T GROUP BY GRP LIMIT 0")
+                .rows.size(),
+            0u);
+  // Ungrouped aggregates yield one row; LIMIT 1 keeps it intact.
+  r = Q("SELECT SUM(N) FROM T LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+  // OFFSET past the single aggregate row leaves nothing.
+  EXPECT_EQ(Q("SELECT SUM(N) FROM T LIMIT 1 OFFSET 1").rows.size(), 0u);
+  // HAVING filters groups before LIMIT counts them.
+  r = Q("SELECT GRP, COUNT(*) FROM T GROUP BY GRP"
+        " HAVING COUNT(*) > 2 LIMIT 5");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "x");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+}
+
 TEST_F(ExecutorEdgeTest, HavingWithoutGroupBy) {
   QueryResult r = Q("SELECT COUNT(*) FROM T HAVING COUNT(*) > 10");
   EXPECT_EQ(r.rows.size(), 0u);

@@ -11,6 +11,7 @@
 
 #include "common/coding.h"
 #include "db/database.h"
+#include "db/table.h"
 #include "med/token.h"
 
 namespace easia::db {
@@ -139,12 +140,40 @@ TEST_F(DbStatsRecoveryTest, SnapshotRoundTripIsMonotonic) {
 TEST_F(DbStatsRecoveryTest, V1SnapshotsStillLoad) {
   Database db("STATS");
   RunWorkload(&db);
-  std::string v3 = db.SerializeSnapshot();
-  ASSERT_EQ(v3.substr(0, 10), "EASIASNAP3");
+  std::string v4 = db.SerializeSnapshot();
+  ASSERT_EQ(v4.substr(0, 10), "EASIASNAP4");
 
-  // Reconstruct the V1 layout: old magic, no stats block, re-CRC'd body.
-  // (Stats are the first 8*8 bytes of the V3 body; the CRC is the last 4.)
-  std::string body = v3.substr(10 + 8 * 8, v3.size() - 10 - 8 * 8 - 4);
+  // Reconstruct the V1 layout by transcoding: V4 prepends an 8*8-byte
+  // counter block to the body and appends a length-prefixed planner-stats
+  // block after each table's rows; V1 has neither. Rows re-encode
+  // byte-identically, so dropping those two additions yields a V1 body.
+  Decoder dec(std::string_view(v4).substr(10 + 8 * 8,
+                                          v4.size() - 10 - 8 * 8 - 4));
+  std::string body;
+  auto table_count = dec.GetU32();
+  ASSERT_TRUE(table_count.ok());
+  PutU32(&body, *table_count);
+  for (uint32_t t = 0; t < *table_count; ++t) {
+    auto def_sql = dec.GetLengthPrefixed();
+    ASSERT_TRUE(def_sql.ok());
+    PutLengthPrefixed(&body, *def_sql);
+    auto next_row_id = dec.GetU64();
+    ASSERT_TRUE(next_row_id.ok());
+    PutU64(&body, *next_row_id);
+    auto row_count = dec.GetU32();
+    ASSERT_TRUE(row_count.ok());
+    PutU32(&body, *row_count);
+    for (uint32_t r = 0; r < *row_count; ++r) {
+      auto id = dec.GetU64();
+      ASSERT_TRUE(id.ok());
+      PutU64(&body, *id);
+      auto row = DecodeRow(&dec);
+      ASSERT_TRUE(row.ok());
+      EncodeRow(&body, *row);
+    }
+    ASSERT_TRUE(dec.GetLengthPrefixed().ok());  // drop the V4 stats block
+  }
+  ASSERT_TRUE(dec.Done());
   std::string v1 = "EASIASNAP1" + body;
   uint32_t crc = Crc32(body);
   for (int shift = 0; shift < 32; shift += 8) {
