@@ -387,8 +387,16 @@ Status Database::CommitInternal() {
   if (coordinator_ != nullptr && txn_->used_coordinator) {
     coordinator_->CommitTxn(txn_->id);
   }
+  std::vector<WalRecord> committed;
+  if (mutated && commit_listener_) committed = std::move(txn_->wal_records);
   txn_.reset();
-  if (mutated) commit_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  if (mutated) {
+    uint64_t epoch =
+        commit_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // The listener runs with the exclusive lock still held, so the
+    // replication log sees commits in exactly the order readers do.
+    if (commit_listener_) commit_listener_(epoch, committed);
+  }
   if (mutated && options_.auto_create_indexes) {
     // Opportunistic advisor application: the exclusive lock is already
     // held here, and commits are where the data (and thus the payoff of a
@@ -397,6 +405,48 @@ Status Database::CommitInternal() {
     (void)ApplyIndexRecommendationsLocked(options_.auto_index_min_hits);
   }
   return Status::OK();
+}
+
+Status Database::ApplyReplicatedCommit(const std::vector<WalRecord>& ops,
+                                       uint64_t epoch) {
+  std::unique_lock<std::shared_mutex> write_lock(mu_);
+  if (txn_ != nullptr) {
+    return Status::FailedPrecondition(
+        "replicated apply during an open transaction");
+  }
+  for (const WalRecord& op : ops) {
+    switch (op.type) {
+      case WalRecordType::kBegin:
+      case WalRecordType::kCommit:
+      case WalRecordType::kAbort:
+        continue;
+      default:
+        EASIA_RETURN_IF_ERROR(ApplyWalOp(op));
+    }
+  }
+  if (wal_ != nullptr) {
+    // Replicas configured with a WAL stay independently durable: the
+    // shipped records land verbatim (control records included), so plain
+    // Recover() replays them with the usual commit grouping.
+    for (const WalRecord& rec : ops) {
+      EASIA_RETURN_IF_ERROR(wal_->Append(rec));
+    }
+    if (options_.sync_on_commit) {
+      EASIA_RETURN_IF_ERROR(wal_->Sync());
+    }
+  }
+  // Replicated commits count like local ones so replica /metrics line up
+  // with the primary once caught up.
+  counters_.txn_commits.fetch_add(1, std::memory_order_relaxed);
+  AdvanceCommitEpochTo(epoch);
+  return Status::OK();
+}
+
+void Database::AdvanceCommitEpochTo(uint64_t epoch) {
+  uint64_t cur = commit_epoch_.load(std::memory_order_acquire);
+  while (cur < epoch && !commit_epoch_.compare_exchange_weak(
+                            cur, epoch, std::memory_order_acq_rel)) {
+  }
 }
 
 void Database::RollbackInternal() {

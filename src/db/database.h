@@ -204,6 +204,35 @@ class Database {
     return commit_epoch_.load(std::memory_order_acquire);
   }
 
+  // --- Replication hooks (src/db/repl) ---
+  /// Invoked after every successfully committed *mutating* transaction,
+  /// with the exclusive lock still held, so the replication log observes
+  /// commits in exactly the order readers do. `epoch` is the commit epoch
+  /// the commit advanced to and `records` the transaction's full WAL
+  /// record list (kBegin .. kCommit). The callback must be cheap and must
+  /// not re-enter the database. Pass an empty function to detach.
+  using CommitListener =
+      std::function<void(uint64_t epoch, const std::vector<WalRecord>&)>;
+  void set_commit_listener(CommitListener listener) {
+    commit_listener_ = std::move(listener);
+  }
+
+  /// Applies one replicated committed transaction shipped from a primary:
+  /// `ops` are the transaction's WAL records (control records are
+  /// skipped), applied under the exclusive lock in record order, after
+  /// which the commit epoch is advanced to at least `epoch` — replicas
+  /// mirror primary epochs rather than counting their own, so equal
+  /// epochs mean equal visible state on every node (the WAL replay path
+  /// is deterministic). Also appends the records to this node's own WAL
+  /// when one is configured, keeping replicas independently durable.
+  Status ApplyReplicatedCommit(const std::vector<WalRecord>& ops,
+                               uint64_t epoch);
+
+  /// Forces the commit epoch to at least `epoch` (monotonic; never moves
+  /// backwards). Used when a replica bootstraps from a primary snapshot
+  /// so its first replicated commit continues the primary's epoch line.
+  void AdvanceCommitEpochTo(uint64_t epoch);
+
   const std::string& name() const { return name_; }
   const Catalog& catalog() const { return catalog_; }
   /// Raw table access for single-threaded callers (benches, the XUIS
@@ -331,6 +360,7 @@ class Database {
   std::atomic<bool> explicit_txn_{false};
   std::atomic<std::thread::id> explicit_owner_{};
   std::atomic<uint64_t> commit_epoch_{0};
+  CommitListener commit_listener_;
 
   struct Counters {
     std::atomic<uint64_t> statements{0};

@@ -1,0 +1,63 @@
+#include "db/repl/replica.h"
+
+#include <utility>
+
+namespace easia::db::repl {
+
+ReplicaNode::ReplicaNode(std::string host, DatabaseOptions db_options)
+    : host_(std::move(host)),
+      db_(std::make_unique<Database>(host_, std::move(db_options))) {}
+
+Result<ReplicaNode::ApplyOutcome> ReplicaNode::ApplyShipment(
+    std::string_view bytes, size_t max_entries) {
+  if (down()) {
+    return Status::Unavailable("repl: replica " + host_ + " is down");
+  }
+  Shipment shipment = DecodeShipment(bytes);
+  ApplyOutcome outcome;
+  outcome.torn = shipment.torn;
+  if (shipment.torn) {
+    counters_.torn_shipments.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const CommitEntry& entry : shipment.entries) {
+    if (outcome.applied >= max_entries) break;
+    uint64_t lsn = last_applied_lsn_.load(std::memory_order_acquire);
+    if (entry.lsn <= lsn) {
+      // A retried shipment overlaps what we already applied; applying it
+      // again would double-apply inserts, so skip silently.
+      counters_.duplicate_entries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (entry.lsn != lsn + 1) {
+      return Status::OutOfRange(
+          "repl: shipment gap on " + host_ + ": at lsn " +
+          std::to_string(lsn) + ", got " + std::to_string(entry.lsn) +
+          " (bootstrap required)");
+    }
+    if (entry.epoch <= applied_epoch_.load(std::memory_order_acquire)) {
+      return Status::Corruption("repl: non-monotonic epoch on " + host_);
+    }
+    EASIA_RETURN_IF_ERROR(
+        db_->ApplyReplicatedCommit(entry.records, entry.epoch));
+    last_applied_lsn_.store(entry.lsn, std::memory_order_release);
+    applied_epoch_.store(entry.epoch, std::memory_order_release);
+    ++outcome.applied;
+    counters_.entries_applied.fetch_add(1, std::memory_order_relaxed);
+  }
+  counters_.shipments_applied.fetch_add(1, std::memory_order_relaxed);
+  return outcome;
+}
+
+Status ReplicaNode::Bootstrap(const std::string& snapshot_image,
+                              uint64_t lsn, uint64_t epoch) {
+  EASIA_RETURN_IF_ERROR(db_->LoadSnapshotFromString(snapshot_image));
+  // The snapshot restore bumped the replica's local epoch; pin it to the
+  // primary's epoch line so promoted-replica commits continue above every
+  // epoch any cache has seen.
+  db_->AdvanceCommitEpochTo(epoch);
+  last_applied_lsn_.store(lsn, std::memory_order_release);
+  applied_epoch_.store(epoch, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace easia::db::repl

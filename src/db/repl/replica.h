@@ -1,0 +1,96 @@
+#ifndef EASIA_DB_REPL_REPLICA_H_
+#define EASIA_DB_REPL_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "db/repl/wire.h"
+
+namespace easia::db::repl {
+
+/// Cumulative per-replica counters (atomics: the apply path writes them
+/// while metric callbacks and routing threads read them).
+struct ReplicaCounters {
+  std::atomic<uint64_t> shipments_applied{0};
+  std::atomic<uint64_t> entries_applied{0};
+  std::atomic<uint64_t> duplicate_entries{0};
+  std::atomic<uint64_t> torn_shipments{0};
+};
+
+/// One replica: a named sim host owning its own `db::Database`, fed
+/// exclusively through ApplyShipment (never by direct DML — the
+/// coordinator routes all writes to the primary). Tracks the LSN of the
+/// last applied commit (the resume point for the shipper) and the commit
+/// epoch its state mirrors (the staleness input for read routing).
+class ReplicaNode {
+ public:
+  /// `host` is the sim::Network host name shipments arrive on.
+  /// `db_options` may carry a wal_path/env to make the replica
+  /// independently durable; default is a pure in-memory replica.
+  explicit ReplicaNode(std::string host, DatabaseOptions db_options = {});
+
+  ReplicaNode(const ReplicaNode&) = delete;
+  ReplicaNode& operator=(const ReplicaNode&) = delete;
+
+  const std::string& host() const { return host_; }
+  Database& database() { return *db_; }
+  const Database& database() const { return *db_; }
+
+  /// LSN of the last commit applied here; the shipper resumes after it.
+  uint64_t last_applied_lsn() const {
+    return last_applied_lsn_.load(std::memory_order_acquire);
+  }
+  /// Commit epoch this replica's visible state mirrors. Monotonic: apply
+  /// only ever advances it, never rewinds (enforced, not assumed).
+  uint64_t applied_epoch() const {
+    return applied_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Administrative/crash state: a down replica receives no shipments and
+  /// serves no reads until marked up again.
+  void set_down(bool down) { down_.store(down, std::memory_order_release); }
+  bool down() const { return down_.load(std::memory_order_acquire); }
+
+  struct ApplyOutcome {
+    size_t applied = 0;
+    /// The shipment ended in a torn/corrupt frame; the intact prefix (if
+    /// any) was applied and the shipper should resend from
+    /// last_applied_lsn().
+    bool torn = false;
+  };
+
+  /// Decodes `bytes` and applies its entries in order. Entries at or
+  /// below the current LSN are duplicates (a retried shipment) and are
+  /// skipped; an entry that skips ahead of current LSN + 1 is a gap and
+  /// fails kOutOfRange without applying anything further (the replica
+  /// must bootstrap if the shipper's log no longer reaches back far
+  /// enough). `max_entries` is a crash seam for the fault harness: apply
+  /// at most that many entries, as if the replica died mid-shipment.
+  Result<ApplyOutcome> ApplyShipment(std::string_view bytes,
+                                     size_t max_entries = SIZE_MAX);
+
+  /// Replaces this replica's state with a primary snapshot image taken at
+  /// (`lsn`, `epoch`): the bootstrap path for a new or trimmed-past
+  /// replica. Subsequent shipments resume after `lsn`.
+  Status Bootstrap(const std::string& snapshot_image, uint64_t lsn,
+                   uint64_t epoch);
+
+  const ReplicaCounters& counters() const { return counters_; }
+
+ private:
+  std::string host_;
+  std::unique_ptr<Database> db_;
+  std::atomic<uint64_t> last_applied_lsn_{0};
+  std::atomic<uint64_t> applied_epoch_{0};
+  std::atomic<bool> down_{false};
+  ReplicaCounters counters_;
+};
+
+}  // namespace easia::db::repl
+
+#endif  // EASIA_DB_REPL_REPLICA_H_

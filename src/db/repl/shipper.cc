@@ -1,0 +1,109 @@
+#include "db/repl/shipper.h"
+
+#include <utility>
+
+namespace easia::db::repl {
+
+uint64_t ReplicationLog::Append(uint64_t epoch,
+                                const std::vector<WalRecord>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CommitEntry entry;
+  entry.lsn = next_lsn_++;
+  entry.epoch = epoch;
+  entry.records = records;
+  entries_.push_back(std::move(entry));
+  return entries_.back().lsn;
+}
+
+std::vector<CommitEntry> ReplicationLog::EntriesAfter(uint64_t after_lsn,
+                                                      size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CommitEntry> out;
+  for (const CommitEntry& entry : entries_) {
+    if (entry.lsn <= after_lsn) continue;
+    out.push_back(entry);
+    if (out.size() >= limit) break;
+  }
+  return out;
+}
+
+size_t ReplicationLog::TrimThrough(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  while (!entries_.empty() && entries_.front().lsn <= lsn) {
+    entries_.pop_front();
+    ++dropped;
+  }
+  return dropped;
+}
+
+void ReplicationLog::TruncateAfter(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!entries_.empty() && entries_.back().lsn > lsn) {
+    entries_.pop_back();
+  }
+  next_lsn_ = entries_.empty() ? lsn + 1 : entries_.back().lsn + 1;
+}
+
+uint64_t ReplicationLog::last_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_ - 1;
+}
+
+uint64_t ReplicationLog::first_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? 0 : entries_.front().lsn;
+}
+
+size_t ReplicationLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+WalShipper::WalShipper(ReplicationLog* log, sim::Network* network,
+                       Options options)
+    : log_(log), network_(network), options_(std::move(options)) {}
+
+Result<size_t> WalShipper::ShipTo(ReplicaNode* replica) {
+  size_t total_applied = 0;
+  if (replica->last_applied_lsn() < log_->last_lsn()) {
+    counters_.resumes.fetch_add(1, std::memory_order_relaxed);
+  }
+  while (replica->last_applied_lsn() < log_->last_lsn()) {
+    uint64_t resume_lsn = replica->last_applied_lsn();
+    std::vector<CommitEntry> batch =
+        log_->EntriesAfter(resume_lsn, options_.max_entries_per_shipment);
+    if (batch.empty() || batch.front().lsn != resume_lsn + 1) {
+      return Status::OutOfRange(
+          "repl: log trimmed past replica " + replica->host() +
+          " (resume lsn " + std::to_string(resume_lsn) +
+          ", log starts at " + std::to_string(log_->first_lsn()) + ")");
+    }
+    std::string bytes = EncodeShipment(batch);
+    if (transport_fault_) transport_fault_(&bytes);
+    Result<sim::TransferRecord> rec = network_->Transfer(
+        options_.primary_host, replica->host(), bytes.size());
+    if (!rec.ok()) {
+      counters_.failed_transfers.fetch_add(1, std::memory_order_relaxed);
+      return rec.status();
+    }
+    counters_.shipments.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_shipped.fetch_add(bytes.size(),
+                                      std::memory_order_relaxed);
+    EASIA_ASSIGN_OR_RETURN(ReplicaNode::ApplyOutcome outcome,
+                           replica->ApplyShipment(bytes));
+    counters_.entries_shipped.fetch_add(outcome.applied,
+                                        std::memory_order_relaxed);
+    total_applied += outcome.applied;
+    if (outcome.applied == 0) {
+      // A fully corrupt shipment applied nothing; looping again would
+      // resend the same bytes through the same fault forever. Surface it
+      // and let the caller retry once the transport heals.
+      return Status::Corruption("repl: shipment to " + replica->host() +
+                                " made no progress");
+    }
+  }
+  return total_applied;
+}
+
+}  // namespace easia::db::repl

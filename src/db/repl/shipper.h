@@ -1,0 +1,105 @@
+#ifndef EASIA_DB_REPL_SHIPPER_H_
+#define EASIA_DB_REPL_SHIPPER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/repl/replica.h"
+#include "db/repl/wire.h"
+#include "sim/network.h"
+
+namespace easia::db::repl {
+
+/// The primary-side shipping log: every committed mutating transaction is
+/// appended as one CommitEntry under the next LSN (LSN 1 is the first
+/// commit). Thread-safe — the commit listener appends under the primary's
+/// exclusive lock while the shipper reads from the writer thread and
+/// metric callbacks sample sizes from collection threads.
+class ReplicationLog {
+ public:
+  /// Appends one committed transaction; returns the LSN it was assigned.
+  uint64_t Append(uint64_t epoch, const std::vector<WalRecord>& records);
+
+  /// Entries with LSN in (after_lsn, after_lsn + limit], in order. When
+  /// `after_lsn` falls below the trim point the caller cannot resume from
+  /// the log and must bootstrap the replica instead (detected by the
+  /// first returned LSN not being after_lsn + 1).
+  std::vector<CommitEntry> EntriesAfter(uint64_t after_lsn,
+                                        size_t limit) const;
+
+  /// Drops entries with LSN <= `lsn` (already applied by every replica);
+  /// returns how many were dropped.
+  size_t TrimThrough(uint64_t lsn);
+
+  /// Discards entries with LSN > `lsn`. Failover uses this: commits past
+  /// the promoted replica's LSN were never acked under quorum and die
+  /// with the old primary.
+  void TruncateAfter(uint64_t lsn);
+
+  uint64_t last_lsn() const;
+  /// Smallest LSN still in the log (0 when empty).
+  uint64_t first_lsn() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<CommitEntry> entries_;
+  uint64_t next_lsn_ = 1;
+};
+
+/// Cumulative shipper counters (atomics; sampled by metric callbacks).
+struct ShipperCounters {
+  std::atomic<uint64_t> shipments{0};
+  std::atomic<uint64_t> entries_shipped{0};
+  std::atomic<uint64_t> bytes_shipped{0};
+  std::atomic<uint64_t> failed_transfers{0};
+  std::atomic<uint64_t> resumes{0};
+};
+
+/// Ships log entries to replicas over sim::Network links, resuming each
+/// replica from its own last-applied LSN. Batched: at most
+/// `max_entries_per_shipment` commits per transfer. Not thread-safe with
+/// respect to the Network — exactly one thread (the writer) may ship.
+class WalShipper {
+ public:
+  struct Options {
+    std::string primary_host = "db";
+    size_t max_entries_per_shipment = 64;
+  };
+
+  WalShipper(ReplicationLog* log, sim::Network* network, Options options);
+
+  /// Fault seam: invoked with the encoded shipment bytes before
+  /// "transmission", free to truncate or corrupt them (torn-shipment
+  /// injection). Pass nullptr to clear.
+  void set_transport_fault(std::function<void(std::string*)> fault) {
+    transport_fault_ = std::move(fault);
+  }
+
+  /// Ships until `replica` has applied everything currently in the log.
+  /// Returns the number of entries applied, or the first transport/apply
+  /// error (the replica keeps its clean prefix; a later call resumes from
+  /// its advanced LSN). kOutOfRange means the log was trimmed past the
+  /// replica's resume point and it needs a Bootstrap.
+  Result<size_t> ShipTo(ReplicaNode* replica);
+
+  const ShipperCounters& counters() const { return counters_; }
+  const Options& options() const { return options_; }
+
+ private:
+  ReplicationLog* log_;
+  sim::Network* network_;
+  Options options_;
+  std::function<void(std::string*)> transport_fault_;
+  ShipperCounters counters_;
+};
+
+}  // namespace easia::db::repl
+
+#endif  // EASIA_DB_REPL_SHIPPER_H_

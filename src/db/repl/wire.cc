@@ -1,0 +1,86 @@
+#include "db/repl/wire.h"
+
+#include "common/coding.h"
+#include "common/io.h"
+
+namespace easia::db::repl {
+
+std::string CommitEntry::Encode() const {
+  std::string out;
+  PutU64(&out, lsn);
+  PutU64(&out, epoch);
+  PutU32(&out, static_cast<uint32_t>(records.size()));
+  for (const WalRecord& rec : records) {
+    PutLengthPrefixed(&out, rec.Encode());
+  }
+  return out;
+}
+
+Result<CommitEntry> CommitEntry::Decode(std::string_view data) {
+  Decoder dec(data);
+  CommitEntry entry;
+  EASIA_ASSIGN_OR_RETURN(entry.lsn, dec.GetU64());
+  EASIA_ASSIGN_OR_RETURN(entry.epoch, dec.GetU64());
+  EASIA_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());
+  entry.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    EASIA_ASSIGN_OR_RETURN(std::string encoded, dec.GetLengthPrefixed());
+    EASIA_ASSIGN_OR_RETURN(WalRecord rec, WalRecord::Decode(encoded));
+    entry.records.push_back(std::move(rec));
+  }
+  if (!dec.Done()) {
+    return Status::Corruption("repl: trailing bytes in commit entry");
+  }
+  return entry;
+}
+
+std::string EncodeShipment(const std::vector<CommitEntry>& entries) {
+  std::string out;
+  for (const CommitEntry& entry : entries) {
+    io::AppendFrame(&out, entry.Encode());
+  }
+  return out;
+}
+
+namespace {
+
+uint32_t ReadU32Le(std::string_view bytes, size_t pos) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + 1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + 2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + 3])) << 24;
+}
+
+}  // namespace
+
+Shipment DecodeShipment(std::string_view bytes) {
+  Shipment out;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      out.torn = true;
+      break;
+    }
+    uint32_t length = ReadU32Le(bytes, pos);
+    uint32_t crc = ReadU32Le(bytes, pos + 4);
+    if (bytes.size() - pos - 8 < length) {
+      out.torn = true;
+      break;
+    }
+    std::string_view payload = bytes.substr(pos + 8, length);
+    if (Crc32(payload) != crc) {
+      out.torn = true;
+      break;
+    }
+    Result<CommitEntry> entry = CommitEntry::Decode(payload);
+    if (!entry.ok()) {
+      out.torn = true;
+      break;
+    }
+    out.entries.push_back(std::move(*entry));
+    pos += 8 + length;
+  }
+  return out;
+}
+
+}  // namespace easia::db::repl

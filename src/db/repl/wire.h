@@ -1,0 +1,52 @@
+#ifndef EASIA_DB_REPL_WIRE_H_
+#define EASIA_DB_REPL_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "db/wal.h"
+
+namespace easia::db::repl {
+
+/// One committed transaction on the replication wire: the primary's full
+/// WAL record list for the transaction (kBegin .. kCommit), stamped with
+/// the log sequence number it occupies in the shipping log and the commit
+/// epoch the primary advanced to when it committed. Replicas apply
+/// entries strictly in LSN order and adopt the carried epoch, so "same
+/// epoch" means "same committed state" on every node.
+struct CommitEntry {
+  uint64_t lsn = 0;
+  uint64_t epoch = 0;
+  std::vector<WalRecord> records;
+
+  std::string Encode() const;
+  static Result<CommitEntry> Decode(std::string_view data);
+};
+
+/// A decoded shipment. `torn` is set when the byte stream ended in a
+/// truncated or checksum-corrupt frame: the entries before the tear are
+/// intact and safe to apply (same contract as WAL recovery, which applies
+/// the clean prefix and discards the tail).
+struct Shipment {
+  std::vector<CommitEntry> entries;
+  bool torn = false;
+};
+
+/// Encodes entries as a concatenation of redo-log frames
+/// (`u32 length, u32 crc32, payload`, little-endian — the same framing as
+/// the WAL), one CommitEntry per frame.
+std::string EncodeShipment(const std::vector<CommitEntry>& entries);
+
+/// Walks the frames in `bytes`, CRC-checking each. Unlike io::ScanFrames
+/// this reports the tear: a shipment that arrives truncated or corrupted
+/// mid-flight yields its intact prefix plus `torn = true`, so the shipper
+/// knows to resend from the replica's advanced LSN rather than assume
+/// delivery.
+Shipment DecodeShipment(std::string_view bytes);
+
+}  // namespace easia::db::repl
+
+#endif  // EASIA_DB_REPL_WIRE_H_

@@ -82,6 +82,17 @@ Result<TransferRecord> Network::TransferAt(const std::string& from,
   if (link == nullptr) {
     return Status::Unavailable("sim: no link " + from + " -> " + to);
   }
+  if (link->down) {
+    ++transfers_dropped_;
+    return Status::Unavailable("sim: link " + from + " -> " + to +
+                               " is down");
+  }
+  if (link->loss_probability > 0 &&
+      fault_rng_.NextDouble() < link->loss_probability) {
+    ++transfers_dropped_;
+    return Status::Unavailable("sim: transfer lost on " + from + " -> " +
+                               to);
+  }
   EASIA_ASSIGN_OR_RETURN(
       rec.duration_seconds,
       TransferDuration(link->schedule, bytes, start_epoch,
@@ -89,6 +100,30 @@ Result<TransferRecord> Network::TransferAt(const std::string& from,
   link->bytes_moved += bytes;
   history_.push_back(rec);
   return rec;
+}
+
+Status Network::SetLinkDown(const std::string& from, const std::string& to,
+                            bool down) {
+  Link* link = FindLink(from, to);
+  if (link == nullptr) {
+    return Status::NotFound("sim: no link " + from + " -> " + to);
+  }
+  link->down = down;
+  return Status::OK();
+}
+
+Status Network::SetLinkLossProbability(const std::string& from,
+                                       const std::string& to,
+                                       double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    return Status::InvalidArgument("sim: loss probability out of [0, 1]");
+  }
+  Link* link = FindLink(from, to);
+  if (link == nullptr) {
+    return Status::NotFound("sim: no link " + from + " -> " + to);
+  }
+  link->loss_probability = probability;
+  return Status::OK();
 }
 
 Result<double> Network::ProcessingTime(const std::string& host,

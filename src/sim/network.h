@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "sim/bandwidth.h"
 
@@ -76,6 +77,24 @@ class Network {
   ManualClock& clock() { return clock_; }
   double Now() const { return clock_.Now(); }
 
+  // --- Link-fault knobs (replication shipping & fault harnesses) ---
+  /// Marks the directed link from -> to administratively down (or back
+  /// up). Transfers over a down link fail kUnavailable; EstimateTransfer
+  /// stays pure capacity arithmetic and ignores faults.
+  Status SetLinkDown(const std::string& from, const std::string& to,
+                     bool down);
+  /// Per-transfer loss probability in [0, 1] on the directed link: each
+  /// Transfer/TransferAt rolls the network's seeded fault RNG and fails
+  /// kUnavailable on a hit (the bytes are not metered — they never
+  /// arrived). Deterministic for a fixed seed and call sequence.
+  Status SetLinkLossProbability(const std::string& from,
+                                const std::string& to, double probability);
+  /// Reseeds the fault RNG (default seed 1) so crash/loss sweeps can vary
+  /// the loss pattern per trial without rebuilding the topology.
+  void SeedFaults(uint64_t seed) { fault_rng_ = Random(seed); }
+  /// Transfers dropped by link-down or loss faults since construction.
+  uint64_t transfers_dropped() const { return transfers_dropped_; }
+
   /// Total bytes metered over the link from -> to.
   uint64_t LinkTraffic(const std::string& from, const std::string& to) const;
   /// Total bytes metered over all links.
@@ -88,6 +107,8 @@ class Network {
     BandwidthSchedule schedule;
     double latency_seconds;
     uint64_t bytes_moved = 0;
+    bool down = false;
+    double loss_probability = 0.0;
   };
 
   const Link* FindLink(const std::string& from, const std::string& to) const;
@@ -97,6 +118,8 @@ class Network {
   std::map<std::string, HostSpec> hosts_;
   std::map<std::pair<std::string, std::string>, Link> links_;
   std::vector<TransferRecord> history_;
+  Random fault_rng_{1};
+  uint64_t transfers_dropped_ = 0;
 };
 
 }  // namespace easia::sim

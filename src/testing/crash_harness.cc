@@ -9,6 +9,8 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "db/database.h"
+#include "db/repl/coordinator.h"
+#include "sim/network.h"
 #include "fileserver/url.h"
 #include "jobs/scheduler.h"
 #include "med/backup.h"
@@ -510,6 +512,182 @@ CrashReport RunDatalinkCrashCase(const DatalinkCrashOptions& options) {
   if (dangling2 != dangling) {
     report.violations.push_back("dangling set not stable across reconciles");
   }
+  return report;
+}
+
+CrashReport RunReplicationCrashCase(const ReplicationCrashOptions& options) {
+  CrashReport report;
+  std::vector<std::string> workload =
+      GenerateWalWorkload(options.seed, options.statements);
+
+  // Full mesh so any promoted replica can ship to the survivors.
+  sim::Network net;
+  net.SeedFaults(options.seed * 7919 + 1);
+  std::vector<std::string> hosts{"db"};
+  for (int i = 0; i < options.replicas; ++i) {
+    hosts.push_back("r" + std::to_string(i + 1));
+  }
+  for (const std::string& host : hosts) net.AddHost({host, 50.0, 4});
+  for (const std::string& from : hosts) {
+    for (const std::string& to : hosts) {
+      if (from != to) {
+        net.AddLink(from, to, sim::BandwidthSchedule::Constant(100.0),
+                    0.001);
+      }
+    }
+  }
+
+  db::Database primary("PRIMARY");
+  db::repl::CoordinatorOptions copts;
+  copts.primary_host = "db";
+  copts.ack_quorum = options.ack_quorum;
+  // Routing freshness is not under test here; keep reads on any node.
+  copts.max_read_lag_epochs = 1u << 30;
+  db::repl::ReplicationCoordinator coord(&primary, &net, copts);
+  std::vector<db::repl::ReplicaNode*> replicas;
+  for (int i = 0; i < options.replicas; ++i) {
+    replicas.push_back(coord.AddReplica("r" + std::to_string(i + 1)));
+  }
+
+  auto set_loss = [&](double p) {
+    for (const std::string& from : hosts) {
+      for (const std::string& to : hosts) {
+        if (from != to) (void)net.SetLinkLossProbability(from, to, p);
+      }
+    }
+  };
+  set_loss(options.link_loss_probability);
+  Random fault_rng(options.seed ^ 0x5eedf00dULL);
+  if (options.torn_shipment_probability > 0) {
+    coord.shipper().set_transport_fault([&](std::string* bytes) {
+      if (!bytes->empty() &&
+          fault_rng.NextDouble() < options.torn_shipment_probability) {
+        bytes->resize(fault_rng.Uniform(bytes->size()));
+      }
+    });
+  }
+
+  // Replica-crash schedule: go down mid-apply a third of the way in, come
+  // back two thirds in and resume from the partial prefix.
+  db::repl::ReplicaNode* victim =
+      replicas.empty() ? nullptr : replicas.front();
+  size_t down_at = workload.size() / 3;
+  size_t up_at = 2 * workload.size() / 3;
+
+  std::vector<std::string> executed;
+  std::vector<size_t> acked_idx;
+  std::vector<uint64_t> last_epoch(replicas.size(), 0);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (options.crash_after_statement >= 0 &&
+        i > static_cast<size_t>(options.crash_after_statement)) {
+      report.crashed = true;
+      break;
+    }
+    if (options.replica_crash && victim != nullptr && i == down_at) {
+      // The victim applies only half of its pending batch — a crash in
+      // the middle of a shipment — then goes dark.
+      std::vector<db::repl::CommitEntry> pending = coord.log().EntriesAfter(
+          victim->last_applied_lsn(), workload.size() + 1);
+      if (pending.size() > 1) {
+        std::string bytes = db::repl::EncodeShipment(pending);
+        Result<db::repl::ReplicaNode::ApplyOutcome> out =
+            victim->ApplyShipment(bytes, pending.size() / 2);
+        if (!out.ok()) {
+          report.violations.push_back("partial apply failed: " +
+                                      std::string(out.status().message()));
+        }
+      }
+      victim->set_down(true);
+    }
+    if (options.replica_crash && victim != nullptr && i == up_at) {
+      victim->set_down(false);
+    }
+    coord.Heartbeat();
+    uint64_t lsn_before = coord.log().last_lsn();
+    Result<db::QueryResult> result = coord.Execute(workload[i]);
+    if (result.ok()) {
+      executed.push_back(workload[i]);
+      acked_idx.push_back(executed.size() - 1);
+    } else if (coord.log().last_lsn() > lsn_before) {
+      // Committed on the primary but below quorum / lost in transit:
+      // executed, not acked. Failover may legitimately discard it.
+      executed.push_back(workload[i]);
+    } else {
+      report.violations.push_back(
+          "statement failed before commit: " + workload[i] + " (" +
+          std::string(result.status().message()) + ")");
+    }
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      uint64_t epoch = replicas[r]->applied_epoch();
+      if (epoch < last_epoch[r]) {
+        report.violations.push_back("replica epoch went backwards on " +
+                                    replicas[r]->host());
+      }
+      last_epoch[r] = epoch;
+    }
+  }
+  report.acked = acked_idx.size();
+
+  // Faults stop at the crash/drain point; what must now hold is that
+  // resumable shipping converges every survivor.
+  set_loss(0.0);
+  coord.shipper().set_transport_fault({});
+  if (victim != nullptr) victim->set_down(false);
+
+  std::string primary_dump;
+  std::string promoted_host;
+  if (report.crashed) {
+    net.clock().Advance(copts.heartbeat_timeout_seconds + 1);
+    Result<std::string> promoted = coord.MaybeFailover();
+    if (!promoted.ok()) {
+      report.violations.push_back("failover failed: " +
+                                  std::string(promoted.status().message()));
+      return report;
+    }
+    promoted_host = *promoted;
+    primary_dump = DumpDatabase(*coord.primary(), &report.recovered_items);
+    // Zero acked-commit loss: the promoted state must be the shadow
+    // replay of an executed-statement prefix covering every ack.
+    size_t min_prefix = acked_idx.empty() ? 0 : acked_idx.back() + 1;
+    bool matched = false;
+    for (size_t k = min_prefix; k <= executed.size(); ++k) {
+      std::vector<std::string> prefix(executed.begin(),
+                                      executed.begin() + k);
+      Result<std::string> want = ReplayDump(prefix);
+      if (want.ok() && *want == primary_dump) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      report.violations.push_back(
+          "promoted state is not an acked-covering prefix of the "
+          "executed workload (acked-commit loss?)");
+    }
+  } else {
+    primary_dump = DumpDatabase(primary, &report.recovered_items);
+    Result<std::string> want = ReplayDump(executed);
+    if (!want.ok() || *want != primary_dump) {
+      report.violations.push_back(
+          "primary state diverged from the shadow replay");
+    }
+  }
+
+  for (int pass = 0; pass < 3; ++pass) {
+    if (coord.ShipAll().ok()) break;
+  }
+  for (db::repl::ReplicaNode* replica : replicas) {
+    if (replica->host() == promoted_host || replica->down()) continue;
+    if (DumpDatabase(replica->database(), nullptr) != primary_dump) {
+      report.violations.push_back("replica " + replica->host() +
+                                  " diverged after drain");
+    }
+    if (replica->applied_epoch() != coord.primary()->commit_epoch()) {
+      report.violations.push_back("replica " + replica->host() +
+                                  " epoch mismatch after drain");
+    }
+  }
+  report.wal_bytes = net.TotalTraffic();
   return report;
 }
 

@@ -82,6 +82,40 @@ struct DatalinkCrashOptions {
 };
 CrashReport RunDatalinkCrashCase(const DatalinkCrashOptions& options);
 
+/// One multi-node replication crash case: the WAL workload runs through a
+/// ReplicationCoordinator over a full-mesh sim network (primary + N
+/// replicas) with seeded link loss and torn-shipment injection, then —
+/// optionally — the primary crashes and the most caught-up replica is
+/// promoted. Mirrors RunWalCrashCase's shadow-replay differential check
+/// across nodes. Invariants:
+///
+///  * replica epochs only ever advance, and shipping survives loss/torn
+///    faults by resuming from each replica's last-applied LSN;
+///  * after failover, the promoted primary equals the shadow replay of
+///    some executed-statement prefix that contains EVERY acked statement
+///    (semi-sync quorum: zero acked-commit loss);
+///  * once faults clear and shipping drains, every live node's dump is
+///    byte-identical to the (new) primary's and carries its epoch.
+struct ReplicationCrashOptions {
+  uint64_t seed = 1;
+  int statements = 30;
+  int replicas = 2;
+  /// Replicas that must apply a commit before it is acked; see
+  /// CoordinatorOptions::ack_quorum.
+  size_t ack_quorum = 1;
+  /// Statement index after which the primary crashes and failover runs;
+  /// negative = the primary survives the whole workload.
+  int crash_after_statement = -1;
+  /// Per-transfer loss probability on every link.
+  double link_loss_probability = 0.0;
+  /// Probability that an individual shipment is truncated in flight.
+  double torn_shipment_probability = 0.0;
+  /// Crash one replica mid-apply at a seeded shipment (it applies a
+  /// partial batch, goes down, comes back and must resume cleanly).
+  bool replica_crash = false;
+};
+CrashReport RunReplicationCrashCase(const ReplicationCrashOptions& options);
+
 }  // namespace easia::testing
 
 #endif  // EASIA_TESTING_CRASH_HARNESS_H_

@@ -56,6 +56,10 @@ std::optional<CachedPage> RenderCache::Get(const Key& key, uint64_t epoch,
     return std::nullopt;
   }
   Entry& entry = it->second;
+  // Exact-match validation, deliberately not `entry.epoch <= epoch`: the
+  // caller's epoch is the epoch of the node serving THIS request, and an
+  // entry from a different epoch — older or newer, rendered here or on
+  // another node — does not describe this node's visible state.
   bool stale = entry.epoch != epoch || entry.xuis_revision != xuis_revision;
   if (!stale && options_.max_age_seconds > 0 && options_.clock != nullptr) {
     stale = options_.clock->Now() - entry.inserted_at >

@@ -47,6 +47,14 @@ struct RenderCacheStats {
 /// archive is read-dominated, so wholesale invalidation on rare writes
 /// costs far less than tracking which page depends on which table.
 ///
+/// Under replication the epoch passed in MUST be the *serving node's*
+/// applied epoch, not the primary's: epoch N means the same committed
+/// state on every node (replicas adopt primary epochs, and replay is
+/// deterministic), so entries rendered on different nodes validate
+/// interchangeably — but a page rendered from a lagging replica stamped
+/// with the primary's newer epoch would be replayed as current even
+/// though its backing replica had not applied those commits.
+///
 /// Thread-safe; shards keep lock contention off the hot read path. An
 /// optional max-age bound (driven by the simulation clock) caps how long
 /// token-bearing pages may be replayed.

@@ -179,13 +179,21 @@ std::string ArchiveWebServer::CacheVisibility(const Session& session,
   return session.user.IsGuest() ? "role:guest" : "role:auth";
 }
 
+db::repl::ReadTicket ArchiveWebServer::ServingNode() const {
+  if (deps_.repl != nullptr) return deps_.repl->RouteRead();
+  return {deps_.database, deps_.database->commit_epoch(), "local", false};
+}
+
 template <typename RenderFn>
 HttpResponse ArchiveWebServer::CachedRender(const Session& session,
                                             bool per_user,
                                             const std::string& route,
                                             const std::string& params,
                                             RenderFn&& render) {
-  if (deps_.cache == nullptr) return render();
+  // Route once per request: the node queried on a miss and the epoch the
+  // entry is validated/stored under must be the same observation.
+  db::repl::ReadTicket ticket = ServingNode();
+  if (deps_.cache == nullptr) return render(ticket);
   std::string route_label;
   const RouteMetrics& rm = RouteEntry(route, &route_label);
   obs::Tracer::Scope span(deps_.tracer, rm.cache_span);
@@ -196,8 +204,11 @@ HttpResponse ArchiveWebServer::CachedRender(const Session& session,
   // Capture the validators BEFORE rendering: a commit racing with the
   // render leaves the entry tagged with the pre-commit epoch, so the next
   // lookup conservatively misses instead of replaying a possibly-mixed
-  // page as current.
-  uint64_t epoch = deps_.database->commit_epoch();
+  // page as current. The epoch is the SERVING node's applied epoch: a
+  // page rendered from a lagging replica but stamped with the primary's
+  // newer epoch would later be served as current even though the replica
+  // had not applied those commits when it rendered.
+  uint64_t epoch = ticket.epoch;
   uint64_t revision = deps_.xuis->revision();
   if (std::optional<CachedPage> page =
           deps_.cache->Get(key, epoch, revision)) {
@@ -208,7 +219,7 @@ HttpResponse ArchiveWebServer::CachedRender(const Session& session,
     return resp;
   }
   span.set_note("miss");
-  HttpResponse resp = render();
+  HttpResponse resp = render(ticket);
   if (resp.status == 200) {
     CachedPage page;
     page.content_type = resp.content_type;
@@ -242,7 +253,8 @@ HttpResponse ArchiveWebServer::HandleLogin(const HttpRequest& request) {
 }
 
 HttpResponse ArchiveWebServer::HandleTables(const Session& session) {
-  return CachedRender(session, /*per_user=*/false, "/tables", "", [&] {
+  return CachedRender(session, /*per_user=*/false, "/tables", "",
+                      [&](const db::repl::ReadTicket&) {
     const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
     HttpResponse resp;
     resp.body = RenderTableIndex(spec);
@@ -254,7 +266,8 @@ HttpResponse ArchiveWebServer::HandleQueryForm(const HttpRequest& request,
                                                const Session& session) {
   std::string table_name = ParamOr(request.params, "table");
   return CachedRender(
-      session, /*per_user=*/false, "/query", "table=" + table_name, [&] {
+      session, /*per_user=*/false, "/query", "table=" + table_name,
+      [&](const db::repl::ReadTicket&) {
         const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
         const xuis::XuisTable* table = spec.FindTable(table_name);
         if (table == nullptr || table->hidden) {
@@ -267,7 +280,8 @@ HttpResponse ArchiveWebServer::HandleQueryForm(const HttpRequest& request,
 }
 
 HttpResponse ArchiveWebServer::HandleXuis(const Session& session) {
-  return CachedRender(session, /*per_user=*/false, "/xuis", "", [&] {
+  return CachedRender(session, /*per_user=*/false, "/xuis", "",
+                      [&](const db::repl::ReadTicket&) {
     Result<std::string> xml =
         xuis::ToXmlText(deps_.xuis->For(session.user.name));
     if (!xml.ok()) return Error(500, xml.status().ToString());
@@ -280,15 +294,16 @@ HttpResponse ArchiveWebServer::HandleXuis(const Session& session) {
 
 HttpResponse ArchiveWebServer::RenderQuery(const std::string& sql,
                                            const xuis::XuisTable* table,
-                                           const Session& session) {
+                                           const Session& session,
+                                           db::Database* db) {
   db::ExecContext exec;
   exec.user = session.user.name;
-  Result<db::QueryResult> result = deps_.database->Execute(sql, exec);
+  Result<db::QueryResult> result = db->Execute(sql, exec);
   if (!result.ok()) return Error(400, result.status().ToString());
   RenderContext ctx;
   ctx.spec = &deps_.xuis->For(session.user.name);
   ctx.table = table;
-  ctx.database = deps_.database;
+  ctx.database = db;
   ctx.fleet = deps_.fleet;
   ctx.is_guest = session.user.IsGuest();
   Result<std::string> html = RenderResultTable(*result, ctx);
@@ -332,7 +347,10 @@ HttpResponse ArchiveWebServer::HandleSearch(const HttpRequest& request,
   }
   Result<std::string> sql = TranslateToSql(spec, qbe);
   if (!sql.ok()) return Error(400, sql.status().ToString());
-  return RenderQuery(*sql, table, session);
+  // /search is uncached, so it routes here; cached routes route inside
+  // CachedRender, where the ticket doubles as the cache validator.
+  db::repl::ReadTicket ticket = ServingNode();
+  return RenderQuery(*sql, table, session, ticket.db);
 }
 
 HttpResponse ArchiveWebServer::HandleBrowse(const HttpRequest& request,
@@ -345,7 +363,9 @@ HttpResponse ArchiveWebServer::HandleBrowse(const HttpRequest& request,
   // wires to a fraction of the token TTL).
   std::string params =
       "table=" + table_name + "&column=" + column + "&value=" + value;
-  return CachedRender(session, /*per_user=*/true, "/browse", params, [&] {
+  return CachedRender(
+      session, /*per_user=*/true, "/browse", params,
+      [&](const db::repl::ReadTicket& ticket) {
     const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
     Result<std::string> sql = BrowseSql(spec, table_name, column, value);
     if (!sql.ok()) {
@@ -353,7 +373,7 @@ HttpResponse ArchiveWebServer::HandleBrowse(const HttpRequest& request,
       return Error(status, sql.status().ToString());
     }
     const xuis::XuisTable* table = spec.FindTable(table_name);
-    return RenderQuery(*sql, table, session);
+    return RenderQuery(*sql, table, session, ticket.db);
   });
 }
 
@@ -365,7 +385,9 @@ HttpResponse ArchiveWebServer::HandleTypeahead(const HttpRequest& request,
   std::string limit = ParamOr(request.params, "limit", "10");
   std::string params = "table=" + table_name + "&column=" + column +
                        "&prefix=" + prefix + "&limit=" + limit;
-  return CachedRender(session, /*per_user=*/false, "/typeahead", params, [&] {
+  return CachedRender(
+      session, /*per_user=*/false, "/typeahead", params,
+      [&](const db::repl::ReadTicket& ticket) {
     const xuis::XuisSpec& spec = deps_.xuis->For(session.user.name);
     const xuis::XuisTable* table = spec.FindTable(table_name);
     if (table == nullptr || table->hidden) return Error(404, "no such table");
@@ -384,7 +406,7 @@ HttpResponse ArchiveWebServer::HandleTypeahead(const HttpRequest& request,
                       " LIMIT " + std::to_string(*n);
     db::ExecContext exec;
     exec.user = session.user.name;
-    Result<db::QueryResult> result = deps_.database->Execute(sql, exec);
+    Result<db::QueryResult> result = ticket.db->Execute(sql, exec);
     if (!result.ok()) return Error(400, result.status().ToString());
     HttpResponse resp;
     resp.content_type = "text/plain";
@@ -950,6 +972,43 @@ HttpResponse ArchiveWebServer::HandleStats(const Session& session) {
       }
       w.Close();  // table
     }
+  }
+  if (deps_.repl != nullptr) {
+    w.Element("p",
+              StrPrintf("replication: primary %s, %llu reads on primary, "
+                        "%llu on replicas, %llu writes, %llu quorum "
+                        "failures, %llu failovers",
+                        deps_.repl->primary_host().c_str(),
+                        static_cast<unsigned long long>(
+                            deps_.repl->reads_primary()),
+                        static_cast<unsigned long long>(
+                            deps_.repl->reads_replica()),
+                        static_cast<unsigned long long>(
+                            deps_.repl->writes()),
+                        static_cast<unsigned long long>(
+                            deps_.repl->quorum_failures()),
+                        static_cast<unsigned long long>(
+                            deps_.repl->failovers())));
+    w.Open("table", {{"border", "1"}});
+    w.Open("tr");
+    for (const char* h : {"replica", "applied lsn", "applied epoch",
+                          "lag (epochs)", "state"}) {
+      w.Element("th", h);
+    }
+    w.Close();  // tr
+    for (const db::repl::ReplicaInfo& info : deps_.repl->replica_info()) {
+      w.Open("tr");
+      w.Element("td", info.host);
+      w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
+                                            info.last_applied_lsn)));
+      w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
+                                            info.applied_epoch)));
+      w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
+                                            info.lag_epochs)));
+      w.Element("td", info.down ? "down" : "up");
+      w.Close();  // tr
+    }
+    w.Close();  // table
   }
   if (deps_.cache != nullptr) {
     RenderCacheStats cs = deps_.cache->stats();

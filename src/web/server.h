@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "db/database.h"
+#include "db/repl/coordinator.h"
 #include "fileserver/file_server.h"
 #include "jobs/scheduler.h"
 #include "obs/metrics.h"
@@ -90,6 +91,12 @@ class ArchiveWebServer {
     /// lookups, planner execution, file-server I/O and job execution nest
     /// under it. Also the clock source for request latency.
     obs::Tracer* tracer = nullptr;
+    /// Optional: routes read-only queries (/search, /browse, /typeahead)
+    /// to a stale-bounded replica with primary fallback. `database` must
+    /// stay the coordinator's initial primary; all mutating routes keep
+    /// writing there. Cached pages rendered via a replica are validated
+    /// against the *serving node's* applied epoch, never the primary's.
+    db::repl::ReplicationCoordinator* repl = nullptr;
   };
 
   /// Worker-pool dispatch tuning for HandleConcurrent.
@@ -183,9 +190,18 @@ class ArchiveWebServer {
   /// a personal XUIS spec or the route embeds per-user DATALINK tokens,
   /// otherwise shared by role.
   std::string CacheVisibility(const Session& session, bool per_user) const;
+  /// Picks the node one read executes against: the replication
+  /// coordinator's routed ticket when replication is wired, else the
+  /// local database at its current commit epoch. One ticket per request
+  /// — the cache validator and the queried database must be the same
+  /// node observed once, or a routing change between the two would tag a
+  /// page with the wrong node's epoch.
+  db::repl::ReadTicket ServingNode() const;
+
   /// Cached-read wrapper: looks up (visibility, route, params) in the
   /// render cache, re-renders on miss and stores successful pages tagged
-  /// with the pre-render commit epoch + XUIS revision.
+  /// with the pre-render *serving node* epoch + XUIS revision. `render`
+  /// receives the ticket and must read through `ticket.db` only.
   template <typename RenderFn>
   HttpResponse CachedRender(const Session& session, bool per_user,
                             const std::string& route,
@@ -193,7 +209,7 @@ class ArchiveWebServer {
 
   HttpResponse RenderQuery(const std::string& sql,
                            const xuis::XuisTable* table,
-                           const Session& session);
+                           const Session& session, db::Database* db);
 
   /// Finds an operation spec by name in the user's XUIS.
   const xuis::OperationSpec* FindOperation(const xuis::XuisSpec& spec,

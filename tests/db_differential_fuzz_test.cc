@@ -10,6 +10,9 @@
 #include "db/database.h"
 #include "db/executor.h"
 #include "db/parser.h"
+#include "db/repl/replica.h"
+#include "db/repl/shipper.h"
+#include "db/repl/wire.h"
 
 namespace easia::db {
 namespace {
@@ -27,13 +30,20 @@ int FuzzIters(int default_iters) {
 /// filter/aggregate kernels, radix prefix scans, LIMIT short-circuit) is
 /// the optimised path; the legacy executor is the naive-but-obviously-
 /// correct oracle. Every query additionally runs against a columnar twin
-/// database (same DDL `STORE COLUMNAR`, same inserts), so each check is
-/// four-way: {planned, legacy} x {row store, columnar}.
+/// database (same DDL `STORE COLUMNAR`, same inserts) and against a
+/// replica fed purely by WAL-shipped commit entries (never by direct
+/// DML), so each check is five-way: {planned, legacy} x {row store,
+/// columnar} plus {replica replay}.
 class DifferentialFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
     db_ = std::make_unique<Database>("FUZZ");
     columnar_db_ = std::make_unique<Database>("CFUZZ");
+    replica_ = std::make_unique<repl::ReplicaNode>("r1");
+    db_->set_commit_listener(
+        [this](uint64_t epoch, const std::vector<WalRecord>& records) {
+          log_.Append(epoch, records);
+        });
     ExecBoth(
         "CREATE TABLE AUTHOR ("
         " AUTHOR_KEY INTEGER NOT NULL,"
@@ -98,6 +108,18 @@ class DifferentialFuzzTest : public ::testing::Test {
     Result<Statement> stmt = ParseSql(sql);
     ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
     ASSERT_EQ(stmt->kind, Statement::Kind::kSelect);
+    // Catch the replica up to the primary's shipping log (no network —
+    // the wire encode/decode path is still exercised), then include it
+    // as a fifth differential arm: replayed state must answer queries
+    // exactly like the state built by direct execution.
+    std::vector<repl::CommitEntry> pending =
+        log_.EntriesAfter(replica_->last_applied_lsn(), log_.size() + 1);
+    if (!pending.empty()) {
+      Result<repl::ReplicaNode::ApplyOutcome> applied =
+          replica_->ApplyShipment(repl::EncodeShipment(pending));
+      ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+      ASSERT_EQ(applied->applied, pending.size());
+    }
     struct Run {
       const char* label;
       Result<QueryResult> result;
@@ -112,6 +134,14 @@ class DifferentialFuzzTest : public ::testing::Test {
                       ExecuteSelect(*stmt->select, lookup, nullptr, {true})});
       runs.push_back({row_store ? "row/naive" : "columnar/naive",
                       ExecuteSelect(*stmt->select, lookup, nullptr, {false})});
+    }
+    {
+      Database* database = &replica_->database();
+      TableLookup lookup = [database](const std::string& name) {
+        return database->GetTable(name);
+      };
+      runs.push_back({"replica/planned",
+                      ExecuteSelect(*stmt->select, lookup, nullptr, {true})});
     }
     const Run& oracle = runs[1];  // row-store naive path
     for (const Run& run : runs) {
@@ -133,6 +163,8 @@ class DifferentialFuzzTest : public ::testing::Test {
 
   std::unique_ptr<Database> db_;
   std::unique_ptr<Database> columnar_db_;
+  repl::ReplicationLog log_;
+  std::unique_ptr<repl::ReplicaNode> replica_;
 };
 
 /// One random predicate over the available columns.

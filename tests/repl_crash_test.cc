@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/random.h"
+#include "testing/crash_harness.h"
+
+namespace easia::testing {
+namespace {
+
+/// Iteration scaling: EASIA_FUZZ_ITERS overrides the default count so CI
+/// can dial crash coverage up (soak runs) or down without editing tests.
+int FuzzIters(int default_iters) {
+  const char* env = std::getenv("EASIA_FUZZ_ITERS");
+  if (env == nullptr) return default_iters;
+  int parsed = std::atoi(env);
+  return parsed > 0 ? parsed : default_iters;
+}
+
+std::string Describe(const CrashReport& report) {
+  std::string out;
+  for (const std::string& v : report.violations) {
+    out += v;
+    out += "\n";
+  }
+  return out;
+}
+
+/// Baseline: no faults at all. The full workload acks everything, the
+/// primary matches the shadow replay, and every replica drains to an
+/// identical dump. Anything else is a harness bug, not a fault finding.
+TEST(ReplCrashTest, FaultFreeRunConvergesEverywhere) {
+  ReplicationCrashOptions options;
+  options.seed = 7;
+  options.statements = 40;
+  options.replicas = 3;
+  options.ack_quorum = 2;
+  CrashReport report = RunReplicationCrashCase(options);
+  EXPECT_TRUE(report.Clean()) << Describe(report);
+  EXPECT_FALSE(report.crashed);
+  // The generated workload is the CREATE TABLE plus `statements` DML.
+  EXPECT_EQ(report.acked, 41u);
+  EXPECT_GT(report.wal_bytes, 0u);
+}
+
+/// Torn shipments: every transfer may be truncated mid-frame. Replicas
+/// must apply only intact prefixes and the shipper must resume from each
+/// replica's advanced LSN — convergence is still mandatory.
+TEST(ReplCrashTest, TornShipmentsResumeCleanly) {
+  const int iters = FuzzIters(60);
+  Random rng(0x7E41);
+  for (int i = 0; i < iters; ++i) {
+    ReplicationCrashOptions options;
+    options.seed = rng.Next();
+    options.statements = 25;
+    options.replicas = 2;
+    options.ack_quorum = 1;
+    options.torn_shipment_probability = 0.4;
+    CrashReport report = RunReplicationCrashCase(options);
+    ASSERT_TRUE(report.Clean())
+        << "seed " << options.seed << ":\n" << Describe(report);
+  }
+}
+
+/// Lossy links: transfers vanish outright at a seeded per-link rate.
+/// Commits may miss quorum (that is allowed — they are just not acked);
+/// what may never happen is divergence or epoch regression.
+TEST(ReplCrashTest, LossyLinksNeverDiverge) {
+  const int iters = FuzzIters(60);
+  Random rng(0x105E);
+  for (int i = 0; i < iters; ++i) {
+    ReplicationCrashOptions options;
+    options.seed = rng.Next();
+    options.statements = 25;
+    options.replicas = 3;
+    options.ack_quorum = 1;
+    options.link_loss_probability = 0.25;
+    CrashReport report = RunReplicationCrashCase(options);
+    ASSERT_TRUE(report.Clean())
+        << "seed " << options.seed << ":\n" << Describe(report);
+  }
+}
+
+/// A replica dies halfway through applying a shipment, stays dark, then
+/// comes back: the partial prefix it kept must be resumed from, never
+/// re-applied or skipped past.
+TEST(ReplCrashTest, ReplicaCrashMidApplyResumes) {
+  const int iters = FuzzIters(40);
+  Random rng(0xD0D0);
+  for (int i = 0; i < iters; ++i) {
+    ReplicationCrashOptions options;
+    options.seed = rng.Next();
+    options.statements = 30;
+    options.replicas = 2;
+    options.ack_quorum = 1;
+    options.replica_crash = true;
+    CrashReport report = RunReplicationCrashCase(options);
+    ASSERT_TRUE(report.Clean())
+        << "seed " << options.seed << ":\n" << Describe(report);
+  }
+}
+
+/// The acceptance sweep: 200 seeded runs where the primary crashes at a
+/// random statement (under random loss/torn fault mixes) and the most
+/// caught-up replica is promoted. Zero acked-commit loss, every time:
+/// the promoted state must replay an executed prefix covering every ack.
+TEST(ReplCrashTest, FailoverSweepLosesNoAckedCommit) {
+  const int iters = FuzzIters(200);
+  Random rng(0xFA11);
+  for (int i = 0; i < iters; ++i) {
+    ReplicationCrashOptions options;
+    options.seed = rng.Next();
+    options.statements = 20;
+    options.replicas = 2 + static_cast<int>(rng.Uniform(2));  // 2 or 3
+    options.ack_quorum = 1 + rng.Uniform(2);                  // 1 or 2
+    options.crash_after_statement = static_cast<int>(
+        1 + rng.Uniform(static_cast<uint64_t>(options.statements) - 1));
+    if (rng.Uniform(2) == 0) options.link_loss_probability = 0.15;
+    if (rng.Uniform(2) == 0) options.torn_shipment_probability = 0.2;
+    CrashReport report = RunReplicationCrashCase(options);
+    ASSERT_TRUE(report.Clean())
+        << "seed " << options.seed << " crash@"
+        << options.crash_after_statement << " quorum "
+        << options.ack_quorum << "/" << options.replicas << ":\n"
+        << Describe(report);
+    ASSERT_TRUE(report.crashed);
+  }
+}
+
+/// Crash at every statement boundary of one fixed workload — the
+/// deterministic companion to the seeded sweep, pinning the failover
+/// invariant at each possible cut.
+TEST(ReplCrashTest, EveryStatementBoundarySurvivesFailover) {
+  ReplicationCrashOptions probe;
+  probe.seed = 99;
+  probe.statements = 15;
+  probe.replicas = 2;
+  probe.ack_quorum = 1;
+  for (int cut = 0; cut < probe.statements; ++cut) {
+    ReplicationCrashOptions options = probe;
+    options.crash_after_statement = cut;
+    CrashReport report = RunReplicationCrashCase(options);
+    EXPECT_TRUE(report.Clean())
+        << "crash after statement " << cut << ":\n" << Describe(report);
+    EXPECT_TRUE(report.crashed);
+  }
+}
+
+}  // namespace
+}  // namespace easia::testing
