@@ -203,7 +203,8 @@ TrialResult RunTrial(const Config& cfg, int replicas) {
       // shipping log), so new replicas start from a snapshot — the same
       // initial-sync path a production replica joining mid-life takes.
       if (!node->Bootstrap(primary.SerializeSnapshot(),
-                           coord->log().last_lsn(), primary.commit_epoch())
+                           coord->log().last_lsn(), primary.commit_epoch(),
+                           coord->log().current_term())
                .ok()) {
         return out;
       }

@@ -8,6 +8,19 @@
 
 namespace easia::db::repl {
 
+namespace {
+
+/// Replica freshness ordered by timeline first: an entry from a higher
+/// term supersedes any LSN amount of older-term history (the old-term
+/// tail past the failover boundary is dead data).
+bool PositionLess(uint64_t term_a, uint64_t lsn_a, uint64_t term_b,
+                  uint64_t lsn_b) {
+  if (term_a != term_b) return term_a < term_b;
+  return lsn_a < lsn_b;
+}
+
+}  // namespace
+
 ReplicationCoordinator::ReplicationCoordinator(Database* primary,
                                                sim::Network* network,
                                                CoordinatorOptions options)
@@ -69,27 +82,37 @@ Result<QueryResult> ReplicationCoordinator::Execute(std::string_view sql,
   size_t quorum = options_.ack_quorum;
   if (quorum == 0) return result;
   uint64_t target = log_.last_lsn();
+  uint64_t term = log_.current_term();
   size_t caught_up = 0;
-  size_t live = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& replica : replicas_) {
       if (replica->down()) continue;
-      ++live;
+      // A replica counts toward the quorum only on the current timeline:
+      // a diverged node left over from a failover can report an LSN past
+      // the target without holding the commit at all.
+      if (replica->term() != term) continue;
       if (replica->last_applied_lsn() >= target) ++caught_up;
     }
     quorum = std::min(quorum, replicas_.size());
   }
-  (void)live;
   if (caught_up < quorum) {
-    // Committed and durable on the primary, but NOT acknowledged: the
-    // caller must treat the statement as lost, because a failover now
-    // may promote a replica that never saw it.
+    // COMMITTED on the primary, durable there, but below the ack quorum.
+    // kAborted (not kUnavailable) on purpose: this is not a
+    // retry-until-it-works condition — the statement already applied
+    // once, so a blind retry would double-apply it, and a failover may
+    // legitimately discard it. The committed LSN is in the message so a
+    // caller can de-duplicate an idempotent retry.
     quorum_failures_.fetch_add(1, std::memory_order_relaxed);
-    if (!ship.ok()) return ship;
-    return Status::Unavailable("repl: commit below ack quorum (" +
-                               std::to_string(caught_up) + "/" +
-                               std::to_string(quorum) + " replicas)");
+    std::string detail = "repl: commit at lsn " + std::to_string(target) +
+                         " below ack quorum (" + std::to_string(caught_up) +
+                         "/" + std::to_string(quorum) +
+                         " replicas); durable on primary but unacked — do "
+                         "not blindly retry";
+    if (!ship.ok()) {
+      detail += "; ship error: " + std::string(ship.message());
+    }
+    return Status::Aborted(std::move(detail));
   }
   return result;
 }
@@ -97,13 +120,20 @@ Result<QueryResult> ReplicationCoordinator::Execute(std::string_view sql,
 ReadTicket ReplicationCoordinator::RouteRead() {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t primary_epoch = primary_->commit_epoch();
-  ReadTicket ticket;
+  uint64_t current_term = log_.current_term();
   if (!PrimaryDown()) {
     for (size_t i = 0; i < replicas_.size(); ++i) {
       ReplicaNode& candidate =
           *replicas_[(round_robin_ + i) % replicas_.size()];
       if (candidate.down()) continue;
+      // Fencing: a replica that has not crossed the latest failover
+      // barrier (older term) may hold truncated old-timeline commits —
+      // its epoch can even EXCEED the new primary's while its data is
+      // wrong. It serves nothing until shipping re-validates or
+      // bootstraps it onto the current timeline.
+      if (candidate.term() != current_term) continue;
       uint64_t applied = candidate.applied_epoch();
+      if (applied > primary_epoch) continue;
       if (applied + options_.max_read_lag_epochs < primary_epoch) continue;
       round_robin_ = (round_robin_ + i + 1) % replicas_.size();
       reads_replica_.fetch_add(1, std::memory_order_relaxed);
@@ -117,7 +147,9 @@ ReadTicket ReplicationCoordinator::RouteRead() {
   ReplicaNode* best = nullptr;
   for (const auto& replica : replicas_) {
     if (replica->down()) continue;
-    if (best == nullptr || replica->applied_epoch() > best->applied_epoch()) {
+    if (best == nullptr ||
+        PositionLess(best->term(), best->last_applied_lsn(),
+                     replica->term(), replica->last_applied_lsn())) {
       best = replica.get();
     }
   }
@@ -142,9 +174,10 @@ Status ReplicationCoordinator::ShipAll() {
     Result<size_t> shipped = shipper_->ShipTo(replica);
     if (shipped.ok()) continue;
     if (shipped.status().code() == StatusCode::kOutOfRange) {
-      // The log was trimmed past this replica's resume point: re-seed it
-      // from a primary snapshot (single-writer discipline means the
-      // snapshot is exactly the state at the log head).
+      // The log was trimmed past this replica's resume point, or its
+      // timeline diverged across a failover: re-seed it from a primary
+      // snapshot (single-writer discipline means the snapshot is exactly
+      // the state at the log head).
       Database* primary;
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -152,7 +185,8 @@ Status ReplicationCoordinator::ShipAll() {
       }
       Status bootstrap = replica->Bootstrap(primary->SerializeSnapshot(),
                                             log_.last_lsn(),
-                                            primary->commit_epoch());
+                                            primary->commit_epoch(),
+                                            log_.current_term());
       if (bootstrap.ok()) continue;
       if (first_error.ok()) first_error = bootstrap;
       continue;
@@ -177,26 +211,78 @@ Result<std::string> ReplicationCoordinator::MaybeFailover() {
     return Status::FailedPrecondition("repl: primary is still live");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  // Most caught-up live replica wins. Any commit acked under quorum was
-  // applied by >= quorum replicas, so the max-LSN replica holds a
-  // superset of every acked commit — promotion loses none of them.
+  // Most caught-up live replica by (term, LSN) wins: any commit acked
+  // under quorum was applied by >= ack_quorum replicas, so while fewer
+  // than ack_quorum replicas are down, at least one live replica holds
+  // every acked commit and the max-position node covers all of them.
+  // That is the safety bound — it does NOT hold once ack_quorum (or
+  // more) replicas are down together, which the refusal check below
+  // guards.
   size_t best = replicas_.size();
   for (size_t i = 0; i < replicas_.size(); ++i) {
     if (replicas_[i]->down()) continue;
     if (best == replicas_.size() ||
-        replicas_[i]->last_applied_lsn() >
-            replicas_[best]->last_applied_lsn()) {
+        PositionLess(replicas_[best]->term(),
+                     replicas_[best]->last_applied_lsn(),
+                     replicas_[i]->term(),
+                     replicas_[i]->last_applied_lsn())) {
       best = i;
     }
   }
   if (best == replicas_.size()) {
     return Status::NotFound("repl: no live replica to promote");
   }
+  // Safety check: with >= ack_quorum replicas down, a commit may have
+  // been acked exclusively through down replicas. If one of them is
+  // ahead of the candidate, promoting would silently discard commits the
+  // client saw acknowledged — refuse unless the operator opted into
+  // lossy failover.
+  size_t down_count = 0;
+  for (const auto& replica : replicas_) {
+    if (replica->down()) ++down_count;
+  }
+  if (options_.ack_quorum > 0 && down_count >= options_.ack_quorum) {
+    for (const auto& replica : replicas_) {
+      if (!replica->down()) continue;
+      if (PositionLess(replicas_[best]->term(),
+                       replicas_[best]->last_applied_lsn(),
+                       replica->term(), replica->last_applied_lsn())) {
+        if (!options_.allow_lossy_failover) {
+          failovers_refused_.fetch_add(1, std::memory_order_relaxed);
+          return Status::FailedPrecondition(
+              "repl: down replica " + replica->host() + " (term " +
+              std::to_string(replica->term()) + ", lsn " +
+              std::to_string(replica->last_applied_lsn()) +
+              ") may hold acked commits past promotion candidate " +
+              replicas_[best]->host() + " (term " +
+              std::to_string(replicas_[best]->term()) + ", lsn " +
+              std::to_string(replicas_[best]->last_applied_lsn()) +
+              "); refusing lossy failover — recover the replica or set "
+              "allow_lossy_failover");
+        }
+        lossy_failovers_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
   std::unique_ptr<ReplicaNode> promoted = std::move(replicas_[best]);
   replicas_.erase(replicas_.begin() + best);
   // Entries past the promoted LSN were never acked; they die with the
-  // old primary.
+  // old primary. The new timeline term fences stragglers: a replica that
+  // was down across this failover and still holds truncated entries will
+  // fail the term-history check on its next shipment and be bootstrapped
+  // instead of silently skipping new entries as "duplicates".
   log_.TruncateAfter(promoted->last_applied_lsn());
+  log_.BeginTerm();
+  // Epoch barrier: the dead primary handed out epochs up to
+  // log_.max_epoch(); restart the new timeline strictly above them so an
+  // epoch can never name two different states (render caches key on it).
+  // The barrier itself is a no-op log entry, so surviving replicas adopt
+  // the new term and epoch through the ordinary apply path.
+  uint64_t barrier_epoch =
+      std::max(log_.max_epoch(), promoted->database().commit_epoch()) + 1;
+  promoted->database().AdvanceCommitEpochTo(barrier_epoch);
+  log_.Append(barrier_epoch, {});
   primary_->set_commit_listener({});
   primary_ = &promoted->database();
   options_.primary_host = promoted->host();
@@ -221,6 +307,7 @@ std::vector<ReplicaInfo> ReplicationCoordinator::replica_info() const {
     ReplicaInfo info;
     info.host = replica->host();
     info.last_applied_lsn = replica->last_applied_lsn();
+    info.term = replica->term();
     info.applied_epoch = replica->applied_epoch();
     info.lag_epochs = primary_epoch > info.applied_epoch
                           ? primary_epoch - info.applied_epoch
@@ -273,6 +360,12 @@ void ReplicationCoordinator::RegisterMetrics(obs::MetricsRegistry* metrics) {
       "easia_repl_failovers_total", "Primary failovers performed",
       obs::MetricsRegistry::CallbackKind::kCounter, [this] {
         return Samples{{{}, static_cast<double>(failovers())}};
+      });
+  (void)metrics->RegisterCallback(
+      "easia_repl_failovers_refused_total",
+      "Promotions refused because a down replica may hold acked commits",
+      obs::MetricsRegistry::CallbackKind::kCounter, [this] {
+        return Samples{{{}, static_cast<double>(failovers_refused())}};
       });
   (void)metrics->RegisterCallback(
       "easia_repl_quorum_failures_total",

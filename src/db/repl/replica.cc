@@ -19,10 +19,57 @@ Result<ReplicaNode::ApplyOutcome> ReplicaNode::ApplyShipment(
   if (shipment.torn) {
     counters_.torn_shipments.fetch_add(1, std::memory_order_relaxed);
   }
+  uint64_t my_term = term_.load(std::memory_order_acquire);
+  uint64_t my_lsn = last_applied_lsn_.load(std::memory_order_acquire);
+  if (shipment.has_header && !shipment.header.terms.empty()) {
+    // Timeline fencing: my (term, lsn) must lie inside my term's LSN
+    // range in the shipped history. An LSN past the end of my term means
+    // a failover truncated the log below me while I was down — every
+    // entry I hold beyond that boundary is from a dead timeline, and the
+    // LSN<=mine "duplicate" rule must NOT be trusted. Epochs cannot catch
+    // this (they advance in lockstep with LSNs on both timelines), which
+    // is exactly why the term exists.
+    const std::vector<TermRecord>& terms = shipment.header.terms;
+    uint64_t term_end = UINT64_MAX;
+    bool found = false;
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (terms[i].term != my_term) continue;
+      found = true;
+      term_end = i + 1 < terms.size() ? terms[i + 1].start_lsn - 1
+                                      : UINT64_MAX;
+      break;
+    }
+    if (!found || my_lsn > term_end) {
+      counters_.diverged_rejects.fetch_add(1, std::memory_order_relaxed);
+      return Status::OutOfRange(
+          "repl: replica " + host_ + " at term " + std::to_string(my_term) +
+          " lsn " + std::to_string(my_lsn) +
+          " diverged from the shipped timeline (bootstrap required)");
+    }
+  }
   for (const CommitEntry& entry : shipment.entries) {
     if (outcome.applied >= max_entries) break;
     uint64_t lsn = last_applied_lsn_.load(std::memory_order_acquire);
+    uint64_t term = term_.load(std::memory_order_acquire);
+    if (entry.term < term) {
+      // A fenced-out old primary (or a stale retransmission from before a
+      // failover) may never overwrite newer-timeline state.
+      return Status::FailedPrecondition(
+          "repl: stale term " + std::to_string(entry.term) + " entry on " +
+          host_ + " (replica is at term " + std::to_string(term) + ")");
+    }
     if (entry.lsn <= lsn) {
+      if (entry.term > term) {
+        // A newer-timeline entry at an LSN we already hold: our copy of
+        // that LSN is from a dead timeline (headerless shipments can
+        // still detect this much). Never skip it as a duplicate.
+        counters_.diverged_rejects.fetch_add(1, std::memory_order_relaxed);
+        return Status::OutOfRange(
+            "repl: term " + std::to_string(entry.term) + " entry at lsn " +
+            std::to_string(entry.lsn) + " overlaps term " +
+            std::to_string(term) + " state on " + host_ +
+            " (diverged, bootstrap required)");
+      }
       // A retried shipment overlaps what we already applied; applying it
       // again would double-apply inserts, so skip silently.
       counters_.duplicate_entries.fetch_add(1, std::memory_order_relaxed);
@@ -40,6 +87,7 @@ Result<ReplicaNode::ApplyOutcome> ReplicaNode::ApplyShipment(
     EASIA_RETURN_IF_ERROR(
         db_->ApplyReplicatedCommit(entry.records, entry.epoch));
     last_applied_lsn_.store(entry.lsn, std::memory_order_release);
+    term_.store(entry.term, std::memory_order_release);
     applied_epoch_.store(entry.epoch, std::memory_order_release);
     ++outcome.applied;
     counters_.entries_applied.fetch_add(1, std::memory_order_relaxed);
@@ -49,13 +97,14 @@ Result<ReplicaNode::ApplyOutcome> ReplicaNode::ApplyShipment(
 }
 
 Status ReplicaNode::Bootstrap(const std::string& snapshot_image,
-                              uint64_t lsn, uint64_t epoch) {
+                              uint64_t lsn, uint64_t epoch, uint64_t term) {
   EASIA_RETURN_IF_ERROR(db_->LoadSnapshotFromString(snapshot_image));
   // The snapshot restore bumped the replica's local epoch; pin it to the
   // primary's epoch line so promoted-replica commits continue above every
   // epoch any cache has seen.
   db_->AdvanceCommitEpochTo(epoch);
   last_applied_lsn_.store(lsn, std::memory_order_release);
+  term_.store(term, std::memory_order_release);
   applied_epoch_.store(epoch, std::memory_order_release);
   return Status::OK();
 }

@@ -20,13 +20,19 @@ struct ReplicaCounters {
   std::atomic<uint64_t> entries_applied{0};
   std::atomic<uint64_t> duplicate_entries{0};
   std::atomic<uint64_t> torn_shipments{0};
+  /// Shipments rejected because this replica's (term, lsn) position fell
+  /// off the shipped timeline (its tail was truncated by a failover it
+  /// missed); each rejection sends it down the Bootstrap path.
+  std::atomic<uint64_t> diverged_rejects{0};
 };
 
 /// One replica: a named sim host owning its own `db::Database`, fed
 /// exclusively through ApplyShipment (never by direct DML — the
 /// coordinator routes all writes to the primary). Tracks the LSN of the
-/// last applied commit (the resume point for the shipper) and the commit
-/// epoch its state mirrors (the staleness input for read routing).
+/// last applied commit (the resume point for the shipper), the timeline
+/// term that commit belonged to (the fencing input across failovers) and
+/// the commit epoch its state mirrors (the staleness input for read
+/// routing).
 class ReplicaNode {
  public:
   /// `host` is the sim::Network host name shipments arrive on.
@@ -45,8 +51,14 @@ class ReplicaNode {
   uint64_t last_applied_lsn() const {
     return last_applied_lsn_.load(std::memory_order_acquire);
   }
-  /// Commit epoch this replica's visible state mirrors. Monotonic: apply
-  /// only ever advances it, never rewinds (enforced, not assumed).
+  /// Timeline term of the last applied commit (1 until the first
+  /// failover-era entry arrives). A replica whose term trails the log's
+  /// current term has not crossed the latest failover boundary yet — and
+  /// if its LSN exceeds that boundary, its tail is divergent.
+  uint64_t term() const { return term_.load(std::memory_order_acquire); }
+  /// Commit epoch this replica's visible state mirrors. Monotonic along a
+  /// timeline: apply only ever advances it; only a divergence Bootstrap
+  /// (timeline switch) may reset it to the new primary's epoch.
   uint64_t applied_epoch() const {
     return applied_epoch_.load(std::memory_order_acquire);
   }
@@ -64,21 +76,29 @@ class ReplicaNode {
     bool torn = false;
   };
 
-  /// Decodes `bytes` and applies its entries in order. Entries at or
-  /// below the current LSN are duplicates (a retried shipment) and are
-  /// skipped; an entry that skips ahead of current LSN + 1 is a gap and
-  /// fails kOutOfRange without applying anything further (the replica
-  /// must bootstrap if the shipper's log no longer reaches back far
-  /// enough). `max_entries` is a crash seam for the fault harness: apply
-  /// at most that many entries, as if the replica died mid-shipment.
+  /// Decodes `bytes` and applies its entries in order. When the shipment
+  /// carries a term-history header, this replica's (term, lsn) position
+  /// is validated against it first: a position past the end of its own
+  /// term means a failover truncated this replica's tail while it was
+  /// down — the state diverged, and the shipment fails kOutOfRange
+  /// (bootstrap required) WITHOUT treating overlapping LSNs as
+  /// duplicates. On a validated (or headerless same-term) timeline,
+  /// entries at or below the current LSN are duplicates (a retried
+  /// shipment) and are skipped; an entry that skips ahead of current
+  /// LSN + 1 is a gap and fails kOutOfRange without applying anything
+  /// further; an entry from an older term than this replica's is a
+  /// fenced-out stale primary and fails kFailedPrecondition.
+  /// `max_entries` is a crash seam for the fault harness: apply at most
+  /// that many entries, as if the replica died mid-shipment.
   Result<ApplyOutcome> ApplyShipment(std::string_view bytes,
                                      size_t max_entries = SIZE_MAX);
 
   /// Replaces this replica's state with a primary snapshot image taken at
-  /// (`lsn`, `epoch`): the bootstrap path for a new or trimmed-past
-  /// replica. Subsequent shipments resume after `lsn`.
+  /// (`lsn`, `epoch`) under timeline `term`: the bootstrap path for a
+  /// new, trimmed-past or diverged replica. Subsequent shipments resume
+  /// after `lsn`.
   Status Bootstrap(const std::string& snapshot_image, uint64_t lsn,
-                   uint64_t epoch);
+                   uint64_t epoch, uint64_t term = 1);
 
   const ReplicaCounters& counters() const { return counters_; }
 
@@ -86,6 +106,7 @@ class ReplicaNode {
   std::string host_;
   std::unique_ptr<Database> db_;
   std::atomic<uint64_t> last_applied_lsn_{0};
+  std::atomic<uint64_t> term_{1};
   std::atomic<uint64_t> applied_epoch_{0};
   std::atomic<bool> down_{false};
   ReplicaCounters counters_;

@@ -1,5 +1,6 @@
 #include "db/repl/shipper.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace easia::db::repl {
@@ -9,8 +10,10 @@ uint64_t ReplicationLog::Append(uint64_t epoch,
   std::lock_guard<std::mutex> lock(mu_);
   CommitEntry entry;
   entry.lsn = next_lsn_++;
+  entry.term = terms_.back().term;
   entry.epoch = epoch;
   entry.records = records;
+  max_epoch_ = std::max(max_epoch_, epoch);
   entries_.push_back(std::move(entry));
   return entries_.back().lsn;
 }
@@ -43,6 +46,31 @@ void ReplicationLog::TruncateAfter(uint64_t lsn) {
     entries_.pop_back();
   }
   next_lsn_ = entries_.empty() ? lsn + 1 : entries_.back().lsn + 1;
+  // Terms that would start past the new head never owned a surviving
+  // entry; drop them (the term counter itself never goes backwards).
+  while (terms_.size() > 1 && terms_.back().start_lsn > lsn + 1) {
+    uint64_t dropped_term = terms_.back().term;
+    terms_.pop_back();
+    // Keep the highest term number ever used so BeginTerm stays monotone.
+    terms_.back().term = std::max(terms_.back().term, dropped_term);
+  }
+}
+
+uint64_t ReplicationLog::BeginTerm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t next_term = terms_.back().term + 1;
+  terms_.push_back({next_term, next_lsn_});
+  return next_term;
+}
+
+uint64_t ReplicationLog::current_term() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return terms_.back().term;
+}
+
+std::vector<TermRecord> ReplicationLog::term_history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return terms_;
 }
 
 uint64_t ReplicationLog::last_lsn() const {
@@ -55,6 +83,11 @@ uint64_t ReplicationLog::first_lsn() const {
   return entries_.empty() ? 0 : entries_.front().lsn;
 }
 
+uint64_t ReplicationLog::max_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_epoch_;
+}
+
 size_t ReplicationLog::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
@@ -65,9 +98,34 @@ WalShipper::WalShipper(ReplicationLog* log, sim::Network* network,
     : log_(log), network_(network), options_(std::move(options)) {}
 
 Result<size_t> WalShipper::ShipTo(ReplicaNode* replica) {
+  // A resume is a recovery, not a routine catch-up: count it only when a
+  // ship SUCCEEDS after the previous ShipTo for this replica errored —
+  // a still-failing retry is not a resume.
+  Result<size_t> out = ShipEntries(replica);
+  if (out.ok()) {
+    if (failed_last_ship_.erase(replica->host()) > 0) {
+      counters_.resumes.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    failed_last_ship_.insert(replica->host());
+  }
+  return out;
+}
+
+Result<size_t> WalShipper::ShipEntries(ReplicaNode* replica) {
   size_t total_applied = 0;
-  if (replica->last_applied_lsn() < log_->last_lsn()) {
-    counters_.resumes.fetch_add(1, std::memory_order_relaxed);
+  // A replica still on an older term that has nothing left to receive by
+  // LSN can only be a truncated-tail survivor of a failover it missed:
+  // a timeline-consistent replica always trails the term-opening barrier
+  // entry. Shipping can't repair it; it needs a snapshot bootstrap.
+  if (replica->term() < log_->current_term() &&
+      replica->last_applied_lsn() >= log_->last_lsn()) {
+    return Status::OutOfRange(
+        "repl: replica " + replica->host() + " is at term " +
+        std::to_string(replica->term()) + " lsn " +
+        std::to_string(replica->last_applied_lsn()) +
+        " past the term-" + std::to_string(log_->current_term()) +
+        " log head — diverged, bootstrap required");
   }
   while (replica->last_applied_lsn() < log_->last_lsn()) {
     uint64_t resume_lsn = replica->last_applied_lsn();
@@ -79,7 +137,9 @@ Result<size_t> WalShipper::ShipTo(ReplicaNode* replica) {
           " (resume lsn " + std::to_string(resume_lsn) +
           ", log starts at " + std::to_string(log_->first_lsn()) + ")");
     }
-    std::string bytes = EncodeShipment(batch);
+    ShipmentHeader header;
+    header.terms = log_->term_history();
+    std::string bytes = EncodeShipment(header, batch);
     if (transport_fault_) transport_fault_(&bytes);
     Result<sim::TransferRecord> rec = network_->Transfer(
         options_.primary_host, replica->host(), bytes.size());

@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,12 +19,19 @@ namespace easia::db::repl {
 
 /// The primary-side shipping log: every committed mutating transaction is
 /// appended as one CommitEntry under the next LSN (LSN 1 is the first
-/// commit). Thread-safe — the commit listener appends under the primary's
-/// exclusive lock while the shipper reads from the writer thread and
-/// metric callbacks sample sizes from collection threads.
+/// commit) and the current timeline term. The term starts at 1 and is
+/// bumped by BeginTerm at every failover; the term history (term ->
+/// start LSN) rides along in every shipment so replicas can detect that
+/// their tail was truncated by a failover they missed. Thread-safe — the
+/// commit listener appends under the primary's exclusive lock while the
+/// shipper reads from the writer thread and metric callbacks sample sizes
+/// from collection threads.
 class ReplicationLog {
  public:
-  /// Appends one committed transaction; returns the LSN it was assigned.
+  ReplicationLog() : terms_{{1, 1}} {}
+
+  /// Appends one committed transaction under the current term; returns
+  /// the LSN it was assigned.
   uint64_t Append(uint64_t epoch, const std::vector<WalRecord>& records);
 
   /// Entries with LSN in (after_lsn, after_lsn + limit], in order. When
@@ -34,26 +42,45 @@ class ReplicationLog {
                                         size_t limit) const;
 
   /// Drops entries with LSN <= `lsn` (already applied by every replica);
-  /// returns how many were dropped.
+  /// returns how many were dropped. Term history is never trimmed.
   size_t TrimThrough(uint64_t lsn);
 
   /// Discards entries with LSN > `lsn`. Failover uses this: commits past
   /// the promoted replica's LSN were never acked under quorum and die
-  /// with the old primary.
+  /// with the old primary. Term records left dangling past the new head
+  /// are dropped too (terms never renumber backwards — BeginTerm keeps
+  /// counting up).
   void TruncateAfter(uint64_t lsn);
+
+  /// Starts a new timeline at the current head (next LSN): called once
+  /// per failover, after TruncateAfter. Returns the new term.
+  uint64_t BeginTerm();
+
+  uint64_t current_term() const;
+  /// Snapshot of the term history for shipment headers.
+  std::vector<TermRecord> term_history() const;
 
   uint64_t last_lsn() const;
   /// Smallest LSN still in the log (0 when empty).
   uint64_t first_lsn() const;
+  /// Largest commit epoch ever appended — survives trims and truncation,
+  /// so failover can fence the new timeline's epochs above every epoch
+  /// the dead one may have handed out.
+  uint64_t max_epoch() const;
   size_t size() const;
 
  private:
   mutable std::mutex mu_;
   std::deque<CommitEntry> entries_;
+  std::vector<TermRecord> terms_;
   uint64_t next_lsn_ = 1;
+  uint64_t max_epoch_ = 0;
 };
 
 /// Cumulative shipper counters (atomics; sampled by metric callbacks).
+/// `resumes` counts recoveries: a ShipTo call for a replica whose
+/// previous ShipTo ended in an error or torn outcome (ordinary catch-up
+/// rounds are not resumes).
 struct ShipperCounters {
   std::atomic<uint64_t> shipments{0};
   std::atomic<uint64_t> entries_shipped{0};
@@ -64,8 +91,10 @@ struct ShipperCounters {
 
 /// Ships log entries to replicas over sim::Network links, resuming each
 /// replica from its own last-applied LSN. Batched: at most
-/// `max_entries_per_shipment` commits per transfer. Not thread-safe with
-/// respect to the Network — exactly one thread (the writer) may ship.
+/// `max_entries_per_shipment` commits per transfer. Every shipment leads
+/// with the log's term history so replicas can fence divergent tails.
+/// Not thread-safe with respect to the Network — exactly one thread (the
+/// writer) may ship.
 class WalShipper {
  public:
   struct Options {
@@ -85,19 +114,25 @@ class WalShipper {
   /// Ships until `replica` has applied everything currently in the log.
   /// Returns the number of entries applied, or the first transport/apply
   /// error (the replica keeps its clean prefix; a later call resumes from
-  /// its advanced LSN). kOutOfRange means the log was trimmed past the
-  /// replica's resume point and it needs a Bootstrap.
+  /// its advanced LSN). kOutOfRange means the replica cannot be caught up
+  /// from the log — trimmed past its resume point, or its timeline
+  /// diverged across a failover — and it needs a Bootstrap.
   Result<size_t> ShipTo(ReplicaNode* replica);
 
   const ShipperCounters& counters() const { return counters_; }
   const Options& options() const { return options_; }
 
  private:
+  Result<size_t> ShipEntries(ReplicaNode* replica);
+
   ReplicationLog* log_;
   sim::Network* network_;
   Options options_;
   std::function<void(std::string*)> transport_fault_;
   ShipperCounters counters_;
+  /// Replicas whose previous ShipTo ended in an error (writer-thread
+  /// only, like the Network).
+  std::set<std::string> failed_last_ship_;
 };
 
 }  // namespace easia::db::repl

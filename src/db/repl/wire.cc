@@ -5,9 +5,19 @@
 
 namespace easia::db::repl {
 
+namespace {
+
+// Frame payload kinds. The tag byte makes shipments self-describing: a
+// decoder never has to guess whether frame 0 is a header.
+constexpr char kFrameHeader = 0x01;
+constexpr char kFrameEntry = 0x02;
+
+}  // namespace
+
 std::string CommitEntry::Encode() const {
   std::string out;
   PutU64(&out, lsn);
+  PutU64(&out, term);
   PutU64(&out, epoch);
   PutU32(&out, static_cast<uint32_t>(records.size()));
   for (const WalRecord& rec : records) {
@@ -20,6 +30,7 @@ Result<CommitEntry> CommitEntry::Decode(std::string_view data) {
   Decoder dec(data);
   CommitEntry entry;
   EASIA_ASSIGN_OR_RETURN(entry.lsn, dec.GetU64());
+  EASIA_ASSIGN_OR_RETURN(entry.term, dec.GetU64());
   EASIA_ASSIGN_OR_RETURN(entry.epoch, dec.GetU64());
   EASIA_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());
   entry.records.reserve(count);
@@ -34,10 +45,54 @@ Result<CommitEntry> CommitEntry::Decode(std::string_view data) {
   return entry;
 }
 
+std::string ShipmentHeader::Encode() const {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(terms.size()));
+  for (const TermRecord& rec : terms) {
+    PutU64(&out, rec.term);
+    PutU64(&out, rec.start_lsn);
+  }
+  return out;
+}
+
+Result<ShipmentHeader> ShipmentHeader::Decode(std::string_view data) {
+  Decoder dec(data);
+  ShipmentHeader header;
+  EASIA_ASSIGN_OR_RETURN(uint32_t count, dec.GetU32());
+  header.terms.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TermRecord rec;
+    EASIA_ASSIGN_OR_RETURN(rec.term, dec.GetU64());
+    EASIA_ASSIGN_OR_RETURN(rec.start_lsn, dec.GetU64());
+    header.terms.push_back(rec);
+  }
+  if (!dec.Done()) {
+    return Status::Corruption("repl: trailing bytes in shipment header");
+  }
+  return header;
+}
+
+std::string EncodeShipment(const ShipmentHeader& header,
+                           const std::vector<CommitEntry>& entries) {
+  std::string out;
+  std::string payload(1, kFrameHeader);
+  payload += header.Encode();
+  io::AppendFrame(&out, payload);
+  for (const CommitEntry& entry : entries) {
+    payload.assign(1, kFrameEntry);
+    payload += entry.Encode();
+    io::AppendFrame(&out, payload);
+  }
+  return out;
+}
+
 std::string EncodeShipment(const std::vector<CommitEntry>& entries) {
   std::string out;
+  std::string payload;
   for (const CommitEntry& entry : entries) {
-    io::AppendFrame(&out, entry.Encode());
+    payload.assign(1, kFrameEntry);
+    payload += entry.Encode();
+    io::AppendFrame(&out, payload);
   }
   return out;
 }
@@ -68,16 +123,30 @@ Shipment DecodeShipment(std::string_view bytes) {
       break;
     }
     std::string_view payload = bytes.substr(pos + 8, length);
-    if (Crc32(payload) != crc) {
+    if (Crc32(payload) != crc || payload.empty()) {
       out.torn = true;
       break;
     }
-    Result<CommitEntry> entry = CommitEntry::Decode(payload);
-    if (!entry.ok()) {
+    std::string_view body = payload.substr(1);
+    if (payload[0] == kFrameHeader) {
+      Result<ShipmentHeader> header = ShipmentHeader::Decode(body);
+      if (!header.ok()) {
+        out.torn = true;
+        break;
+      }
+      out.header = std::move(*header);
+      out.has_header = true;
+    } else if (payload[0] == kFrameEntry) {
+      Result<CommitEntry> entry = CommitEntry::Decode(body);
+      if (!entry.ok()) {
+        out.torn = true;
+        break;
+      }
+      out.entries.push_back(std::move(*entry));
+    } else {
       out.torn = true;
       break;
     }
-    out.entries.push_back(std::move(*entry));
     pos += 8 + length;
   }
   return out;

@@ -13,12 +13,14 @@ namespace easia::db::repl {
 
 /// One committed transaction on the replication wire: the primary's full
 /// WAL record list for the transaction (kBegin .. kCommit), stamped with
-/// the log sequence number it occupies in the shipping log and the commit
-/// epoch the primary advanced to when it committed. Replicas apply
-/// entries strictly in LSN order and adopt the carried epoch, so "same
-/// epoch" means "same committed state" on every node.
+/// the log sequence number it occupies in the shipping log, the timeline
+/// term it was committed under (incremented at every failover), and the
+/// commit epoch the primary advanced to when it committed. Replicas apply
+/// entries strictly in LSN order and adopt the carried term and epoch, so
+/// "same epoch" means "same committed state" on every node.
 struct CommitEntry {
   uint64_t lsn = 0;
+  uint64_t term = 1;
   uint64_t epoch = 0;
   std::vector<WalRecord> records;
 
@@ -26,18 +28,48 @@ struct CommitEntry {
   static Result<CommitEntry> Decode(std::string_view data);
 };
 
+/// One timeline in the shipping log's history: `term` owns the LSNs from
+/// `start_lsn` up to (exclusive) the next record's `start_lsn`. A new
+/// record is appended at every failover, so the history is the fencing
+/// oracle: a replica at (term t, lsn l) is on the shipped timeline iff
+/// l never exceeds t's range — otherwise its tail was truncated by a
+/// failover it missed and it silently diverged.
+struct TermRecord {
+  uint64_t term = 1;
+  uint64_t start_lsn = 1;
+};
+
+/// Shipment header: the full term history of the shipping log at encode
+/// time (one record per failover — small forever). Replicas validate
+/// their own (term, lsn) position against it before applying anything.
+struct ShipmentHeader {
+  std::vector<TermRecord> terms;
+
+  std::string Encode() const;
+  static Result<ShipmentHeader> Decode(std::string_view data);
+};
+
 /// A decoded shipment. `torn` is set when the byte stream ended in a
 /// truncated or checksum-corrupt frame: the entries before the tear are
 /// intact and safe to apply (same contract as WAL recovery, which applies
-/// the clean prefix and discards the tail).
+/// the clean prefix and discards the tail). `has_header` is false for
+/// headerless shipments (tests and tools may encode bare entry lists);
+/// the real shipper always sends the header so replicas can fence.
 struct Shipment {
+  ShipmentHeader header;
+  bool has_header = false;
   std::vector<CommitEntry> entries;
   bool torn = false;
 };
 
-/// Encodes entries as a concatenation of redo-log frames
+/// Encodes a shipment as a concatenation of redo-log frames
 /// (`u32 length, u32 crc32, payload`, little-endian — the same framing as
-/// the WAL), one CommitEntry per frame.
+/// the WAL). Each payload starts with a one-byte frame kind: the term
+/// history header first, then one CommitEntry per frame.
+std::string EncodeShipment(const ShipmentHeader& header,
+                           const std::vector<CommitEntry>& entries);
+/// Headerless variant: entry frames only (no term history). Replicas
+/// accept it but cannot run the timeline-divergence check.
 std::string EncodeShipment(const std::vector<CommitEntry>& entries);
 
 /// Walks the frames in `bytes`, CRC-checking each. Unlike io::ScanFrames

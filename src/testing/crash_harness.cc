@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -638,7 +639,80 @@ CrashReport RunReplicationCrashCase(const ReplicationCrashOptions& options) {
   std::string promoted_host;
   if (report.crashed) {
     net.clock().Advance(copts.heartbeat_timeout_seconds + 1);
+    // Quorum-holder-down boundary: take the most caught-up replica down
+    // before the promotion decision. With ack_quorum <= 1 down replica it
+    // may be the sole holder of acked commits, so the coordinator must
+    // refuse the lossy promotion whenever the holder is strictly ahead of
+    // every surviving candidate — not silently discard its commits.
+    db::repl::ReplicaNode* holder = nullptr;
+    bool holder_ahead = false;
+    if (options.down_quorum_holder_at_failover) {
+      for (db::repl::ReplicaNode* replica : replicas) {
+        if (replica->down()) continue;
+        if (holder == nullptr ||
+            std::make_pair(holder->term(), holder->last_applied_lsn()) <
+                std::make_pair(replica->term(),
+                               replica->last_applied_lsn())) {
+          holder = replica;
+        }
+      }
+      if (holder != nullptr) {
+        // Ahead means ahead of the BEST survivor: a co-equal survivor
+        // covers every commit the holder acked, so promotion is safe.
+        db::repl::ReplicaNode* best_survivor = nullptr;
+        for (db::repl::ReplicaNode* replica : replicas) {
+          if (replica == holder || replica->down()) continue;
+          if (best_survivor == nullptr ||
+              std::make_pair(best_survivor->term(),
+                             best_survivor->last_applied_lsn()) <
+                  std::make_pair(replica->term(),
+                                 replica->last_applied_lsn())) {
+            best_survivor = replica;
+          }
+        }
+        // A lone downed holder is trivially "ahead" of the empty set.
+        holder_ahead =
+            best_survivor == nullptr ||
+            std::make_pair(best_survivor->term(),
+                           best_survivor->last_applied_lsn()) <
+                std::make_pair(holder->term(), holder->last_applied_lsn());
+        holder->set_down(true);
+      }
+    }
     Result<std::string> promoted = coord.MaybeFailover();
+    if (holder != nullptr) {
+      // The coordinator's bound: refusal fires iff (a) the one downed
+      // node reaches the ack quorum (quorum <= 1 here) and (b) it is
+      // strictly ahead of the best survivor. NotFound (no candidate at
+      // all) also counts as a safe refusal.
+      bool expect_refusal = holder_ahead && options.ack_quorum <= 1 &&
+                            options.ack_quorum > 0;
+      if (promoted.ok()) {
+        if (expect_refusal) {
+          report.violations.push_back(
+              "lossy promotion proceeded although the quorum-holding "
+              "replica " +
+              holder->host() + " was down and ahead");
+        }
+        holder->set_down(false);
+      } else {
+        StatusCode code = promoted.status().code();
+        if (code != StatusCode::kFailedPrecondition &&
+            code != StatusCode::kNotFound) {
+          report.violations.push_back(
+              "failover with quorum holder down failed oddly: " +
+              std::string(promoted.status().message()));
+          return report;
+        }
+        if (code == StatusCode::kFailedPrecondition && !expect_refusal) {
+          report.violations.push_back(
+              "promotion refused although survivors covered the quorum");
+        }
+        // The refusal is the safe outcome; recover the holder and retry.
+        holder->set_down(false);
+        promoted = coord.MaybeFailover();
+      }
+    }
     if (!promoted.ok()) {
       report.violations.push_back("failover failed: " +
                                   std::string(promoted.status().message()));

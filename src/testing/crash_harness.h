@@ -94,6 +94,10 @@ CrashReport RunDatalinkCrashCase(const DatalinkCrashOptions& options);
 ///  * after failover, the promoted primary equals the shadow replay of
 ///    some executed-statement prefix that contains EVERY acked statement
 ///    (semi-sync quorum: zero acked-commit loss);
+///  * when the most caught-up replica is ALSO down at failover time (the
+///    quorum-holder-down boundary), the coordinator refuses the lossy
+///    promotion instead of silently discarding its acked commits;
+///    promotion succeeds once the holder recovers;
 ///  * once faults clear and shipping drains, every live node's dump is
 ///    byte-identical to the (new) primary's and carries its epoch.
 struct ReplicationCrashOptions {
@@ -113,6 +117,15 @@ struct ReplicationCrashOptions {
   /// Crash one replica mid-apply at a seeded shipment (it applies a
   /// partial batch, goes down, comes back and must resume cleanly).
   bool replica_crash = false;
+  /// Take the most caught-up replica down immediately before the primary
+  /// crash, so the failover candidate set excludes the node that may be
+  /// the sole ack-quorum holder. The harness expects the coordinator to
+  /// REFUSE the promotion (kFailedPrecondition) whenever the downed
+  /// replica is ahead of every surviving candidate, then recovers the
+  /// holder and retries; the acked-coverage differential check still runs
+  /// as ground truth afterwards. Requires crash_after_statement >= 0 and
+  /// replicas >= 2.
+  bool down_quorum_holder_at_failover = false;
 };
 CrashReport RunReplicationCrashCase(const ReplicationCrashOptions& options);
 

@@ -184,6 +184,17 @@ db::repl::ReadTicket ArchiveWebServer::ServingNode() const {
   return {deps_.database, deps_.database->commit_epoch(), "local", false};
 }
 
+Result<db::QueryResult> ArchiveWebServer::ExecuteDml(
+    const std::string& sql, const db::ExecContext& ctx) {
+  // DML must flow through the replication coordinator when it is wired:
+  // it targets the CURRENT primary (deps_.database is only the initial
+  // one — after a failover its commit listener is detached, so writing
+  // there directly would commit outside the replication log, invisible
+  // to every routed read) and enforces the ack quorum.
+  if (deps_.repl != nullptr) return deps_.repl->Execute(sql, ctx);
+  return deps_.database->Execute(sql, ctx);
+}
+
 template <typename RenderFn>
 HttpResponse ArchiveWebServer::CachedRender(const Session& session,
                                             bool per_user,
@@ -441,7 +452,10 @@ HttpResponse ArchiveWebServer::HandleObject(const HttpRequest& request,
                     Join(predicates, " AND ");
   db::ExecContext exec;
   exec.user = session.user.name;
-  Result<db::QueryResult> result = deps_.database->Execute(sql, exec);
+  // Object reads route like every other read: a stale-bounded replica
+  // with primary fallback when replication is wired.
+  db::repl::ReadTicket ticket = ServingNode();
+  Result<db::QueryResult> result = ticket.db->Execute(sql, exec);
   if (!result.ok()) return Error(400, result.status().ToString());
   if (result->rows.empty() || result->rows[0][0].is_null()) {
     return Error(404, "object not found");
@@ -489,8 +503,19 @@ HttpResponse ArchiveWebServer::HandleObjectPut(const HttpRequest& request,
                     Join(predicates, " AND ");
   db::ExecContext exec;
   exec.user = session.user.name;
-  Result<db::QueryResult> result = deps_.database->Execute(sql, exec);
-  if (!result.ok()) return Error(400, result.status().ToString());
+  Result<db::QueryResult> result = ExecuteDml(sql, exec);
+  if (!result.ok()) {
+    // kUnavailable: primary down, nothing committed — retriable after
+    // failover. kAborted: committed on the primary but below the ack
+    // quorum — NOT safely retriable (a retry would double-apply). Both
+    // are server-side conditions, not client errors.
+    StatusCode code = result.status().code();
+    int http = code == StatusCode::kUnavailable ||
+                       code == StatusCode::kAborted
+                   ? 503
+                   : 400;
+    return Error(http, result.status().ToString());
+  }
   if (result->rows_affected == 0) return Error(404, "no matching row");
   HttpResponse resp;
   resp.body = PageHeader("Object stored") +
@@ -991,14 +1016,16 @@ HttpResponse ArchiveWebServer::HandleStats(const Session& session) {
                             deps_.repl->failovers())));
     w.Open("table", {{"border", "1"}});
     w.Open("tr");
-    for (const char* h : {"replica", "applied lsn", "applied epoch",
-                          "lag (epochs)", "state"}) {
+    for (const char* h : {"replica", "term", "applied lsn",
+                          "applied epoch", "lag (epochs)", "state"}) {
       w.Element("th", h);
     }
     w.Close();  // tr
     for (const db::repl::ReplicaInfo& info : deps_.repl->replica_info()) {
       w.Open("tr");
       w.Element("td", info.host);
+      w.Element("td",
+                StrPrintf("%llu", static_cast<unsigned long long>(info.term)));
       w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
                                             info.last_applied_lsn)));
       w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(

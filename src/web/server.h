@@ -91,11 +91,16 @@ class ArchiveWebServer {
     /// lookups, planner execution, file-server I/O and job execution nest
     /// under it. Also the clock source for request latency.
     obs::Tracer* tracer = nullptr;
-    /// Optional: routes read-only queries (/search, /browse, /typeahead)
-    /// to a stale-bounded replica with primary fallback. `database` must
-    /// stay the coordinator's initial primary; all mutating routes keep
-    /// writing there. Cached pages rendered via a replica are validated
-    /// against the *serving node's* applied epoch, never the primary's.
+    /// Optional: routes read-only queries (/search, /browse, /typeahead,
+    /// /object) to a stale-bounded replica with primary fallback, and
+    /// routes DML through the coordinator so writes target the CURRENT
+    /// primary (failover re-points it) under the ack quorum — never
+    /// `database` directly, whose commit listener is detached once a
+    /// failover demotes it. `database` is the coordinator's initial
+    /// primary and is still used for non-replicated surfaces (/stats
+    /// display, XUIS generation). Cached pages rendered via a replica are
+    /// validated against the *serving node's* applied epoch, never the
+    /// primary's.
     db::repl::ReplicationCoordinator* repl = nullptr;
   };
 
@@ -197,6 +202,10 @@ class ArchiveWebServer {
   /// node observed once, or a routing change between the two would tag a
   /// page with the wrong node's epoch.
   db::repl::ReadTicket ServingNode() const;
+  /// Mutating-statement path: through the replication coordinator when
+  /// wired (current primary + ack quorum), else the local database.
+  Result<db::QueryResult> ExecuteDml(const std::string& sql,
+                                     const db::ExecContext& ctx);
 
   /// Cached-read wrapper: looks up (visibility, route, params) in the
   /// render cache, re-renders on miss and stores successful pages tagged

@@ -128,6 +128,35 @@ TEST(ReplCrashTest, FailoverSweepLosesNoAckedCommit) {
   }
 }
 
+/// The quorum-holder-down boundary the plain sweep cannot reach: the most
+/// caught-up replica — with ack_quorum = 1 possibly the SOLE holder of an
+/// acked commit — is taken down right before the primary crash. The
+/// harness asserts the coordinator refuses the lossy promotion whenever
+/// that holder is ahead of every survivor, recovers it, retries, and then
+/// runs the same acked-coverage differential check as ground truth.
+TEST(ReplCrashTest, QuorumHolderDownAtFailoverNeverLosesAcks) {
+  const int iters = FuzzIters(40);
+  Random rng(0xBEEF);
+  for (int i = 0; i < iters; ++i) {
+    ReplicationCrashOptions options;
+    options.seed = rng.Next();
+    options.statements = 20;
+    options.replicas = 2 + static_cast<int>(rng.Uniform(2));  // 2 or 3
+    options.ack_quorum = 1;  // the boundary: one down node = the quorum
+    options.crash_after_statement = static_cast<int>(
+        1 + rng.Uniform(static_cast<uint64_t>(options.statements) - 1));
+    options.down_quorum_holder_at_failover = true;
+    if (rng.Uniform(2) == 0) options.link_loss_probability = 0.15;
+    if (rng.Uniform(2) == 0) options.torn_shipment_probability = 0.2;
+    CrashReport report = RunReplicationCrashCase(options);
+    ASSERT_TRUE(report.Clean())
+        << "seed " << options.seed << " crash@"
+        << options.crash_after_statement << " replicas "
+        << options.replicas << ":\n" << Describe(report);
+    ASSERT_TRUE(report.crashed);
+  }
+}
+
 /// Crash at every statement boundary of one fixed workload — the
 /// deterministic companion to the seeded sweep, pinning the failover
 /// invariant at each possible cut.

@@ -112,7 +112,7 @@ TEST(ReplWireTest, TruncationYieldsIntactPrefix) {
   {
     size_t pos = 0;
     for (const CommitEntry& entry : entries) {
-      pos += 8 + entry.Encode().size();
+      pos += 8 + 1 + entry.Encode().size();  // len + crc + tag + body
       boundaries.insert(pos);
     }
   }
@@ -249,6 +249,10 @@ TEST(ReplShipTest, ResumesFromReplicaLsnAfterLinkOutage) {
   EXPECT_EQ(r2->last_applied_lsn(), 4u);
   EXPECT_GT(coord.shipper().counters().failed_transfers.load(), 0u);
 
+  // No successful-after-failure shipment has happened yet: the resume
+  // counter only counts recoveries, not ordinary catch-up shipments.
+  EXPECT_EQ(coord.shipper().counters().resumes.load(), 0u);
+
   // Link restored: the next ship resumes from r1's own LSN — it receives
   // exactly the two missed commits, not a full retransmission.
   ASSERT_TRUE(net.SetLinkDown("db", "r1", false).ok());
@@ -258,6 +262,10 @@ TEST(ReplShipTest, ResumesFromReplicaLsnAfterLinkOutage) {
   EXPECT_EQ(coord.shipper().counters().entries_shipped.load(),
             entries_before + 2);
   EXPECT_EQ(Dump(r1->database()), Dump(primary));
+  // Exactly one resume: the first ship after r1's string of failures.
+  EXPECT_EQ(coord.shipper().counters().resumes.load(), 1u);
+  MustExec(coord, "INSERT INTO T VALUES (4, 'd')");
+  EXPECT_EQ(coord.shipper().counters().resumes.load(), 1u);
 }
 
 TEST(ReplShipTest, TrimmedLogTriggersSnapshotBootstrap) {
@@ -346,9 +354,13 @@ TEST(ReplRoutingTest, CommitBelowQuorumIsNotAcked) {
   MustExec(coord, "CREATE TABLE T (ID INTEGER PRIMARY KEY, V VARCHAR(8))");
   ASSERT_TRUE(net.SetLinkDown("db", "r1", true).ok());
   Result<QueryResult> r = coord.Execute("INSERT INTO T VALUES (1, 'a')");
-  // Durable on the primary but unacked: the caller sees kUnavailable and
-  // must treat the commit as lost (failover may discard it).
-  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable)
+  // Durable on the primary but unacked: kAborted, not kUnavailable — the
+  // statement DID apply once, so a blind retry would double-apply it. The
+  // message carries the committed LSN for idempotent de-duplication.
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted)
+      << r.status().message();
+  EXPECT_NE(std::string(r.status().message()).find("lsn 2"),
+            std::string::npos)
       << r.status().message();
   EXPECT_EQ(coord.quorum_failures(), 1u);
   EXPECT_EQ(coord.log().last_lsn(), 2u);
@@ -426,6 +438,119 @@ TEST(ReplFailoverTest, ReadsDegradeToReplicaWhilePrimaryDown) {
   // ...while writes are refused until a failover re-targets them.
   Result<QueryResult> w = coord.Execute("INSERT INTO T VALUES (1, 'a')");
   EXPECT_EQ(w.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ReplFailoverTest, RefusesLossyPromotionWhileQuorumHolderDown) {
+  sim::Network net = MakeNet(2);
+  Database primary("PRIMARY");
+  CoordinatorOptions opts;
+  opts.ack_quorum = 1;
+  opts.heartbeat_timeout_seconds = 5.0;
+  ReplicationCoordinator coord(&primary, &net, opts);
+  ReplicaNode* r1 = coord.AddReplica("r1");
+  ReplicaNode* r2 = coord.AddReplica("r2");
+
+  coord.Heartbeat();
+  MustExec(coord, "CREATE TABLE T (ID INTEGER PRIMARY KEY, V VARCHAR(8))");
+  MustExec(coord, "INSERT INTO T VALUES (1, 'alpha')");
+  // With ack_quorum = 1 the commit below is acked solely through r1.
+  ASSERT_TRUE(net.SetLinkDown("db", "r2", true).ok());
+  MustExec(coord, "INSERT INTO T VALUES (2, 'bravo')");
+  ASSERT_EQ(r1->last_applied_lsn(), 3u);
+  ASSERT_EQ(r2->last_applied_lsn(), 2u);
+
+  // r1 crashes, then the primary: the only live candidate (r2) lacks an
+  // acked commit that r1 — down, and reaching the quorum bound on its
+  // own — may be the sole surviving holder of. Promotion must refuse,
+  // not silently discard it.
+  r1->set_down(true);
+  ASSERT_TRUE(net.SetLinkDown("db", "r2", false).ok());
+  net.clock().Advance(opts.heartbeat_timeout_seconds + 1);
+  Result<std::string> promoted = coord.MaybeFailover();
+  EXPECT_EQ(promoted.status().code(), StatusCode::kFailedPrecondition)
+      << (promoted.ok() ? *promoted : promoted.status().message());
+  EXPECT_EQ(coord.failovers_refused(), 1u);
+  EXPECT_EQ(coord.failovers(), 0u);
+
+  // The holder recovers: promotion proceeds, picks it, and the acked
+  // commit survives the failover.
+  r1->set_down(false);
+  promoted = coord.MaybeFailover();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().message();
+  EXPECT_EQ(*promoted, "r1");
+  EXPECT_EQ(coord.failovers(), 1u);
+  EXPECT_EQ(coord.lossy_failovers(), 0u);
+  EXPECT_NE(Dump(*coord.primary()).find("bravo"), std::string::npos);
+}
+
+TEST(ReplFailoverTest, DivergedReplicaIsFencedAndBootstrapped) {
+  sim::Network net = MakeNet(2);
+  Database primary("PRIMARY");
+  CoordinatorOptions opts;
+  opts.ack_quorum = 1;
+  opts.heartbeat_timeout_seconds = 5.0;
+  // The reviewer scenario: the operator forces promotion although the
+  // most caught-up replica is down, so its log tail diverges.
+  opts.allow_lossy_failover = true;
+  ReplicationCoordinator coord(&primary, &net, opts);
+  ReplicaNode* r1 = coord.AddReplica("r1");
+  ReplicaNode* r2 = coord.AddReplica("r2");
+
+  coord.Heartbeat();
+  MustExec(coord, "CREATE TABLE T (ID INTEGER PRIMARY KEY, V VARCHAR(8))");
+  MustExec(coord, "INSERT INTO T VALUES (1, 'alpha')");
+  // r1 alone applies two more commits, then goes down; the primary dies.
+  ASSERT_TRUE(net.SetLinkDown("db", "r2", true).ok());
+  MustExec(coord, "INSERT INTO T VALUES (2, 'bravo')");
+  MustExec(coord, "INSERT INTO T VALUES (3, 'charlie')");
+  ASSERT_EQ(r1->last_applied_lsn(), 4u);
+  ASSERT_EQ(r2->last_applied_lsn(), 2u);
+  r1->set_down(true);
+  ASSERT_TRUE(net.SetLinkDown("db", "r2", false).ok());
+  net.clock().Advance(opts.heartbeat_timeout_seconds + 1);
+  Result<std::string> promoted = coord.MaybeFailover();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().message();
+  EXPECT_EQ(*promoted, "r2");
+  EXPECT_EQ(coord.lossy_failovers(), 1u);
+  EXPECT_EQ(coord.log().current_term(), 2u);
+  uint64_t old_epoch = r1->applied_epoch();
+
+  // The new timeline re-uses the LSNs r1 still holds from the dead one.
+  // The sole remaining replica (r1) is down, so these commit on the new
+  // primary but miss the quorum: kAborted, durable-but-unacked.
+  for (const char* sql : {"INSERT INTO T VALUES (7, 'xray')",
+                          "INSERT INTO T VALUES (8, 'yankee')"}) {
+    Result<QueryResult> w = coord.Execute(sql);
+    EXPECT_EQ(w.status().code(), StatusCode::kAborted)
+        << sql << ": " << w.status().message();
+  }
+
+  // r1 returns carrying rows 2 and 3 at (term 1, lsn 4) — data the
+  // cluster discarded. Reads must not route to it: it has not crossed
+  // the failover barrier (term mismatch), even though its epoch alone
+  // looks plausibly fresh.
+  r1->set_down(false);
+  ASSERT_EQ(r1->term(), 1u);
+  ReadTicket ticket = coord.RouteRead();
+  EXPECT_FALSE(ticket.replica) << "stale-timeline replica served a read";
+
+  // Shipping fences it — LSN 4 lies past term 1's end in the shipped
+  // term history, so entries are NOT skipped as duplicates; the replica
+  // rejects kOutOfRange and the coordinator re-seeds it by snapshot.
+  ASSERT_TRUE(coord.ShipAll().ok());
+  EXPECT_GT(r1->counters().diverged_rejects.load(), 0u);
+  EXPECT_EQ(r1->term(), 2u);
+  std::string want = Dump(*coord.primary());
+  EXPECT_EQ(Dump(r1->database()), want);
+  // The discarded old-timeline rows are gone, the new ones present...
+  EXPECT_EQ(want.find("bravo"), std::string::npos);
+  EXPECT_NE(want.find("xray"), std::string::npos);
+  // ...and the epoch barrier kept epochs unique: the bootstrapped
+  // replica sits at the new primary's epoch, above the dead timeline's.
+  EXPECT_EQ(r1->applied_epoch(), coord.primary()->commit_epoch());
+  EXPECT_GT(r1->applied_epoch(), old_epoch);
+  // Once re-seeded onto the current term, it serves reads again.
+  EXPECT_TRUE(coord.RouteRead().replica);
 }
 
 // ---- Metrics ----
