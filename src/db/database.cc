@@ -581,6 +581,7 @@ Result<Row> Database::ValidateAndCoerce(const TableDef& def, Row row) const {
 
 Status Database::CheckForeignKeysOnWrite(const TableDef& def,
                                          const Row& row) const {
+  if (!options_.enforce_foreign_keys) return Status::OK();
   for (const ForeignKeyDef& fk : def.foreign_keys) {
     std::vector<Value> key_values;
     bool any_null = false;
@@ -606,6 +607,7 @@ Status Database::CheckForeignKeysOnWrite(const TableDef& def,
 
 Status Database::CheckNoChildren(const TableDef& def, const Row& old_row,
                                  const Row* new_row) const {
+  if (!options_.enforce_foreign_keys) return Status::OK();
   for (const ColumnDef& col : def.columns) {
     std::vector<InboundReference> refs =
         catalog_.ReferencesTo(def.name, col.name);

@@ -99,6 +99,11 @@ struct DatabaseOptions {
   /// index_advisor()).
   bool auto_create_indexes = false;
   uint64_t auto_index_min_hits = 32;
+  /// Node-local foreign-key enforcement (child lookup on write, RESTRICT
+  /// check on delete/update). The shard coordinator (src/db/shard) turns
+  /// this off on shard databases — a parent row may legitimately live on
+  /// another shard — and enforces referential integrity globally instead.
+  bool enforce_foreign_keys = true;
 };
 
 /// Cumulative engine counters.

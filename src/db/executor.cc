@@ -305,15 +305,16 @@ Result<Value> EvalAggregate(const Expr& expr,
       return Status::InvalidArgument(expr.func + " takes one argument");
     }
     int64_t count = 0;
-    // SUM/AVG accumulate twice: exactly in int64 (overflow-checked) and
-    // approximately in double. The int64 total is authoritative while it
-    // never overflowed and every value was integer-kind; otherwise the
-    // result degrades to the double total. Identical rule and accumulation
-    // order to the columnar AggregateScan kernel — the differential-fuzz
-    // suite holds the two to bit-equality.
+    // SUM/AVG accumulate twice: exactly in 128-bit integer arithmetic and
+    // approximately in double. The wide total is authoritative while every
+    // value was integer-kind, and narrows back to INTEGER when it fits
+    // int64 (degrading to DOUBLE past the rails); mixed-kind input
+    // degrades to the double total. The rule is order-independent, so
+    // per-shard partial sums merge exactly (src/db/shard). Identical rule
+    // to the columnar AggregateScan kernel — the differential-fuzz suite
+    // holds the two to bit-equality.
     double sum = 0;
-    int64_t isum = 0;
-    bool int_overflow = false;
+    __int128 isum = 0;
     bool all_int = true;
     Value min_v = Value::Null();
     Value max_v = Value::Null();
@@ -326,8 +327,8 @@ Result<Value> EvalAggregate(const Expr& expr,
         sum += v.AsDouble();
         if (v.type() == DataType::kDouble) {
           all_int = false;
-        } else if (__builtin_add_overflow(isum, v.AsInt(), &isum)) {
-          int_overflow = true;
+        } else {
+          isum += v.AsInt();
         }
       } else if (expr.func == "SUM" || expr.func == "AVG") {
         return Status::InvalidArgument(expr.func + " over non-numeric column");
@@ -337,16 +338,8 @@ Result<Value> EvalAggregate(const Expr& expr,
     }
     if (expr.func == "COUNT") return Value::Integer(count);
     if (count == 0) return Value::Null();
-    if (expr.func == "SUM") {
-      return all_int && !int_overflow ? Value::Integer(isum)
-                                      : Value::Double(sum);
-    }
-    if (expr.func == "AVG") {
-      return all_int && !int_overflow
-                 ? Value::Double(static_cast<double>(isum) /
-                                 static_cast<double>(count))
-                 : Value::Double(sum / static_cast<double>(count));
-    }
+    if (expr.func == "SUM") return FinishSum(all_int, isum, sum);
+    if (expr.func == "AVG") return FinishAvg(all_int, isum, sum, count);
     if (expr.func == "MIN") return min_v;
     if (expr.func == "MAX") return max_v;
   }
@@ -371,6 +364,8 @@ Result<Value> EvalAggregate(const Expr& expr,
   }
   return Status::Internal("bad aggregate expression");
 }
+
+}  // namespace
 
 std::string DefaultItemName(const SelectItem& item, size_t index) {
   if (!item.alias.empty()) return item.alias;
@@ -400,6 +395,8 @@ DataType GuessItemType(const Expr& expr,
   }
   return DataType::kVarchar;
 }
+
+namespace {
 
 const ColumnDef* SourceColumnDef(const Expr& expr,
                                  const std::vector<ColumnBinding>& schema) {

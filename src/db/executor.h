@@ -1,7 +1,9 @@
 #ifndef EASIA_DB_EXECUTOR_H_
 #define EASIA_DB_EXECUTOR_H_
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,39 @@ Result<Value> EvalExpr(const Expr& expr, const EvalEnv& env);
 
 /// Truthiness of a predicate result (NULL and false both reject).
 bool IsTruthy(const Value& value);
+
+/// SUM/AVG finalization rule shared by the row executor, the columnar
+/// AggregateScan kernel and the shard coordinator's partial-aggregate
+/// merge (src/db/shard). `isum` is the exact 128-bit total of the
+/// integer-kind inputs, `dsum` the running double total of all numeric
+/// inputs, `all_int` whether every non-NULL input was integer-kind. The
+/// rule is order-independent, so partial accumulators merged across
+/// shards finalize identically to a single-node pass.
+inline Value FinishSum(bool all_int, __int128 isum, double dsum) {
+  if (!all_int) return Value::Double(dsum);
+  constexpr __int128 kInt64Min = std::numeric_limits<int64_t>::min();
+  constexpr __int128 kInt64Max = std::numeric_limits<int64_t>::max();
+  if (isum >= kInt64Min && isum <= kInt64Max) {
+    return Value::Integer(static_cast<int64_t>(isum));
+  }
+  return Value::Double(static_cast<double>(isum));
+}
+
+inline Value FinishAvg(bool all_int, __int128 isum, double dsum,
+                       int64_t count) {
+  if (all_int) {
+    return Value::Double(static_cast<double>(isum) /
+                         static_cast<double>(count));
+  }
+  return Value::Double(dsum / static_cast<double>(count));
+}
+
+/// Output-column naming and typing rules for SELECT items. Shared with
+/// the shard coordinator's scatter/gather merge (src/db/shard) so merged
+/// results carry byte-identical column names and types.
+std::string DefaultItemName(const SelectItem& item, size_t index);
+DataType GuessItemType(const Expr& expr,
+                       const std::vector<ColumnBinding>& schema);
 
 /// Resolves tables by name for the executor.
 using TableLookup =

@@ -375,10 +375,27 @@ class SqlParser {
       if (!ConsumeSymbol(",")) break;
     }
     EASIA_RETURN_IF_ERROR(ExpectSymbol(")"));
-    // Optional storage clause; STORE/COLUMNAR stay contextual words.
-    if (ConsumeWord("STORE")) {
-      EASIA_RETURN_IF_ERROR(ExpectWord("COLUMNAR"));
-      stmt->def.columnar = true;
+    // Optional storage / partitioning clauses in either order;
+    // STORE/COLUMNAR/PARTITION/HASH/PARTITIONS stay contextual words.
+    while (true) {
+      if (ConsumeWord("STORE")) {
+        EASIA_RETURN_IF_ERROR(ExpectWord("COLUMNAR"));
+        stmt->def.columnar = true;
+      } else if (ConsumeWord("PARTITION")) {
+        EASIA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+        EASIA_RETURN_IF_ERROR(ExpectWord("HASH"));
+        EASIA_RETURN_IF_ERROR(ExpectSymbol("("));
+        EASIA_ASSIGN_OR_RETURN(stmt->def.partition_by, ExpectIdentifier());
+        EASIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+        EASIA_RETURN_IF_ERROR(ExpectWord("PARTITIONS"));
+        EASIA_ASSIGN_OR_RETURN(int64_t n, ExpectIntegerLiteral());
+        if (n < 1 || n > 1024) {
+          return Error("PARTITIONS count must be between 1 and 1024");
+        }
+        stmt->def.partitions = static_cast<int>(n);
+      } else {
+        break;
+      }
     }
     return stmt;
   }

@@ -103,6 +103,10 @@ std::string TableDef::ToSql() const {
   }
   out += ")";
   if (columnar) out += " STORE COLUMNAR";
+  if (partitions > 0) {
+    out += " PARTITION BY HASH(" + partition_by + ") PARTITIONS " +
+           std::to_string(partitions);
+  }
   return out;
 }
 
@@ -142,6 +146,17 @@ Status Catalog::AddTable(TableDef def) {
     if (def.FindColumn(pk) == nullptr) {
       return Status::NotFound("primary key uses unknown column " + def.name +
                               "." + pk);
+    }
+  }
+  if (def.partitions > 0) {
+    // Hash partitioning routes every row by one value that UPDATE cannot
+    // silently reroute past the unique check and that FindUnique can
+    // locate — exactly the single-column primary key.
+    if (def.primary_key.size() != 1 ||
+        !EqualsIgnoreCase(def.primary_key[0], def.partition_by)) {
+      return Status::InvalidArgument(
+          "PARTITION BY HASH column " + def.partition_by + " in table " +
+          def.name + " must be the table's single primary-key column");
     }
   }
   tables_.emplace(std::move(key), std::move(def));

@@ -43,6 +43,13 @@ struct TableDef {
   /// True for `CREATE TABLE ... STORE COLUMNAR`: the table is hosted in
   /// columnar pages (store::ColumnStore) instead of the row map.
   bool columnar = false;
+  /// For `CREATE TABLE ... PARTITION BY HASH(col) PARTITIONS n`: the hash
+  /// partitioning column (must be the table's single primary-key column)
+  /// and partition count. Empty/0 for unpartitioned tables. A single-node
+  /// Database stores the clause as metadata only; the shard coordinator
+  /// (src/db/shard) routes rows by it.
+  std::string partition_by;
+  int partitions = 0;
 
   /// Index of a column by name (case-insensitive per SQL), or error.
   Result<size_t> ColumnIndex(std::string_view column_name) const;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "db/executor.h"
 
 namespace easia::db::store {
 namespace {
@@ -32,20 +33,21 @@ void AppendKeyFragment(bool is_null, bool numeric, double num,
 }
 
 /// Per-aggregate running state. SUM/AVG over integer columns accumulate
-/// twice: exactly in int64 (overflow-checked) and approximately in double.
-/// The int64 total is authoritative while it never overflowed; past that
-/// point the result degrades to the double total — the same rule, applied
-/// in the same slot order, as the row-path EvalAggregate, so the two
-/// executors stay bit-identical.
+/// twice: exactly in 128-bit integer arithmetic and approximately in
+/// double. The wide total is authoritative while every input was
+/// integer-kind (narrowing back to INTEGER when it fits int64, DOUBLE
+/// otherwise) — the same order-independent rule as the row-path
+/// EvalAggregate (FinishSum/FinishAvg in db/executor.h), so the two
+/// executors stay bit-identical and shard partials merge exactly.
 struct AggAcc {
   size_t non_null = 0;
   double sum = 0;
-  int64_t isum = 0;
-  bool int_overflow = false;
+  __int128 isum = 0;
   bool all_int = true;
   bool has_extreme = false;
   bool extreme_numeric = false;
   double extreme_num = 0;
+  int64_t extreme_int = 0;  // exact track for fixed-int columns
   std::string extreme_text;
   size_t extreme_slot = 0;  // slot holding the current MIN/MAX value
 };
@@ -379,9 +381,7 @@ Result<std::vector<AggGroup>> ColumnStore::AggregateScan(
             acc.sum += c.doubles[slot];
           } else {
             acc.sum += static_cast<double>(c.ints[slot]);
-            if (__builtin_add_overflow(acc.isum, c.ints[slot], &acc.isum)) {
-              acc.int_overflow = true;
-            }
+            acc.isum += c.ints[slot];
           }
           break;
         }
@@ -400,10 +400,23 @@ Result<std::vector<AggGroup>> ColumnStore::AggregateScan(
               acc.extreme_text.assign(text);
               acc.extreme_slot = slot;
             }
+          } else if (IsFixedInt(c.type)) {
+            // Integer columns compare exactly — a double track would tie
+            // distinct values past 2^53 (see Value::Compare).
+            int64_t num = c.ints[slot];
+            if (!acc.has_extreme) {
+              better = true;
+            } else {
+              better = a.fn == AggSpec::Fn::kMin ? num < acc.extreme_int
+                                                 : num > acc.extreme_int;
+            }
+            if (better) {
+              acc.extreme_int = num;
+              acc.extreme_numeric = true;
+              acc.extreme_slot = slot;
+            }
           } else {
-            double num = IsFixedInt(c.type)
-                             ? static_cast<double>(c.ints[slot])
-                             : c.doubles[slot];
+            double num = c.doubles[slot];
             if (!acc.has_extreme) {
               better = true;
             } else {
@@ -458,22 +471,18 @@ Result<std::vector<AggGroup>> ColumnStore::AggregateScan(
         case AggSpec::Fn::kSum:
           if (acc.non_null == 0) {
             group.aggregates.push_back(Value::Null());
-          } else if (acc.all_int && !acc.int_overflow) {
-            group.aggregates.push_back(Value::Integer(acc.isum));
           } else {
-            group.aggregates.push_back(Value::Double(acc.sum));
+            group.aggregates.push_back(
+                FinishSum(acc.all_int, acc.isum, acc.sum));
           }
           break;
         case AggSpec::Fn::kAvg:
           if (acc.non_null == 0) {
             group.aggregates.push_back(Value::Null());
-          } else if (acc.all_int && !acc.int_overflow) {
-            group.aggregates.push_back(
-                Value::Double(static_cast<double>(acc.isum) /
-                              static_cast<double>(acc.non_null)));
           } else {
             group.aggregates.push_back(
-                Value::Double(acc.sum / static_cast<double>(acc.non_null)));
+                FinishAvg(acc.all_int, acc.isum, acc.sum,
+                          static_cast<int64_t>(acc.non_null)));
           }
           break;
         case AggSpec::Fn::kMin:

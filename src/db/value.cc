@@ -106,6 +106,15 @@ int Value::Compare(const Value& other) const {
   if (null_) return -1;
   if (other.null_) return 1;
   if (IsNumericKind() && other.IsNumericKind()) {
+    // Two integer-backed values compare exactly: casting int64 to double
+    // loses bits past 2^53, which would make distinct values near
+    // INT64_MAX tie (and then "first seen wins" in MIN/MAX — an ordering
+    // the shard-merge path cannot reproduce).
+    if (type_ != DataType::kDouble && other.type_ != DataType::kDouble) {
+      if (int_ < other.int_) return -1;
+      if (int_ > other.int_) return 1;
+      return 0;
+    }
     double a = AsDouble();
     double b = other.AsDouble();
     if (a < b) return -1;

@@ -1,5 +1,6 @@
 #include "testing/crash_harness.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "common/random.h"
 #include "db/database.h"
 #include "db/repl/coordinator.h"
+#include "db/shard/coordinator.h"
 #include "sim/network.h"
 #include "fileserver/url.h"
 #include "jobs/scheduler.h"
@@ -761,6 +763,207 @@ CrashReport RunReplicationCrashCase(const ReplicationCrashOptions& options) {
                                   " epoch mismatch after drain");
     }
   }
+  report.wal_bytes = net.TotalTraffic();
+  return report;
+}
+
+namespace {
+
+/// Comparable image of one query result: display rows, sorted when the
+/// statement carries no total order.
+std::string RenderResult(const db::QueryResult& result, bool ordered) {
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const db::Row& row : result.rows) {
+    std::string line;
+    for (const db::Value& v : row) {
+      line += v.ToDisplayString();
+      line += "|";
+    }
+    rows.push_back(std::move(line));
+  }
+  if (!ordered) std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& line : rows) out += line + "\n";
+  return out;
+}
+
+}  // namespace
+
+CrashReport RunShardCrashCase(const ShardCrashOptions& options) {
+  CrashReport report;
+  std::vector<std::string> workload =
+      GenerateWalWorkload(options.seed, options.statements);
+  // The same statement list drives the sharded run and the single-node
+  // shadow: the partition clause is routing metadata on a plain database.
+  workload[0] += " PARTITION BY HASH(ID) PARTITIONS " +
+                 std::to_string(options.shards);
+
+  // Full mesh over the coordinator, every shard primary and every replica.
+  sim::Network net;
+  std::vector<std::string> hosts{"web"};
+  for (int i = 0; i < options.shards; ++i) {
+    std::string host = "s" + std::to_string(i);
+    hosts.push_back(host);
+    for (int r = 1; r <= options.replicas_per_shard; ++r) {
+      hosts.push_back(host + "-r" + std::to_string(r));
+    }
+  }
+  for (const std::string& host : hosts) net.AddHost({host, 50.0, 4});
+  for (const std::string& from : hosts) {
+    for (const std::string& to : hosts) {
+      if (from != to) {
+        net.AddLink(from, to, sim::BandwidthSchedule::Constant(100.0), 0.001);
+      }
+    }
+  }
+
+  db::shard::ShardOptions sopts;
+  sopts.coordinator_host = "web";
+  for (int i = 0; i < options.shards; ++i) {
+    sopts.shard_hosts.push_back("s" + std::to_string(i));
+  }
+  sopts.replicas_per_shard = static_cast<size_t>(options.replicas_per_shard);
+  sopts.repl_options.ack_quorum = options.ack_quorum;
+  db::shard::ShardCoordinator coord(&net, sopts);
+  const size_t shards = coord.num_shards();
+
+  auto heartbeat_all = [&] {
+    for (size_t s = 0; s < shards; ++s) coord.repl(s)->Heartbeat();
+  };
+  auto drain_all = [&]() -> bool {
+    bool ok = true;
+    for (size_t s = 0; s < shards; ++s) {
+      bool shipped = false;
+      for (int pass = 0; pass < 3 && !shipped; ++pass) {
+        shipped = coord.repl(s)->ShipAll().ok();
+      }
+      ok = ok && shipped;
+    }
+    return ok;
+  };
+
+  db::Database shadow("SHADOW");
+  for (const std::string& sql : workload) {
+    heartbeat_all();
+    Result<db::QueryResult> sharded = coord.Execute(sql);
+    if (!sharded.ok()) {
+      report.violations.push_back("statement failed before the crash: " +
+                                  sql + " (" +
+                                  std::string(sharded.status().message()) +
+                                  ")");
+      return report;
+    }
+    ++report.acked;
+    Result<db::QueryResult> replayed = shadow.Execute(sql);
+    if (!replayed.ok()) {
+      report.violations.push_back("shadow replay failed: " + sql);
+      return report;
+    }
+  }
+  // Full drain: every replica holds every acked commit, so whichever one
+  // the failover promotes must preserve them all.
+  if (!drain_all()) {
+    report.violations.push_back("pre-crash drain did not converge");
+    return report;
+  }
+
+  const std::string agg_sql =
+      "SELECT COUNT(*), SUM(SCORE), MIN(SCORE), MAX(SCORE) FROM T";
+  const size_t victim = static_cast<size_t>(options.seed % shards);
+  db::repl::ReplicationCoordinator* vrepl = coord.repl(victim);
+  const uint64_t failovers_before = vrepl->failovers();
+
+  // The hook fires right before each per-shard scan of the scatter (which
+  // runs serially while installed): on reaching the victim, its primary
+  // goes silent past the heartbeat timeout and a replica is promoted
+  // mid-statement. The shared sim clock advance makes every OTHER shard's
+  // primary look dead too, so they are immediately heartbeated back.
+  bool fired = false;
+  coord.SetScatterHook([&](size_t s) {
+    if (fired || s != victim) return;
+    fired = true;
+    net.clock().Advance(sopts.repl_options.heartbeat_timeout_seconds + 1);
+    if (!vrepl->PrimaryDown()) {
+      report.violations.push_back("victim primary not presumed down");
+      return;
+    }
+    Result<std::string> promoted = vrepl->MaybeFailover();
+    if (!promoted.ok()) {
+      report.violations.push_back(
+          "mid-scatter failover failed: " +
+          std::string(promoted.status().message()));
+    }
+    heartbeat_all();
+  });
+  Result<db::QueryResult> scatter = coord.Execute(agg_sql);
+  coord.SetScatterHook({});
+  report.crashed = fired;
+  if (!fired) {
+    report.violations.push_back("scatter never reached the victim shard");
+    return report;
+  }
+  if (vrepl->failovers() == failovers_before) {
+    report.violations.push_back("failover did not run");
+  }
+  if (!scatter.ok()) {
+    // The replication layer's codes must pass through the scatter path
+    // verbatim; anything else is a mangled failure.
+    StatusCode code = scatter.status().code();
+    if (code != StatusCode::kUnavailable && code != StatusCode::kAborted) {
+      report.violations.push_back(
+          "mid-failover scatter failed with an unexpected code: " +
+          std::string(scatter.status().message()));
+    }
+  }
+
+  // Recovery: primaries heartbeated, replicas drained, then the same
+  // aggregate re-runs serially against the promoted topology.
+  heartbeat_all();
+  if (!drain_all()) {
+    report.violations.push_back("post-failover drain did not converge");
+  }
+  Result<db::QueryResult> rerun = coord.Execute(agg_sql);
+  Result<db::QueryResult> shadow_agg = shadow.Execute(agg_sql);
+  if (!rerun.ok() || !shadow_agg.ok()) {
+    report.violations.push_back("post-recovery aggregate failed: " +
+                                std::string(rerun.status().message()));
+    return report;
+  }
+  if (scatter.ok() &&
+      RenderResult(*scatter, false) != RenderResult(*rerun, false)) {
+    report.violations.push_back(
+        "mid-failover scatter diverged from the post-recovery re-run");
+  }
+  if (RenderResult(*rerun, false) != RenderResult(*shadow_agg, false)) {
+    report.violations.push_back(
+        "post-recovery aggregate lost acked commits (shadow mismatch)");
+  }
+
+  // Writes flow to the promoted primary, and the whole partitioned table
+  // still equals the shadow row-for-row.
+  const std::string post_insert =
+      "INSERT INTO T (ID, NAME, SCORE) VALUES (100000, 'postcrash', 7)";
+  Result<db::QueryResult> write = coord.Execute(post_insert);
+  if (!write.ok()) {
+    report.violations.push_back("post-failover write failed: " +
+                                std::string(write.status().message()));
+  } else if (!shadow.Execute(post_insert).ok()) {
+    report.violations.push_back("shadow replay of the post-crash write "
+                                "failed");
+  }
+  const std::string scan_sql = "SELECT * FROM T ORDER BY ID";
+  Result<db::QueryResult> all = coord.Execute(scan_sql);
+  Result<db::QueryResult> shadow_all = shadow.Execute(scan_sql);
+  if (!all.ok() || !shadow_all.ok()) {
+    report.violations.push_back("post-recovery table scan failed");
+    return report;
+  }
+  if (RenderResult(*all, true) != RenderResult(*shadow_all, true)) {
+    report.violations.push_back(
+        "sharded table diverged from the shadow after failover");
+  }
+  report.recovered_items = all->rows.size();
   report.wal_bytes = net.TotalTraffic();
   return report;
 }

@@ -129,6 +129,30 @@ struct ReplicationCrashOptions {
 };
 CrashReport RunReplicationCrashCase(const ReplicationCrashOptions& options);
 
+/// One sharded-metadata crash case: the seeded WAL workload runs through a
+/// ShardCoordinator whose table is hash-partitioned across `shards`
+/// replication groups (primary + replicas each). After the workload drains,
+/// a scatter aggregate runs with a hook that fails over one seeded shard's
+/// primary *between* per-shard scans of that one statement. Invariants:
+///
+///  * every pre-crash statement is acknowledged (quorum met, no faults);
+///  * the mid-failover scatter either succeeds or surfaces the replication
+///    layer's kAborted / kUnavailable — never a mangled partial result;
+///  * a serial re-run of the same aggregate after recovery matches both
+///    the mid-failover scatter result (when it succeeded) and a shadow
+///    single-node replay of the identical workload: zero acked-commit loss
+///    through the promotion;
+///  * writes flow to the promoted primary afterwards, and the full
+///    partitioned table equals the shadow byte-for-byte.
+struct ShardCrashOptions {
+  uint64_t seed = 1;
+  int statements = 30;
+  int shards = 3;
+  int replicas_per_shard = 2;
+  size_t ack_quorum = 1;
+};
+CrashReport RunShardCrashCase(const ShardCrashOptions& options);
+
 }  // namespace easia::testing
 
 #endif  // EASIA_TESTING_CRASH_HARNESS_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "db/shard/coordinator.h"
 #include "web/html.h"
 #include "xuis/serialize.h"
 
@@ -180,8 +181,22 @@ std::string ArchiveWebServer::CacheVisibility(const Session& session,
 }
 
 db::repl::ReadTicket ArchiveWebServer::ServingNode() const {
+  if (deps_.shard != nullptr) {
+    // The shard coordinator is the serving "node": queries route through
+    // it (ExecuteQuery), and the cache validator is the combined epoch —
+    // a sum over shard primaries, so any shard's commit invalidates.
+    return {deps_.shard->shard_db(0), deps_.shard->combined_epoch(), "shard",
+            false};
+  }
   if (deps_.repl != nullptr) return deps_.repl->RouteRead();
   return {deps_.database, deps_.database->commit_epoch(), "local", false};
+}
+
+Result<db::QueryResult> ArchiveWebServer::ExecuteQuery(
+    db::Database* db, const std::string& sql,
+    const db::ExecContext& ctx) const {
+  if (deps_.shard != nullptr) return deps_.shard->Execute(sql, ctx);
+  return db->Execute(sql, ctx);
 }
 
 Result<db::QueryResult> ArchiveWebServer::ExecuteDml(
@@ -190,7 +205,10 @@ Result<db::QueryResult> ArchiveWebServer::ExecuteDml(
   // it targets the CURRENT primary (deps_.database is only the initial
   // one — after a failover its commit listener is detached, so writing
   // there directly would commit outside the replication log, invisible
-  // to every routed read) and enforces the ack quorum.
+  // to every routed read) and enforces the ack quorum. The shard
+  // coordinator subsumes it: writes route to the owning shard's current
+  // primary with the same quorum semantics per shard.
+  if (deps_.shard != nullptr) return deps_.shard->Execute(sql, ctx);
   if (deps_.repl != nullptr) return deps_.repl->Execute(sql, ctx);
   return deps_.database->Execute(sql, ctx);
 }
@@ -309,7 +327,7 @@ HttpResponse ArchiveWebServer::RenderQuery(const std::string& sql,
                                            db::Database* db) {
   db::ExecContext exec;
   exec.user = session.user.name;
-  Result<db::QueryResult> result = db->Execute(sql, exec);
+  Result<db::QueryResult> result = ExecuteQuery(db, sql, exec);
   if (!result.ok()) return Error(400, result.status().ToString());
   RenderContext ctx;
   ctx.spec = &deps_.xuis->For(session.user.name);
@@ -417,7 +435,7 @@ HttpResponse ArchiveWebServer::HandleTypeahead(const HttpRequest& request,
                       " LIMIT " + std::to_string(*n);
     db::ExecContext exec;
     exec.user = session.user.name;
-    Result<db::QueryResult> result = ticket.db->Execute(sql, exec);
+    Result<db::QueryResult> result = ExecuteQuery(ticket.db, sql, exec);
     if (!result.ok()) return Error(400, result.status().ToString());
     HttpResponse resp;
     resp.content_type = "text/plain";
@@ -453,9 +471,10 @@ HttpResponse ArchiveWebServer::HandleObject(const HttpRequest& request,
   db::ExecContext exec;
   exec.user = session.user.name;
   // Object reads route like every other read: a stale-bounded replica
-  // with primary fallback when replication is wired.
+  // with primary fallback when replication is wired, the scatter/gather
+  // planner when sharding is.
   db::repl::ReadTicket ticket = ServingNode();
-  Result<db::QueryResult> result = ticket.db->Execute(sql, exec);
+  Result<db::QueryResult> result = ExecuteQuery(ticket.db, sql, exec);
   if (!result.ok()) return Error(400, result.status().ToString());
   if (result->rows.empty() || result->rows[0][0].is_null()) {
     return Error(404, "object not found");
@@ -997,6 +1016,44 @@ HttpResponse ArchiveWebServer::HandleStats(const Session& session) {
       }
       w.Close();  // table
     }
+  }
+  if (deps_.shard != nullptr) {
+    db::shard::ShardCounters sc = deps_.shard->counters();
+    w.Element(
+        "p",
+        StrPrintf("sharding: %zu shards, queries single %llu / scatter "
+                  "%llu / gather %llu, shard scans %llu performed %llu "
+                  "pruned, %llu writes, %llu row migrations",
+                  deps_.shard->num_shards(),
+                  static_cast<unsigned long long>(sc.queries_single),
+                  static_cast<unsigned long long>(sc.queries_scatter),
+                  static_cast<unsigned long long>(sc.queries_gather),
+                  static_cast<unsigned long long>(sc.scanned_shards),
+                  static_cast<unsigned long long>(sc.pruned_shards),
+                  static_cast<unsigned long long>(sc.writes),
+                  static_cast<unsigned long long>(sc.migrations)));
+    w.Open("table", {{"border", "1"}});
+    w.Open("tr");
+    for (const char* h : {"shard", "host", "partitioned rows",
+                          "commit epoch", "replicas", "max lag (epochs)"}) {
+      w.Element("th", h);
+    }
+    w.Close();  // tr
+    std::vector<db::shard::ShardInfo> shards = deps_.shard->shard_info();
+    for (size_t i = 0; i < shards.size(); ++i) {
+      const db::shard::ShardInfo& info = shards[i];
+      w.Open("tr");
+      w.Element("td", StrPrintf("%zu", i));
+      w.Element("td", info.host);
+      w.Element("td", StrPrintf("%zu", info.partitioned_rows));
+      w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
+                                            info.commit_epoch)));
+      w.Element("td", StrPrintf("%zu", info.replicas));
+      w.Element("td", StrPrintf("%llu", static_cast<unsigned long long>(
+                                            info.max_replica_lag)));
+      w.Close();  // tr
+    }
+    w.Close();  // table
   }
   if (deps_.repl != nullptr) {
     w.Element("p",

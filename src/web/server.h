@@ -21,6 +21,10 @@
 #include "web/users.h"
 #include "xuis/customize.h"
 
+namespace easia::db::shard {
+class ShardCoordinator;
+}  // namespace easia::db::shard
+
 namespace easia::web {
 
 /// An in-process HTTP-ish request (the servlet container is simulated; the
@@ -102,6 +106,14 @@ class ArchiveWebServer {
     /// validated against the *serving node's* applied epoch, never the
     /// primary's.
     db::repl::ReplicationCoordinator* repl = nullptr;
+    /// Optional: routes EVERY query and DML statement through the shard
+    /// coordinator (scatter/gather planning over hash-partitioned tables,
+    /// global FK enforcement, per-shard replication). Takes precedence
+    /// over `repl` — shard-level replication lives inside the
+    /// coordinator. `database` should be the coordinator's shard-0
+    /// primary: its catalogue is a full mirror, so XUIS generation and
+    /// /stats introspection keep working unchanged.
+    db::shard::ShardCoordinator* shard = nullptr;
   };
 
   /// Worker-pool dispatch tuning for HandleConcurrent.
@@ -202,6 +214,12 @@ class ArchiveWebServer {
   /// node observed once, or a routing change between the two would tag a
   /// page with the wrong node's epoch.
   db::repl::ReadTicket ServingNode() const;
+  /// Read-query path: through the shard coordinator when wired (which
+  /// plans across partitions), else the serving node picked by the
+  /// ticket. The ticket's epoch stays the cache validator either way.
+  Result<db::QueryResult> ExecuteQuery(db::Database* db,
+                                       const std::string& sql,
+                                       const db::ExecContext& ctx) const;
   /// Mutating-statement path: through the replication coordinator when
   /// wired (current primary + ack quorum), else the local database.
   Result<db::QueryResult> ExecuteDml(const std::string& sql,

@@ -13,6 +13,8 @@
 #include "db/repl/replica.h"
 #include "db/repl/shipper.h"
 #include "db/repl/wire.h"
+#include "db/shard/coordinator.h"
+#include "sim/network.h"
 
 namespace easia::db {
 namespace {
@@ -24,16 +26,49 @@ int FuzzIters(int default_iters) {
   return parsed > 0 ? parsed : default_iters;
 }
 
+constexpr size_t kFuzzShards = 4;
+
+/// Full-mesh sim network for the sharded differential arm: coordinator
+/// "web" plus shard hosts "s0".."s3".
+sim::Network MakeShardNet() {
+  sim::Network net;
+  std::vector<std::string> hosts = {"web"};
+  for (size_t i = 0; i < kFuzzShards; ++i) {
+    hosts.push_back("s" + std::to_string(i));
+  }
+  for (const std::string& h : hosts) net.AddHost({h, 50.0, 4});
+  for (const std::string& a : hosts) {
+    for (const std::string& b : hosts) {
+      if (a != b) {
+        net.AddLink(a, b, sim::BandwidthSchedule::Constant(100.0), 0.001);
+      }
+    }
+  }
+  return net;
+}
+
+shard::ShardOptions MakeShardOptions() {
+  shard::ShardOptions options;
+  options.coordinator_host = "web";
+  for (size_t i = 0; i < kFuzzShards; ++i) {
+    options.shard_hosts.push_back("s" + std::to_string(i));
+  }
+  return options;
+}
+
 /// Differential fuzzing: seeded random SELECTs executed through both the
 /// query planner and the legacy executor must produce identical results.
 /// The planner (predicate pushdown, index access, hash joins, columnar
 /// filter/aggregate kernels, radix prefix scans, LIMIT short-circuit) is
 /// the optimised path; the legacy executor is the naive-but-obviously-
 /// correct oracle. Every query additionally runs against a columnar twin
-/// database (same DDL `STORE COLUMNAR`, same inserts) and against a
+/// database (same DDL `STORE COLUMNAR`, same inserts), against a
 /// replica fed purely by WAL-shipped commit entries (never by direct
-/// DML), so each check is five-way: {planned, legacy} x {row store,
-/// columnar} plus {replica replay}.
+/// DML), and against a 4-shard hash-partitioned coordinator (same DDL
+/// plus `PARTITION BY HASH(<pk>) PARTITIONS 4`, scatter/gather
+/// planning over sim links), so each check is six-way: {planned,
+/// legacy} x {row store, columnar} plus {replica replay} plus
+/// {sharded scatter/gather}.
 class DifferentialFuzzTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -73,8 +108,10 @@ class DifferentialFuzzTest : public ::testing::Test {
     }
   }
 
-  /// Runs DDL/DML against the row-store database and its columnar twin
-  /// (CREATE TABLE gains the STORE COLUMNAR clause).
+  /// Runs DDL/DML against the row-store database, its columnar twin
+  /// (CREATE TABLE gains the STORE COLUMNAR clause) and the 4-shard
+  /// coordinator (CREATE TABLE gains a PARTITION BY HASH clause on the
+  /// table's primary key, so every row is hash-routed to one shard).
   void ExecBoth(const std::string& sql) {
     Result<QueryResult> r = db_->Execute(sql);
     ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
@@ -82,6 +119,18 @@ class DifferentialFuzzTest : public ::testing::Test {
     if (sql.rfind("CREATE TABLE", 0) == 0) csql += " STORE COLUMNAR";
     Result<QueryResult> cr = columnar_db_->Execute(csql);
     ASSERT_TRUE(cr.ok()) << csql << " -> " << cr.status().ToString();
+    std::string ssql = sql;
+    if (sql.rfind("CREATE TABLE", 0) == 0) {
+      size_t pk = sql.find("PRIMARY KEY (");
+      ASSERT_NE(pk, std::string::npos) << sql;
+      pk += std::string("PRIMARY KEY (").size();
+      size_t end = sql.find(')', pk);
+      ASSERT_NE(end, std::string::npos) << sql;
+      ssql += " PARTITION BY HASH(" + sql.substr(pk, end - pk) +
+              ") PARTITIONS " + std::to_string(kFuzzShards);
+    }
+    Result<QueryResult> sr = shard_.Execute(ssql);
+    ASSERT_TRUE(sr.ok()) << ssql << " -> " << sr.status().ToString();
   }
 
   /// Rows rendered to comparable strings.
@@ -143,6 +192,11 @@ class DifferentialFuzzTest : public ::testing::Test {
       runs.push_back({"replica/planned",
                       ExecuteSelect(*stmt->select, lookup, nullptr, {true})});
     }
+    // Sixth arm: the shard coordinator plans the same SELECT across four
+    // hash partitions (pruning + scatter partial aggregation or
+    // coordinator-side gather) and must still agree with the naive
+    // single-node oracle.
+    runs.push_back({"sharded/planned", shard_.Execute(sql)});
     const Run& oracle = runs[1];  // row-store naive path
     for (const Run& run : runs) {
       ASSERT_EQ(run.result.ok(), oracle.result.ok())
@@ -165,6 +219,8 @@ class DifferentialFuzzTest : public ::testing::Test {
   std::unique_ptr<Database> columnar_db_;
   repl::ReplicationLog log_;
   std::unique_ptr<repl::ReplicaNode> replica_;
+  sim::Network shard_net_ = MakeShardNet();
+  shard::ShardCoordinator shard_{&shard_net_, MakeShardOptions()};
 };
 
 /// One random predicate over the available columns.

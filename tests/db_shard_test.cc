@@ -1,0 +1,704 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "db/parser.h"
+#include "db/shard/coordinator.h"
+#include "obs/metrics.h"
+#include "sim/network.h"
+#include "web/cache.h"
+#include "web/server.h"
+#include "web/session.h"
+#include "web/users.h"
+#include "xuis/customize.h"
+#include "xuis/generator.h"
+
+namespace easia::db::shard {
+namespace {
+
+/// Full-mesh sim network: coordinator "web", shards "s0".."sN-1" and
+/// optional replica hosts "s<i>-r1".."s<i>-rK".
+sim::Network MakeNet(size_t shards, size_t replicas_per_shard = 0) {
+  sim::Network net;
+  std::vector<std::string> hosts = {"web"};
+  for (size_t i = 0; i < shards; ++i) {
+    hosts.push_back("s" + std::to_string(i));
+    for (size_t r = 1; r <= replicas_per_shard; ++r) {
+      hosts.push_back("s" + std::to_string(i) + "-r" + std::to_string(r));
+    }
+  }
+  for (const std::string& h : hosts) net.AddHost({h, 50.0, 4});
+  for (const std::string& a : hosts) {
+    for (const std::string& b : hosts) {
+      if (a != b) {
+        net.AddLink(a, b, sim::BandwidthSchedule::Constant(100.0), 0.001);
+      }
+    }
+  }
+  return net;
+}
+
+ShardOptions MakeOptions(size_t shards, size_t replicas_per_shard = 0) {
+  ShardOptions options;
+  options.coordinator_host = "web";
+  for (size_t i = 0; i < shards; ++i) {
+    options.shard_hosts.push_back("s" + std::to_string(i));
+  }
+  options.replicas_per_shard = replicas_per_shard;
+  return options;
+}
+
+std::string Render(const QueryResult& r, bool ordered) {
+  std::ostringstream out;
+  for (size_t i = 0; i < r.column_names.size(); ++i) {
+    out << (i > 0 ? "," : "") << r.column_names[i];
+  }
+  out << "\n";
+  std::vector<std::string> rows;
+  for (const Row& row : r.rows) {
+    std::string line;
+    for (const Value& v : row) line += v.ToDisplayString() + "|";
+    rows.push_back(std::move(line));
+  }
+  if (!ordered) std::sort(rows.begin(), rows.end());
+  for (const std::string& line : rows) out << line << "\n";
+  return out.str();
+}
+
+/// Runs identical SQL against the sharded coordinator and a single-node
+/// reference database (the PARTITION clause is routing metadata there),
+/// asserting equal outcomes.
+class ShardPair {
+ public:
+  explicit ShardPair(size_t shards, size_t replicas_per_shard = 0)
+      : net_(MakeNet(shards, replicas_per_shard)),
+        coord_(&net_, MakeOptions(shards, replicas_per_shard)),
+        reference_("REF") {}
+
+  void Exec(const std::string& sql) {
+    Result<QueryResult> sharded = coord_.Execute(sql);
+    Result<QueryResult> single = reference_.Execute(sql);
+    ASSERT_EQ(sharded.ok(), single.ok())
+        << sql << "\nsharded: " << sharded.status().message()
+        << "\nsingle: " << single.status().message();
+    if (!sharded.ok()) {
+      EXPECT_EQ(sharded.status().message(), single.status().message()) << sql;
+    }
+  }
+
+  void Check(const std::string& sql, bool ordered = false) {
+    Result<QueryResult> sharded = coord_.Execute(sql);
+    Result<QueryResult> single = reference_.Execute(sql);
+    ASSERT_EQ(sharded.ok(), single.ok())
+        << sql << "\nsharded: " << sharded.status().message()
+        << "\nsingle: " << single.status().message();
+    if (!sharded.ok()) {
+      EXPECT_EQ(sharded.status().message(), single.status().message()) << sql;
+      return;
+    }
+    EXPECT_EQ(Render(*sharded, ordered), Render(*single, ordered)) << sql;
+  }
+
+  ShardCoordinator& coord() { return coord_; }
+  Database& reference() { return reference_; }
+
+ private:
+  sim::Network net_;
+  ShardCoordinator coord_;
+  Database reference_;
+};
+
+std::vector<std::string> PlanLines(ShardCoordinator& coord,
+                                   const std::string& sql) {
+  Result<QueryResult> r = coord.Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << ": " << r.status().message();
+  std::vector<std::string> lines;
+  if (r.ok()) {
+    for (const Row& row : r->rows) lines.push_back(row[0].ToDisplayString());
+  }
+  return lines;
+}
+
+// ---- Routing ----
+
+TEST(ShardRouting, RowsSpreadDeterministically) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE SIM (ID INTEGER PRIMARY KEY, HOST VARCHAR(16)) "
+            "PARTITION BY HASH(ID) PARTITIONS 8");
+  for (int i = 0; i < 64; ++i) {
+    pair.Exec("INSERT INTO SIM VALUES (" + std::to_string(i) + ", 'h" +
+              std::to_string(i % 3) + "')");
+  }
+  // Every row lives on exactly one shard; all shards hold some rows.
+  size_t total = 0;
+  std::set<int64_t> seen;
+  for (size_t s = 0; s < pair.coord().num_shards(); ++s) {
+    Result<const Table*> table = pair.coord().shard_db(s)->GetTable("SIM");
+    ASSERT_TRUE(table.ok());
+    EXPECT_GT((*table)->RowCount(), 0u) << "shard " << s << " empty";
+    total += (*table)->RowCount();
+    (*table)->ForEachRow([&](RowId, const Row& row) {
+      EXPECT_TRUE(seen.insert(row[0].AsInt()).second)
+          << "row " << row[0].AsInt() << " on two shards";
+    });
+  }
+  EXPECT_EQ(total, 64u);
+
+  // An identical coordinator routes identically (hash is deterministic).
+  sim::Network net2 = MakeNet(4);
+  ShardCoordinator coord2(&net2, MakeOptions(4));
+  ASSERT_TRUE(coord2
+                  .Execute("CREATE TABLE SIM (ID INTEGER PRIMARY KEY, "
+                           "HOST VARCHAR(16)) "
+                           "PARTITION BY HASH(ID) PARTITIONS 8")
+                  .ok());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(coord2
+                    .Execute("INSERT INTO SIM VALUES (" + std::to_string(i) +
+                             ", 'x')")
+                    .ok());
+  }
+  for (size_t s = 0; s < 4; ++s) {
+    Result<const Table*> a = pair.coord().shard_db(s)->GetTable("SIM");
+    Result<const Table*> b = coord2.shard_db(s)->GetTable("SIM");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ((*a)->RowCount(), (*b)->RowCount()) << "shard " << s;
+  }
+}
+
+TEST(ShardRouting, NumericPkHashesConsistentlyAcrossLiteralForms) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE D (K DOUBLE PRIMARY KEY, V INTEGER) "
+            "PARTITION BY HASH(K) PARTITIONS 4");
+  pair.Exec("INSERT INTO D VALUES (5, 1)");  // integer literal, double column
+  // The row must be findable through a double-literal equality too.
+  pair.Check("SELECT V FROM D WHERE K = 5.0");
+  pair.Check("SELECT V FROM D WHERE K = 5");
+  pair.Exec("INSERT INTO D VALUES (5.0, 2)");  // same key: duplicate
+}
+
+TEST(ShardRouting, DuplicatePrimaryKeyAcrossStatements) {
+  ShardPair pair(3);
+  pair.Exec("CREATE TABLE T (ID INTEGER PRIMARY KEY, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 3");
+  pair.Exec("INSERT INTO T VALUES (1, 10), (2, 20)");
+  pair.Exec("INSERT INTO T VALUES (2, 99)");        // duplicate
+  pair.Exec("INSERT INTO T VALUES (3, 30), (3, 31)");  // dup inside statement
+  pair.Check("SELECT * FROM T ORDER BY ID");
+}
+
+TEST(ShardRouting, BroadcastTablesAreIdenticalEverywhere) {
+  ShardPair pair(3);
+  pair.Exec("CREATE TABLE LOOKUP (ID INTEGER PRIMARY KEY, NAME VARCHAR(8))");
+  pair.Exec("INSERT INTO LOOKUP VALUES (1, 'a'), (2, 'b')");
+  pair.Exec("UPDATE LOOKUP SET NAME = 'z' WHERE ID = 2");
+  for (size_t s = 0; s < 3; ++s) {
+    Result<const Table*> table = pair.coord().shard_db(s)->GetTable("LOOKUP");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->RowCount(), 2u) << "shard " << s;
+  }
+  pair.Check("SELECT * FROM LOOKUP ORDER BY ID");
+}
+
+// ---- Pruning, proven through EXPLAIN ----
+
+TEST(ShardPruning, EqualityPrunesToOneShard) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE T (ID INTEGER PRIMARY KEY, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 32; ++i) {
+    pair.Exec("INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i * 10) + ")");
+  }
+  std::vector<std::string> lines =
+      PlanLines(pair.coord(), "EXPLAIN SELECT V FROM T WHERE ID = 7");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines[0].find("strategy=single"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("scanned 1 of 4 shards (3 pruned)"),
+            std::string::npos)
+      << lines[0];
+  pair.Check("SELECT V FROM T WHERE ID = 7");
+  // A NULL equality matches nothing: every shard prunes.
+  ShardCounters before = pair.coord().counters();
+  pair.Check("SELECT V FROM T WHERE ID = NULL");
+  ShardCounters after = pair.coord().counters();
+  EXPECT_EQ(after.scanned_shards - before.scanned_shards, 0u);
+  EXPECT_EQ(after.pruned_shards - before.pruned_shards, 4u);
+}
+
+TEST(ShardPruning, InListScansOnlyMatchingShards) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE T (ID INTEGER PRIMARY KEY, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 32; ++i) {
+    pair.Exec("INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i) + ")");
+  }
+  std::vector<std::string> lines = PlanLines(
+      pair.coord(), "EXPLAIN SELECT COUNT(*) FROM T WHERE ID IN (3, 4)");
+  ASSERT_FALSE(lines.empty());
+  // At most two shards can hold two keys.
+  EXPECT_TRUE(lines[0].find("scanned 1 of 4") != std::string::npos ||
+              lines[0].find("scanned 2 of 4") != std::string::npos)
+      << lines[0];
+  pair.Check("SELECT COUNT(*) FROM T WHERE ID IN (3, 4)");
+  pair.Check("SELECT V FROM T WHERE ID IN (3, 4, NULL)");
+}
+
+TEST(ShardPruning, RangePrunesFromShardSketches) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE T (ID INTEGER PRIMARY KEY, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 64; ++i) {
+    pair.Exec("INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i) + ")");
+  }
+  // ID > 1000 is beyond every shard's max sketch: all four shards prune.
+  std::vector<std::string> lines =
+      PlanLines(pair.coord(), "EXPLAIN SELECT * FROM T WHERE ID > 1000");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines[0].find("scanned 0 of 4 shards (4 pruned)"),
+            std::string::npos)
+      << lines[0];
+  pair.Check("SELECT * FROM T WHERE ID > 1000");
+  pair.Check("SELECT COUNT(*) FROM T WHERE ID <= 10");
+  pair.Check("SELECT COUNT(*) FROM T WHERE 20 < ID");
+}
+
+TEST(ShardPruning, AblationKnobScansEverything) {
+  sim::Network net = MakeNet(4);
+  ShardOptions options = MakeOptions(4);
+  options.enable_pruning = false;
+  ShardCoordinator coord(&net, options);
+  ASSERT_TRUE(coord
+                  .Execute("CREATE TABLE T (ID INTEGER PRIMARY KEY, "
+                           "V INTEGER) PARTITION BY HASH(ID) PARTITIONS 4")
+                  .ok());
+  ASSERT_TRUE(coord.Execute("INSERT INTO T VALUES (1, 1), (2, 2)").ok());
+  std::vector<std::string> lines =
+      PlanLines(coord, "EXPLAIN SELECT V FROM T WHERE ID = 1");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines[0].find("scanned 4 of 4 shards (0 pruned)"),
+            std::string::npos)
+      << lines[0];
+}
+
+TEST(ShardPruning, ExplainAnalyzeReportsPerShardActuals) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE T (ID INTEGER PRIMARY KEY, G INTEGER, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 40; ++i) {
+    pair.Exec("INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i % 4) + ", " + std::to_string(i) + ")");
+  }
+  std::vector<std::string> lines = PlanLines(
+      pair.coord(), "EXPLAIN ANALYZE SELECT G, SUM(V) FROM T GROUP BY G");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines[0].find("strategy=scatter"), std::string::npos) << lines[0];
+  bool saw_actual = false;
+  bool saw_total = false;
+  for (const std::string& line : lines) {
+    if (line.find("actual rows=") != std::string::npos) saw_actual = true;
+    if (line.find("total: 4 rows") != std::string::npos) saw_total = true;
+  }
+  EXPECT_TRUE(saw_actual);
+  EXPECT_TRUE(saw_total);
+}
+
+// ---- Scatter/gather merge edge cases ----
+
+TEST(ShardMerge, AggregatesMatchSingleNode) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE M (ID INTEGER PRIMARY KEY, G INTEGER, V INTEGER, "
+            "D DOUBLE, S VARCHAR(8)) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 50; ++i) {
+    pair.Exec("INSERT INTO M VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i % 5) + ", " + std::to_string(i * 3) + ", " +
+              std::to_string(i) + ".5, 's" + std::to_string(i % 7) + "')");
+  }
+  pair.Check("SELECT COUNT(*) FROM M");
+  pair.Check("SELECT G, COUNT(*), SUM(V), MIN(V), MAX(V), AVG(V) FROM M "
+             "GROUP BY G ORDER BY G", true);
+  pair.Check("SELECT G, SUM(D) FROM M GROUP BY G ORDER BY G", true);
+  pair.Check("SELECT G, MIN(S), MAX(S) FROM M GROUP BY G ORDER BY G", true);
+  pair.Check("SELECT G, SUM(V) + COUNT(*) FROM M GROUP BY G ORDER BY G", true);
+  pair.Check("SELECT G FROM M GROUP BY G HAVING SUM(V) > 300 ORDER BY G",
+             true);
+  pair.Check("SELECT S, COUNT(*) FROM M WHERE V > 30 GROUP BY S ORDER BY S",
+             true);
+}
+
+TEST(ShardMerge, NullOnlyGroups) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE N (ID INTEGER PRIMARY KEY, G INTEGER, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 12; ++i) {
+    // Group 0 holds only NULL values; group 1 mixes NULL and non-NULL.
+    std::string v = (i % 2 == 0) ? "NULL" : std::to_string(i);
+    std::string g = (i % 2 == 0) ? "0" : "1";
+    pair.Exec("INSERT INTO N VALUES (" + std::to_string(i) + ", " + g + ", " +
+              v + ")");
+  }
+  pair.Exec("INSERT INTO N VALUES (100, NULL, NULL)");  // NULL group key
+  pair.Check("SELECT G, COUNT(V), SUM(V), MIN(V), AVG(V) FROM N "
+             "GROUP BY G ORDER BY G", true);
+  pair.Check("SELECT COUNT(V), SUM(V) FROM N WHERE G = 0");
+}
+
+TEST(ShardMerge, EmptyShardsAndEmptyTables) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE E (ID INTEGER PRIMARY KEY, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  // Aggregates over an entirely empty table: one synthesized group.
+  pair.Check("SELECT COUNT(*), SUM(V), MIN(V) FROM E");
+  pair.Check("SELECT V, COUNT(*) FROM E GROUP BY V");
+  // One row: three shards stay empty but still participate in scatter.
+  pair.Exec("INSERT INTO E VALUES (1, 42)");
+  pair.Check("SELECT COUNT(*), SUM(V), AVG(V) FROM E");
+  pair.Check("SELECT V, COUNT(*) FROM E GROUP BY V");
+}
+
+TEST(ShardMerge, LimitAndOffsetBoundMergedGroups) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE L (ID INTEGER PRIMARY KEY, G INTEGER, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 60; ++i) {
+    pair.Exec("INSERT INTO L VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i % 10) + ", " + std::to_string(i) + ")");
+  }
+  pair.Check("SELECT G, SUM(V) FROM L GROUP BY G ORDER BY G LIMIT 3", true);
+  pair.Check("SELECT G, SUM(V) FROM L GROUP BY G ORDER BY G "
+             "LIMIT 4 OFFSET 7", true);
+  pair.Check("SELECT G, SUM(V) FROM L GROUP BY G ORDER BY SUM(V) DESC "
+             "LIMIT 2", true);
+  // Without ORDER BY the group output order is first-encounter order —
+  // the sequence map must reproduce it exactly for LIMIT to agree.
+  pair.Check("SELECT G, COUNT(*) FROM L GROUP BY G LIMIT 5", true);
+}
+
+TEST(ShardMerge, GatherHandlesNonAggregateShapes) {
+  ShardPair pair(3);
+  pair.Exec("CREATE TABLE G1 (ID INTEGER PRIMARY KEY, V INTEGER, "
+            "S VARCHAR(8)) PARTITION BY HASH(ID) PARTITIONS 3");
+  for (int i = 0; i < 30; ++i) {
+    pair.Exec("INSERT INTO G1 VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i % 6) + ", 'v" + std::to_string(i % 4) + "')");
+  }
+  pair.Check("SELECT DISTINCT V FROM G1");
+  pair.Check("SELECT * FROM G1 WHERE V > 2 ORDER BY ID", true);
+  pair.Check("SELECT S, V FROM G1 ORDER BY S, V, ID LIMIT 7", true);
+  // Insertion order (no ORDER BY + LIMIT) must match the single node.
+  pair.Check("SELECT ID FROM G1 LIMIT 10", true);
+}
+
+// ---- Cross-shard joins and foreign keys ----
+
+TEST(ShardJoins, CrossShardFkJoinMatchesSingleNode) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE AUTHOR (AUTHOR_KEY INTEGER PRIMARY KEY, "
+            "NAME VARCHAR(16)) PARTITION BY HASH(AUTHOR_KEY) PARTITIONS 4");
+  pair.Exec("CREATE TABLE SIMULATION (SIM_KEY INTEGER PRIMARY KEY, "
+            "AUTHOR_KEY INTEGER, POINTS INTEGER, "
+            "FOREIGN KEY (AUTHOR_KEY) REFERENCES AUTHOR (AUTHOR_KEY)) "
+            "PARTITION BY HASH(SIM_KEY) PARTITIONS 4");
+  for (int i = 0; i < 8; ++i) {
+    pair.Exec("INSERT INTO AUTHOR VALUES (" + std::to_string(i) + ", 'a" +
+              std::to_string(i) + "')");
+  }
+  for (int i = 0; i < 40; ++i) {
+    pair.Exec("INSERT INTO SIMULATION VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i % 8) + ", " + std::to_string(i * 100) + ")");
+  }
+  pair.Check("SELECT A.NAME, S.POINTS FROM SIMULATION S "
+             "JOIN AUTHOR A ON S.AUTHOR_KEY = A.AUTHOR_KEY "
+             "WHERE S.POINTS > 1000 ORDER BY S.SIM_KEY", true);
+  pair.Check("SELECT A.NAME, COUNT(*) FROM SIMULATION S "
+             "JOIN AUTHOR A ON S.AUTHOR_KEY = A.AUTHOR_KEY "
+             "GROUP BY A.NAME ORDER BY A.NAME", true);
+  // Legacy (non-planned) executor over the reference tables as a second
+  // oracle: materialised nested-loop joins, whole-WHERE filter.
+  const std::string join_sql =
+      "SELECT A.NAME, S.POINTS FROM SIMULATION S "
+      "JOIN AUTHOR A ON S.AUTHOR_KEY = A.AUTHOR_KEY ORDER BY S.SIM_KEY";
+  Result<Statement> stmt = ParseSql(join_sql);
+  ASSERT_TRUE(stmt.ok());
+  Database& reference = pair.reference();
+  TableLookup lookup = [&reference](const std::string& name) {
+    return reference.GetTable(name);
+  };
+  ExecuteOptions legacy;
+  legacy.use_planner = false;
+  Result<QueryResult> naive =
+      ExecuteSelect(*stmt->select, lookup, nullptr, legacy);
+  Result<QueryResult> sharded = pair.coord().Execute(join_sql);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  ASSERT_TRUE(naive.ok()) << naive.status().message();
+  EXPECT_EQ(Render(*sharded, true), Render(*naive, true));
+}
+
+TEST(ShardJoins, ColocatedPkJoinPrunesBothSides) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE A (ID INTEGER PRIMARY KEY, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  pair.Exec("CREATE TABLE B (ID INTEGER PRIMARY KEY, W INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 20; ++i) {
+    pair.Exec("INSERT INTO A VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i) + ")");
+    pair.Exec("INSERT INTO B VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i * 2) + ")");
+  }
+  // Equality on A's pk propagates through the colocated join to B.
+  std::vector<std::string> lines = PlanLines(
+      pair.coord(),
+      "EXPLAIN SELECT A.V, B.W FROM A JOIN B ON A.ID = B.ID WHERE A.ID = 5");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines[0].find("scanned 1 of 4 shards (3 pruned)"),
+            std::string::npos)
+      << lines[0];
+  pair.Check("SELECT A.V, B.W FROM A JOIN B ON A.ID = B.ID WHERE A.ID = 5");
+  pair.Check("SELECT A.V, B.W FROM A JOIN B ON A.ID = B.ID ORDER BY A.ID",
+             true);
+}
+
+TEST(ShardFk, ViolationsDetectedAcrossShards) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE P (ID INTEGER PRIMARY KEY, NAME VARCHAR(8)) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  pair.Exec("CREATE TABLE C (ID INTEGER PRIMARY KEY, P_ID INTEGER, "
+            "FOREIGN KEY (P_ID) REFERENCES P (ID)) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  pair.Exec("INSERT INTO P VALUES (1, 'a'), (2, 'b')");
+  pair.Exec("INSERT INTO C VALUES (10, 1)");   // parent on another shard
+  pair.Exec("INSERT INTO C VALUES (11, 99)");  // no parent anywhere
+  pair.Exec("INSERT INTO C VALUES (12, NULL)");  // NULL FK: allowed
+  pair.Exec("DELETE FROM P WHERE ID = 1");     // RESTRICT: child 10 exists
+  pair.Exec("DELETE FROM P WHERE ID = 2");     // no children: fine
+  pair.Exec("UPDATE C SET P_ID = 2 WHERE ID = 10");  // parent gone
+  pair.Check("SELECT * FROM P ORDER BY ID");
+  pair.Check("SELECT * FROM C ORDER BY ID");
+}
+
+// ---- DML semantics ----
+
+TEST(ShardDml, UpdateMigratesRowsBetweenShards) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE T (ID INTEGER PRIMARY KEY, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 20; ++i) {
+    pair.Exec("INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i) + ")");
+  }
+  uint64_t before = pair.coord().counters().migrations;
+  // Shifting every pk by 100 moves most rows to different shards.
+  pair.Exec("UPDATE T SET ID = ID + 100 WHERE V < 10");
+  EXPECT_GT(pair.coord().counters().migrations, before);
+  pair.Check("SELECT * FROM T ORDER BY ID");
+  pair.Check("SELECT COUNT(*), SUM(ID) FROM T");
+  // Aggregation after migration still matches (order_dirty path).
+  pair.Check("SELECT V, COUNT(*) FROM T GROUP BY V LIMIT 5", true);
+  // Reassigning onto an existing key is a duplicate.
+  pair.Exec("UPDATE T SET ID = 110 WHERE ID = 111");
+  // Swap-style chain: 19 -> 20 is fine because 20 is free.
+  pair.Exec("UPDATE T SET ID = ID + 1 WHERE ID = 19");
+  pair.Check("SELECT * FROM T ORDER BY ID");
+}
+
+TEST(ShardDml, MultiRowInsertSplitsAcrossShards) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE T (ID INTEGER PRIMARY KEY, V VARCHAR(8)) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  pair.Exec("INSERT INTO T VALUES (1, 'a'), (2, 'b'), (3, 'c'), (4, 'd'), "
+            "(5, 'e'), (6, 'f')");
+  pair.Check("SELECT * FROM T ORDER BY ID");
+  pair.Check("SELECT ID FROM T LIMIT 3", true);  // insertion order preserved
+  // A failing row (duplicate) must leave nothing applied.
+  pair.Exec("INSERT INTO T VALUES (7, 'g'), (1, 'dup')");
+  pair.Check("SELECT * FROM T ORDER BY ID");
+}
+
+TEST(ShardDml, TransactionsAndPartitionedCopyRejected) {
+  sim::Network net = MakeNet(2);
+  ShardCoordinator coord(&net, MakeOptions(2));
+  ASSERT_TRUE(coord
+                  .Execute("CREATE TABLE T (ID INTEGER PRIMARY KEY) "
+                           "PARTITION BY HASH(ID) PARTITIONS 2")
+                  .ok());
+  Result<QueryResult> begin = coord.Execute("BEGIN");
+  ASSERT_FALSE(begin.ok());
+  EXPECT_EQ(begin.status().code(), StatusCode::kFailedPrecondition);
+  Result<QueryResult> copy = coord.Execute("COPY T FROM '/tmp/x.bulk'");
+  ASSERT_FALSE(copy.ok());
+  EXPECT_EQ(copy.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- Replication composition ----
+
+TEST(ShardRepl, ScatterReadsSurviveShardFailover) {
+  sim::Network net = MakeNet(3, 2);
+  ShardOptions options = MakeOptions(3, 2);
+  options.repl_options.ack_quorum = 2;
+  ShardCoordinator coord(&net, options);
+  ASSERT_TRUE(coord
+                  .Execute("CREATE TABLE T (ID INTEGER PRIMARY KEY, "
+                           "V INTEGER) PARTITION BY HASH(ID) PARTITIONS 3")
+                  .ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(coord
+                    .Execute("INSERT INTO T VALUES (" + std::to_string(i) +
+                             ", " + std::to_string(i) + ")")
+                    .ok());
+  }
+  Result<QueryResult> before = coord.Execute("SELECT COUNT(*), SUM(V) FROM T");
+  ASSERT_TRUE(before.ok());
+  // Fail over shard 1's primary; its fully-shipped replica takes over.
+  ASSERT_TRUE(coord.repl(1) != nullptr);
+  coord.repl(1)->Heartbeat();
+  ASSERT_TRUE(coord.repl(1)->ShipAll().ok());
+  net.clock().Advance(options.repl_options.heartbeat_timeout_seconds + 1);
+  ASSERT_TRUE(coord.repl(1)->PrimaryDown());
+  Result<std::string> promoted = coord.repl(1)->MaybeFailover();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().message();
+  // The sim clock is shared: re-heartbeat the untouched shards so their
+  // (live) primaries are not presumed dead too.
+  for (size_t s = 0; s < coord.num_shards(); ++s) coord.repl(s)->Heartbeat();
+  Result<QueryResult> after = coord.Execute("SELECT COUNT(*), SUM(V) FROM T");
+  ASSERT_TRUE(after.ok()) << after.status().message();
+  EXPECT_EQ(Render(*before, false), Render(*after, false));
+  // Writes keep flowing through the promoted primary.
+  ASSERT_TRUE(coord.Execute("INSERT INTO T VALUES (100, 100)").ok());
+  Result<QueryResult> count = coord.Execute("SELECT COUNT(*) FROM T");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), 31);
+}
+
+// ---- Observability ----
+
+TEST(ShardObs, CountersAndMetricsFamilies) {
+  ShardPair pair(4);
+  pair.Exec("CREATE TABLE T (ID INTEGER PRIMARY KEY, G INTEGER, V INTEGER) "
+            "PARTITION BY HASH(ID) PARTITIONS 4");
+  for (int i = 0; i < 20; ++i) {
+    pair.Exec("INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+              std::to_string(i % 2) + ", " + std::to_string(i) + ")");
+  }
+  pair.Check("SELECT G, SUM(V) FROM T GROUP BY G ORDER BY G", true);  // scatter
+  pair.Check("SELECT V FROM T WHERE ID = 3");                // single (pruned)
+  pair.Check("SELECT DISTINCT G FROM T");                    // gather
+  ShardCounters c = pair.coord().counters();
+  EXPECT_GE(c.queries_scatter, 1u);
+  EXPECT_GE(c.queries_single, 1u);
+  EXPECT_GE(c.queries_gather, 1u);
+  EXPECT_GT(c.writes, 0u);
+  EXPECT_GT(c.scanned_shards, 0u);
+  EXPECT_GT(c.pruned_shards, 0u);
+
+  obs::MetricsRegistry metrics;
+  pair.coord().RegisterMetrics(&metrics);
+  std::string text = metrics.RenderPrometheusText();
+  for (const char* family :
+       {"easia_shard_rows", "easia_shard_lag_epochs",
+        "easia_shard_queries_total", "easia_shard_scanned_shards_total",
+        "easia_shard_pruned_shards_total", "easia_shard_writes_total",
+        "easia_shard_migrations_total"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+  EXPECT_NE(text.find("easia_shard_queries_total{strategy=\"scatter\"}"),
+            std::string::npos)
+      << text;
+
+  std::vector<ShardInfo> info = pair.coord().shard_info();
+  ASSERT_EQ(info.size(), 4u);
+  size_t rows = 0;
+  for (const ShardInfo& i : info) rows += i.partitioned_rows;
+  EXPECT_EQ(rows, 20u);
+}
+
+// ---- Web layer over a sharded backend ----
+
+TEST(ShardWeb, BrowseAndStatsRouteThroughCoordinator) {
+  sim::Network net = MakeNet(4);
+  ShardCoordinator coord(&net, MakeOptions(4));
+  ASSERT_TRUE(coord
+                  .Execute("CREATE TABLE STAR (ID INTEGER PRIMARY KEY, "
+                           "NAME VARCHAR(32)) "
+                           "PARTITION BY HASH(ID) PARTITIONS 4")
+                  .ok());
+  for (int i = 1; i <= 12; ++i) {
+    ASSERT_TRUE(coord
+                    .Execute("INSERT INTO STAR VALUES (" + std::to_string(i) +
+                             ", 'star" + std::to_string(i) + "')")
+                    .ok());
+  }
+
+  // Shard 0's catalogue mirror drives XUIS generation unchanged.
+  Result<xuis::XuisSpec> spec = xuis::GenerateDefaultXuis(*coord.shard_db(0));
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  xuis::XuisRegistry registry;
+  registry.SetDefault(*spec);
+  web::UserManager users;
+  ManualClock clock(0);
+  web::SessionManager sessions(&users, &clock);
+  web::RenderCache cache;
+
+  web::ArchiveWebServer::Deps deps;
+  deps.database = coord.shard_db(0);
+  deps.xuis = &registry;
+  deps.users = &users;
+  deps.sessions = &sessions;
+  deps.cache = &cache;
+  deps.shard = &coord;
+  web::ArchiveWebServer server(deps);
+
+  web::HttpRequest login;
+  login.path = "/login";
+  login.params = {{"user", "guest"}, {"password", "guest"}};
+  web::HttpResponse resp = server.Handle(login);
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  std::string session_id = resp.body;
+
+  // /browse by a non-partition-key value: rows live on several shards,
+  // but the page shows them all (the query gathers across shards).
+  web::HttpRequest browse;
+  browse.path = "/browse";
+  browse.params = {{"table", "STAR"}, {"column", "NAME"}, {"value", "star7"}};
+  browse.session_id = session_id;
+  resp = server.Handle(browse);
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_NE(resp.body.find("star7"), std::string::npos);
+
+  // A write through the coordinator bumps the combined epoch, so the
+  // cached page invalidates even when the write landed on another shard.
+  web::HttpRequest browse2 = browse;
+  resp = server.Handle(browse2);
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ASSERT_TRUE(coord.Execute("UPDATE STAR SET NAME = 'nova7' WHERE ID = 7")
+                  .ok());
+  resp = server.Handle(browse);
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.find("star7"), std::string::npos) << resp.body;
+
+  // /stats renders the per-shard table.
+  web::HttpRequest stats;
+  stats.path = "/stats";
+  stats.session_id = session_id;
+  resp = server.Handle(stats);
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("sharding: 4 shards"), std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("s3"), std::string::npos);
+  EXPECT_NE(resp.body.find("partitioned rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easia::db::shard

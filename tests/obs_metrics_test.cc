@@ -17,7 +17,9 @@
 
 #include "core/archive.h"
 #include "core/turbulence_setup.h"
+#include "db/shard/coordinator.h"
 #include "obs/metrics.h"
+#include "sim/network.h"
 #include "xuis/customize.h"
 
 #ifndef EASIA_SOURCE_DIR
@@ -34,10 +36,58 @@ std::string GoldenPath() {
 struct ScriptedArchive {
   std::unique_ptr<core::Archive> archive;
   std::string session;
+  // The shard coordinator registers pull-style callbacks into the
+  // archive's registry, so it must stay alive for every later scrape
+  // (network before coordinator: the coordinator borrows the links).
+  std::unique_ptr<sim::Network> shard_net;
+  std::unique_ptr<db::shard::ShardCoordinator> shard;
 };
 
+/// A fixed two-shard workload whose easia_shard_* families the golden
+/// captures: one pruned point lookup, one scattered aggregate, one
+/// coordinator-side gather.
+void RunShardWorkload(ScriptedArchive* out) {
+  out->shard_net = std::make_unique<sim::Network>();
+  std::vector<std::string> hosts = {"web", "s0", "s1"};
+  for (const std::string& h : hosts) out->shard_net->AddHost({h, 50.0, 4});
+  for (const std::string& a : hosts) {
+    for (const std::string& b : hosts) {
+      if (a != b) {
+        out->shard_net->AddLink(a, b, sim::BandwidthSchedule::Constant(100.0),
+                                0.001);
+      }
+    }
+  }
+  db::shard::ShardOptions options;
+  options.coordinator_host = "web";
+  options.shard_hosts = {"s0", "s1"};
+  out->shard = std::make_unique<db::shard::ShardCoordinator>(
+      out->shard_net.get(), options);
+  db::shard::ShardCoordinator* shard = out->shard.get();
+  shard->RegisterMetrics(out->archive->metrics());
+  EXPECT_TRUE(shard
+                  ->Execute(
+                      "CREATE TABLE SAMPLE ("
+                      " ID INTEGER NOT NULL,"
+                      " V INTEGER,"
+                      " PRIMARY KEY (ID))"
+                      " PARTITION BY HASH(ID) PARTITIONS 2")
+                  .ok());
+  for (int i = 1; i <= 8; ++i) {
+    EXPECT_TRUE(shard
+                    ->Execute("INSERT INTO SAMPLE VALUES (" +
+                              std::to_string(i) + ", " +
+                              std::to_string(i * 10) + ")")
+                    .ok());
+  }
+  EXPECT_TRUE(shard->Execute("SELECT V FROM SAMPLE WHERE ID = 3").ok());
+  EXPECT_TRUE(shard->Execute("SELECT COUNT(*), SUM(V) FROM SAMPLE").ok());
+  EXPECT_TRUE(shard->Execute("SELECT DISTINCT V FROM SAMPLE").ok());
+}
+
 /// Builds an archive and replays the fixed workload the golden captures:
-/// cached + uncached page renders, a query, a batch job, and a 404.
+/// cached + uncached page renders, a query, a batch job, a 404, and a
+/// sharded mini-workload feeding the easia_shard_* families.
 ScriptedArchive RunScriptedWorkload() {
   ScriptedArchive out;
   core::Archive::Options options;
@@ -78,6 +128,7 @@ ScriptedArchive RunScriptedWorkload() {
   EXPECT_EQ(submit.status, 200) << submit.body;
   EXPECT_EQ(archive->jobs().RunPending(), 1u);
   EXPECT_EQ(archive->Get(session, "/no/such/page").status, 404);
+  RunShardWorkload(&out);
   return out;
 }
 
@@ -258,6 +309,19 @@ TEST(ObsMetricsGoldenTest, ParserRoundTripMatchesCollect) {
             1.0);
   EXPECT_EQ(value_of("easia_op_invocations_total", {{"op", "FieldStats"}}),
             1.0);
+  // The shard mini-workload ran one statement per strategy: the pruned
+  // point lookup forwarded to one shard, the aggregate scattered, the
+  // DISTINCT gathered. Writes: CREATE TABLE + 8 INSERTs.
+  EXPECT_EQ(value_of("easia_shard_queries_total", {{"strategy", "single"}}),
+            1.0);
+  EXPECT_EQ(value_of("easia_shard_queries_total", {{"strategy", "scatter"}}),
+            1.0);
+  EXPECT_EQ(value_of("easia_shard_queries_total", {{"strategy", "gather"}}),
+            1.0);
+  EXPECT_EQ(value_of("easia_shard_writes_total", {}), 9.0);
+  EXPECT_EQ(value_of("easia_shard_rows", {{"shard", "0"}}) +
+                value_of("easia_shard_rows", {{"shard", "1"}}),
+            8.0);
 }
 
 TEST(ObsMetricsRegistryTest, NamingAndFormattingRules) {

@@ -157,6 +157,33 @@ TEST(ReplCrashTest, QuorumHolderDownAtFailoverNeverLosesAcks) {
   }
 }
 
+/// The sharded composition sweep: the workload runs hash-partitioned
+/// across shard replication groups, then one seeded shard's primary is
+/// failed over BETWEEN the per-shard scans of a single running scatter
+/// aggregate. Zero acked-commit loss through the promotion, and the
+/// mid-failover scatter must equal a serial re-run after recovery — a
+/// half-old-primary / half-new-primary merge may never surface.
+TEST(ShardCrashTest, ScatterSurvivesMidStatementShardFailover) {
+  const int iters = FuzzIters(40);
+  Random rng(0x5AAD);
+  for (int i = 0; i < iters; ++i) {
+    ShardCrashOptions options;
+    options.seed = rng.Next();
+    options.statements = 20;
+    options.shards = 2 + static_cast<int>(rng.Uniform(3));  // 2..4
+    options.replicas_per_shard = 1 + static_cast<int>(rng.Uniform(2));
+    options.ack_quorum = 1;
+    CrashReport report = RunShardCrashCase(options);
+    ASSERT_TRUE(report.Clean())
+        << "seed " << options.seed << " shards " << options.shards
+        << " replicas/shard " << options.replicas_per_shard << ":\n"
+        << Describe(report);
+    ASSERT_TRUE(report.crashed);
+    // CREATE TABLE + `statements` DML, all acked before the crash.
+    ASSERT_EQ(report.acked, 21u);
+  }
+}
+
 /// Crash at every statement boundary of one fixed workload — the
 /// deterministic companion to the seeded sweep, pinning the failover
 /// invariant at each possible cut.

@@ -569,14 +569,30 @@ TEST(ReplMetricsTest, FamiliesExposeLagAndCounters) {
   ASSERT_TRUE(net.SetLinkDown("db", "r1", true).ok());
   MustExec(coord, "INSERT INTO T VALUES (1, 'a')");
 
+  // Exact name + label-set keys, not substring probes: a renamed label
+  // or a stray extra series in the per-replica families must fail here.
+  std::vector<obs::MetricSample> samples = metrics.Collect();
+  auto series_of = [&](const std::string& name) {
+    std::vector<std::pair<obs::Labels, double>> out;
+    for (const obs::MetricSample& s : samples) {
+      if (s.name == name) out.emplace_back(s.labels, s.value);
+    }
+    return out;
+  };
+  using Series = std::vector<std::pair<obs::Labels, double>>;
+  EXPECT_EQ(series_of("easia_repl_replica_lag_epochs"),
+            (Series{{{{"replica", "r1"}}, 1.0}}));
+  EXPECT_EQ(series_of("easia_repl_replica_applied_lsn"),
+            (Series{{{{"replica", "r1"}}, 1.0}}));
+  EXPECT_EQ(series_of("easia_repl_writes_total"), (Series{{{}, 2.0}}));
+  Series shipments = series_of("easia_repl_shipments_total");
+  ASSERT_EQ(shipments.size(), 1u);
+  EXPECT_TRUE(shipments[0].first.empty());
+  // And the rendered exposition carries the same exact series.
   std::string text = metrics.RenderPrometheusText();
   EXPECT_NE(text.find("easia_repl_replica_lag_epochs{replica=\"r1\"} 1"),
             std::string::npos)
       << text;
-  EXPECT_NE(text.find("easia_repl_writes_total 2"), std::string::npos);
-  EXPECT_NE(text.find("easia_repl_shipments_total"), std::string::npos);
-  EXPECT_NE(text.find("easia_repl_replica_applied_lsn{replica=\"r1\"} 1"),
-            std::string::npos);
 }
 
 // ---- Web integration: replica reads & cache epoch validation ----
