@@ -145,7 +145,7 @@ class ReplicationCoordinator {
   /// replica exists.
   Result<std::string> MaybeFailover();
 
-  Database* primary() { return primary_; }
+  Database* primary() const { return primary_; }
   const std::string& primary_host() const { return options_.primary_host; }
   ReplicationLog& log() { return log_; }
   WalShipper& shipper() { return *shipper_; }

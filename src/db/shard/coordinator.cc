@@ -230,9 +230,17 @@ repl::ReadTicket ShardCoordinator::ShardRead(size_t i) {
           false};
 }
 
+Database* ShardCoordinator::primary_db(size_t i) const {
+  // After a shard failover the replication group's primary aliases a
+  // promoted replica; shards_[i].db keeps owning the initial primary but
+  // no longer receives writes.
+  if (shards_[i].repl != nullptr) return shards_[i].repl->primary();
+  return shards_[i].db.get();
+}
+
 Result<const Table*> ShardCoordinator::ShardTable(
     size_t i, const std::string& table) const {
-  return shards_[i].db->GetTable(table);
+  return primary_db(i)->GetTable(table);
 }
 
 size_t ShardCoordinator::ShardOfValue(const PartState& state,
@@ -262,7 +270,9 @@ void ShardCoordinator::MeterToCoordinator(const std::string& from_host,
 
 uint64_t ShardCoordinator::combined_epoch() const {
   uint64_t epoch = 0;
-  for (const Shard& shard : shards_) epoch += shard.db->commit_epoch();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    epoch += primary_db(i)->commit_epoch();
+  }
   return epoch;
 }
 
@@ -272,7 +282,7 @@ std::vector<ShardInfo> ShardCoordinator::shard_info() const {
   for (size_t i = 0; i < shards_.size(); ++i) {
     ShardInfo info;
     info.host = shards_[i].host;
-    info.commit_epoch = shards_[i].db->commit_epoch();
+    info.commit_epoch = primary_db(i)->commit_epoch();
     for (const auto& [name, state] : part_) {
       Result<const Table*> table = ShardTable(i, name);
       if (table.ok()) info.partitioned_rows += (*table)->RowCount();
@@ -392,20 +402,8 @@ Result<QueryResult> ShardCoordinator::Execute(std::string_view sql,
     case Statement::Kind::kCreateTable:
     case Statement::Kind::kDropTable:
       return ExecDdl(stmt, sql, ctx);
-    case Statement::Kind::kCopy: {
-      if (part_.count(ToUpper(stmt.copy->table)) > 0) {
-        return Status::FailedPrecondition(
-            "COPY into a hash-partitioned table is not supported; "
-            "use INSERT so rows route to their partitions");
-      }
-      Result<QueryResult> first = Status::Internal("no shards configured");
-      for (size_t i = 0; i < shards_.size(); ++i) {
-        Result<QueryResult> r = ShardWrite(i, sql, ctx);
-        if (!r.ok()) return r;
-        if (i == 0) first = std::move(r);
-      }
-      return first;
-    }
+    case Statement::Kind::kCopy:
+      return ExecCopy(*stmt.copy, sql, ctx);
     default:
       return Status::Internal("unhandled statement kind");
   }
@@ -427,7 +425,7 @@ std::vector<bool> ShardCoordinator::PruneForTable(
                           state.pk_type == DataType::kTimestamp;
 
   std::vector<const TableDef*> defs;
-  const Catalog& cat = shards_[0].db->catalog();
+  const Catalog& cat = primary_db(0)->catalog();
   for (const TableRef& ref : stmt.from) {
     Result<const TableDef*> d = cat.GetTable(ref.table);
     defs.push_back(d.ok() ? *d : nullptr);
@@ -574,7 +572,7 @@ ShardCoordinator::SelectAnalysis ShardCoordinator::Analyze(
     const SelectStmt& stmt) const {
   SelectAnalysis a;
   const size_t n = shards_.size();
-  const Catalog& cat = shards_[0].db->catalog();
+  const Catalog& cat = primary_db(0)->catalog();
   std::vector<const TableDef*> defs;
   for (const TableRef& ref : stmt.from) {
     Result<const TableDef*> def = cat.GetTable(ref.table);
@@ -1333,22 +1331,43 @@ Status ShardCoordinator::CheckForeignKeys(
         found = (*parent)->FindUnique(fk.ref_columns, key_values).ok();
       }
     } else {
-      // Partitioned parent keyed by its pk: the row can only live on its
-      // hash shard; other reference shapes fall back to probing each shard.
+      // Partitioned parent referenced by its partition key: the parent row
+      // can only live on its hash shard, and within a kind class equal
+      // values share the key-string encoding the hash uses (numeric keys
+      // are the AsDouble bits, string keys the raw bytes), so the targeted
+      // probe is authoritative — absent there means absent everywhere. Any
+      // other reference shape — a non-partition-key reference, or a
+      // mixed-kind comparison, where display-form equality can cross the
+      // key-encoding boundary — probes every shard.
+      const PartState& pstate = pit->second;
+      bool authoritative = false;
       if (fk.ref_columns.size() == 1) {
-        Result<Value> coerced = key_values[0].CoerceTo(pit->second.pk_type);
-        if (coerced.ok()) {
-          size_t target = ShardOfValue(pit->second, *coerced);
-          Result<const Table*> parent = ShardTable(target, fk.ref_table);
-          if (parent.ok()) {
-            found = (*parent)->FindUnique(fk.ref_columns, key_values).ok();
+        const Catalog& cat = primary_db(0)->catalog();
+        Result<const TableDef*> parent_def = cat.GetTable(fk.ref_table);
+        const bool pk_numeric = pstate.pk_type == DataType::kInteger ||
+                                pstate.pk_type == DataType::kDouble ||
+                                pstate.pk_type == DataType::kTimestamp;
+        if (parent_def.ok() &&
+            EqualsIgnoreCase(fk.ref_columns[0],
+                             (*parent_def)->columns[pstate.pk_index].name) &&
+            key_values[0].IsNumericKind() == pk_numeric) {
+          Result<Value> coerced = key_values[0].CoerceTo(pstate.pk_type);
+          if (coerced.ok()) {
+            size_t target = ShardOfValue(pstate, *coerced);
+            Result<const Table*> parent = ShardTable(target, fk.ref_table);
+            if (parent.ok()) {
+              found = (*parent)->FindUnique(fk.ref_columns, key_values).ok();
+              authoritative = true;
+            }
           }
         }
       }
-      for (size_t s = 0; s < shards_.size() && !found; ++s) {
-        Result<const Table*> parent = ShardTable(s, fk.ref_table);
-        if (parent.ok()) {
-          found = (*parent)->FindUnique(fk.ref_columns, key_values).ok();
+      if (!authoritative) {
+        for (size_t s = 0; s < shards_.size() && !found; ++s) {
+          Result<const Table*> parent = ShardTable(s, fk.ref_table);
+          if (parent.ok()) {
+            found = (*parent)->FindUnique(fk.ref_columns, key_values).ok();
+          }
         }
       }
     }
@@ -1380,7 +1399,7 @@ Status ShardCoordinator::CheckForeignKeys(
 Status ShardCoordinator::CheckNoChildren(
     const TableDef& def, const Row& old_row, const Row* new_row,
     const std::set<std::string>& excluded_self_keys) {
-  const Catalog& cat = shards_[0].db->catalog();
+  const Catalog& cat = primary_db(0)->catalog();
   for (const ColumnDef& col : def.columns) {
     std::vector<InboundReference> refs = cat.ReferencesTo(def.name, col.name);
     if (refs.empty()) continue;
@@ -1465,10 +1484,66 @@ std::string RenderPkDelete(const TableDef& def, const Row& row) {
 
 }  // namespace
 
+Result<QueryResult> ShardCoordinator::ExecCopy(const CopyStmt& stmt,
+                                               std::string_view sql,
+                                               const ExecContext& ctx) {
+  if (part_.count(ToUpper(stmt.table)) > 0) {
+    return Status::FailedPrecondition(
+        "COPY into a hash-partitioned table is not supported; "
+        "use INSERT so rows route to their partitions");
+  }
+  // Broadcast COPY fans the statement out to every shard, so a mid-fan-out
+  // failure (or a per-chunk abort — COPY commits chunk by chunk, so even
+  // the failing shard can keep earlier chunks) would leave the broadcast
+  // table divergent across shards. Snapshot the pk keys present before the
+  // copy (broadcast tables are identical everywhere, so shard 0's set
+  // serves) so compensation can delete exactly the rows this statement
+  // added, mirroring broadcast INSERT.
+  const Catalog& cat = primary_db(0)->catalog();
+  Result<const TableDef*> def_result = cat.GetTable(stmt.table);
+  const TableDef* def = def_result.ok() ? *def_result : nullptr;
+  std::set<std::string> before;
+  bool can_compensate = def != nullptr && !def->primary_key.empty();
+  if (can_compensate) {
+    Result<const Table*> table = ShardTable(0, def->name);
+    if (table.ok()) {
+      (*table)->ForEachRow([&](RowId, const Row& row) {
+        before.insert(PkKey(*def, row));
+      });
+    } else {
+      can_compensate = false;
+    }
+  }
+  Result<QueryResult> first = Status::Internal("no shards configured");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Result<QueryResult> r = ShardWrite(i, sql, ctx);
+    if (!r.ok()) {
+      // Best-effort compensation on every shard written so far, the
+      // failing shard's own committed chunks included.
+      if (can_compensate) {
+        for (size_t u = 0; u <= i && u < shards_.size(); ++u) {
+          Result<const Table*> table = ShardTable(u, def->name);
+          if (!table.ok()) continue;
+          std::vector<Row> added;
+          (*table)->ForEachRow([&](RowId, const Row& row) {
+            if (before.count(PkKey(*def, row)) == 0) added.push_back(row);
+          });
+          for (const Row& row : added) {
+            (void)ShardWrite(u, RenderPkDelete(*def, row), ctx);
+          }
+        }
+      }
+      return r;
+    }
+    if (i == 0) first = std::move(r);
+  }
+  return first;
+}
+
 Result<QueryResult> ShardCoordinator::ExecInsert(const InsertStmt& stmt,
                                                  std::string_view sql,
                                                  const ExecContext& ctx) {
-  const Catalog& cat = shards_[0].db->catalog();
+  const Catalog& cat = primary_db(0)->catalog();
   Result<const TableDef*> def_result = cat.GetTable(stmt.table);
   if (!def_result.ok()) {
     // Shard 0 reproduces the single-node "no table named X" error.
@@ -1587,7 +1662,7 @@ Result<QueryResult> ShardCoordinator::ExecInsert(const InsertStmt& stmt,
 Result<QueryResult> ShardCoordinator::ExecUpdate(const UpdateStmt& stmt,
                                                  std::string_view sql,
                                                  const ExecContext& ctx) {
-  const Catalog& cat = shards_[0].db->catalog();
+  const Catalog& cat = primary_db(0)->catalog();
   Result<const TableDef*> def_result = cat.GetTable(stmt.table);
   if (!def_result.ok()) return ShardWrite(0, sql, ctx);
   const TableDef& def = **def_result;
@@ -1761,7 +1836,7 @@ Result<QueryResult> ShardCoordinator::ExecUpdate(const UpdateStmt& stmt,
 Result<QueryResult> ShardCoordinator::ExecDelete(const DeleteStmt& stmt,
                                                  std::string_view sql,
                                                  const ExecContext& ctx) {
-  const Catalog& cat = shards_[0].db->catalog();
+  const Catalog& cat = primary_db(0)->catalog();
   Result<const TableDef*> def_result = cat.GetTable(stmt.table);
   if (!def_result.ok()) return ShardWrite(0, sql, ctx);
   const TableDef& def = **def_result;

@@ -128,9 +128,10 @@ class ShardCoordinator {
                               const ExecContext& ctx = {});
 
   size_t num_shards() const { return shards_.size(); }
-  /// Shard i's primary database (for test assertions; production access
-  /// goes through Execute).
-  Database* shard_db(size_t i) { return shards_[i].db.get(); }
+  /// Shard i's CURRENT primary database (for test assertions; production
+  /// access goes through Execute). After a shard failover this is the
+  /// promoted replica, not the initial primary.
+  Database* shard_db(size_t i) { return primary_db(i); }
   /// Shard i's replication coordinator, or nullptr when
   /// replicas_per_shard == 0 (crash-harness seam: fail over one shard).
   repl::ReplicationCoordinator* repl(size_t i) {
@@ -157,8 +158,9 @@ class ShardCoordinator {
   /// per-shard scans of one running statement (repl_crash_test).
   void SetScatterHook(std::function<void(size_t)> hook);
 
-  /// The catalogue mirror (shard 0's) for metadata consumers.
-  const Catalog& catalog() const { return shards_[0].db->catalog(); }
+  /// The catalogue mirror (shard 0's current primary) for metadata
+  /// consumers.
+  const Catalog& catalog() const { return primary_db(0)->catalog(); }
 
  private:
   struct Shard {
@@ -211,6 +213,8 @@ class ShardCoordinator {
                                  const ExecContext& ctx);
   Result<QueryResult> ExecDdl(const Statement& stmt, std::string_view sql,
                               const ExecContext& ctx);
+  Result<QueryResult> ExecCopy(const CopyStmt& stmt, std::string_view sql,
+                               const ExecContext& ctx);
 
   /// Write-path execution on one shard (repl::Execute when replicated).
   Result<QueryResult> ShardWrite(size_t i, std::string_view sql,
@@ -228,7 +232,13 @@ class ShardCoordinator {
   Status CheckNoChildren(const TableDef& def, const Row& old_row,
                          const Row* new_row,
                          const std::set<std::string>& excluded_self_keys);
-  /// All live rows of `table` on shard `i`'s primary.
+  /// Shard i's CURRENT primary: the replication group's promoted head
+  /// after a failover, else the initial database. Every coordinator-side
+  /// read of shard state (tables, catalogue, commit epochs) must go
+  /// through this — shards_[i].db stops receiving writes once its group
+  /// fails over.
+  Database* primary_db(size_t i) const;
+  /// All live rows of `table` on shard `i`'s current primary.
   Result<const Table*> ShardTable(size_t i, const std::string& table) const;
   void MeterToCoordinator(const std::string& from_host, uint64_t bytes);
 

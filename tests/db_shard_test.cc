@@ -1,16 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/io.h"
 #include "db/database.h"
 #include "db/executor.h"
 #include "db/parser.h"
 #include "db/shard/coordinator.h"
+#include "db/store/bulk_loader.h"
 #include "obs/metrics.h"
 #include "sim/network.h"
 #include "web/cache.h"
@@ -526,6 +529,64 @@ TEST(ShardDml, MultiRowInsertSplitsAcrossShards) {
   pair.Check("SELECT * FROM T ORDER BY ID");
 }
 
+TEST(ShardDml, BroadcastCopyAppliesEverywhereAndCompensatesOnFailure) {
+  sim::Network net = MakeNet(2, 1);
+  ShardOptions options = MakeOptions(2, 1);
+  options.repl_options.ack_quorum = 1;
+  ShardCoordinator coord(&net, options);
+  ASSERT_TRUE(
+      coord.Execute("CREATE TABLE B (ID INTEGER PRIMARY KEY, V INTEGER)")
+          .ok());
+  ASSERT_TRUE(coord.Execute("INSERT INTO B VALUES (1, 1)").ok());
+
+  Result<const TableDef*> def = coord.catalog().GetTable("B");
+  ASSERT_TRUE(def.ok());
+  std::vector<Row> rows;
+  for (int i = 10; i < 20; ++i) {
+    rows.push_back({Value::Integer(i), Value::Integer(i)});
+  }
+  std::string path = ::testing::TempDir() + "easia_shard_bcast.ebk";
+  ASSERT_TRUE(
+      store::WriteBulkFile(io::RealEnv(), path, **def, rows, 4).ok());
+
+  // Happy path: COPY fans out to every shard identically.
+  Result<QueryResult> copied = coord.Execute("COPY B FROM '" + path + "'");
+  ASSERT_TRUE(copied.ok()) << copied.status().message();
+  EXPECT_EQ(copied->rows_affected, 10u);
+  for (size_t s = 0; s < coord.num_shards(); ++s) {
+    Result<const Table*> table = coord.shard_db(s)->GetTable("B");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->RowCount(), 11u) << "shard " << s;
+  }
+
+  // Failure mid-fan-out: shard 1's replica is unreachable, so its write
+  // commits under quorum (kAborted). The coordinator must compensate —
+  // deleting the copied rows from every shard written — instead of
+  // leaving the broadcast table divergent across shards.
+  std::vector<Row> more;
+  for (int i = 30; i < 40; ++i) {
+    more.push_back({Value::Integer(i), Value::Integer(i)});
+  }
+  std::string path2 = ::testing::TempDir() + "easia_shard_bcast2.ebk";
+  ASSERT_TRUE(
+      store::WriteBulkFile(io::RealEnv(), path2, **def, more, 4).ok());
+  ASSERT_TRUE(net.SetLinkDown("s1", "s1-r1", true).ok());
+  Result<QueryResult> failed = coord.Execute("COPY B FROM '" + path2 + "'");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kAborted);
+  for (size_t s = 0; s < coord.num_shards(); ++s) {
+    Result<const Table*> table = coord.shard_db(s)->GetTable("B");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->RowCount(), 11u) << "shard " << s;
+  }
+  ASSERT_TRUE(net.SetLinkDown("s1", "s1-r1", false).ok());
+  Result<QueryResult> count = coord.Execute("SELECT COUNT(*) FROM B");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), 11);
+  (void)std::remove(path.c_str());
+  (void)std::remove(path2.c_str());
+}
+
 TEST(ShardDml, TransactionsAndPartitionedCopyRejected) {
   sim::Network net = MakeNet(2);
   ShardCoordinator coord(&net, MakeOptions(2));
@@ -579,6 +640,73 @@ TEST(ShardRepl, ScatterReadsSurviveShardFailover) {
   Result<QueryResult> count = coord.Execute("SELECT COUNT(*) FROM T");
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(count->rows[0][0].AsInt(), 31);
+}
+
+TEST(ShardRepl, CoordinatorReadsFollowPromotedPrimary) {
+  sim::Network net = MakeNet(3, 2);
+  ShardOptions options = MakeOptions(3, 2);
+  options.repl_options.ack_quorum = 2;
+  ShardCoordinator coord(&net, options);
+  ASSERT_TRUE(coord
+                  .Execute("CREATE TABLE T (ID INTEGER PRIMARY KEY, "
+                           "V INTEGER) PARTITION BY HASH(ID) PARTITIONS 3")
+                  .ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        coord.Execute("INSERT INTO T VALUES (" + std::to_string(i) + ", 0)")
+            .ok());
+  }
+  // Fail over shard 0's primary onto a fully-shipped replica.
+  ASSERT_TRUE(coord.repl(0) != nullptr);
+  coord.repl(0)->Heartbeat();
+  ASSERT_TRUE(coord.repl(0)->ShipAll().ok());
+  net.clock().Advance(options.repl_options.heartbeat_timeout_seconds + 1);
+  ASSERT_TRUE(coord.repl(0)->PrimaryDown());
+  ASSERT_TRUE(coord.repl(0)->MaybeFailover().ok());
+  for (size_t s = 0; s < coord.num_shards(); ++s) coord.repl(s)->Heartbeat();
+
+  // Rows committed after the failover land on the promoted primary; the
+  // coordinator's own reads — duplicate-pk probes, UPDATE target scans,
+  // min/max pruning sketches, the web cache validator — must see them
+  // there, not on the demoted initial primary.
+  uint64_t epoch_before = coord.combined_epoch();
+  for (int i = 100; i < 112; ++i) {
+    ASSERT_TRUE(
+        coord.Execute("INSERT INTO T VALUES (" + std::to_string(i) + ", 1)")
+            .ok());
+  }
+  EXPECT_GT(coord.combined_epoch(), epoch_before);
+
+  // Duplicate-pk probe sees post-failover rows.
+  Result<QueryResult> dup = coord.Execute("INSERT INTO T VALUES (105, 2)");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kConstraintViolation);
+
+  // UPDATE target scan finds post-failover rows (a stale scan would find
+  // no target and silently update nothing).
+  Result<QueryResult> update =
+      coord.Execute("UPDATE T SET V = 9 WHERE ID = 105");
+  ASSERT_TRUE(update.ok()) << update.status().message();
+  EXPECT_EQ(update->rows_affected, 1u);
+  Result<QueryResult> read = coord.Execute("SELECT V FROM T WHERE ID = 105");
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->rows.size(), 1u);
+  EXPECT_EQ(read->rows[0][0].AsInt(), 9);
+
+  // Range pruning reads the promoted primary's min/max sketch: shards
+  // whose only in-range rows arrived after the failover must not be
+  // pruned via the demoted primary's stale sketch.
+  Result<QueryResult> count =
+      coord.Execute("SELECT COUNT(*) FROM T WHERE ID >= 100");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), 12);
+
+  // shard_db follows the promotion: summing per-shard rows covers all 24.
+  size_t rows = 0;
+  for (const ShardInfo& info : coord.shard_info()) {
+    rows += info.partitioned_rows;
+  }
+  EXPECT_EQ(rows, 24u);
 }
 
 // ---- Observability ----
